@@ -1,0 +1,232 @@
+//! First-order dual numbers with `N` inline partials.
+
+use crate::Real;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A dual number `v + Σᵢ εᵢ ∂ᵢ` carrying `N` partial derivatives.
+///
+/// The partials array is stored inline (no allocation), mirroring the
+/// StaticArrays approach Celeste.jl used for its AD workloads (§V).
+#[derive(Clone, Copy, Debug)]
+pub struct Dual<const N: usize> {
+    /// Primal value.
+    pub val: f64,
+    /// Partial derivatives with respect to the `N` seeded inputs.
+    pub eps: [f64; N],
+}
+
+impl<const N: usize> Dual<N> {
+    /// A constant (all partials zero).
+    #[inline]
+    pub fn constant(val: f64) -> Self {
+        Dual { val, eps: [0.0; N] }
+    }
+
+    /// The `i`-th independent variable: value `val`, `∂ᵢ = 1`.
+    #[inline]
+    pub fn variable(val: f64, i: usize) -> Self {
+        let mut eps = [0.0; N];
+        eps[i] = 1.0;
+        Dual { val, eps }
+    }
+
+    /// Chain rule helper: `f(self)` with `f(val) = fv`, `f'(val) = dfv`.
+    #[inline]
+    fn chain(self, fv: f64, dfv: f64) -> Self {
+        let mut eps = self.eps;
+        for e in &mut eps {
+            *e *= dfv;
+        }
+        Dual { val: fv, eps }
+    }
+}
+
+impl<const N: usize> Add for Dual<N> {
+    type Output = Self;
+    #[inline]
+    fn add(mut self, rhs: Self) -> Self {
+        self.val += rhs.val;
+        for (a, b) in self.eps.iter_mut().zip(&rhs.eps) {
+            *a += b;
+        }
+        self
+    }
+}
+
+impl<const N: usize> Sub for Dual<N> {
+    type Output = Self;
+    #[inline]
+    fn sub(mut self, rhs: Self) -> Self {
+        self.val -= rhs.val;
+        for (a, b) in self.eps.iter_mut().zip(&rhs.eps) {
+            *a -= b;
+        }
+        self
+    }
+}
+
+impl<const N: usize> Mul for Dual<N> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        let mut eps = [0.0; N];
+        for ((e, &a), &b) in eps.iter_mut().zip(&self.eps).zip(&rhs.eps) {
+            *e = a * rhs.val + b * self.val;
+        }
+        Dual { val: self.val * rhs.val, eps }
+    }
+}
+
+impl<const N: usize> Div for Dual<N> {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        let inv = 1.0 / rhs.val;
+        let val = self.val * inv;
+        let mut eps = [0.0; N];
+        for ((e, &a), &b) in eps.iter_mut().zip(&self.eps).zip(&rhs.eps) {
+            *e = (a - val * b) * inv;
+        }
+        Dual { val, eps }
+    }
+}
+
+impl<const N: usize> Neg for Dual<N> {
+    type Output = Self;
+    #[inline]
+    fn neg(mut self) -> Self {
+        self.val = -self.val;
+        for e in &mut self.eps {
+            *e = -*e;
+        }
+        self
+    }
+}
+
+impl<const N: usize> AddAssign for Dual<N> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+impl<const N: usize> SubAssign for Dual<N> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+impl<const N: usize> MulAssign for Dual<N> {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<const N: usize> Real for Dual<N> {
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        Dual::constant(x)
+    }
+    #[inline]
+    fn value(self) -> f64 {
+        self.val
+    }
+    #[inline]
+    fn exp(self) -> Self {
+        let e = self.val.exp();
+        self.chain(e, e)
+    }
+    #[inline]
+    fn ln(self) -> Self {
+        self.chain(self.val.ln(), 1.0 / self.val)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        let s = self.val.sqrt();
+        self.chain(s, 0.5 / s)
+    }
+    #[inline]
+    fn sin(self) -> Self {
+        self.chain(self.val.sin(), self.val.cos())
+    }
+    #[inline]
+    fn cos(self) -> Self {
+        self.chain(self.val.cos(), -self.val.sin())
+    }
+    #[inline]
+    fn powi(self, n: i32) -> Self {
+        self.chain(self.val.powi(n), n as f64 * self.val.powi(n - 1))
+    }
+    #[inline]
+    fn powf(self, y: f64) -> Self {
+        self.chain(self.val.powf(y), y * self.val.powf(y - 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type D = Dual<3>;
+
+    fn d(v: f64, g: [f64; 3]) -> D {
+        Dual { val: v, eps: g }
+    }
+
+    fn assert_close(a: &D, val: f64, eps: [f64; 3]) {
+        assert!((a.val - val).abs() < 1e-12, "val {} vs {}", a.val, val);
+        for (x, y) in a.eps.iter().zip(&eps) {
+            assert!((x - y).abs() < 1e-12, "eps {:?} vs {:?}", a.eps, eps);
+        }
+    }
+
+    #[test]
+    fn product_rule() {
+        let x = D::variable(3.0, 0);
+        let y = D::variable(4.0, 1);
+        assert_close(&(x * y), 12.0, [4.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn quotient_rule() {
+        let x = D::variable(6.0, 0);
+        let y = D::variable(2.0, 1);
+        // d(x/y) = 1/y dx − x/y² dy
+        assert_close(&(x / y), 3.0, [0.5, -1.5, 0.0]);
+    }
+
+    #[test]
+    fn exp_ln_inverse_derivative() {
+        let x = d(1.7, [1.0, 0.0, 0.0]);
+        let y = x.exp().ln();
+        assert_close(&y, 1.7, [1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn trig_derivatives() {
+        let x = D::variable(0.3, 2);
+        let s = x.sin();
+        assert!((s.val - 0.3_f64.sin()).abs() < 1e-15);
+        assert!((s.eps[2] - 0.3_f64.cos()).abs() < 1e-15);
+        let c = x.cos();
+        assert!((c.eps[2] + 0.3_f64.sin()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn powi_matches_repeated_mul() {
+        let x = D::variable(1.3, 0);
+        let p = Real::powi(x, 3);
+        let m = x * x * x;
+        assert!((p.val - m.val).abs() < 1e-12);
+        assert!((p.eps[0] - m.eps[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigmoid_derivative() {
+        let x = D::variable(0.7, 0);
+        let s = Real::sigmoid(x);
+        let sv = 1.0 / (1.0 + (-0.7_f64).exp());
+        assert!((s.val - sv).abs() < 1e-14);
+        assert!((s.eps[0] - sv * (1.0 - sv)).abs() < 1e-14);
+    }
+}

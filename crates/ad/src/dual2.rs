@@ -1,0 +1,224 @@
+//! Hyper-dual numbers: exact second derivatives without truncation error.
+
+use crate::Real;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A hyper-dual number `v + ε₁ a + ε₂ b + ε₁ε₂ c` with `ε₁² = ε₂² = 0`.
+///
+/// Seeding `ε₁` with direction `u` and `ε₂` with direction `w` makes the
+/// `e12` component of `f(x + ε₁u + ε₂w)` equal `uᵀ ∇²f(x) w` exactly —
+/// no finite-difference step-size tuning. Used to verify the hand-coded
+/// 44×44 Hessians in `celeste-core`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Dual2 {
+    pub val: f64,
+    pub e1: f64,
+    pub e2: f64,
+    pub e12: f64,
+}
+
+impl Dual2 {
+    #[inline]
+    pub fn new(val: f64, e1: f64, e2: f64, e12: f64) -> Self {
+        Dual2 { val, e1, e2, e12 }
+    }
+
+    #[inline]
+    pub fn constant(val: f64) -> Self {
+        Dual2::new(val, 0.0, 0.0, 0.0)
+    }
+
+    /// Chain rule through a scalar function with first and second
+    /// derivatives `d1 = f'(v)`, `d2 = f''(v)`.
+    #[inline]
+    fn chain(self, fv: f64, d1: f64, d2: f64) -> Self {
+        Dual2 {
+            val: fv,
+            e1: d1 * self.e1,
+            e2: d1 * self.e2,
+            e12: d1 * self.e12 + d2 * self.e1 * self.e2,
+        }
+    }
+}
+
+impl Add for Dual2 {
+    type Output = Self;
+    #[inline]
+    fn add(self, r: Self) -> Self {
+        Dual2::new(self.val + r.val, self.e1 + r.e1, self.e2 + r.e2, self.e12 + r.e12)
+    }
+}
+
+impl Sub for Dual2 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, r: Self) -> Self {
+        Dual2::new(self.val - r.val, self.e1 - r.e1, self.e2 - r.e2, self.e12 - r.e12)
+    }
+}
+
+impl Mul for Dual2 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, r: Self) -> Self {
+        Dual2::new(
+            self.val * r.val,
+            self.e1 * r.val + self.val * r.e1,
+            self.e2 * r.val + self.val * r.e2,
+            self.e12 * r.val + self.e1 * r.e2 + self.e2 * r.e1 + self.val * r.e12,
+        )
+    }
+}
+
+impl Div for Dual2 {
+    type Output = Self;
+    #[inline]
+    fn div(self, r: Self) -> Self {
+        // self * r⁻¹ with r⁻¹ via the chain rule (f = 1/x).
+        let inv = 1.0 / r.val;
+        let rinv = r.chain(inv, -inv * inv, 2.0 * inv * inv * inv);
+        self * rinv
+    }
+}
+
+impl Neg for Dual2 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Dual2::new(-self.val, -self.e1, -self.e2, -self.e12)
+    }
+}
+
+impl AddAssign for Dual2 {
+    #[inline]
+    fn add_assign(&mut self, r: Self) {
+        *self = *self + r;
+    }
+}
+impl SubAssign for Dual2 {
+    #[inline]
+    fn sub_assign(&mut self, r: Self) {
+        *self = *self - r;
+    }
+}
+impl MulAssign for Dual2 {
+    #[inline]
+    fn mul_assign(&mut self, r: Self) {
+        *self = *self * r;
+    }
+}
+
+impl Real for Dual2 {
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        Dual2::constant(x)
+    }
+    #[inline]
+    fn value(self) -> f64 {
+        self.val
+    }
+    #[inline]
+    fn exp(self) -> Self {
+        let e = self.val.exp();
+        self.chain(e, e, e)
+    }
+    #[inline]
+    fn ln(self) -> Self {
+        let inv = 1.0 / self.val;
+        self.chain(self.val.ln(), inv, -inv * inv)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        let s = self.val.sqrt();
+        self.chain(s, 0.5 / s, -0.25 / (s * self.val))
+    }
+    #[inline]
+    fn sin(self) -> Self {
+        let (s, c) = self.val.sin_cos();
+        self.chain(s, c, -s)
+    }
+    #[inline]
+    fn cos(self) -> Self {
+        let (s, c) = self.val.sin_cos();
+        self.chain(c, -s, -c)
+    }
+    #[inline]
+    fn powi(self, n: i32) -> Self {
+        let nf = n as f64;
+        self.chain(
+            self.val.powi(n),
+            nf * self.val.powi(n - 1),
+            nf * (nf - 1.0) * self.val.powi(n - 2),
+        )
+    }
+    #[inline]
+    fn powf(self, y: f64) -> Self {
+        self.chain(
+            self.val.powf(y),
+            y * self.val.powf(y - 1.0),
+            y * (y - 1.0) * self.val.powf(y - 2.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// d²/dx² of f at x via a single hyper-dual evaluation.
+    fn second(f: impl Fn(Dual2) -> Dual2, x: f64) -> f64 {
+        f(Dual2::new(x, 1.0, 1.0, 0.0)).e12
+    }
+
+    #[test]
+    fn second_derivative_of_cube() {
+        // f = x³, f'' = 6x
+        let d2 = second(|x| x * x * x, 2.0);
+        assert!((d2 - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn second_derivative_of_exp() {
+        let d2 = second(Real::exp, 1.3);
+        assert!((d2 - 1.3_f64.exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn second_derivative_of_ln() {
+        let d2 = second(Real::ln, 2.0);
+        assert!((d2 + 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn second_derivative_of_reciprocal() {
+        // f = 1/x, f'' = 2/x³
+        let one = Dual2::constant(1.0);
+        let d2 = second(|x| one / x, 2.0);
+        assert!((d2 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_partial_of_product() {
+        // f(x,y) = x²y; ∂²f/∂x∂y = 2x
+        let x = Dual2::new(3.0, 1.0, 0.0, 0.0);
+        let y = Dual2::new(5.0, 0.0, 1.0, 0.0);
+        let f = x * x * y;
+        assert!((f.e12 - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sqrt_second_derivative() {
+        // f = √x, f'' = −¼ x^{−3/2}
+        let d2 = second(Real::sqrt, 4.0);
+        assert!((d2 + 0.25 / 8.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn sigmoid_second_derivative_matches_formula() {
+        let x0 = 0.4_f64;
+        let d2 = second(Real::sigmoid, x0);
+        let s = 1.0 / (1.0 + (-x0).exp());
+        let expected = s * (1.0 - s) * (1.0 - 2.0 * s);
+        assert!((d2 - expected).abs() < 1e-12, "{d2} vs {expected}");
+    }
+}

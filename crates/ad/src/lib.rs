@@ -1,0 +1,116 @@
+//! Forward-mode automatic differentiation for Celeste.
+//!
+//! The paper (§V) uses ForwardDiff.jl/ReverseDiff.jl where Hessian
+//! sparsity does not matter, and hand-coded derivatives on the hot path.
+//! This crate plays the same role for the Rust port:
+//!
+//! * [`Real`] — the scalar abstraction the ELBO kernel is generic over,
+//!   so the *identical* model code runs in `f64` (production), in
+//!   [`Dual`] (gradient verification), in [`Dual2`] (Hessian
+//!   verification), and in [`Counting`] (FLOP audit standing in for the
+//!   paper's Intel SDE measurements, §VI-B).
+//! * [`Dual<N>`] — value plus `N` partials; one evaluation yields an
+//!   exact gradient of up to `N` inputs.
+//! * [`Dual2`] — hyper-dual number carrying two first-order directions
+//!   and the mixed second partial, yielding exact Hessian entries
+//!   `vᵀ H w` per evaluation.
+//! * [`Counting`] — an `f64` wrapper that increments a thread-local
+//!   operation counter on every arithmetic/transcendental op.
+//!
+//! All types are `Copy` and allocation-free; `Dual<N>` stores its
+//! partials inline (`[f64; N]`), matching the paper's StaticArrays
+//! idiom.
+
+mod counting;
+mod dual;
+mod dual2;
+mod real;
+
+pub use counting::{op_count, reset_op_count, Counting, OpCounts};
+pub use dual::Dual;
+pub use dual2::Dual2;
+pub use real::Real;
+
+/// Evaluate the gradient of `f` at `x` using dual numbers.
+///
+/// `N` must be ≥ `x.len()`; unused slots stay zero. Each call evaluates
+/// `f` exactly once.
+pub fn gradient<const N: usize>(f: impl Fn(&[Dual<N>]) -> Dual<N>, x: &[f64]) -> Vec<f64> {
+    assert!(x.len() <= N, "gradient: input dimension {} exceeds N={}", x.len(), N);
+    let inputs: Vec<Dual<N>> = x.iter().enumerate().map(|(i, &v)| Dual::variable(v, i)).collect();
+    let out = f(&inputs);
+    out.eps[..x.len()].to_vec()
+}
+
+/// Evaluate `vᵀ H(x) w` (a Hessian bilinear form) of `f` at `x` with a
+/// single hyper-dual evaluation.
+pub fn hessian_bilinear(f: impl Fn(&[Dual2]) -> Dual2, x: &[f64], v: &[f64], w: &[f64]) -> f64 {
+    assert_eq!(x.len(), v.len());
+    assert_eq!(x.len(), w.len());
+    let inputs: Vec<Dual2> =
+        x.iter().zip(v.iter().zip(w)).map(|(&xi, (&vi, &wi))| Dual2::new(xi, vi, wi, 0.0)).collect();
+    f(&inputs).e12
+}
+
+/// Dense Hessian of `f` at `x` via `n(n+1)/2` hyper-dual evaluations.
+///
+/// Only for tests/verification: production Hessians are hand-coded.
+pub fn hessian(f: impl Fn(&[Dual2]) -> Dual2 + Copy, x: &[f64]) -> Vec<Vec<f64>> {
+    let n = x.len();
+    let mut h = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in i..n {
+            let mut v = vec![0.0; n];
+            let mut w = vec![0.0; n];
+            v[i] = 1.0;
+            w[j] = 1.0;
+            let hij = hessian_bilinear(f, x, &v, &w);
+            h[i][j] = hij;
+            h[j][i] = hij;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rosenbrock<T: Real>(x: &[T]) -> T {
+        // f = (1-x0)² + 100 (x1 - x0²)²
+        let one = T::from_f64(1.0);
+        let hundred = T::from_f64(100.0);
+        let a = one - x[0];
+        let b = x[1] - x[0] * x[0];
+        a * a + hundred * b * b
+    }
+
+    #[test]
+    fn gradient_of_rosenbrock() {
+        let x = [0.5, -0.3];
+        let g = gradient::<2>(rosenbrock, &x);
+        // Analytic: df/dx0 = -2(1-x0) - 400 x0 (x1 - x0²); df/dx1 = 200 (x1 - x0²)
+        let g0 = -2.0 * (1.0 - 0.5) - 400.0 * 0.5 * (-0.3 - 0.25);
+        let g1 = 200.0 * (-0.3 - 0.25);
+        assert!((g[0] - g0).abs() < 1e-12);
+        assert!((g[1] - g1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hessian_of_rosenbrock() {
+        let x = [1.2, 0.7];
+        let h = hessian(rosenbrock, &x);
+        let h00 = 2.0 - 400.0 * (x[1] - 3.0 * x[0] * x[0]);
+        let h01 = -400.0 * x[0];
+        let h11 = 200.0;
+        assert!((h[0][0] - h00).abs() < 1e-10);
+        assert!((h[0][1] - h01).abs() < 1e-10);
+        assert!((h[1][1] - h11).abs() < 1e-10);
+    }
+
+    #[test]
+    fn same_generic_code_runs_on_f64() {
+        let v = rosenbrock(&[1.0_f64, 1.0]);
+        assert_eq!(v, 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! The `Real` scalar abstraction.
+
+use std::fmt::Debug;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Scalar types the Celeste model can be evaluated over.
+///
+/// The ELBO kernel in `celeste-core` is written once, generically over
+/// `Real`, and instantiated with:
+///
+/// * `f64` — the production path (fully monomorphized, zero overhead),
+/// * [`crate::Dual`] / [`crate::Dual2`] — derivative verification,
+/// * [`crate::Counting`] — FLOP auditing.
+///
+/// Comparisons and branching are deliberately value-based
+/// ([`Real::value`]): branch decisions (e.g. "is this pixel active")
+/// must be identical across instantiations for the audit/verification
+/// paths to exercise the same code as production.
+pub trait Real:
+    Copy
+    + Debug
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+{
+    /// Lift a constant. Constants carry no derivative information.
+    fn from_f64(x: f64) -> Self;
+
+    /// The primal (value) part, discarding derivative information.
+    fn value(self) -> f64;
+
+    fn exp(self) -> Self;
+    fn ln(self) -> Self;
+    fn sqrt(self) -> Self;
+    fn sin(self) -> Self;
+    fn cos(self) -> Self;
+    fn powi(self, n: i32) -> Self;
+
+    /// `x^y` for real exponent; used only off the hot path.
+    fn powf(self, y: f64) -> Self;
+
+    /// Numerically stable `exp(x)/(1+exp(x))`.
+    fn sigmoid(self) -> Self {
+        let one = Self::from_f64(1.0);
+        // Branch on value only — derivative flows through both forms.
+        if self.value() >= 0.0 {
+            one / (one + (-self).exp())
+        } else {
+            let e = self.exp();
+            e / (one + e)
+        }
+    }
+
+    /// `ln(1 + exp(x))`, stable for large |x|.
+    fn softplus(self) -> Self {
+        let one = Self::from_f64(1.0);
+        if self.value() > 30.0 {
+            // exp(-x) underflows the correction smoothly.
+            self + ((-self).exp() + one).ln()
+        } else {
+            (one + self.exp()).ln()
+        }
+    }
+
+    /// Zero constant.
+    fn zero() -> Self {
+        Self::from_f64(0.0)
+    }
+
+    /// One constant.
+    fn one() -> Self {
+        Self::from_f64(1.0)
+    }
+}
+
+impl Real for f64 {
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline(always)]
+    fn value(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn exp(self) -> Self {
+        f64::exp(self)
+    }
+    #[inline(always)]
+    fn ln(self) -> Self {
+        f64::ln(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline(always)]
+    fn sin(self) -> Self {
+        f64::sin(self)
+    }
+    #[inline(always)]
+    fn cos(self) -> Self {
+        f64::cos(self)
+    }
+    #[inline(always)]
+    fn powi(self, n: i32) -> Self {
+        f64::powi(self, n)
+    }
+    #[inline(always)]
+    fn powf(self, y: f64) -> Self {
+        f64::powf(self, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_stable_at_extremes() {
+        assert!((100.0_f64.sigmoid() - 1.0).abs() < 1e-12);
+        assert!((-100.0_f64).sigmoid() < 1e-12);
+        assert!((0.0_f64.sigmoid() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn softplus_matches_naive_in_safe_range() {
+        for &x in &[-5.0, -1.0, 0.0, 1.0, 5.0] {
+            let naive = (1.0 + x.exp()).ln();
+            assert!((Real::softplus(x) - naive).abs() < 1e-12);
+        }
+        // Large x: softplus(x) ≈ x.
+        assert!((Real::softplus(200.0_f64) - 200.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests: AD derivatives agree with central finite differences.
+
+use celeste_ad::{gradient, hessian, Dual, Dual2, Real};
+use proptest::prelude::*;
+
+/// A moderately nasty smooth test function exercising every Real op.
+fn test_fn<T: Real>(x: &[T]) -> T {
+    let a = x[0] * x[1] + Real::exp(x[0] * T::from_f64(0.3));
+    let b = Real::ln(x[1] * x[1] + T::from_f64(1.0));
+    let c = Real::sin(x[0]) * Real::cos(x[1]);
+    let d = Real::sqrt(x[0] * x[0] + x[1] * x[1] + T::from_f64(0.5));
+    let e = Real::sigmoid(x[0] - x[1]);
+    a + b + c + d / (e + T::from_f64(0.1))
+}
+
+fn fd_gradient(f: impl Fn(&[f64]) -> f64, x: &[f64], h: f64) -> Vec<f64> {
+    (0..x.len())
+        .map(|i| {
+            let mut xp = x.to_vec();
+            let mut xm = x.to_vec();
+            xp[i] += h;
+            xm[i] -= h;
+            (f(&xp) - f(&xm)) / (2.0 * h)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dual_gradient_matches_finite_differences(
+        x0 in -2.0..2.0f64,
+        x1 in -2.0..2.0f64,
+    ) {
+        let x = [x0, x1];
+        let g_ad = gradient::<2>(test_fn::<Dual<2>>, &x);
+        let g_fd = fd_gradient(test_fn, &x, 1e-6);
+        for (a, f) in g_ad.iter().zip(&g_fd) {
+            prop_assert!((a - f).abs() < 1e-4 * (1.0 + f.abs()), "AD {} vs FD {}", a, f);
+        }
+    }
+
+    #[test]
+    fn hyperdual_hessian_is_symmetric_and_matches_fd(
+        x0 in -1.5..1.5f64,
+        x1 in -1.5..1.5f64,
+    ) {
+        let x = [x0, x1];
+        let h = hessian(test_fn::<Dual2>, &x);
+        prop_assert!((h[0][1] - h[1][0]).abs() < 1e-12);
+        // FD of the AD gradient (tighter than FD² of values).
+        let h_fd: Vec<Vec<f64>> = (0..2).map(|i| {
+            fd_gradient(|x| gradient::<2>(test_fn::<Dual<2>>, x)[i], &x, 1e-6)
+        }).collect();
+        for i in 0..2 {
+            for j in 0..2 {
+                prop_assert!(
+                    (h[i][j] - h_fd[i][j]).abs() < 1e-4 * (1.0 + h_fd[i][j].abs()),
+                    "H[{}][{}]: AD {} vs FD {}", i, j, h[i][j], h_fd[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dual_value_equals_f64_evaluation(
+        x0 in -2.0..2.0f64,
+        x1 in -2.0..2.0f64,
+    ) {
+        let v64 = test_fn(&[x0, x1]);
+        let vd = test_fn(&[Dual::<2>::variable(x0, 0), Dual::<2>::variable(x1, 1)]).val;
+        let vd2 = test_fn(&[Dual2::new(x0, 1.0, 0.0, 0.0), Dual2::new(x1, 0.0, 1.0, 0.0)]).val;
+        prop_assert!((v64 - vd).abs() < 1e-12);
+        prop_assert!((v64 - vd2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,73 @@
+//! Ablation: the task-size trade-off of §IV-A.
+//!
+//! "Smaller tasks allow for more effective load balance, but the same
+//! images must be loaded repeatedly. Larger tasks reduce the I/O
+//! burden, but simultaneously increase the load imbalance." We sweep
+//! the partitioner's target work and report, per configuration, the
+//! number of tasks, redundant image loads, and simulated load
+//! imbalance at fixed cluster size.
+
+use celeste_cluster::{default_calibration, simulate_run, ClusterConfig};
+use celeste_sched::{partition_sky, PartitionConfig};
+use celeste_survey::skygeom::GeometryConfig;
+use celeste_survey::synth::{SurveyConfig, SyntheticSurvey};
+
+fn main() {
+    let survey = SyntheticSurvey::generate(SurveyConfig {
+        geometry: GeometryConfig {
+            n_stripes: 3,
+            fields_per_stripe: 4,
+            deep_stripe: None,
+            epochs_per_stripe: 2,
+            ..GeometryConfig::default()
+        },
+        source_density_per_sq_deg: 8000.0,
+        ..SurveyConfig::default()
+    });
+    let cal = default_calibration();
+
+    println!("Task-size trade-off (fixed 32-node simulated cluster)\n");
+    println!(
+        "{:>12} {:>8} {:>18} {:>16} {:>14}",
+        "target work", "tasks", "image loads/task", "imbalance (s)", "total (s)"
+    );
+    for target in [500.0, 1000.0, 2000.0, 4000.0, 8000.0, 16000.0] {
+        let tasks = partition_sky(
+            &survey.truth,
+            &survey.geometry.footprint,
+            &PartitionConfig { target_work: target, ..Default::default() },
+        );
+        let stage1: Vec<_> = tasks.iter().filter(|t| t.stage == 0).collect();
+        // Redundant loading: total (task, image) pairs per task.
+        let loads: usize = stage1
+            .iter()
+            .map(|t| {
+                survey
+                    .geometry
+                    .fields_intersecting(&t.rect.padded(20.0 / 3600.0))
+                    .len()
+                    * 5
+            })
+            .sum();
+        let loads_per_task = loads as f64 / stage1.len().max(1) as f64;
+        // Larger tasks = proportionally longer durations in the sim.
+        let mut scaled_cal = cal;
+        scaled_cal.task_duration.ln_mu += (target / 2000.0).ln();
+        let sim = simulate_run(
+            &scaled_cal,
+            &ClusterConfig { nodes: 32, ..Default::default() },
+            stage1.len(),
+            7,
+            false,
+        );
+        println!(
+            "{:>12.0} {:>8} {:>18.1} {:>16.2} {:>14.2}",
+            target,
+            stage1.len(),
+            loads_per_task,
+            sim.components.load_imbalance,
+            sim.components.total()
+        );
+    }
+    println!("\nExpected shape: image loads/task falls with larger tasks while load imbalance rises.");
+}

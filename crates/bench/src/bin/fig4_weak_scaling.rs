@@ -1,0 +1,39 @@
+//! Figure 4 reproduction: weak scaling, 1 → 8,192 nodes.
+//!
+//! 68 tasks per node (4 per process) at every scale; runtime broken
+//! into the paper's four components. Expected shape: task processing
+//! and image loading flat, load imbalance growing to dominance past
+//! ~32 nodes (an artifact of only 4 tasks/process, as the paper
+//! discusses), total runtime growth ≈ 1.9× from 1 to 8,192 nodes.
+
+use celeste_bench::{audit_flops_per_visit, measure_deriv_cost_ratio, run_calibration_campaign};
+use celeste_cluster::report::{components_csv, components_table, stacked_chart};
+use celeste_cluster::{calibrate_from_report, simulate_run, ClusterConfig};
+
+fn main() {
+    eprintln!("[fig4] calibrating from a real mini-campaign …");
+    let flops_per_visit = audit_flops_per_visit() * measure_deriv_cost_ratio();
+    let cal = calibrate_from_report(&run_calibration_campaign(0xF164), flops_per_visit);
+
+    let mut rows = Vec::new();
+    let mut nodes = 1usize;
+    while nodes <= 8192 {
+        let cfg = ClusterConfig { nodes, ..Default::default() };
+        let tasks = nodes * 68; // 4 per process × 17 processes
+        let r = simulate_run(&cal, &cfg, tasks, 4242 + nodes as u64, false);
+        rows.push((nodes.to_string(), r.components));
+        nodes *= 2;
+    }
+
+    println!("Figure 4 — weak scaling (68 tasks/node at every scale)\n");
+    println!("{}", components_table(&rows));
+    println!("{}", stacked_chart(&rows, 60));
+    println!("CSV:\n{}", components_csv(&rows));
+
+    let first = rows.first().expect("rows").1.total();
+    let last = rows.last().expect("rows").1.total();
+    println!(
+        "runtime growth 1 → 8192 nodes: {:.2}× (paper: 1.9×)",
+        last / first
+    );
+}

@@ -1,0 +1,42 @@
+//! Figure 5 reproduction: strong scaling on the full 557,056-task
+//! campaign at 2,048 / 4,096 / 8,192 nodes.
+//!
+//! Expected shape (paper §VII-C2): image loading and task processing
+//! scale near-perfectly, "other" is flat and small, load imbalance
+//! grows in relative importance; ~65% efficiency 2k → 4k and ~50%
+//! 2k → 8k.
+
+use celeste_bench::{audit_flops_per_visit, measure_deriv_cost_ratio, run_calibration_campaign};
+use celeste_cluster::report::{components_csv, components_table, stacked_chart};
+use celeste_cluster::{calibrate_from_report, simulate_run, ClusterConfig};
+
+fn main() {
+    eprintln!("[fig5] calibrating from a real mini-campaign …");
+    let flops_per_visit = audit_flops_per_visit() * measure_deriv_cost_ratio();
+    let cal = calibrate_from_report(&run_calibration_campaign(0xF165), flops_per_visit);
+
+    const TOTAL_TASKS: usize = 557_056;
+    let mut rows = Vec::new();
+    let mut totals = Vec::new();
+    for nodes in [2048usize, 4096, 8192] {
+        let cfg = ClusterConfig { nodes, ..Default::default() };
+        let r = simulate_run(&cal, &cfg, TOTAL_TASKS, 555 + nodes as u64, false);
+        totals.push((nodes, r.makespan));
+        rows.push((nodes.to_string(), r.components));
+    }
+
+    println!("Figure 5 — strong scaling ({TOTAL_TASKS} tasks)\n");
+    println!("{}", components_table(&rows));
+    println!("{}", stacked_chart(&rows, 60));
+    println!("CSV:\n{}", components_csv(&rows));
+
+    let eff = |a: (usize, f64), b: (usize, f64)| {
+        let ideal = b.0 as f64 / a.0 as f64;
+        (a.1 / b.1) / ideal * 100.0
+    };
+    println!(
+        "scaling efficiency: 2k→4k {:.0}% (paper 65%), 2k→8k {:.0}% (paper 50%)",
+        eff(totals[0], totals[1]),
+        eff(totals[0], totals[2]),
+    );
+}

@@ -1,0 +1,43 @@
+//! Table II reproduction: Stripe 82 validation, Photo vs Celeste.
+//!
+//! Paper §VIII: coadd ~80 repeat exposures of Stripe 82, treat Photo's
+//! estimates on the deep coadd as ground truth, then compare Photo and
+//! Celeste run on a single epoch. Scale with `CELESTE_SCALE` (1.0 →
+//! 24 epochs, ~8k sources/sq-deg validation field).
+
+use celeste_bench::{rows_better, run_table2, scaled, stripe82_scene};
+use celeste_core::FitConfig;
+
+fn main() {
+    let epochs = scaled(24, 4) as u32;
+    let density = 40_000.0 * celeste_bench::scale().min(1.5);
+    eprintln!("[table2] generating Stripe 82 scene: {epochs} epochs, density {density:.0}/sq-deg");
+    let scene = stripe82_scene(epochs, density, 0x5712_8202);
+    eprintln!(
+        "[table2] field truth sources: {}, running protocol …",
+        scene.truth.len()
+    );
+    let mut fit = FitConfig::default();
+    fit.bca_passes = 2;
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let result = run_table2(&scene, &fit, threads);
+
+    println!("Table II — average error on the Stripe 82 validation field");
+    println!("== Primary: scored against the generating truth catalog ==\n");
+    println!("{}", result.formatted);
+    let better = rows_better(&result.celeste, &result.photo);
+    println!(
+        "Celeste better on {better}/12 rows (paper: 11/12, Photo ahead only on missed galaxies)\n"
+    );
+    println!(
+        "== Secondary: the paper's §VIII protocol (truth = Photo on the {}-epoch coadd, {} sources) ==\n",
+        epochs, result.truth_sources
+    );
+    println!("{}", result.formatted_coadd);
+    println!(
+        "Celeste better on {}/12 rows under the coadd protocol — the paper itself notes this\n\
+         protocol's systematics 'typically favor Photo' (its reference shares single-epoch\n\
+         Photo's aperture and deblending biases).",
+        rows_better(&result.celeste_coadd, &result.photo_coadd)
+    );
+}

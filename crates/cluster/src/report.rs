@@ -1,0 +1,147 @@
+//! Table and chart formatting for the scaling experiments.
+
+use crate::sim::SimResult;
+use celeste_sched::ComponentTimes;
+
+/// Render rows of (label, components) as the Fig. 4/5 data table.
+pub fn components_table(rows: &[(String, ComponentTimes)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>10} {:>14} {:>14} {:>15} {:>10} {:>10}\n",
+        "scale", "task proc (s)", "img load (s)", "imbalance (s)", "other (s)", "total (s)"
+    ));
+    for (label, c) in rows {
+        out.push_str(&format!(
+            "{:>10} {:>14.2} {:>14.2} {:>15.2} {:>10.2} {:>10.2}\n",
+            label,
+            c.task_processing,
+            c.image_loading,
+            c.load_imbalance,
+            c.other,
+            c.total()
+        ));
+    }
+    out
+}
+
+/// ASCII stacked bars (one row per scale), segment letters:
+/// `T` task processing, `I` image loading, `L` load imbalance,
+/// `o` other.
+pub fn stacked_chart(rows: &[(String, ComponentTimes)], width: usize) -> String {
+    let max_total = rows.iter().map(|(_, c)| c.total()).fold(0.0_f64, f64::max).max(1e-12);
+    let mut out = String::new();
+    for (label, c) in rows {
+        let seg = |t: f64| ((t / max_total) * width as f64).round() as usize;
+        out.push_str(&format!("{label:>10} |"));
+        out.push_str(&"T".repeat(seg(c.task_processing)));
+        out.push_str(&"I".repeat(seg(c.image_loading)));
+        out.push_str(&"L".repeat(seg(c.load_imbalance)));
+        out.push_str(&"o".repeat(seg(c.other)));
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>10}  T=task processing  I=image loading  L=load imbalance  o=other\n",
+        ""
+    ));
+    out
+}
+
+/// CSV with one row per scale (machine-readable figure data).
+pub fn components_csv(rows: &[(String, ComponentTimes)]) -> String {
+    let mut out =
+        String::from("scale,task_processing_s,image_loading_s,load_imbalance_s,other_s,total_s\n");
+    for (label, c) in rows {
+        out.push_str(&format!(
+            "{label},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
+            c.task_processing,
+            c.image_loading,
+            c.load_imbalance,
+            c.other,
+            c.total()
+        ));
+    }
+    out
+}
+
+/// Table I formatting: the three cumulative sustained rates.
+pub fn table1(result: &SimResult, overhead_factor: f64) -> String {
+    let rates = result.flop_rates(overhead_factor);
+    let tf = 1e12;
+    format!(
+        "Sustained FLOP rate ({} nodes, {} tasks)\n\
+         {:>22} {:>18} {:>18}\n\
+         {:>22.2} {:>18.2} {:>18.2}   (TFLOP/s)\n",
+        result.processes / 17,
+        result.tasks,
+        "task processing",
+        "+load imbalance",
+        "+image loading",
+        rates[0] / tf,
+        rates[1] / tf,
+        rates[2] / tf,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::default_calibration;
+    use crate::sim::{simulate_run, ClusterConfig};
+
+    fn sample_rows() -> Vec<(String, ComponentTimes)> {
+        vec![
+            (
+                "2".to_string(),
+                ComponentTimes {
+                    image_loading: 10.0,
+                    task_processing: 100.0,
+                    load_imbalance: 5.0,
+                    other: 1.0,
+                },
+            ),
+            (
+                "8".to_string(),
+                ComponentTimes {
+                    image_loading: 10.0,
+                    task_processing: 100.0,
+                    load_imbalance: 25.0,
+                    other: 1.0,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn table_has_all_rows_and_totals() {
+        let t = components_table(&sample_rows());
+        assert_eq!(t.lines().count(), 3);
+        assert!(t.contains("116.00")); // 10+100+5+1
+        assert!(t.contains("136.00"));
+    }
+
+    #[test]
+    fn csv_is_parseable() {
+        let csv = components_csv(&sample_rows());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].split(',').count(), 6);
+        assert!(lines[1].starts_with("2,"));
+    }
+
+    #[test]
+    fn chart_longest_bar_fills_width() {
+        let chart = stacked_chart(&sample_rows(), 50);
+        let longest = chart.lines().map(|l| l.len()).max().unwrap();
+        assert!(longest >= 50, "chart too short: {longest}");
+        assert!(chart.contains('T') && chart.contains('L'));
+    }
+
+    #[test]
+    fn table1_contains_three_ordered_rates() {
+        let cal = default_calibration();
+        let r = simulate_run(&cal, &ClusterConfig { nodes: 16, ..Default::default() }, 2000, 3, false);
+        let t = table1(&r, 1.375);
+        assert!(t.contains("TFLOP/s"));
+        assert!(t.contains("16 nodes"));
+    }
+}

@@ -1,0 +1,709 @@
+//! Hand-coded derivatives of bivariate-normal source appearances.
+//!
+//! The hot per-pixel kernel of Celeste evaluates, for each source, its
+//! unit-flux appearance `G(pixel)` — a Gaussian mixture — together with
+//! exact first and second derivatives with respect to the geometry
+//! parameters: position offset `u` (2) and, for galaxies, the shape
+//! block `(deV-logit, axis-logit, angle, ln-radius)` (4). The paper
+//! hand-codes these ("we use our own hand-coded derivatives that
+//! leverage custom index types to exploit Hessian sparsity", §V); the
+//! AD crate verifies them in tests.
+//!
+//! Layout of the 6-slot geometry gradient/Hessian used throughout:
+//! `[u0, u1, fd_logit, axis_logit, angle, ln_radius]`. Stars populate
+//! only the first two slots.
+//!
+//! All pixel-independent quantities (inverse covariances, the Σ-chain
+//! matrices, trace contractions) are precomputed once per Newton
+//! iteration in [`PreparedStar`] / [`PreparedGalaxy`]; the per-pixel
+//! work is a handful of 2-vector contractions per mixture component.
+
+use crate::params::sigmoid;
+use celeste_survey::galaxy::{dev_mixture, exp_mixture};
+use celeste_survey::gmm::Cov2;
+use celeste_survey::psf::Psf;
+
+/// Number of geometry slots (2 position + 4 shape).
+pub const GEO: usize = 6;
+
+/// Value, gradient and Hessian of `G` at one pixel over the 6 geometry
+/// slots (star: only slots 0–1 are nonzero).
+#[derive(Debug, Clone, Copy)]
+pub struct GeoEval {
+    pub val: f64,
+    pub grad: [f64; GEO],
+    pub hess: [[f64; GEO]; GEO],
+}
+
+impl GeoEval {
+    fn zero() -> GeoEval {
+        GeoEval { val: 0.0, grad: [0.0; GEO], hess: [[0.0; GEO]; GEO] }
+    }
+}
+
+/// Symmetric 2×2 matrix as (xx, xy, yy) with the contraction helpers
+/// the lnN calculus needs.
+#[derive(Debug, Clone, Copy, Default)]
+struct Sym2 {
+    xx: f64,
+    xy: f64,
+    yy: f64,
+}
+
+impl Sym2 {
+    fn from_cov(c: &Cov2) -> Sym2 {
+        Sym2 { xx: c.xx, xy: c.xy, yy: c.yy }
+    }
+
+    fn scale(&self, s: f64) -> Sym2 {
+        Sym2 { xx: self.xx * s, xy: self.xy * s, yy: self.yy * s }
+    }
+
+    /// Quadratic form hᵀ A h.
+    #[inline]
+    fn quad(&self, h: [f64; 2]) -> f64 {
+        self.xx * h[0] * h[0] + 2.0 * self.xy * h[0] * h[1] + self.yy * h[1] * h[1]
+    }
+
+    /// Matrix-vector product A h.
+    #[inline]
+    fn mv(&self, h: [f64; 2]) -> [f64; 2] {
+        [self.xx * h[0] + self.xy * h[1], self.xy * h[0] + self.yy * h[1]]
+    }
+
+    /// trace(A B) for symmetric A, B.
+    #[inline]
+    fn trace_prod(&self, b: &Sym2) -> f64 {
+        self.xx * b.xx + 2.0 * self.xy * b.xy + self.yy * b.yy
+    }
+
+    /// A B A for symmetric A (self) and B: returns the symmetric result.
+    fn sandwich(&self, b: &Sym2) -> Sym2 {
+        // (A B) then (·) A; result is symmetric by construction.
+        let ab = [
+            [self.xx * b.xx + self.xy * b.xy, self.xx * b.xy + self.xy * b.yy],
+            [self.xy * b.xx + self.yy * b.xy, self.xy * b.xy + self.yy * b.yy],
+        ];
+        Sym2 {
+            xx: ab[0][0] * self.xx + ab[0][1] * self.xy,
+            xy: ab[0][0] * self.xy + ab[0][1] * self.yy,
+            yy: ab[1][0] * self.xy + ab[1][1] * self.yy,
+        }
+    }
+}
+
+/// One prepared mixture component: everything pixel-independent.
+#[derive(Debug, Clone)]
+struct PreparedComp {
+    /// Base weight (PSF weight × profile weight, before the deV/exp
+    /// mixing derivative bookkeeping).
+    weight: f64,
+    /// d weight / d fd_logit and second derivative (zero for stars).
+    dw_fd: f64,
+    d2w_fd: f64,
+    /// Inverse covariance M = Σ⁻¹ (pixel frame).
+    m: Sym2,
+    /// Normalization weight/(2π √det Σ) … note: *without* the component
+    /// weight; `norm` is 1/(2π √det).
+    norm: f64,
+    /// −Jᵀ M J : the constant ∂²lnN/∂u² block (row-major 2×2).
+    huu: [[f64; 2]; 2],
+    /// Jᵀ M (for gu = Jᵀ h = (Jᵀ M) δ and cross terms).
+    jt_m: [[f64; 2]; 2],
+    /// dΣpix/ds for s ∈ {axis, angle, ln_radius} (indices 0,1,2).
+    dsig: [Sym2; 3],
+    /// ½ tr(M dΣ/ds) per s.
+    tr_mds: [f64; 3],
+    /// Per (s, s′): G = dΣ_s M dΣ_s′ (for −hᵀ G h), precomputed.
+    cross_g: [[Sym2; 3]; 3],
+    /// Per (s, s′): ½ tr(M dΣ_s′ M dΣ_s).
+    cross_tr: [[f64; 3]; 3],
+    /// Second Σ-derivatives d²Σpix/ds ds′ and their ½tr(M ·) parts.
+    d2sig: [[Sym2; 3]; 3],
+    tr_md2s: [[f64; 3]; 3],
+    /// Per s: Jᵀ M dΣ_s (for ∂²lnN/∂u∂s = −(Jᵀ M dΣ_s) h).
+    ku: [[[f64; 2]; 2]; 3],
+}
+
+fn invert(cov: &Cov2) -> (Sym2, f64) {
+    let det = cov.det();
+    assert!(det > 0.0, "degenerate covariance {cov:?}");
+    let inv = Sym2 { xx: cov.yy / det, xy: -cov.xy / det, yy: cov.xx / det };
+    (inv, det)
+}
+
+fn mat2_mul(a: &[[f64; 2]; 2], b: &[[f64; 2]; 2]) -> [[f64; 2]; 2] {
+    [
+        [
+            a[0][0] * b[0][0] + a[0][1] * b[1][0],
+            a[0][0] * b[0][1] + a[0][1] * b[1][1],
+        ],
+        [
+            a[1][0] * b[0][0] + a[1][1] * b[1][0],
+            a[1][0] * b[0][1] + a[1][1] * b[1][1],
+        ],
+    ]
+}
+
+fn sym_as_mat(s: &Sym2) -> [[f64; 2]; 2] {
+    [[s.xx, s.xy], [s.xy, s.yy]]
+}
+
+/// Congruence J A Jᵀ of a symmetric sky-frame matrix into pixel frame.
+fn congruence(a: &Sym2, j: &[[f64; 2]; 2]) -> Sym2 {
+    let c = Cov2 { xx: a.xx, xy: a.xy, yy: a.yy }.congruence(j);
+    Sym2::from_cov(&c)
+}
+
+fn prepare_comp(
+    weight: f64,
+    dw_fd: f64,
+    d2w_fd: f64,
+    cov: Cov2,
+    jac: &[[f64; 2]; 2],
+    dsig: [Sym2; 3],
+    d2sig: [[Sym2; 3]; 3],
+) -> PreparedComp {
+    let (m, det) = invert(&cov);
+    let norm = 1.0 / (std::f64::consts::TAU * det.sqrt());
+    let mm = sym_as_mat(&m);
+    let jt = [[jac[0][0], jac[1][0]], [jac[0][1], jac[1][1]]];
+    let jt_m = mat2_mul(&jt, &mm);
+    let jt_m_j = mat2_mul(&jt_m, jac);
+    let huu = [[-jt_m_j[0][0], -jt_m_j[0][1]], [-jt_m_j[1][0], -jt_m_j[1][1]]];
+
+    let mut tr_mds = [0.0; 3];
+    let mut cross_g = [[Sym2::default(); 3]; 3];
+    let mut cross_tr = [[0.0; 3]; 3];
+    let mut tr_md2s = [[0.0; 3]; 3];
+    let mut ku = [[[0.0; 2]; 2]; 3];
+    for s in 0..3 {
+        tr_mds[s] = 0.5 * m.trace_prod(&dsig[s]);
+        let m_ds = mat2_mul(&mm, &sym_as_mat(&dsig[s]));
+        ku[s] = mat2_mul(&jt, &m_ds);
+        for s2 in 0..3 {
+            // dΣ_s M dΣ_s2 (symmetric in the quad-form sense).
+            let ds_m = mat2_mul(&sym_as_mat(&dsig[s]), &mm);
+            let g = mat2_mul(&ds_m, &sym_as_mat(&dsig[s2]));
+            // Symmetrize (exact up to rounding for the quad form).
+            cross_g[s][s2] = Sym2 {
+                xx: g[0][0],
+                xy: 0.5 * (g[0][1] + g[1][0]),
+                yy: g[1][1],
+            };
+            cross_tr[s][s2] = 0.5 * m.sandwich(&dsig[s2]).trace_prod(&dsig[s]);
+            tr_md2s[s][s2] = 0.5 * m.trace_prod(&d2sig[s][s2]);
+        }
+    }
+    PreparedComp {
+        weight,
+        dw_fd,
+        d2w_fd,
+        m,
+        norm,
+        huu,
+        jt_m,
+        dsig,
+        tr_mds,
+        cross_g,
+        cross_tr,
+        d2sig,
+        tr_md2s,
+        ku,
+    }
+}
+
+/// Prepared star appearance: PSF mixture with position derivatives.
+#[derive(Debug, Clone)]
+pub struct PreparedStar {
+    comps: Vec<PreparedComp>,
+    /// Source center in pixel coordinates (anchor + J·u already applied).
+    center: [f64; 2],
+}
+
+/// Prepared galaxy appearance: (profile ⊛ PSF) mixture with position,
+/// mixing, and shape derivatives.
+#[derive(Debug, Clone)]
+pub struct PreparedGalaxy {
+    comps: Vec<PreparedComp>,
+    center: [f64; 2],
+}
+
+/// Shape inputs in unconstrained space.
+#[derive(Debug, Clone, Copy)]
+pub struct GalaxyGeo {
+    pub fd_logit: f64,
+    pub axis_logit: f64,
+    pub angle: f64,
+    pub ln_radius: f64,
+}
+
+/// Sky-frame profile covariance for unit-variance `v` plus its first
+/// and second derivatives with respect to (axis_logit, angle,
+/// ln_radius). Returns (Σ, dΣ[3], d²Σ[3][3]) in arcsec².
+fn shape_cov_derivs(v: f64, geo: &GalaxyGeo) -> (Sym2, [Sym2; 3], [[Sym2; 3]; 3]) {
+    let q = sigmoid(geo.axis_logit).clamp(1e-4, 1.0 - 1e-9);
+    let (sin, cos) = geo.angle.sin_cos();
+    let rho2 = (2.0 * geo.ln_radius).exp();
+    let major = v * rho2;
+    let minor = major * q * q;
+
+    let c2 = cos * cos;
+    let s2 = sin * sin;
+    let sc = sin * cos;
+    // Σ in terms of (major M, minor m): xx = M c² + m s², xy = (M−m)sc,
+    // yy = M s² + m c².
+    let sig = Sym2 {
+        xx: major * c2 + minor * s2,
+        xy: (major - minor) * sc,
+        yy: major * s2 + minor * c2,
+    };
+    // Derivatives of `minor` wrt axis_logit: dq/dql = q(1−q).
+    let dq = q * (1.0 - q);
+    let dminor = 2.0 * minor * (1.0 - q); // = major·2q·dq
+    let d2minor = 2.0 * ((dminor) * (1.0 - q) + minor * (-dq));
+    // s = 0: axis_logit — only `minor` moves.
+    let d_axis = Sym2 { xx: dminor * s2, xy: -dminor * sc, yy: dminor * c2 };
+    let d2_axis = Sym2 { xx: d2minor * s2, xy: -d2minor * sc, yy: d2minor * c2 };
+    // s = 1: angle.
+    let dxy_dth = (major - minor) * (c2 - s2);
+    let d_angle = Sym2 { xx: -2.0 * sig.xy, xy: dxy_dth, yy: 2.0 * sig.xy };
+    let d2_angle = Sym2 { xx: -2.0 * dxy_dth, xy: -4.0 * sig.xy, yy: 2.0 * dxy_dth };
+    // s = 2: ln_radius — everything scales as e^{2lr}.
+    let d_lr = sig.scale(2.0);
+    let d2_lr = sig.scale(4.0);
+    // Crosses.
+    let d_axis_angle = Sym2 {
+        // ∂(∂Σ/∂θ)/∂ql: xy = (M−m)sc → ∂xy/∂ql = −dminor·sc
+        xx: 2.0 * dminor * sc,
+        xy: -dminor * (c2 - s2),
+        yy: -2.0 * dminor * sc,
+    };
+    let d_axis_lr = d_axis.scale(2.0);
+    let d_angle_lr = d_angle.scale(2.0);
+
+    let d1 = [d_axis, d_angle, d_lr];
+    let d2 = [
+        [d2_axis, d_axis_angle, d_axis_lr],
+        [d_axis_angle, d2_angle, d_angle_lr],
+        [d_axis_lr, d_angle_lr, d2_lr],
+    ];
+    (sig, d1, d2)
+}
+
+impl PreparedStar {
+    /// Prepare a star appearance: `center0` is the anchor position in
+    /// pixels, `u_arcsec` the current offset, `jac` maps arcsec → px.
+    pub fn new(psf: &Psf, center0: [f64; 2], u_arcsec: [f64; 2], jac: &[[f64; 2]; 2]) -> Self {
+        let center = apply_offset(center0, u_arcsec, jac);
+        let comps = psf
+            .components
+            .iter()
+            .map(|c| {
+                prepare_comp(
+                    c.weight,
+                    0.0,
+                    0.0,
+                    Cov2::isotropic(c.sigma_px * c.sigma_px),
+                    jac,
+                    [Sym2::default(); 3],
+                    [[Sym2::default(); 3]; 3],
+                )
+            })
+            .collect();
+        PreparedStar { comps, center }
+    }
+
+    /// Evaluate value/gradient/Hessian at a pixel center.
+    pub fn eval(&self, px: f64, py: f64) -> GeoEval {
+        eval_prepared(&self.comps, self.center, px, py, false)
+    }
+
+    /// Value-only evaluation (trust-region trial points): no derivative
+    /// assembly, roughly 4× cheaper per pixel.
+    pub fn eval_value(&self, px: f64, py: f64) -> f64 {
+        eval_value_prepared(&self.comps, self.center, px, py)
+    }
+}
+
+impl PreparedGalaxy {
+    /// Prepare a galaxy appearance for the current shape parameters.
+    pub fn new(
+        psf: &Psf,
+        geo: &GalaxyGeo,
+        center0: [f64; 2],
+        u_arcsec: [f64; 2],
+        jac: &[[f64; 2]; 2],
+    ) -> Self {
+        let center = apply_offset(center0, u_arcsec, jac);
+        let fd = sigmoid(geo.fd_logit);
+        let dfd = fd * (1.0 - fd);
+        let d2fd = dfd * (1.0 - 2.0 * fd);
+        let dev = dev_mixture();
+        let exp = exp_mixture();
+        let mut comps = Vec::with_capacity((dev.vars.len() + exp.vars.len()) * psf.components.len());
+        // (profile weight, ∂/∂fd sign, unit variance)
+        let profiles = dev
+            .weights
+            .iter()
+            .zip(&dev.vars)
+            .map(|(&w, &v)| (w, true, v))
+            .chain(exp.weights.iter().zip(&exp.vars).map(|(&w, &v)| (w, false, v)));
+        for (wprof, is_dev, v) in profiles {
+            let (sig_sky, d1_sky, d2_sky) = shape_cov_derivs(v, geo);
+            let sig_pix = congruence(&sig_sky, jac);
+            let d1_pix = [
+                congruence(&d1_sky[0], jac),
+                congruence(&d1_sky[1], jac),
+                congruence(&d1_sky[2], jac),
+            ];
+            let mut d2_pix = [[Sym2::default(); 3]; 3];
+            for s in 0..3 {
+                for s2 in 0..3 {
+                    d2_pix[s][s2] = congruence(&d2_sky[s][s2], jac);
+                }
+            }
+            let (mix_w, mix_dw, mix_d2w) = if is_dev {
+                (fd * wprof, dfd * wprof, d2fd * wprof)
+            } else {
+                ((1.0 - fd) * wprof, -dfd * wprof, -d2fd * wprof)
+            };
+            for pc in &psf.components {
+                let cov = Cov2 {
+                    xx: sig_pix.xx + pc.sigma_px * pc.sigma_px,
+                    xy: sig_pix.xy,
+                    yy: sig_pix.yy + pc.sigma_px * pc.sigma_px,
+                };
+                comps.push(prepare_comp(
+                    mix_w * pc.weight,
+                    mix_dw * pc.weight,
+                    mix_d2w * pc.weight,
+                    cov,
+                    jac,
+                    d1_pix,
+                    d2_pix,
+                ));
+            }
+        }
+        PreparedGalaxy { comps, center }
+    }
+
+    /// Evaluate value/gradient/Hessian at a pixel center.
+    pub fn eval(&self, px: f64, py: f64) -> GeoEval {
+        eval_prepared(&self.comps, self.center, px, py, true)
+    }
+
+    /// Value-only evaluation (trust-region trial points).
+    pub fn eval_value(&self, px: f64, py: f64) -> f64 {
+        eval_value_prepared(&self.comps, self.center, px, py)
+    }
+}
+
+fn apply_offset(center0: [f64; 2], u: [f64; 2], jac: &[[f64; 2]; 2]) -> [f64; 2] {
+    [
+        center0[0] + jac[0][0] * u[0] + jac[0][1] * u[1],
+        center0[1] + jac[1][0] * u[0] + jac[1][1] * u[1],
+    ]
+}
+
+/// Value-only per-pixel kernel: Σ w·N with no derivative assembly.
+fn eval_value_prepared(comps: &[PreparedComp], center: [f64; 2], px: f64, py: f64) -> f64 {
+    let delta = [px - center[0], py - center[1]];
+    let mut total = 0.0;
+    for c in comps {
+        let h = c.m.mv(delta);
+        let qf = delta[0] * h[0] + delta[1] * h[1];
+        if qf > 100.0 {
+            continue;
+        }
+        total += c.weight * c.norm * (-0.5 * qf).exp();
+    }
+    total
+}
+
+/// The shared per-pixel kernel. Slots: [u0, u1, fd, axis, angle, lr].
+fn eval_prepared(
+    comps: &[PreparedComp],
+    center: [f64; 2],
+    px: f64,
+    py: f64,
+    with_shape: bool,
+) -> GeoEval {
+    let mut out = GeoEval::zero();
+    let delta = [px - center[0], py - center[1]];
+    for c in comps {
+        let h = c.m.mv(delta);
+        let qf = delta[0] * h[0] + delta[1] * h[1];
+        if qf > 100.0 {
+            continue; // < e⁻⁵⁰ of peak: numerically zero
+        }
+        let n = c.norm * (-0.5 * qf).exp();
+        let wn = c.weight * n;
+
+        // lnN gradient: gu = Jᵀ h; gs per shape.
+        let gu = [
+            c.jt_m[0][0] * delta[0] + c.jt_m[0][1] * delta[1],
+            c.jt_m[1][0] * delta[0] + c.jt_m[1][1] * delta[1],
+        ];
+        let mut g = [0.0; GEO];
+        g[0] = gu[0];
+        g[1] = gu[1];
+        if with_shape {
+            for s in 0..3 {
+                g[3 + s] = 0.5 * c.dsig[s].quad(h) - c.tr_mds[s];
+            }
+        }
+
+        // lnN Hessian.
+        let mut hl = [[0.0; GEO]; GEO];
+        hl[0][0] = c.huu[0][0];
+        hl[0][1] = c.huu[0][1];
+        hl[1][0] = c.huu[1][0];
+        hl[1][1] = c.huu[1][1];
+        if with_shape {
+            for s in 0..3 {
+                // ∂²lnN/∂u∂s = −(Jᵀ M dΣ_s) h
+                let v = [
+                    -(c.ku[s][0][0] * h[0] + c.ku[s][0][1] * h[1]),
+                    -(c.ku[s][1][0] * h[0] + c.ku[s][1][1] * h[1]),
+                ];
+                hl[0][3 + s] = v[0];
+                hl[3 + s][0] = v[0];
+                hl[1][3 + s] = v[1];
+                hl[3 + s][1] = v[1];
+                for s2 in s..3 {
+                    let second = -c.cross_g[s][s2].quad(h)
+                        + c.cross_tr[s][s2]
+                        + 0.5 * c.d2sig[s][s2].quad(h)
+                        - c.tr_md2s[s][s2];
+                    hl[3 + s][3 + s2] = second;
+                    hl[3 + s2][3 + s] = second;
+                }
+            }
+        }
+
+        // Assemble N-level derivatives: ∇(W·N) over all slots including
+        // the mixing weight derivative in slot 2 (fd).
+        out.val += wn;
+        for i in 0..GEO {
+            out.grad[i] += wn * g[i];
+        }
+        for i in 0..GEO {
+            for j in 0..GEO {
+                out.hess[i][j] += wn * (g[i] * g[j] + hl[i][j]);
+            }
+        }
+        if with_shape {
+            let dwn = c.dw_fd * n;
+            out.grad[2] += dwn;
+            out.hess[2][2] += c.d2w_fd * n;
+            for i in 0..GEO {
+                if i == 2 {
+                    continue;
+                }
+                out.hess[2][i] += dwn * g[i];
+                out.hess[i][2] += dwn * g[i];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const JAC: [[f64; 2]; 2] = [[0.7, 0.05], [-0.03, 0.71]]; // px per arcsec
+
+    fn fd_eval_star(u: [f64; 2], px: f64, py: f64) -> f64 {
+        PreparedStar::new(&Psf::core_halo(1.3), [10.0, 12.0], u, &JAC).eval(px, py).val
+    }
+
+    fn geo(fd: f64, ql: f64, th: f64, lr: f64) -> GalaxyGeo {
+        GalaxyGeo { fd_logit: fd, axis_logit: ql, angle: th, ln_radius: lr }
+    }
+
+    fn fd_eval_gal(g6: [f64; 6], px: f64, py: f64) -> f64 {
+        PreparedGalaxy::new(
+            &Psf::core_halo(1.3),
+            &geo(g6[2], g6[3], g6[4], g6[5]),
+            [10.0, 12.0],
+            [g6[0], g6[1]],
+            &JAC,
+        )
+        .eval(px, py)
+        .val
+    }
+
+    #[test]
+    fn star_matches_survey_gmm() {
+        let psf = Psf::core_halo(1.3);
+        let prep = PreparedStar::new(&psf, [10.0, 12.0], [0.0, 0.0], &JAC);
+        let gmm = psf.to_gmm().shifted(10.0, 12.0);
+        for &(x, y) in &[(10.0, 12.0), (11.5, 12.5), (8.0, 14.0)] {
+            let a = prep.eval(x, y).val;
+            let b = gmm.eval(x, y);
+            assert!((a - b).abs() < 1e-12, "at ({x},{y}): {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn star_position_gradient_matches_fd() {
+        let h = 1e-5;
+        let (px, py) = (11.3, 12.9);
+        let e = PreparedStar::new(&Psf::core_halo(1.3), [10.0, 12.0], [0.2, -0.1], &JAC)
+            .eval(px, py);
+        for k in 0..2 {
+            let mut up = [0.2, -0.1];
+            let mut um = up;
+            up[k] += h;
+            um[k] -= h;
+            let fd = (fd_eval_star(up, px, py) - fd_eval_star(um, px, py)) / (2.0 * h);
+            assert!(
+                (e.grad[k] - fd).abs() < 1e-6 * (1.0 + fd.abs()),
+                "grad[{k}]: {} vs fd {}",
+                e.grad[k],
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn star_position_hessian_matches_fd() {
+        let h = 1e-4;
+        let (px, py) = (11.3, 12.9);
+        let u0 = [0.2, -0.1];
+        let grad_at = |u: [f64; 2]| {
+            PreparedStar::new(&Psf::core_halo(1.3), [10.0, 12.0], u, &JAC).eval(px, py).grad
+        };
+        let e = PreparedStar::new(&Psf::core_halo(1.3), [10.0, 12.0], u0, &JAC).eval(px, py);
+        for k in 0..2 {
+            let mut up = u0;
+            let mut um = u0;
+            up[k] += h;
+            um[k] -= h;
+            let gp = grad_at(up);
+            let gm = grad_at(um);
+            for l in 0..2 {
+                let fd = (gp[l] - gm[l]) / (2.0 * h);
+                assert!(
+                    (e.hess[l][k] - fd).abs() < 1e-4 * (1.0 + fd.abs()),
+                    "hess[{l}][{k}]: {} vs fd {}",
+                    e.hess[l][k],
+                    fd
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn galaxy_gradient_matches_fd_all_slots() {
+        let h = 1e-5;
+        let (px, py) = (12.0, 13.5);
+        let base = [0.1, -0.2, 0.3, 0.5, 0.8, 0.4];
+        let prep = PreparedGalaxy::new(
+            &Psf::core_halo(1.3),
+            &geo(base[2], base[3], base[4], base[5]),
+            [10.0, 12.0],
+            [base[0], base[1]],
+            &JAC,
+        );
+        let e = prep.eval(px, py);
+        for k in 0..6 {
+            let mut up = base;
+            let mut um = base;
+            up[k] += h;
+            um[k] -= h;
+            let fd = (fd_eval_gal(up, px, py) - fd_eval_gal(um, px, py)) / (2.0 * h);
+            assert!(
+                (e.grad[k] - fd).abs() < 1e-5 * (1.0 + fd.abs()),
+                "grad[{k}]: {} vs fd {}",
+                e.grad[k],
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn galaxy_hessian_matches_fd_all_slots() {
+        let h = 1e-4;
+        let (px, py) = (12.0, 13.5);
+        let base = [0.1, -0.2, 0.3, 0.5, 0.8, 0.4];
+        let grad_at = |g6: [f64; 6]| {
+            PreparedGalaxy::new(
+                &Psf::core_halo(1.3),
+                &geo(g6[2], g6[3], g6[4], g6[5]),
+                [10.0, 12.0],
+                [g6[0], g6[1]],
+                &JAC,
+            )
+            .eval(px, py)
+            .grad
+        };
+        let e = PreparedGalaxy::new(
+            &Psf::core_halo(1.3),
+            &geo(base[2], base[3], base[4], base[5]),
+            [10.0, 12.0],
+            [base[0], base[1]],
+            &JAC,
+        )
+        .eval(px, py);
+        for k in 0..6 {
+            let mut up = base;
+            let mut um = base;
+            up[k] += h;
+            um[k] -= h;
+            let gp = grad_at(up);
+            let gm = grad_at(um);
+            for l in 0..6 {
+                let fd = (gp[l] - gm[l]) / (2.0 * h);
+                let scale = 1.0 + fd.abs().max(e.hess[l][k].abs());
+                assert!(
+                    (e.hess[l][k] - fd).abs() < 5e-4 * scale,
+                    "hess[{l}][{k}]: {} vs fd {}",
+                    e.hess[l][k],
+                    fd
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn galaxy_flux_integrates_to_one() {
+        // Sum over a wide pixel grid ≈ total flux = 1 (unit-flux G).
+        let prep = PreparedGalaxy::new(
+            &Psf::single(1.2),
+            &geo(0.0, 0.8, 0.3, 0.0), // r_e = 1 arcsec ≈ 0.7 px here
+            [40.0, 40.0],
+            [0.0, 0.0],
+            &JAC,
+        );
+        let mut total = 0.0;
+        for y in 0..80 {
+            for x in 0..80 {
+                total += prep.eval(x as f64 + 0.5, y as f64 + 0.5).val;
+            }
+        }
+        assert!((total - 1.0).abs() < 0.02, "total {total}");
+    }
+
+    #[test]
+    fn hessian_is_symmetric() {
+        let prep = PreparedGalaxy::new(
+            &Psf::core_halo(1.1),
+            &geo(-0.4, 0.9, 1.2, 0.6),
+            [10.0, 12.0],
+            [0.3, 0.1],
+            &JAC,
+        );
+        let e = prep.eval(11.0, 13.0);
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!(
+                    (e.hess[i][j] - e.hess[j][i]).abs() < 1e-12,
+                    "asym at ({i},{j})"
+                );
+            }
+        }
+    }
+}

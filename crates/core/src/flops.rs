@@ -1,0 +1,51 @@
+//! FLOP accounting (the paper's §VI-B methodology, without Intel SDE).
+//!
+//! Celeste's FLOP totals are derived by counting *active pixel visits*
+//! at runtime and multiplying by a per-visit FLOP cost measured once
+//! offline. Here the per-visit cost is measured with the op-counting
+//! float ([`celeste_ad::Counting`]) run through the generic ELBO path
+//! (see `celeste-bench`), and visits are counted with a process-wide
+//! atomic that the likelihood kernels bump.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ACTIVE_PIXEL_VISITS: AtomicU64 = AtomicU64::new(0);
+
+/// Record `n` active-pixel visits (called by the likelihood kernels).
+#[inline]
+pub fn record_visits(n: u64) {
+    ACTIVE_PIXEL_VISITS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total visits since process start / last reset.
+pub fn visits() -> u64 {
+    ACTIVE_PIXEL_VISITS.load(Ordering::Relaxed)
+}
+
+/// Zero the counter (benchmarks bracket runs with this).
+pub fn reset_visits() {
+    ACTIVE_PIXEL_VISITS.store(0, Ordering::Relaxed);
+}
+
+/// The paper's measured ratio of total FLOPs to objective-only FLOPs
+/// (trust-region eigendecompositions, Cholesky factorizations, …):
+/// "these additional sources of FLOPS increase the total flop count to
+/// 1.375 times the FLOP count derived from active pixel visits alone"
+/// (§VI-B). Our benches re-measure this for the Rust implementation;
+/// the constant is exported for the Table I reproduction.
+pub const OBJECTIVE_OVERHEAD_FACTOR: f64 = 1.375;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_resets() {
+        reset_visits();
+        record_visits(10);
+        record_visits(32);
+        assert_eq!(visits(), 42);
+        reset_visits();
+        assert_eq!(visits(), 0);
+    }
+}

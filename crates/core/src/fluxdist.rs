@@ -1,0 +1,256 @@
+//! Flux-distribution moments with derivatives.
+//!
+//! Under the variational family, a source's log band-flux is Gaussian:
+//! `ln ℓ_b ~ N(m, v)` with `m = r_mu + Σᵢ coefᵢ(b)·c_meanᵢ` and
+//! `v = exp(2·r_lsd) + Σᵢ coefᵢ(b)²·exp(c_lvarᵢ)`. The likelihood needs
+//! the first two moments `L = E[ℓ] = exp(m + v/2)` and
+//! `S2 = E[ℓ²] = exp(2m + 2v)` together with exact first and second
+//! derivatives over the 10-parameter per-type flux block
+//! `[r_mu, r_lsd, c_mean×4, c_lvar×4]`.
+//!
+//! Both moments are `exp(g(θ))` with `g` linear in the means and a sum
+//! of exponentials in the log-scales, so `∇L = L·∇g` and
+//! `∇²L = L·(∇g∇gᵀ + diag(∂²g))` in closed form.
+
+use crate::params::{ids, BAND_COLOR_COEF};
+use celeste_survey::bands::NUM_COLORS;
+
+/// Size of one per-type flux block.
+pub const NF: usize = 2 + 2 * NUM_COLORS;
+
+/// Value plus derivatives over the 10 flux parameters of one type.
+#[derive(Debug, Clone)]
+pub struct FluxMoment {
+    pub val: f64,
+    pub grad: [f64; NF],
+    pub hess: [[f64; NF]; NF],
+}
+
+/// Compact flux-block order: [r_mu, r_lsd, c_mean 0..4, c_lvar 0..4].
+/// Maps compact flux index → parameter index (44-space) for type `t`.
+pub fn flux_param_ids(t: usize) -> [usize; NF] {
+    let mut out = [0usize; NF];
+    out[0] = ids::r_mu(t);
+    out[1] = ids::r_lsd(t);
+    for i in 0..NUM_COLORS {
+        out[2 + i] = ids::c_mean(t, i);
+        out[2 + NUM_COLORS + i] = ids::c_lvar(t, i);
+    }
+    out
+}
+
+fn exp_family(glin: [f64; NF], gdiag: [f64; NF], gval: f64) -> FluxMoment {
+    let val = gval.exp();
+    let mut grad = [0.0; NF];
+    let mut hess = [[0.0; NF]; NF];
+    for i in 0..NF {
+        grad[i] = val * glin[i];
+    }
+    for i in 0..NF {
+        for j in 0..NF {
+            hess[i][j] = val * glin[i] * glin[j];
+        }
+        hess[i][i] += val * gdiag[i];
+    }
+    FluxMoment { val, grad, hess }
+}
+
+/// Compute `(L, S2)` for type `t` in `band` from the 44-vector.
+pub fn flux_moments(params: &[f64; 44], t: usize, band: usize) -> (FluxMoment, FluxMoment) {
+    let coef = &BAND_COLOR_COEF[band];
+    let r_mu = params[ids::r_mu(t)];
+    let r_var = (2.0 * params[ids::r_lsd(t)]).exp();
+    let mut m = r_mu;
+    let mut v = r_var;
+    for i in 0..NUM_COLORS {
+        m += coef[i] * params[ids::c_mean(t, i)];
+        v += coef[i] * coef[i] * params[ids::c_lvar(t, i)].exp();
+    }
+
+    // L = exp(m + v/2)
+    let mut gl = [0.0; NF];
+    let mut dl = [0.0; NF];
+    gl[0] = 1.0;
+    gl[1] = r_var; // d(v/2)/d r_lsd = exp(2·r_lsd)
+    dl[1] = 2.0 * r_var;
+    for i in 0..NUM_COLORS {
+        gl[2 + i] = coef[i];
+        let ci2v = coef[i] * coef[i] * params[ids::c_lvar(t, i)].exp();
+        gl[2 + NUM_COLORS + i] = 0.5 * ci2v;
+        dl[2 + NUM_COLORS + i] = 0.5 * ci2v;
+    }
+    let l = exp_family(gl, dl, m + 0.5 * v);
+
+    // S2 = exp(2m + 2v)
+    let mut gs = [0.0; NF];
+    let mut ds = [0.0; NF];
+    gs[0] = 2.0;
+    gs[1] = 4.0 * r_var;
+    ds[1] = 8.0 * r_var;
+    for i in 0..NUM_COLORS {
+        gs[2 + i] = 2.0 * coef[i];
+        let ci2v = coef[i] * coef[i] * params[ids::c_lvar(t, i)].exp();
+        gs[2 + NUM_COLORS + i] = 2.0 * ci2v;
+        ds[2 + NUM_COLORS + i] = 2.0 * ci2v;
+    }
+    let s2 = exp_family(gs, ds, 2.0 * m + 2.0 * v);
+    (l, s2)
+}
+
+/// Star/galaxy weights `w = softmax(a)` with derivatives over the two
+/// logits `[a0, a1]`. Returns (w, ∇w, ∇²w) for the requested type.
+#[derive(Debug, Clone, Copy)]
+pub struct TypeWeight {
+    pub val: f64,
+    pub grad: [f64; 2],
+    pub hess: [[f64; 2]; 2],
+}
+
+/// Weight derivatives for type `t` (0 = star, 1 = galaxy).
+pub fn type_weight(params: &[f64; 44], t: usize) -> TypeWeight {
+    let d = params[ids::A[0]] - params[ids::A[1]];
+    let w0 = crate::params::sigmoid(d);
+    let w1 = 1.0 - w0;
+    let dw = w0 * w1; // dσ/dd
+    let d2w = dw * (w1 - w0); // d²σ/dd²
+    // w_star = σ(d), w_gal = 1 − σ(d); chain through d = a0 − a1.
+    let sign = if t == 0 { 1.0 } else { -1.0 };
+    TypeWeight {
+        val: if t == 0 { w0 } else { w1 },
+        grad: [sign * dw, -sign * dw],
+        hess: [[sign * d2w, -sign * d2w], [-sign * d2w, sign * d2w]],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{SourceParams, NUM_PARAMS};
+    use celeste_survey::catalog::{CatalogEntry, GalaxyShape, SourceType};
+    use celeste_survey::skygeom::SkyCoord;
+
+    fn test_params() -> [f64; NUM_PARAMS] {
+        let entry = CatalogEntry {
+            id: 0,
+            pos: SkyCoord::new(0.0, 0.0),
+            source_type: SourceType::Star,
+            flux_r_nmgy: 3.0,
+            colors: [0.4, -0.2, 0.3, 0.1],
+            shape: GalaxyShape::round_disk(1.0),
+        };
+        let mut sp = SourceParams::init_from_entry(&entry);
+        // Perturb so derivatives are generic.
+        for (i, p) in sp.params.iter_mut().enumerate() {
+            *p += 0.01 * ((i * 7 % 13) as f64 - 6.0) / 6.0;
+        }
+        sp.params
+    }
+
+    fn fd_check(
+        f: impl Fn(&[f64; NUM_PARAMS]) -> f64,
+        params: &[f64; NUM_PARAMS],
+        idx: usize,
+        analytic: f64,
+        tol: f64,
+    ) {
+        let h = 1e-6;
+        let mut up = *params;
+        let mut dn = *params;
+        up[idx] += h;
+        dn[idx] -= h;
+        let fd = (f(&up) - f(&dn)) / (2.0 * h);
+        assert!(
+            (fd - analytic).abs() < tol * (1.0 + fd.abs()),
+            "idx {idx}: analytic {analytic} vs fd {fd}"
+        );
+    }
+
+    #[test]
+    fn l_gradient_matches_fd() {
+        let p = test_params();
+        for t in 0..2 {
+            for band in 0..5 {
+                let (l, _) = flux_moments(&p, t, band);
+                let fids = flux_param_ids(t);
+                for (c, &pid) in fids.iter().enumerate() {
+                    fd_check(
+                        |q| flux_moments(q, t, band).0.val,
+                        &p,
+                        pid,
+                        l.grad[c],
+                        1e-5,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn s2_gradient_matches_fd() {
+        let p = test_params();
+        for t in 0..2 {
+            let (_, s2) = flux_moments(&p, t, 0);
+            let fids = flux_param_ids(t);
+            for (c, &pid) in fids.iter().enumerate() {
+                fd_check(|q| flux_moments(q, t, 0).1.val, &p, pid, s2.grad[c], 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn l_hessian_matches_fd_of_gradient() {
+        let p = test_params();
+        let t = 1;
+        let band = 4;
+        let (l, _) = flux_moments(&p, t, band);
+        let fids = flux_param_ids(t);
+        for (cj, &pj) in fids.iter().enumerate() {
+            for ci in 0..NF {
+                fd_check(
+                    |q| flux_moments(q, t, band).0.grad[ci],
+                    &p,
+                    pj,
+                    l.hess[ci][cj],
+                    1e-4,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reference_band_moments_are_lognormal() {
+        let p = test_params();
+        let (l, s2) = flux_moments(&p, 0, 2); // r band: no color terms
+        let mu = p[ids::r_mu(0)];
+        let var = (2.0 * p[ids::r_lsd(0)]).exp();
+        assert!((l.val - (mu + 0.5 * var).exp()).abs() < 1e-12);
+        assert!((s2.val - (2.0 * mu + 2.0 * var).exp()).abs() < 1e-12);
+        // Jensen: E[ℓ²] ≥ E[ℓ]².
+        assert!(s2.val >= l.val * l.val);
+    }
+
+    #[test]
+    fn type_weights_sum_to_one_with_opposite_grads() {
+        let p = test_params();
+        let ws = type_weight(&p, 0);
+        let wg = type_weight(&p, 1);
+        assert!((ws.val + wg.val - 1.0).abs() < 1e-12);
+        for k in 0..2 {
+            assert!((ws.grad[k] + wg.grad[k]).abs() < 1e-12);
+            for l in 0..2 {
+                assert!((ws.hess[k][l] + wg.hess[k][l]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn type_weight_gradient_matches_fd() {
+        let p = test_params();
+        for t in 0..2 {
+            let w = type_weight(&p, t);
+            for (k, &pid) in ids::A.iter().enumerate() {
+                fd_check(|q| type_weight(q, t).val, &p, pid, w.grad[k], 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,502 @@
+//! The expected Poisson log-likelihood and its exact derivatives.
+//!
+//! For each active pixel the objective contribution is (paper §III,
+//! with the delta-method surrogate for `E[log F]`):
+//!
+//! ```text
+//! φ = x · ( ln E[F] − Var[F] / (2 E[F]²) ) − E[F]
+//! E[F]   = ε + Σ_t ι·w_t·L_t·G_t        (ε = sky + fixed neighbors)
+//! E[f²]  = Σ_t ι²·w_t·S2_t·G_t²
+//! Var[F] = E[f²] − (E[F] − ε)²
+//! ```
+//!
+//! where `w_t` is the star/galaxy weight ([`crate::fluxdist::type_weight`]),
+//! `L_t`, `S2_t` the band-flux moments ([`crate::fluxdist::flux_moments`]),
+//! and `G_t` the geometry kernel ([`crate::bvn`]). The three factors
+//! depend on *disjoint* parameter subsets, so the gradient and the
+//! 44×44 Hessian assemble from small blocks — the "custom index types
+//! to exploit Hessian sparsity structure" of paper §V. Everything is
+//! accumulated in a compact 28-dim space of likelihood-active
+//! parameters and scattered to the full vector once per evaluation.
+
+use crate::bvn::{GalaxyGeo, PreparedGalaxy, PreparedStar, GEO};
+use crate::fluxdist::{flux_moments, flux_param_ids, type_weight, NF};
+use crate::params::{ids, NUM_PARAMS};
+use celeste_linalg::Mat;
+use celeste_survey::psf::Psf;
+
+/// Number of likelihood-active parameters (of the 44): position (2),
+/// type logits (2), two 10-dim flux blocks, shape (4).
+pub const NL: usize = 28;
+
+/// Compact → 44-space index map.
+pub fn lik_param_ids() -> [usize; NL] {
+    let mut out = [0usize; NL];
+    out[0] = ids::U[0];
+    out[1] = ids::U[1];
+    out[2] = ids::A[0];
+    out[3] = ids::A[1];
+    let f0 = flux_param_ids(0);
+    let f1 = flux_param_ids(1);
+    out[4..14].copy_from_slice(&f0);
+    out[14..24].copy_from_slice(&f1);
+    out[24] = ids::FRAC_DEV;
+    out[25] = ids::AXIS;
+    out[26] = ids::ANGLE;
+    out[27] = ids::LN_RADIUS;
+    out
+}
+
+/// Compact slots of the A block.
+const CA: [usize; 2] = [2, 3];
+/// Compact slots of the flux block for type t.
+fn cf(t: usize) -> [usize; NF] {
+    let base = 4 + 10 * t;
+    let mut out = [0usize; NF];
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = base + i;
+    }
+    out
+}
+/// Compact slots of the geometry block (order matches [`crate::bvn`]):
+/// [u0, u1, fd, axis, angle, ln_radius].
+const CG: [usize; GEO] = [0, 1, 24, 25, 26, 27];
+
+/// One active pixel: position (pixel centers), observed counts, and
+/// the fixed background rate ε (sky + other sources' expected flux).
+#[derive(Debug, Clone, Copy)]
+pub struct ActivePixel {
+    pub px: f64,
+    pub py: f64,
+    /// Observed counts.
+    pub x: f64,
+    /// Fixed part of the rate: sky + neighbors.
+    pub eps: f64,
+}
+
+/// Everything the likelihood needs from one image for one source.
+#[derive(Debug, Clone)]
+pub struct ImageBlock {
+    /// Band index (0..5).
+    pub band: usize,
+    /// Calibration: counts per nanomaggy.
+    pub iota: f64,
+    /// d(pixel)/d(arcsec offset) Jacobian.
+    pub jac: [[f64; 2]; 2],
+    /// Anchor position in pixel coordinates.
+    pub center0: [f64; 2],
+    /// Field PSF.
+    pub psf: Psf,
+    /// The source's active pixels in this image.
+    pub pixels: Vec<ActivePixel>,
+}
+
+/// Extract the current galaxy geometry block from the parameters.
+pub fn galaxy_geo(params: &[f64; NUM_PARAMS]) -> GalaxyGeo {
+    GalaxyGeo {
+        fd_logit: params[ids::FRAC_DEV],
+        axis_logit: params[ids::AXIS],
+        angle: params[ids::ANGLE],
+        ln_radius: params[ids::LN_RADIUS],
+    }
+}
+
+/// Evaluate the likelihood part of the ELBO with gradient and Hessian
+/// (both *added* into the outputs, indexed in 44-space). Returns the
+/// value. Also bumps the active-pixel-visit counter.
+pub fn add_likelihood(
+    params: &[f64; NUM_PARAMS],
+    blocks: &[ImageBlock],
+    grad: &mut [f64; NUM_PARAMS],
+    hess: &mut Mat,
+) -> f64 {
+    let map = lik_param_ids();
+    let mut value = 0.0;
+    let mut g28 = [0.0; NL];
+    let mut h28 = vec![[0.0; NL]; NL];
+
+    let u = [params[ids::U[0]], params[ids::U[1]]];
+    let w = [type_weight(params, 0), type_weight(params, 1)];
+
+    for block in blocks {
+        let star = PreparedStar::new(&block.psf, block.center0, u, &block.jac);
+        let gal = PreparedGalaxy::new(&block.psf, &galaxy_geo(params), block.center0, u, &block.jac);
+        let moments =
+            [flux_moments(params, 0, block.band), flux_moments(params, 1, block.band)];
+        crate::flops::record_visits(block.pixels.len() as u64);
+
+        for pix in &block.pixels {
+            let geo = [star.eval(pix.px, pix.py), gal.eval(pix.px, pix.py)];
+
+            // Values.
+            let iota = block.iota;
+            let iota2 = iota * iota;
+            let mut s = 0.0;
+            let mut q = 0.0;
+            for t in 0..2 {
+                let (l, s2) = (&moments[t].0, &moments[t].1);
+                s += iota * w[t].val * l.val * geo[t].val;
+                q += iota2 * w[t].val * s2.val * geo[t].val * geo[t].val;
+            }
+            let e = pix.eps + s;
+            debug_assert!(e > 0.0, "nonpositive rate {e}");
+            let v = (q - s * s).max(0.0);
+            let e2 = e * e;
+            value += pix.x * (e.ln() - v / (2.0 * e2)) - e;
+
+            // φ partials.
+            let phi_e = pix.x / e + pix.x * v / (e2 * e) - 1.0;
+            let phi_v = -pix.x / (2.0 * e2);
+            let phi_ee = -pix.x / e2 - 3.0 * pix.x * v / (e2 * e2);
+            let phi_ev = pix.x / (e2 * e);
+
+            // Dense ∇S and ∇Q over the 28 compact slots.
+            let mut ds = [0.0; NL];
+            let mut dq = [0.0; NL];
+            for t in 0..2 {
+                let (l, s2) = (&moments[t].0, &moments[t].1);
+                let gt = &geo[t];
+                let g2 = gt.val * gt.val;
+                // A slots.
+                for k in 0..2 {
+                    ds[CA[k]] += iota * l.val * gt.val * w[t].grad[k];
+                    dq[CA[k]] += iota2 * s2.val * g2 * w[t].grad[k];
+                }
+                // Flux slots.
+                let cfi = cf(t);
+                for c in 0..NF {
+                    ds[cfi[c]] += iota * w[t].val * gt.val * l.grad[c];
+                    dq[cfi[c]] += iota2 * w[t].val * g2 * s2.grad[c];
+                }
+                // Geometry slots (star: only u).
+                let gdim = if t == 0 { 2 } else { GEO };
+                for gslot in 0..gdim {
+                    ds[CG[gslot]] += iota * w[t].val * l.val * gt.grad[gslot];
+                    dq[CG[gslot]] +=
+                        iota2 * w[t].val * s2.val * 2.0 * gt.val * gt.grad[gslot];
+                }
+            }
+            let mut dv = [0.0; NL];
+            for i in 0..NL {
+                dv[i] = dq[i] - 2.0 * s * ds[i];
+            }
+
+            // Gradient.
+            for i in 0..NL {
+                g28[i] += phi_e * ds[i] + phi_v * dv[i];
+            }
+
+            // Hessian: block-structured ∇²S (scaled cs) and ∇²Q
+            // (scaled phi_v), plus the rank-2 φ chain terms.
+            let cs = phi_e - 2.0 * s * phi_v;
+            for t in 0..2 {
+                let (l, s2) = (&moments[t].0, &moments[t].1);
+                let gt = &geo[t];
+                let g2 = gt.val * gt.val;
+                let gdim = if t == 0 { 2 } else { GEO };
+                let cfi = cf(t);
+                let iw = iota * w[t].val;
+                let iw2 = iota2 * w[t].val;
+
+                // A×A.
+                for k in 0..2 {
+                    for k2 in 0..2 {
+                        h28[CA[k]][CA[k2]] += cs * iota * l.val * gt.val * w[t].hess[k][k2]
+                            + phi_v * iota2 * s2.val * g2 * w[t].hess[k][k2];
+                    }
+                }
+                // F×F.
+                for c in 0..NF {
+                    for c2 in 0..NF {
+                        h28[cfi[c]][cfi[c2]] += cs * iw * gt.val * l.hess[c][c2]
+                            + phi_v * iw2 * g2 * s2.hess[c][c2];
+                    }
+                }
+                // G×G (G² Hessian: 2(∇G∇Gᵀ + G∇²G)).
+                for a in 0..gdim {
+                    for b in 0..gdim {
+                        let hg2 = 2.0 * (gt.grad[a] * gt.grad[b] + gt.val * gt.hess[a][b]);
+                        h28[CG[a]][CG[b]] += cs * iw * l.val * gt.hess[a][b]
+                            + phi_v * iw2 * s2.val * hg2;
+                    }
+                }
+                // A×F (symmetric pair).
+                for k in 0..2 {
+                    for c in 0..NF {
+                        let vs = cs * iota * gt.val * w[t].grad[k] * l.grad[c]
+                            + phi_v * iota2 * g2 * w[t].grad[k] * s2.grad[c];
+                        h28[CA[k]][cfi[c]] += vs;
+                        h28[cfi[c]][CA[k]] += vs;
+                    }
+                }
+                // A×G.
+                for k in 0..2 {
+                    for a in 0..gdim {
+                        let vs = cs * iota * l.val * w[t].grad[k] * gt.grad[a]
+                            + phi_v * iota2 * s2.val * w[t].grad[k] * 2.0 * gt.val * gt.grad[a];
+                        h28[CA[k]][CG[a]] += vs;
+                        h28[CG[a]][CA[k]] += vs;
+                    }
+                }
+                // F×G.
+                for c in 0..NF {
+                    for a in 0..gdim {
+                        let vs = cs * iw * l.grad[c] * gt.grad[a]
+                            + phi_v * iw2 * s2.grad[c] * 2.0 * gt.val * gt.grad[a];
+                        h28[cfi[c]][CG[a]] += vs;
+                        h28[CG[a]][cfi[c]] += vs;
+                    }
+                }
+            }
+            // Rank-2 chain terms.
+            let a2 = phi_ee - 2.0 * phi_v;
+            for i in 0..NL {
+                let dsi = ds[i];
+                let dvi = dv[i];
+                if dsi == 0.0 && dvi == 0.0 {
+                    continue;
+                }
+                let row = &mut h28[i];
+                for j in 0..NL {
+                    row[j] += a2 * dsi * ds[j] + phi_ev * (dsi * dv[j] + dvi * ds[j]);
+                }
+            }
+        }
+    }
+
+    // Scatter compact → 44.
+    for i in 0..NL {
+        grad[map[i]] += g28[i];
+        for j in 0..NL {
+            hess[(map[i], map[j])] += h28[i][j];
+        }
+    }
+    value
+}
+
+/// Value-only likelihood (used for trust-region trial points).
+/// Also bumps the active-pixel-visit counter.
+pub fn likelihood_value(params: &[f64; NUM_PARAMS], blocks: &[ImageBlock]) -> f64 {
+    let u = [params[ids::U[0]], params[ids::U[1]]];
+    let w = [type_weight(params, 0).val, type_weight(params, 1).val];
+    let mut value = 0.0;
+    for block in blocks {
+        let star = PreparedStar::new(&block.psf, block.center0, u, &block.jac);
+        let gal = PreparedGalaxy::new(&block.psf, &galaxy_geo(params), block.center0, u, &block.jac);
+        let moments =
+            [flux_moments(params, 0, block.band), flux_moments(params, 1, block.band)];
+        crate::flops::record_visits(block.pixels.len() as u64);
+        for pix in &block.pixels {
+            let geo = [star.eval_value(pix.px, pix.py), gal.eval_value(pix.px, pix.py)];
+            let iota = block.iota;
+            let mut s = 0.0;
+            let mut q = 0.0;
+            for t in 0..2 {
+                let (l, s2) = (&moments[t].0, &moments[t].1);
+                s += iota * w[t] * l.val * geo[t];
+                q += iota * iota * w[t] * s2.val * geo[t] * geo[t];
+            }
+            let e = pix.eps + s;
+            let v = (q - s * s).max(0.0);
+            value += pix.x * (e.ln() - v / (2.0 * e * e)) - e;
+        }
+    }
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SourceParams;
+    use celeste_survey::catalog::{CatalogEntry, GalaxyShape, SourceType};
+    use celeste_survey::skygeom::SkyCoord;
+
+    fn test_block() -> ImageBlock {
+        // A small grid of active pixels around the source center with
+        // plausible counts.
+        let mut pixels = Vec::new();
+        for y in 0..9 {
+            for x in 0..9 {
+                let dx = x as f64 - 4.0;
+                let dy = y as f64 - 4.0;
+                pixels.push(ActivePixel {
+                    px: 10.0 + dx,
+                    py: 12.0 + dy,
+                    x: (150.0 + 400.0 * (-0.5 * (dx * dx + dy * dy) / 2.0).exp()).round(),
+                    eps: 150.0,
+                });
+            }
+        }
+        ImageBlock {
+            band: 2,
+            iota: 300.0,
+            jac: [[0.71, 0.02], [-0.01, 0.7]],
+            center0: [10.0, 12.0],
+            psf: Psf::core_halo(1.3),
+            pixels,
+        }
+    }
+
+    fn test_params() -> [f64; NUM_PARAMS] {
+        let entry = CatalogEntry {
+            id: 0,
+            pos: SkyCoord::new(0.0, 0.0),
+            source_type: SourceType::Galaxy,
+            flux_r_nmgy: 4.0,
+            colors: [0.4, -0.2, 0.3, 0.1],
+            shape: GalaxyShape {
+                frac_dev: 0.35,
+                axis_ratio: 0.6,
+                angle_rad: 0.8,
+                radius_arcsec: 1.8,
+            },
+        };
+        let mut sp = SourceParams::init_from_entry(&entry);
+        for (i, p) in sp.params.iter_mut().enumerate() {
+            *p += 0.02 * ((i * 11 % 17) as f64 - 8.0) / 8.0;
+        }
+        sp.params
+    }
+
+    #[test]
+    fn lik_param_ids_are_disjoint_and_sorted_coverage() {
+        let map = lik_param_ids();
+        let mut seen = std::collections::HashSet::new();
+        for &i in &map {
+            assert!(i < NUM_PARAMS);
+            assert!(seen.insert(i), "duplicate index {i}");
+        }
+        // KL-only params must not appear.
+        for i in ids::U_LSD.iter().chain(ids::SHAPE_LSD.iter()) {
+            assert!(!seen.contains(i));
+        }
+    }
+
+    #[test]
+    fn value_paths_agree() {
+        let p = test_params();
+        let blocks = vec![test_block()];
+        let mut grad = [0.0; NUM_PARAMS];
+        let mut hess = Mat::zeros(NUM_PARAMS, NUM_PARAMS);
+        let v1 = add_likelihood(&p, &blocks, &mut grad, &mut hess);
+        let v2 = likelihood_value(&p, &blocks);
+        assert!((v1 - v2).abs() < 1e-9 * (1.0 + v1.abs()), "{v1} vs {v2}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let p = test_params();
+        let blocks = vec![test_block()];
+        let mut grad = [0.0; NUM_PARAMS];
+        let mut hess = Mat::zeros(NUM_PARAMS, NUM_PARAMS);
+        add_likelihood(&p, &blocks, &mut grad, &mut hess);
+        let h = 1e-6;
+        for &idx in lik_param_ids().iter() {
+            let mut up = p;
+            let mut dn = p;
+            up[idx] += h;
+            dn[idx] -= h;
+            let fd =
+                (likelihood_value(&up, &blocks) - likelihood_value(&dn, &blocks)) / (2.0 * h);
+            assert!(
+                (grad[idx] - fd).abs() < 2e-4 * (1.0 + fd.abs()),
+                "param {idx}: analytic {} vs fd {fd}",
+                grad[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn kl_only_params_have_zero_likelihood_gradient() {
+        let p = test_params();
+        let blocks = vec![test_block()];
+        let mut grad = [0.0; NUM_PARAMS];
+        let mut hess = Mat::zeros(NUM_PARAMS, NUM_PARAMS);
+        add_likelihood(&p, &blocks, &mut grad, &mut hess);
+        for i in ids::U_LSD.iter().chain(ids::SHAPE_LSD.iter()) {
+            assert_eq!(grad[*i], 0.0);
+        }
+        for t in 0..2 {
+            for k in 0..crate::params::K_COLOR {
+                assert_eq!(grad[ids::kappa(t, k)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn hessian_matches_fd_of_gradient_on_sample() {
+        let p = test_params();
+        let blocks = vec![test_block()];
+        let mut grad = [0.0; NUM_PARAMS];
+        let mut hess = Mat::zeros(NUM_PARAMS, NUM_PARAMS);
+        add_likelihood(&p, &blocks, &mut grad, &mut hess);
+        let h = 1e-5;
+        // Sample a representative set of parameter pairs.
+        let sample = [
+            ids::U[0],
+            ids::A[0],
+            ids::r_mu(0),
+            ids::r_mu(1),
+            ids::c_mean(1, 2),
+            ids::c_lvar(0, 1),
+            ids::FRAC_DEV,
+            ids::AXIS,
+            ids::ANGLE,
+            ids::LN_RADIUS,
+        ];
+        for &j in &sample {
+            let mut up = p;
+            let mut dn = p;
+            up[j] += h;
+            dn[j] -= h;
+            let mut gu = [0.0; NUM_PARAMS];
+            let mut gd = [0.0; NUM_PARAMS];
+            let mut hu = Mat::zeros(NUM_PARAMS, NUM_PARAMS);
+            let mut hd = Mat::zeros(NUM_PARAMS, NUM_PARAMS);
+            add_likelihood(&up, &blocks, &mut gu, &mut hu);
+            add_likelihood(&dn, &blocks, &mut gd, &mut hd);
+            for &i in &sample {
+                let fd = (gu[i] - gd[i]) / (2.0 * h);
+                let an = hess[(i, j)];
+                let scale = 1.0 + fd.abs().max(an.abs());
+                assert!(
+                    (an - fd).abs() < 5e-3 * scale,
+                    "H[{i}][{j}]: analytic {an} vs fd {fd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hessian_is_symmetric() {
+        let p = test_params();
+        let blocks = vec![test_block()];
+        let mut grad = [0.0; NUM_PARAMS];
+        let mut hess = Mat::zeros(NUM_PARAMS, NUM_PARAMS);
+        add_likelihood(&p, &blocks, &mut grad, &mut hess);
+        assert!(hess.is_symmetric(1e-9));
+    }
+
+    #[test]
+    fn brighter_fit_increases_likelihood_toward_truth() {
+        // With counts generated from flux ≈ 4 nmgy, the likelihood at
+        // the matching flux must beat a far-off flux.
+        let p = test_params();
+        let blocks = vec![test_block()];
+        let good = likelihood_value(&p, &blocks);
+        let mut bad = p;
+        bad[ids::r_mu(0)] += 3.0; // e³ ≈ 20× too bright (star branch)
+        bad[ids::r_mu(1)] += 3.0;
+        let worse = likelihood_value(&bad, &blocks);
+        assert!(good > worse, "good {good} vs worse {worse}");
+    }
+
+    #[test]
+    fn visits_counter_increments() {
+        let p = test_params();
+        let blocks = vec![test_block()];
+        crate::flops::reset_visits();
+        likelihood_value(&p, &blocks);
+        assert_eq!(crate::flops::visits(), 81);
+    }
+}

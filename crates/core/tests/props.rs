@@ -1,0 +1,191 @@
+//! Property tests for the inference core: the hand-coded derivatives
+//! must agree with the AD-instantiated generic ELBO at *random* points
+//! in parameter space, not just at the fixed points the unit tests use.
+
+use celeste_core::generic;
+use celeste_core::kl::{add_kl, kl_value, ModelPriors};
+use celeste_core::likelihood::{add_likelihood, likelihood_value, ActivePixel, ImageBlock};
+use celeste_core::params::{ids, SourceParams, NUM_PARAMS};
+use celeste_linalg::Mat;
+use celeste_survey::catalog::{CatalogEntry, GalaxyShape, SourceType};
+use celeste_survey::psf::Psf;
+use celeste_survey::skygeom::SkyCoord;
+use celeste_survey::Priors;
+use proptest::prelude::*;
+
+fn base_params() -> [f64; NUM_PARAMS] {
+    let entry = CatalogEntry {
+        id: 0,
+        pos: SkyCoord::new(0.0, 0.0),
+        source_type: SourceType::Galaxy,
+        flux_r_nmgy: 4.0,
+        colors: [0.5, 0.3, 0.2, 0.1],
+        shape: GalaxyShape { frac_dev: 0.4, axis_ratio: 0.7, angle_rad: 0.8, radius_arcsec: 1.5 },
+    };
+    SourceParams::init_from_entry(&entry).params
+}
+
+fn perturbed(scale: f64, noise: &[f64]) -> [f64; NUM_PARAMS] {
+    let mut p = base_params();
+    for (i, v) in p.iter_mut().enumerate() {
+        *v += scale * noise[i % noise.len()];
+    }
+    p
+}
+
+fn small_block() -> ImageBlock {
+    let mut pixels = Vec::new();
+    for y in 0..6 {
+        for x in 0..6 {
+            let dx = x as f64 - 3.0;
+            let dy = y as f64 - 3.0;
+            pixels.push(ActivePixel {
+                px: 15.0 + dx,
+                py: 16.0 + dy,
+                x: (130.0 + 420.0 * (-0.4 * (dx * dx + dy * dy)).exp()).round(),
+                eps: 130.0,
+            });
+        }
+    }
+    ImageBlock {
+        band: 3,
+        iota: 280.0,
+        jac: [[0.7, 0.04], [-0.02, 0.69]],
+        center0: [15.0, 16.0],
+        psf: Psf::core_halo(1.25),
+        pixels,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn hand_gradient_matches_ad_at_random_points(
+        noise in prop::collection::vec(-0.3..0.3f64, 11),
+        scale in 0.1..1.0f64,
+    ) {
+        let p = perturbed(scale, &noise);
+        let blocks = vec![small_block()];
+        let priors = ModelPriors::new(Priors::sdss_default());
+
+        let mut grad = [0.0; NUM_PARAMS];
+        let mut hess = Mat::zeros(NUM_PARAMS, NUM_PARAMS);
+        add_likelihood(&p, &blocks, &mut grad, &mut hess);
+        let mut kl_grad = [0.0; NUM_PARAMS];
+        let mut kl_hess = Mat::zeros(NUM_PARAMS, NUM_PARAMS);
+        add_kl(&p, &priors, &mut kl_grad, &mut kl_hess);
+
+        let ad = celeste_ad::gradient::<NUM_PARAMS>(
+            |x| {
+                let arr: [celeste_ad::Dual<NUM_PARAMS>; NUM_PARAMS] =
+                    std::array::from_fn(|i| x[i]);
+                generic::elbo(&arr, &blocks, &priors)
+            },
+            &p,
+        );
+        for i in 0..NUM_PARAMS {
+            let hand = grad[i] - kl_grad[i];
+            prop_assert!(
+                (ad[i] - hand).abs() < 1e-5 * (1.0 + hand.abs()),
+                "param {}: AD {} vs hand {}", i, ad[i], hand
+            );
+        }
+    }
+
+    #[test]
+    fn value_paths_agree_at_random_points(
+        noise in prop::collection::vec(-0.4..0.4f64, 13),
+        scale in 0.1..1.0f64,
+    ) {
+        let p = perturbed(scale, &noise);
+        let blocks = vec![small_block()];
+        let priors = ModelPriors::new(Priors::sdss_default());
+        let hand = likelihood_value(&p, &blocks) - kl_value(&p, &priors);
+        let gen = generic::elbo::<f64>(&generic::lift(&p), &blocks, &priors);
+        prop_assert!((hand - gen).abs() < 1e-8 * (1.0 + hand.abs()));
+    }
+
+    #[test]
+    fn hessian_sample_matches_hyperdual_at_random_points(
+        noise in prop::collection::vec(-0.25..0.25f64, 7),
+        i_raw in 0..NUM_PARAMS,
+        j_raw in 0..NUM_PARAMS,
+    ) {
+        let p = perturbed(0.7, &noise);
+        let blocks = vec![small_block()];
+        let priors = ModelPriors::new(Priors::sdss_default());
+        let mut grad = [0.0; NUM_PARAMS];
+        let mut hess = Mat::zeros(NUM_PARAMS, NUM_PARAMS);
+        add_likelihood(&p, &blocks, &mut grad, &mut hess);
+        let mut kl_grad = [0.0; NUM_PARAMS];
+        let mut kl_hess = Mat::zeros(NUM_PARAMS, NUM_PARAMS);
+        add_kl(&p, &priors, &mut kl_grad, &mut kl_hess);
+
+        let f = |x: &[celeste_ad::Dual2]| {
+            let arr: [celeste_ad::Dual2; NUM_PARAMS] = std::array::from_fn(|i| x[i]);
+            generic::elbo(&arr, &blocks, &priors)
+        };
+        let mut v = vec![0.0; NUM_PARAMS];
+        let mut w = vec![0.0; NUM_PARAMS];
+        v[i_raw] = 1.0;
+        w[j_raw] = 1.0;
+        let ad = celeste_ad::hessian_bilinear(f, &p, &v, &w);
+        let hand = hess[(i_raw, j_raw)] - kl_hess[(i_raw, j_raw)];
+        prop_assert!(
+            (ad - hand).abs() < 1e-4 * (1.0 + hand.abs()),
+            "H[{}][{}]: AD {} vs hand {}", i_raw, j_raw, ad, hand
+        );
+    }
+
+    #[test]
+    fn kl_nonnegative_up_to_structured_slack(
+        noise in prop::collection::vec(-0.5..0.5f64, 9),
+        scale in 0.0..1.5f64,
+    ) {
+        // The structured color bound can undershoot true KL by at most
+        // Σ_t w'_t·(−min_k ln π_tk); everything else is a true KL ≥ 0.
+        let p = perturbed(scale, &noise);
+        let priors = ModelPriors::new(Priors::sdss_default());
+        let slack: f64 = (0..2)
+            .map(|t| {
+                priors.survey.color[t]
+                    .components
+                    .iter()
+                    .map(|c| -c.weight.max(1e-12).ln())
+                    .fold(0.0_f64, f64::max)
+            })
+            .sum::<f64>()
+            + 1.0;
+        prop_assert!(kl_value(&p, &priors) > -slack);
+    }
+
+    #[test]
+    fn posterior_summaries_are_finite_and_physical(
+        noise in prop::collection::vec(-1.0..1.0f64, 17),
+        scale in 0.0..2.0f64,
+    ) {
+        let mut sp = SourceParams::init_from_entry(&CatalogEntry {
+            id: 5,
+            pos: SkyCoord::new(1.0, 1.0),
+            source_type: SourceType::Star,
+            flux_r_nmgy: 2.0,
+            colors: [0.1; 4],
+            shape: GalaxyShape::round_disk(1.0),
+        });
+        for (i, v) in sp.params.iter_mut().enumerate() {
+            *v += scale * noise[i % noise.len()];
+        }
+        // Keep log-scales in a representable range.
+        for idx in [ids::U_LSD[0], ids::U_LSD[1]] {
+            sp.params[idx] = sp.params[idx].clamp(-5.0, 3.0);
+        }
+        let e = sp.to_entry();
+        prop_assert!(e.flux_r_nmgy.is_finite() && e.flux_r_nmgy > 0.0);
+        prop_assert!(e.shape.axis_ratio > 0.0 && e.shape.axis_ratio <= 1.0);
+        prop_assert!((0.0..std::f64::consts::PI).contains(&e.shape.angle_rad));
+        let u = sp.uncertainty();
+        prop_assert!((0.0..=1.0).contains(&u.star_prob));
+        prop_assert!(u.flux_sd_nmgy >= 0.0);
+    }
+}

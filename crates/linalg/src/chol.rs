@@ -1,0 +1,258 @@
+//! Cholesky and LDLᵀ factorizations.
+
+use crate::{LinalgError, Mat};
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite
+/// matrix.
+///
+/// The Newton trust-region inner loop (paper §IV-D / §VI-B) performs
+/// "several Cholesky factorizations at each iteration" — this is that
+/// kernel. Factorization is in-place on a copy, O(n³/3).
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Mat,
+}
+
+impl Cholesky {
+    /// Factor `a`. Returns [`LinalgError::NotPositiveDefinite`] when a
+    /// pivot is not strictly positive (used by the trust-region solver to
+    /// bracket the ridge parameter).
+    pub fn new(a: &Mat) -> Result<Self, LinalgError> {
+        assert_eq!(a.rows(), a.cols(), "Cholesky: matrix must be square");
+        let n = a.rows();
+        let mut l = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if s <= 0.0 || !s.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                    }
+                    l[(i, j)] = s.sqrt();
+                } else {
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Mat {
+        &self.l
+    }
+
+    /// Solve `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x);
+        x
+    }
+
+    /// Solve `A x = b` writing the result back into `b`.
+    pub fn solve_in_place(&self, b: &mut [f64]) {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n, "Cholesky::solve: dimension mismatch");
+        // Forward substitution L y = b.
+        for i in 0..n {
+            let row = self.l.row(i);
+            let mut s = b[i];
+            for k in 0..i {
+                s -= row[k] * b[k];
+            }
+            b[i] = s / row[i];
+        }
+        // Backward substitution Lᵀ x = y.
+        for i in (0..n).rev() {
+            let mut s = b[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * b[k];
+            }
+            b[i] = s / self.l[(i, i)];
+        }
+    }
+
+    /// `log det A = 2 Σ log L_ii` — needed by Gaussian KL terms.
+    pub fn log_det(&self) -> f64 {
+        let n = self.l.rows();
+        (0..n).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Dense inverse (column-by-column solve). O(n³); fine at n ≤ 44.
+    pub fn inverse(&self) -> Mat {
+        let n = self.l.rows();
+        let mut inv = Mat::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e.fill(0.0);
+            e[j] = 1.0;
+            self.solve_in_place(&mut e);
+            for i in 0..n {
+                inv[(i, j)] = e[i];
+            }
+        }
+        inv
+    }
+}
+
+/// Unpivoted LDLᵀ factorization of a symmetric matrix.
+///
+/// Tolerates indefinite input as long as no pivot underflows; used for
+/// symmetric quasi-definite calibration systems where Cholesky would
+/// reject a slightly negative eigenvalue.
+#[derive(Debug, Clone)]
+pub struct Ldlt {
+    /// Unit lower triangle (diagonal implicitly 1).
+    l: Mat,
+    d: Vec<f64>,
+}
+
+impl Ldlt {
+    /// Factor `a`. Fails with [`LinalgError::Singular`] if a pivot's
+    /// magnitude falls below `1e-14 · max|a|`.
+    pub fn new(a: &Mat) -> Result<Self, LinalgError> {
+        assert_eq!(a.rows(), a.cols(), "Ldlt: matrix must be square");
+        let n = a.rows();
+        let tiny = 1e-14 * a.max_abs().max(1.0);
+        let mut l = Mat::identity(n);
+        let mut d = vec![0.0; n];
+        for j in 0..n {
+            let mut dj = a[(j, j)];
+            for k in 0..j {
+                dj -= l[(j, k)] * l[(j, k)] * d[k];
+            }
+            if dj.abs() < tiny || !dj.is_finite() {
+                return Err(LinalgError::Singular { pivot: j });
+            }
+            d[j] = dj;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)] * d[k];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok(Ldlt { l, d })
+    }
+
+    /// The diagonal of `D`; its signs are the matrix inertia.
+    pub fn d(&self) -> &[f64] {
+        &self.d
+    }
+
+    /// Number of negative pivots (count of negative eigenvalues, by
+    /// Sylvester's law of inertia).
+    pub fn negative_pivots(&self) -> usize {
+        self.d.iter().filter(|&&x| x < 0.0).count()
+    }
+
+    /// Solve `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n, "Ldlt::solve: dimension mismatch");
+        let mut x = b.to_vec();
+        for i in 0..n {
+            let mut s = x[i];
+            for k in 0..i {
+                s -= self.l[(i, k)] * x[k];
+            }
+            x[i] = s;
+        }
+        for i in 0..n {
+            x[i] /= self.d[i];
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s;
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_test_matrix(n: usize) -> Mat {
+        // A = B Bᵀ + n·I with B full of deterministic pseudo-random values.
+        let b = Mat::from_fn(n, n, |i, j| (((i * 31 + j * 17 + 7) % 13) as f64 - 6.0) / 6.0);
+        let mut a = b.matmul(&b.t());
+        a.shift_diag(n as f64);
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd_test_matrix(10);
+        let ch = Cholesky::new(&a).unwrap();
+        let recon = ch.l().matmul(&ch.l().t());
+        let mut diff = recon.clone();
+        diff.add_scaled(-1.0, &a);
+        assert!(diff.max_abs() < 1e-10 * a.max_abs());
+    }
+
+    #[test]
+    fn cholesky_solve_roundtrip() {
+        let a = spd_test_matrix(17);
+        let x_true: Vec<f64> = (0..17).map(|i| (i as f64 - 8.0) / 3.0).collect();
+        let b = a.matvec(&x_true);
+        let x = Cholesky::new(&a).unwrap().solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Mat::from_rows(2, 2, &[1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn cholesky_log_det_matches_known() {
+        let a = Mat::from_diag(&[2.0, 3.0, 4.0]);
+        let ch = Cholesky::new(&a).unwrap();
+        assert!((ch.log_det() - (24.0_f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_inverse_is_inverse() {
+        let a = spd_test_matrix(8);
+        let inv = Cholesky::new(&a).unwrap().inverse();
+        let prod = a.matmul(&inv);
+        let mut diff = prod;
+        diff.add_scaled(-1.0, &Mat::identity(8));
+        assert!(diff.max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn ldlt_handles_indefinite_and_counts_inertia() {
+        let a = Mat::from_rows(2, 2, &[1.0, 2.0, 2.0, 1.0]); // eigen 3, -1
+        let f = Ldlt::new(&a).unwrap();
+        assert_eq!(f.negative_pivots(), 1);
+        let x = f.solve(&[1.0, 0.0]);
+        let b = a.matvec(&x);
+        assert!((b[0] - 1.0).abs() < 1e-12 && b[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn ldlt_matches_cholesky_on_spd() {
+        let a = spd_test_matrix(9);
+        let b: Vec<f64> = (0..9).map(|i| i as f64).collect();
+        let x1 = Cholesky::new(&a).unwrap().solve(&b);
+        let x2 = Ldlt::new(&a).unwrap().solve(&b);
+        for (p, q) in x1.iter().zip(&x2) {
+            assert!((p - q).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+
+use crate::Mat;
+
+/// Eigendecomposition `A = V diag(λ) Vᵀ` of a symmetric matrix.
+///
+/// The paper's trust-region Newton step computes "an eigen decomposition
+/// … at each iteration" (§VI-B). At n = 44 the cyclic Jacobi method is
+/// simple, unconditionally convergent for symmetric input, and accurate
+/// to machine precision — there is no need for a LAPACK binding.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues in ascending order.
+    values: Vec<f64>,
+    /// Column `j` of this matrix is the eigenvector for `values[j]`.
+    vectors: Mat,
+}
+
+impl SymEigen {
+    /// Decompose `a`, which must be square; the strictly-upper triangle
+    /// is trusted (call [`Mat::symmetrize`] first for almost-symmetric
+    /// input). Runs Jacobi sweeps until off-diagonal mass is below
+    /// `1e-14 · ‖A‖_F` or 64 sweeps, whichever comes first (convergence
+    /// is typically < 12 sweeps at n = 44).
+    pub fn new(a: &Mat) -> Self {
+        assert_eq!(a.rows(), a.cols(), "SymEigen: matrix must be square");
+        let n = a.rows();
+        let mut m = a.clone();
+        m.symmetrize();
+        let mut v = Mat::identity(n);
+        let tol = 1e-14 * m.frob_norm().max(f64::MIN_POSITIVE);
+
+        for _sweep in 0..64 {
+            let mut off = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    off += m[(i, j)] * m[(i, j)];
+                }
+            }
+            if (2.0 * off).sqrt() <= tol {
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m[(p, q)];
+                    if apq.abs() <= tol / (n as f64) {
+                        continue;
+                    }
+                    // Classic Jacobi rotation angle.
+                    let app = m[(p, p)];
+                    let aqq = m[(q, q)];
+                    let theta = 0.5 * (aqq - app) / apq;
+                    let t = if theta >= 0.0 {
+                        1.0 / (theta + (1.0 + theta * theta).sqrt())
+                    } else {
+                        -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+
+                    // Apply rotation to rows/cols p and q of m.
+                    for k in 0..n {
+                        let mkp = m[(k, p)];
+                        let mkq = m[(k, q)];
+                        m[(k, p)] = c * mkp - s * mkq;
+                        m[(k, q)] = s * mkp + c * mkq;
+                    }
+                    for k in 0..n {
+                        let mpk = m[(p, k)];
+                        let mqk = m[(q, k)];
+                        m[(p, k)] = c * mpk - s * mqk;
+                        m[(q, k)] = s * mpk + c * mqk;
+                    }
+                    // Accumulate eigenvectors.
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - s * vkq;
+                        v[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+
+        // Extract and sort ascending, permuting eigenvector columns.
+        let mut idx: Vec<usize> = (0..n).collect();
+        let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+        idx.sort_by(|&i, &j| diag[i].partial_cmp(&diag[j]).unwrap());
+        let values: Vec<f64> = idx.iter().map(|&i| diag[i]).collect();
+        let vectors = Mat::from_fn(n, n, |r, c| v[(r, idx[c])]);
+        SymEigen { values, vectors }
+    }
+
+    /// Eigenvalues in ascending order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Orthonormal eigenvector matrix; column `j` pairs with `values()[j]`.
+    pub fn vectors(&self) -> &Mat {
+        &self.vectors
+    }
+
+    /// Smallest eigenvalue.
+    pub fn min_value(&self) -> f64 {
+        self.values[0]
+    }
+
+    /// Project `x` onto the eigenbasis: returns `Vᵀ x`.
+    pub fn to_eigenbasis(&self, x: &[f64]) -> Vec<f64> {
+        self.vectors.t_matvec(x)
+    }
+
+    /// Map eigenbasis coordinates back: returns `V y`.
+    pub fn from_eigenbasis(&self, y: &[f64]) -> Vec<f64> {
+        self.vectors.matvec(y)
+    }
+
+    /// Rebuild `V diag(f(λ)) Vᵀ` — used for the modified-Newton PSD
+    /// projection (flip/floor negative curvature).
+    pub fn rebuild_with(&self, f: impl Fn(f64) -> f64) -> Mat {
+        let n = self.values.len();
+        let mut out = Mat::zeros(n, n);
+        for j in 0..n {
+            let w = f(self.values[j]);
+            if w == 0.0 {
+                continue;
+            }
+            let col: Vec<f64> = (0..n).map(|i| self.vectors[(i, j)]).collect();
+            out.rank1_update(w, &col, &col);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym_test_matrix(n: usize) -> Mat {
+        let b = Mat::from_fn(n, n, |i, j| (((i * 13 + j * 29 + 3) % 17) as f64 - 8.0) / 8.0);
+        let mut a = b.clone();
+        a.add_scaled(1.0, &b.t());
+        a
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Mat::from_diag(&[3.0, -1.0, 2.0]);
+        let e = SymEigen::new(&a);
+        assert!((e.values()[0] - -1.0).abs() < 1e-12);
+        assert!((e.values()[1] - 2.0).abs() < 1e-12);
+        assert!((e.values()[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = Mat::from_rows(2, 2, &[2.0, 1.0, 1.0, 2.0]);
+        let e = SymEigen::new(&a);
+        assert!((e.values()[0] - 1.0).abs() < 1e-12);
+        assert!((e.values()[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_and_orthogonality() {
+        let a = sym_test_matrix(20);
+        let e = SymEigen::new(&a);
+        // V diag(λ) Vᵀ == A
+        let recon = e.rebuild_with(|x| x);
+        let mut diff = recon;
+        diff.add_scaled(-1.0, &a);
+        assert!(diff.max_abs() < 1e-10 * a.max_abs().max(1.0), "residual {diff:?}");
+        // VᵀV == I
+        let vtv = e.vectors().t().matmul(e.vectors());
+        let mut ortho = vtv;
+        ortho.add_scaled(-1.0, &Mat::identity(20));
+        assert!(ortho.max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigenbasis_roundtrip() {
+        let a = sym_test_matrix(9);
+        let e = SymEigen::new(&a);
+        let x: Vec<f64> = (0..9).map(|i| (i as f64).sin()).collect();
+        let back = e.from_eigenbasis(&e.to_eigenbasis(&x));
+        for (p, q) in back.iter().zip(&x) {
+            assert!((p - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trace_preserved() {
+        let a = sym_test_matrix(15);
+        let e = SymEigen::new(&a);
+        let tr_a: f64 = (0..15).map(|i| a[(i, i)]).sum();
+        let tr_l: f64 = e.values().iter().sum();
+        assert!((tr_a - tr_l).abs() < 1e-10);
+    }
+
+    #[test]
+    fn psd_projection_floors_negatives() {
+        let a = Mat::from_rows(2, 2, &[1.0, 2.0, 2.0, 1.0]); // eigen 3, -1
+        let e = SymEigen::new(&a);
+        let fixed = e.rebuild_with(|l| l.max(0.5));
+        let e2 = SymEigen::new(&fixed);
+        assert!(e2.min_value() >= 0.5 - 1e-12);
+    }
+}

@@ -1,0 +1,62 @@
+//! Small dense linear algebra for Celeste.
+//!
+//! The Celeste optimizer (paper §IV-D) runs Newton's method with a trust
+//! region on 44-parameter blocks, which requires, per iteration, one
+//! symmetric eigendecomposition and several Cholesky factorizations of
+//! dense 44×44 matrices. This crate provides exactly those kernels, built
+//! from scratch (the paper used MKL/Julia stdlib; see DESIGN.md S3):
+//!
+//! * [`Mat`] — a row-major dense matrix with the handful of BLAS-like
+//!   operations the rest of the workspace needs,
+//! * [`Cholesky`] — SPD factorization, solves, log-determinant, inverse,
+//! * [`Ldlt`] — unpivoted LDLᵀ for symmetric quasi-definite systems,
+//! * [`SymEigen`] — cyclic Jacobi eigensolver (always converges for
+//!   symmetric input, no LAPACK dependency),
+//! * [`solve_tr_subproblem`] — the Moré–Sorensen-style trust-region
+//!   subproblem solver used by the nonconvex Newton optimizer,
+//! * [`lstsq`] / [`nnls`] — (nonnegative) linear least squares used for
+//!   galaxy-profile mixture fitting and PSF calibration.
+//!
+//! Matrices here are small (≤ a few hundred rows); all algorithms are
+//! O(n³) dense and optimized for clarity plus cache-friendly row-major
+//! traversal, not for large-scale BLAS3 throughput.
+
+mod chol;
+mod eigen;
+mod lstsq;
+mod mat;
+mod tr;
+pub mod vecops;
+
+pub use chol::{Cholesky, Ldlt};
+pub use eigen::SymEigen;
+pub use lstsq::{lstsq, lstsq_ridge, nnls};
+pub use mat::Mat;
+pub use tr::{solve_tr_subproblem, TrSolution};
+
+/// Errors produced by factorizations when their input assumptions fail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Matrix is not positive definite (Cholesky pivot ≤ 0 at `pivot`).
+    NotPositiveDefinite { pivot: usize },
+    /// Matrix is numerically singular.
+    Singular { pivot: usize },
+    /// Dimensions of the operands do not match.
+    DimensionMismatch { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix not positive definite (pivot {pivot})")
+            }
+            LinalgError::Singular { pivot } => write!(f, "matrix singular (pivot {pivot})"),
+            LinalgError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

@@ -1,0 +1,135 @@
+//! Linear least squares and nonnegative least squares.
+
+use crate::{Cholesky, Mat};
+
+/// Solve `min_x ‖A x − b‖²` via the normal equations with a tiny
+/// Tikhonov jitter for rank-deficiency robustness.
+///
+/// Used for PSF calibration fits and WCS plate solutions where `A` has
+/// at most a few dozen columns.
+pub fn lstsq(a: &Mat, b: &[f64]) -> Vec<f64> {
+    lstsq_ridge(a, b, 0.0)
+}
+
+/// Ridge-regularized least squares `min_x ‖Ax − b‖² + ridge·‖x‖²`.
+pub fn lstsq_ridge(a: &Mat, b: &[f64], ridge: f64) -> Vec<f64> {
+    assert_eq!(a.rows(), b.len(), "lstsq: row/rhs mismatch");
+    let ata = a.t().matmul(a);
+    let atb = a.t_matvec(b);
+    let mut m = ata;
+    // Scale-aware jitter keeps the Cholesky factorization alive for
+    // nearly-collinear designs without visibly biasing the solution.
+    let jitter = ridge + 1e-12 * m.max_abs().max(1.0);
+    m.shift_diag(jitter);
+    match Cholesky::new(&m) {
+        Ok(ch) => ch.solve(&atb),
+        Err(_) => {
+            // Heavier jitter as a last resort.
+            m.shift_diag(1e-6 * m.max_abs().max(1.0));
+            Cholesky::new(&m).expect("jittered normal equations must be SPD").solve(&atb)
+        }
+    }
+}
+
+/// Nonnegative least squares `min_{x ≥ 0} ‖A x − b‖²` by cyclic
+/// coordinate descent on the normal equations.
+///
+/// Used to fit the Gaussian-mixture approximations of the exponential
+/// and de Vaucouleurs galaxy profiles (DESIGN.md S5), where amplitudes
+/// must be nonnegative. Coordinate descent on NNLS converges globally
+/// for this convex problem; `max_iters` bounds work.
+pub fn nnls(a: &Mat, b: &[f64], max_iters: usize) -> Vec<f64> {
+    assert_eq!(a.rows(), b.len(), "nnls: row/rhs mismatch");
+    let n = a.cols();
+    let ata = a.t().matmul(a);
+    let atb = a.t_matvec(b);
+    let mut x = vec![0.0; n];
+    for _ in 0..max_iters {
+        let mut max_delta = 0.0_f64;
+        for j in 0..n {
+            let ajj = ata[(j, j)];
+            if ajj <= 0.0 {
+                continue;
+            }
+            // Gradient coordinate: (Aᵀ A x − Aᵀ b)_j
+            let mut gj = -atb[j];
+            for k in 0..n {
+                gj += ata[(j, k)] * x[k];
+            }
+            let new = (x[j] - gj / ajj).max(0.0);
+            max_delta = max_delta.max((new - x[j]).abs());
+            x[j] = new;
+        }
+        if max_delta < 1e-14 {
+            break;
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lstsq_exact_on_square_system() {
+        let a = Mat::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let x_true = [0.5, -1.5];
+        let b = a.matvec(&x_true);
+        let x = lstsq(&a, &b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn lstsq_overdetermined_projects() {
+        // Fit a line y = 2x + 1 through noise-free samples.
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let a = Mat::from_fn(5, 2, |i, j| if j == 0 { 1.0 } else { xs[i] });
+        let b: Vec<f64> = xs.iter().map(|&x| 2.0 * x + 1.0).collect();
+        let coef = lstsq(&a, &b);
+        assert!((coef[0] - 1.0).abs() < 1e-8);
+        assert!((coef[1] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn lstsq_survives_collinear_design() {
+        // Two identical columns: rank deficient; must not panic.
+        let a = Mat::from_fn(6, 2, |i, _| i as f64 + 1.0);
+        let b: Vec<f64> = (0..6).map(|i| 3.0 * (i as f64 + 1.0)).collect();
+        let coef = lstsq(&a, &b);
+        // The sum of coefficients must reproduce the slope.
+        assert!((coef[0] + coef[1] - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn nnls_matches_lstsq_when_unconstrained_nonneg() {
+        let a = Mat::from_rows(3, 2, &[1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let b = [1.0, 2.0, 3.0];
+        let free = lstsq(&a, &b);
+        assert!(free.iter().all(|&v| v >= 0.0), "test premise: solution nonneg");
+        let con = nnls(&a, &b, 1000);
+        for (p, q) in free.iter().zip(&con) {
+            assert!((p - q).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn nnls_clamps_negative_coordinates() {
+        // Unconstrained solution has a negative coordinate; NNLS must
+        // return 0 there and stay optimal on the active set.
+        let a = Mat::from_rows(2, 2, &[1.0, 1.0, 0.0, 1.0]);
+        let b = [0.0, 1.0]; // unconstrained: x = (-1, 1)
+        let x = nnls(&a, &b, 1000);
+        assert!(x[0].abs() < 1e-10);
+        assert!((x[1] - 0.5).abs() < 1e-8); // argmin over x1≥0 of x1² + (x1-1)²
+    }
+
+    #[test]
+    fn nnls_zero_rhs_gives_zero() {
+        let a = Mat::identity(4);
+        let x = nnls(&a, &[0.0; 4], 10);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+}

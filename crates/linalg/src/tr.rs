@@ -1,0 +1,228 @@
+//! Trust-region subproblem solver (Moré–Sorensen on the eigenbasis).
+
+use crate::{Mat, SymEigen};
+
+/// Result of solving `min_p  gᵀp + ½ pᵀHp  s.t. ‖p‖ ≤ Δ`.
+#[derive(Debug, Clone)]
+pub struct TrSolution {
+    /// The minimizing step.
+    pub step: Vec<f64>,
+    /// Model reduction `−(gᵀp + ½pᵀHp)` (≥ 0 up to rounding).
+    pub predicted_reduction: f64,
+    /// Whether the step hit the trust-region boundary.
+    pub on_boundary: bool,
+    /// Ridge multiplier λ with `(H + λI) p = −g`, λ ≥ 0.
+    pub lambda: f64,
+}
+
+/// Solve the trust-region subproblem exactly via eigendecomposition.
+///
+/// This mirrors the paper's inner optimizer (§IV-D): Newton steps on a
+/// nonconvex objective are safeguarded by a trust region, and each step
+/// costs one eigendecomposition (here: Jacobi, [`SymEigen`]) plus cheap
+/// secular-equation iterations. In the eigenbasis the stationarity
+/// condition `(H + λI) p = −g` becomes diagonal, so we root-find the
+/// scalar secular equation `‖p(λ)‖ = Δ` with a safeguarded Newton
+/// iteration, handling the hard case (gradient orthogonal to the bottom
+/// eigenspace) explicitly.
+pub fn solve_tr_subproblem(h: &Mat, g: &[f64], delta: f64) -> TrSolution {
+    assert!(delta > 0.0, "trust radius must be positive");
+    assert_eq!(h.rows(), g.len(), "gradient/Hessian dimension mismatch");
+    let n = g.len();
+    let eig = SymEigen::new(h);
+    let lam = eig.values();
+    let gbar = eig.to_eigenbasis(g);
+    let lam_min = lam[0];
+
+    // Unconstrained Newton step is valid if H ≻ 0 and the step fits.
+    if lam_min > 0.0 {
+        let p_newton: Vec<f64> = gbar.iter().zip(lam).map(|(&gi, &li)| -gi / li).collect();
+        let norm = crate::vecops::norm2(&p_newton);
+        if norm <= delta {
+            let step = eig.from_eigenbasis(&p_newton);
+            let pred = predicted_reduction(h, g, &step);
+            return TrSolution { step, predicted_reduction: pred, on_boundary: false, lambda: 0.0 };
+        }
+    }
+
+    // Boundary solution: find λ > max(0, −λ_min) with ‖p(λ)‖ = Δ where
+    // p_i(λ) = −ḡ_i / (λ_i + λ).
+    let lam_floor = (-lam_min).max(0.0);
+    let norm_at = |l: f64| -> f64 {
+        gbar.iter()
+            .zip(lam)
+            .map(|(&gi, &li)| {
+                let d = li + l;
+                (gi / d) * (gi / d)
+            })
+            .sum::<f64>()
+            .sqrt()
+    };
+
+    // Hard case: ḡ has (numerically) no component on the bottom
+    // eigenspace, so even λ → λ_floor⁺ cannot reach the boundary. Take
+    // the limiting interior solution plus a bottom-eigenvector component
+    // sized to land exactly on the boundary.
+    let g_scale = crate::vecops::max_abs(&gbar).max(1.0);
+    let bottom: Vec<usize> =
+        (0..n).filter(|&i| (lam[i] - lam_min).abs() <= 1e-12 * lam_min.abs().max(1.0)).collect();
+    let hard_case = lam_min <= 0.0
+        && bottom.iter().all(|&i| gbar[i].abs() <= 1e-12 * g_scale)
+        && norm_at(lam_floor + 1e-12 * lam_floor.abs().max(1.0)) < delta;
+    if hard_case {
+        let l = lam_floor;
+        let mut p: Vec<f64> = (0..n)
+            .map(|i| {
+                let d = lam[i] + l;
+                if d.abs() <= 1e-12 { 0.0 } else { -gbar[i] / d }
+            })
+            .collect();
+        let pnorm = crate::vecops::norm2(&p);
+        let tau = (delta * delta - pnorm * pnorm).max(0.0).sqrt();
+        p[bottom[0]] += tau;
+        let step = eig.from_eigenbasis(&p);
+        let pred = predicted_reduction(h, g, &step);
+        return TrSolution { step, predicted_reduction: pred, on_boundary: true, lambda: l };
+    }
+
+    // Safeguarded Newton on φ(λ) = 1/‖p(λ)‖ − 1/Δ (convex in λ, the
+    // standard Moré–Sorensen reformulation with superlinear convergence).
+    let mut lo = lam_floor;
+    let mut hi = lam_floor.max(1.0);
+    while norm_at(hi) > delta {
+        hi = 2.0 * hi + 1.0;
+        if hi > 1e18 {
+            break;
+        }
+    }
+    let mut l = 0.5 * (lo.max(lam_floor + 1e-12) + hi);
+    for _ in 0..100 {
+        let nrm = norm_at(l);
+        let phi = 1.0 / nrm - 1.0 / delta;
+        if phi.abs() < 1e-12 / delta {
+            break;
+        }
+        if nrm > delta {
+            lo = lo.max(l);
+        } else {
+            hi = hi.min(l);
+        }
+        // φ'(λ) = (Σ ḡ²/(λ_i+λ)³) / ‖p‖³
+        let dsum: f64 = gbar
+            .iter()
+            .zip(lam)
+            .map(|(&gi, &li)| {
+                let d = li + l;
+                gi * gi / (d * d * d)
+            })
+            .sum();
+        let dphi = dsum / (nrm * nrm * nrm);
+        let mut l_new = l - phi / dphi;
+        if !(l_new > lo && l_new < hi) || !l_new.is_finite() {
+            l_new = 0.5 * (lo + hi); // bisection fallback keeps the bracket
+        }
+        if (l_new - l).abs() <= 1e-15 * l.abs().max(1.0) {
+            l = l_new;
+            break;
+        }
+        l = l_new;
+    }
+
+    let p: Vec<f64> = gbar
+        .iter()
+        .zip(lam)
+        .map(|(&gi, &li)| {
+            let d = li + l;
+            if d.abs() <= 1e-300 { 0.0 } else { -gi / d }
+        })
+        .collect();
+    let step = eig.from_eigenbasis(&p);
+    let pred = predicted_reduction(h, g, &step);
+    TrSolution { step, predicted_reduction: pred, on_boundary: true, lambda: l }
+}
+
+fn predicted_reduction(h: &Mat, g: &[f64], p: &[f64]) -> f64 {
+    -(crate::vecops::dot(g, p) + 0.5 * h.quad_form(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vecops::norm2;
+
+    #[test]
+    fn interior_step_is_newton_step() {
+        let h = Mat::from_diag(&[2.0, 4.0]);
+        let g = [0.2, -0.4];
+        let sol = solve_tr_subproblem(&h, &g, 10.0);
+        assert!(!sol.on_boundary);
+        assert!((sol.step[0] - -0.1).abs() < 1e-12);
+        assert!((sol.step[1] - 0.1).abs() < 1e-12);
+        assert_eq!(sol.lambda, 0.0);
+    }
+
+    #[test]
+    fn boundary_step_has_radius_delta() {
+        let h = Mat::from_diag(&[2.0, 4.0]);
+        let g = [10.0, -10.0];
+        let delta = 0.5;
+        let sol = solve_tr_subproblem(&h, &g, delta);
+        assert!(sol.on_boundary);
+        assert!((norm2(&sol.step) - delta).abs() < 1e-8);
+        // KKT: (H + λI) p = −g with λ ≥ 0.
+        let mut hp = h.matvec(&sol.step);
+        for (hpi, pi) in hp.iter_mut().zip(&sol.step) {
+            *hpi += sol.lambda * pi;
+        }
+        for (hpi, gi) in hp.iter().zip(&g) {
+            assert!((hpi + gi).abs() < 1e-6, "KKT residual too large");
+        }
+        assert!(sol.lambda >= 0.0);
+    }
+
+    #[test]
+    fn indefinite_hessian_still_descends() {
+        // Saddle: H has a negative eigenvalue; TR step must still reduce
+        // the quadratic model.
+        let h = Mat::from_rows(2, 2, &[1.0, 0.0, 0.0, -2.0]);
+        let g = [0.5, 0.3];
+        let sol = solve_tr_subproblem(&h, &g, 1.0);
+        assert!(sol.on_boundary);
+        assert!(sol.predicted_reduction > 0.0);
+        assert!((norm2(&sol.step) - 1.0).abs() < 1e-8);
+        assert!(sol.lambda >= 2.0 - 1e-8, "λ must dominate −λ_min");
+    }
+
+    #[test]
+    fn hard_case_reaches_boundary() {
+        // Gradient orthogonal to the negative-curvature direction.
+        let h = Mat::from_diag(&[-1.0, 3.0]);
+        let g = [0.0, 0.3];
+        let sol = solve_tr_subproblem(&h, &g, 2.0);
+        assert!(sol.on_boundary);
+        assert!((norm2(&sol.step) - 2.0).abs() < 1e-8);
+        assert!(sol.predicted_reduction > 0.0);
+    }
+
+    #[test]
+    fn zero_gradient_negative_curvature_moves() {
+        // At an exact saddle with g = 0, the optimizer must still escape
+        // along negative curvature (hard case with pure eigen-step).
+        let h = Mat::from_diag(&[-2.0, 1.0]);
+        let g = [0.0, 0.0];
+        let sol = solve_tr_subproblem(&h, &g, 1.0);
+        assert!((norm2(&sol.step) - 1.0).abs() < 1e-8);
+        assert!(sol.predicted_reduction > 0.0);
+        // Moves along the first (negative) eigendirection.
+        assert!(sol.step[0].abs() > 0.9);
+    }
+
+    #[test]
+    fn reduction_matches_direct_evaluation() {
+        let h = Mat::from_rows(3, 3, &[4.0, 1.0, 0.0, 1.0, 3.0, 0.5, 0.0, 0.5, 5.0]);
+        let g = [1.0, -2.0, 0.5];
+        let sol = solve_tr_subproblem(&h, &g, 0.3);
+        let direct = -(crate::vecops::dot(&g, &sol.step) + 0.5 * h.quad_form(&sol.step));
+        assert!((sol.predicted_reduction - direct).abs() < 1e-12);
+    }
+}

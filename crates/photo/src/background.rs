@@ -1,0 +1,100 @@
+//! Sky background estimation by iterative sigma clipping.
+
+use celeste_survey::Image;
+
+/// Estimated background statistics for an image.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Background {
+    /// Sky level, counts per pixel.
+    pub level: f64,
+    /// Per-pixel noise standard deviation.
+    pub sigma: f64,
+}
+
+/// Estimate the sky by sigma-clipped mean/variance: sources occupy a
+/// small pixel fraction, so iteratively discarding > `clip`σ outliers
+/// converges to the sky statistics. This mirrors Photo's "binned sky"
+/// step without the spline interpolation (our synthetic sky is flat
+/// per image).
+pub fn estimate_background(img: &Image) -> Background {
+    estimate_from_samples(&img.pixels)
+}
+
+/// Core routine on raw samples (exposed for tests and sub-regions).
+pub fn estimate_from_samples(samples: &[f32]) -> Background {
+    assert!(!samples.is_empty(), "background of empty image");
+    let mut lo = f64::MIN;
+    let mut hi = f64::MAX;
+    let mut mean = 0.0;
+    let mut sd = 0.0;
+    for _round in 0..8 {
+        let mut n = 0usize;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for &p in samples {
+            let v = p as f64;
+            if v >= lo && v <= hi {
+                n += 1;
+                sum += v;
+                sumsq += v * v;
+            }
+        }
+        if n < 8 {
+            break;
+        }
+        mean = sum / n as f64;
+        sd = (sumsq / n as f64 - mean * mean).max(0.0).sqrt();
+        let clip = 3.0;
+        let (new_lo, new_hi) = (mean - clip * sd, mean + clip * sd);
+        if (new_lo - lo).abs() < 1e-9 && (new_hi - hi).abs() < 1e-9 {
+            break;
+        }
+        lo = new_lo;
+        hi = new_hi;
+    }
+    Background { level: mean, sigma: sd.max(1e-6) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_noise_recovers_moments() {
+        // Deterministic pseudo-Poisson-ish noise around 100.
+        let samples: Vec<f32> = (0..10_000)
+            .map(|i| {
+                let u = ((i * 2654435761u64 as usize) % 1000) as f32 / 1000.0;
+                100.0 + (u - 0.5) * 20.0 // uniform ±10, sd ≈ 5.77
+            })
+            .collect();
+        let bg = estimate_from_samples(&samples);
+        assert!((bg.level - 100.0).abs() < 0.5, "level {}", bg.level);
+        assert!((bg.sigma - 5.77).abs() < 0.5, "sigma {}", bg.sigma);
+    }
+
+    #[test]
+    fn bright_outliers_are_clipped() {
+        let mut samples: Vec<f32> = (0..10_000)
+            .map(|i| 100.0 + (((i * 7919) % 100) as f32 / 100.0 - 0.5) * 12.0)
+            .collect();
+        // Contaminate 2% of pixels with a bright source.
+        for i in 0..200 {
+            samples[i * 50] = 5_000.0;
+        }
+        let bg = estimate_from_samples(&samples);
+        assert!(
+            (bg.level - 100.0).abs() < 2.0,
+            "sigma clipping failed: level {}",
+            bg.level
+        );
+    }
+
+    #[test]
+    fn constant_image_gives_zero_sigma_floor() {
+        let samples = vec![42.0f32; 100];
+        let bg = estimate_from_samples(&samples);
+        assert!((bg.level - 42.0).abs() < 1e-9);
+        assert!(bg.sigma <= 1e-5);
+    }
+}

@@ -1,0 +1,229 @@
+//! Cyclades: conflict-free asynchronous block coordinate ascent
+//! (paper §IV-D, after Pan et al. 2016).
+//!
+//! Block coordinate ascent is serial if updated blocks overlap.
+//! Cyclades builds a *conflict graph* — vertices are light sources,
+//! edges join sources whose appearances overlap — samples vertices
+//! without replacement, splits the sampled subgraph into connected
+//! components, and assigns whole components to threads. Overlapping
+//! sources therefore always land on the same thread, and every update
+//! remains a correct serial BCA step.
+
+use celeste_core::SourceParams;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The region's conflict graph (adjacency lists by source index).
+#[derive(Debug, Clone)]
+pub struct ConflictGraph {
+    pub adj: Vec<Vec<usize>>,
+    pub edges: usize,
+}
+
+/// Effective overlap radius of a source in arcsec: PSF-ish core plus
+/// galaxy extent.
+fn overlap_radius_arcsec(sp: &SourceParams, psf_radius_arcsec: f64) -> f64 {
+    let shape = sp.shape();
+    let gal = if sp.star_prob() < 0.95 { 2.0 * shape.radius_arcsec } else { 0.0 };
+    psf_radius_arcsec + gal
+}
+
+/// Build the conflict graph: an edge wherever two sources' supports
+/// overlap (separation below the sum of their radii).
+pub fn conflict_graph(sources: &[SourceParams], psf_radius_arcsec: f64) -> ConflictGraph {
+    let n = sources.len();
+    let radii: Vec<f64> =
+        sources.iter().map(|s| overlap_radius_arcsec(s, psf_radius_arcsec)).collect();
+    let mut adj = vec![Vec::new(); n];
+    let mut edges = 0;
+    // n is at most ~500 per task; the quadratic sweep is fine and
+    // avoids an index structure.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let sep = sources[i].base_pos.sep_arcsec(&sources[j].base_pos);
+            if sep < radii[i] + radii[j] {
+                adj[i].push(j);
+                adj[j].push(i);
+                edges += 1;
+            }
+        }
+    }
+    ConflictGraph { adj, edges }
+}
+
+/// One Cyclades batch: per-thread lists of source indices; components
+/// are never split across threads.
+pub type Batch = Vec<Vec<usize>>;
+
+/// Sample Cyclades batches covering every source exactly once.
+///
+/// Each batch draws `batch_size` sources at random without
+/// replacement, finds connected components of the conflict graph
+/// *restricted to the sample*, and packs components onto `n_threads`
+/// threads largest-first (LPT). "Even if the conflict graph is
+/// connected, its restriction to a random sample typically has many
+/// connected components" (§IV-D).
+pub fn sample_batches<R: Rng + ?Sized>(
+    rng: &mut R,
+    graph: &ConflictGraph,
+    n_threads: usize,
+    batch_size: usize,
+) -> Vec<Batch> {
+    let n = graph.adj.len();
+    let n_threads = n_threads.max(1);
+    let batch_size = batch_size.clamp(1, n.max(1));
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let mut batches = Vec::new();
+    for chunk in order.chunks(batch_size) {
+        // Union-find over the sampled vertices only.
+        let mut comp_of: std::collections::HashMap<usize, usize> =
+            chunk.iter().map(|&v| (v, v)).collect();
+        fn find(map: &mut std::collections::HashMap<usize, usize>, v: usize) -> usize {
+            let mut root = v;
+            while map[&root] != root {
+                root = map[&root];
+            }
+            // Path compression.
+            let mut cur = v;
+            while map[&cur] != root {
+                let next = map[&cur];
+                map.insert(cur, root);
+                cur = next;
+            }
+            root
+        }
+        for &v in chunk {
+            for &w in &graph.adj[v] {
+                if comp_of.contains_key(&w) {
+                    let rv = find(&mut comp_of, v);
+                    let rw = find(&mut comp_of, w);
+                    if rv != rw {
+                        comp_of.insert(rv, rw);
+                    }
+                }
+            }
+        }
+        // Collect components.
+        let mut comps: std::collections::HashMap<usize, Vec<usize>> = Default::default();
+        for &v in chunk {
+            let r = find(&mut comp_of, v);
+            comps.entry(r).or_default().push(v);
+        }
+        let mut comps: Vec<Vec<usize>> = comps.into_values().collect();
+        // LPT packing: biggest components first onto the least-loaded
+        // thread.
+        comps.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        let mut threads: Batch = vec![Vec::new(); n_threads];
+        let mut loads = vec![0usize; n_threads];
+        for comp in comps {
+            let t = loads
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &l)| l)
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            loads[t] += comp.len();
+            threads[t].extend(comp);
+        }
+        batches.push(threads);
+    }
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use celeste_survey::catalog::{CatalogEntry, GalaxyShape, SourceType};
+    use celeste_survey::skygeom::SkyCoord;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn source_at(id: u64, ra_arcsec: f64) -> SourceParams {
+        SourceParams::init_from_entry(&CatalogEntry {
+            id,
+            pos: SkyCoord::new(ra_arcsec / 3600.0, 0.0),
+            source_type: SourceType::Star,
+            flux_r_nmgy: 5.0,
+            colors: [0.0; 4],
+            shape: GalaxyShape::round_disk(1.0),
+        })
+    }
+
+    fn chain(n: usize, sep_arcsec: f64) -> Vec<SourceParams> {
+        (0..n).map(|i| source_at(i as u64, i as f64 * sep_arcsec)).collect()
+    }
+
+    #[test]
+    fn close_pairs_conflict_far_pairs_do_not() {
+        let sources = chain(3, 100.0); // far apart
+        let g = conflict_graph(&sources, 5.0);
+        assert_eq!(g.edges, 0);
+        let sources = chain(3, 4.0); // overlapping chain
+        let g = conflict_graph(&sources, 5.0);
+        assert!(g.edges >= 2);
+        assert!(g.adj[1].contains(&0) && g.adj[1].contains(&2));
+    }
+
+    #[test]
+    fn batches_cover_every_source_exactly_once() {
+        let sources = chain(100, 8.0);
+        let g = conflict_graph(&sources, 5.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let batches = sample_batches(&mut rng, &g, 4, 25);
+        let mut seen = vec![0usize; 100];
+        for b in &batches {
+            for t in b {
+                for &v in t {
+                    seen[v] += 1;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+    }
+
+    #[test]
+    fn conflicting_sources_share_a_thread() {
+        // Dense cluster: everything within one component.
+        let mut sources = chain(30, 3.0);
+        sources.extend((0..30).map(|i| source_at(100 + i as u64, 10_000.0 + i as f64 * 500.0)));
+        let g = conflict_graph(&sources, 5.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let batches = sample_batches(&mut rng, &g, 4, 20);
+        for batch in &batches {
+            // Thread of each sampled vertex.
+            let mut thread_of = std::collections::HashMap::new();
+            for (t, list) in batch.iter().enumerate() {
+                for &v in list {
+                    thread_of.insert(v, t);
+                }
+            }
+            for (&v, &tv) in &thread_of {
+                for &w in &g.adj[v] {
+                    if let Some(&tw) = thread_of.get(&w) {
+                        assert_eq!(tv, tw, "conflicting {v},{w} split across threads");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_sources_spread_across_threads() {
+        let sources = chain(64, 1000.0); // no conflicts
+        let g = conflict_graph(&sources, 5.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let batches = sample_batches(&mut rng, &g, 8, 64);
+        assert_eq!(batches.len(), 1);
+        let loads: Vec<usize> = batches[0].iter().map(|t| t.len()).collect();
+        assert_eq!(loads.iter().sum::<usize>(), 64);
+        assert!(loads.iter().all(|&l| l == 8), "unbalanced: {loads:?}");
+    }
+
+    #[test]
+    fn empty_input_yields_no_batches() {
+        let g = conflict_graph(&[], 5.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(sample_batches(&mut rng, &g, 4, 10).is_empty());
+    }
+}

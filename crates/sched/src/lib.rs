@@ -1,0 +1,36 @@
+//! Distributed optimization machinery (DESIGN.md S7–S10).
+//!
+//! The paper's three-level parallel decomposition (§IV):
+//!
+//! 1. **Cluster level** — [`partition`] recursively splits the sky into
+//!    region tasks of roughly equal predicted work; [`dtree`]
+//!    distributes them dynamically across nodes with a tree-structured
+//!    scheduler (Dtree, Pamnany et al. 2015); a second *shifted*
+//!    partition stage re-optimizes boundary sources.
+//! 2. **Node level** — [`cyclades`] samples the region's conflict
+//!    graph and partitions connected components across worker threads
+//!    so that overlapping sources are never optimized concurrently
+//!    (Pan et al. 2016); [`pgas`] holds the current parameters for all
+//!    sources in a sharded global address space with `get`/`put`
+//!    semantics modeled on the Global Arrays Toolkit over MPI-3 RMA.
+//! 3. **Source level** — `celeste-core`'s Newton trust-region fit.
+//!
+//! [`runtime`] wires these together into a real multi-threaded
+//! region processor, and [`campaign`] runs a full survey end-to-end on
+//! this machine (simulated "nodes" = thread groups), measuring the
+//! same four runtime components the paper plots in Figs. 4–5: task
+//! processing, image loading, load imbalance, and other.
+
+pub mod campaign;
+pub mod cyclades;
+pub mod dtree;
+pub mod partition;
+pub mod pgas;
+pub mod runtime;
+
+pub use campaign::{run_campaign, stage_survey, task_image_keys, CampaignConfig, CampaignReport, ComponentTimes};
+pub use cyclades::{conflict_graph, sample_batches, ConflictGraph};
+pub use dtree::{Dtree, DtreeStats};
+pub use partition::{partition_sky, PartitionConfig, RegionTask};
+pub use pgas::{ParamStore, StoreStats};
+pub use runtime::{process_region, RegionStats};

@@ -1,0 +1,209 @@
+//! A partitioned-global-address-space parameter store (paper §IV-C).
+//!
+//! "During the optimization procedure, the current parameters for all
+//! celestial bodies are stored in a partitioned global address space
+//! (PGAS). Our interface mimics that of the Global Arrays Toolkit. We
+//! use MPI-3 as the transport layer; get and put operations on
+//! elements make use of one-sided RMA operations."
+//!
+//! Here the address space is sharded over in-process partitions (one
+//! per simulated node); `get`/`put` are one-sided in the Global Arrays
+//! sense — no participation from the owner is needed. Accesses to a
+//! partition other than the caller's are counted as *remote* so the
+//! cluster simulator can charge interconnect latency for them.
+
+use crate::partition::RegionTask;
+use celeste_core::params::NUM_PARAMS;
+use celeste_core::SourceParams;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Access statistics (for the network model and tests).
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    pub gets: AtomicU64,
+    pub puts: AtomicU64,
+    pub remote_gets: AtomicU64,
+    pub remote_puts: AtomicU64,
+}
+
+/// Sharded parameter store: source id → 44-vector (+ anchor).
+pub struct ParamStore {
+    shards: Vec<RwLock<HashMap<u64, SourceParams>>>,
+    pub stats: StoreStats,
+}
+
+impl ParamStore {
+    /// Create a store partitioned across `n_partitions` simulated nodes.
+    pub fn new(n_partitions: usize) -> ParamStore {
+        ParamStore {
+            shards: (0..n_partitions.max(1)).map(|_| RwLock::new(HashMap::new())).collect(),
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The partition that owns a source id.
+    #[inline]
+    pub fn owner(&self, id: u64) -> usize {
+        (id % self.shards.len() as u64) as usize
+    }
+
+    /// Insert or overwrite a source (bulk-loading at init).
+    pub fn insert(&self, sp: SourceParams) {
+        let shard = self.owner(sp.id);
+        self.shards[shard].write().insert(sp.id, sp);
+    }
+
+    /// One-sided get from partition `from_partition`'s perspective.
+    pub fn get(&self, from_partition: usize, id: u64) -> Option<SourceParams> {
+        let shard = self.owner(id);
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        if shard != from_partition {
+            self.stats.remote_gets.fetch_add(1, Ordering::Relaxed);
+        }
+        self.shards[shard].read().get(&id).cloned()
+    }
+
+    /// One-sided put of the 44-vector for an existing source.
+    pub fn put(&self, from_partition: usize, id: u64, params: &[f64; NUM_PARAMS]) -> bool {
+        let shard = self.owner(id);
+        self.stats.puts.fetch_add(1, Ordering::Relaxed);
+        if shard != from_partition {
+            self.stats.remote_puts.fetch_add(1, Ordering::Relaxed);
+        }
+        match self.shards[shard].write().get_mut(&id) {
+            Some(sp) => {
+                sp.params = *params;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Snapshot several sources at once (a task's working set).
+    pub fn get_many(&self, from_partition: usize, ids: &[u64]) -> Vec<SourceParams> {
+        ids.iter().filter_map(|&id| self.get(from_partition, id)).collect()
+    }
+
+    /// All sources needed by a region task, in task order.
+    pub fn load_task(&self, from_partition: usize, task: &RegionTask, id_of: &[u64]) -> Vec<SourceParams> {
+        let ids: Vec<u64> = task.source_indices.iter().map(|&i| id_of[i]).collect();
+        self.get_many(from_partition, &ids)
+    }
+
+    /// Total sources stored.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain everything into a vector (end-of-campaign output step).
+    pub fn export(&self) -> Vec<SourceParams> {
+        let mut out: Vec<SourceParams> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().values().cloned().collect::<Vec<_>>())
+            .collect();
+        out.sort_by_key(|sp| sp.id);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use celeste_survey::catalog::{CatalogEntry, GalaxyShape, SourceType};
+    use celeste_survey::skygeom::SkyCoord;
+
+    fn sp(id: u64) -> SourceParams {
+        SourceParams::init_from_entry(&CatalogEntry {
+            id,
+            pos: SkyCoord::new(id as f64 * 0.01, 0.0),
+            source_type: SourceType::Star,
+            flux_r_nmgy: 1.0 + id as f64,
+            colors: [0.0; 4],
+            shape: GalaxyShape::round_disk(1.0),
+        })
+    }
+
+    #[test]
+    fn put_then_get_roundtrips() {
+        let store = ParamStore::new(4);
+        store.insert(sp(7));
+        let mut p = [1.5; NUM_PARAMS];
+        p[0] = -3.0;
+        assert!(store.put(0, 7, &p));
+        let got = store.get(0, 7).unwrap();
+        assert_eq!(got.params, p);
+        assert_eq!(got.id, 7);
+    }
+
+    #[test]
+    fn put_to_missing_source_fails() {
+        let store = ParamStore::new(2);
+        assert!(!store.put(0, 99, &[0.0; NUM_PARAMS]));
+    }
+
+    #[test]
+    fn remote_accounting() {
+        let store = ParamStore::new(4);
+        for id in 0..8 {
+            store.insert(sp(id));
+        }
+        // From partition 0: ids 0,4 are local; others remote.
+        for id in 0..8 {
+            store.get(0, id);
+        }
+        assert_eq!(store.stats.gets.load(Ordering::Relaxed), 8);
+        assert_eq!(store.stats.remote_gets.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn export_is_sorted_and_complete() {
+        let store = ParamStore::new(3);
+        for id in [5u64, 1, 9, 3] {
+            store.insert(sp(id));
+        }
+        let all = store.export();
+        let ids: Vec<u64> = all.iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![1, 3, 5, 9]);
+        assert_eq!(store.len(), 4);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_are_consistent() {
+        let store = std::sync::Arc::new(ParamStore::new(8));
+        for id in 0..64 {
+            store.insert(sp(id));
+        }
+        std::thread::scope(|s| {
+            for w in 0..8u64 {
+                let store = std::sync::Arc::clone(&store);
+                s.spawn(move || {
+                    for round in 0..50u64 {
+                        let id = (w * 50 + round) % 64;
+                        let mut p = [w as f64; NUM_PARAMS];
+                        p[1] = round as f64;
+                        store.put(w as usize % 8, id, &p);
+                        let got = store.get(w as usize % 8, id).unwrap();
+                        // A full 44-vector is written under the shard
+                        // lock, so reads never see torn values: params
+                        // must be one of the written vectors.
+                        let first = got.params[0];
+                        assert!(got.params[2..].iter().all(|&x| x == first));
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 64);
+    }
+}

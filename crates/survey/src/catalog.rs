@@ -1,0 +1,175 @@
+//! Light-source catalogs: the survey truth, initialization catalogs,
+//! and fitted estimates all share these types.
+
+use crate::bands::{fluxes_from_colors, NUM_BANDS, NUM_COLORS};
+use crate::skygeom::{SkyCoord, SkyRect};
+
+/// Star or galaxy — the paper's Bernoulli `a_s`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SourceType {
+    Star,
+    Galaxy,
+}
+
+/// Galaxy morphology parameters (the paper's φ_s): profile mix, axis
+/// ratio, orientation, and angular size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GalaxyShape {
+    /// Fraction of flux in the de Vaucouleurs component (0 = pure disk,
+    /// 1 = pure bulge). The paper's "profile" metric.
+    pub frac_dev: f64,
+    /// Minor/major axis ratio in (0, 1]. 1 − axis_ratio is the paper's
+    /// "eccentricity" metric.
+    pub axis_ratio: f64,
+    /// Major-axis position angle, radians in [0, π).
+    pub angle_rad: f64,
+    /// Half-light radius along the major axis, arcseconds ("scale").
+    pub radius_arcsec: f64,
+}
+
+impl GalaxyShape {
+    /// A canonical round disk, used for initialization.
+    pub fn round_disk(radius_arcsec: f64) -> GalaxyShape {
+        GalaxyShape { frac_dev: 0.5, axis_ratio: 0.8, angle_rad: 0.0, radius_arcsec }
+    }
+}
+
+/// One catalog record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogEntry {
+    /// Survey-unique identifier.
+    pub id: u64,
+    /// Sky position.
+    pub pos: SkyCoord,
+    /// Star or galaxy.
+    pub source_type: SourceType,
+    /// Reference-band (r) flux in nanomaggies.
+    pub flux_r_nmgy: f64,
+    /// Adjacent-band log flux ratios (u-g, g-r, r-i, i-z order as
+    /// `ln(f_next/f_prev)`).
+    pub colors: [f64; NUM_COLORS],
+    /// Galaxy shape; ignored for stars (kept for initialization).
+    pub shape: GalaxyShape,
+}
+
+impl CatalogEntry {
+    /// Per-band fluxes in nanomaggies.
+    pub fn fluxes(&self) -> [f64; NUM_BANDS] {
+        fluxes_from_colors(self.flux_r_nmgy, &self.colors)
+    }
+
+    /// Whether this entry is a star.
+    pub fn is_star(&self) -> bool {
+        self.source_type == SourceType::Star
+    }
+}
+
+/// A collection of catalog entries.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    pub entries: Vec<CatalogEntry>,
+}
+
+impl Catalog {
+    pub fn new(entries: Vec<CatalogEntry>) -> Catalog {
+        Catalog { entries }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries whose positions fall inside `rect`.
+    pub fn in_rect(&self, rect: &SkyRect) -> Vec<&CatalogEntry> {
+        self.entries.iter().filter(|e| rect.contains(&e.pos)).collect()
+    }
+
+    /// Find the entry nearest to `pos`, returning `(entry, separation
+    /// arcsec)`. `None` for an empty catalog.
+    pub fn nearest(&self, pos: &SkyCoord) -> Option<(&CatalogEntry, f64)> {
+        self.entries
+            .iter()
+            .map(|e| (e, e.pos.sep_arcsec(pos)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+    }
+
+    /// CSV export (one header plus one row per entry) — the human- and
+    /// plot-friendly output format.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from(
+            "id,ra,dec,type,flux_r_nmgy,c_ug,c_gr,c_ri,c_iz,frac_dev,axis_ratio,angle_rad,radius_arcsec\n",
+        );
+        for e in &self.entries {
+            use std::fmt::Write;
+            let _ = writeln!(
+                s,
+                "{},{:.8},{:.8},{},{:.6},{:.5},{:.5},{:.5},{:.5},{:.4},{:.4},{:.4},{:.4}",
+                e.id,
+                e.pos.ra,
+                e.pos.dec,
+                if e.is_star() { "star" } else { "galaxy" },
+                e.flux_r_nmgy,
+                e.colors[0],
+                e.colors[1],
+                e.colors[2],
+                e.colors[3],
+                e.shape.frac_dev,
+                e.shape.axis_ratio,
+                e.shape.angle_rad,
+                e.shape.radius_arcsec,
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u64, ra: f64, dec: f64) -> CatalogEntry {
+        CatalogEntry {
+            id,
+            pos: SkyCoord::new(ra, dec),
+            source_type: SourceType::Star,
+            flux_r_nmgy: 1.0,
+            colors: [0.0; 4],
+            shape: GalaxyShape::round_disk(1.0),
+        }
+    }
+
+    #[test]
+    fn nearest_finds_closest() {
+        let cat = Catalog::new(vec![entry(1, 0.0, 0.0), entry(2, 0.01, 0.0), entry(3, 1.0, 1.0)]);
+        let (e, sep) = cat.nearest(&SkyCoord::new(0.009, 0.0)).unwrap();
+        assert_eq!(e.id, 2);
+        assert!(sep < 4.0);
+    }
+
+    #[test]
+    fn nearest_on_empty_is_none() {
+        assert!(Catalog::default().nearest(&SkyCoord::new(0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn in_rect_filters() {
+        let cat = Catalog::new(vec![entry(1, 0.5, 0.5), entry(2, 2.0, 2.0)]);
+        let hits = cat.in_rect(&SkyRect::new(0.0, 1.0, 0.0, 1.0));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 1);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let cat = Catalog::new(vec![entry(7, 1.0, 2.0)]);
+        let csv = cat.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("id,ra,dec"));
+        assert!(lines[1].starts_with("7,"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Coaddition of repeat exposures — the Stripe 82 ground-truth protocol.
+//!
+//! Paper §VIII: "combine exposures from all Stripe-82 runs to produce a
+//! very high signal-to-noise image, and estimate ground truth parameters
+//! from that image." We coadd by *summing* counts: the sum of Poisson
+//! images is Poisson with summed rates, so the coadd is statistically
+//! identical to one long exposure with `Σ ι_e` calibration and `Σ ε_e`
+//! sky — no reweighting bias, and √N deeper. The coadd PSF is the
+//! flux-weighted mixture of the epoch PSFs.
+
+use crate::image::Image;
+use crate::psf::{Psf, PsfComponent};
+
+/// Sum-coadd a set of same-footprint exposures (same band, same WCS
+/// grid). Panics if geometries differ.
+pub fn coadd(exposures: &[&Image]) -> Image {
+    assert!(!exposures.is_empty(), "coadd of zero exposures");
+    let first = exposures[0];
+    for e in exposures {
+        assert_eq!(e.width, first.width, "coadd: mixed widths");
+        assert_eq!(e.height, first.height, "coadd: mixed heights");
+        assert_eq!(e.band, first.band, "coadd: mixed bands");
+        assert_eq!(e.wcs, first.wcs, "coadd: mixed WCS");
+    }
+    let mut out = first.clone();
+    out.sky_level = exposures.iter().map(|e| e.sky_level).sum();
+    out.nmgy_to_counts = exposures.iter().map(|e| e.nmgy_to_counts).sum();
+    for p in &mut out.pixels {
+        *p = 0.0;
+    }
+    for e in exposures {
+        for (o, &p) in out.pixels.iter_mut().zip(&e.pixels) {
+            *o += p;
+        }
+    }
+    // Flux-weighted mixture of per-epoch PSFs, renormalized to unit
+    // weight. (Each epoch contributes flux ∝ its ι.)
+    let total_iota = out.nmgy_to_counts;
+    let mut comps: Vec<PsfComponent> = Vec::new();
+    for e in exposures {
+        let share = e.nmgy_to_counts / total_iota;
+        for c in &e.psf.components {
+            comps.push(PsfComponent { weight: c.weight * share, sigma_px: c.sigma_px });
+        }
+    }
+    out.psf = Psf { components: merge_similar(comps) };
+    out
+}
+
+/// Merge PSF components with near-identical widths to keep the coadd
+/// mixture small (80 epochs × 2 components would otherwise be 160).
+fn merge_similar(mut comps: Vec<PsfComponent>) -> Vec<PsfComponent> {
+    comps.sort_by(|a, b| a.sigma_px.partial_cmp(&b.sigma_px).unwrap());
+    let mut merged: Vec<PsfComponent> = Vec::new();
+    for c in comps {
+        match merged.last_mut() {
+            Some(m) if (c.sigma_px - m.sigma_px).abs() < 0.05 * m.sigma_px => {
+                // Weight-average the widths.
+                let w = m.weight + c.weight;
+                m.sigma_px = (m.sigma_px * m.weight + c.sigma_px * c.weight) / w;
+                m.weight = w;
+            }
+            _ => merged.push(c),
+        }
+    }
+    merged
+}
+
+/// Signal-to-noise proxy for a point source of `flux_nmgy` in an image:
+/// `ι·flux / √(sky per effective PSF area)`.
+pub fn point_source_snr(img: &Image, flux_nmgy: f64) -> f64 {
+    let signal = img.nmgy_to_counts * flux_nmgy;
+    // Effective number of pixels under the PSF ≈ 4π σ_eff².
+    let sigma2: f64 = img
+        .psf
+        .components
+        .iter()
+        .map(|c| c.weight * c.sigma_px * c.sigma_px)
+        .sum::<f64>()
+        / img.psf.total_weight();
+    let npix = 4.0 * std::f64::consts::PI * sigma2;
+    signal / (npix * img.sky_level + signal).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bands::Band;
+    use crate::catalog::{Catalog, CatalogEntry, GalaxyShape, SourceType};
+    use crate::render::render_observed;
+    use crate::skygeom::{FieldId, SkyCoord, SkyRect};
+    use crate::wcs::Wcs;
+
+    fn exposure(seed: u64) -> Image {
+        let rect = SkyRect::new(0.0, 0.02, 0.0, 0.02);
+        let mut img = Image::blank(
+            FieldId { run: seed as u32, camcol: 1, field: 0 },
+            Band::R,
+            Wcs::for_rect(&rect, 64, 64),
+            64,
+            64,
+            100.0,
+            300.0,
+            Psf::core_halo(1.4),
+        );
+        let cat = Catalog::new(vec![CatalogEntry {
+            id: 1,
+            pos: SkyCoord::new(0.01, 0.01),
+            source_type: SourceType::Star,
+            flux_r_nmgy: 3.0,
+            colors: [0.0; 4],
+            shape: GalaxyShape::round_disk(1.0),
+        }]);
+        render_observed(&cat, &mut img, seed);
+        img
+    }
+
+    #[test]
+    fn coadd_sums_counts_and_calibration() {
+        let exps: Vec<Image> = (0..4).map(exposure).collect();
+        let refs: Vec<&Image> = exps.iter().collect();
+        let c = coadd(&refs);
+        assert!((c.sky_level - 400.0).abs() < 1e-9);
+        assert!((c.nmgy_to_counts - 1200.0).abs() < 1e-9);
+        let manual: f32 = exps.iter().map(|e| e.pixels[100]).sum();
+        assert_eq!(c.pixels[100], manual);
+    }
+
+    #[test]
+    fn coadd_psf_weight_is_one() {
+        let exps: Vec<Image> = (0..8).map(exposure).collect();
+        let refs: Vec<&Image> = exps.iter().collect();
+        let c = coadd(&refs);
+        assert!((c.psf.total_weight() - 1.0).abs() < 1e-9);
+        // Merged: far fewer than 16 components.
+        assert!(c.psf.components.len() <= 8);
+    }
+
+    #[test]
+    fn coadd_improves_snr_like_sqrt_n() {
+        let one = exposure(1);
+        let exps: Vec<Image> = (0..16).map(exposure).collect();
+        let refs: Vec<&Image> = exps.iter().collect();
+        let deep = coadd(&refs);
+        let r = point_source_snr(&deep, 1.0) / point_source_snr(&one, 1.0);
+        assert!((r - 4.0).abs() < 0.5, "SNR ratio {r}, expected ≈ 4");
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed")]
+    fn coadd_rejects_mismatched_geometry() {
+        let a = exposure(1);
+        let mut b = exposure(2);
+        b.wcs.sky0.ra += 1.0;
+        let _ = coadd(&[&a, &b]);
+    }
+}

@@ -1,0 +1,242 @@
+//! Galaxy light profiles as Gaussian mixtures.
+//!
+//! Celeste (and Photo, and Tractor) model galaxies as a convex mixture
+//! of the exponential and de Vaucouleurs profiles, each approximated by
+//! a mixture of concentric Gaussians so that PSF convolution stays
+//! closed-form. The original approximations are from Hogg & Lang (2013);
+//! we reproduce the construction rather than copying their tables: a
+//! fixed geometric variance ladder per profile, with nonnegative
+//! weights fit by least squares ([`celeste_linalg::nnls`]) against the
+//! analytic radial profile, computed once and cached.
+
+use crate::gmm::Cov2;
+use celeste_linalg::{nnls, Mat};
+use std::sync::OnceLock;
+
+/// Ratio between the exponential profile's scale radius and its
+/// half-light radius: `r_e = 1.67835 · r_s`.
+const EXP_HALF_LIGHT: f64 = 1.678_346_99;
+
+/// de Vaucouleurs shape constant (from the half-light definition).
+const DEV_K: f64 = 7.669_249_4;
+
+/// A radial profile approximated as a mixture of concentric isotropic
+/// Gaussians, in units of the half-light radius (`r_e = 1`).
+#[derive(Debug, Clone)]
+pub struct MixtureProfile {
+    /// Flux fraction per component; sums to 1.
+    pub weights: Vec<f64>,
+    /// Component variances in units of `r_e²`.
+    pub vars: Vec<f64>,
+}
+
+/// Exponential-disk surface brightness at radius `r` (unit flux, unit
+/// half-light radius).
+pub fn exp_profile(r: f64) -> f64 {
+    let rs = 1.0 / EXP_HALF_LIGHT;
+    (-r / rs).exp() / (std::f64::consts::TAU * rs * rs)
+}
+
+/// de Vaucouleurs surface brightness at radius `r` (unit flux, unit
+/// half-light radius). The normalization constant is
+/// `∫ exp(−k(r^¼ − 1)) 2πr dr = 8π e^k · 7!/k⁸ = π e^k · 8!/k⁸` via the
+/// substitution `u = k r^¼`.
+pub fn dev_profile(r: f64) -> f64 {
+    let norm = std::f64::consts::PI * DEV_K.exp() * factorial(8) / DEV_K.powi(8);
+    (-DEV_K * (r.powf(0.25) - 1.0)).exp() / norm
+}
+
+fn factorial(n: u32) -> f64 {
+    (1..=n).map(|k| k as f64).product()
+}
+
+fn fit_profile(profile: fn(f64) -> f64, sigmas: &[f64]) -> MixtureProfile {
+    // Log-spaced radii spanning core to far wings, weighted by annulus
+    // area so the fit matches enclosed flux rather than peak brightness.
+    let n_r = 240;
+    let r_min: f64 = 5e-3;
+    let r_max: f64 = 12.0;
+    let log_step = (r_max / r_min).ln() / (n_r as f64 - 1.0);
+    let radii: Vec<f64> = (0..n_r).map(|j| r_min * (log_step * j as f64).exp()).collect();
+    let mut design = Mat::zeros(n_r, sigmas.len());
+    let mut target = vec![0.0; n_r];
+    for (j, &r) in radii.iter().enumerate() {
+        // Annulus flux weight: √(2πr·Δr) applied to both sides.
+        let dr = r * log_step;
+        let w = (std::f64::consts::TAU * r * dr).sqrt();
+        for (k, &s) in sigmas.iter().enumerate() {
+            let v = s * s;
+            design[(j, k)] = w * (-0.5 * r * r / v).exp() / (std::f64::consts::TAU * v);
+        }
+        target[j] = w * profile(r);
+    }
+    let mut weights = nnls(&design, &target, 20_000);
+    // Exact flux conservation: each unit Gaussian carries unit flux.
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.5, "profile fit degenerate: total weight {total}");
+    for w in &mut weights {
+        *w /= total;
+    }
+    MixtureProfile { weights, vars: sigmas.iter().map(|s| s * s).collect() }
+}
+
+/// The 6-Gaussian exponential profile approximation (fit once, cached).
+pub fn exp_mixture() -> &'static MixtureProfile {
+    static CACHE: OnceLock<MixtureProfile> = OnceLock::new();
+    CACHE.get_or_init(|| fit_profile(exp_profile, &[0.12, 0.22, 0.40, 0.72, 1.3, 2.4]))
+}
+
+/// The 8-Gaussian de Vaucouleurs profile approximation (fit once,
+/// cached). The deV profile needs a much wider ladder: a cuspy core
+/// plus wings carrying flux past 10 `r_e`.
+pub fn dev_mixture() -> &'static MixtureProfile {
+    static CACHE: OnceLock<MixtureProfile> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        fit_profile(dev_profile, &[0.018, 0.05, 0.12, 0.28, 0.62, 1.4, 3.2, 7.5])
+    })
+}
+
+/// Sky-frame covariance (arcsec²) for one unit-variance profile
+/// component under the source's shape: rotate by the position angle,
+/// stretch to `radius` along the major axis and `radius · axis_ratio`
+/// along the minor axis.
+pub fn shape_covariance(
+    unit_var: f64,
+    radius_arcsec: f64,
+    axis_ratio: f64,
+    angle_rad: f64,
+) -> Cov2 {
+    let (s, c) = angle_rad.sin_cos();
+    let major = unit_var * radius_arcsec * radius_arcsec;
+    let minor = major * axis_ratio * axis_ratio;
+    // R diag(major, minor) Rᵀ
+    Cov2 {
+        xx: c * c * major + s * s * minor,
+        xy: s * c * (major - minor),
+        yy: s * s * major + c * c * minor,
+    }
+}
+
+/// The combined (deV/exp weighted) galaxy mixture in the sky frame:
+/// a list of `(flux_weight, covariance_arcsec²)` pairs.
+pub fn galaxy_mixture_sky(
+    frac_dev: f64,
+    radius_arcsec: f64,
+    axis_ratio: f64,
+    angle_rad: f64,
+) -> Vec<(f64, Cov2)> {
+    let mut out = Vec::with_capacity(14);
+    let dev = dev_mixture();
+    let exp = exp_mixture();
+    for (w, v) in dev.weights.iter().zip(&dev.vars) {
+        out.push((frac_dev * w, shape_covariance(*v, radius_arcsec, axis_ratio, angle_rad)));
+    }
+    for (w, v) in exp.weights.iter().zip(&exp.vars) {
+        out.push((
+            (1.0 - frac_dev) * w,
+            shape_covariance(*v, radius_arcsec, axis_ratio, angle_rad),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enclosed_flux(profile: fn(f64) -> f64, r_lim: f64) -> f64 {
+        // Trapezoid over log-spaced radii.
+        let n = 4000;
+        let r_min: f64 = 1e-5;
+        let step = (r_lim / r_min).ln() / n as f64;
+        let mut total = 0.0;
+        for j in 0..n {
+            let r = r_min * ((j as f64 + 0.5) * step).exp();
+            total += profile(r) * std::f64::consts::TAU * r * (r * step);
+        }
+        total
+    }
+
+    #[test]
+    fn profiles_are_normalized() {
+        assert!((enclosed_flux(exp_profile, 40.0) - 1.0).abs() < 1e-3);
+        assert!((enclosed_flux(dev_profile, 4000.0) - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn half_light_radius_is_one() {
+        let e = enclosed_flux(exp_profile, 1.0);
+        assert!((e - 0.5).abs() < 2e-3, "exp enclosed at r_e: {e}");
+        let d = enclosed_flux(dev_profile, 1.0);
+        assert!((d - 0.5).abs() < 2e-2, "deV enclosed at r_e: {d}");
+    }
+
+    #[test]
+    fn mixtures_conserve_flux() {
+        assert!((exp_mixture().weights.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((dev_mixture().weights.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_tracks_exp_profile() {
+        let m = exp_mixture();
+        // Mixture surface brightness vs analytic, mid radii.
+        for &r in &[0.3, 0.5, 1.0, 1.5, 2.0, 3.0] {
+            let mix: f64 = m
+                .weights
+                .iter()
+                .zip(&m.vars)
+                .map(|(w, v)| w * (-0.5 * r * r / v).exp() / (std::f64::consts::TAU * v))
+                .sum();
+            let truth = exp_profile(r);
+            assert!(
+                (mix - truth).abs() < 0.12 * truth + 1e-4,
+                "exp mixture at r={r}: {mix} vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixture_tracks_dev_profile() {
+        let m = dev_mixture();
+        for &r in &[0.2, 0.5, 1.0, 2.0, 4.0] {
+            let mix: f64 = m
+                .weights
+                .iter()
+                .zip(&m.vars)
+                .map(|(w, v)| w * (-0.5 * r * r / v).exp() / (std::f64::consts::TAU * v))
+                .sum();
+            let truth = dev_profile(r);
+            assert!(
+                (mix - truth).abs() < 0.25 * truth + 1e-4,
+                "deV mixture at r={r}: {mix} vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn shape_covariance_round_source() {
+        // axis_ratio = 1 must be rotation invariant.
+        let a = shape_covariance(1.0, 2.0, 1.0, 0.0);
+        let b = shape_covariance(1.0, 2.0, 1.0, 1.1);
+        assert!((a.xx - b.xx).abs() < 1e-12 && (a.xy - b.xy).abs() < 1e-12);
+        assert!((a.xx - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shape_covariance_rotates_major_axis() {
+        // Angle π/2 swaps major/minor onto the axes.
+        let c = shape_covariance(1.0, 3.0, 0.5, std::f64::consts::FRAC_PI_2);
+        assert!((c.yy - 9.0).abs() < 1e-9);
+        assert!((c.xx - 2.25).abs() < 1e-9);
+        assert!(c.xy.abs() < 1e-9);
+    }
+
+    #[test]
+    fn galaxy_mixture_weights_sum_to_one() {
+        let g = galaxy_mixture_sky(0.3, 1.5, 0.7, 0.4);
+        let total: f64 = g.iter().map(|(w, _)| w).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+        assert_eq!(g.len(), 14);
+    }
+}

@@ -1,0 +1,544 @@
+//! On-disk image store and prefetching loader.
+//!
+//! Real Celeste stages 178 TB of FITS files through Cori's Burst Buffer
+//! and prefetches the images for a node's next task while the current
+//! one computes (paper §IV-A, §VII). This module provides the same
+//! moving parts at laptop scale: a binary container ("SIMG"), a
+//! directory-backed [`ImageStore`], and a [`Prefetcher`] that loads
+//! images on background threads ahead of use.
+
+use crate::bands::Band;
+use crate::image::Image;
+use crate::psf::{Psf, PsfComponent};
+use crate::skygeom::{FieldId, SkyCoord};
+use crate::wcs::Wcs;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const MAGIC: &[u8; 4] = b"SIMG";
+const CAT_MAGIC: &[u8; 4] = b"SCAT";
+const VERSION: u8 = 1;
+
+/// Errors from the image store.
+#[derive(Debug)]
+pub enum IoError {
+    Io(std::io::Error),
+    /// The file did not parse as a SIMG container.
+    Format(String),
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// Serialize an image to the SIMG binary layout.
+pub fn encode_image(img: &Image) -> Bytes {
+    let mut b = BytesMut::with_capacity(128 + img.pixels.len() * 4);
+    b.put_slice(MAGIC);
+    b.put_u8(VERSION);
+    b.put_u32_le(img.field.run);
+    b.put_u16_le(img.field.camcol);
+    b.put_u16_le(img.field.field);
+    b.put_u8(img.band.index() as u8);
+    b.put_u32_le(img.width as u32);
+    b.put_u32_le(img.height as u32);
+    b.put_f64_le(img.wcs.sky0.ra);
+    b.put_f64_le(img.wcs.sky0.dec);
+    b.put_f64_le(img.wcs.pix0[0]);
+    b.put_f64_le(img.wcs.pix0[1]);
+    for row in &img.wcs.jac {
+        for &v in row {
+            b.put_f64_le(v);
+        }
+    }
+    b.put_f64_le(img.sky_level);
+    b.put_f64_le(img.nmgy_to_counts);
+    b.put_u8(img.psf.components.len() as u8);
+    for c in &img.psf.components {
+        b.put_f64_le(c.weight);
+        b.put_f64_le(c.sigma_px);
+    }
+    for &p in &img.pixels {
+        b.put_f32_le(p);
+    }
+    b.freeze()
+}
+
+/// Parse a SIMG buffer back into an [`Image`].
+pub fn decode_image(mut buf: &[u8]) -> Result<Image, IoError> {
+    let need = |buf: &[u8], n: usize, what: &str| -> Result<(), IoError> {
+        if buf.remaining() < n {
+            Err(IoError::Format(format!("truncated reading {what}")))
+        } else {
+            Ok(())
+        }
+    };
+    need(buf, 5, "header")?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(IoError::Format("bad magic".into()));
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(IoError::Format(format!("unsupported version {version}")));
+    }
+    need(buf, 4 + 2 + 2 + 1 + 8, "ids")?;
+    let field = FieldId { run: buf.get_u32_le(), camcol: buf.get_u16_le(), field: buf.get_u16_le() };
+    let band_idx = buf.get_u8() as usize;
+    if band_idx >= 5 {
+        return Err(IoError::Format(format!("bad band {band_idx}")));
+    }
+    let band = Band::from_index(band_idx);
+    let width = buf.get_u32_le() as usize;
+    let height = buf.get_u32_le() as usize;
+    need(buf, 8 * 8 + 16 + 1, "wcs+calib")?;
+    let sky0 = SkyCoord::new(buf.get_f64_le(), buf.get_f64_le());
+    let pix0 = [buf.get_f64_le(), buf.get_f64_le()];
+    let jac = [[buf.get_f64_le(), buf.get_f64_le()], [buf.get_f64_le(), buf.get_f64_le()]];
+    let sky_level = buf.get_f64_le();
+    let nmgy_to_counts = buf.get_f64_le();
+    let ncomp = buf.get_u8() as usize;
+    need(buf, ncomp * 16, "psf")?;
+    let mut components = Vec::with_capacity(ncomp);
+    for _ in 0..ncomp {
+        components.push(PsfComponent { weight: buf.get_f64_le(), sigma_px: buf.get_f64_le() });
+    }
+    need(buf, width * height * 4, "pixels")?;
+    let mut pixels = Vec::with_capacity(width * height);
+    for _ in 0..width * height {
+        pixels.push(buf.get_f32_le());
+    }
+    Ok(Image {
+        field,
+        band,
+        wcs: Wcs { sky0, pix0, jac },
+        width,
+        height,
+        pixels,
+        sky_level,
+        nmgy_to_counts,
+        psf: Psf { components },
+    })
+}
+
+/// Serialize a catalog to the SCAT binary layout.
+pub fn encode_catalog(catalog: &crate::catalog::Catalog) -> Bytes {
+    let mut b = BytesMut::with_capacity(16 + catalog.len() * 96);
+    b.put_slice(CAT_MAGIC);
+    b.put_u8(VERSION);
+    b.put_u32_le(catalog.len() as u32);
+    for e in &catalog.entries {
+        b.put_u64_le(e.id);
+        b.put_f64_le(e.pos.ra);
+        b.put_f64_le(e.pos.dec);
+        b.put_u8(u8::from(!e.is_star()));
+        b.put_f64_le(e.flux_r_nmgy);
+        for &c in &e.colors {
+            b.put_f64_le(c);
+        }
+        b.put_f64_le(e.shape.frac_dev);
+        b.put_f64_le(e.shape.axis_ratio);
+        b.put_f64_le(e.shape.angle_rad);
+        b.put_f64_le(e.shape.radius_arcsec);
+    }
+    b.freeze()
+}
+
+/// Parse a SCAT buffer back into a catalog.
+pub fn decode_catalog(mut buf: &[u8]) -> Result<crate::catalog::Catalog, IoError> {
+    use crate::catalog::{Catalog, CatalogEntry, GalaxyShape, SourceType};
+    if buf.remaining() < 9 {
+        return Err(IoError::Format("truncated catalog header".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != CAT_MAGIC {
+        return Err(IoError::Format("bad catalog magic".into()));
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(IoError::Format(format!("unsupported catalog version {version}")));
+    }
+    let n = buf.get_u32_le() as usize;
+    let per_entry = 8 + 16 + 1 + 8 + 32 + 32;
+    if buf.remaining() < n * per_entry {
+        return Err(IoError::Format("truncated catalog entries".into()));
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = buf.get_u64_le();
+        let pos = SkyCoord::new(buf.get_f64_le(), buf.get_f64_le());
+        let is_gal = buf.get_u8() != 0;
+        let flux_r_nmgy = buf.get_f64_le();
+        let mut colors = [0.0; 4];
+        for c in &mut colors {
+            *c = buf.get_f64_le();
+        }
+        let shape = GalaxyShape {
+            frac_dev: buf.get_f64_le(),
+            axis_ratio: buf.get_f64_le(),
+            angle_rad: buf.get_f64_le(),
+            radius_arcsec: buf.get_f64_le(),
+        };
+        entries.push(CatalogEntry {
+            id,
+            pos,
+            source_type: if is_gal { SourceType::Galaxy } else { SourceType::Star },
+            flux_r_nmgy,
+            colors,
+            shape,
+        });
+    }
+    Ok(Catalog::new(entries))
+}
+
+/// A key identifying one stored image.
+pub type ImageKey = (FieldId, Band);
+
+/// Directory-backed image storage, one SIMG file per (field, band).
+#[derive(Debug, Clone)]
+pub struct ImageStore {
+    root: PathBuf,
+}
+
+impl ImageStore {
+    /// Open (creating the directory if needed).
+    pub fn open(root: impl AsRef<Path>) -> Result<ImageStore, IoError> {
+        std::fs::create_dir_all(root.as_ref())?;
+        Ok(ImageStore { root: root.as_ref().to_path_buf() })
+    }
+
+    /// The file path for a key.
+    pub fn path_for(&self, key: &ImageKey) -> PathBuf {
+        let (f, b) = key;
+        self.root.join(format!("{:06}-{}-{:04}-{}.simg", f.run, f.camcol, f.field, b.name()))
+    }
+
+    /// Persist an image.
+    pub fn save(&self, img: &Image) -> Result<(), IoError> {
+        let bytes = encode_image(img);
+        let path = self.path_for(&(img.field, img.band));
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        f.write_all(&bytes)?;
+        f.flush()?;
+        Ok(())
+    }
+
+    /// Load an image.
+    pub fn load(&self, key: &ImageKey) -> Result<Image, IoError> {
+        let mut data = Vec::new();
+        std::fs::File::open(self.path_for(key))?.read_to_end(&mut data)?;
+        decode_image(&data)
+    }
+
+    /// Persist a catalog under `name` (e.g. the campaign output).
+    pub fn save_catalog(
+        &self,
+        name: &str,
+        catalog: &crate::catalog::Catalog,
+    ) -> Result<(), IoError> {
+        let bytes = encode_catalog(catalog);
+        let mut f =
+            std::io::BufWriter::new(std::fs::File::create(self.root.join(format!("{name}.scat")))?);
+        f.write_all(&bytes)?;
+        f.flush()?;
+        Ok(())
+    }
+
+    /// Load a catalog previously saved with [`ImageStore::save_catalog`].
+    pub fn load_catalog(&self, name: &str) -> Result<crate::catalog::Catalog, IoError> {
+        let mut data = Vec::new();
+        std::fs::File::open(self.root.join(format!("{name}.scat")))?.read_to_end(&mut data)?;
+        decode_catalog(&data)
+    }
+
+    /// All keys currently stored.
+    pub fn list(&self) -> Result<Vec<ImageKey>, IoError> {
+        let mut keys = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(stem) = name.strip_suffix(".simg") {
+                let parts: Vec<&str> = stem.split('-').collect();
+                if parts.len() == 4 {
+                    let run = parts[0].parse().ok();
+                    let camcol = parts[1].parse().ok();
+                    let field = parts[2].parse().ok();
+                    let band = Band::ALL.iter().find(|b| b.name() == parts[3]).copied();
+                    if let (Some(run), Some(camcol), Some(field), Some(band)) =
+                        (run, camcol, field, band)
+                    {
+                        keys.push((FieldId { run, camcol, field }, band));
+                    }
+                }
+            }
+        }
+        keys.sort();
+        Ok(keys)
+    }
+}
+
+enum Slot {
+    Pending,
+    Ready(Arc<Image>),
+    Failed(String),
+}
+
+struct PrefetchShared {
+    slots: Mutex<HashMap<ImageKey, Slot>>,
+    ready: Condvar,
+}
+
+/// Background image loader: request keys ahead of time, then block on
+/// [`Prefetcher::get`] only if the load hasn't finished yet. This is
+/// the laptop-scale analogue of the paper's image prefetch that hides
+/// Burst Buffer latency behind the previous task's compute.
+pub struct Prefetcher {
+    shared: Arc<PrefetchShared>,
+    tx: crossbeam::channel::Sender<ImageKey>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Prefetcher {
+    /// Spawn `n_workers` loader threads over the store.
+    pub fn new(store: ImageStore, n_workers: usize) -> Prefetcher {
+        let shared = Arc::new(PrefetchShared {
+            slots: Mutex::new(HashMap::new()),
+            ready: Condvar::new(),
+        });
+        let (tx, rx) = crossbeam::channel::unbounded::<ImageKey>();
+        let workers = (0..n_workers.max(1))
+            .map(|_| {
+                let rx = rx.clone();
+                let shared = Arc::clone(&shared);
+                let store = store.clone();
+                std::thread::spawn(move || {
+                    for key in rx.iter() {
+                        let result = store.load(&key);
+                        let mut slots = shared.slots.lock();
+                        match result {
+                            Ok(img) => slots.insert(key, Slot::Ready(Arc::new(img))),
+                            Err(e) => slots.insert(key, Slot::Failed(e.to_string())),
+                        };
+                        shared.ready.notify_all();
+                    }
+                })
+            })
+            .collect();
+        Prefetcher { shared, tx, workers }
+    }
+
+    /// Queue keys for background loading (idempotent per key).
+    pub fn request(&self, keys: &[ImageKey]) {
+        let mut slots = self.shared.slots.lock();
+        for key in keys {
+            if !slots.contains_key(key) {
+                slots.insert(*key, Slot::Pending);
+                // The worker channel outlives all requests; ignore a
+                // send error only if the prefetcher is shutting down.
+                let _ = self.tx.send(*key);
+            }
+        }
+    }
+
+    /// Get an image, blocking until its background load completes.
+    /// Requests the key first if it was never requested.
+    pub fn get(&self, key: &ImageKey) -> Result<Arc<Image>, IoError> {
+        self.request(std::slice::from_ref(key));
+        let mut slots = self.shared.slots.lock();
+        loop {
+            match slots.get(key) {
+                Some(Slot::Ready(img)) => return Ok(Arc::clone(img)),
+                Some(Slot::Failed(msg)) => return Err(IoError::Format(msg.clone())),
+                _ => self.shared.ready.wait(&mut slots),
+            }
+        }
+    }
+
+    /// Drop a cached image to bound memory (next `get` reloads it).
+    pub fn evict(&self, key: &ImageKey) {
+        self.shared.slots.lock().remove(key);
+    }
+
+    /// Number of images currently resident.
+    pub fn resident(&self) -> usize {
+        self.shared
+            .slots
+            .lock()
+            .values()
+            .filter(|s| matches!(s, Slot::Ready(_)))
+            .count()
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        // Closing the channel stops the workers.
+        let (tx, _) = crossbeam::channel::bounded(0);
+        drop(std::mem::replace(&mut self.tx, tx));
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skygeom::SkyRect;
+
+    fn test_image(run: u32, band: Band) -> Image {
+        let rect = SkyRect::new(0.0, 0.1, 0.0, 0.1);
+        let mut img = Image::blank(
+            FieldId { run, camcol: 1, field: 3 },
+            band,
+            Wcs::for_rect(&rect, 16, 16),
+            16,
+            16,
+            100.0,
+            300.0,
+            Psf::core_halo(1.3),
+        );
+        for (i, p) in img.pixels.iter_mut().enumerate() {
+            *p = i as f32 * 0.5;
+        }
+        img
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let img = test_image(42, Band::G);
+        let decoded = decode_image(&encode_image(&img)).unwrap();
+        assert_eq!(decoded.field, img.field);
+        assert_eq!(decoded.band, img.band);
+        assert_eq!(decoded.pixels, img.pixels);
+        assert_eq!(decoded.wcs, img.wcs);
+        assert_eq!(decoded.psf, img.psf);
+        assert_eq!(decoded.sky_level, img.sky_level);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_image(b"not an image").is_err());
+        assert!(decode_image(b"SIM").is_err());
+        // Truncated after header.
+        let full = encode_image(&test_image(1, Band::R));
+        assert!(decode_image(&full[..40]).is_err());
+    }
+
+    #[test]
+    fn store_save_load_list() {
+        let dir = std::env::temp_dir().join(format!("celeste-io-test-{}", std::process::id()));
+        let store = ImageStore::open(&dir).unwrap();
+        let img = test_image(7, Band::Z);
+        store.save(&img).unwrap();
+        let key = (img.field, img.band);
+        let loaded = store.load(&key).unwrap();
+        assert_eq!(loaded.pixels, img.pixels);
+        assert_eq!(store.list().unwrap(), vec![key]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prefetcher_loads_in_background() {
+        let dir =
+            std::env::temp_dir().join(format!("celeste-prefetch-test-{}", std::process::id()));
+        let store = ImageStore::open(&dir).unwrap();
+        let keys: Vec<ImageKey> = (0..6)
+            .map(|i| {
+                let img = test_image(i, Band::R);
+                store.save(&img).unwrap();
+                (img.field, img.band)
+            })
+            .collect();
+        let pf = Prefetcher::new(store, 3);
+        pf.request(&keys);
+        for key in &keys {
+            let img = pf.get(key).unwrap();
+            assert_eq!((img.field, img.band), *key);
+        }
+        assert_eq!(pf.resident(), 6);
+        pf.evict(&keys[0]);
+        assert_eq!(pf.resident(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn catalog_roundtrip() {
+        use crate::catalog::{Catalog, CatalogEntry, GalaxyShape, SourceType};
+        let cat = Catalog::new(vec![
+            CatalogEntry {
+                id: 3,
+                pos: SkyCoord::new(1.25, -0.75),
+                source_type: SourceType::Galaxy,
+                flux_r_nmgy: 4.5,
+                colors: [0.1, -0.2, 0.3, 0.4],
+                shape: GalaxyShape {
+                    frac_dev: 0.6,
+                    axis_ratio: 0.4,
+                    angle_rad: 1.2,
+                    radius_arcsec: 2.5,
+                },
+            },
+            CatalogEntry {
+                id: 9,
+                pos: SkyCoord::new(0.0, 0.0),
+                source_type: SourceType::Star,
+                flux_r_nmgy: 10.0,
+                colors: [0.0; 4],
+                shape: GalaxyShape::round_disk(1.0),
+            },
+        ]);
+        let decoded = decode_catalog(&encode_catalog(&cat)).unwrap();
+        assert_eq!(decoded.entries, cat.entries);
+        assert!(decode_catalog(b"garbage").is_err());
+    }
+
+    #[test]
+    fn store_catalog_roundtrip() {
+        use crate::catalog::{Catalog, CatalogEntry, GalaxyShape, SourceType};
+        let dir = std::env::temp_dir().join(format!("celeste-scat-test-{}", std::process::id()));
+        let store = ImageStore::open(&dir).unwrap();
+        let cat = Catalog::new(vec![CatalogEntry {
+            id: 1,
+            pos: SkyCoord::new(0.5, 0.5),
+            source_type: SourceType::Star,
+            flux_r_nmgy: 2.0,
+            colors: [0.2; 4],
+            shape: GalaxyShape::round_disk(1.0),
+        }]);
+        store.save_catalog("output", &cat).unwrap();
+        let loaded = store.load_catalog("output").unwrap();
+        assert_eq!(loaded.entries, cat.entries);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prefetcher_reports_missing_file() {
+        let dir =
+            std::env::temp_dir().join(format!("celeste-prefetch-miss-{}", std::process::id()));
+        let store = ImageStore::open(&dir).unwrap();
+        let pf = Prefetcher::new(store, 1);
+        let missing = (FieldId { run: 999, camcol: 9, field: 9 }, Band::U);
+        assert!(pf.get(&missing).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

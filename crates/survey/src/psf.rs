@@ -1,0 +1,106 @@
+//! The point-spread function: a small isotropic Gaussian mixture.
+//!
+//! SDSS models its PSF as a sum of Gaussians whose parameters vary
+//! per field with atmospheric seeing; Celeste fits "image-specific
+//! parameters" at task start (paper §IV-D). We use a two-component
+//! core + halo mixture with per-field seeing drawn by the simulator.
+
+use crate::gmm::{BvnComponent, Cov2, Gmm};
+
+/// One isotropic PSF component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PsfComponent {
+    /// Flux fraction in this component; components should sum to 1.
+    pub weight: f64,
+    /// Gaussian sigma in pixels.
+    pub sigma_px: f64,
+}
+
+/// A per-field point-spread function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Psf {
+    pub components: Vec<PsfComponent>,
+}
+
+impl Psf {
+    /// A standard core+halo PSF: 85% of flux in a core of width
+    /// `seeing_px`, 15% in a halo twice as wide.
+    pub fn core_halo(seeing_px: f64) -> Psf {
+        assert!(seeing_px > 0.0);
+        Psf {
+            components: vec![
+                PsfComponent { weight: 0.85, sigma_px: seeing_px },
+                PsfComponent { weight: 0.15, sigma_px: 2.0 * seeing_px },
+            ],
+        }
+    }
+
+    /// A single-Gaussian PSF (useful in unit tests).
+    pub fn single(sigma_px: f64) -> Psf {
+        Psf { components: vec![PsfComponent { weight: 1.0, sigma_px }] }
+    }
+
+    /// Total flux fraction (≈ 1).
+    pub fn total_weight(&self) -> f64 {
+        self.components.iter().map(|c| c.weight).sum()
+    }
+
+    /// As a centered bivariate Gaussian mixture.
+    pub fn to_gmm(&self) -> Gmm {
+        Gmm::new(
+            self.components
+                .iter()
+                .map(|c| BvnComponent {
+                    weight: c.weight,
+                    mean: [0.0, 0.0],
+                    cov: Cov2::isotropic(c.sigma_px * c.sigma_px),
+                })
+                .collect(),
+        )
+    }
+
+    /// Effective full width at half maximum, in pixels, from the
+    /// weighted mean variance. Used by the Photo baseline's detection
+    /// kernel and star/galaxy separator.
+    pub fn fwhm_px(&self) -> f64 {
+        let var: f64 = self
+            .components
+            .iter()
+            .map(|c| c.weight * c.sigma_px * c.sigma_px)
+            .sum::<f64>()
+            / self.total_weight();
+        2.0 * (2.0_f64.ln() * 2.0).sqrt() * var.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_halo_weights_sum_to_one() {
+        let p = Psf::core_halo(1.2);
+        assert!((p.total_weight() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmm_conversion_preserves_weight_and_width() {
+        let p = Psf::core_halo(1.5);
+        let g = p.to_gmm();
+        assert_eq!(g.components.len(), 2);
+        assert!((g.total_weight() - 1.0).abs() < 1e-12);
+        assert!((g.components[0].cov.xx - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_gaussian_fwhm() {
+        // FWHM of a Gaussian = 2√(2 ln 2) σ ≈ 2.3548 σ.
+        let p = Psf::single(2.0);
+        assert!((p.fwhm_px() - 2.0 * 2.354_820_045_030_949e0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn halo_widens_fwhm() {
+        assert!(Psf::core_halo(1.0).fwhm_px() > Psf::single(1.0).fwhm_px());
+    }
+}

@@ -1,0 +1,216 @@
+//! Forward simulation: render a catalog into survey images.
+//!
+//! This is the generative model of paper §III run forwards: every
+//! source contributes `flux_band · ι · g_s(pixel)` expected counts,
+//! where `g_s` is the PSF mixture for a star or the shape-transformed
+//! profile mixture convolved with the PSF for a galaxy; pixel values
+//! are then drawn `x ~ Poisson(F)`.
+
+use crate::catalog::{Catalog, CatalogEntry};
+use crate::galaxy::galaxy_mixture_sky;
+use crate::gmm::{BvnComponent, Gmm};
+use crate::image::Image;
+use crate::sampling::poisson;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// Number of sigmas of support rendered around each source.
+const RENDER_NSIGMA: f64 = 5.0;
+
+/// Build the pixel-space appearance (unit-flux Gaussian mixture) of a
+/// source in a given image: PSF for stars, profile ⊛ PSF for galaxies.
+pub fn source_gmm_pix(entry: &CatalogEntry, img: &Image) -> Gmm {
+    let center = img.wcs.sky_to_pix(&entry.pos);
+    let psf = img.psf.to_gmm();
+    let base = if entry.is_star() {
+        psf
+    } else {
+        let jac = img.wcs.jac_per_arcsec();
+        let sky = galaxy_mixture_sky(
+            entry.shape.frac_dev,
+            entry.shape.radius_arcsec,
+            entry.shape.axis_ratio,
+            entry.shape.angle_rad,
+        );
+        let profile = Gmm::new(
+            sky.iter()
+                .map(|(w, cov)| BvnComponent {
+                    weight: *w,
+                    mean: [0.0, 0.0],
+                    cov: cov.congruence(&jac),
+                })
+                .collect(),
+        );
+        profile.convolve(&psf)
+    };
+    base.shifted(center[0], center[1])
+}
+
+/// Add a catalog's expected counts into `expected` (length = pixels of
+/// `img`), which should start at the sky level.
+pub fn accumulate_expected(catalog: &Catalog, img: &Image, expected: &mut [f64]) {
+    assert_eq!(expected.len(), img.len());
+    let band = img.band.index();
+    for entry in &catalog.entries {
+        let flux_counts = entry.fluxes()[band] * img.nmgy_to_counts;
+        if flux_counts <= 0.0 {
+            continue;
+        }
+        let gmm = source_gmm_pix(entry, img);
+        let center = img.wcs.sky_to_pix(&entry.pos);
+        let r = gmm.support_radius(RENDER_NSIGMA).min(img.width.max(img.height) as f64);
+        let (xs, ys) = img.clip_box(center[0] - r, center[0] + r, center[1] - r, center[1] + r);
+        for y in ys {
+            let py = y as f64 + 0.5;
+            let row = &mut expected[y * img.width + xs.start..y * img.width + xs.end];
+            for (dx, e) in row.iter_mut().enumerate() {
+                let px = (xs.start + dx) as f64 + 0.5;
+                *e += flux_counts * gmm.eval(px, py);
+            }
+        }
+    }
+}
+
+/// Expected counts per pixel for a catalog (sky + all sources).
+pub fn render_expected(catalog: &Catalog, img: &Image) -> Vec<f64> {
+    let mut expected = vec![img.sky_level; img.len()];
+    accumulate_expected(catalog, img, &mut expected);
+    expected
+}
+
+/// Render observed counts: Poisson noise applied to the expected rates.
+/// Rows are drawn in parallel with deterministic per-row seeds derived
+/// from `seed`, so output is reproducible regardless of thread count.
+pub fn render_observed(catalog: &Catalog, img: &mut Image, seed: u64) {
+    let expected = render_expected(catalog, img);
+    let width = img.width;
+    img.pixels
+        .par_chunks_mut(width)
+        .zip(expected.par_chunks(width))
+        .enumerate()
+        .for_each(|(y, (row, exp_row))| {
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ (y as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            for (p, &lam) in row.iter_mut().zip(exp_row) {
+                *p = poisson(&mut rng, lam.max(0.0)) as f32;
+            }
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bands::Band;
+    use crate::catalog::{CatalogEntry, GalaxyShape, SourceType};
+    use crate::psf::Psf;
+    use crate::skygeom::{FieldId, SkyCoord, SkyRect};
+    use crate::wcs::Wcs;
+
+    fn test_image() -> Image {
+        let rect = SkyRect::new(0.0, 0.02, 0.0, 0.02);
+        Image::blank(
+            FieldId { run: 1, camcol: 1, field: 0 },
+            Band::R,
+            Wcs::for_rect(&rect, 96, 96),
+            96,
+            96,
+            100.0,
+            300.0,
+            Psf::single(1.5),
+        )
+    }
+
+    fn star_at_center(flux: f64) -> CatalogEntry {
+        CatalogEntry {
+            id: 1,
+            pos: SkyCoord::new(0.01, 0.01),
+            source_type: SourceType::Star,
+            flux_r_nmgy: flux,
+            colors: [0.0; 4],
+            shape: GalaxyShape::round_disk(1.0),
+        }
+    }
+
+    #[test]
+    fn star_flux_is_conserved_in_expected_image() {
+        let img = test_image();
+        let cat = Catalog::new(vec![star_at_center(10.0)]);
+        let expected = render_expected(&cat, &img);
+        let excess: f64 = expected.iter().map(|&e| e - img.sky_level).sum();
+        // 10 nmgy × 300 counts/nmgy = 3000 counts, minus bounding-box tail.
+        assert!((excess - 3000.0).abs() < 0.01 * 3000.0, "excess {excess}");
+    }
+
+    #[test]
+    fn star_peak_at_source_position() {
+        let img = test_image();
+        let cat = Catalog::new(vec![star_at_center(10.0)]);
+        let expected = render_expected(&cat, &img);
+        let (imax, _) = expected
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let (x, y) = (imax % img.width, imax / img.width);
+        let c = img.wcs.sky_to_pix(&SkyCoord::new(0.01, 0.01));
+        assert!((x as f64 + 0.5 - c[0]).abs() <= 1.0);
+        assert!((y as f64 + 0.5 - c[1]).abs() <= 1.0);
+    }
+
+    #[test]
+    fn galaxy_is_more_extended_than_star() {
+        let img = test_image();
+        let mut gal = star_at_center(10.0);
+        gal.source_type = SourceType::Galaxy;
+        gal.shape = GalaxyShape {
+            frac_dev: 0.0,
+            axis_ratio: 1.0,
+            angle_rad: 0.0,
+            radius_arcsec: 3.0,
+        };
+        let e_star = render_expected(&Catalog::new(vec![star_at_center(10.0)]), &img);
+        let e_gal = render_expected(&Catalog::new(vec![gal]), &img);
+        let peak = |e: &[f64]| e.iter().cloned().fold(0.0_f64, f64::max);
+        assert!(
+            peak(&e_star) > 1.5 * peak(&e_gal),
+            "star peak {} vs galaxy peak {}",
+            peak(&e_star),
+            peak(&e_gal)
+        );
+    }
+
+    #[test]
+    fn observed_render_is_deterministic_per_seed() {
+        let mut a = test_image();
+        let mut b = test_image();
+        let cat = Catalog::new(vec![star_at_center(5.0)]);
+        render_observed(&cat, &mut a, 7);
+        render_observed(&cat, &mut b, 7);
+        assert_eq!(a.pixels, b.pixels);
+        let mut c = test_image();
+        render_observed(&cat, &mut c, 8);
+        assert_ne!(a.pixels, c.pixels);
+    }
+
+    #[test]
+    fn observed_counts_near_expected_for_bright_source() {
+        let mut img = test_image();
+        let cat = Catalog::new(vec![star_at_center(100.0)]);
+        render_observed(&cat, &mut img, 3);
+        let total: f64 = img.pixels.iter().map(|&p| p as f64).sum();
+        let expected: f64 = render_expected(&cat, &img).iter().sum();
+        // Poisson sd ≈ √expected ≈ 1000; allow 5σ.
+        assert!((total - expected).abs() < 5.0 * expected.sqrt());
+    }
+
+    #[test]
+    fn off_image_source_contributes_nothing() {
+        let img = test_image();
+        let mut far = star_at_center(1000.0);
+        far.pos = SkyCoord::new(5.0, 5.0);
+        let expected = render_expected(&Catalog::new(vec![far]), &img);
+        assert!(expected.iter().all(|&e| (e - img.sky_level).abs() < 1e-9));
+    }
+}

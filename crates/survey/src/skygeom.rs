@@ -1,0 +1,329 @@
+//! Sky coordinates and the survey's stripe/run/field geometry.
+//!
+//! SDSS scans the sky in *stripes* along great circles (paper Fig. 3);
+//! each scan of a stripe is a *run*, split across camera columns into
+//! *fields* — the 12 MB image files of Fig. 1. Stripes overlap, and some
+//! sky (Stripe 82) was imaged ~80 times. This module reproduces that
+//! geometry on a flat-sky approximation: positions are (ra, dec) in
+//! degrees, and fields are axis-aligned rectangles with configurable
+//! overlap, so that — as in the paper — a light source may appear in
+//! anywhere from 1 to ~80 images.
+
+/// A position on the sky, in degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SkyCoord {
+    /// Right ascension, degrees.
+    pub ra: f64,
+    /// Declination, degrees.
+    pub dec: f64,
+}
+
+impl SkyCoord {
+    pub fn new(ra: f64, dec: f64) -> Self {
+        SkyCoord { ra, dec }
+    }
+
+    /// Angular separation in arcseconds (flat-sky, adequate for the
+    /// sub-degree fields this survey generates).
+    pub fn sep_arcsec(&self, other: &SkyCoord) -> f64 {
+        let cosd = (0.5 * (self.dec + other.dec)).to_radians().cos();
+        let dra = (self.ra - other.ra) * cosd;
+        let ddec = self.dec - other.dec;
+        (dra * dra + ddec * ddec).sqrt() * 3600.0
+    }
+}
+
+/// An axis-aligned rectangle on the sky (degrees).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkyRect {
+    pub ra_min: f64,
+    pub ra_max: f64,
+    pub dec_min: f64,
+    pub dec_max: f64,
+}
+
+impl SkyRect {
+    pub fn new(ra_min: f64, ra_max: f64, dec_min: f64, dec_max: f64) -> Self {
+        debug_assert!(ra_min <= ra_max && dec_min <= dec_max);
+        SkyRect { ra_min, ra_max, dec_min, dec_max }
+    }
+
+    pub fn contains(&self, p: &SkyCoord) -> bool {
+        p.ra >= self.ra_min && p.ra < self.ra_max && p.dec >= self.dec_min && p.dec < self.dec_max
+    }
+
+    pub fn center(&self) -> SkyCoord {
+        SkyCoord::new(0.5 * (self.ra_min + self.ra_max), 0.5 * (self.dec_min + self.dec_max))
+    }
+
+    pub fn width_deg(&self) -> f64 {
+        self.ra_max - self.ra_min
+    }
+
+    pub fn height_deg(&self) -> f64 {
+        self.dec_max - self.dec_min
+    }
+
+    pub fn area_sq_deg(&self) -> f64 {
+        self.width_deg() * self.height_deg()
+    }
+
+    pub fn intersects(&self, other: &SkyRect) -> bool {
+        self.ra_min < other.ra_max
+            && other.ra_min < self.ra_max
+            && self.dec_min < other.dec_max
+            && other.dec_min < self.dec_max
+    }
+
+    /// Grow the rectangle by `margin_deg` on every side.
+    pub fn padded(&self, margin_deg: f64) -> SkyRect {
+        SkyRect {
+            ra_min: self.ra_min - margin_deg,
+            ra_max: self.ra_max + margin_deg,
+            dec_min: self.dec_min - margin_deg,
+            dec_max: self.dec_max + margin_deg,
+        }
+    }
+
+    /// Split along the longer axis at `frac` ∈ (0,1).
+    pub fn split(&self, frac: f64) -> (SkyRect, SkyRect) {
+        assert!(frac > 0.0 && frac < 1.0);
+        if self.width_deg() >= self.height_deg() {
+            let mid = self.ra_min + frac * self.width_deg();
+            (
+                SkyRect::new(self.ra_min, mid, self.dec_min, self.dec_max),
+                SkyRect::new(mid, self.ra_max, self.dec_min, self.dec_max),
+            )
+        } else {
+            let mid = self.dec_min + frac * self.height_deg();
+            (
+                SkyRect::new(self.ra_min, self.ra_max, self.dec_min, mid),
+                SkyRect::new(self.ra_min, self.ra_max, mid, self.dec_max),
+            )
+        }
+    }
+}
+
+/// Identifier of a single field image: (run, camcol, field, band).
+///
+/// `run` encodes both the stripe and the epoch: repeat scans of the same
+/// stripe produce distinct runs covering the same sky, which is how the
+/// survey ends up with 5–480 images of a given source (paper §IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FieldId {
+    pub run: u32,
+    pub camcol: u16,
+    pub field: u16,
+}
+
+impl std::fmt::Display for FieldId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:06}-{}-{:04}", self.run, self.camcol, self.field)
+    }
+}
+
+/// Metadata for one field: where it lies on the sky and which run/epoch
+/// produced it. This is the paper's Λ_n "image metadata" constant.
+#[derive(Debug, Clone)]
+pub struct FieldMeta {
+    pub id: FieldId,
+    /// Sky footprint of the field.
+    pub rect: SkyRect,
+    /// Epoch index within its stripe (0 for the first scan).
+    pub epoch: u32,
+    /// Stripe number this field belongs to.
+    pub stripe: u32,
+}
+
+/// Layout of a synthetic survey's stripes and fields on the sky.
+#[derive(Debug, Clone)]
+pub struct SurveyGeometry {
+    pub fields: Vec<FieldMeta>,
+    /// Overall footprint.
+    pub footprint: SkyRect,
+}
+
+/// Parameters for [`SurveyGeometry::generate`].
+#[derive(Debug, Clone)]
+pub struct GeometryConfig {
+    /// Number of stripes stacked in declination.
+    pub n_stripes: u32,
+    /// Stripe height in degrees.
+    pub stripe_height_deg: f64,
+    /// Fractional overlap between adjacent stripes (0.0–0.5).
+    pub stripe_overlap: f64,
+    /// Fields per stripe along right ascension.
+    pub fields_per_stripe: u32,
+    /// Field width in degrees of RA.
+    pub field_width_deg: f64,
+    /// Fractional overlap between adjacent fields in a stripe.
+    pub field_overlap: f64,
+    /// Number of epochs (repeat scans) per stripe; index 0 gets
+    /// `stripe82_epochs` if marked.
+    pub epochs_per_stripe: u32,
+    /// Stripe index (if any) that gets deep repeat imaging, like SDSS
+    /// Stripe 82.
+    pub deep_stripe: Option<u32>,
+    /// Number of epochs for the deep stripe.
+    pub deep_epochs: u32,
+}
+
+impl Default for GeometryConfig {
+    fn default() -> Self {
+        GeometryConfig {
+            n_stripes: 3,
+            stripe_height_deg: 0.1,
+            stripe_overlap: 0.15,
+            fields_per_stripe: 4,
+            field_width_deg: 0.1,
+            field_overlap: 0.1,
+            epochs_per_stripe: 1,
+            deep_stripe: Some(0),
+            deep_epochs: 8,
+        }
+    }
+}
+
+impl SurveyGeometry {
+    /// Lay out stripes and fields. Runs are numbered so that
+    /// `run = stripe * 1000 + epoch`.
+    pub fn generate(cfg: &GeometryConfig) -> SurveyGeometry {
+        let mut fields = Vec::new();
+        let stripe_step = cfg.stripe_height_deg * (1.0 - cfg.stripe_overlap);
+        let field_step = cfg.field_width_deg * (1.0 - cfg.field_overlap);
+        for stripe in 0..cfg.n_stripes {
+            let dec0 = stripe as f64 * stripe_step;
+            let epochs = if cfg.deep_stripe == Some(stripe) {
+                cfg.deep_epochs
+            } else {
+                cfg.epochs_per_stripe
+            };
+            for epoch in 0..epochs {
+                let run = stripe * 1000 + epoch;
+                for f in 0..cfg.fields_per_stripe {
+                    let ra0 = f as f64 * field_step;
+                    fields.push(FieldMeta {
+                        id: FieldId { run, camcol: 1, field: f as u16 },
+                        rect: SkyRect::new(
+                            ra0,
+                            ra0 + cfg.field_width_deg,
+                            dec0,
+                            dec0 + cfg.stripe_height_deg,
+                        ),
+                        epoch,
+                        stripe,
+                    });
+                }
+            }
+        }
+        let footprint = fields.iter().map(|f| f.rect).fold(fields[0].rect, |acc, r| {
+            SkyRect::new(
+                acc.ra_min.min(r.ra_min),
+                acc.ra_max.max(r.ra_max),
+                acc.dec_min.min(r.dec_min),
+                acc.dec_max.max(r.dec_max),
+            )
+        });
+        SurveyGeometry { fields, footprint }
+    }
+
+    /// All fields whose footprint contains the given position.
+    pub fn fields_containing(&self, p: &SkyCoord) -> Vec<&FieldMeta> {
+        self.fields.iter().filter(|f| f.rect.contains(p)).collect()
+    }
+
+    /// All fields intersecting the given sky rectangle.
+    pub fn fields_intersecting(&self, r: &SkyRect) -> Vec<&FieldMeta> {
+        self.fields.iter().filter(|f| f.rect.intersects(r)).collect()
+    }
+
+    /// ASCII sky-coverage map (paper Fig. 3 analogue): each cell counts
+    /// how many images cover that patch of sky.
+    pub fn coverage_map(&self, cols: usize, rows: usize) -> String {
+        let fp = &self.footprint;
+        let mut out = String::new();
+        for j in (0..rows).rev() {
+            for i in 0..cols {
+                let p = SkyCoord::new(
+                    fp.ra_min + (i as f64 + 0.5) / cols as f64 * fp.width_deg(),
+                    fp.dec_min + (j as f64 + 0.5) / rows as f64 * fp.height_deg(),
+                );
+                let n = self.fields_containing(&p).len();
+                let ch = match n {
+                    0 => '.',
+                    1..=9 => char::from_digit(n as u32, 10).unwrap(),
+                    _ => '#',
+                };
+                out.push(ch);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sep_arcsec_known_offsets() {
+        let a = SkyCoord::new(10.0, 0.0);
+        let b = SkyCoord::new(10.0, 0.001); // 3.6 arcsec in dec
+        assert!((a.sep_arcsec(&b) - 3.6).abs() < 1e-9);
+        let c = SkyCoord::new(10.001, 0.0); // 3.6 arcsec in ra at dec 0
+        assert!((a.sep_arcsec(&c) - 3.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rect_contains_and_intersects() {
+        let r = SkyRect::new(0.0, 1.0, 0.0, 1.0);
+        assert!(r.contains(&SkyCoord::new(0.5, 0.5)));
+        assert!(!r.contains(&SkyCoord::new(1.5, 0.5)));
+        assert!(r.intersects(&SkyRect::new(0.9, 2.0, 0.9, 2.0)));
+        assert!(!r.intersects(&SkyRect::new(1.1, 2.0, 0.0, 1.0)));
+    }
+
+    #[test]
+    fn split_preserves_area() {
+        let r = SkyRect::new(0.0, 2.0, 0.0, 1.0);
+        let (a, b) = r.split(0.25);
+        assert!((a.area_sq_deg() + b.area_sq_deg() - r.area_sq_deg()).abs() < 1e-12);
+        assert!((a.area_sq_deg() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometry_overlap_produces_multi_coverage() {
+        let g = SurveyGeometry::generate(&GeometryConfig::default());
+        // A point in the deep stripe must be covered by ≥ deep_epochs images.
+        let p = SkyCoord::new(0.05, 0.05);
+        let n = g.fields_containing(&p).len();
+        assert!(n >= 8, "expected deep coverage, got {n}");
+        // A point in stripe overlap is covered by fields of two stripes.
+        let q = SkyCoord::new(0.05, 0.09);
+        let stripes: std::collections::HashSet<u32> =
+            g.fields_containing(&q).iter().map(|f| f.stripe).collect();
+        assert!(stripes.len() >= 2, "stripe overlap not covered: {stripes:?}");
+    }
+
+    #[test]
+    fn coverage_map_shape() {
+        let g = SurveyGeometry::generate(&GeometryConfig::default());
+        let map = g.coverage_map(40, 10);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 10);
+        assert!(lines.iter().all(|l| l.chars().count() == 40));
+        // Deep stripe (bottom rows) should show high counts.
+        assert!(lines[9].contains('8') || lines[9].contains('9') || lines[9].contains('#'));
+    }
+
+    #[test]
+    fn field_ids_unique() {
+        let g = SurveyGeometry::generate(&GeometryConfig::default());
+        let mut ids: Vec<_> = g.fields.iter().map(|f| f.id).collect();
+        ids.sort();
+        let n = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+}

@@ -1,0 +1,232 @@
+//! End-to-end synthetic survey generation.
+//!
+//! Draws a truth catalog from the priors over the survey footprint,
+//! then renders every (field, band) image with per-run seeing and
+//! Poisson noise. Field/band rendering seeds are derived from the
+//! survey seed deterministically, so any image can be regenerated
+//! independently — the property the on-disk store and the prefetching
+//! loader rely on in tests.
+
+use crate::bands::Band;
+use crate::catalog::{Catalog, CatalogEntry};
+use crate::image::Image;
+use crate::priors::Priors;
+use crate::psf::Psf;
+use crate::render::render_observed;
+use crate::skygeom::{FieldMeta, GeometryConfig, SkyCoord, SurveyGeometry};
+use crate::wcs::Wcs;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rayon::prelude::*;
+
+/// Configuration of a synthetic survey campaign.
+#[derive(Debug, Clone)]
+pub struct SurveyConfig {
+    pub geometry: GeometryConfig,
+    /// Image side length in pixels (fields are square).
+    pub pixels_per_field: usize,
+    /// Expected light sources per square degree.
+    pub source_density_per_sq_deg: f64,
+    /// Baseline sky background (r band), counts per pixel.
+    pub sky_level_r: f64,
+    /// Calibration, counts per nanomaggy.
+    pub nmgy_to_counts: f64,
+    /// Median seeing (PSF core sigma), pixels.
+    pub seeing_px: f64,
+    /// Fractional epoch-to-epoch seeing jitter.
+    pub seeing_jitter: f64,
+    /// Master random seed.
+    pub seed: u64,
+    pub priors: Priors,
+}
+
+impl Default for SurveyConfig {
+    fn default() -> Self {
+        SurveyConfig {
+            geometry: GeometryConfig::default(),
+            pixels_per_field: 128,
+            source_density_per_sq_deg: 12_000.0,
+            sky_level_r: 150.0,
+            nmgy_to_counts: 300.0,
+            seeing_px: 1.3,
+            seeing_jitter: 0.25,
+            seed: 0xCE1E_57E0,
+            priors: Priors::sdss_default(),
+        }
+    }
+}
+
+/// Relative sky brightness per band (u is darkest, z brightest in
+/// counts for SDSS-like detectors).
+fn band_sky_factor(band: Band) -> f64 {
+    match band {
+        Band::U => 0.35,
+        Band::G => 0.7,
+        Band::R => 1.0,
+        Band::I => 1.35,
+        Band::Z => 1.6,
+    }
+}
+
+/// A fully-specified synthetic survey: geometry plus truth catalog.
+/// Images are rendered on demand (deterministically).
+#[derive(Debug, Clone)]
+pub struct SyntheticSurvey {
+    pub config: SurveyConfig,
+    pub geometry: SurveyGeometry,
+    pub truth: Catalog,
+}
+
+impl SyntheticSurvey {
+    /// Generate geometry and truth catalog.
+    pub fn generate(config: SurveyConfig) -> SyntheticSurvey {
+        let geometry = SurveyGeometry::generate(&config.geometry);
+        let fp = geometry.footprint;
+        let n_sources =
+            (config.source_density_per_sq_deg * fp.area_sq_deg()).round() as u64;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let entries: Vec<CatalogEntry> = (0..n_sources)
+            .map(|id| {
+                let pos = SkyCoord::new(
+                    fp.ra_min + rng.random::<f64>() * fp.width_deg(),
+                    fp.dec_min + rng.random::<f64>() * fp.height_deg(),
+                );
+                config.priors.sample_entry(&mut rng, id, pos)
+            })
+            .collect();
+        SyntheticSurvey { config, geometry, truth: Catalog::new(entries) }
+    }
+
+    /// Seeing for a run: deterministic log-normal jitter around the
+    /// configured median (each epoch observes through a different
+    /// atmosphere).
+    pub fn psf_for_run(&self, run: u32, band: Band) -> Psf {
+        let mut rng =
+            StdRng::seed_from_u64(self.config.seed ^ (run as u64) << 3 ^ band.index() as u64);
+        let jitter =
+            (crate::sampling::standard_normal(&mut rng) * self.config.seeing_jitter).exp();
+        Psf::core_halo(self.config.seeing_px * jitter)
+    }
+
+    /// A blank, calibrated image for (field, band) — geometry only.
+    pub fn blank_image(&self, meta: &FieldMeta, band: Band) -> Image {
+        let n = self.config.pixels_per_field;
+        Image::blank(
+            meta.id,
+            band,
+            Wcs::for_rect(&meta.rect, n, n),
+            n,
+            n,
+            self.config.sky_level_r * band_sky_factor(band),
+            self.config.nmgy_to_counts,
+            self.psf_for_run(meta.id.run, band),
+        )
+    }
+
+    /// Render the observed image for (field, band). Only truth entries
+    /// near the field footprint contribute (padded by 30 arcsec so
+    /// off-edge wings are included, like real frames).
+    pub fn render_field(&self, meta: &FieldMeta, band: Band) -> Image {
+        let mut img = self.blank_image(meta, band);
+        let nearby = Catalog::new(
+            self.truth
+                .in_rect(&meta.rect.padded(30.0 / 3600.0))
+                .into_iter()
+                .cloned()
+                .collect(),
+        );
+        let seed = self
+            .config
+            .seed
+            .wrapping_mul(0x2545_F491_4F6C_DD1D)
+            .wrapping_add(((meta.id.run as u64) << 20) | ((meta.id.field as u64) << 4))
+            .wrapping_add(band.index() as u64);
+        render_observed(&nearby, &mut img, seed);
+        img
+    }
+
+    /// Render every (field, band) image in parallel.
+    pub fn render_all(&self) -> Vec<Image> {
+        let jobs: Vec<(&FieldMeta, Band)> = self
+            .geometry
+            .fields
+            .iter()
+            .flat_map(|m| Band::ALL.iter().map(move |&b| (m, b)))
+            .collect();
+        jobs.par_iter().map(|(m, b)| self.render_field(m, *b)).collect()
+    }
+
+    /// Total campaign pixel bytes (the "55 TB" figure for this survey).
+    pub fn total_image_bytes(&self) -> usize {
+        let per = self.config.pixels_per_field * self.config.pixels_per_field * 4;
+        self.geometry.fields.len() * Band::ALL.len() * per
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> SurveyConfig {
+        SurveyConfig {
+            geometry: GeometryConfig {
+                n_stripes: 2,
+                fields_per_stripe: 2,
+                deep_stripe: Some(0),
+                deep_epochs: 3,
+                ..GeometryConfig::default()
+            },
+            pixels_per_field: 64,
+            source_density_per_sq_deg: 4000.0,
+            ..SurveyConfig::default()
+        }
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let a = SyntheticSurvey::generate(small_config());
+        let b = SyntheticSurvey::generate(small_config());
+        assert_eq!(a.truth.len(), b.truth.len());
+        assert_eq!(a.truth.entries[0], b.truth.entries[0]);
+    }
+
+    #[test]
+    fn truth_covers_footprint() {
+        let s = SyntheticSurvey::generate(small_config());
+        assert!(s.truth.len() > 50);
+        let fp = s.geometry.footprint;
+        assert!(s.truth.entries.iter().all(|e| fp.contains(&e.pos)));
+    }
+
+    #[test]
+    fn render_field_is_deterministic_and_nonempty() {
+        let s = SyntheticSurvey::generate(small_config());
+        let meta = &s.geometry.fields[0];
+        let a = s.render_field(meta, Band::R);
+        let b = s.render_field(meta, Band::R);
+        assert_eq!(a.pixels, b.pixels);
+        // Sky alone would average ~sky_level; sources must add flux.
+        let mean = a.pixels.iter().map(|&p| p as f64).sum::<f64>() / a.len() as f64;
+        assert!(mean > a.sky_level, "mean {mean} vs sky {}", a.sky_level);
+    }
+
+    #[test]
+    fn epochs_share_sky_but_differ_in_noise() {
+        let s = SyntheticSurvey::generate(small_config());
+        // Two epochs of the deep stripe cover the same footprint.
+        let e0 = s.geometry.fields.iter().find(|f| f.stripe == 0 && f.epoch == 0).unwrap();
+        let e1 = s.geometry.fields.iter().find(|f| f.stripe == 0 && f.epoch == 1).unwrap();
+        assert_eq!(e0.rect, e1.rect);
+        let a = s.render_field(e0, Band::R);
+        let b = s.render_field(e1, Band::R);
+        assert_ne!(a.pixels, b.pixels, "independent epochs must have fresh noise");
+    }
+
+    #[test]
+    fn psf_varies_across_runs() {
+        let s = SyntheticSurvey::generate(small_config());
+        let p0 = s.psf_for_run(0, Band::R);
+        let p1 = s.psf_for_run(1, Band::R);
+        assert_ne!(p0.components[0].sigma_px, p1.components[0].sigma_px);
+    }
+}

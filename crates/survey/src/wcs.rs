@@ -1,0 +1,123 @@
+//! Affine world-coordinate system: sky (ra, dec degrees) ↔ pixel (x, y).
+//!
+//! Real SDSS frames carry full TAN-projection WCS headers; for the
+//! sub-degree synthetic fields here an affine transform is exact to well
+//! below a milli-pixel and keeps Jacobians constant, which the model's
+//! position derivatives rely on.
+
+use crate::skygeom::{SkyCoord, SkyRect};
+
+/// Arcseconds per degree.
+pub const ARCSEC_PER_DEG: f64 = 3600.0;
+
+/// Affine mapping `pixel = J · (sky − sky0) + pix0` with `J` in units of
+/// pixels per degree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wcs {
+    /// Reference sky position (degrees).
+    pub sky0: SkyCoord,
+    /// Reference pixel position (x, y).
+    pub pix0: [f64; 2],
+    /// Jacobian d(pixel)/d(sky): row-major 2×2, pixels per degree.
+    pub jac: [[f64; 2]; 2],
+}
+
+impl Wcs {
+    /// A WCS covering `rect` with an `nx × ny` pixel grid, axis-aligned.
+    pub fn for_rect(rect: &SkyRect, nx: usize, ny: usize) -> Wcs {
+        let sx = nx as f64 / rect.width_deg();
+        let sy = ny as f64 / rect.height_deg();
+        Wcs {
+            sky0: SkyCoord::new(rect.ra_min, rect.dec_min),
+            pix0: [0.0, 0.0],
+            jac: [[sx, 0.0], [0.0, sy]],
+        }
+    }
+
+    /// Sky → pixel.
+    #[inline]
+    pub fn sky_to_pix(&self, p: &SkyCoord) -> [f64; 2] {
+        let dra = p.ra - self.sky0.ra;
+        let ddec = p.dec - self.sky0.dec;
+        [
+            self.pix0[0] + self.jac[0][0] * dra + self.jac[0][1] * ddec,
+            self.pix0[1] + self.jac[1][0] * dra + self.jac[1][1] * ddec,
+        ]
+    }
+
+    /// Pixel → sky.
+    #[inline]
+    pub fn pix_to_sky(&self, x: f64, y: f64) -> SkyCoord {
+        let dx = x - self.pix0[0];
+        let dy = y - self.pix0[1];
+        let det = self.jac[0][0] * self.jac[1][1] - self.jac[0][1] * self.jac[1][0];
+        let ira = (self.jac[1][1] * dx - self.jac[0][1] * dy) / det;
+        let idec = (-self.jac[1][0] * dx + self.jac[0][0] * dy) / det;
+        SkyCoord::new(self.sky0.ra + ira, self.sky0.dec + idec)
+    }
+
+    /// Jacobian in pixels per *arcsecond* — the natural unit for source
+    /// position offsets.
+    #[inline]
+    pub fn jac_per_arcsec(&self) -> [[f64; 2]; 2] {
+        [
+            [self.jac[0][0] / ARCSEC_PER_DEG, self.jac[0][1] / ARCSEC_PER_DEG],
+            [self.jac[1][0] / ARCSEC_PER_DEG, self.jac[1][1] / ARCSEC_PER_DEG],
+        ]
+    }
+
+    /// Mean pixel scale, arcseconds per pixel.
+    pub fn pixel_scale_arcsec(&self) -> f64 {
+        let det = (self.jac[0][0] * self.jac[1][1] - self.jac[0][1] * self.jac[1][0]).abs();
+        ARCSEC_PER_DEG / det.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_wcs() -> Wcs {
+        Wcs::for_rect(&SkyRect::new(10.0, 10.1, -1.0, -0.9), 256, 256)
+    }
+
+    #[test]
+    fn corner_mapping() {
+        let w = test_wcs();
+        let p = w.sky_to_pix(&SkyCoord::new(10.0, -1.0));
+        assert!((p[0]).abs() < 1e-9 && (p[1]).abs() < 1e-9);
+        let p = w.sky_to_pix(&SkyCoord::new(10.1, -0.9));
+        assert!((p[0] - 256.0).abs() < 1e-9 && (p[1] - 256.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let w = test_wcs();
+        for &(x, y) in &[(0.0, 0.0), (17.3, 200.1), (255.9, 0.5)] {
+            let s = w.pix_to_sky(x, y);
+            let p = w.sky_to_pix(&s);
+            assert!((p[0] - x).abs() < 1e-9 && (p[1] - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pixel_scale_matches_layout() {
+        let w = test_wcs();
+        // 0.1 degree / 256 px = 1.40625 arcsec/px
+        assert!((w.pixel_scale_arcsec() - 360.0 / 256.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jacobian_consistency_with_finite_difference() {
+        let w = test_wcs();
+        let base = SkyCoord::new(10.05, -0.95);
+        let p0 = w.sky_to_pix(&base);
+        let h = 1e-6;
+        let pr = w.sky_to_pix(&SkyCoord::new(base.ra + h, base.dec));
+        let pd = w.sky_to_pix(&SkyCoord::new(base.ra, base.dec + h));
+        assert!(((pr[0] - p0[0]) / h - w.jac[0][0]).abs() < 1e-4);
+        assert!(((pd[1] - p0[1]) / h - w.jac[1][1]).abs() < 1e-4);
+        let ja = w.jac_per_arcsec();
+        assert!((ja[0][0] * ARCSEC_PER_DEG - w.jac[0][0]).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,186 @@
+//! Property-based tests for the survey substrate.
+
+use celeste_survey::bands::{colors_from_fluxes, fluxes_from_colors, mag_to_nmgy, nmgy_to_mag};
+use celeste_survey::catalog::{Catalog, CatalogEntry, GalaxyShape, SourceType};
+use celeste_survey::galaxy::{galaxy_mixture_sky, shape_covariance};
+use celeste_survey::io::{decode_catalog, decode_image, encode_catalog, encode_image};
+use celeste_survey::psf::Psf;
+use celeste_survey::render::{render_expected, source_gmm_pix};
+use celeste_survey::skygeom::{FieldId, SkyCoord, SkyRect};
+use celeste_survey::wcs::Wcs;
+use celeste_survey::Image;
+use proptest::prelude::*;
+
+fn arb_shape() -> impl Strategy<Value = GalaxyShape> {
+    (0.0..1.0f64, 0.1..1.0f64, 0.0..std::f64::consts::PI, 0.3..5.0f64).prop_map(
+        |(frac_dev, axis_ratio, angle_rad, radius_arcsec)| GalaxyShape {
+            frac_dev,
+            axis_ratio,
+            angle_rad,
+            radius_arcsec,
+        },
+    )
+}
+
+fn arb_entry() -> impl Strategy<Value = CatalogEntry> {
+    (
+        0.002..0.028f64,
+        0.002..0.028f64,
+        any::<bool>(),
+        0.5..50.0f64,
+        prop::array::uniform4(-1.0..1.5f64),
+        arb_shape(),
+    )
+        .prop_map(|(ra, dec, star, flux, colors, shape)| CatalogEntry {
+            id: 0,
+            pos: SkyCoord::new(ra, dec),
+            source_type: if star { SourceType::Star } else { SourceType::Galaxy },
+            flux_r_nmgy: flux,
+            colors,
+            shape,
+        })
+}
+
+fn test_image(psf_sigma: f64) -> Image {
+    let rect = SkyRect::new(0.0, 0.03, 0.0, 0.03);
+    Image::blank(
+        FieldId { run: 1, camcol: 1, field: 0 },
+        celeste_survey::Band::R,
+        Wcs::for_rect(&rect, 96, 96),
+        96,
+        96,
+        120.0,
+        250.0,
+        Psf::core_halo(psf_sigma),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn color_flux_roundtrip(flux in 0.01..1000.0f64, colors in prop::array::uniform4(-2.0..2.0f64)) {
+        let f = fluxes_from_colors(flux, &colors);
+        prop_assert!(f.iter().all(|&x| x > 0.0));
+        let (r, c) = colors_from_fluxes(&f);
+        prop_assert!((r - flux).abs() < 1e-9 * flux);
+        for (a, b) in c.iter().zip(&colors) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn magnitude_roundtrip(mag in 10.0..28.0f64) {
+        prop_assert!((nmgy_to_mag(mag_to_nmgy(mag)) - mag).abs() < 1e-10);
+    }
+
+    #[test]
+    fn wcs_roundtrip_arbitrary_affine(
+        ra0 in 0.0..300.0f64,
+        dec0 in -60.0..60.0f64,
+        sx in 500.0..20000.0f64,
+        sy in 500.0..20000.0f64,
+        skew in -100.0..100.0f64,
+        x in -50.0..500.0f64,
+        y in -50.0..500.0f64,
+    ) {
+        let w = Wcs {
+            sky0: SkyCoord::new(ra0, dec0),
+            pix0: [10.0, -5.0],
+            jac: [[sx, skew], [-skew, sy]],
+        };
+        let s = w.pix_to_sky(x, y);
+        let p = w.sky_to_pix(&s);
+        prop_assert!((p[0] - x).abs() < 1e-6, "x {} vs {}", p[0], x);
+        prop_assert!((p[1] - y).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shape_covariance_is_positive_definite(
+        v in 0.01..4.0f64,
+        r in 0.1..6.0f64,
+        q in 0.05..1.0f64,
+        th in 0.0..std::f64::consts::PI,
+    ) {
+        let c = shape_covariance(v, r, q, th);
+        prop_assert!(c.xx > 0.0);
+        prop_assert!(c.det() > 0.0, "det {}", c.det());
+        // Trace is rotation invariant: xx + yy = v r² (1 + q²).
+        let tr = c.xx + c.yy;
+        let expect = v * r * r * (1.0 + q * q);
+        prop_assert!((tr - expect).abs() < 1e-9 * expect);
+    }
+
+    #[test]
+    fn galaxy_mixture_weights_always_sum_to_one(shape in arb_shape()) {
+        let mix = galaxy_mixture_sky(
+            shape.frac_dev,
+            shape.radius_arcsec,
+            shape.axis_ratio,
+            shape.angle_rad,
+        );
+        let total: f64 = mix.iter().map(|(w, _)| w).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(mix.iter().all(|(w, c)| *w >= -1e-12 && c.det() > 0.0));
+    }
+
+    #[test]
+    fn rendered_flux_is_conserved(entry in arb_entry()) {
+        // An in-bounds source renders ~all its flux into the image
+        // (bounded by bounding-box truncation).
+        let mut entry = entry;
+        entry.pos = SkyCoord::new(0.015, 0.015); // center of the field
+        entry.shape.radius_arcsec = entry.shape.radius_arcsec.min(2.0);
+        let img = test_image(1.2);
+        let cat = Catalog::new(vec![entry.clone()]);
+        let expected = render_expected(&cat, &img);
+        let excess: f64 = expected.iter().map(|&e| e - img.sky_level).sum();
+        let want = entry.fluxes()[2] * img.nmgy_to_counts;
+        prop_assert!(
+            (excess - want).abs() < 0.06 * want,
+            "excess {} vs flux {}", excess, want
+        );
+    }
+
+    #[test]
+    fn source_gmm_is_normalized(entry in arb_entry()) {
+        let img = test_image(1.4);
+        let gmm = source_gmm_pix(&entry, &img);
+        let total = gmm.total_weight();
+        prop_assert!((total - 1.0).abs() < 1e-6, "weight {}", total);
+    }
+
+    #[test]
+    fn image_codec_roundtrip(
+        seed_px in prop::collection::vec(0.0..65000.0f32, 16),
+        sky in 1.0..500.0f64,
+        iota in 10.0..1000.0f64,
+    ) {
+        let mut img = Image::blank(
+            FieldId { run: 77, camcol: 2, field: 5 },
+            celeste_survey::Band::Z,
+            Wcs::for_rect(&SkyRect::new(0.0, 0.01, 0.0, 0.01), 4, 4),
+            4,
+            4,
+            sky,
+            iota,
+            Psf::core_halo(1.1),
+        );
+        img.pixels.copy_from_slice(&seed_px);
+        let decoded = decode_image(&encode_image(&img)).unwrap();
+        prop_assert_eq!(decoded.pixels, img.pixels);
+        prop_assert_eq!(decoded.sky_level, img.sky_level);
+        prop_assert_eq!(decoded.nmgy_to_counts, img.nmgy_to_counts);
+    }
+
+    #[test]
+    fn catalog_codec_roundtrip(entries in prop::collection::vec(arb_entry(), 0..20)) {
+        let mut entries = entries;
+        for (i, e) in entries.iter_mut().enumerate() {
+            e.id = i as u64;
+        }
+        let cat = Catalog::new(entries);
+        let decoded = decode_catalog(&encode_catalog(&cat)).unwrap();
+        prop_assert_eq!(decoded.entries, cat.entries);
+    }
+}

@@ -1,0 +1,50 @@
+//! Simulate the petascale campaign: weak scaling to 8,192 nodes plus
+//! the Table I sustained-rate summary, from a calibration measured on
+//! this machine in a few seconds.
+//!
+//! Run with: `cargo run --release --example petascale_sim`
+
+use celeste_cluster::report::{components_table, stacked_chart, table1};
+use celeste_cluster::{calibrate_from_report, simulate_run, ClusterConfig};
+use celeste_core::flops::OBJECTIVE_OVERHEAD_FACTOR;
+
+fn main() {
+    println!("Calibrating the simulator from a real mini-campaign on this machine …");
+    let flops_per_visit =
+        celeste_bench::audit_flops_per_visit() * celeste_bench::measure_deriv_cost_ratio();
+    let report = celeste_bench::run_calibration_campaign(0x9E7A);
+    let cal = calibrate_from_report(&report, flops_per_visit);
+    println!(
+        "  measured: {:.0} FLOP/visit, mean task {:.2}s, {:.2} GFLOP/s per process\n",
+        flops_per_visit,
+        cal.task_duration.mean(),
+        cal.flops_per_proc / 1e9
+    );
+
+    println!("Weak scaling, 68 tasks/node (paper Fig. 4):\n");
+    let mut rows = Vec::new();
+    let mut nodes = 1usize;
+    while nodes <= 8192 {
+        let r = simulate_run(
+            &cal,
+            &ClusterConfig { nodes, ..Default::default() },
+            nodes * 68,
+            11 + nodes as u64,
+            false,
+        );
+        rows.push((nodes.to_string(), r.components));
+        nodes *= 8;
+    }
+    println!("{}", components_table(&rows));
+    println!("{}", stacked_chart(&rows, 56));
+
+    println!("Sustained-rate run (paper Table I):\n");
+    let r = simulate_run(
+        &cal,
+        &ClusterConfig { nodes: 9600, ..Default::default() },
+        326_400,
+        0xF10,
+        false,
+    );
+    println!("{}", table1(&r, OBJECTIVE_OVERHEAD_FACTOR));
+}

@@ -1,0 +1,28 @@
+//! Stripe 82 validation at example scale: the full §VIII protocol
+//! (deep coadd → Photo "ground truth" → score Photo and Celeste on a
+//! single epoch) on a small field.
+//!
+//! Run with: `cargo run --release --example stripe82_validation`
+//! (the full-scale run is `cargo run --release -p celeste-bench --bin
+//! table2_stripe82`).
+
+use celeste_bench::{rows_better, run_table2, stripe82_scene};
+use celeste_core::FitConfig;
+
+fn main() {
+    println!("Generating a Stripe 82-style deep field (12 epochs) …");
+    let scene = stripe82_scene(12, 25_000.0, 0xE9);
+    println!(
+        "truth sources in field: {}   coadd depth: {:.0}× single epoch\n",
+        scene.truth.len(),
+        scene.coadds[2].nmgy_to_counts / scene.single_run[2].nmgy_to_counts
+    );
+    let fit = FitConfig::default();
+    let result = run_table2(&scene, &fit, 4);
+    println!("Scored against the generating truth catalog:\n");
+    println!("{}", result.formatted);
+    println!(
+        "Celeste better on {}/12 rows (paper Table II: 11/12).",
+        rows_better(&result.celeste, &result.photo)
+    );
+}

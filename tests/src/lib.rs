@@ -1,0 +1,1 @@
+//! Shared fixtures for the cross-crate integration tests.
