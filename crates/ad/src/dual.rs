@@ -73,7 +73,10 @@ impl<const N: usize> Mul for Dual<N> {
         for ((e, &a), &b) in eps.iter_mut().zip(&self.eps).zip(&rhs.eps) {
             *e = a * rhs.val + b * self.val;
         }
-        Dual { val: self.val * rhs.val, eps }
+        Dual {
+            val: self.val * rhs.val,
+            eps,
+        }
     }
 }
 

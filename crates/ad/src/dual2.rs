@@ -45,7 +45,12 @@ impl Add for Dual2 {
     type Output = Self;
     #[inline]
     fn add(self, r: Self) -> Self {
-        Dual2::new(self.val + r.val, self.e1 + r.e1, self.e2 + r.e2, self.e12 + r.e12)
+        Dual2::new(
+            self.val + r.val,
+            self.e1 + r.e1,
+            self.e2 + r.e2,
+            self.e12 + r.e12,
+        )
     }
 }
 
@@ -53,7 +58,12 @@ impl Sub for Dual2 {
     type Output = Self;
     #[inline]
     fn sub(self, r: Self) -> Self {
-        Dual2::new(self.val - r.val, self.e1 - r.e1, self.e2 - r.e2, self.e12 - r.e12)
+        Dual2::new(
+            self.val - r.val,
+            self.e1 - r.e1,
+            self.e2 - r.e2,
+            self.e12 - r.e12,
+        )
     }
 }
 

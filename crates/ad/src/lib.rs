@@ -36,8 +36,17 @@ pub use real::Real;
 /// `N` must be ≥ `x.len()`; unused slots stay zero. Each call evaluates
 /// `f` exactly once.
 pub fn gradient<const N: usize>(f: impl Fn(&[Dual<N>]) -> Dual<N>, x: &[f64]) -> Vec<f64> {
-    assert!(x.len() <= N, "gradient: input dimension {} exceeds N={}", x.len(), N);
-    let inputs: Vec<Dual<N>> = x.iter().enumerate().map(|(i, &v)| Dual::variable(v, i)).collect();
+    assert!(
+        x.len() <= N,
+        "gradient: input dimension {} exceeds N={}",
+        x.len(),
+        N
+    );
+    let inputs: Vec<Dual<N>> = x
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| Dual::variable(v, i))
+        .collect();
     let out = f(&inputs);
     out.eps[..x.len()].to_vec()
 }
@@ -47,8 +56,11 @@ pub fn gradient<const N: usize>(f: impl Fn(&[Dual<N>]) -> Dual<N>, x: &[f64]) ->
 pub fn hessian_bilinear(f: impl Fn(&[Dual2]) -> Dual2, x: &[f64], v: &[f64], w: &[f64]) -> f64 {
     assert_eq!(x.len(), v.len());
     assert_eq!(x.len(), w.len());
-    let inputs: Vec<Dual2> =
-        x.iter().zip(v.iter().zip(w)).map(|(&xi, (&vi, &wi))| Dual2::new(xi, vi, wi, 0.0)).collect();
+    let inputs: Vec<Dual2> = x
+        .iter()
+        .zip(v.iter().zip(w))
+        .map(|(&xi, (&vi, &wi))| Dual2::new(xi, vi, wi, 0.0))
+        .collect();
     f(&inputs).e12
 }
 

@@ -6,7 +6,10 @@
 //! Cyclades partitioning, PGAS access, image rendering and container
 //! codec, and the Photo baseline.
 
-use celeste_core::likelihood::{add_likelihood, likelihood_value};
+use celeste_core::likelihood::{
+    add_likelihood, add_likelihood_dense, add_likelihood_into, likelihood_value,
+    likelihood_value_into, LikScratch,
+};
 use celeste_core::{ModelPriors, SourceParams};
 use celeste_linalg::{solve_tr_subproblem, Cholesky, Mat, SymEigen};
 use celeste_photo::{run_photo, PhotoConfig};
@@ -49,11 +52,56 @@ fn bench_elbo(c: &mut Criterion) {
     g.bench_function("value_only", |b| {
         b.iter(|| black_box(likelihood_value(&sp.params, &problem.blocks)))
     });
+    g.bench_function("value_only_workspace", |b| {
+        let mut scratch = LikScratch::default();
+        b.iter(|| {
+            black_box(likelihood_value_into(
+                &sp.params,
+                &problem.blocks,
+                &mut scratch,
+            ))
+        })
+    });
+    // The pre-refactor dense accumulation (baseline) vs. the packed
+    // lower-triangle kernel, same scene, same run.
+    g.bench_function("grad_and_hessian_dense", |b| {
+        b.iter(|| {
+            let mut grad = [0.0; celeste_core::NUM_PARAMS];
+            let mut hess = Mat::zeros(celeste_core::NUM_PARAMS, celeste_core::NUM_PARAMS);
+            black_box(add_likelihood_dense(
+                &sp.params,
+                &problem.blocks,
+                &mut grad,
+                &mut hess,
+            ))
+        })
+    });
     g.bench_function("grad_and_hessian", |b| {
         b.iter(|| {
             let mut grad = [0.0; celeste_core::NUM_PARAMS];
             let mut hess = Mat::zeros(celeste_core::NUM_PARAMS, celeste_core::NUM_PARAMS);
-            black_box(add_likelihood(&sp.params, &problem.blocks, &mut grad, &mut hess))
+            black_box(add_likelihood(
+                &sp.params,
+                &problem.blocks,
+                &mut grad,
+                &mut hess,
+            ))
+        })
+    });
+    g.bench_function("grad_and_hessian_workspace", |b| {
+        let mut scratch = LikScratch::default();
+        let mut grad = [0.0; celeste_core::NUM_PARAMS];
+        let mut hess = Mat::zeros(celeste_core::NUM_PARAMS, celeste_core::NUM_PARAMS);
+        b.iter(|| {
+            grad.fill(0.0);
+            hess.fill_zero();
+            black_box(add_likelihood_into(
+                &sp.params,
+                &problem.blocks,
+                &mut grad,
+                &mut hess,
+                &mut scratch,
+            ))
         })
     });
     g.finish();
@@ -68,7 +116,9 @@ fn bench_linalg(c: &mut Criterion) {
     let grad: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64 - 6.0) / 6.0).collect();
     let mut g = c.benchmark_group("linalg44");
     g.bench_function("jacobi_eigen", |b| b.iter(|| black_box(SymEigen::new(&h))));
-    g.bench_function("cholesky", |b| b.iter(|| black_box(Cholesky::new(&h).unwrap())));
+    g.bench_function("cholesky", |b| {
+        b.iter(|| black_box(Cholesky::new(&h).unwrap()))
+    });
     g.bench_function("tr_subproblem", |b| {
         b.iter(|| black_box(solve_tr_subproblem(&h, &grad, 0.5)))
     });
@@ -92,12 +142,28 @@ fn bench_newton_fit(c: &mut Criterion) {
             black_box(celeste_core::fit_source(&mut sp, &problem, &cfg))
         })
     });
+    c.bench_function("fit_single_source_workspace", |b| {
+        let mut ws = celeste_core::source_workspace();
+        let mut build = celeste_core::BuildScratch::default();
+        b.iter(|| {
+            let mut sp = SourceParams::init_from_entry(entry);
+            let problem =
+                celeste_core::SourceProblem::build_with(&sp, &refs, &[], &priors, &cfg, &mut build);
+            black_box(celeste_core::fit_source_with(
+                &mut sp, &problem, &cfg, &mut ws,
+            ))
+        })
+    });
 }
 
 fn bench_cyclades(c: &mut Criterion) {
     let (scene, _) = scene();
-    let sources: Vec<SourceParams> =
-        scene.truth.entries.iter().map(SourceParams::init_from_entry).collect();
+    let sources: Vec<SourceParams> = scene
+        .truth
+        .entries
+        .iter()
+        .map(SourceParams::init_from_entry)
+        .collect();
     let mut g = c.benchmark_group("cyclades");
     g.bench_function("conflict_graph", |b| {
         b.iter(|| black_box(conflict_graph(&sources, 6.0)))
@@ -145,7 +211,9 @@ fn bench_survey(c: &mut Criterion) {
     });
     g.bench_function("encode_image", |b| b.iter(|| black_box(encode_image(img))));
     let bytes = encode_image(img);
-    g.bench_function("decode_image", |b| b.iter(|| black_box(decode_image(&bytes).unwrap())));
+    g.bench_function("decode_image", |b| {
+        b.iter(|| black_box(decode_image(&bytes).unwrap()))
+    });
     g.finish();
 }
 
@@ -161,7 +229,10 @@ fn bench_cluster_sim(c: &mut Criterion) {
     let cal = celeste_cluster::default_calibration();
     c.bench_function("simulate_2048_nodes", |b| {
         b.iter(|| {
-            let cfg = celeste_cluster::ClusterConfig { nodes: 2048, ..Default::default() };
+            let cfg = celeste_cluster::ClusterConfig {
+                nodes: 2048,
+                ..Default::default()
+            };
             black_box(celeste_cluster::simulate_run(&cal, &cfg, 139_264, 3, false))
         })
     });

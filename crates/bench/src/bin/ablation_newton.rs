@@ -14,7 +14,12 @@ use celeste_survey::Priors;
 use std::time::Instant;
 
 /// Gradient ascent with backtracking line search on the same objective.
-fn gradient_ascent(obj: &impl Objective, x: &mut [f64], max_iters: usize, tol: f64) -> (usize, f64) {
+fn gradient_ascent(
+    obj: &impl Objective,
+    x: &mut [f64],
+    max_iters: usize,
+    tol: f64,
+) -> (usize, f64) {
     let mut f = obj.value(x);
     let mut step = 1e-3;
     for iter in 0..max_iters {
@@ -25,8 +30,7 @@ fn gradient_ascent(obj: &impl Objective, x: &mut [f64], max_iters: usize, tol: f
         // Backtracking.
         let mut accepted = false;
         for _ in 0..30 {
-            let trial: Vec<f64> =
-                x.iter().zip(&grad).map(|(xi, gi)| xi + step * gi).collect();
+            let trial: Vec<f64> = x.iter().zip(&grad).map(|(xi, gi)| xi + step * gi).collect();
             let ft = obj.value(&trial);
             if ft > f {
                 x.copy_from_slice(&trial);

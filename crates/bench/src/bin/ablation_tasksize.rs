@@ -35,7 +35,10 @@ fn main() {
         let tasks = partition_sky(
             &survey.truth,
             &survey.geometry.footprint,
-            &PartitionConfig { target_work: target, ..Default::default() },
+            &PartitionConfig {
+                target_work: target,
+                ..Default::default()
+            },
         );
         let stage1: Vec<_> = tasks.iter().filter(|t| t.stage == 0).collect();
         // Redundant loading: total (task, image) pairs per task.
@@ -55,7 +58,10 @@ fn main() {
         scaled_cal.task_duration.ln_mu += (target / 2000.0).ln();
         let sim = simulate_run(
             &scaled_cal,
-            &ClusterConfig { nodes: 32, ..Default::default() },
+            &ClusterConfig {
+                nodes: 32,
+                ..Default::default()
+            },
             stage1.len(),
             7,
             false,
@@ -69,5 +75,7 @@ fn main() {
             sim.components.total()
         );
     }
-    println!("\nExpected shape: image loads/task falls with larger tasks while load imbalance rises.");
+    println!(
+        "\nExpected shape: image loads/task falls with larger tasks while load imbalance rises."
+    );
 }

@@ -18,7 +18,10 @@ fn main() {
     let mut rows = Vec::new();
     let mut nodes = 1usize;
     while nodes <= 8192 {
-        let cfg = ClusterConfig { nodes, ..Default::default() };
+        let cfg = ClusterConfig {
+            nodes,
+            ..Default::default()
+        };
         let tasks = nodes * 68; // 4 per process × 17 processes
         let r = simulate_run(&cal, &cfg, tasks, 4242 + nodes as u64, false);
         rows.push((nodes.to_string(), r.components));

@@ -19,7 +19,10 @@ fn main() {
     let mut rows = Vec::new();
     let mut totals = Vec::new();
     for nodes in [2048usize, 4096, 8192] {
-        let cfg = ClusterConfig { nodes, ..Default::default() };
+        let cfg = ClusterConfig {
+            nodes,
+            ..Default::default()
+        };
         let r = simulate_run(&cal, &cfg, TOTAL_TASKS, 555 + nodes as u64, false);
         totals.push((nodes, r.makespan));
         rows.push((nodes.to_string(), r.components));

@@ -1,0 +1,134 @@
+//! Hot-path profile: the benchmark of record for the Newton inner
+//! loop, emitted as `BENCH_hotpath.json` so the perf trajectory is
+//! tracked across PRs.
+//!
+//! Measures, on one Stripe-82-style scene (brightest source, all 5
+//! bands):
+//!
+//! * ns/pixel of the value-only ELBO path (trust-region trials);
+//! * ns/pixel of the derivative path, both the pre-refactor dense
+//!   accumulation (`add_likelihood_dense`, the committed baseline)
+//!   and the packed lower-triangle kernel (`add_likelihood_into`) —
+//!   measured in the same run, same scene, same build;
+//! * full source fits per second through the workspace-reusing path
+//!   (`fit_source_with`), problem assembly included;
+//! * evaluation-workspace builds per fit (1 = built once, reused for
+//!   every iteration and trial, as designed).
+//!
+//! Usage: `cargo run --release --bin hotpath_profile [out.json]`
+
+use celeste_core::likelihood::{
+    add_likelihood_dense, add_likelihood_into, likelihood_value_into, LikScratch,
+};
+use celeste_core::newton::workspace_builds;
+use celeste_core::{BuildScratch, FitConfig, ModelPriors, SourceParams, NUM_PARAMS};
+use celeste_linalg::Mat;
+use celeste_survey::{Image, Priors};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median of timed batch runs of `f`, in seconds per call.
+fn time_per_call<O>(reps_per_batch: usize, batches: usize, mut f: impl FnMut() -> O) -> f64 {
+    // Warmup.
+    for _ in 0..reps_per_batch.max(1) {
+        black_box(f());
+    }
+    let mut samples: Vec<f64> = (0..batches.max(3))
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..reps_per_batch {
+                black_box(f());
+            }
+            t.elapsed().as_secs_f64() / reps_per_batch as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_hotpath.json".into());
+
+    let scene = celeste_bench::stripe82_scene(1, 25_000.0, 0xBE9C);
+    let priors = ModelPriors::new(Priors::sdss_default());
+    let refs: Vec<&Image> = scene.single_run.iter().collect();
+    let entry = scene
+        .truth
+        .entries
+        .iter()
+        .max_by(|a, b| a.flux_r_nmgy.partial_cmp(&b.flux_r_nmgy).unwrap())
+        .expect("scene nonempty");
+    let sp = SourceParams::init_from_entry(entry);
+    let cfg = FitConfig::default();
+    let problem = celeste_core::SourceProblem::build(&sp, &refs, &[], &priors, &cfg);
+    let pixels: usize = problem.blocks.iter().map(|b| b.pixels.len()).sum();
+    assert!(pixels > 0, "profile scene has no active pixels");
+    eprintln!(
+        "profiling over {pixels} active pixels, {} image blocks",
+        problem.blocks.len()
+    );
+
+    // Value-only path (workspace form, as the optimizer runs it).
+    let mut lik_scratch = LikScratch::default();
+    let value_s = time_per_call(40, 9, || {
+        likelihood_value_into(&sp.params, &problem.blocks, &mut lik_scratch)
+    });
+
+    // Derivative path, dense baseline (pre-refactor accumulation).
+    let dense_s = time_per_call(20, 9, || {
+        let mut grad = [0.0; NUM_PARAMS];
+        let mut hess = Mat::zeros(NUM_PARAMS, NUM_PARAMS);
+        add_likelihood_dense(&sp.params, &problem.blocks, &mut grad, &mut hess)
+    });
+
+    // Derivative path, packed triangle + workspace reuse.
+    let mut grad = [0.0; NUM_PARAMS];
+    let mut hess = Mat::zeros(NUM_PARAMS, NUM_PARAMS);
+    let packed_s = time_per_call(20, 9, || {
+        grad.fill(0.0);
+        hess.fill_zero();
+        add_likelihood_into(
+            &sp.params,
+            &problem.blocks,
+            &mut grad,
+            &mut hess,
+            &mut lik_scratch,
+        )
+    });
+
+    // Full fits through the persistent-workspace path.
+    let mut ws = celeste_core::source_workspace();
+    let mut build = BuildScratch::default();
+    let ws_before = workspace_builds();
+    let mut fits = 0u64;
+    let fit_s = time_per_call(4, 7, || {
+        let mut s = SourceParams::init_from_entry(entry);
+        let p = celeste_core::SourceProblem::build_with(&s, &refs, &[], &priors, &cfg, &mut build);
+        fits += 1;
+        celeste_core::fit_source_with(&mut s, &p, &cfg, &mut ws)
+    });
+    let ws_builds_per_fit = (workspace_builds() - ws_before) as f64 / fits.max(1) as f64;
+
+    let ns = 1e9;
+    let px = pixels as f64;
+    let value_ns_px = value_s * ns / px;
+    let dense_ns_px = dense_s * ns / px;
+    let packed_ns_px = packed_s * ns / px;
+    let speedup = dense_s / packed_s;
+
+    let json = format!(
+        "{{\n  \"bench\": \"hotpath\",\n  \"scene\": \"stripe82 brightest source, 5 bands\",\n  \"active_pixels\": {pixels},\n  \"value_ns_per_pixel\": {value_ns_px:.2},\n  \"deriv_dense_ns_per_pixel\": {dense_ns_px:.2},\n  \"deriv_packed_ns_per_pixel\": {packed_ns_px:.2},\n  \"deriv_speedup_vs_dense\": {speedup:.3},\n  \"deriv_over_value_ratio\": {:.3},\n  \"fit_single_source_ms\": {:.3},\n  \"fits_per_sec\": {:.2},\n  \"workspace_builds_per_fit\": {ws_builds_per_fit:.3}\n}}\n",
+        packed_s / value_s,
+        fit_s * 1e3,
+        1.0 / fit_s,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_hotpath.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+    if speedup < 1.5 {
+        eprintln!("WARNING: packed-vs-dense speedup {speedup:.3} is below the 1.5x acceptance bar");
+        std::process::exit(2);
+    }
+}

@@ -15,7 +15,10 @@ fn main() {
     let flops_per_visit = audit_flops_per_visit() * measure_deriv_cost_ratio();
     let cal = calibrate_from_report(&run_calibration_campaign(0x9EEF), flops_per_visit);
 
-    let cfg = ClusterConfig { nodes: 9568, ..Default::default() };
+    let cfg = ClusterConfig {
+        nodes: 9568,
+        ..Default::default()
+    };
     let threads = cfg.nodes * cfg.processes_per_node * cfg.threads_per_process;
     // Production tasks jointly optimize ~500 sources (paper §IV-D);
     // the calibration campaign's tasks hold ~40. Scale durations to

@@ -76,9 +76,17 @@ fn main() {
         println!("{name:<34} {:>6.1}%   (paper: {paper})", 100.0 * t / total);
     };
     row("model/ELBO kernels", t_model, "67% Julia generated code");
-    row("image I/O + decode (native deps)", t_io, "18% native dependencies");
+    row(
+        "image I/O + decode (native deps)",
+        t_io,
+        "18% native dependencies",
+    );
     row("dense linear algebra (TR solve)", t_linalg, "3% Intel MKL");
-    row("scheduling/alloc/other", t_region, "10% libm + 2% kernel/libc");
+    row(
+        "scheduling/alloc/other",
+        t_region,
+        "10% libm + 2% kernel/libc",
+    );
     println!(
         "\n(absolute: model {:.2}s, io {:.2}s, linalg {:.3}s, other {:.2}s over the probe workload)",
         t_model, t_io, t_linalg, t_region

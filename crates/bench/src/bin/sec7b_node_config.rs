@@ -14,22 +14,38 @@ fn main() {
     let scene = celeste_bench::stripe82_scene(1, celeste_bench::scale() * 25_000.0, 0x7B);
     let refs: Vec<&celeste_survey::Image> = scene.single_run.iter().collect();
     let priors = ModelPriors::new(Priors::sdss_default());
-    let mut fit = FitConfig::default();
-    fit.bca_passes = 1;
-    fit.newton.max_iters = 10;
+    let fit = FitConfig {
+        bca_passes: 1,
+        newton: celeste_core::NewtonConfig {
+            max_iters: 10,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
 
-    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let thread_options: Vec<usize> =
-        [1usize, 2, 4, 8].into_iter().filter(|&t| t <= host_threads).collect();
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let thread_options: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&t| t <= host_threads)
+        .collect();
 
     println!(
         "Node-configuration sweep (host has {host_threads} hardware threads; paper: 8 threads × 17 processes)\n"
     );
-    println!("{:>16} {:>14} {:>16}", "worker threads", "sources/s", "relative");
+    println!(
+        "{:>16} {:>14} {:>16}",
+        "worker threads", "sources/s", "relative"
+    );
     let mut results = Vec::new();
     for &threads in &thread_options {
-        let mut sources: Vec<SourceParams> =
-            scene.truth.entries.iter().map(SourceParams::init_from_entry).collect();
+        let mut sources: Vec<SourceParams> = scene
+            .truth
+            .entries
+            .iter()
+            .map(SourceParams::init_from_entry)
+            .collect();
         let t0 = Instant::now();
         let stats = process_region(&mut sources, &refs, &[], &priors, &fit, threads, 0xB0B);
         let dt = t0.elapsed().as_secs_f64();

@@ -17,9 +17,13 @@ fn main() {
         "[table2] field truth sources: {}, running protocol …",
         scene.truth.len()
     );
-    let mut fit = FitConfig::default();
-    fit.bca_passes = 2;
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let fit = FitConfig {
+        bca_passes: 2,
+        ..Default::default()
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let result = run_table2(&scene, &fit, threads);
 
     println!("Table II — average error on the Stripe 82 validation field");

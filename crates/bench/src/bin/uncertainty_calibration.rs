@@ -37,7 +37,11 @@ fn main() {
             .map(|&band| {
                 let rect = SkyRect::new(0.0, 0.02, 0.0, 0.02);
                 let mut img = Image::blank(
-                    FieldId { run: 1, camcol: 1, field: 0 },
+                    FieldId {
+                        run: 1,
+                        camcol: 1,
+                        field: 0,
+                    },
                     band,
                     Wcs::for_rect(&rect, 64, 64),
                     64,

@@ -74,7 +74,10 @@ pub fn measure_deriv_cost_ratio() -> f64 {
     deriv_t / value_t.max(1e-12)
 }
 
-fn audit_fixture() -> ([f64; celeste_core::NUM_PARAMS], Vec<celeste_core::likelihood::ImageBlock>) {
+fn audit_fixture() -> (
+    [f64; celeste_core::NUM_PARAMS],
+    Vec<celeste_core::likelihood::ImageBlock>,
+) {
     use celeste_core::likelihood::{ActivePixel, ImageBlock};
     use celeste_survey::catalog::{CatalogEntry, GalaxyShape, SourceType};
     use celeste_survey::psf::Psf;
@@ -85,7 +88,12 @@ fn audit_fixture() -> ([f64; celeste_core::NUM_PARAMS], Vec<celeste_core::likeli
         source_type: SourceType::Galaxy,
         flux_r_nmgy: 5.0,
         colors: [0.5, 0.3, 0.2, 0.1],
-        shape: GalaxyShape { frac_dev: 0.4, axis_ratio: 0.7, angle_rad: 0.6, radius_arcsec: 1.8 },
+        shape: GalaxyShape {
+            frac_dev: 0.4,
+            axis_ratio: 0.7,
+            angle_rad: 0.6,
+            radius_arcsec: 1.8,
+        },
     };
     let sp = SourceParams::init_from_entry(&entry);
     // Large enough that per-pixel work dominates the per-block
@@ -108,7 +116,7 @@ fn audit_fixture() -> ([f64; celeste_core::NUM_PARAMS], Vec<celeste_core::likeli
         iota: 300.0,
         jac: [[0.71, 0.0], [0.0, 0.71]],
         center0: [30.0, 30.0],
-        psf: Psf::core_halo(1.3),
+        psf: std::sync::Arc::new(Psf::core_halo(1.3)),
         pixels,
     };
     (sp.params, vec![block])
@@ -163,16 +171,25 @@ pub fn stripe82_scene(epochs: u32, density: f64, seed: u64) -> Stripe82Scene {
     let coadds: Vec<Image> = Band::ALL
         .iter()
         .map(|&b| {
-            let exposures: Vec<Image> =
-                fields.iter().map(|f| survey.render_field(f, b)).collect();
+            let exposures: Vec<Image> = fields.iter().map(|f| survey.render_field(f, b)).collect();
             let refs: Vec<&Image> = exposures.iter().collect();
             coadd(&refs)
         })
         .collect();
     let truth = Catalog::new(
-        survey.truth.in_rect(&fields[0].rect).into_iter().cloned().collect(),
+        survey
+            .truth
+            .in_rect(&fields[0].rect)
+            .into_iter()
+            .cloned()
+            .collect(),
     );
-    Stripe82Scene { survey, single_run, coadds, truth }
+    Stripe82Scene {
+        survey,
+        single_run,
+        coadds,
+        truth,
+    }
 }
 
 /// Results of the Table II protocol.
@@ -215,8 +232,11 @@ pub fn run_table2(scene: &Stripe82Scene, fit: &FitConfig, n_threads: usize) -> T
     // Celeste: init from the single-run Photo catalog, learn priors
     // from the coadd catalog (the "preexisting catalog" of §III).
     let priors = ModelPriors::new(Priors::sdss_default().fit_from_catalog(&coadd_catalog));
-    let mut sources: Vec<SourceParams> =
-        photo_catalog.entries.iter().map(SourceParams::init_from_entry).collect();
+    let mut sources: Vec<SourceParams> = photo_catalog
+        .entries
+        .iter()
+        .map(SourceParams::init_from_entry)
+        .collect();
     celeste_sched::process_region(
         &mut sources,
         &single_refs,
@@ -272,13 +292,27 @@ pub fn run_calibration_campaign(seed: u64) -> CampaignReport {
     let tasks = partition_sky(
         &init,
         &survey.geometry.footprint,
-        &PartitionConfig { target_work: 800.0, max_sources: 40, ..Default::default() },
+        &PartitionConfig {
+            target_work: 800.0,
+            max_sources: 40,
+            ..Default::default()
+        },
     );
     let priors = ModelPriors::new(Priors::sdss_default());
-    let mut fit = FitConfig::default();
-    fit.bca_passes = 1;
-    fit.newton.max_iters = 15;
-    let cfg = CampaignConfig { n_nodes: 2, threads_per_node: 2, fit, ..Default::default() };
+    let fit = FitConfig {
+        bca_passes: 1,
+        newton: celeste_core::NewtonConfig {
+            max_iters: 15,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let cfg = CampaignConfig {
+        n_nodes: 2,
+        threads_per_node: 2,
+        fit,
+        ..Default::default()
+    };
     let (_, report) = run_campaign(&survey, &store, &init, &tasks, &priors, &cfg);
     std::fs::remove_dir_all(&dir).ok();
     report

@@ -15,15 +15,21 @@ impl LogNormalModel {
     /// Fit from positive samples; falls back to `fallback` when fewer
     /// than 3 usable samples exist.
     pub fn fit(samples: &[f64], fallback: LogNormalModel) -> LogNormalModel {
-        let logs: Vec<f64> =
-            samples.iter().filter(|&&x| x > 0.0 && x.is_finite()).map(|x| x.ln()).collect();
+        let logs: Vec<f64> = samples
+            .iter()
+            .filter(|&&x| x > 0.0 && x.is_finite())
+            .map(|x| x.ln())
+            .collect();
         if logs.len() < 3 {
             return fallback;
         }
         let n = logs.len() as f64;
         let mu = logs.iter().sum::<f64>() / n;
         let var = logs.iter().map(|l| (l - mu) * (l - mu)).sum::<f64>() / (n - 1.0);
-        LogNormalModel { ln_mu: mu, ln_sigma: var.sqrt().max(0.02) }
+        LogNormalModel {
+            ln_mu: mu,
+            ln_sigma: var.sqrt().max(0.02),
+        }
     }
 
     /// Mean of the distribution.
@@ -64,8 +70,14 @@ pub struct Calibration {
 /// a real run first.
 pub fn default_calibration() -> Calibration {
     Calibration {
-        task_duration: LogNormalModel { ln_mu: 0.4, ln_sigma: 0.28 },
-        first_load: LogNormalModel { ln_mu: -2.5, ln_sigma: 0.2 },
+        task_duration: LogNormalModel {
+            ln_mu: 0.4,
+            ln_sigma: 0.28,
+        },
+        first_load: LogNormalModel {
+            ln_mu: -2.5,
+            ln_sigma: 0.2,
+        },
         flops_per_proc: 2.0e9,
         sched_msg_latency: 5.0e-6,
         pgas_latency: 2.0e-6,
@@ -94,8 +106,7 @@ pub fn calibrate_from_report(report: &CampaignReport, flops_per_visit: f64) -> C
     let durations: Vec<f64> = if report.task_works.len() == report.task_durations.len()
         && !report.task_works.is_empty()
     {
-        let mean_work =
-            report.task_works.iter().sum::<f64>() / report.task_works.len() as f64;
+        let mean_work = report.task_works.iter().sum::<f64>() / report.task_works.len() as f64;
         report
             .task_durations
             .iter()
@@ -115,7 +126,12 @@ pub fn calibrate_from_report(report: &CampaignReport, flops_per_visit: f64) -> C
     } else {
         fallback.flops_per_proc
     };
-    Calibration { task_duration, first_load, flops_per_proc, ..fallback }
+    Calibration {
+        task_duration,
+        first_load,
+        flops_per_proc,
+        ..fallback
+    }
 }
 
 #[cfg(test)]
@@ -164,7 +180,10 @@ mod tests {
 
     #[test]
     fn model_mean_formula() {
-        let m = LogNormalModel { ln_mu: 0.0, ln_sigma: 1.0 };
+        let m = LogNormalModel {
+            ln_mu: 0.0,
+            ln_sigma: 1.0,
+        };
         assert!((m.mean() - (0.5_f64).exp()).abs() < 1e-12);
         assert!((m.sample_with(0.0) - 1.0).abs() < 1e-12);
         assert!(m.sample_with(1.0) > m.sample_with(-1.0));

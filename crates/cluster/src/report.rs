@@ -28,7 +28,11 @@ pub fn components_table(rows: &[(String, ComponentTimes)]) -> String {
 /// `T` task processing, `I` image loading, `L` load imbalance,
 /// `o` other.
 pub fn stacked_chart(rows: &[(String, ComponentTimes)], width: usize) -> String {
-    let max_total = rows.iter().map(|(_, c)| c.total()).fold(0.0_f64, f64::max).max(1e-12);
+    let max_total = rows
+        .iter()
+        .map(|(_, c)| c.total())
+        .fold(0.0_f64, f64::max)
+        .max(1e-12);
     let mut out = String::new();
     for (label, c) in rows {
         let seg = |t: f64| ((t / max_total) * width as f64).round() as usize;
@@ -139,7 +143,16 @@ mod tests {
     #[test]
     fn table1_contains_three_ordered_rates() {
         let cal = default_calibration();
-        let r = simulate_run(&cal, &ClusterConfig { nodes: 16, ..Default::default() }, 2000, 3, false);
+        let r = simulate_run(
+            &cal,
+            &ClusterConfig {
+                nodes: 16,
+                ..Default::default()
+            },
+            2000,
+            3,
+            false,
+        );
         let t = table1(&r, 1.375);
         assert!(t.contains("TFLOP/s"));
         assert!(t.contains("16 nodes"));

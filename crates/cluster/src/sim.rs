@@ -31,7 +31,10 @@ pub struct IoModel {
 
 impl Default for IoModel {
     fn default() -> Self {
-        IoModel { scaled_bandwidth: true, reference_nodes: 64 }
+        IoModel {
+            scaled_bandwidth: true,
+            reference_nodes: 64,
+        }
     }
 }
 
@@ -142,7 +145,10 @@ pub fn simulate_run(
     } else {
         (cfg.nodes as f64 / cfg.io.reference_nodes.max(1) as f64).max(1.0)
     };
-    let depth = (n_procs as f64).log(cfg.dtree_fanout.max(2) as f64).ceil().max(1.0);
+    let depth = (n_procs as f64)
+        .log(cfg.dtree_fanout.max(2) as f64)
+        .ceil()
+        .max(1.0);
     let pop_overhead = depth * cal.sched_msg_latency;
 
     // First-task image loads (blocking); subsequent loads are
@@ -151,7 +157,13 @@ pub fn simulate_run(
         .map(|_| {
             let z = standard_normal(&mut rng);
             let load = cal.first_load.sample_with(z) * io_scale;
-            Proc { ready_at: load, task_time: 0.0, io_time: load, other_time: 0.0, tasks: 0 }
+            Proc {
+                ready_at: load,
+                task_time: 0.0,
+                io_time: load,
+                other_time: 0.0,
+                tasks: 0,
+            }
         })
         .collect();
     let sync_at = if synchronized_start {
@@ -265,7 +277,10 @@ mod tests {
     use crate::calibrate::default_calibration;
 
     fn cfg(nodes: usize) -> ClusterConfig {
-        ClusterConfig { nodes, ..Default::default() }
+        ClusterConfig {
+            nodes,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -300,7 +315,10 @@ mod tests {
         let small = simulate_run(&cal, &cfg(4), 4 * tasks_per_node, 3, false);
         let large = simulate_run(&cal, &cfg(256), 256 * tasks_per_node, 3, false);
         let ratio = large.components.task_processing / small.components.task_processing;
-        assert!((ratio - 1.0).abs() < 0.1, "weak-scaling task time ratio {ratio}");
+        assert!(
+            (ratio - 1.0).abs() < 0.1,
+            "weak-scaling task time ratio {ratio}"
+        );
         // Load imbalance grows with scale at fixed tasks/node (§VII-C1).
         assert!(large.components.load_imbalance > small.components.load_imbalance);
     }
@@ -335,9 +353,32 @@ mod tests {
     #[test]
     fn unscaled_io_grows_with_nodes() {
         let cal = default_calibration();
-        let io = IoModel { scaled_bandwidth: false, reference_nodes: 8 };
-        let base = simulate_run(&cal, &ClusterConfig { nodes: 8, io, ..Default::default() }, 2000, 2, false);
-        let big = simulate_run(&cal, &ClusterConfig { nodes: 64, io, ..Default::default() }, 16_000, 2, false);
+        let io = IoModel {
+            scaled_bandwidth: false,
+            reference_nodes: 8,
+        };
+        let base = simulate_run(
+            &cal,
+            &ClusterConfig {
+                nodes: 8,
+                io,
+                ..Default::default()
+            },
+            2000,
+            2,
+            false,
+        );
+        let big = simulate_run(
+            &cal,
+            &ClusterConfig {
+                nodes: 64,
+                io,
+                ..Default::default()
+            },
+            16_000,
+            2,
+            false,
+        );
         assert!(
             big.components.image_loading > 4.0 * base.components.image_loading,
             "io: {} vs {}",

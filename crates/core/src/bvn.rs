@@ -37,7 +37,11 @@ pub struct GeoEval {
 
 impl GeoEval {
     fn zero() -> GeoEval {
-        GeoEval { val: 0.0, grad: [0.0; GEO], hess: [[0.0; GEO]; GEO] }
+        GeoEval {
+            val: 0.0,
+            grad: [0.0; GEO],
+            hess: [[0.0; GEO]; GEO],
+        }
     }
 }
 
@@ -52,11 +56,19 @@ struct Sym2 {
 
 impl Sym2 {
     fn from_cov(c: &Cov2) -> Sym2 {
-        Sym2 { xx: c.xx, xy: c.xy, yy: c.yy }
+        Sym2 {
+            xx: c.xx,
+            xy: c.xy,
+            yy: c.yy,
+        }
     }
 
     fn scale(&self, s: f64) -> Sym2 {
-        Sym2 { xx: self.xx * s, xy: self.xy * s, yy: self.yy * s }
+        Sym2 {
+            xx: self.xx * s,
+            xy: self.xy * s,
+            yy: self.yy * s,
+        }
     }
 
     /// Quadratic form hᵀ A h.
@@ -68,7 +80,10 @@ impl Sym2 {
     /// Matrix-vector product A h.
     #[inline]
     fn mv(&self, h: [f64; 2]) -> [f64; 2] {
-        [self.xx * h[0] + self.xy * h[1], self.xy * h[0] + self.yy * h[1]]
+        [
+            self.xx * h[0] + self.xy * h[1],
+            self.xy * h[0] + self.yy * h[1],
+        ]
     }
 
     /// trace(A B) for symmetric A, B.
@@ -81,8 +96,14 @@ impl Sym2 {
     fn sandwich(&self, b: &Sym2) -> Sym2 {
         // (A B) then (·) A; result is symmetric by construction.
         let ab = [
-            [self.xx * b.xx + self.xy * b.xy, self.xx * b.xy + self.xy * b.yy],
-            [self.xy * b.xx + self.yy * b.xy, self.xy * b.xy + self.yy * b.yy],
+            [
+                self.xx * b.xx + self.xy * b.xy,
+                self.xx * b.xy + self.xy * b.yy,
+            ],
+            [
+                self.xy * b.xx + self.yy * b.xy,
+                self.xy * b.xy + self.yy * b.yy,
+            ],
         ];
         Sym2 {
             xx: ab[0][0] * self.xx + ab[0][1] * self.xy,
@@ -123,12 +144,22 @@ struct PreparedComp {
     tr_md2s: [[f64; 3]; 3],
     /// Per s: Jᵀ M dΣ_s (for ∂²lnN/∂u∂s = −(Jᵀ M dΣ_s) h).
     ku: [[[f64; 2]; 2]; 3],
+    /// Precombined quadratic-form matrix for the shape-shape lnN
+    /// Hessian: `½ d²Σ_{ss′} − dΣ_s M dΣ_s′` — one quad form per
+    /// (s, s′) at eval time instead of two.
+    hq: [[Sym2; 3]; 3],
+    /// Matching constant part: `cross_tr − tr_md2s` per (s, s′).
+    hc: [[f64; 3]; 3],
 }
 
 fn invert(cov: &Cov2) -> (Sym2, f64) {
     let det = cov.det();
     assert!(det > 0.0, "degenerate covariance {cov:?}");
-    let inv = Sym2 { xx: cov.yy / det, xy: -cov.xy / det, yy: cov.xx / det };
+    let inv = Sym2 {
+        xx: cov.yy / det,
+        xy: -cov.xy / det,
+        yy: cov.xx / det,
+    };
     (inv, det)
 }
 
@@ -151,7 +182,12 @@ fn sym_as_mat(s: &Sym2) -> [[f64; 2]; 2] {
 
 /// Congruence J A Jᵀ of a symmetric sky-frame matrix into pixel frame.
 fn congruence(a: &Sym2, j: &[[f64; 2]; 2]) -> Sym2 {
-    let c = Cov2 { xx: a.xx, xy: a.xy, yy: a.yy }.congruence(j);
+    let c = Cov2 {
+        xx: a.xx,
+        xy: a.xy,
+        yy: a.yy,
+    }
+    .congruence(j);
     Sym2::from_cov(&c)
 }
 
@@ -170,7 +206,10 @@ fn prepare_comp(
     let jt = [[jac[0][0], jac[1][0]], [jac[0][1], jac[1][1]]];
     let jt_m = mat2_mul(&jt, &mm);
     let jt_m_j = mat2_mul(&jt_m, jac);
-    let huu = [[-jt_m_j[0][0], -jt_m_j[0][1]], [-jt_m_j[1][0], -jt_m_j[1][1]]];
+    let huu = [
+        [-jt_m_j[0][0], -jt_m_j[0][1]],
+        [-jt_m_j[1][0], -jt_m_j[1][1]],
+    ];
 
     let mut tr_mds = [0.0; 3];
     let mut cross_g = [[Sym2::default(); 3]; 3];
@@ -195,6 +234,18 @@ fn prepare_comp(
             tr_md2s[s][s2] = 0.5 * m.trace_prod(&d2sig[s][s2]);
         }
     }
+    let mut hq = [[Sym2::default(); 3]; 3];
+    let mut hc = [[0.0; 3]; 3];
+    for s in 0..3 {
+        for s2 in 0..3 {
+            hq[s][s2] = Sym2 {
+                xx: 0.5 * d2sig[s][s2].xx - cross_g[s][s2].xx,
+                xy: 0.5 * d2sig[s][s2].xy - cross_g[s][s2].xy,
+                yy: 0.5 * d2sig[s][s2].yy - cross_g[s][s2].yy,
+            };
+            hc[s][s2] = cross_tr[s][s2] - tr_md2s[s][s2];
+        }
+    }
     PreparedComp {
         weight,
         dw_fd,
@@ -210,6 +261,8 @@ fn prepare_comp(
         d2sig,
         tr_md2s,
         ku,
+        hq,
+        hc,
     }
 }
 
@@ -263,12 +316,28 @@ fn shape_cov_derivs(v: f64, geo: &GalaxyGeo) -> (Sym2, [Sym2; 3], [[Sym2; 3]; 3]
     let dminor = 2.0 * minor * (1.0 - q); // = major·2q·dq
     let d2minor = 2.0 * ((dminor) * (1.0 - q) + minor * (-dq));
     // s = 0: axis_logit — only `minor` moves.
-    let d_axis = Sym2 { xx: dminor * s2, xy: -dminor * sc, yy: dminor * c2 };
-    let d2_axis = Sym2 { xx: d2minor * s2, xy: -d2minor * sc, yy: d2minor * c2 };
+    let d_axis = Sym2 {
+        xx: dminor * s2,
+        xy: -dminor * sc,
+        yy: dminor * c2,
+    };
+    let d2_axis = Sym2 {
+        xx: d2minor * s2,
+        xy: -d2minor * sc,
+        yy: d2minor * c2,
+    };
     // s = 1: angle.
     let dxy_dth = (major - minor) * (c2 - s2);
-    let d_angle = Sym2 { xx: -2.0 * sig.xy, xy: dxy_dth, yy: 2.0 * sig.xy };
-    let d2_angle = Sym2 { xx: -2.0 * dxy_dth, xy: -4.0 * sig.xy, yy: 2.0 * dxy_dth };
+    let d_angle = Sym2 {
+        xx: -2.0 * sig.xy,
+        xy: dxy_dth,
+        yy: 2.0 * sig.xy,
+    };
+    let d2_angle = Sym2 {
+        xx: -2.0 * dxy_dth,
+        xy: -4.0 * sig.xy,
+        yy: 2.0 * dxy_dth,
+    };
     // s = 2: ln_radius — everything scales as e^{2lr}.
     let d_lr = sig.scale(2.0);
     let d2_lr = sig.scale(4.0);
@@ -291,27 +360,47 @@ fn shape_cov_derivs(v: f64, geo: &GalaxyGeo) -> (Sym2, [Sym2; 3], [[Sym2; 3]; 3]
     (sig, d1, d2)
 }
 
+impl Default for PreparedStar {
+    /// An empty appearance; fill with [`PreparedStar::prepare`].
+    fn default() -> Self {
+        PreparedStar {
+            comps: Vec::new(),
+            center: [0.0; 2],
+        }
+    }
+}
+
 impl PreparedStar {
     /// Prepare a star appearance: `center0` is the anchor position in
     /// pixels, `u_arcsec` the current offset, `jac` maps arcsec → px.
     pub fn new(psf: &Psf, center0: [f64; 2], u_arcsec: [f64; 2], jac: &[[f64; 2]; 2]) -> Self {
-        let center = apply_offset(center0, u_arcsec, jac);
-        let comps = psf
-            .components
-            .iter()
-            .map(|c| {
-                prepare_comp(
-                    c.weight,
-                    0.0,
-                    0.0,
-                    Cov2::isotropic(c.sigma_px * c.sigma_px),
-                    jac,
-                    [Sym2::default(); 3],
-                    [[Sym2::default(); 3]; 3],
-                )
-            })
-            .collect();
-        PreparedStar { comps, center }
+        let mut out = PreparedStar::default();
+        out.prepare(psf, center0, u_arcsec, jac);
+        out
+    }
+
+    /// Refill in place, reusing the component buffer's allocation
+    /// (the per-evaluation path of the zero-allocation hot loop).
+    pub fn prepare(
+        &mut self,
+        psf: &Psf,
+        center0: [f64; 2],
+        u_arcsec: [f64; 2],
+        jac: &[[f64; 2]; 2],
+    ) {
+        self.center = apply_offset(center0, u_arcsec, jac);
+        self.comps.clear();
+        self.comps.extend(psf.components.iter().map(|c| {
+            prepare_comp(
+                c.weight,
+                0.0,
+                0.0,
+                Cov2::isotropic(c.sigma_px * c.sigma_px),
+                jac,
+                [Sym2::default(); 3],
+                [[Sym2::default(); 3]; 3],
+            )
+        }));
     }
 
     /// Evaluate value/gradient/Hessian at a pixel center.
@@ -319,10 +408,25 @@ impl PreparedStar {
         eval_prepared(&self.comps, self.center, px, py, false)
     }
 
+    /// The frozen pre-refactor kernel (parity/benchmark reference).
+    pub fn eval_reference(&self, px: f64, py: f64) -> GeoEval {
+        eval_prepared_reference(&self.comps, self.center, px, py, false)
+    }
+
     /// Value-only evaluation (trust-region trial points): no derivative
     /// assembly, roughly 4× cheaper per pixel.
     pub fn eval_value(&self, px: f64, py: f64) -> f64 {
         eval_value_prepared(&self.comps, self.center, px, py)
+    }
+}
+
+impl Default for PreparedGalaxy {
+    /// An empty appearance; fill with [`PreparedGalaxy::prepare`].
+    fn default() -> Self {
+        PreparedGalaxy {
+            comps: Vec::new(),
+            center: [0.0; 2],
+        }
     }
 }
 
@@ -335,20 +439,42 @@ impl PreparedGalaxy {
         u_arcsec: [f64; 2],
         jac: &[[f64; 2]; 2],
     ) -> Self {
+        let mut out = PreparedGalaxy::default();
+        out.prepare(psf, geo, center0, u_arcsec, jac);
+        out
+    }
+
+    /// Refill in place, reusing the component buffer's allocation
+    /// (the per-evaluation path of the zero-allocation hot loop).
+    pub fn prepare(
+        &mut self,
+        psf: &Psf,
+        geo: &GalaxyGeo,
+        center0: [f64; 2],
+        u_arcsec: [f64; 2],
+        jac: &[[f64; 2]; 2],
+    ) {
         let center = apply_offset(center0, u_arcsec, jac);
         let fd = sigmoid(geo.fd_logit);
         let dfd = fd * (1.0 - fd);
         let d2fd = dfd * (1.0 - 2.0 * fd);
         let dev = dev_mixture();
         let exp = exp_mixture();
-        let mut comps = Vec::with_capacity((dev.vars.len() + exp.vars.len()) * psf.components.len());
+        let comps = &mut self.comps;
+        comps.clear();
+        comps.reserve((dev.vars.len() + exp.vars.len()) * psf.components.len());
         // (profile weight, ∂/∂fd sign, unit variance)
         let profiles = dev
             .weights
             .iter()
             .zip(&dev.vars)
             .map(|(&w, &v)| (w, true, v))
-            .chain(exp.weights.iter().zip(&exp.vars).map(|(&w, &v)| (w, false, v)));
+            .chain(
+                exp.weights
+                    .iter()
+                    .zip(&exp.vars)
+                    .map(|(&w, &v)| (w, false, v)),
+            );
         for (wprof, is_dev, v) in profiles {
             let (sig_sky, d1_sky, d2_sky) = shape_cov_derivs(v, geo);
             let sig_pix = congruence(&sig_sky, jac);
@@ -385,12 +511,17 @@ impl PreparedGalaxy {
                 ));
             }
         }
-        PreparedGalaxy { comps, center }
+        self.center = center;
     }
 
     /// Evaluate value/gradient/Hessian at a pixel center.
     pub fn eval(&self, px: f64, py: f64) -> GeoEval {
         eval_prepared(&self.comps, self.center, px, py, true)
+    }
+
+    /// The frozen pre-refactor kernel (parity/benchmark reference).
+    pub fn eval_reference(&self, px: f64, py: f64) -> GeoEval {
+        eval_prepared_reference(&self.comps, self.center, px, py, true)
     }
 
     /// Value-only evaluation (trust-region trial points).
@@ -422,7 +553,88 @@ fn eval_value_prepared(comps: &[PreparedComp], center: [f64; 2], px: f64, py: f6
 }
 
 /// The shared per-pixel kernel. Slots: [u0, u1, fd, axis, angle, lr].
+///
+/// Exploits two structural facts the reference kernel leaves on the
+/// table: the lnN Hessian is symmetric (only the lower triangle is
+/// accumulated per component, mirrored once per pixel), and the
+/// fd-logit slot (2) carries no lnN derivative at all — it enters
+/// only through the mixing-weight terms — so the main accumulation
+/// skips its row and column entirely.
 fn eval_prepared(
+    comps: &[PreparedComp],
+    center: [f64; 2],
+    px: f64,
+    py: f64,
+    with_shape: bool,
+) -> GeoEval {
+    let mut out = GeoEval::zero();
+    let delta = [px - center[0], py - center[1]];
+    for c in comps {
+        let h = c.m.mv(delta);
+        let qf = delta[0] * h[0] + delta[1] * h[1];
+        if qf > 100.0 {
+            continue; // < e⁻⁵⁰ of peak: numerically zero
+        }
+        let n = c.norm * (-0.5 * qf).exp();
+        let wn = c.weight * n;
+
+        // lnN gradient: gu = Jᵀ h; gs per shape.
+        let g0 = c.jt_m[0][0] * delta[0] + c.jt_m[0][1] * delta[1];
+        let g1 = c.jt_m[1][0] * delta[0] + c.jt_m[1][1] * delta[1];
+        out.val += wn;
+        out.grad[0] += wn * g0;
+        out.grad[1] += wn * g1;
+
+        // u-block (lower triangle): wn·(g gᵀ + ∂²lnN/∂u²).
+        out.hess[0][0] += wn * (g0 * g0 + c.huu[0][0]);
+        out.hess[1][0] += wn * (g1 * g0 + c.huu[1][0]);
+        out.hess[1][1] += wn * (g1 * g1 + c.huu[1][1]);
+        if !with_shape {
+            continue;
+        }
+
+        let mut gs = [0.0; 3];
+        for s in 0..3 {
+            gs[s] = 0.5 * c.dsig[s].quad(h) - c.tr_mds[s];
+            out.grad[3 + s] += wn * gs[s];
+        }
+        for s in 0..3 {
+            // ∂²lnN/∂u∂s = −(Jᵀ M dΣ_s) h; rows 3+s, cols 0..1.
+            let v0 = -(c.ku[s][0][0] * h[0] + c.ku[s][0][1] * h[1]);
+            let v1 = -(c.ku[s][1][0] * h[0] + c.ku[s][1][1] * h[1]);
+            out.hess[3 + s][0] += wn * (gs[s] * g0 + v0);
+            out.hess[3 + s][1] += wn * (gs[s] * g1 + v1);
+            for s2 in 0..=s {
+                // One precombined quad form: ½ hᵀd²Σh − hᵀ(dΣMdΣ′)h.
+                let second = c.hq[s][s2].quad(h) + c.hc[s][s2];
+                out.hess[3 + s][3 + s2] += wn * (gs[s] * gs[s2] + second);
+            }
+        }
+
+        // Mixing-weight (fd) terms: row/col 2.
+        let dwn = c.dw_fd * n;
+        out.grad[2] += dwn;
+        out.hess[2][2] += c.d2w_fd * n;
+        out.hess[2][0] += dwn * g0;
+        out.hess[2][1] += dwn * g1;
+        for s in 0..3 {
+            out.hess[3 + s][2] += dwn * gs[s];
+        }
+    }
+    // Mirror the accumulated lower triangle once per pixel.
+    for i in 0..GEO {
+        for j in 0..i {
+            out.hess[j][i] = out.hess[i][j];
+        }
+    }
+    out
+}
+
+/// The pre-refactor per-pixel kernel, frozen verbatim as the parity
+/// and benchmark reference for the symmetry-aware [`eval_prepared`].
+/// Reached through [`PreparedStar::eval_reference`] /
+/// [`PreparedGalaxy::eval_reference`]; not for production use.
+fn eval_prepared_reference(
     comps: &[PreparedComp],
     center: [f64; 2],
     px: f64,
@@ -516,11 +728,18 @@ mod tests {
     const JAC: [[f64; 2]; 2] = [[0.7, 0.05], [-0.03, 0.71]]; // px per arcsec
 
     fn fd_eval_star(u: [f64; 2], px: f64, py: f64) -> f64 {
-        PreparedStar::new(&Psf::core_halo(1.3), [10.0, 12.0], u, &JAC).eval(px, py).val
+        PreparedStar::new(&Psf::core_halo(1.3), [10.0, 12.0], u, &JAC)
+            .eval(px, py)
+            .val
     }
 
     fn geo(fd: f64, ql: f64, th: f64, lr: f64) -> GalaxyGeo {
-        GalaxyGeo { fd_logit: fd, axis_logit: ql, angle: th, ln_radius: lr }
+        GalaxyGeo {
+            fd_logit: fd,
+            axis_logit: ql,
+            angle: th,
+            ln_radius: lr,
+        }
     }
 
     fn fd_eval_gal(g6: [f64; 6], px: f64, py: f64) -> f64 {
@@ -551,8 +770,8 @@ mod tests {
     fn star_position_gradient_matches_fd() {
         let h = 1e-5;
         let (px, py) = (11.3, 12.9);
-        let e = PreparedStar::new(&Psf::core_halo(1.3), [10.0, 12.0], [0.2, -0.1], &JAC)
-            .eval(px, py);
+        let e =
+            PreparedStar::new(&Psf::core_halo(1.3), [10.0, 12.0], [0.2, -0.1], &JAC).eval(px, py);
         for k in 0..2 {
             let mut up = [0.2, -0.1];
             let mut um = up;
@@ -574,7 +793,9 @@ mod tests {
         let (px, py) = (11.3, 12.9);
         let u0 = [0.2, -0.1];
         let grad_at = |u: [f64; 2]| {
-            PreparedStar::new(&Psf::core_halo(1.3), [10.0, 12.0], u, &JAC).eval(px, py).grad
+            PreparedStar::new(&Psf::core_halo(1.3), [10.0, 12.0], u, &JAC)
+                .eval(px, py)
+                .grad
         };
         let e = PreparedStar::new(&Psf::core_halo(1.3), [10.0, 12.0], u0, &JAC).eval(px, py);
         for k in 0..2 {

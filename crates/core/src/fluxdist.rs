@@ -113,7 +113,7 @@ pub fn type_weight(params: &[f64; 44], t: usize) -> TypeWeight {
     let w1 = 1.0 - w0;
     let dw = w0 * w1; // dσ/dd
     let d2w = dw * (w1 - w0); // d²σ/dd²
-    // w_star = σ(d), w_gal = 1 − σ(d); chain through d = a0 − a1.
+                              // w_star = σ(d), w_gal = 1 − σ(d); chain through d = a0 − a1.
     let sign = if t == 0 { 1.0 } else { -1.0 };
     TypeWeight {
         val: if t == 0 { w0 } else { w1 },
@@ -173,13 +173,7 @@ mod tests {
                 let (l, _) = flux_moments(&p, t, band);
                 let fids = flux_param_ids(t);
                 for (c, &pid) in fids.iter().enumerate() {
-                    fd_check(
-                        |q| flux_moments(q, t, band).0.val,
-                        &p,
-                        pid,
-                        l.grad[c],
-                        1e-5,
-                    );
+                    fd_check(|q| flux_moments(q, t, band).0.val, &p, pid, l.grad[c], 1e-5);
                 }
             }
         }

@@ -103,9 +103,18 @@ fn galaxy_g<T: Real>(params: &[T; NUM_PARAMS], block: &ImageBlock, px: f64, py: 
         .iter()
         .zip(&dev.vars)
         .map(|(&w, &v)| (w, v, true))
-        .chain(exp.weights.iter().zip(&exp.vars).map(|(&w, &v)| (w, v, false)));
+        .chain(
+            exp.weights
+                .iter()
+                .zip(&exp.vars)
+                .map(|(&w, &v)| (w, v, false)),
+        );
     for (wp, v, is_dev) in profiles {
-        let mix = if is_dev { fd * T::from_f64(wp) } else { (T::one() - fd) * T::from_f64(wp) };
+        let mix = if is_dev {
+            fd * T::from_f64(wp)
+        } else {
+            (T::one() - fd) * T::from_f64(wp)
+        };
         // Sky covariance: R diag(major, minor) Rᵀ.
         let major = rho2 * T::from_f64(v);
         let minor = major * q * q;
@@ -116,8 +125,12 @@ fn galaxy_g<T: Real>(params: &[T; NUM_PARAMS], block: &ImageBlock, px: f64, py: 
         let sky_xy = (major - minor) * sc;
         let sky_yy = major * s2 + minor * c2;
         // Congruence into pixel frame.
-        let (a, b, c, d) =
-            (T::from_f64(j[0][0]), T::from_f64(j[0][1]), T::from_f64(j[1][0]), T::from_f64(j[1][1]));
+        let (a, b, c, d) = (
+            T::from_f64(j[0][0]),
+            T::from_f64(j[0][1]),
+            T::from_f64(j[1][0]),
+            T::from_f64(j[1][1]),
+        );
         let pix_xx = a * a * sky_xx + T::from_f64(2.0) * a * b * sky_xy + b * b * sky_yy;
         let pix_xy = a * c * sky_xx + (a * d + b * c) * sky_xy + b * d * sky_yy;
         let pix_yy = c * c * sky_xx + T::from_f64(2.0) * c * d * sky_xy + d * d * sky_yy;
@@ -174,8 +187,7 @@ pub fn kl<T: Real>(params: &[T; NUM_PARAMS], priors: &ModelPriors) -> T {
     fn gkl<T: Real>(m: T, lsd: T, pm: f64, ps: f64) -> T {
         let var = (lsd * T::from_f64(2.0)).exp();
         let d = m - T::from_f64(pm);
-        T::from_f64(ps.ln()) - lsd + (var + d * d) * T::from_f64(0.5 / (ps * ps))
-            - T::from_f64(0.5)
+        T::from_f64(ps.ln()) - lsd + (var + d * d) * T::from_f64(0.5 / (ps * ps)) - T::from_f64(0.5)
     }
 
     let floor = T::from_f64(crate::kl::KL_WEIGHT_FLOOR);
@@ -213,10 +225,19 @@ pub fn kl<T: Real>(params: &[T; NUM_PARAMS], priors: &ModelPriors) -> T {
 
     // Shape (galaxy-weighted).
     let shape_priors = [
-        (priors.survey.shape.frac_dev_logit_mu, priors.survey.shape.frac_dev_logit_sigma),
-        (priors.survey.shape.axis_ratio_logit_mu, priors.survey.shape.axis_ratio_logit_sigma),
+        (
+            priors.survey.shape.frac_dev_logit_mu,
+            priors.survey.shape.frac_dev_logit_sigma,
+        ),
+        (
+            priors.survey.shape.axis_ratio_logit_mu,
+            priors.survey.shape.axis_ratio_logit_sigma,
+        ),
         (0.0, priors.angle_prior_sd),
-        (priors.survey.shape.radius_ln_mu, priors.survey.shape.radius_ln_sigma),
+        (
+            priors.survey.shape.radius_ln_mu,
+            priors.survey.shape.radius_ln_sigma,
+        ),
     ];
     for j in 0..4 {
         let (pm, ps) = shape_priors[j];
@@ -225,7 +246,12 @@ pub fn kl<T: Real>(params: &[T; NUM_PARAMS], priors: &ModelPriors) -> T {
 
     // Position (unweighted, anchored at init).
     for j in 0..2 {
-        total += gkl(params[ids::U[j]], params[ids::U_LSD[j]], 0.0, priors.u_prior_sd_arcsec);
+        total += gkl(
+            params[ids::U[j]],
+            params[ids::U_LSD[j]],
+            0.0,
+            priors.u_prior_sd_arcsec,
+        );
     }
     total
 }
@@ -261,7 +287,7 @@ mod tests {
             iota: 250.0,
             jac: [[0.68, 0.03], [-0.02, 0.72]],
             center0: [20.0, 21.0],
-            psf: Psf::core_halo(1.2),
+            psf: std::sync::Arc::new(Psf::core_halo(1.2)),
             pixels,
         }
     }
@@ -330,8 +356,7 @@ mod tests {
         // AD gradient through the generic path.
         let ad = celeste_ad::gradient::<NUM_PARAMS>(
             |x| {
-                let arr: [celeste_ad::Dual<NUM_PARAMS>; NUM_PARAMS] =
-                    std::array::from_fn(|i| x[i]);
+                let arr: [celeste_ad::Dual<NUM_PARAMS>; NUM_PARAMS] = std::array::from_fn(|i| x[i]);
                 elbo(&arr, &blocks, &priors)
             },
             &p,

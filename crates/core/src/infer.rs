@@ -8,13 +8,17 @@
 //! engine; `celeste-sched` parallelizes passes with Cyclades.
 
 use crate::fluxdist::type_weight;
-use crate::kl::{add_kl, kl_value, ModelPriors};
-use crate::likelihood::{add_likelihood, likelihood_value, ActivePixel, ImageBlock};
-use crate::newton::{maximize, NewtonConfig, NewtonStats, Objective};
+use crate::kl::{kl_value, sub_kl, ModelPriors};
+use crate::likelihood::{
+    add_likelihood_into, likelihood_value, ActivePixel, ImageBlock, LikScratch,
+};
+use crate::newton::{maximize_with, EvalWorkspace, NewtonConfig, NewtonStats, Objective};
 use crate::params::{ids, SourceParams, NUM_PARAMS};
-use celeste_linalg::{Mat, SymEigen};
+use celeste_linalg::SymEigen;
+use celeste_survey::gmm::Gmm;
 use celeste_survey::render::source_gmm_pix;
 use celeste_survey::Image;
+use std::sync::Arc;
 
 /// Inference configuration.
 #[derive(Debug, Clone, Copy)]
@@ -63,6 +67,15 @@ pub struct SourceProblem {
     pub priors: ModelPriors,
 }
 
+/// Reusable buffers for [`SourceProblem::build`]: the per-image
+/// neighbor list. A block-coordinate-ascent pass rebuilds the problem
+/// for every (source, image) pair, so the assembly path reuses its
+/// scratch instead of reallocating it each time.
+#[derive(Default)]
+pub struct BuildScratch {
+    neighbors: Vec<(f64, Gmm)>,
+}
+
 impl SourceProblem {
     /// Assemble the problem for `source` against `images`, holding
     /// `others` fixed (their expected flux joins each pixel's ε).
@@ -72,6 +85,20 @@ impl SourceProblem {
         others: &[&SourceParams],
         priors: &ModelPriors,
         cfg: &FitConfig,
+    ) -> SourceProblem {
+        let mut scratch = BuildScratch::default();
+        SourceProblem::build_with(source, images, others, priors, cfg, &mut scratch)
+    }
+
+    /// [`SourceProblem::build`] with caller-owned assembly scratch
+    /// (the form worker pools use between fits).
+    pub fn build_with(
+        source: &SourceParams,
+        images: &[&Image],
+        others: &[&SourceParams],
+        priors: &ModelPriors,
+        cfg: &FitConfig,
+        scratch: &mut BuildScratch,
     ) -> SourceProblem {
         let mut blocks = Vec::new();
         let shape = source.shape();
@@ -94,8 +121,9 @@ impl SourceProblem {
                 .fold(0.0_f64, f64::max);
             let px_per_arcsec = 1.0 / img.wcs.pixel_scale_arcsec();
             let gal_sigma = shape.radius_arcsec * px_per_arcsec;
-            let radius = (cfg.active_nsigma * (psf_sigma * psf_sigma + gal_sigma * gal_sigma).sqrt())
-                .clamp(cfg.min_radius_px, cfg.max_radius_px);
+            let radius = (cfg.active_nsigma
+                * (psf_sigma * psf_sigma + gal_sigma * gal_sigma).sqrt())
+            .clamp(cfg.min_radius_px, cfg.max_radius_px);
 
             let (xs, ys) = img.clip_box(
                 center0[0] - radius,
@@ -106,23 +134,28 @@ impl SourceProblem {
             if xs.is_empty() || ys.is_empty() {
                 continue;
             }
-            // Neighbor contributions to the background rate.
+            // Neighbor contributions to the background rate
+            // (accumulated into the reusable scratch list).
             let band = img.band.index();
-            let neighbors: Vec<(f64, celeste_survey::gmm::Gmm)> = others
-                .iter()
-                .filter(|o| {
-                    o.base_pos.sep_arcsec(&source.base_pos)
-                        < (3.0 * radius) * img.wcs.pixel_scale_arcsec() + 30.0
-                })
-                .map(|o| {
-                    let entry = o.to_entry();
-                    let flux = expected_band_flux(&o.params, band) * img.nmgy_to_counts;
-                    (flux, source_gmm_pix(&entry, img))
-                })
-                .collect();
+            let neighbors = &mut scratch.neighbors;
+            neighbors.clear();
+            neighbors.extend(
+                others
+                    .iter()
+                    .filter(|o| {
+                        o.base_pos.sep_arcsec(&source.base_pos)
+                            < (3.0 * radius) * img.wcs.pixel_scale_arcsec() + 30.0
+                    })
+                    .map(|o| {
+                        let entry = o.to_entry();
+                        let flux = expected_band_flux(&o.params, band) * img.nmgy_to_counts;
+                        (flux, source_gmm_pix(&entry, img))
+                    }),
+            );
 
             let r2 = radius * radius;
-            let mut pixels = Vec::new();
+            // The disk covers ~π/4 of the bounding box.
+            let mut pixels = Vec::with_capacity(xs.len() * ys.len() * 4 / 5);
             for y in ys.clone() {
                 for x in xs.clone() {
                     let px = x as f64 + 0.5;
@@ -133,10 +166,15 @@ impl SourceProblem {
                         continue;
                     }
                     let mut eps = img.sky_level;
-                    for (flux, gmm) in &neighbors {
+                    for (flux, gmm) in neighbors.iter() {
                         eps += flux * gmm.eval(px, py);
                     }
-                    pixels.push(ActivePixel { px, py, x: img.get(x, y) as f64, eps });
+                    pixels.push(ActivePixel {
+                        px,
+                        py,
+                        x: img.get(x, y) as f64,
+                        eps,
+                    });
                 }
             }
             if pixels.is_empty() {
@@ -147,11 +185,16 @@ impl SourceProblem {
                 iota: img.nmgy_to_counts,
                 jac: img.wcs.jac_per_arcsec(),
                 center0,
-                psf: img.psf.clone(),
+                // Shared, not cloned: the PSF mixture belongs to the
+                // image; every subproblem references it.
+                psf: Arc::clone(&img.psf),
                 pixels,
             });
         }
-        SourceProblem { blocks, priors: priors.clone() }
+        SourceProblem {
+            blocks,
+            priors: priors.clone(),
+        }
     }
 
     /// Total number of active pixels across images.
@@ -160,23 +203,31 @@ impl SourceProblem {
     }
 }
 
+/// Objective-specific scratch carried inside the evaluation
+/// workspace: prepared appearance mixtures for the likelihood kernel.
+#[derive(Default)]
+pub struct SourceScratch {
+    pub lik: LikScratch,
+}
+
 impl Objective for SourceProblem {
+    type Scratch = SourceScratch;
+
     fn dim(&self) -> usize {
         NUM_PARAMS
     }
 
-    fn eval(&self, x: &[f64]) -> (f64, Vec<f64>, Mat) {
+    fn eval_into(&self, x: &[f64], ws: &mut EvalWorkspace<SourceScratch>) {
         let params: [f64; NUM_PARAMS] = x.try_into().expect("dim");
-        let mut grad = [0.0; NUM_PARAMS];
-        let mut hess = Mat::zeros(NUM_PARAMS, NUM_PARAMS);
-        let lik = add_likelihood(&params, &self.blocks, &mut grad, &mut hess);
-        let mut kl_grad = [0.0; NUM_PARAMS];
-        let mut kl_hess = Mat::zeros(NUM_PARAMS, NUM_PARAMS);
-        let kl = add_kl(&params, &self.priors, &mut kl_grad, &mut kl_hess);
-        let g: Vec<f64> = grad.iter().zip(&kl_grad).map(|(a, b)| a - b).collect();
-        hess.add_scaled(-1.0, &kl_hess);
+        ws.reset_accumulators();
+        let (grad, hess, scratch) = ws.split_mut();
+        let g44: &mut [f64; NUM_PARAMS] = grad.as_mut_slice().try_into().expect("workspace dim");
+        let lik = add_likelihood_into(&params, &self.blocks, g44, hess, &mut scratch.lik);
+        let kl = sub_kl(&params, &self.priors, g44, hess);
+        // Both accumulations are symmetric by construction; enforce
+        // exact symmetry for the eigensolver (cheap, allocation-free).
         hess.symmetrize();
-        (lik - kl, g, hess)
+        ws.value = lik - kl;
     }
 
     fn value(&self, x: &[f64]) -> f64 {
@@ -194,14 +245,38 @@ pub struct FitStats {
     pub elbo_after: f64,
 }
 
-/// Fit one source to convergence (paper §IV-D's inner loop).
+/// The evaluation workspace type a source fit uses.
+pub type SourceWorkspace = EvalWorkspace<SourceScratch>;
+
+/// Allocate a workspace sized for source fits. Long-lived workers
+/// build one and thread it through [`fit_source_with`].
+pub fn source_workspace() -> SourceWorkspace {
+    SourceWorkspace::new(NUM_PARAMS)
+}
+
+/// Fit one source to convergence (paper §IV-D's inner loop),
+/// allocating a fresh workspace. One-shot callers only; worker loops
+/// use [`fit_source_with`].
 pub fn fit_source(source: &mut SourceParams, problem: &SourceProblem, cfg: &FitConfig) -> FitStats {
+    let mut ws = source_workspace();
+    fit_source_with(source, problem, cfg, &mut ws)
+}
+
+/// Fit one source to convergence reusing the caller's workspace: the
+/// whole Newton loop (all iterations and trust-region trials) runs
+/// against the same gradient/Hessian/scratch buffers.
+pub fn fit_source_with(
+    source: &mut SourceParams,
+    problem: &SourceProblem,
+    cfg: &FitConfig,
+    ws: &mut SourceWorkspace,
+) -> FitStats {
     let before = problem.value(&source.params);
-    let mut x = source.params.to_vec();
-    let newton = maximize(problem, &mut x, &cfg.newton);
-    source.params.copy_from_slice(&x);
+    let mut x = source.params;
+    let newton = maximize_with(problem, &mut x, &cfg.newton, ws);
+    source.params = x;
     if cfg.laplace_scales {
-        laplace_update_scales(source, problem);
+        laplace_update_scales(source, problem, ws);
     }
     FitStats {
         newton,
@@ -216,9 +291,13 @@ pub fn fit_source(source: &mut SourceParams, problem: &SourceProblem, cfg: &FitC
 /// posterior variances via its inverse (Laplace-within-VI; documented
 /// deviation in DESIGN.md — the paper's u and φ are point-optimized
 /// too, with uncertainty only on a, r, c).
-fn laplace_update_scales(source: &mut SourceParams, problem: &SourceProblem) {
-    let (_, _, hess) = problem.eval(&source.params);
-    let mut info = hess;
+fn laplace_update_scales(
+    source: &mut SourceParams,
+    problem: &SourceProblem,
+    ws: &mut SourceWorkspace,
+) {
+    problem.eval_into(&source.params, ws);
+    let mut info = ws.hess.clone();
     info.scale(-1.0);
     let eig = SymEigen::new(&info);
     // Floor tiny/negative curvature so the inverse stays meaningful.
@@ -255,17 +334,19 @@ pub fn optimize_sources(
     cfg: &FitConfig,
 ) -> OptimizeStats {
     let mut stats = OptimizeStats::default();
+    let mut ws = source_workspace();
+    let mut build = BuildScratch::default();
     for _pass in 0..cfg.bca_passes {
         stats.passes += 1;
         for i in 0..sources.len() {
             let (head, rest) = sources.split_at_mut(i);
             let (curr, tail) = rest.split_first_mut().expect("index in range");
             let others: Vec<&SourceParams> = head.iter().chain(tail.iter()).collect();
-            let problem = SourceProblem::build(curr, images, &others, priors, cfg);
+            let problem = SourceProblem::build_with(curr, images, &others, priors, cfg, &mut build);
             if problem.blocks.is_empty() {
                 continue;
             }
-            let fs = fit_source(curr, &problem, cfg);
+            let fs = fit_source_with(curr, &problem, cfg, &mut ws);
             stats.fits += 1;
             stats.total_newton_iters += fs.newton.iterations;
             if i == sources.len() - 1 {
@@ -293,7 +374,11 @@ mod tests {
             .iter()
             .map(|&band| {
                 let mut img = Image::blank(
-                    FieldId { run: 1, camcol: 1, field: 0 },
+                    FieldId {
+                        run: 1,
+                        camcol: 1,
+                        field: 0,
+                    },
                     band,
                     Wcs::for_rect(&rect, 80, 80),
                     80,
@@ -418,9 +503,14 @@ mod tests {
         let refs: Vec<&Image> = images.iter().collect();
         s1.flux_r_nmgy = 14.0;
         s2.flux_r_nmgy = 14.0;
-        let mut sources =
-            vec![SourceParams::init_from_entry(&s1), SourceParams::init_from_entry(&s2)];
-        let cfg = FitConfig { bca_passes: 3, ..Default::default() };
+        let mut sources = vec![
+            SourceParams::init_from_entry(&s1),
+            SourceParams::init_from_entry(&s2),
+        ];
+        let cfg = FitConfig {
+            bca_passes: 3,
+            ..Default::default()
+        };
         let stats = optimize_sources(&mut sources, &refs, &priors(), &cfg);
         assert_eq!(stats.passes, 3);
         assert!(stats.fits >= 6);

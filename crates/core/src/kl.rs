@@ -40,7 +40,11 @@ pub struct ModelPriors {
 
 impl ModelPriors {
     pub fn new(survey: Priors) -> ModelPriors {
-        ModelPriors { survey, u_prior_sd_arcsec: 1.0, angle_prior_sd: 10.0 }
+        ModelPriors {
+            survey,
+            u_prior_sd_arcsec: 1.0,
+            angle_prior_sd: 10.0,
+        }
     }
 
     /// (prior mean, prior sd) of unconstrained shape parameter `j`
@@ -67,7 +71,13 @@ struct Term<const M: usize> {
 
 /// Gaussian KL `KL(N(m, e^{2·lsd}) ‖ N(pm, ps²))` over support
 /// `(mean_idx, lsd_idx)`.
-fn gauss_kl(params: &[f64; NUM_PARAMS], mean_idx: usize, lsd_idx: usize, pm: f64, ps: f64) -> Term<2> {
+fn gauss_kl(
+    params: &[f64; NUM_PARAMS],
+    mean_idx: usize,
+    lsd_idx: usize,
+    pm: f64,
+    ps: f64,
+) -> Term<2> {
     let m = params[mean_idx];
     let lsd = params[lsd_idx];
     let var = (2.0 * lsd).exp();
@@ -83,40 +93,48 @@ fn gauss_kl(params: &[f64; NUM_PARAMS], mean_idx: usize, lsd_idx: usize, pm: f64
     }
 }
 
-/// Add `w_t(a) · term` with the full a-coupling into (grad, hess);
-/// returns the weighted value.
+/// Add `alpha · w_t(a) · term` with the full a-coupling into
+/// (grad, hess); returns the weighted (unscaled) value.
 fn add_weighted<const M: usize>(
     w: &crate::fluxdist::TypeWeight,
     term: &Term<M>,
+    alpha: f64,
     grad: &mut [f64; NUM_PARAMS],
     hess: &mut Mat,
 ) -> f64 {
     // d(w·F)/dθ_F = w ∇F ; d/da = ∇w F
+    let aw = alpha * w.val;
     for c in 0..M {
-        grad[term.idx[c]] += w.val * term.grad[c];
+        grad[term.idx[c]] += aw * term.grad[c];
         for c2 in 0..M {
-            hess[(term.idx[c], term.idx[c2])] += w.val * term.hess[c][c2];
+            hess[(term.idx[c], term.idx[c2])] += aw * term.hess[c][c2];
         }
     }
     for k in 0..2 {
-        grad[ids::A[k]] += w.grad[k] * term.val;
+        grad[ids::A[k]] += alpha * w.grad[k] * term.val;
         for k2 in 0..2 {
-            hess[(ids::A[k], ids::A[k2])] += w.hess[k][k2] * term.val;
+            hess[(ids::A[k], ids::A[k2])] += alpha * w.hess[k][k2] * term.val;
         }
         for c in 0..M {
-            hess[(ids::A[k], term.idx[c])] += w.grad[k] * term.grad[c];
-            hess[(term.idx[c], ids::A[k])] += w.grad[k] * term.grad[c];
+            let v = alpha * w.grad[k] * term.grad[c];
+            hess[(ids::A[k], term.idx[c])] += v;
+            hess[(term.idx[c], ids::A[k])] += v;
         }
     }
     w.val * term.val
 }
 
-/// Add an unweighted term.
-fn add_plain<const M: usize>(term: &Term<M>, grad: &mut [f64; NUM_PARAMS], hess: &mut Mat) -> f64 {
+/// Add `alpha · term` (unweighted); returns the unscaled value.
+fn add_plain<const M: usize>(
+    term: &Term<M>,
+    alpha: f64,
+    grad: &mut [f64; NUM_PARAMS],
+    hess: &mut Mat,
+) -> f64 {
     for c in 0..M {
-        grad[term.idx[c]] += term.grad[c];
+        grad[term.idx[c]] += alpha * term.grad[c];
         for c2 in 0..M {
-            hess[(term.idx[c], term.idx[c2])] += term.hess[c][c2];
+            hess[(term.idx[c], term.idx[c2])] += alpha * term.hess[c][c2];
         }
     }
     term.val
@@ -157,15 +175,29 @@ fn color_kl(params: &[f64; NUM_PARAMS], priors: &ModelPriors, t: usize) -> Term<
         idx[2 * NUM_COLORS + k] = ids::kappa(t, k);
     }
 
-    // Responsibilities κ = softmax(logits).
-    let logits: Vec<f64> = (0..K_COLOR).map(|k| params[ids::kappa(t, k)]).collect();
+    // Responsibilities κ = softmax(logits). Stack arrays: this runs
+    // inside the allocation-free evaluation hot path.
+    let mut logits = [0.0; K_COLOR];
+    for (k, l) in logits.iter_mut().enumerate() {
+        *l = params[ids::kappa(t, k)];
+    }
     let maxl = logits.iter().cloned().fold(f64::MIN, f64::max);
-    let exps: Vec<f64> = logits.iter().map(|l| (l - maxl).exp()).collect();
-    let z: f64 = exps.iter().sum();
-    let kap: Vec<f64> = exps.iter().map(|e| e / z).collect();
+    let mut kap = [0.0; K_COLOR];
+    let mut z = 0.0;
+    for (e, &l) in kap.iter_mut().zip(&logits) {
+        *e = (l - maxl).exp();
+        z += *e;
+    }
+    for e in &mut kap {
+        *e /= z;
+    }
 
     let comp = &priors.survey.color[t].components;
-    assert_eq!(comp.len(), K_COLOR, "color prior must have K={K_COLOR} components");
+    assert_eq!(
+        comp.len(),
+        K_COLOR,
+        "color prior must have K={K_COLOR} components"
+    );
 
     // Per component: KL(q(c)‖p_k) and its derivatives over the 8 color
     // slots (means then log-vars).
@@ -223,7 +255,12 @@ fn color_kl(params: &[f64; NUM_PARAMS], priors: &ModelPriors, t: usize) -> Term<
             hess[c][2 * NUM_COLORS + j] = h;
         }
     }
-    Term { idx, val, grad, hess }
+    Term {
+        idx,
+        val,
+        grad,
+        hess,
+    }
 }
 
 /// Evaluate the total KL with derivatives *added* into (grad, hess).
@@ -231,6 +268,31 @@ fn color_kl(params: &[f64; NUM_PARAMS], priors: &ModelPriors, t: usize) -> Term<
 pub fn add_kl(
     params: &[f64; NUM_PARAMS],
     priors: &ModelPriors,
+    grad: &mut [f64; NUM_PARAMS],
+    hess: &mut Mat,
+) -> f64 {
+    accumulate_kl(params, priors, 1.0, grad, hess)
+}
+
+/// Evaluate the total KL, *subtracting* its derivatives from
+/// (grad, hess) — the ELBO's `−KL` contribution in one pass, without
+/// the scratch gradient/Hessian buffers a subtract-after-the-fact
+/// needs. Returns the (positive) KL value.
+pub fn sub_kl(
+    params: &[f64; NUM_PARAMS],
+    priors: &ModelPriors,
+    grad: &mut [f64; NUM_PARAMS],
+    hess: &mut Mat,
+) -> f64 {
+    accumulate_kl(params, priors, -1.0, grad, hess)
+}
+
+/// Shared implementation: derivatives are scaled by `alpha` on the
+/// way in; the returned value is always the unscaled KL.
+fn accumulate_kl(
+    params: &[f64; NUM_PARAMS],
+    priors: &ModelPriors,
+    alpha: f64,
     grad: &mut [f64; NUM_PARAMS],
     hess: &mut Mat,
 ) -> f64 {
@@ -244,35 +306,66 @@ pub fn add_kl(
     w[0].val += KL_WEIGHT_FLOOR;
     w[1].val += KL_WEIGHT_FLOOR;
 
-    total += add_plain(&type_kl(params, priors.survey.star_prob), grad, hess);
+    total += add_plain(&type_kl(params, priors.survey.star_prob), alpha, grad, hess);
     for t in 0..2 {
         let fp = &priors.survey.flux[t];
         let r_kl = gauss_kl(params, ids::r_mu(t), ids::r_lsd(t), fp.mu, fp.sigma);
-        total += add_weighted(&w[t], &r_kl, grad, hess);
+        total += add_weighted(&w[t], &r_kl, alpha, grad, hess);
         let c_kl = color_kl(params, priors, t);
-        total += add_weighted(&w[t], &c_kl, grad, hess);
+        total += add_weighted(&w[t], &c_kl, alpha, grad, hess);
     }
     // Shape block: galaxy-weighted.
     for j in 0..4 {
         let (pm, ps) = priors.shape_prior(j);
         let s_kl = gauss_kl(params, ids::SHAPE[j], ids::SHAPE_LSD[j], pm, ps);
-        total += add_weighted(&w[1], &s_kl, grad, hess);
+        total += add_weighted(&w[1], &s_kl, alpha, grad, hess);
     }
     // Position block: unweighted, anchored at the initialization.
     for j in 0..2 {
-        let u_kl = gauss_kl(params, ids::U[j], ids::U_LSD[j], 0.0, priors.u_prior_sd_arcsec);
-        total += add_plain(&u_kl, grad, hess);
+        let u_kl = gauss_kl(
+            params,
+            ids::U[j],
+            ids::U_LSD[j],
+            0.0,
+            priors.u_prior_sd_arcsec,
+        );
+        total += add_plain(&u_kl, alpha, grad, hess);
     }
     total
 }
 
-/// Value-only KL (trust-region trial points).
+/// Value-only KL (trust-region trial points). Sums the same terms as
+/// [`add_kl`] without touching gradient/Hessian buffers — every term
+/// lives on the stack, so this path performs no heap allocation
+/// (unlike the old implementation, which built a scratch 44×44 matrix
+/// per trial point).
 pub fn kl_value(params: &[f64; NUM_PARAMS], priors: &ModelPriors) -> f64 {
-    // Reuse the derivative path against scratch buffers: KL terms are
-    // a negligible cost next to the pixel loops.
-    let mut grad = [0.0; NUM_PARAMS];
-    let mut hess = Mat::zeros(NUM_PARAMS, NUM_PARAMS);
-    add_kl(params, priors, &mut grad, &mut hess)
+    let mut total = 0.0;
+    let mut w = [type_weight(params, 0), type_weight(params, 1)];
+    w[0].val += KL_WEIGHT_FLOOR;
+    w[1].val += KL_WEIGHT_FLOOR;
+
+    total += type_kl(params, priors.survey.star_prob).val;
+    for t in 0..2 {
+        let fp = &priors.survey.flux[t];
+        total += w[t].val * gauss_kl(params, ids::r_mu(t), ids::r_lsd(t), fp.mu, fp.sigma).val;
+        total += w[t].val * color_kl(params, priors, t).val;
+    }
+    for j in 0..4 {
+        let (pm, ps) = priors.shape_prior(j);
+        total += w[1].val * gauss_kl(params, ids::SHAPE[j], ids::SHAPE_LSD[j], pm, ps).val;
+    }
+    for j in 0..2 {
+        total += gauss_kl(
+            params,
+            ids::U[j],
+            ids::U_LSD[j],
+            0.0,
+            priors.u_prior_sd_arcsec,
+        )
+        .val;
+    }
+    total
 }
 
 #[cfg(test)]

@@ -25,8 +25,8 @@
 //! * [`flops`] — active-pixel-visit accounting (paper §VI-B).
 
 pub mod bvn;
-pub mod fluxdist;
 pub mod flops;
+pub mod fluxdist;
 pub mod generic;
 pub mod infer;
 pub mod kl;
@@ -35,7 +35,10 @@ pub mod mcmc;
 pub mod newton;
 pub mod params;
 
-pub use infer::{fit_source, optimize_sources, FitConfig, FitStats, SourceProblem};
+pub use infer::{
+    fit_source, fit_source_with, optimize_sources, source_workspace, BuildScratch, FitConfig,
+    FitStats, SourceProblem, SourceScratch, SourceWorkspace,
+};
 pub use kl::ModelPriors;
-pub use newton::{maximize, NewtonConfig, NewtonStats};
+pub use newton::{maximize, maximize_with, EvalWorkspace, NewtonConfig, NewtonStats, Objective};
 pub use params::{SourceParams, Uncertainty, NUM_PARAMS};

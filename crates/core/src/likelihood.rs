@@ -15,19 +15,37 @@
 //! and `G_t` the geometry kernel ([`crate::bvn`]). The three factors
 //! depend on *disjoint* parameter subsets, so the gradient and the
 //! 44×44 Hessian assemble from small blocks — the "custom index types
-//! to exploit Hessian sparsity structure" of paper §V. Everything is
-//! accumulated in a compact 28-dim space of likelihood-active
-//! parameters and scattered to the full vector once per evaluation.
+//! to exploit Hessian sparsity structure" of paper §V.
+//!
+//! The production path ([`add_likelihood_into`]) accumulates only the
+//! *lower triangle* of the compact 28×28 Hessian into a packed
+//! stack buffer (the matrix is symmetric, so the upper triangle is
+//! redundant work), hoists every per-pixel-invariant product out of
+//! the pixel loops, and reuses caller-owned scratch for the prepared
+//! appearance mixtures — zero heap allocation per evaluation. The
+//! pre-refactor dense accumulation survives as
+//! [`add_likelihood_dense`], the parity reference and benchmark
+//! baseline.
 
 use crate::bvn::{GalaxyGeo, PreparedGalaxy, PreparedStar, GEO};
 use crate::fluxdist::{flux_moments, flux_param_ids, type_weight, NF};
 use crate::params::{ids, NUM_PARAMS};
 use celeste_linalg::Mat;
 use celeste_survey::psf::Psf;
+use std::sync::Arc;
 
 /// Number of likelihood-active parameters (of the 44): position (2),
 /// type logits (2), two 10-dim flux blocks, shape (4).
 pub const NL: usize = 28;
+
+/// Length of the packed lower triangle of the compact Hessian.
+pub const NL_PACKED: usize = NL * (NL + 1) / 2;
+
+/// Floor on the per-pixel Poisson rate: `ln` and the variance
+/// correction stay finite even if a trust-region trial point drives
+/// the expected flux (plus background) to ≤ 0. Applied consistently
+/// in the value-only and derivative paths so their values agree.
+pub const RATE_FLOOR: f64 = 1e-12;
 
 /// Compact → 44-space index map.
 pub fn lik_param_ids() -> [usize; NL] {
@@ -75,6 +93,10 @@ pub struct ActivePixel {
 }
 
 /// Everything the likelihood needs from one image for one source.
+///
+/// The PSF is shared (`Arc`): problems are rebuilt for every
+/// block-coordinate-ascent step, and cloning the field PSF's mixture
+/// into each of them was measurable assembly overhead.
 #[derive(Debug, Clone)]
 pub struct ImageBlock {
     /// Band index (0..5).
@@ -85,8 +107,8 @@ pub struct ImageBlock {
     pub jac: [[f64; 2]; 2],
     /// Anchor position in pixel coordinates.
     pub center0: [f64; 2],
-    /// Field PSF.
-    pub psf: Psf,
+    /// Field PSF (shared with the image it came from).
+    pub psf: Arc<Psf>,
     /// The source's active pixels in this image.
     pub pixels: Vec<ActivePixel>,
 }
@@ -101,10 +123,289 @@ pub fn galaxy_geo(params: &[f64; NUM_PARAMS]) -> GalaxyGeo {
     }
 }
 
+/// Reusable scratch for likelihood evaluation: the prepared star and
+/// galaxy appearance mixtures (heap-backed, reused across blocks and
+/// evaluations). Owned by the evaluation workspace.
+#[derive(Default)]
+pub struct LikScratch {
+    star: PreparedStar,
+    gal: PreparedGalaxy,
+}
+
 /// Evaluate the likelihood part of the ELBO with gradient and Hessian
 /// (both *added* into the outputs, indexed in 44-space). Returns the
 /// value. Also bumps the active-pixel-visit counter.
+///
+/// This is the production kernel: packed lower-triangle Hessian
+/// accumulation, hoisted per-block invariants, and no heap allocation
+/// (given a warmed-up `scratch`).
+pub fn add_likelihood_into(
+    params: &[f64; NUM_PARAMS],
+    blocks: &[ImageBlock],
+    grad: &mut [f64; NUM_PARAMS],
+    hess: &mut Mat,
+    scratch: &mut LikScratch,
+) -> f64 {
+    let map = lik_param_ids();
+    let mut value = 0.0;
+    let mut g28 = [0.0; NL];
+    let mut h28 = [0.0; NL_PACKED];
+
+    let u = [params[ids::U[0]], params[ids::U[1]]];
+    let w = [type_weight(params, 0), type_weight(params, 1)];
+    let geo_params = galaxy_geo(params);
+
+    for block in blocks {
+        scratch
+            .star
+            .prepare(&block.psf, block.center0, u, &block.jac);
+        scratch
+            .gal
+            .prepare(&block.psf, &geo_params, block.center0, u, &block.jac);
+        let moments = [
+            flux_moments(params, 0, block.band),
+            flux_moments(params, 1, block.band),
+        ];
+        crate::flops::record_visits(block.pixels.len() as u64);
+
+        let iota = block.iota;
+        let iota2 = iota * iota;
+        // Per-(block, type) invariants, hoisted out of the pixel loop.
+        // Naming: i = ι, i2 = ι², w = w_t, l = L_t, s2 = S2_t.
+        let mut iw = [0.0; 2]; // ι·w
+        let mut iw2 = [0.0; 2]; // ι²·w
+        let mut il = [0.0; 2]; // ι·L
+        let mut i2s2 = [0.0; 2]; // ι²·S2
+        let mut iwl = [0.0; 2]; // ι·w·L
+        let mut iw2s2 = [0.0; 2]; // ι²·w·S2
+        let mut dsa = [[0.0; 2]; 2]; // ι·L·∇w      (A-slot ∇S coeff)
+        let mut dqa = [[0.0; 2]; 2]; // ι²·S2·∇w    (A-slot ∇Q coeff)
+        let mut dsf = [[0.0; NF]; 2]; // ι·w·∇L     (flux ∇S coeff)
+        let mut dqf = [[0.0; NF]; 2]; // ι²·w·∇S2   (flux ∇Q coeff)
+        let mut ilg = [[0.0; NF]; 2]; // ι·∇L       (A×F cross coeff)
+        let mut i2sg = [[0.0; NF]; 2]; // ι²·∇S2    (A×F cross coeff)
+        for t in 0..2 {
+            let (l, s2) = (&moments[t].0, &moments[t].1);
+            iw[t] = iota * w[t].val;
+            iw2[t] = iota2 * w[t].val;
+            il[t] = iota * l.val;
+            i2s2[t] = iota2 * s2.val;
+            iwl[t] = iw[t] * l.val;
+            iw2s2[t] = iw2[t] * s2.val;
+            for k in 0..2 {
+                dsa[t][k] = il[t] * w[t].grad[k];
+                dqa[t][k] = i2s2[t] * w[t].grad[k];
+            }
+            for c in 0..NF {
+                dsf[t][c] = iw[t] * l.grad[c];
+                dqf[t][c] = iw2[t] * s2.grad[c];
+                ilg[t][c] = iota * l.grad[c];
+                i2sg[t][c] = iota2 * s2.grad[c];
+            }
+        }
+
+        for pix in &block.pixels {
+            let geo = [
+                scratch.star.eval(pix.px, pix.py),
+                scratch.gal.eval(pix.px, pix.py),
+            ];
+
+            // Values.
+            let mut s = 0.0;
+            let mut q = 0.0;
+            for t in 0..2 {
+                s += iwl[t] * geo[t].val;
+                q += iw2s2[t] * geo[t].val * geo[t].val;
+            }
+            let e = (pix.eps + s).max(RATE_FLOOR);
+            let v = (q - s * s).max(0.0);
+            let e2 = e * e;
+            value += pix.x * (e.ln() - v / (2.0 * e2)) - e;
+
+            // φ partials.
+            let phi_e = pix.x / e + pix.x * v / (e2 * e) - 1.0;
+            let phi_v = -pix.x / (2.0 * e2);
+            let phi_ee = -pix.x / e2 - 3.0 * pix.x * v / (e2 * e2);
+            let phi_ev = pix.x / (e2 * e);
+
+            // Dense ∇S and ∇Q over the 28 compact slots.
+            let mut ds = [0.0; NL];
+            let mut dq = [0.0; NL];
+            for t in 0..2 {
+                let gt = &geo[t];
+                let g2 = gt.val * gt.val;
+                // A slots.
+                for k in 0..2 {
+                    ds[CA[k]] += dsa[t][k] * gt.val;
+                    dq[CA[k]] += dqa[t][k] * g2;
+                }
+                // Flux slots.
+                let cfi = cf(t);
+                for c in 0..NF {
+                    ds[cfi[c]] += dsf[t][c] * gt.val;
+                    dq[cfi[c]] += dqf[t][c] * g2;
+                }
+                // Geometry slots (star: only u).
+                let gdim = if t == 0 { 2 } else { GEO };
+                let two_gv = 2.0 * gt.val;
+                for gslot in 0..gdim {
+                    ds[CG[gslot]] += iwl[t] * gt.grad[gslot];
+                    dq[CG[gslot]] += iw2s2[t] * two_gv * gt.grad[gslot];
+                }
+            }
+            let mut dv = [0.0; NL];
+            for i in 0..NL {
+                dv[i] = dq[i] - 2.0 * s * ds[i];
+            }
+
+            // Gradient.
+            for i in 0..NL {
+                g28[i] += phi_e * ds[i] + phi_v * dv[i];
+            }
+
+            // Hessian: block-structured ∇²S (scaled cs) and ∇²Q
+            // (scaled phi_v), plus the rank-2 φ chain terms. Only the
+            // lower triangle is touched, written row-wise into the
+            // packed buffer (compact row r starts at r(r+1)/2 and is
+            // contiguous) so the inner loops stay branch-free; the
+            // scatter at the end mirrors once.
+            let cs = phi_e - 2.0 * s * phi_v;
+            for t in 0..2 {
+                let (l, s2m) = (&moments[t].0, &moments[t].1);
+                let gt = &geo[t];
+                let g2 = gt.val * gt.val;
+                let base = 4 + 10 * t;
+
+                // Per-pixel block coefficients.
+                let haa = cs * il[t] * gt.val + phi_v * i2s2[t] * g2; // × ∇²w
+                let hffc = cs * iw[t] * gt.val; // × ∇²L
+                let hffq = phi_v * iw2[t] * g2; // × ∇²S2
+                let hgc = cs * iwl[t]; // × ∇²G
+                let hgq = phi_v * iw2s2[t]; // × ∇²(G²)
+                let csg = cs * gt.val;
+                let pvg2 = phi_v * g2;
+                let cag = cs * il[t] + 2.0 * phi_v * i2s2[t] * gt.val; // A×G
+                let two_pv_gv = 2.0 * phi_v * gt.val;
+                // F×G coefficient per flux slot (used by the u-columns
+                // of flux rows and the flux-columns of shape rows).
+                let mut fgcs = [0.0; NF];
+                for c in 0..NF {
+                    fgcs[c] = cs * dsf[t][c] + two_pv_gv * dqf[t][c];
+                }
+
+                // u-block rows 0–1: G×G over the position slots.
+                let hg00 = 2.0 * (gt.grad[0] * gt.grad[0] + gt.val * gt.hess[0][0]);
+                let hg10 = 2.0 * (gt.grad[1] * gt.grad[0] + gt.val * gt.hess[1][0]);
+                let hg11 = 2.0 * (gt.grad[1] * gt.grad[1] + gt.val * gt.hess[1][1]);
+                h28[0] += hgc * gt.hess[0][0] + hgq * hg00;
+                h28[1] += hgc * gt.hess[1][0] + hgq * hg10;
+                h28[2] += hgc * gt.hess[1][1] + hgq * hg11;
+
+                // A rows 2–3: A×G u-columns, then the A×A triangle.
+                let ga0 = gt.grad[0] * cag;
+                let ga1 = gt.grad[1] * cag;
+                h28[3] += w[t].grad[0] * ga0; // (2,0)
+                h28[4] += w[t].grad[0] * ga1; // (2,1)
+                h28[5] += haa * w[t].hess[0][0]; // (2,2)
+                h28[6] += w[t].grad[1] * ga0; // (3,0)
+                h28[7] += w[t].grad[1] * ga1; // (3,1)
+                h28[8] += haa * w[t].hess[1][0]; // (3,2)
+                h28[9] += haa * w[t].hess[1][1]; // (3,3)
+
+                // Flux rows base..base+NF: u-columns (F×G), A-columns
+                // (A×F), and the F×F triangle — all contiguous writes.
+                for c in 0..NF {
+                    let r = base + c;
+                    let off = r * (r + 1) / 2;
+                    let row = &mut h28[off..off + r + 1];
+                    row[0] += gt.grad[0] * fgcs[c];
+                    row[1] += gt.grad[1] * fgcs[c];
+                    let fc = csg * ilg[t][c] + pvg2 * i2sg[t][c];
+                    row[2] += w[t].grad[0] * fc;
+                    row[3] += w[t].grad[1] * fc;
+                    let lh = &l.hess[c];
+                    let sh = &s2m.hess[c];
+                    for c2 in 0..=c {
+                        row[base + c2] += hffc * lh[c2] + hffq * sh[c2];
+                    }
+                }
+
+                // Shape rows 24–27 (galaxy only; the star's geometry
+                // stops at the u slots).
+                if t == 1 {
+                    for a in 2..GEO {
+                        let r = 22 + a; // CG[a] = 24 + (a − 2)
+                        let off = r * (r + 1) / 2;
+                        let row = &mut h28[off..off + r + 1];
+                        let ga = gt.grad[a];
+                        // G×G u-columns.
+                        for b in 0..2 {
+                            let hg2 = 2.0 * (ga * gt.grad[b] + gt.val * gt.hess[a][b]);
+                            row[b] += hgc * gt.hess[a][b] + hgq * hg2;
+                        }
+                        // A×G columns.
+                        let gav = ga * cag;
+                        row[2] += w[t].grad[0] * gav;
+                        row[3] += w[t].grad[1] * gav;
+                        // F×G columns (this type's flux block).
+                        for c in 0..NF {
+                            row[base + c] += ga * fgcs[c];
+                        }
+                        // G×G shape-shape triangle.
+                        for b in 2..=a {
+                            let hg2 = 2.0 * (ga * gt.grad[b] + gt.val * gt.hess[a][b]);
+                            row[22 + b] += hgc * gt.hess[a][b] + hgq * hg2;
+                        }
+                    }
+                }
+            }
+            // Rank-2 chain terms (symmetric in (i, j): accumulate the
+            // lower triangle only — this halves the densest loop of
+            // the kernel).
+            let a2 = phi_ee - 2.0 * phi_v;
+            for i in 0..NL {
+                let dsi = ds[i];
+                let dvi = dv[i];
+                if dsi == 0.0 && dvi == 0.0 {
+                    continue;
+                }
+                let row = &mut h28[i * (i + 1) / 2..i * (i + 1) / 2 + i + 1];
+                // row[j] += a2·dsi·ds[j] + φ_ev·(dsi·dv[j] + dvi·ds[j]),
+                // with the two ds[j] coefficients folded.
+                let cds = a2 * dsi + phi_ev * dvi;
+                let cdv = phi_ev * dsi;
+                for j in 0..=i {
+                    row[j] += cds * ds[j] + cdv * dv[j];
+                }
+            }
+        }
+    }
+
+    // Scatter compact → 44 (mirroring the packed triangle).
+    for i in 0..NL {
+        grad[map[i]] += g28[i];
+    }
+    hess.scatter_sym_packed(&h28, &map);
+    value
+}
+
+/// Compatibility wrapper over [`add_likelihood_into`] that allocates
+/// fresh scratch per call. Prefer the `_into` form on hot paths.
 pub fn add_likelihood(
+    params: &[f64; NUM_PARAMS],
+    blocks: &[ImageBlock],
+    grad: &mut [f64; NUM_PARAMS],
+    hess: &mut Mat,
+) -> f64 {
+    let mut scratch = LikScratch::default();
+    add_likelihood_into(params, blocks, grad, hess, &mut scratch)
+}
+
+/// The pre-refactor dense accumulation: fills all NL×NL slots of the
+/// compact Hessian per pixel. Kept as the parity reference for the
+/// packed-triangle kernel and as the benchmark baseline — do not use
+/// on hot paths.
+pub fn add_likelihood_dense(
     params: &[f64; NUM_PARAMS],
     blocks: &[ImageBlock],
     grad: &mut [f64; NUM_PARAMS],
@@ -120,13 +421,24 @@ pub fn add_likelihood(
 
     for block in blocks {
         let star = PreparedStar::new(&block.psf, block.center0, u, &block.jac);
-        let gal = PreparedGalaxy::new(&block.psf, &galaxy_geo(params), block.center0, u, &block.jac);
-        let moments =
-            [flux_moments(params, 0, block.band), flux_moments(params, 1, block.band)];
+        let gal = PreparedGalaxy::new(
+            &block.psf,
+            &galaxy_geo(params),
+            block.center0,
+            u,
+            &block.jac,
+        );
+        let moments = [
+            flux_moments(params, 0, block.band),
+            flux_moments(params, 1, block.band),
+        ];
         crate::flops::record_visits(block.pixels.len() as u64);
 
         for pix in &block.pixels {
-            let geo = [star.eval(pix.px, pix.py), gal.eval(pix.px, pix.py)];
+            let geo = [
+                star.eval_reference(pix.px, pix.py),
+                gal.eval_reference(pix.px, pix.py),
+            ];
 
             // Values.
             let iota = block.iota;
@@ -138,8 +450,7 @@ pub fn add_likelihood(
                 s += iota * w[t].val * l.val * geo[t].val;
                 q += iota2 * w[t].val * s2.val * geo[t].val * geo[t].val;
             }
-            let e = pix.eps + s;
-            debug_assert!(e > 0.0, "nonpositive rate {e}");
+            let e = (pix.eps + s).max(RATE_FLOOR);
             let v = (q - s * s).max(0.0);
             let e2 = e * e;
             value += pix.x * (e.ln() - v / (2.0 * e2)) - e;
@@ -172,8 +483,7 @@ pub fn add_likelihood(
                 let gdim = if t == 0 { 2 } else { GEO };
                 for gslot in 0..gdim {
                     ds[CG[gslot]] += iota * w[t].val * l.val * gt.grad[gslot];
-                    dq[CG[gslot]] +=
-                        iota2 * w[t].val * s2.val * 2.0 * gt.val * gt.grad[gslot];
+                    dq[CG[gslot]] += iota2 * w[t].val * s2.val * 2.0 * gt.val * gt.grad[gslot];
                 }
             }
             let mut dv = [0.0; NL];
@@ -208,16 +518,16 @@ pub fn add_likelihood(
                 // F×F.
                 for c in 0..NF {
                     for c2 in 0..NF {
-                        h28[cfi[c]][cfi[c2]] += cs * iw * gt.val * l.hess[c][c2]
-                            + phi_v * iw2 * g2 * s2.hess[c][c2];
+                        h28[cfi[c]][cfi[c2]] +=
+                            cs * iw * gt.val * l.hess[c][c2] + phi_v * iw2 * g2 * s2.hess[c][c2];
                     }
                 }
                 // G×G (G² Hessian: 2(∇G∇Gᵀ + G∇²G)).
                 for a in 0..gdim {
                     for b in 0..gdim {
                         let hg2 = 2.0 * (gt.grad[a] * gt.grad[b] + gt.val * gt.hess[a][b]);
-                        h28[CG[a]][CG[b]] += cs * iw * l.val * gt.hess[a][b]
-                            + phi_v * iw2 * s2.val * hg2;
+                        h28[CG[a]][CG[b]] +=
+                            cs * iw * l.val * gt.hess[a][b] + phi_v * iw2 * s2.val * hg2;
                     }
                 }
                 // A×F (symmetric pair).
@@ -275,28 +585,57 @@ pub fn add_likelihood(
 }
 
 /// Value-only likelihood (used for trust-region trial points).
-/// Also bumps the active-pixel-visit counter.
+/// Allocates fresh scratch per call; hot paths use
+/// [`likelihood_value_into`]. Also bumps the active-pixel-visit
+/// counter.
 pub fn likelihood_value(params: &[f64; NUM_PARAMS], blocks: &[ImageBlock]) -> f64 {
+    let mut scratch = LikScratch::default();
+    likelihood_value_into(params, blocks, &mut scratch)
+}
+
+/// Value-only likelihood with caller-owned scratch (no allocation).
+pub fn likelihood_value_into(
+    params: &[f64; NUM_PARAMS],
+    blocks: &[ImageBlock],
+    scratch: &mut LikScratch,
+) -> f64 {
     let u = [params[ids::U[0]], params[ids::U[1]]];
     let w = [type_weight(params, 0).val, type_weight(params, 1).val];
+    let geo_params = galaxy_geo(params);
     let mut value = 0.0;
     for block in blocks {
-        let star = PreparedStar::new(&block.psf, block.center0, u, &block.jac);
-        let gal = PreparedGalaxy::new(&block.psf, &galaxy_geo(params), block.center0, u, &block.jac);
-        let moments =
-            [flux_moments(params, 0, block.band), flux_moments(params, 1, block.band)];
+        scratch
+            .star
+            .prepare(&block.psf, block.center0, u, &block.jac);
+        scratch
+            .gal
+            .prepare(&block.psf, &geo_params, block.center0, u, &block.jac);
+        let moments = [
+            flux_moments(params, 0, block.band),
+            flux_moments(params, 1, block.band),
+        ];
         crate::flops::record_visits(block.pixels.len() as u64);
+        let iota = block.iota;
+        let iwl = [
+            iota * w[0] * moments[0].0.val,
+            iota * w[1] * moments[1].0.val,
+        ];
+        let iw2s2 = [
+            iota * iota * w[0] * moments[0].1.val,
+            iota * iota * w[1] * moments[1].1.val,
+        ];
         for pix in &block.pixels {
-            let geo = [star.eval_value(pix.px, pix.py), gal.eval_value(pix.px, pix.py)];
-            let iota = block.iota;
+            let geo = [
+                scratch.star.eval_value(pix.px, pix.py),
+                scratch.gal.eval_value(pix.px, pix.py),
+            ];
             let mut s = 0.0;
             let mut q = 0.0;
             for t in 0..2 {
-                let (l, s2) = (&moments[t].0, &moments[t].1);
-                s += iota * w[t] * l.val * geo[t];
-                q += iota * iota * w[t] * s2.val * geo[t] * geo[t];
+                s += iwl[t] * geo[t];
+                q += iw2s2[t] * geo[t] * geo[t];
             }
-            let e = pix.eps + s;
+            let e = (pix.eps + s).max(RATE_FLOOR);
             let v = (q - s * s).max(0.0);
             value += pix.x * (e.ln() - v / (2.0 * e * e)) - e;
         }
@@ -332,7 +671,7 @@ mod tests {
             iota: 300.0,
             jac: [[0.71, 0.02], [-0.01, 0.7]],
             center0: [10.0, 12.0],
-            psf: Psf::core_halo(1.3),
+            psf: Arc::new(Psf::core_halo(1.3)),
             pixels,
         }
     }
@@ -381,6 +720,48 @@ mod tests {
         let v1 = add_likelihood(&p, &blocks, &mut grad, &mut hess);
         let v2 = likelihood_value(&p, &blocks);
         assert!((v1 - v2).abs() < 1e-9 * (1.0 + v1.abs()), "{v1} vs {v2}");
+        let mut scratch = LikScratch::default();
+        let v3 = likelihood_value_into(&p, &blocks, &mut scratch);
+        assert!((v1 - v3).abs() < 1e-9 * (1.0 + v1.abs()), "{v1} vs {v3}");
+    }
+
+    #[test]
+    fn packed_matches_dense_to_parity_tolerance() {
+        // The tentpole parity bar: packed lower-triangle accumulation
+        // must match the dense reference to 1e-12 *relative* on every
+        // gradient and Hessian entry.
+        let p = test_params();
+        let blocks = vec![test_block()];
+        let mut gp = [0.0; NUM_PARAMS];
+        let mut hp = Mat::zeros(NUM_PARAMS, NUM_PARAMS);
+        let vp = add_likelihood(&p, &blocks, &mut gp, &mut hp);
+        let mut gd = [0.0; NUM_PARAMS];
+        let mut hd = Mat::zeros(NUM_PARAMS, NUM_PARAMS);
+        let vd = add_likelihood_dense(&p, &blocks, &mut gd, &mut hd);
+        assert!(
+            (vp - vd).abs() <= 1e-12 * (1.0 + vd.abs()),
+            "value {vp} vs {vd}"
+        );
+        // Tolerance is relative to the object's scale (max-abs), so
+        // entries that nearly cancel don't demand impossible absolute
+        // precision from a reassociated-but-equivalent summation.
+        let gscale = gd.iter().fold(1.0_f64, |m, g| m.max(g.abs()));
+        let hscale = hd.max_abs().max(1.0);
+        for i in 0..NUM_PARAMS {
+            assert!(
+                (gp[i] - gd[i]).abs() <= 1e-12 * gscale,
+                "grad[{i}]: packed {} vs dense {}",
+                gp[i],
+                gd[i]
+            );
+            for j in 0..NUM_PARAMS {
+                let (a, b) = (hp[(i, j)], hd[(i, j)]);
+                assert!(
+                    (a - b).abs() <= 1e-12 * hscale,
+                    "H[{i}][{j}]: packed {a} vs dense {b}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -396,8 +777,7 @@ mod tests {
             let mut dn = p;
             up[idx] += h;
             dn[idx] -= h;
-            let fd =
-                (likelihood_value(&up, &blocks) - likelihood_value(&dn, &blocks)) / (2.0 * h);
+            let fd = (likelihood_value(&up, &blocks) - likelihood_value(&dn, &blocks)) / (2.0 * h);
             assert!(
                 (grad[idx] - fd).abs() < 2e-4 * (1.0 + fd.abs()),
                 "param {idx}: analytic {} vs fd {fd}",
@@ -475,6 +855,32 @@ mod tests {
         let mut hess = Mat::zeros(NUM_PARAMS, NUM_PARAMS);
         add_likelihood(&p, &blocks, &mut grad, &mut hess);
         assert!(hess.is_symmetric(1e-9));
+    }
+
+    #[test]
+    fn value_path_survives_nonpositive_rate() {
+        // A pathological trial point: huge negative ε drives the rate
+        // nonpositive. Both paths must stay finite (the RATE_FLOOR
+        // guard) instead of producing NaN from ln(≤0).
+        let p = test_params();
+        let mut block = test_block();
+        for pix in &mut block.pixels {
+            pix.eps = -1e9;
+        }
+        let blocks = vec![block];
+        let v = likelihood_value(&p, &blocks);
+        assert!(v.is_finite(), "value path NaN on nonpositive rate: {v}");
+        let mut grad = [0.0; NUM_PARAMS];
+        let mut hess = Mat::zeros(NUM_PARAMS, NUM_PARAMS);
+        let vd = add_likelihood(&p, &blocks, &mut grad, &mut hess);
+        assert!(
+            vd.is_finite(),
+            "derivative path NaN on nonpositive rate: {vd}"
+        );
+        assert!(
+            (v - vd).abs() < 1e-9 * (1.0 + v.abs()),
+            "paths disagree: {v} vs {vd}"
+        );
     }
 
     #[test]

@@ -32,7 +32,12 @@ pub struct McmcConfig {
 
 impl Default for McmcConfig {
     fn default() -> Self {
-        McmcConfig { samples: 4000, burn_in: 1000, initial_step: 0.05, target_accept: 0.234 }
+        McmcConfig {
+            samples: 4000,
+            burn_in: 1000,
+            initial_step: 0.05,
+            target_accept: 0.234,
+        }
     }
 }
 
@@ -140,7 +145,11 @@ mod tests {
 
     #[test]
     fn recovers_gaussian_moments() {
-        let cfg = McmcConfig { samples: 30_000, burn_in: 5_000, ..Default::default() };
+        let cfg = McmcConfig {
+            samples: 30_000,
+            burn_in: 5_000,
+            ..Default::default()
+        };
         let r = metropolis(gauss_logpdf, &[3.0, -2.0], &cfg, 7);
         for (i, (&m, &s)) in r.mean.iter().zip(&r.sd).enumerate() {
             assert!(m.abs() < 0.15, "dim {i} mean {m}");
@@ -151,7 +160,11 @@ mod tests {
 
     #[test]
     fn adaptation_reaches_sane_acceptance() {
-        let cfg = McmcConfig { samples: 20_000, burn_in: 5_000, ..Default::default() };
+        let cfg = McmcConfig {
+            samples: 20_000,
+            burn_in: 5_000,
+            ..Default::default()
+        };
         let r = metropolis(gauss_logpdf, &[0.0; 5], &cfg, 3);
         assert!(
             r.accept_rate > 0.1 && r.accept_rate < 0.6,
@@ -163,7 +176,11 @@ mod tests {
     #[test]
     fn map_tracking_finds_mode_region() {
         let shifted = |x: &[f64]| -0.5 * ((x[0] - 4.0).powi(2) + (x[1] + 1.0).powi(2));
-        let cfg = McmcConfig { samples: 20_000, burn_in: 4_000, ..Default::default() };
+        let cfg = McmcConfig {
+            samples: 20_000,
+            burn_in: 4_000,
+            ..Default::default()
+        };
         let r = metropolis(shifted, &[0.0, 0.0], &cfg, 5);
         assert!((r.map_point[0] - 4.0).abs() < 0.3, "map {:?}", r.map_point);
         assert!((r.map_point[1] + 1.0).abs() < 0.3);
@@ -172,7 +189,11 @@ mod tests {
 
     #[test]
     fn deterministic_by_seed() {
-        let cfg = McmcConfig { samples: 2_000, burn_in: 500, ..Default::default() };
+        let cfg = McmcConfig {
+            samples: 2_000,
+            burn_in: 500,
+            ..Default::default()
+        };
         let a = metropolis(gauss_logpdf, &[1.0], &cfg, 11);
         let b = metropolis(gauss_logpdf, &[1.0], &cfg, 11);
         assert_eq!(a.mean, b.mean);

@@ -8,18 +8,113 @@
 //! headline optimization choice: 1–2 orders of magnitude fewer
 //! iterations (§IV-D) at ~3× the per-iteration cost — our
 //! `bench/ablation_newton` measures the same trade-off.
+//!
+//! The evaluation API is workspace-based: [`Objective::eval_into`]
+//! writes value/gradient/Hessian into an [`EvalWorkspace`] the caller
+//! owns, so the optimizer's inner loop performs no heap allocation
+//! after the workspace is built (the paper's threads "spend their
+//! time in arithmetic, not allocation"). [`maximize`] builds one
+//! workspace up front; long-lived workers keep their own and call
+//! [`maximize_with`].
 
 use celeste_linalg::{solve_tr_subproblem, vecops, Mat};
 
+thread_local! {
+    /// Counts [`EvalWorkspace`] constructions on this thread, so tests
+    /// can assert that hot loops reuse workspaces instead of
+    /// re-allocating them (thread-local: parallel test runners and
+    /// worker pools don't perturb each other's counts).
+    static WORKSPACE_BUILDS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of `EvalWorkspace`s constructed so far on this thread.
+pub fn workspace_builds() -> u64 {
+    WORKSPACE_BUILDS.with(|c| c.get())
+}
+
+/// Caller-owned evaluation buffers: the objective writes its value,
+/// gradient, and Hessian here, plus whatever objective-specific
+/// scratch `S` it needs (e.g. prepared per-image appearance mixtures
+/// for the ELBO). Build once, reuse for every evaluation.
+pub struct EvalWorkspace<S = ()> {
+    /// Objective value at the last evaluated point.
+    pub value: f64,
+    /// Gradient (length = `dim`).
+    pub grad: Vec<f64>,
+    /// Hessian (`dim × dim`).
+    pub hess: Mat,
+    /// Objective-specific scratch, reused across evaluations.
+    pub scratch: S,
+    // Solver-side buffers (negated model, trial point), reused by
+    // `maximize_with` across iterations and trust-region trials.
+    neg_grad: Vec<f64>,
+    neg_hess: Mat,
+    x_trial: Vec<f64>,
+}
+
+impl<S: Default> EvalWorkspace<S> {
+    /// Allocate all buffers for a `dim`-dimensional objective.
+    pub fn new(dim: usize) -> Self {
+        WORKSPACE_BUILDS.with(|c| c.set(c.get() + 1));
+        EvalWorkspace {
+            value: 0.0,
+            grad: vec![0.0; dim],
+            hess: Mat::zeros(dim, dim),
+            scratch: S::default(),
+            neg_grad: vec![0.0; dim],
+            neg_hess: Mat::zeros(dim, dim),
+            x_trial: vec![0.0; dim],
+        }
+    }
+}
+
+impl<S> EvalWorkspace<S> {
+    /// Dimension of the gradient/Hessian buffers.
+    pub fn dim(&self) -> usize {
+        self.grad.len()
+    }
+
+    /// Zero the value/gradient/Hessian accumulators (objectives call
+    /// this at the top of `eval_into` before accumulating terms).
+    pub fn reset_accumulators(&mut self) {
+        self.value = 0.0;
+        self.grad.fill(0.0);
+        self.hess.fill_zero();
+    }
+
+    /// Disjoint mutable borrows of (gradient, Hessian, scratch), for
+    /// objectives that accumulate into the first two while reading
+    /// and updating the third.
+    pub fn split_mut(&mut self) -> (&mut Vec<f64>, &mut Mat, &mut S) {
+        (&mut self.grad, &mut self.hess, &mut self.scratch)
+    }
+}
+
 /// An objective to *maximize*: full evaluation (value + gradient +
-/// Hessian) and cheap value-only evaluation for trial points.
+/// Hessian) into a caller-owned workspace, and cheap value-only
+/// evaluation for trial points.
 pub trait Objective {
+    /// Objective-specific scratch carried inside the workspace.
+    type Scratch: Default;
+
     /// Dimension of the parameter vector.
     fn dim(&self) -> usize;
-    /// Value, gradient, Hessian at `x`.
-    fn eval(&self, x: &[f64]) -> (f64, Vec<f64>, Mat);
+
+    /// Write value, gradient, Hessian at `x` into `ws`
+    /// (`ws.value`, `ws.grad`, `ws.hess`). Must not allocate on
+    /// repeat calls with the same workspace.
+    fn eval_into(&self, x: &[f64], ws: &mut EvalWorkspace<Self::Scratch>);
+
     /// Value only (used for trust-region ratio tests).
     fn value(&self, x: &[f64]) -> f64;
+
+    /// Compatibility shim over [`Objective::eval_into`]: allocates a
+    /// fresh workspace per call. Prefer `eval_into` on hot paths.
+    fn eval(&self, x: &[f64]) -> (f64, Vec<f64>, Mat) {
+        let mut ws = EvalWorkspace::<Self::Scratch>::new(self.dim());
+        self.eval_into(x, &mut ws);
+        (ws.value, ws.grad, ws.hess)
+    }
 }
 
 /// Trust-region Newton configuration.
@@ -66,29 +161,49 @@ pub struct NewtonStats {
     pub converged: bool,
 }
 
-/// Maximize `obj` starting from `x` (updated in place).
-pub fn maximize(obj: &impl Objective, x: &mut [f64], cfg: &NewtonConfig) -> NewtonStats {
+/// Maximize `obj` starting from `x` (updated in place), allocating one
+/// workspace for the whole run. Long-lived callers (worker pools)
+/// should hold their own workspace and use [`maximize_with`].
+pub fn maximize<O: Objective>(obj: &O, x: &mut [f64], cfg: &NewtonConfig) -> NewtonStats {
+    let mut ws = EvalWorkspace::<O::Scratch>::new(obj.dim());
+    maximize_with(obj, x, cfg, &mut ws)
+}
+
+/// Maximize `obj` starting from `x` (updated in place), reusing the
+/// caller's workspace: no gradient/Hessian buffers are allocated, no
+/// matter how many iterations or trust-region trials run.
+pub fn maximize_with<O: Objective>(
+    obj: &O,
+    x: &mut [f64],
+    cfg: &NewtonConfig,
+    ws: &mut EvalWorkspace<O::Scratch>,
+) -> NewtonStats {
     let n = obj.dim();
     assert_eq!(x.len(), n);
+    assert_eq!(ws.dim(), n, "workspace dimension mismatch");
     let mut stats = NewtonStats::default();
     let mut radius = cfg.initial_radius;
 
-    let (mut f, mut grad, mut hess) = obj.eval(x);
+    obj.eval_into(x, ws);
     stats.full_evals += 1;
     for iter in 0..cfg.max_iters {
         stats.iterations = iter;
-        stats.grad_norm = vecops::max_abs(&grad);
+        stats.grad_norm = vecops::max_abs(&ws.grad);
 
-        // Maximization: minimize the negated quadratic model.
-        let mut neg_h = hess.clone();
-        neg_h.scale(-1.0);
-        let neg_g: Vec<f64> = grad.iter().map(|g| -g).collect();
-        let sol = solve_tr_subproblem(&neg_h, &neg_g, radius);
+        // Maximization: minimize the negated quadratic model. The
+        // negated copies live in the workspace; only the TR solver's
+        // own internals allocate.
+        ws.neg_hess.copy_from(&ws.hess);
+        ws.neg_hess.scale(-1.0);
+        for (ng, &g) in ws.neg_grad.iter_mut().zip(ws.grad.iter()) {
+            *ng = -g;
+        }
+        let sol = solve_tr_subproblem(&ws.neg_hess, &ws.neg_grad, radius);
         // Converged only when both the gradient is flat AND the model
         // promises nothing — a zero gradient alone can be a saddle,
         // which the TR step escapes along negative curvature.
         if stats.grad_norm < cfg.grad_tol
-            && sol.predicted_reduction <= cfg.f_tol * (1.0 + f.abs())
+            && sol.predicted_reduction <= cfg.f_tol * (1.0 + ws.value.abs())
         {
             stats.converged = true;
             break;
@@ -99,26 +214,26 @@ pub fn maximize(obj: &impl Objective, x: &mut [f64], cfg: &NewtonConfig) -> Newt
             break;
         }
 
-        let x_trial: Vec<f64> = x.iter().zip(&sol.step).map(|(a, b)| a + b).collect();
-        let f_trial = obj.value(&x_trial);
+        for ((t, &xi), &si) in ws.x_trial.iter_mut().zip(x.iter()).zip(&sol.step) {
+            *t = xi + si;
+        }
+        let f_trial = obj.value(&ws.x_trial);
         stats.value_evals += 1;
+        let f = ws.value;
         let rho = (f_trial - f) / sol.predicted_reduction;
 
         if rho > 1e-4 && f_trial.is_finite() {
             // Accept.
             let improvement = f_trial - f;
-            x.copy_from_slice(&x_trial);
-            let refresh = obj.eval(x);
+            x.copy_from_slice(&ws.x_trial);
+            obj.eval_into(x, ws);
             stats.full_evals += 1;
-            f = refresh.0;
-            grad = refresh.1;
-            hess = refresh.2;
             if rho > 0.75 && sol.on_boundary {
                 radius = (2.0 * radius).min(cfg.max_radius);
             } else if rho < 0.25 {
                 radius *= 0.5;
             }
-            if improvement < cfg.f_tol * (1.0 + f.abs()) {
+            if improvement < cfg.f_tol * (1.0 + ws.value.abs()) {
                 stats.converged = true;
                 break;
             }
@@ -131,8 +246,8 @@ pub fn maximize(obj: &impl Objective, x: &mut [f64], cfg: &NewtonConfig) -> Newt
             }
         }
     }
-    stats.value = f;
-    stats.grad_norm = vecops::max_abs(&grad);
+    stats.value = ws.value;
+    stats.grad_norm = vecops::max_abs(&ws.grad);
     stats
 }
 
@@ -146,25 +261,28 @@ mod tests {
     }
 
     impl Objective for Quadratic {
+        type Scratch = ();
         fn dim(&self) -> usize {
             self.center.len()
         }
-        fn eval(&self, x: &[f64]) -> (f64, Vec<f64>, Mat) {
+        fn eval_into(&self, x: &[f64], ws: &mut EvalWorkspace) {
+            ws.reset_accumulators();
             let n = x.len();
-            let scale: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
-            let mut v = 0.0;
-            let mut g = vec![0.0; n];
-            let mut h = Mat::zeros(n, n);
             for i in 0..n {
+                let scale = 1.0 + i as f64;
                 let d = x[i] - self.center[i];
-                v -= 0.5 * scale[i] * d * d;
-                g[i] = -scale[i] * d;
-                h[(i, i)] = -scale[i];
+                ws.value -= 0.5 * scale * d * d;
+                ws.grad[i] = -scale * d;
+                ws.hess[(i, i)] = -scale;
             }
-            (v, g, h)
         }
         fn value(&self, x: &[f64]) -> f64 {
-            self.eval(x).0
+            let mut v = 0.0;
+            for i in 0..x.len() {
+                let d = x[i] - self.center[i];
+                v -= 0.5 * (1.0 + i as f64) * d * d;
+            }
+            v
         }
     }
 
@@ -172,33 +290,41 @@ mod tests {
     struct NegRosenbrock;
 
     impl Objective for NegRosenbrock {
+        type Scratch = ();
         fn dim(&self) -> usize {
             2
         }
-        fn eval(&self, x: &[f64]) -> (f64, Vec<f64>, Mat) {
+        fn eval_into(&self, x: &[f64], ws: &mut EvalWorkspace) {
+            ws.reset_accumulators();
             let (a, b) = (x[0], x[1]);
-            let v = -((1.0 - a).powi(2) + 100.0 * (b - a * a).powi(2));
-            let g = vec![
-                -(-2.0 * (1.0 - a) - 400.0 * a * (b - a * a)),
-                -(200.0 * (b - a * a)),
-            ];
-            let mut h = Mat::zeros(2, 2);
-            h[(0, 0)] = -(2.0 - 400.0 * (b - 3.0 * a * a));
-            h[(0, 1)] = 400.0 * a;
-            h[(1, 0)] = 400.0 * a;
-            h[(1, 1)] = -200.0;
-            (v, g, h)
+            ws.value = -((1.0 - a).powi(2) + 100.0 * (b - a * a).powi(2));
+            ws.grad[0] = -(-2.0 * (1.0 - a) - 400.0 * a * (b - a * a));
+            ws.grad[1] = -(200.0 * (b - a * a));
+            ws.hess[(0, 0)] = -(2.0 - 400.0 * (b - 3.0 * a * a));
+            ws.hess[(0, 1)] = 400.0 * a;
+            ws.hess[(1, 0)] = 400.0 * a;
+            ws.hess[(1, 1)] = -200.0;
         }
         fn value(&self, x: &[f64]) -> f64 {
-            self.eval(x).0
+            let (a, b) = (x[0], x[1]);
+            -((1.0 - a).powi(2) + 100.0 * (b - a * a).powi(2))
         }
     }
 
     #[test]
     fn quadratic_converges_in_one_accepted_step() {
-        let obj = Quadratic { center: vec![3.0, -1.0, 0.5] };
+        let obj = Quadratic {
+            center: vec![3.0, -1.0, 0.5],
+        };
         let mut x = vec![0.0; 3];
-        let stats = maximize(&obj, &mut x, &NewtonConfig { initial_radius: 50.0, ..Default::default() });
+        let stats = maximize(
+            &obj,
+            &mut x,
+            &NewtonConfig {
+                initial_radius: 50.0,
+                ..Default::default()
+            },
+        );
         assert!(stats.converged);
         assert!(stats.iterations <= 2, "iterations {}", stats.iterations);
         for (xi, ci) in x.iter().zip(&obj.center) {
@@ -209,10 +335,14 @@ mod tests {
     #[test]
     fn rosenbrock_reaches_global_max() {
         let mut x = vec![-1.2, 1.0];
-        let stats = maximize(&NegRosenbrock, &mut x, &NewtonConfig {
-            max_iters: 200,
-            ..Default::default()
-        });
+        let stats = maximize(
+            &NegRosenbrock,
+            &mut x,
+            &NewtonConfig {
+                max_iters: 200,
+                ..Default::default()
+            },
+        );
         assert!(stats.converged, "stats {stats:?}");
         assert!((x[0] - 1.0).abs() < 1e-6, "x {x:?}");
         assert!((x[1] - 1.0).abs() < 1e-6);
@@ -231,21 +361,61 @@ mod tests {
     }
 
     #[test]
+    fn eval_shim_matches_eval_into() {
+        let obj = Quadratic {
+            center: vec![1.0, 2.0],
+        };
+        let x = [0.5, -0.5];
+        let (v, g, h) = obj.eval(&x);
+        let mut ws = EvalWorkspace::new(2);
+        obj.eval_into(&x, &mut ws);
+        assert_eq!(v, ws.value);
+        assert_eq!(g, ws.grad);
+        assert_eq!(h.as_slice(), ws.hess.as_slice());
+    }
+
+    #[test]
+    fn maximize_with_reuses_workspace_across_calls() {
+        let obj = NegRosenbrock;
+        let mut ws = EvalWorkspace::new(2);
+        let before = workspace_builds();
+        for seed in 0..4 {
+            let mut x = vec![-1.2 + 0.1 * seed as f64, 1.0];
+            maximize_with(
+                &obj,
+                &mut x,
+                &NewtonConfig {
+                    max_iters: 200,
+                    ..Default::default()
+                },
+                &mut ws,
+            );
+            assert!((x[0] - 1.0).abs() < 1e-6);
+        }
+        assert_eq!(
+            workspace_builds(),
+            before,
+            "maximize_with must not build workspaces"
+        );
+    }
+
+    #[test]
     fn saddle_point_escapes_via_negative_curvature() {
         // f = x² − y² has a saddle at 0; maximization should push |y| up
         // — but the TR solver must at least move off the saddle.
         struct Saddle;
         impl Objective for Saddle {
+            type Scratch = ();
             fn dim(&self) -> usize {
                 2
             }
-            fn eval(&self, x: &[f64]) -> (f64, Vec<f64>, Mat) {
-                let v = -(x[0] * x[0]) + x[1] * x[1] - 0.01 * x[1].powi(4);
-                let g = vec![-2.0 * x[0], 2.0 * x[1] - 0.04 * x[1].powi(3)];
-                let mut h = Mat::zeros(2, 2);
-                h[(0, 0)] = -2.0;
-                h[(1, 1)] = 2.0 - 0.12 * x[1] * x[1];
-                (v, g, h)
+            fn eval_into(&self, x: &[f64], ws: &mut EvalWorkspace) {
+                ws.reset_accumulators();
+                ws.value = -(x[0] * x[0]) + x[1] * x[1] - 0.01 * x[1].powi(4);
+                ws.grad[0] = -2.0 * x[0];
+                ws.grad[1] = 2.0 * x[1] - 0.04 * x[1].powi(3);
+                ws.hess[(0, 0)] = -2.0;
+                ws.hess[(1, 1)] = 2.0 - 0.12 * x[1] * x[1];
             }
             fn value(&self, x: &[f64]) -> f64 {
                 self.eval(x).0

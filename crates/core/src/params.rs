@@ -130,7 +130,11 @@ impl SourceParams {
         for &i in &ids::SHAPE_LSD {
             p[i] = (0.15_f64).ln();
         }
-        SourceParams { id: entry.id, base_pos: entry.pos, params: p }
+        SourceParams {
+            id: entry.id,
+            base_pos: entry.pos,
+            params: p,
+        }
     }
 
     /// Current sky position (anchor + offset).
@@ -338,8 +342,12 @@ mod tests {
     fn shape_transforms_are_inverse_of_init() {
         let mut entry = star_entry();
         entry.source_type = SourceType::Galaxy;
-        entry.shape =
-            GalaxyShape { frac_dev: 0.3, axis_ratio: 0.6, angle_rad: 1.1, radius_arcsec: 2.5 };
+        entry.shape = GalaxyShape {
+            frac_dev: 0.3,
+            axis_ratio: 0.6,
+            angle_rad: 1.1,
+            radius_arcsec: 2.5,
+        };
         let sp = SourceParams::init_from_entry(&entry);
         let s = sp.shape();
         assert!((s.frac_dev - 0.3).abs() < 1e-9);

@@ -20,7 +20,12 @@ fn base_params() -> [f64; NUM_PARAMS] {
         source_type: SourceType::Galaxy,
         flux_r_nmgy: 4.0,
         colors: [0.5, 0.3, 0.2, 0.1],
-        shape: GalaxyShape { frac_dev: 0.4, axis_ratio: 0.7, angle_rad: 0.8, radius_arcsec: 1.5 },
+        shape: GalaxyShape {
+            frac_dev: 0.4,
+            axis_ratio: 0.7,
+            angle_rad: 0.8,
+            radius_arcsec: 1.5,
+        },
     };
     SourceParams::init_from_entry(&entry).params
 }
@@ -52,7 +57,7 @@ fn small_block() -> ImageBlock {
         iota: 280.0,
         jac: [[0.7, 0.04], [-0.02, 0.69]],
         center0: [15.0, 16.0],
-        psf: Psf::core_halo(1.25),
+        psf: std::sync::Arc::new(Psf::core_halo(1.25)),
         pixels,
     }
 }

@@ -182,7 +182,9 @@ mod tests {
 
     fn spd_test_matrix(n: usize) -> Mat {
         // A = B Bᵀ + n·I with B full of deterministic pseudo-random values.
-        let b = Mat::from_fn(n, n, |i, j| (((i * 31 + j * 17 + 7) % 13) as f64 - 6.0) / 6.0);
+        let b = Mat::from_fn(n, n, |i, j| {
+            (((i * 31 + j * 17 + 7) % 13) as f64 - 6.0) / 6.0
+        });
         let mut a = b.matmul(&b.t());
         a.shift_diag(n as f64);
         a

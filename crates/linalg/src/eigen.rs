@@ -138,7 +138,9 @@ mod tests {
     use super::*;
 
     fn sym_test_matrix(n: usize) -> Mat {
-        let b = Mat::from_fn(n, n, |i, j| (((i * 13 + j * 29 + 3) % 17) as f64 - 8.0) / 8.0);
+        let b = Mat::from_fn(n, n, |i, j| {
+            (((i * 13 + j * 29 + 3) % 17) as f64 - 8.0) / 8.0
+        });
         let mut a = b.clone();
         a.add_scaled(1.0, &b.t());
         a
@@ -170,7 +172,10 @@ mod tests {
         let recon = e.rebuild_with(|x| x);
         let mut diff = recon;
         diff.add_scaled(-1.0, &a);
-        assert!(diff.max_abs() < 1e-10 * a.max_abs().max(1.0), "residual {diff:?}");
+        assert!(
+            diff.max_abs() < 1e-10 * a.max_abs().max(1.0),
+            "residual {diff:?}"
+        );
         // VᵀV == I
         let vtv = e.vectors().t().matmul(e.vectors());
         let mut ortho = vtv;

@@ -1,3 +1,4 @@
+#![allow(clippy::needless_range_loop)] // lockstep-indexed numeric kernels
 //! Small dense linear algebra for Celeste.
 //!
 //! The Celeste optimizer (paper §IV-D) runs Newton's method with a trust

@@ -26,7 +26,9 @@ pub fn lstsq_ridge(a: &Mat, b: &[f64], ridge: f64) -> Vec<f64> {
         Err(_) => {
             // Heavier jitter as a last resort.
             m.shift_diag(1e-6 * m.max_abs().max(1.0));
-            Cholesky::new(&m).expect("jittered normal equations must be SPD").solve(&atb)
+            Cholesky::new(&m)
+                .expect("jittered normal equations must be SPD")
+                .solve(&atb)
         }
     }
 }
@@ -108,7 +110,10 @@ mod tests {
         let a = Mat::from_rows(3, 2, &[1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
         let b = [1.0, 2.0, 3.0];
         let free = lstsq(&a, &b);
-        assert!(free.iter().all(|&v| v >= 0.0), "test premise: solution nonneg");
+        assert!(
+            free.iter().all(|&v| v >= 0.0),
+            "test premise: solution nonneg"
+        );
         let con = nnls(&a, &b, 1000);
         for (p, q) in free.iter().zip(&con) {
             assert!((p - q).abs() < 1e-6);

@@ -17,7 +17,11 @@ pub struct Mat {
 impl Mat {
     /// A `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Mat { rows, cols, data: vec![0.0; rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// The `n × n` identity matrix.
@@ -43,7 +47,11 @@ impl Mat {
     /// Build from a flat row-major slice. Panics if `data.len() != rows*cols`.
     pub fn from_rows(rows: usize, cols: usize, data: &[f64]) -> Self {
         assert_eq!(data.len(), rows * cols, "from_rows: wrong data length");
-        Mat { rows, cols, data: data.to_vec() }
+        Mat {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
     }
 
     /// A diagonal matrix from the given entries.
@@ -211,6 +219,62 @@ impl Mat {
         }
     }
 
+    /// Overwrite `self` with `rhs` (dimensions must match). Unlike
+    /// `clone`, reuses the existing allocation — hot paths use this to
+    /// refresh per-iteration copies without touching the heap.
+    pub fn copy_from(&mut self, rhs: &Mat) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "copy_from: shape mismatch"
+        );
+        self.data.copy_from_slice(&rhs.data);
+    }
+
+    /// Set every entry to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Symmetric add: `self[(i,j)] += v` and, for `i ≠ j`,
+    /// `self[(j,i)] += v`. The building block for assembling a
+    /// symmetric matrix from one triangle's worth of work.
+    #[inline]
+    pub fn add_sym_lower(&mut self, i: usize, j: usize, v: f64) {
+        self[(i, j)] += v;
+        if i != j {
+            self[(j, i)] += v;
+        }
+    }
+
+    /// Mirrored scatter-add of a packed lower triangle.
+    ///
+    /// `packed` stores a symmetric `m × m` matrix's lower triangle
+    /// row-major (`packed[i(i+1)/2 + j]` holds entry `(i, j)` for
+    /// `j ≤ i`, so `len == m(m+1)/2`), and `map` sends compact index
+    /// `k` to row/column `map[k]` of `self`. Both the `(i, j)` and
+    /// `(j, i)` images receive the value, so the scatter of a full
+    /// symmetric accumulation costs one pass over the triangle.
+    pub fn scatter_sym_packed(&mut self, packed: &[f64], map: &[usize]) {
+        let m = map.len();
+        assert_eq!(
+            packed.len(),
+            m * (m + 1) / 2,
+            "scatter_sym_packed: packed length"
+        );
+        let mut p = 0;
+        for i in 0..m {
+            let mi = map[i];
+            for j in 0..=i {
+                let v = packed[p];
+                p += 1;
+                if v != 0.0 {
+                    self.add_sym_lower(mi, map[j], v);
+                }
+            }
+        }
+    }
+
     /// Gaussian elimination with partial pivoting: solve `self · x = b`.
     ///
     /// General-purpose fallback for non-symmetric systems (WCS inversion,
@@ -218,7 +282,10 @@ impl Mat {
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         assert_eq!(self.rows, self.cols, "solve: matrix must be square");
         if b.len() != self.rows {
-            return Err(LinalgError::DimensionMismatch { expected: self.rows, got: b.len() });
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.rows,
+                got: b.len(),
+            });
         }
         let n = self.rows;
         let mut a = self.clone();
@@ -354,7 +421,10 @@ mod tests {
     #[test]
     fn solve_detects_singular() {
         let a = Mat::from_rows(2, 2, &[1.0, 2.0, 2.0, 4.0]);
-        assert!(matches!(a.solve(&[1.0, 1.0]), Err(LinalgError::Singular { .. })));
+        assert!(matches!(
+            a.solve(&[1.0, 1.0]),
+            Err(LinalgError::Singular { .. })
+        ));
     }
 
     #[test]
@@ -374,6 +444,46 @@ mod tests {
         let v = [1.0, 0.0, -1.0];
         let uv: f64 = u.iter().zip(&v).map(|(a, b)| a * b).sum();
         assert!((a.quad_form(&v) - 2.0 * uv * uv).abs() < 1e-12);
+    }
+
+    #[test]
+    fn copy_from_and_fill_zero_reuse_allocation() {
+        let a = Mat::from_fn(3, 3, |i, j| (i + j) as f64);
+        let mut b = Mat::zeros(3, 3);
+        b.copy_from(&a);
+        assert_eq!(b.as_slice(), a.as_slice());
+        b.fill_zero();
+        assert!(b.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn add_sym_lower_mirrors_off_diagonal() {
+        let mut m = Mat::zeros(3, 3);
+        m.add_sym_lower(2, 0, 1.5);
+        m.add_sym_lower(1, 1, 2.0);
+        assert_eq!(m[(2, 0)], 1.5);
+        assert_eq!(m[(0, 2)], 1.5);
+        assert_eq!(m[(1, 1)], 2.0);
+        assert!(m.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn scatter_sym_packed_matches_dense_reference() {
+        // Packed 3×3 lower triangle [a00, a10, a11, a20, a21, a22]
+        // scattered through map [4, 1, 3] into a 6×6 matrix.
+        let packed = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let map = [4usize, 1, 3];
+        let mut out = Mat::zeros(6, 6);
+        out.scatter_sym_packed(&packed, &map);
+        let mut expect = Mat::zeros(6, 6);
+        let full = [[1.0, 2.0, 4.0], [2.0, 3.0, 5.0], [4.0, 5.0, 6.0]];
+        for i in 0..3 {
+            for j in 0..3 {
+                expect[(map[i], map[j])] += full[i][j];
+            }
+        }
+        assert_eq!(out.as_slice(), expect.as_slice());
+        assert!(out.is_symmetric(0.0));
     }
 
     #[test]

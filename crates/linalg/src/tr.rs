@@ -41,7 +41,12 @@ pub fn solve_tr_subproblem(h: &Mat, g: &[f64], delta: f64) -> TrSolution {
         if norm <= delta {
             let step = eig.from_eigenbasis(&p_newton);
             let pred = predicted_reduction(h, g, &step);
-            return TrSolution { step, predicted_reduction: pred, on_boundary: false, lambda: 0.0 };
+            return TrSolution {
+                step,
+                predicted_reduction: pred,
+                on_boundary: false,
+                lambda: 0.0,
+            };
         }
     }
 
@@ -64,8 +69,9 @@ pub fn solve_tr_subproblem(h: &Mat, g: &[f64], delta: f64) -> TrSolution {
     // the limiting interior solution plus a bottom-eigenvector component
     // sized to land exactly on the boundary.
     let g_scale = crate::vecops::max_abs(&gbar).max(1.0);
-    let bottom: Vec<usize> =
-        (0..n).filter(|&i| (lam[i] - lam_min).abs() <= 1e-12 * lam_min.abs().max(1.0)).collect();
+    let bottom: Vec<usize> = (0..n)
+        .filter(|&i| (lam[i] - lam_min).abs() <= 1e-12 * lam_min.abs().max(1.0))
+        .collect();
     let hard_case = lam_min <= 0.0
         && bottom.iter().all(|&i| gbar[i].abs() <= 1e-12 * g_scale)
         && norm_at(lam_floor + 1e-12 * lam_floor.abs().max(1.0)) < delta;
@@ -74,7 +80,11 @@ pub fn solve_tr_subproblem(h: &Mat, g: &[f64], delta: f64) -> TrSolution {
         let mut p: Vec<f64> = (0..n)
             .map(|i| {
                 let d = lam[i] + l;
-                if d.abs() <= 1e-12 { 0.0 } else { -gbar[i] / d }
+                if d.abs() <= 1e-12 {
+                    0.0
+                } else {
+                    -gbar[i] / d
+                }
             })
             .collect();
         let pnorm = crate::vecops::norm2(&p);
@@ -82,7 +92,12 @@ pub fn solve_tr_subproblem(h: &Mat, g: &[f64], delta: f64) -> TrSolution {
         p[bottom[0]] += tau;
         let step = eig.from_eigenbasis(&p);
         let pred = predicted_reduction(h, g, &step);
-        return TrSolution { step, predicted_reduction: pred, on_boundary: true, lambda: l };
+        return TrSolution {
+            step,
+            predicted_reduction: pred,
+            on_boundary: true,
+            lambda: l,
+        };
     }
 
     // Safeguarded Newton on φ(λ) = 1/‖p(λ)‖ − 1/Δ (convex in λ, the
@@ -118,7 +133,7 @@ pub fn solve_tr_subproblem(h: &Mat, g: &[f64], delta: f64) -> TrSolution {
             .sum();
         let dphi = dsum / (nrm * nrm * nrm);
         let mut l_new = l - phi / dphi;
-        if !(l_new > lo && l_new < hi) || !l_new.is_finite() {
+        if !(l_new > lo && l_new < hi && l_new.is_finite()) {
             l_new = 0.5 * (lo + hi); // bisection fallback keeps the bracket
         }
         if (l_new - l).abs() <= 1e-15 * l.abs().max(1.0) {
@@ -133,12 +148,21 @@ pub fn solve_tr_subproblem(h: &Mat, g: &[f64], delta: f64) -> TrSolution {
         .zip(lam)
         .map(|(&gi, &li)| {
             let d = li + l;
-            if d.abs() <= 1e-300 { 0.0 } else { -gi / d }
+            if d.abs() <= 1e-300 {
+                0.0
+            } else {
+                -gi / d
+            }
         })
         .collect();
     let step = eig.from_eigenbasis(&p);
     let pred = predicted_reduction(h, g, &step);
-    TrSolution { step, predicted_reduction: pred, on_boundary: true, lambda: l }
+    TrSolution {
+        step,
+        predicted_reduction: pred,
+        on_boundary: true,
+        lambda: l,
+    }
 }
 
 fn predicted_reduction(h: &Mat, g: &[f64], p: &[f64]) -> f64 {

@@ -52,7 +52,10 @@ pub fn estimate_from_samples(samples: &[f32]) -> Background {
         lo = new_lo;
         hi = new_hi;
     }
-    Background { level: mean, sigma: sd.max(1e-6) }
+    Background {
+        level: mean,
+        sigma: sd.max(1e-6),
+    }
 }
 
 #[cfg(test)]

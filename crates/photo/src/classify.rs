@@ -24,18 +24,17 @@ pub struct ClassifyConfig {
 
 impl Default for ClassifyConfig {
     fn default() -> Self {
-        ClassifyConfig { size_ratio_threshold: 0.30, conc_exp: 1.9, conc_dev: 2.9 }
+        ClassifyConfig {
+            size_ratio_threshold: 0.30,
+            conc_exp: 1.9,
+            conc_dev: 2.9,
+        }
     }
 }
 
 /// Star/galaxy decision from moments, Photo-style: compare the
 /// PSF-deconvolved size with the PSF itself.
-pub fn classify(
-    m: &Moments,
-    _concentration: f64,
-    psf: &Psf,
-    cfg: &ClassifyConfig,
-) -> SourceType {
+pub fn classify(m: &Moments, _concentration: f64, psf: &Psf, cfg: &ClassifyConfig) -> SourceType {
     let psf_var = psf_variance(psf);
     let mean_var = 0.5 * (m.ixx + m.iyy);
     let decon = (mean_var - psf_var).max(0.0);
@@ -68,9 +67,13 @@ pub fn estimate_shape(
     // 1.3× the major sigma is a serviceable r_e estimate for typical
     // profile mixes.
     let radius_arcsec = (1.3 * major.sqrt() * pixel_scale_arcsec).clamp(0.05, 30.0);
-    let frac_dev =
-        ((concentration - cfg.conc_exp) / (cfg.conc_dev - cfg.conc_exp)).clamp(0.0, 1.0);
-    GalaxyShape { frac_dev, axis_ratio, angle_rad: angle, radius_arcsec }
+    let frac_dev = ((concentration - cfg.conc_exp) / (cfg.conc_dev - cfg.conc_exp)).clamp(0.0, 1.0);
+    GalaxyShape {
+        frac_dev,
+        axis_ratio,
+        angle_rad: angle,
+        radius_arcsec,
+    }
 }
 
 fn psf_variance(psf: &Psf) -> f64 {
@@ -86,7 +89,14 @@ mod tests {
     use super::*;
 
     fn point_moments(var: f64) -> Moments {
-        Moments { cx: 0.0, cy: 0.0, ixx: var, ixy: 0.0, iyy: var, counts: 1000.0 }
+        Moments {
+            cx: 0.0,
+            cy: 0.0,
+            ixx: var,
+            ixy: 0.0,
+            iyy: var,
+            counts: 1000.0,
+        }
     }
 
     #[test]
@@ -126,11 +136,22 @@ mod tests {
         let psf = Psf::single(1.0);
         // Intrinsic: major var 9, minor var 2.25 (q = 0.5), angle 0;
         // observed adds PSF var 1.
-        let m = Moments { cx: 0.0, cy: 0.0, ixx: 10.0, ixy: 0.0, iyy: 3.25, counts: 1.0 };
+        let m = Moments {
+            cx: 0.0,
+            cy: 0.0,
+            ixx: 10.0,
+            ixy: 0.0,
+            iyy: 3.25,
+            counts: 1.0,
+        };
         let s = estimate_shape(&m, 2.2, &psf, 0.4, &ClassifyConfig::default());
         assert!((s.axis_ratio - 0.5).abs() < 0.02, "q {}", s.axis_ratio);
         assert!(s.angle_rad < 0.05 || (std::f64::consts::PI - s.angle_rad) < 0.05);
-        assert!((s.radius_arcsec - 1.3 * 3.0 * 0.4).abs() < 0.1, "r_e {}", s.radius_arcsec);
+        assert!(
+            (s.radius_arcsec - 1.3 * 3.0 * 0.4).abs() < 0.1,
+            "r_e {}",
+            s.radius_arcsec
+        );
     }
 
     #[test]

@@ -24,7 +24,11 @@ impl ErrorRow {
         }
         let mean = celeste_linalg::vecops::mean(samples);
         let sd = celeste_linalg::vecops::variance(samples).sqrt();
-        ErrorRow { mean, std_err: sd / (n as f64).sqrt(), n }
+        ErrorRow {
+            mean,
+            std_err: sd / (n as f64).sqrt(),
+            n,
+        }
     }
 
     /// Whether this row beats `other` by more than two (pooled)
@@ -120,7 +124,9 @@ pub fn compare_catalogs(truth: &Catalog, fitted: &Catalog, cfg: &CompareConfig) 
         if t.flux_r_nmgy < cfg.min_flux_nmgy {
             continue;
         }
-        let Some((e, sep)) = fitted.nearest(&t.pos) else { continue };
+        let Some((e, sep)) = fitted.nearest(&t.pos) else {
+            continue;
+        };
         if sep > cfg.match_radius_arcsec {
             continue;
         }
@@ -176,7 +182,10 @@ fn angle_diff_deg(a: f64, b: f64) -> f64 {
 /// Render the two-method comparison as a Table II-style text table.
 pub fn format_table(photo: &TableII, celeste: &TableII) -> String {
     let mut out = String::new();
-    out.push_str(&format!("{:<14} {:>10} {:>10}   (bold = better by > 2 s.e.)\n", "", "Photo", "Celeste"));
+    out.push_str(&format!(
+        "{:<14} {:>10} {:>10}   (bold = better by > 2 s.e.)\n",
+        "", "Photo", "Celeste"
+    ));
     for ((name, p), (_, c)) in photo.rows().into_iter().zip(celeste.rows()) {
         let mark = if c.significantly_better_than(&p) {
             "  ** Celeste"
@@ -185,7 +194,10 @@ pub fn format_table(photo: &TableII, celeste: &TableII) -> String {
         } else {
             ""
         };
-        out.push_str(&format!("{name:<14} {:>10.3} {:>10.3}{mark}\n", p.mean, c.mean));
+        out.push_str(&format!(
+            "{name:<14} {:>10.3} {:>10.3}{mark}\n",
+            p.mean, c.mean
+        ));
     }
     out
 }
@@ -206,7 +218,11 @@ mod tests {
         CatalogEntry {
             id,
             pos: SkyCoord::new(ra, 0.0),
-            source_type: if star { SourceType::Star } else { SourceType::Galaxy },
+            source_type: if star {
+                SourceType::Star
+            } else {
+                SourceType::Galaxy
+            },
             flux_r_nmgy: flux,
             colors: [0.5, 0.3, 0.2, 0.1],
             shape: GalaxyShape {
@@ -260,11 +276,23 @@ mod tests {
 
     #[test]
     fn significance_requires_two_sigma() {
-        let a = ErrorRow { mean: 1.0, std_err: 0.1, n: 100 };
-        let b = ErrorRow { mean: 0.5, std_err: 0.1, n: 100 };
+        let a = ErrorRow {
+            mean: 1.0,
+            std_err: 0.1,
+            n: 100,
+        };
+        let b = ErrorRow {
+            mean: 0.5,
+            std_err: 0.1,
+            n: 100,
+        };
         assert!(b.significantly_better_than(&a));
         assert!(!a.significantly_better_than(&b));
-        let close = ErrorRow { mean: 0.9, std_err: 0.1, n: 100 };
+        let close = ErrorRow {
+            mean: 0.9,
+            std_err: 0.1,
+            n: 100,
+        };
         assert!(!close.significantly_better_than(&a));
     }
 }

@@ -29,7 +29,11 @@ pub struct DetectConfig {
 
 impl Default for DetectConfig {
     fn default() -> Self {
-        DetectConfig { threshold_sigma: 4.0, min_pixels: 4, deblend_min_contrast: 0.06 }
+        DetectConfig {
+            threshold_sigma: 4.0,
+            min_pixels: 4,
+            deblend_min_contrast: 0.06,
+        }
     }
 }
 
@@ -97,8 +101,7 @@ fn deblend(
     let w = img.width;
     let value = |x: usize, y: usize| img.pixels[y * w + x] as f64 - bg.level;
     // Local maxima over the 8-neighborhood restricted to the component.
-    let in_component: std::collections::HashSet<(usize, usize)> =
-        member.iter().copied().collect();
+    let in_component: std::collections::HashSet<(usize, usize)> = member.iter().copied().collect();
     let mut maxima: Vec<(usize, usize, f64)> = Vec::new();
     for &(x, y) in member {
         let v = value(x, y);
@@ -149,7 +152,11 @@ fn deblend(
     // Assign each member pixel to its nearest kept maximum.
     let mut children: Vec<Detection> = kept
         .iter()
-        .map(|&(x, y, v)| Detection { peak: (x, y), peak_counts: v, pixels: Vec::new() })
+        .map(|&(x, y, v)| Detection {
+            peak: (x, y),
+            peak_counts: v,
+            pixels: Vec::new(),
+        })
         .collect();
     for &(x, y) in member {
         let mut best = 0;
@@ -183,7 +190,11 @@ mod tests {
     fn image_with_stars(positions: &[(f64, f64)], flux: f64) -> Image {
         let rect = SkyRect::new(0.0, 0.05, 0.0, 0.05);
         let mut img = Image::blank(
-            FieldId { run: 1, camcol: 1, field: 0 },
+            FieldId {
+                run: 1,
+                camcol: 1,
+                field: 0,
+            },
             Band::R,
             Wcs::for_rect(&rect, 128, 128),
             128,

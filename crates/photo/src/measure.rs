@@ -49,7 +49,14 @@ pub fn moments(img: &Image, bg: &Background, pixels: &[(usize, usize)]) -> Momen
     }
     if counts <= 0.0 {
         let (x, y) = pixels.first().copied().unwrap_or((0, 0));
-        return Moments { cx: x as f64, cy: y as f64, ixx: 0.0, ixy: 0.0, iyy: 0.0, counts: 0.0 };
+        return Moments {
+            cx: x as f64,
+            cy: y as f64,
+            ixx: 0.0,
+            ixy: 0.0,
+            iyy: 0.0,
+            counts: 0.0,
+        };
     }
     let cx = sx / counts;
     let cy = sy / counts;
@@ -62,7 +69,14 @@ pub fn moments(img: &Image, bg: &Background, pixels: &[(usize, usize)]) -> Momen
         ixy += v * dx * dy;
         iyy += v * dy * dy;
     }
-    Moments { cx, cy, ixx: ixx / counts, ixy: ixy / counts, iyy: iyy / counts, counts }
+    Moments {
+        cx,
+        cy,
+        ixx: ixx / counts,
+        ixy: ixy / counts,
+        iyy: iyy / counts,
+        counts,
+    }
 }
 
 /// Gaussian-weighted adaptive moments (Photo's adaptive moments; the
@@ -87,7 +101,14 @@ pub fn adaptive_moments(
     let mut w_var = (2.0 * psf_sigma_px * psf_sigma_px).max(1.0);
     let mut cx = seed_cx;
     let mut cy = seed_cy;
-    let mut best = Moments { cx, cy, ixx: w_var, ixy: 0.0, iyy: w_var, counts: 0.0 };
+    let mut best = Moments {
+        cx,
+        cy,
+        ixx: w_var,
+        ixy: 0.0,
+        iyy: w_var,
+        counts: 0.0,
+    };
     for _ in 0..10 {
         let radius = (4.0 * w_var.sqrt()).clamp(3.0, 24.0);
         let (xs, ys) = img.clip_box(cx - radius, cx + radius, cy - radius, cy + radius);
@@ -178,11 +199,7 @@ pub fn psf_aperture_fraction(psf: &celeste_survey::psf::Psf, r_px: f64) -> f64 {
 /// Enclosed-flux fraction for a Gaussian object of per-axis variance
 /// `obj_var_px2` convolved with the PSF mixture — the correction Photo
 /// uses for its model photometry on extended sources.
-pub fn model_aperture_fraction(
-    psf: &celeste_survey::psf::Psf,
-    obj_var_px2: f64,
-    r_px: f64,
-) -> f64 {
+pub fn model_aperture_fraction(psf: &celeste_survey::psf::Psf, obj_var_px2: f64, r_px: f64) -> f64 {
     let total = psf.total_weight();
     psf.components
         .iter()
@@ -197,13 +214,7 @@ pub fn model_aperture_fraction(
 /// Radius (pixels) of the circle centered at `pos` enclosing `frac` of
 /// the flux found within `r_max` — bisection on the aperture curve.
 /// The SDSS concentration index is `r90/r50` computed this way.
-pub fn flux_radius(
-    img: &Image,
-    bg: &Background,
-    pos: &SkyCoord,
-    frac: f64,
-    r_max: f64,
-) -> f64 {
+pub fn flux_radius(img: &Image, bg: &Background, pos: &SkyCoord, frac: f64, r_max: f64) -> f64 {
     let total = aperture_counts(img, bg, pos, r_max).max(1e-9);
     let target = frac * total;
     let (mut lo, mut hi) = (0.1, r_max);
@@ -232,7 +243,11 @@ mod tests {
     fn noiseless(entry: CatalogEntry) -> Image {
         let rect = SkyRect::new(0.0, 0.05, 0.0, 0.05);
         let mut img = Image::blank(
-            FieldId { run: 1, camcol: 1, field: 0 },
+            FieldId {
+                run: 1,
+                camcol: 1,
+                field: 0,
+            },
             Band::R,
             Wcs::for_rect(&rect, 128, 128),
             128,
@@ -262,7 +277,10 @@ mod tests {
     #[test]
     fn centroid_matches_source_position() {
         let img = noiseless(star(20.0));
-        let bg = Background { level: 150.0, sigma: 12.0 };
+        let bg = Background {
+            level: 150.0,
+            sigma: 12.0,
+        };
         let pixels: Vec<(usize, usize)> = (0..128)
             .flat_map(|y| (0..128).map(move |x| (x, y)))
             .filter(|&(x, y)| img.get(x, y) > 160.0)
@@ -276,7 +294,10 @@ mod tests {
     #[test]
     fn aperture_recovers_flux() {
         let img = noiseless(star(20.0));
-        let bg = Background { level: 150.0, sigma: 12.0 };
+        let bg = Background {
+            level: 150.0,
+            sigma: 12.0,
+        };
         let f = aperture_flux_nmgy(&img, &bg, &SkyCoord::new(0.025, 0.025), 10.0);
         assert!((f - 20.0).abs() < 0.5, "aperture flux {f}");
     }
@@ -284,7 +305,10 @@ mod tests {
     #[test]
     fn star_moments_match_psf_variance() {
         let img = noiseless(star(50.0));
-        let bg = Background { level: 150.0, sigma: 12.0 };
+        let bg = Background {
+            level: 150.0,
+            sigma: 12.0,
+        };
         let pixels: Vec<(usize, usize)> = (0..128)
             .flat_map(|y| (0..128).map(move |x| (x, y)))
             .filter(|&(x, y)| img.get(x, y) > 151.0)
@@ -298,7 +322,14 @@ mod tests {
 
     #[test]
     fn principal_axes_of_elongated_moments() {
-        let m = Moments { cx: 0.0, cy: 0.0, ixx: 4.0, ixy: 0.0, iyy: 1.0, counts: 1.0 };
+        let m = Moments {
+            cx: 0.0,
+            cy: 0.0,
+            ixx: 4.0,
+            ixy: 0.0,
+            iyy: 1.0,
+            counts: 1.0,
+        };
         let (l1, l2, ang) = m.principal_axes();
         assert!((l1 - 4.0).abs() < 1e-12);
         assert!((l2 - 1.0).abs() < 1e-12);
@@ -308,7 +339,10 @@ mod tests {
     #[test]
     fn flux_radius_ordering() {
         let img = noiseless(star(50.0));
-        let bg = Background { level: 150.0, sigma: 12.0 };
+        let bg = Background {
+            level: 150.0,
+            sigma: 12.0,
+        };
         let pos = SkyCoord::new(0.025, 0.025);
         let r50 = flux_radius(&img, &bg, &pos, 0.5, 15.0);
         let r90 = flux_radius(&img, &bg, &pos, 0.9, 15.0);

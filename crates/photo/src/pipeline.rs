@@ -3,7 +3,9 @@
 use crate::background::{estimate_background, Background};
 use crate::classify::{classify, estimate_shape, ClassifyConfig};
 use crate::detect::{detect, DetectConfig};
-use crate::measure::{adaptive_moments, aperture_flux_nmgy, flux_radius, model_aperture_fraction, moments};
+use crate::measure::{
+    adaptive_moments, aperture_flux_nmgy, flux_radius, model_aperture_fraction, moments,
+};
 use celeste_survey::bands::{colors_from_fluxes, NUM_BANDS, REFERENCE_BAND};
 use celeste_survey::catalog::{Catalog, CatalogEntry};
 use celeste_survey::Image;
@@ -74,7 +76,12 @@ pub fn run_photo(images: &[&Image], cfg: &PhotoConfig) -> Catalog {
         // of the source's measured size convolved with the PSF.
         let psf_var = 0.5 * (m.ixx + m.iyy) - 0.0; // observed variance
         let obj_var = (psf_var
-            - r_img.psf.components.iter().map(|c| c.weight * c.sigma_px * c.sigma_px).sum::<f64>()
+            - r_img
+                .psf
+                .components
+                .iter()
+                .map(|c| c.weight * c.sigma_px * c.sigma_px)
+                .sum::<f64>()
                 / r_img.psf.total_weight())
         .max(0.0);
         let mut fluxes = [0.0f64; NUM_BANDS];
@@ -154,7 +161,11 @@ mod tests {
             .iter()
             .map(|&band| {
                 let mut img = Image::blank(
-                    FieldId { run: 1, camcol: 1, field: 0 },
+                    FieldId {
+                        run: 1,
+                        camcol: 1,
+                        field: 0,
+                    },
                     band,
                     Wcs::for_rect(&rect, 128, 128),
                     128,
@@ -237,8 +248,7 @@ mod tests {
     fn missing_reference_band_panics() {
         let truth = Catalog::new(vec![bright_star(0, 0.025, 0.025, 10.0)]);
         let images = render_scene(&truth, 2);
-        let no_r: Vec<&Image> =
-            images.iter().filter(|i| i.band != Band::R).collect();
+        let no_r: Vec<&Image> = images.iter().filter(|i| i.band != Band::R).collect();
         let _ = run_photo(&no_r, &PhotoConfig::default());
     }
 }

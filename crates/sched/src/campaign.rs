@@ -170,8 +170,7 @@ pub fn run_campaign(
     // Stage barriers: all stage-0 tasks complete before stage-1 begins
     // (paper §IV-A).
     for stage in 0..=1u8 {
-        let stage_tasks: Vec<&RegionTask> =
-            tasks.iter().filter(|t| t.stage == stage).collect();
+        let stage_tasks: Vec<&RegionTask> = tasks.iter().filter(|t| t.stage == stage).collect();
         if stage_tasks.is_empty() {
             continue;
         }
@@ -182,7 +181,17 @@ pub fn run_campaign(
         ));
         #[allow(clippy::type_complexity)]
         let results: Arc<
-            Mutex<Vec<(usize, ComponentTimes, Vec<f64>, Vec<f64>, Vec<f64>, usize, usize)>>,
+            Mutex<
+                Vec<(
+                    usize,
+                    ComponentTimes,
+                    Vec<f64>,
+                    Vec<f64>,
+                    Vec<f64>,
+                    usize,
+                    usize,
+                )>,
+            >,
         > = Arc::new(Mutex::new(Vec::new()));
         let node_end_times: Arc<Mutex<Vec<(usize, f64)>>> = Arc::new(Mutex::new(Vec::new()));
         let t_stage = Instant::now();
@@ -221,10 +230,8 @@ pub fn run_campaign(
                         // Blocking image fetch for the current task.
                         let t0 = Instant::now();
                         let keys = task_image_keys(survey, task);
-                        let images: Vec<Arc<celeste_survey::Image>> = keys
-                            .iter()
-                            .filter_map(|k| prefetcher.get(k).ok())
-                            .collect();
+                        let images: Vec<Arc<celeste_survey::Image>> =
+                            keys.iter().filter_map(|k| prefetcher.get(k).ok()).collect();
                         let wait = t0.elapsed().as_secs_f64();
                         loads.push(wait);
                         if first_task {
@@ -244,8 +251,7 @@ pub fn run_campaign(
                             .iter()
                             .enumerate()
                             .filter(|(i, e)| {
-                                !task.source_indices.contains(i)
-                                    && neighbor_rect.contains(&e.pos)
+                                !task.source_indices.contains(i) && neighbor_rect.contains(&e.pos)
                             })
                             .map(|(_, e)| e.id)
                             .collect();
@@ -284,7 +290,9 @@ pub fn run_campaign(
                             prefetcher.evict(k);
                         }
                     }
-                    node_end_times.lock().push((node, t_stage.elapsed().as_secs_f64()));
+                    node_end_times
+                        .lock()
+                        .push((node, t_stage.elapsed().as_secs_f64()));
                     results
                         .lock()
                         .push((node, comp, durations, works, loads, n_tasks, n_sources));
@@ -300,9 +308,7 @@ pub fn run_campaign(
         for &(node, t) in ends.iter() {
             idle_of[node] = t_last - t;
         }
-        for (node, comp, durations, works, loads, n_tasks, n_sources) in
-            results.lock().drain(..)
-        {
+        for (node, comp, durations, works, loads, n_tasks, n_sources) in results.lock().drain(..) {
             per_node[node].add(&comp);
             per_node[node].load_imbalance += idle_of[node];
             task_durations.extend(durations);
@@ -317,8 +323,7 @@ pub fn run_campaign(
     // output to disk", part of the `other` component).
     let t_out = Instant::now();
     let fitted = params.export();
-    let out_catalog =
-        celeste_survey::Catalog::new(fitted.iter().map(|sp| sp.to_entry()).collect());
+    let out_catalog = celeste_survey::Catalog::new(fitted.iter().map(|sp| sp.to_entry()).collect());
     let _ = store.save_catalog("celeste-output", &out_catalog);
     if let Some(first) = per_node.first_mut() {
         first.other += t_out.elapsed().as_secs_f64();
@@ -377,15 +382,29 @@ mod tests {
         let tasks = partition_sky(
             &init,
             &survey.geometry.footprint,
-            &PartitionConfig { target_work: 600.0, max_sources: 40, ..Default::default() },
+            &PartitionConfig {
+                target_work: 600.0,
+                max_sources: 40,
+                ..Default::default()
+            },
         );
         assert!(tasks.len() >= 2, "want multiple tasks, got {}", tasks.len());
 
         let priors = ModelPriors::new(Priors::sdss_default());
-        let mut fit = FitConfig::default();
-        fit.bca_passes = 1;
-        fit.newton.max_iters = 12;
-        let cfg = CampaignConfig { n_nodes: 2, threads_per_node: 2, fit, ..Default::default() };
+        let fit = FitConfig {
+            bca_passes: 1,
+            newton: celeste_core::NewtonConfig {
+                max_iters: 12,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let cfg = CampaignConfig {
+            n_nodes: 2,
+            threads_per_node: 2,
+            fit,
+            ..Default::default()
+        };
         let (fitted, report) = run_campaign(&survey, &store, &init, &tasks, &priors, &cfg);
 
         assert_eq!(fitted.len(), init.len());

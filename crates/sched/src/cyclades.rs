@@ -22,9 +22,13 @@ pub struct ConflictGraph {
 
 /// Effective overlap radius of a source in arcsec: PSF-ish core plus
 /// galaxy extent.
-fn overlap_radius_arcsec(sp: &SourceParams, psf_radius_arcsec: f64) -> f64 {
+pub(crate) fn overlap_radius_arcsec(sp: &SourceParams, psf_radius_arcsec: f64) -> f64 {
     let shape = sp.shape();
-    let gal = if sp.star_prob() < 0.95 { 2.0 * shape.radius_arcsec } else { 0.0 };
+    let gal = if sp.star_prob() < 0.95 {
+        2.0 * shape.radius_arcsec
+    } else {
+        0.0
+    };
     psf_radius_arcsec + gal
 }
 
@@ -32,8 +36,10 @@ fn overlap_radius_arcsec(sp: &SourceParams, psf_radius_arcsec: f64) -> f64 {
 /// overlap (separation below the sum of their radii).
 pub fn conflict_graph(sources: &[SourceParams], psf_radius_arcsec: f64) -> ConflictGraph {
     let n = sources.len();
-    let radii: Vec<f64> =
-        sources.iter().map(|s| overlap_radius_arcsec(s, psf_radius_arcsec)).collect();
+    let radii: Vec<f64> = sources
+        .iter()
+        .map(|s| overlap_radius_arcsec(s, psf_radius_arcsec))
+        .collect();
     let mut adj = vec![Vec::new(); n];
     let mut edges = 0;
     // n is at most ~500 per task; the quadratic sweep is fine and
@@ -151,7 +157,9 @@ mod tests {
     }
 
     fn chain(n: usize, sep_arcsec: f64) -> Vec<SourceParams> {
-        (0..n).map(|i| source_at(i as u64, i as f64 * sep_arcsec)).collect()
+        (0..n)
+            .map(|i| source_at(i as u64, i as f64 * sep_arcsec))
+            .collect()
     }
 
     #[test]

@@ -136,10 +136,16 @@ impl<T> Dtree<T> {
         }
         let Some(mut from) = donor else { return false };
         let depth_travelled = (self.nodes[leaf].depth - self.nodes[from].depth) as u64;
-        self.stats.max_refill_depth.fetch_max(depth_travelled, Ordering::Relaxed);
+        self.stats
+            .max_refill_depth
+            .fetch_max(depth_travelled, Ordering::Relaxed);
         // Move batches down the chain, one edge at a time (parent →
         // child messages only, as in Dtree).
-        while let Some(&to) = chain.iter().rev().find(|&&n| self.nodes[n].depth > self.nodes[from].depth) {
+        while let Some(&to) = chain
+            .iter()
+            .rev()
+            .find(|&&n| self.nodes[n].depth > self.nodes[from].depth)
+        {
             // Batch size: proportional share of the donor pool for the
             // receiving subtree, decaying as the pool drains.
             let mut src = self.nodes[from].pool.lock();
@@ -194,7 +200,11 @@ mod tests {
     fn serves_every_task_exactly_once_concurrent() {
         let n_workers = 8;
         let n_tasks = 5000;
-        let dt = Arc::new(Dtree::new(n_workers, 4, (0..n_tasks).collect::<Vec<usize>>()));
+        let dt = Arc::new(Dtree::new(
+            n_workers,
+            4,
+            (0..n_tasks).collect::<Vec<usize>>(),
+        ));
         let counts: Arc<Vec<AtomicUsize>> =
             Arc::new((0..n_tasks).map(|_| AtomicUsize::new(0)).collect());
         std::thread::scope(|s| {
@@ -256,8 +266,7 @@ mod tests {
     fn uneven_workers_all_make_progress() {
         // 5 workers on a fanout-2 tree (non-power-of-two).
         let dt = Arc::new(Dtree::new(5, 2, (0..1000).collect::<Vec<usize>>()));
-        let served: Arc<Vec<AtomicUsize>> =
-            Arc::new((0..5).map(|_| AtomicUsize::new(0)).collect());
+        let served: Arc<Vec<AtomicUsize>> = Arc::new((0..5).map(|_| AtomicUsize::new(0)).collect());
         std::thread::scope(|s| {
             for w in 0..5 {
                 let dt = Arc::clone(&dt);

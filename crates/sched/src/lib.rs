@@ -28,7 +28,9 @@ pub mod partition;
 pub mod pgas;
 pub mod runtime;
 
-pub use campaign::{run_campaign, stage_survey, task_image_keys, CampaignConfig, CampaignReport, ComponentTimes};
+pub use campaign::{
+    run_campaign, stage_survey, task_image_keys, CampaignConfig, CampaignReport, ComponentTimes,
+};
 pub use cyclades::{conflict_graph, sample_batches, ConflictGraph};
 pub use dtree::{Dtree, DtreeStats};
 pub use partition::{partition_sky, PartitionConfig, RegionTask};

@@ -38,7 +38,11 @@ pub struct PartitionConfig {
 
 impl Default for PartitionConfig {
     fn default() -> Self {
-        PartitionConfig { target_work: 4000.0, max_sources: 500, stage2_shift: 0.5 }
+        PartitionConfig {
+            target_work: 4000.0,
+            max_sources: 500,
+            stage2_shift: 0.5,
+        }
     }
 }
 
@@ -173,8 +177,16 @@ fn recursive_split(
     let horizontal = rect.width_deg() >= rect.height_deg();
     let mut sorted = indices.clone();
     sorted.sort_by(|&a, &b| {
-        let ka = if horizontal { catalog.entries[a].pos.ra } else { catalog.entries[a].pos.dec };
-        let kb = if horizontal { catalog.entries[b].pos.ra } else { catalog.entries[b].pos.dec };
+        let ka = if horizontal {
+            catalog.entries[a].pos.ra
+        } else {
+            catalog.entries[a].pos.dec
+        };
+        let kb = if horizontal {
+            catalog.entries[b].pos.ra
+        } else {
+            catalog.entries[b].pos.dec
+        };
         ka.partial_cmp(&kb).unwrap()
     });
     let mut acc = 0.0;
@@ -182,13 +194,24 @@ fn recursive_split(
     for &i in &sorted {
         acc += works[i];
         if acc >= 0.5 * total {
-            cut_pos =
-                Some(if horizontal { catalog.entries[i].pos.ra } else { catalog.entries[i].pos.dec });
+            cut_pos = Some(if horizontal {
+                catalog.entries[i].pos.ra
+            } else {
+                catalog.entries[i].pos.dec
+            });
             break;
         }
     }
-    let lo = if horizontal { rect.ra_min } else { rect.dec_min };
-    let hi = if horizontal { rect.ra_max } else { rect.dec_max };
+    let lo = if horizontal {
+        rect.ra_min
+    } else {
+        rect.dec_min
+    };
+    let hi = if horizontal {
+        rect.ra_max
+    } else {
+        rect.dec_max
+    };
     let mut cut = cut_pos.unwrap_or(0.5 * (lo + hi));
     // Degenerate cuts (all sources at one edge) fall back to midpoint.
     if cut <= lo || cut >= hi {
@@ -205,8 +228,9 @@ fn recursive_split(
             SkyRect::new(rect.ra_min, rect.ra_max, cut, rect.dec_max),
         )
     };
-    let (i1, i2): (Vec<usize>, Vec<usize>) =
-        indices.into_iter().partition(|&i| r1.contains(&catalog.entries[i].pos));
+    let (i1, i2): (Vec<usize>, Vec<usize>) = indices
+        .into_iter()
+        .partition(|&i| r1.contains(&catalog.entries[i].pos));
     // Guard: if the cut failed to separate anything, force a midpoint
     // split of indices to guarantee progress.
     if i1.is_empty() || i2.is_empty() {
@@ -268,10 +292,16 @@ mod tests {
     #[test]
     fn work_is_roughly_balanced() {
         let (cat, fp) = test_catalog(3000);
-        let cfg = PartitionConfig { target_work: 2000.0, ..Default::default() };
+        let cfg = PartitionConfig {
+            target_work: 2000.0,
+            ..Default::default()
+        };
         let tasks = partition_sky(&cat, &fp, &cfg);
-        let stage1: Vec<f64> =
-            tasks.iter().filter(|t| t.stage == 0).map(|t| t.predicted_work).collect();
+        let stage1: Vec<f64> = tasks
+            .iter()
+            .filter(|t| t.stage == 0)
+            .map(|t| t.predicted_work)
+            .collect();
         assert!(stage1.len() > 4);
         for w in &stage1 {
             assert!(*w <= cfg.target_work * 1.01, "task work {w} over target");
@@ -286,7 +316,11 @@ mod tests {
     #[test]
     fn max_sources_cap_respected() {
         let (cat, fp) = test_catalog(4000);
-        let cfg = PartitionConfig { target_work: 1e12, max_sources: 100, ..Default::default() };
+        let cfg = PartitionConfig {
+            target_work: 1e12,
+            max_sources: 100,
+            ..Default::default()
+        };
         let tasks = partition_sky(&cat, &fp, &cfg);
         for t in &tasks {
             assert!(t.source_indices.len() <= 100);

@@ -38,7 +38,9 @@ impl ParamStore {
     /// Create a store partitioned across `n_partitions` simulated nodes.
     pub fn new(n_partitions: usize) -> ParamStore {
         ParamStore {
-            shards: (0..n_partitions.max(1)).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..n_partitions.max(1))
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
             stats: StoreStats::default(),
         }
     }
@@ -88,11 +90,18 @@ impl ParamStore {
 
     /// Snapshot several sources at once (a task's working set).
     pub fn get_many(&self, from_partition: usize, ids: &[u64]) -> Vec<SourceParams> {
-        ids.iter().filter_map(|&id| self.get(from_partition, id)).collect()
+        ids.iter()
+            .filter_map(|&id| self.get(from_partition, id))
+            .collect()
     }
 
     /// All sources needed by a region task, in task order.
-    pub fn load_task(&self, from_partition: usize, task: &RegionTask, id_of: &[u64]) -> Vec<SourceParams> {
+    pub fn load_task(
+        &self,
+        from_partition: usize,
+        task: &RegionTask,
+        id_of: &[u64],
+    ) -> Vec<SourceParams> {
         let ids: Vec<u64> = task.source_indices.iter().map(|&i| id_of[i]).collect();
         self.get_many(from_partition, &ids)
     }

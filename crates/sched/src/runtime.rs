@@ -2,16 +2,32 @@
 //!
 //! "Multiple threads then coordinate to jointly optimize the light
 //! sources for the current task … threads coordinate their work
-//! through the Cyclades approach" (§IV-D). Each Cyclades batch is
-//! processed by scoped worker threads; connected components of the
-//! sampled conflict graph never straddle threads, so every 44-block
-//! Newton update is a valid serial block-coordinate-ascent step.
+//! through the Cyclades approach" (§IV-D). A region is processed by a
+//! *persistent* pool of worker threads that lives for the whole
+//! multi-pass optimization: each worker owns one Newton evaluation
+//! workspace and one problem-assembly scratch, reused across every
+//! fit it performs, so steady-state optimization does no per-batch
+//! thread spawning and no per-fit workspace allocation. Connected
+//! components of the sampled conflict graph never straddle threads,
+//! so every 44-block Newton update is a valid serial
+//! block-coordinate-ascent step.
+//!
+//! Workers read source parameters from an `Arc` snapshot. Between
+//! batches the pool holds the only reference, so the snapshot is
+//! updated in place (`Arc::make_mut` without a copy) by writing back
+//! just the sources the previous batch fitted — the old
+//! clone-the-whole-region-per-batch behavior is gone.
 
-use crate::cyclades::{conflict_graph, sample_batches};
-use celeste_core::{fit_source, FitConfig, ModelPriors, SourceParams, SourceProblem};
+use crate::cyclades::{conflict_graph, overlap_radius_arcsec, sample_batches, ConflictGraph};
+use celeste_core::{
+    fit_source_with, source_workspace, BuildScratch, FitConfig, ModelPriors, SourceParams,
+    SourceProblem,
+};
 use celeste_survey::Image;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::mpsc;
+use std::sync::Arc;
 
 /// Statistics from processing one region.
 #[derive(Debug, Clone, Copy, Default)]
@@ -22,12 +38,100 @@ pub struct RegionStats {
     pub newton_iters: usize,
     pub conflict_edges: usize,
     pub active_pixels: usize,
+    /// Times the conflict graph was (re)built (once per region unless
+    /// fitted positions/extents drift past the rebuild threshold).
+    pub graph_builds: usize,
+}
+
+/// One unit of worker work: fit `indices` against the shared snapshot.
+struct Job {
+    snapshot: Arc<Vec<SourceParams>>,
+    indices: Vec<usize>,
+}
+
+/// Per-source outcome shipped back to the coordinator. `source` is
+/// `None` when the subproblem had no active pixels (nothing to fit) —
+/// the coordinator still needs the entry to account for the index.
+struct FitResult {
+    idx: usize,
+    source: Option<SourceParams>,
+    newton_iters: usize,
+    active_pixels: usize,
+}
+
+/// Worker → coordinator messages.
+enum WorkerMsg {
+    /// One job's results, sent only after the worker has dropped its
+    /// snapshot `Arc` — so when the coordinator has collected every
+    /// job of a batch, it provably holds the only reference and
+    /// `Arc::make_mut` never deep-clones.
+    JobDone(Vec<FitResult>),
+    /// Sent from a drop guard if the worker thread panics, so the
+    /// coordinator fails fast instead of waiting on a dead worker.
+    Died,
+}
+
+/// Sends [`WorkerMsg::Died`] if dropped during a panic unwind.
+struct DeathGuard {
+    tx: mpsc::Sender<WorkerMsg>,
+}
+
+impl Drop for DeathGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let _ = self.tx.send(WorkerMsg::Died);
+        }
+    }
+}
+
+/// Rebuild the conflict graph when any source's fitted position or
+/// overlap extent has drifted by more than this many arcsec since the
+/// graph was built. Conflict radii are several arcsec (PSF + galaxy
+/// extent), so a fraction of an arcsec keeps the graph conservative
+/// while making rebuilds rare in steady state.
+const GRAPH_DRIFT_ARCSEC: f64 = 0.5;
+
+/// The conflict graph plus the state it was built from, for cheap
+/// drift checks across passes.
+struct GraphCache {
+    graph: ConflictGraph,
+    /// (position at build, conflict radius at build) per source. The
+    /// radius is the same [`overlap_radius_arcsec`] the graph edges
+    /// use, so drift checks see everything the edges see — including
+    /// a star→galaxy reclassification suddenly adding galaxy extent.
+    built_state: Vec<(celeste_survey::skygeom::SkyCoord, f64)>,
+}
+
+impl GraphCache {
+    fn build(sources: &[SourceParams], psf_radius_arcsec: f64) -> GraphCache {
+        GraphCache {
+            graph: conflict_graph(sources, psf_radius_arcsec),
+            built_state: sources
+                .iter()
+                .map(|s| (s.position(), overlap_radius_arcsec(s, psf_radius_arcsec)))
+                .collect(),
+        }
+    }
+
+    /// Whether any source drifted beyond [`GRAPH_DRIFT_ARCSEC`]:
+    /// position movement plus conflict-radius change both eat into
+    /// the same edge margin, so their sum is the drift measure.
+    fn stale(&self, sources: &[SourceParams], psf_radius_arcsec: f64) -> bool {
+        sources
+            .iter()
+            .zip(&self.built_state)
+            .any(|(s, (pos0, r0))| {
+                s.position().sep_arcsec(pos0)
+                    + (overlap_radius_arcsec(s, psf_radius_arcsec) - r0).abs()
+                    > GRAPH_DRIFT_ARCSEC
+            })
+    }
 }
 
 /// Jointly optimize `sources` against `images` with `n_threads`
-/// Cyclades worker threads. Sources outside this region (their
-/// contribution to pixel backgrounds) should already be folded into
-/// the images' neighbor handling by the caller passing them in
+/// persistent Cyclades worker threads. Sources outside this region
+/// (their contribution to pixel backgrounds) should already be folded
+/// into the images' neighbor handling by the caller passing them in
 /// `fixed_neighbors`.
 pub fn process_region(
     sources: &mut [SourceParams],
@@ -46,65 +150,148 @@ pub fn process_region(
     let psf_radius_arcsec = images
         .iter()
         .map(|img| {
-            let s = img.psf.components.iter().map(|c| c.sigma_px).fold(0.0_f64, f64::max);
+            let s = img
+                .psf
+                .components
+                .iter()
+                .map(|c| c.sigma_px)
+                .fold(0.0_f64, f64::max);
             3.0 * s * img.wcs.pixel_scale_arcsec()
         })
         .fold(6.0_f64, f64::max);
     let mut rng = StdRng::seed_from_u64(seed);
+    let n_threads = n_threads.max(1);
 
-    for pass in 0..fit_cfg.bca_passes {
-        stats.passes += 1;
-        let graph = conflict_graph(sources, psf_radius_arcsec);
-        stats.conflict_edges = graph.edges;
-        let batch_size = (sources.len() / 2).max(4 * n_threads).max(1);
-        let batches = sample_batches(&mut rng, &graph, n_threads, batch_size);
-        let _ = pass;
-        for batch in batches {
-            stats.batches += 1;
-            // Snapshot of the whole region for neighbor subtraction:
-            // conflict freedom guarantees concurrently-updated sources
-            // do not overlap, so the snapshot is exact for every
-            // overlapping neighbor.
-            let snapshot: Vec<SourceParams> = sources.to_vec();
-            let results: Vec<(usize, SourceParams, usize, usize)> = std::thread::scope(|s| {
-                let mut handles = Vec::new();
-                for thread_list in batch.iter().filter(|l| !l.is_empty()) {
-                    let snapshot = &snapshot;
-                    let handle = s.spawn(move || {
-                        let mut out = Vec::new();
-                        for &idx in thread_list {
-                            let mut sp = snapshot[idx].clone();
-                            let others: Vec<&SourceParams> = snapshot
-                                .iter()
-                                .enumerate()
-                                .filter(|(j, _)| *j != idx)
-                                .map(|(_, o)| o)
-                                .chain(fixed_neighbors.iter())
-                                .collect();
-                            let problem =
-                                SourceProblem::build(&sp, images, &others, priors, fit_cfg);
-                            if problem.blocks.is_empty() {
-                                continue;
+    // The conflict graph is pass-invariant while sources stay put;
+    // build it once and refresh only on drift.
+    let mut graph = GraphCache::build(sources, psf_radius_arcsec);
+    stats.graph_builds += 1;
+
+    // Region snapshot the workers read. Built once; between batches
+    // only fitted entries are written back (no per-batch clone: the
+    // coordinator holds the sole Arc reference by then).
+    let mut snapshot: Arc<Vec<SourceParams>> = Arc::new(sources.to_vec());
+
+    let (result_tx, result_rx) = mpsc::channel::<WorkerMsg>();
+    std::thread::scope(|scope| {
+        // Persistent workers, one input channel each.
+        let mut job_txs: Vec<mpsc::Sender<Job>> = Vec::with_capacity(n_threads);
+        for _ in 0..n_threads {
+            let (job_tx, job_rx) = mpsc::channel::<Job>();
+            job_txs.push(job_tx);
+            let result_tx = result_tx.clone();
+            scope.spawn(move || {
+                let _guard = DeathGuard {
+                    tx: result_tx.clone(),
+                };
+                // Thread-affine state, reused across every fit this
+                // worker ever performs in this region.
+                let mut ws = source_workspace();
+                let mut build = BuildScratch::default();
+                while let Ok(Job { snapshot, indices }) = job_rx.recv() {
+                    let mut results = Vec::with_capacity(indices.len());
+                    for &idx in &indices {
+                        let mut sp = snapshot[idx].clone();
+                        let others: Vec<&SourceParams> = snapshot
+                            .iter()
+                            .enumerate()
+                            .filter(|(j, _)| *j != idx)
+                            .map(|(_, o)| o)
+                            .chain(fixed_neighbors.iter())
+                            .collect();
+                        let problem = SourceProblem::build_with(
+                            &sp, images, &others, priors, fit_cfg, &mut build,
+                        );
+                        results.push(if problem.blocks.is_empty() {
+                            FitResult {
+                                idx,
+                                source: None,
+                                newton_iters: 0,
+                                active_pixels: 0,
                             }
-                            let mut one_fit = *fit_cfg;
-                            one_fit.bca_passes = 1;
-                            let fs = fit_source(&mut sp, &problem, &one_fit);
-                            out.push((idx, sp, fs.newton.iterations, fs.active_pixels));
-                        }
-                        out
-                    });
-                    handles.push(handle);
+                        } else {
+                            let fs = fit_source_with(&mut sp, &problem, fit_cfg, &mut ws);
+                            FitResult {
+                                idx,
+                                source: Some(sp),
+                                newton_iters: fs.newton.iterations,
+                                active_pixels: fs.active_pixels,
+                            }
+                        });
+                    }
+                    // Release the snapshot BEFORE reporting: once the
+                    // coordinator has every JobDone of the batch, all
+                    // worker references are provably gone.
+                    drop(snapshot);
+                    if result_tx.send(WorkerMsg::JobDone(results)).is_err() {
+                        return; // coordinator gone: shut down
+                    }
                 }
-                handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
             });
-            for (idx, sp, iters, pixels) in results {
-                sources[idx] = sp;
-                stats.fits += 1;
-                stats.newton_iters += iters;
-                stats.active_pixels += pixels;
+        }
+        drop(result_tx); // workers hold the remaining clones
+
+        let mut dirty: Vec<usize> = Vec::new();
+        for _pass in 0..fit_cfg.bca_passes {
+            stats.passes += 1;
+            if graph.stale(sources, psf_radius_arcsec) {
+                graph = GraphCache::build(sources, psf_radius_arcsec);
+                stats.graph_builds += 1;
+            }
+            stats.conflict_edges = graph.graph.edges;
+            let batch_size = (sources.len() / 2).max(4 * n_threads).max(1);
+            let batches = sample_batches(&mut rng, &graph.graph, n_threads, batch_size);
+            for batch in batches {
+                stats.batches += 1;
+                // Refresh the snapshot in place: only sources fitted
+                // since the last refresh are copied. All worker Arcs
+                // are dropped by now, so make_mut does not clone.
+                if !dirty.is_empty() {
+                    let snap = Arc::make_mut(&mut snapshot);
+                    for &idx in &dirty {
+                        snap[idx] = sources[idx].clone();
+                    }
+                    dirty.clear();
+                }
+                let mut outstanding_jobs = 0usize;
+                for (worker, thread_list) in
+                    batch.into_iter().enumerate().filter(|(_, l)| !l.is_empty())
+                {
+                    outstanding_jobs += 1;
+                    job_txs[worker % n_threads]
+                        .send(Job {
+                            snapshot: Arc::clone(&snapshot),
+                            indices: thread_list,
+                        })
+                        .expect("worker alive");
+                }
+                // Every job reports exactly once; a worker panic is
+                // surfaced by its death guard rather than a timeout,
+                // so slow fits wait indefinitely (like the old scoped
+                // join) while real failures still fail fast.
+                while outstanding_jobs > 0 {
+                    match result_rx.recv() {
+                        Ok(WorkerMsg::JobDone(results)) => {
+                            outstanding_jobs -= 1;
+                            for res in results {
+                                if let Some(sp) = res.source {
+                                    sources[res.idx] = sp;
+                                    dirty.push(res.idx);
+                                    stats.fits += 1;
+                                    stats.newton_iters += res.newton_iters;
+                                    stats.active_pixels += res.active_pixels;
+                                }
+                            }
+                        }
+                        Ok(WorkerMsg::Died) | Err(_) => {
+                            panic!("Cyclades worker died mid-batch")
+                        }
+                    }
+                }
             }
         }
-    }
+        drop(job_txs); // closes worker inputs; scope joins them
+    });
     stats
 }
 
@@ -136,7 +323,11 @@ mod tests {
             .iter()
             .map(|&band| {
                 let mut img = Image::blank(
-                    FieldId { run: 1, camcol: 1, field: 0 },
+                    FieldId {
+                        run: 1,
+                        camcol: 1,
+                        field: 0,
+                    },
                     band,
                     Wcs::for_rect(&rect, 80, 80),
                     80,
@@ -166,11 +357,14 @@ mod tests {
             })
             .collect();
         let priors = ModelPriors::new(Priors::sdss_default());
-        let cfg = FitConfig { bca_passes: 2, ..Default::default() };
-        let stats =
-            process_region(&mut sources, &refs, &[], &priors, &cfg, 3, 17);
+        let cfg = FitConfig {
+            bca_passes: 2,
+            ..Default::default()
+        };
+        let stats = process_region(&mut sources, &refs, &[], &priors, &cfg, 3, 17);
         assert_eq!(stats.passes, 2);
         assert!(stats.fits >= sources.len(), "fits {}", stats.fits);
+        assert!(stats.graph_builds >= 1);
         for (sp, truth_e) in sources.iter().zip(&truth.entries) {
             let got = sp.to_entry().flux_r_nmgy;
             let want = truth_e.flux_r_nmgy;
@@ -187,7 +381,10 @@ mod tests {
         let (truth, images) = scene();
         let refs: Vec<&Image> = images.iter().collect();
         let priors = ModelPriors::new(Priors::sdss_default());
-        let cfg = FitConfig { bca_passes: 2, ..Default::default() };
+        let cfg = FitConfig {
+            bca_passes: 2,
+            ..Default::default()
+        };
 
         let init = |truth: &Catalog| -> Vec<SourceParams> {
             truth
@@ -223,15 +420,27 @@ mod tests {
         let refs: Vec<&Image> = images.iter().collect();
         let priors = ModelPriors::new(Priors::sdss_default());
         let mut none: Vec<SourceParams> = Vec::new();
-        let stats = process_region(
-            &mut none,
-            &refs,
-            &[],
-            &priors,
-            &FitConfig::default(),
-            4,
-            0,
-        );
+        let stats = process_region(&mut none, &refs, &[], &priors, &FitConfig::default(), 4, 0);
         assert_eq!(stats.fits, 0);
+    }
+
+    #[test]
+    fn single_thread_pool_is_equivalent_to_serial_batches() {
+        // n_threads = 1 exercises the same pool machinery with every
+        // component on one worker; results must still recover truth.
+        let (truth, images) = scene();
+        let refs: Vec<&Image> = images.iter().collect();
+        let priors = ModelPriors::new(Priors::sdss_default());
+        let mut sources: Vec<SourceParams> = truth
+            .entries
+            .iter()
+            .map(SourceParams::init_from_entry)
+            .collect();
+        let cfg = FitConfig {
+            bca_passes: 1,
+            ..Default::default()
+        };
+        let stats = process_region(&mut sources, &refs, &[], &priors, &cfg, 1, 3);
+        assert!(stats.fits >= sources.len());
     }
 }

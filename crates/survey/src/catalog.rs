@@ -30,7 +30,12 @@ pub struct GalaxyShape {
 impl GalaxyShape {
     /// A canonical round disk, used for initialization.
     pub fn round_disk(radius_arcsec: f64) -> GalaxyShape {
-        GalaxyShape { frac_dev: 0.5, axis_ratio: 0.8, angle_rad: 0.0, radius_arcsec }
+        GalaxyShape {
+            frac_dev: 0.5,
+            axis_ratio: 0.8,
+            angle_rad: 0.0,
+            radius_arcsec,
+        }
     }
 }
 
@@ -85,7 +90,10 @@ impl Catalog {
 
     /// Entries whose positions fall inside `rect`.
     pub fn in_rect(&self, rect: &SkyRect) -> Vec<&CatalogEntry> {
-        self.entries.iter().filter(|e| rect.contains(&e.pos)).collect()
+        self.entries
+            .iter()
+            .filter(|e| rect.contains(&e.pos))
+            .collect()
     }
 
     /// Find the entry nearest to `pos`, returning `(entry, separation
@@ -144,7 +152,11 @@ mod tests {
 
     #[test]
     fn nearest_finds_closest() {
-        let cat = Catalog::new(vec![entry(1, 0.0, 0.0), entry(2, 0.01, 0.0), entry(3, 1.0, 1.0)]);
+        let cat = Catalog::new(vec![
+            entry(1, 0.0, 0.0),
+            entry(2, 0.01, 0.0),
+            entry(3, 1.0, 1.0),
+        ]);
         let (e, sep) = cat.nearest(&SkyCoord::new(0.009, 0.0)).unwrap();
         assert_eq!(e.id, 2);
         assert!(sep < 4.0);
@@ -152,7 +164,9 @@ mod tests {
 
     #[test]
     fn nearest_on_empty_is_none() {
-        assert!(Catalog::default().nearest(&SkyCoord::new(0.0, 0.0)).is_none());
+        assert!(Catalog::default()
+            .nearest(&SkyCoord::new(0.0, 0.0))
+            .is_none());
     }
 
     #[test]

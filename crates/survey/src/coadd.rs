@@ -40,10 +40,15 @@ pub fn coadd(exposures: &[&Image]) -> Image {
     for e in exposures {
         let share = e.nmgy_to_counts / total_iota;
         for c in &e.psf.components {
-            comps.push(PsfComponent { weight: c.weight * share, sigma_px: c.sigma_px });
+            comps.push(PsfComponent {
+                weight: c.weight * share,
+                sigma_px: c.sigma_px,
+            });
         }
     }
-    out.psf = Psf { components: merge_similar(comps) };
+    out.psf = std::sync::Arc::new(Psf {
+        components: merge_similar(comps),
+    });
     out
 }
 
@@ -94,7 +99,11 @@ mod tests {
     fn exposure(seed: u64) -> Image {
         let rect = SkyRect::new(0.0, 0.02, 0.0, 0.02);
         let mut img = Image::blank(
-            FieldId { run: seed as u32, camcol: 1, field: 0 },
+            FieldId {
+                run: seed as u32,
+                camcol: 1,
+                field: 0,
+            },
             Band::R,
             Wcs::for_rect(&rect, 64, 64),
             64,

@@ -57,7 +57,9 @@ fn fit_profile(profile: fn(f64) -> f64, sigmas: &[f64]) -> MixtureProfile {
     let r_min: f64 = 5e-3;
     let r_max: f64 = 12.0;
     let log_step = (r_max / r_min).ln() / (n_r as f64 - 1.0);
-    let radii: Vec<f64> = (0..n_r).map(|j| r_min * (log_step * j as f64).exp()).collect();
+    let radii: Vec<f64> = (0..n_r)
+        .map(|j| r_min * (log_step * j as f64).exp())
+        .collect();
     let mut design = Mat::zeros(n_r, sigmas.len());
     let mut target = vec![0.0; n_r];
     for (j, &r) in radii.iter().enumerate() {
@@ -77,7 +79,10 @@ fn fit_profile(profile: fn(f64) -> f64, sigmas: &[f64]) -> MixtureProfile {
     for w in &mut weights {
         *w /= total;
     }
-    MixtureProfile { weights, vars: sigmas.iter().map(|s| s * s).collect() }
+    MixtureProfile {
+        weights,
+        vars: sigmas.iter().map(|s| s * s).collect(),
+    }
 }
 
 /// The 6-Gaussian exponential profile approximation (fit once, cached).
@@ -91,9 +96,7 @@ pub fn exp_mixture() -> &'static MixtureProfile {
 /// plus wings carrying flux past 10 `r_e`.
 pub fn dev_mixture() -> &'static MixtureProfile {
     static CACHE: OnceLock<MixtureProfile> = OnceLock::new();
-    CACHE.get_or_init(|| {
-        fit_profile(dev_profile, &[0.018, 0.05, 0.12, 0.28, 0.62, 1.4, 3.2, 7.5])
-    })
+    CACHE.get_or_init(|| fit_profile(dev_profile, &[0.018, 0.05, 0.12, 0.28, 0.62, 1.4, 3.2, 7.5]))
 }
 
 /// Sky-frame covariance (arcsec²) for one unit-variance profile
@@ -129,7 +132,10 @@ pub fn galaxy_mixture_sky(
     let dev = dev_mixture();
     let exp = exp_mixture();
     for (w, v) in dev.weights.iter().zip(&dev.vars) {
-        out.push((frac_dev * w, shape_covariance(*v, radius_arcsec, axis_ratio, angle_rad)));
+        out.push((
+            frac_dev * w,
+            shape_covariance(*v, radius_arcsec, axis_ratio, angle_rad),
+        ));
     }
     for (w, v) in exp.weights.iter().zip(&exp.vars) {
         out.push((

@@ -17,7 +17,11 @@ pub struct Cov2 {
 impl Cov2 {
     /// Isotropic covariance σ²·I.
     pub fn isotropic(var: f64) -> Cov2 {
-        Cov2 { xx: var, xy: 0.0, yy: var }
+        Cov2 {
+            xx: var,
+            xy: 0.0,
+            yy: var,
+        }
     }
 
     /// Determinant.
@@ -29,13 +33,21 @@ impl Cov2 {
     /// Sum of covariances (Gaussian convolution).
     #[inline]
     pub fn add(&self, o: &Cov2) -> Cov2 {
-        Cov2 { xx: self.xx + o.xx, xy: self.xy + o.xy, yy: self.yy + o.yy }
+        Cov2 {
+            xx: self.xx + o.xx,
+            xy: self.xy + o.xy,
+            yy: self.yy + o.yy,
+        }
     }
 
     /// Scale all entries (e.g. unit-radius profile × r_e²).
     #[inline]
     pub fn scaled(&self, s: f64) -> Cov2 {
-        Cov2 { xx: self.xx * s, xy: self.xy * s, yy: self.yy * s }
+        Cov2 {
+            xx: self.xx * s,
+            xy: self.xy * s,
+            yy: self.yy * s,
+        }
     }
 
     /// Congruence transform `J Σ Jᵀ` for a 2×2 Jacobian (sky→pixel
@@ -77,8 +89,8 @@ impl BvnComponent {
         let dx = x - self.mean[0];
         let dy = y - self.mean[1];
         // Quadratic form through the explicit 2×2 inverse.
-        let q = (self.cov.yy * dx * dx - 2.0 * self.cov.xy * dx * dy + self.cov.xx * dy * dy)
-            * inv_det;
+        let q =
+            (self.cov.yy * dx * dx - 2.0 * self.cov.xy * dx * dy + self.cov.xx * dy * dy) * inv_det;
         self.weight * (-0.5 * q).exp() * inv_det.sqrt() / std::f64::consts::TAU
     }
 }
@@ -126,8 +138,11 @@ impl Gmm {
     /// `nsigma` times the largest component sigma, measured from the
     /// weighted mean center.
     pub fn support_radius(&self, nsigma: f64) -> f64 {
-        let max_sd =
-            self.components.iter().map(|c| c.cov.max_sigma()).fold(0.0_f64, f64::max);
+        let max_sd = self
+            .components
+            .iter()
+            .map(|c| c.cov.max_sigma())
+            .fold(0.0_f64, f64::max);
         let max_off = self
             .components
             .iter()
@@ -157,7 +172,11 @@ mod tests {
 
     #[test]
     fn unit_gaussian_integrates_to_one() {
-        let g = BvnComponent { weight: 1.0, mean: [0.0, 0.0], cov: Cov2::isotropic(1.0) };
+        let g = BvnComponent {
+            weight: 1.0,
+            mean: [0.0, 0.0],
+            cov: Cov2::isotropic(1.0),
+        };
         // Riemann sum over ±6σ.
         let mut total = 0.0;
         let step = 0.05;
@@ -175,15 +194,27 @@ mod tests {
     #[test]
     fn peak_value_matches_formula() {
         let var = 2.5;
-        let g = BvnComponent { weight: 3.0, mean: [1.0, -1.0], cov: Cov2::isotropic(var) };
+        let g = BvnComponent {
+            weight: 3.0,
+            mean: [1.0, -1.0],
+            cov: Cov2::isotropic(var),
+        };
         let peak = g.eval(1.0, -1.0);
         assert!((peak - 3.0 / (std::f64::consts::TAU * var)).abs() < 1e-12);
     }
 
     #[test]
     fn anisotropic_quadratic_form() {
-        let cov = Cov2 { xx: 4.0, xy: 1.0, yy: 2.0 };
-        let g = BvnComponent { weight: 1.0, mean: [0.0, 0.0], cov };
+        let cov = Cov2 {
+            xx: 4.0,
+            xy: 1.0,
+            yy: 2.0,
+        };
+        let g = BvnComponent {
+            weight: 1.0,
+            mean: [0.0, 0.0],
+            cov,
+        };
         // det = 7; at (1,0): q = yy/det = 2/7
         let expect = (-0.5_f64 * (2.0 / 7.0)).exp() / (std::f64::consts::TAU * 7.0_f64.sqrt());
         assert!((g.eval(1.0, 0.0) - expect).abs() < 1e-14);
@@ -229,7 +260,11 @@ mod tests {
 
     #[test]
     fn congruence_matches_direct_computation() {
-        let cov = Cov2 { xx: 2.0, xy: 0.5, yy: 1.0 };
+        let cov = Cov2 {
+            xx: 2.0,
+            xy: 0.5,
+            yy: 1.0,
+        };
         let j = [[3.0, 0.0], [0.0, 2.0]];
         let t = cov.congruence(&j);
         assert!((t.xx - 18.0).abs() < 1e-14);

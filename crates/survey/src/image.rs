@@ -4,6 +4,7 @@ use crate::bands::Band;
 use crate::psf::Psf;
 use crate::skygeom::FieldId;
 use crate::wcs::Wcs;
+use std::sync::Arc;
 
 /// One calibrated field image in a single band.
 ///
@@ -25,12 +26,15 @@ pub struct Image {
     pub sky_level: f64,
     /// Calibration: counts per nanomaggy of source flux.
     pub nmgy_to_counts: f64,
-    /// The field's point-spread function in this band.
-    pub psf: Psf,
+    /// The field's point-spread function in this band. Shared:
+    /// per-source subproblems reference the same fitted PSF instead
+    /// of cloning its mixture into every image block.
+    pub psf: Arc<Psf>,
 }
 
 impl Image {
     /// A blank (all-zero) image with the given geometry and calibration.
+    #[allow(clippy::too_many_arguments)]
     pub fn blank(
         field: FieldId,
         band: Band,
@@ -50,7 +54,7 @@ impl Image {
             pixels: vec![0.0; width * height],
             sky_level,
             nmgy_to_counts,
-            psf,
+            psf: Arc::new(psf),
         }
     }
 
@@ -123,7 +127,11 @@ mod tests {
     fn test_image() -> Image {
         let rect = SkyRect::new(0.0, 0.1, 0.0, 0.1);
         Image::blank(
-            FieldId { run: 1, camcol: 1, field: 0 },
+            FieldId {
+                run: 1,
+                camcol: 1,
+                field: 0,
+            },
             Band::R,
             Wcs::for_rect(&rect, 64, 64),
             64,

@@ -101,7 +101,11 @@ pub fn decode_image(mut buf: &[u8]) -> Result<Image, IoError> {
         return Err(IoError::Format(format!("unsupported version {version}")));
     }
     need(buf, 4 + 2 + 2 + 1 + 8, "ids")?;
-    let field = FieldId { run: buf.get_u32_le(), camcol: buf.get_u16_le(), field: buf.get_u16_le() };
+    let field = FieldId {
+        run: buf.get_u32_le(),
+        camcol: buf.get_u16_le(),
+        field: buf.get_u16_le(),
+    };
     let band_idx = buf.get_u8() as usize;
     if band_idx >= 5 {
         return Err(IoError::Format(format!("bad band {band_idx}")));
@@ -112,14 +116,20 @@ pub fn decode_image(mut buf: &[u8]) -> Result<Image, IoError> {
     need(buf, 8 * 8 + 16 + 1, "wcs+calib")?;
     let sky0 = SkyCoord::new(buf.get_f64_le(), buf.get_f64_le());
     let pix0 = [buf.get_f64_le(), buf.get_f64_le()];
-    let jac = [[buf.get_f64_le(), buf.get_f64_le()], [buf.get_f64_le(), buf.get_f64_le()]];
+    let jac = [
+        [buf.get_f64_le(), buf.get_f64_le()],
+        [buf.get_f64_le(), buf.get_f64_le()],
+    ];
     let sky_level = buf.get_f64_le();
     let nmgy_to_counts = buf.get_f64_le();
     let ncomp = buf.get_u8() as usize;
     need(buf, ncomp * 16, "psf")?;
     let mut components = Vec::with_capacity(ncomp);
     for _ in 0..ncomp {
-        components.push(PsfComponent { weight: buf.get_f64_le(), sigma_px: buf.get_f64_le() });
+        components.push(PsfComponent {
+            weight: buf.get_f64_le(),
+            sigma_px: buf.get_f64_le(),
+        });
     }
     need(buf, width * height * 4, "pixels")?;
     let mut pixels = Vec::with_capacity(width * height);
@@ -135,7 +145,7 @@ pub fn decode_image(mut buf: &[u8]) -> Result<Image, IoError> {
         pixels,
         sky_level,
         nmgy_to_counts,
-        psf: Psf { components },
+        psf: std::sync::Arc::new(Psf { components }),
     })
 }
 
@@ -175,7 +185,9 @@ pub fn decode_catalog(mut buf: &[u8]) -> Result<crate::catalog::Catalog, IoError
     }
     let version = buf.get_u8();
     if version != VERSION {
-        return Err(IoError::Format(format!("unsupported catalog version {version}")));
+        return Err(IoError::Format(format!(
+            "unsupported catalog version {version}"
+        )));
     }
     let n = buf.get_u32_le() as usize;
     let per_entry = 8 + 16 + 1 + 8 + 32 + 32;
@@ -201,7 +213,11 @@ pub fn decode_catalog(mut buf: &[u8]) -> Result<crate::catalog::Catalog, IoError
         entries.push(CatalogEntry {
             id,
             pos,
-            source_type: if is_gal { SourceType::Galaxy } else { SourceType::Star },
+            source_type: if is_gal {
+                SourceType::Galaxy
+            } else {
+                SourceType::Star
+            },
             flux_r_nmgy,
             colors,
             shape,
@@ -223,13 +239,21 @@ impl ImageStore {
     /// Open (creating the directory if needed).
     pub fn open(root: impl AsRef<Path>) -> Result<ImageStore, IoError> {
         std::fs::create_dir_all(root.as_ref())?;
-        Ok(ImageStore { root: root.as_ref().to_path_buf() })
+        Ok(ImageStore {
+            root: root.as_ref().to_path_buf(),
+        })
     }
 
     /// The file path for a key.
     pub fn path_for(&self, key: &ImageKey) -> PathBuf {
         let (f, b) = key;
-        self.root.join(format!("{:06}-{}-{:04}-{}.simg", f.run, f.camcol, f.field, b.name()))
+        self.root.join(format!(
+            "{:06}-{}-{:04}-{}.simg",
+            f.run,
+            f.camcol,
+            f.field,
+            b.name()
+        ))
     }
 
     /// Persist an image.
@@ -256,8 +280,9 @@ impl ImageStore {
         catalog: &crate::catalog::Catalog,
     ) -> Result<(), IoError> {
         let bytes = encode_catalog(catalog);
-        let mut f =
-            std::io::BufWriter::new(std::fs::File::create(self.root.join(format!("{name}.scat")))?);
+        let mut f = std::io::BufWriter::new(std::fs::File::create(
+            self.root.join(format!("{name}.scat")),
+        )?);
         f.write_all(&bytes)?;
         f.flush()?;
         Ok(())
@@ -343,7 +368,11 @@ impl Prefetcher {
                 })
             })
             .collect();
-        Prefetcher { shared, tx, workers }
+        Prefetcher {
+            shared,
+            tx,
+            workers,
+        }
     }
 
     /// Queue keys for background loading (idempotent per key).
@@ -408,7 +437,11 @@ mod tests {
     fn test_image(run: u32, band: Band) -> Image {
         let rect = SkyRect::new(0.0, 0.1, 0.0, 0.1);
         let mut img = Image::blank(
-            FieldId { run, camcol: 1, field: 3 },
+            FieldId {
+                run,
+                camcol: 1,
+                field: 3,
+            },
             band,
             Wcs::for_rect(&rect, 16, 16),
             16,
@@ -537,7 +570,14 @@ mod tests {
             std::env::temp_dir().join(format!("celeste-prefetch-miss-{}", std::process::id()));
         let store = ImageStore::open(&dir).unwrap();
         let pf = Prefetcher::new(store, 1);
-        let missing = (FieldId { run: 999, camcol: 9, field: 9 }, Band::U);
+        let missing = (
+            FieldId {
+                run: 999,
+                camcol: 9,
+                field: 9,
+            },
+            Band::U,
+        );
         assert!(pf.get(&missing).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -1,3 +1,4 @@
+#![allow(clippy::needless_range_loop)] // lockstep-indexed numeric kernels
 //! Synthetic SDSS-like imaging survey (DESIGN.md S5).
 //!
 //! The paper runs Celeste against the 55 TB Sloan Digital Sky Survey.

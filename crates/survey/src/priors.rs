@@ -93,8 +93,14 @@ impl Priors {
         Priors {
             star_prob: 0.28,
             flux: [
-                FluxPrior { mu: 0.9, sigma: 1.1 },
-                FluxPrior { mu: 0.6, sigma: 0.9 },
+                FluxPrior {
+                    mu: 0.9,
+                    sigma: 1.1,
+                },
+                FluxPrior {
+                    mu: 0.6,
+                    sigma: 0.9,
+                },
             ],
             color: [star_color, gal_color],
             shape: ShapePrior {
@@ -127,7 +133,11 @@ impl Priors {
         }
         let sp = &self.shape;
         let shape = GalaxyShape {
-            frac_dev: sigmoid(sampling::normal(rng, sp.frac_dev_logit_mu, sp.frac_dev_logit_sigma)),
+            frac_dev: sigmoid(sampling::normal(
+                rng,
+                sp.frac_dev_logit_mu,
+                sp.frac_dev_logit_sigma,
+            )),
             axis_ratio: sigmoid(sampling::normal(
                 rng,
                 sp.axis_ratio_logit_mu,
@@ -141,7 +151,11 @@ impl Priors {
         CatalogEntry {
             id,
             pos,
-            source_type: if is_star { SourceType::Star } else { SourceType::Galaxy },
+            source_type: if is_star {
+                SourceType::Star
+            } else {
+                SourceType::Galaxy
+            },
             flux_r_nmgy: flux_r,
             colors,
             shape,
@@ -187,7 +201,11 @@ impl Priors {
 }
 
 fn comp(weight: f64, mean: [f64; NUM_COLORS], var: f64) -> ColorComponent {
-    ColorComponent { weight, mean, var: [var; NUM_COLORS] }
+    ColorComponent {
+        weight,
+        mean,
+        var: [var; NUM_COLORS],
+    }
 }
 
 fn sigmoid(x: f64) -> f64 {
@@ -204,8 +222,7 @@ fn hard_em_refit(prior: &mut ColorPrior, data: &[[f64; NUM_COLORS]], rounds: usi
             let mut best = 0;
             let mut best_d = f64::MAX;
             for (j, c) in prior.components.iter().enumerate() {
-                let d: f64 =
-                    x.iter().zip(&c.mean).map(|(a, b)| (a - b) * (a - b)).sum();
+                let d: f64 = x.iter().zip(&c.mean).map(|(a, b)| (a - b) * (a - b)).sum();
                 if d < best_d {
                     best_d = d;
                     best = j;
@@ -274,7 +291,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let n = 20_000;
         let stars = (0..n)
-            .filter(|&i| p.sample_entry(&mut rng, i, SkyCoord::new(0.0, 0.0)).is_star())
+            .filter(|&i| {
+                p.sample_entry(&mut rng, i, SkyCoord::new(0.0, 0.0))
+                    .is_star()
+            })
             .count();
         let frac = stars as f64 / n as f64;
         assert!((frac - p.star_prob).abs() < 0.02, "star fraction {frac}");

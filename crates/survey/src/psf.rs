@@ -29,15 +29,26 @@ impl Psf {
         assert!(seeing_px > 0.0);
         Psf {
             components: vec![
-                PsfComponent { weight: 0.85, sigma_px: seeing_px },
-                PsfComponent { weight: 0.15, sigma_px: 2.0 * seeing_px },
+                PsfComponent {
+                    weight: 0.85,
+                    sigma_px: seeing_px,
+                },
+                PsfComponent {
+                    weight: 0.15,
+                    sigma_px: 2.0 * seeing_px,
+                },
             ],
         }
     }
 
     /// A single-Gaussian PSF (useful in unit tests).
     pub fn single(sigma_px: f64) -> Psf {
-        Psf { components: vec![PsfComponent { weight: 1.0, sigma_px }] }
+        Psf {
+            components: vec![PsfComponent {
+                weight: 1.0,
+                sigma_px,
+            }],
+        }
     }
 
     /// Total flux fraction (≈ 1).

@@ -59,7 +59,9 @@ pub fn accumulate_expected(catalog: &Catalog, img: &Image, expected: &mut [f64])
         }
         let gmm = source_gmm_pix(entry, img);
         let center = img.wcs.sky_to_pix(&entry.pos);
-        let r = gmm.support_radius(RENDER_NSIGMA).min(img.width.max(img.height) as f64);
+        let r = gmm
+            .support_radius(RENDER_NSIGMA)
+            .min(img.width.max(img.height) as f64);
         let (xs, ys) = img.clip_box(center[0] - r, center[0] + r, center[1] - r, center[1] + r);
         for y in ys {
             let py = y as f64 + 0.5;
@@ -90,9 +92,8 @@ pub fn render_observed(catalog: &Catalog, img: &mut Image, seed: u64) {
         .zip(expected.par_chunks(width))
         .enumerate()
         .for_each(|(y, (row, exp_row))| {
-            let mut rng = StdRng::seed_from_u64(
-                seed ^ (y as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            );
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (y as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             for (p, &lam) in row.iter_mut().zip(exp_row) {
                 *p = poisson(&mut rng, lam.max(0.0)) as f32;
             }
@@ -111,7 +112,11 @@ mod tests {
     fn test_image() -> Image {
         let rect = SkyRect::new(0.0, 0.02, 0.0, 0.02);
         Image::blank(
-            FieldId { run: 1, camcol: 1, field: 0 },
+            FieldId {
+                run: 1,
+                camcol: 1,
+                field: 0,
+            },
             Band::R,
             Wcs::for_rect(&rect, 96, 96),
             96,

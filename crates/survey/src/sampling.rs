@@ -39,7 +39,10 @@ pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
 /// per-pixel rates from ~100 (sky) to ~10⁶ (bright-star cores), so the
 /// large-rate path is the hot one.
 pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
-    assert!(lambda >= 0.0 && lambda.is_finite(), "poisson: bad rate {lambda}");
+    assert!(
+        lambda >= 0.0 && lambda.is_finite(),
+        "poisson: bad rate {lambda}"
+    );
     if lambda == 0.0 {
         return 0;
     }

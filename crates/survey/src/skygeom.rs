@@ -45,7 +45,12 @@ pub struct SkyRect {
 impl SkyRect {
     pub fn new(ra_min: f64, ra_max: f64, dec_min: f64, dec_max: f64) -> Self {
         debug_assert!(ra_min <= ra_max && dec_min <= dec_max);
-        SkyRect { ra_min, ra_max, dec_min, dec_max }
+        SkyRect {
+            ra_min,
+            ra_max,
+            dec_min,
+            dec_max,
+        }
     }
 
     pub fn contains(&self, p: &SkyCoord) -> bool {
@@ -53,7 +58,10 @@ impl SkyRect {
     }
 
     pub fn center(&self) -> SkyCoord {
-        SkyCoord::new(0.5 * (self.ra_min + self.ra_max), 0.5 * (self.dec_min + self.dec_max))
+        SkyCoord::new(
+            0.5 * (self.ra_min + self.ra_max),
+            0.5 * (self.dec_min + self.dec_max),
+        )
     }
 
     pub fn width_deg(&self) -> f64 {
@@ -203,7 +211,11 @@ impl SurveyGeometry {
                 for f in 0..cfg.fields_per_stripe {
                     let ra0 = f as f64 * field_step;
                     fields.push(FieldMeta {
-                        id: FieldId { run, camcol: 1, field: f as u16 },
+                        id: FieldId {
+                            run,
+                            camcol: 1,
+                            field: f as u16,
+                        },
                         rect: SkyRect::new(
                             ra0,
                             ra0 + cfg.field_width_deg,
@@ -216,14 +228,17 @@ impl SurveyGeometry {
                 }
             }
         }
-        let footprint = fields.iter().map(|f| f.rect).fold(fields[0].rect, |acc, r| {
-            SkyRect::new(
-                acc.ra_min.min(r.ra_min),
-                acc.ra_max.max(r.ra_max),
-                acc.dec_min.min(r.dec_min),
-                acc.dec_max.max(r.dec_max),
-            )
-        });
+        let footprint = fields
+            .iter()
+            .map(|f| f.rect)
+            .fold(fields[0].rect, |acc, r| {
+                SkyRect::new(
+                    acc.ra_min.min(r.ra_min),
+                    acc.ra_max.max(r.ra_max),
+                    acc.dec_min.min(r.dec_min),
+                    acc.dec_max.max(r.dec_max),
+                )
+            });
         SurveyGeometry { fields, footprint }
     }
 
@@ -234,7 +249,10 @@ impl SurveyGeometry {
 
     /// All fields intersecting the given sky rectangle.
     pub fn fields_intersecting(&self, r: &SkyRect) -> Vec<&FieldMeta> {
-        self.fields.iter().filter(|f| f.rect.intersects(r)).collect()
+        self.fields
+            .iter()
+            .filter(|f| f.rect.intersects(r))
+            .collect()
     }
 
     /// ASCII sky-coverage map (paper Fig. 3 analogue): each cell counts
@@ -303,7 +321,10 @@ mod tests {
         let q = SkyCoord::new(0.05, 0.09);
         let stripes: std::collections::HashSet<u32> =
             g.fields_containing(&q).iter().map(|f| f.stripe).collect();
-        assert!(stripes.len() >= 2, "stripe overlap not covered: {stripes:?}");
+        assert!(
+            stripes.len() >= 2,
+            "stripe overlap not covered: {stripes:?}"
+        );
     }
 
     #[test]

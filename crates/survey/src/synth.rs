@@ -82,8 +82,7 @@ impl SyntheticSurvey {
     pub fn generate(config: SurveyConfig) -> SyntheticSurvey {
         let geometry = SurveyGeometry::generate(&config.geometry);
         let fp = geometry.footprint;
-        let n_sources =
-            (config.source_density_per_sq_deg * fp.area_sq_deg()).round() as u64;
+        let n_sources = (config.source_density_per_sq_deg * fp.area_sq_deg()).round() as u64;
         let mut rng = StdRng::seed_from_u64(config.seed);
         let entries: Vec<CatalogEntry> = (0..n_sources)
             .map(|id| {
@@ -94,7 +93,11 @@ impl SyntheticSurvey {
                 config.priors.sample_entry(&mut rng, id, pos)
             })
             .collect();
-        SyntheticSurvey { config, geometry, truth: Catalog::new(entries) }
+        SyntheticSurvey {
+            config,
+            geometry,
+            truth: Catalog::new(entries),
+        }
     }
 
     /// Seeing for a run: deterministic log-normal jitter around the
@@ -103,8 +106,7 @@ impl SyntheticSurvey {
     pub fn psf_for_run(&self, run: u32, band: Band) -> Psf {
         let mut rng =
             StdRng::seed_from_u64(self.config.seed ^ (run as u64) << 3 ^ band.index() as u64);
-        let jitter =
-            (crate::sampling::standard_normal(&mut rng) * self.config.seeing_jitter).exp();
+        let jitter = (crate::sampling::standard_normal(&mut rng) * self.config.seeing_jitter).exp();
         Psf::core_halo(self.config.seeing_px * jitter)
     }
 
@@ -153,7 +155,9 @@ impl SyntheticSurvey {
             .iter()
             .flat_map(|m| Band::ALL.iter().map(move |&b| (m, b)))
             .collect();
-        jobs.par_iter().map(|(m, b)| self.render_field(m, *b)).collect()
+        jobs.par_iter()
+            .map(|(m, b)| self.render_field(m, *b))
+            .collect()
     }
 
     /// Total campaign pixel bytes (the "55 TB" figure for this survey).
@@ -214,12 +218,25 @@ mod tests {
     fn epochs_share_sky_but_differ_in_noise() {
         let s = SyntheticSurvey::generate(small_config());
         // Two epochs of the deep stripe cover the same footprint.
-        let e0 = s.geometry.fields.iter().find(|f| f.stripe == 0 && f.epoch == 0).unwrap();
-        let e1 = s.geometry.fields.iter().find(|f| f.stripe == 0 && f.epoch == 1).unwrap();
+        let e0 = s
+            .geometry
+            .fields
+            .iter()
+            .find(|f| f.stripe == 0 && f.epoch == 0)
+            .unwrap();
+        let e1 = s
+            .geometry
+            .fields
+            .iter()
+            .find(|f| f.stripe == 0 && f.epoch == 1)
+            .unwrap();
         assert_eq!(e0.rect, e1.rect);
         let a = s.render_field(e0, Band::R);
         let b = s.render_field(e1, Band::R);
-        assert_ne!(a.pixels, b.pixels, "independent epochs must have fresh noise");
+        assert_ne!(
+            a.pixels, b.pixels,
+            "independent epochs must have fresh noise"
+        );
     }
 
     #[test]

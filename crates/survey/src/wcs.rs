@@ -61,8 +61,14 @@ impl Wcs {
     #[inline]
     pub fn jac_per_arcsec(&self) -> [[f64; 2]; 2] {
         [
-            [self.jac[0][0] / ARCSEC_PER_DEG, self.jac[0][1] / ARCSEC_PER_DEG],
-            [self.jac[1][0] / ARCSEC_PER_DEG, self.jac[1][1] / ARCSEC_PER_DEG],
+            [
+                self.jac[0][0] / ARCSEC_PER_DEG,
+                self.jac[0][1] / ARCSEC_PER_DEG,
+            ],
+            [
+                self.jac[1][0] / ARCSEC_PER_DEG,
+                self.jac[1][1] / ARCSEC_PER_DEG,
+            ],
         ]
     }
 

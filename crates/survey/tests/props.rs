@@ -12,14 +12,20 @@ use celeste_survey::Image;
 use proptest::prelude::*;
 
 fn arb_shape() -> impl Strategy<Value = GalaxyShape> {
-    (0.0..1.0f64, 0.1..1.0f64, 0.0..std::f64::consts::PI, 0.3..5.0f64).prop_map(
-        |(frac_dev, axis_ratio, angle_rad, radius_arcsec)| GalaxyShape {
-            frac_dev,
-            axis_ratio,
-            angle_rad,
-            radius_arcsec,
-        },
+    (
+        0.0..1.0f64,
+        0.1..1.0f64,
+        0.0..std::f64::consts::PI,
+        0.3..5.0f64,
     )
+        .prop_map(
+            |(frac_dev, axis_ratio, angle_rad, radius_arcsec)| GalaxyShape {
+                frac_dev,
+                axis_ratio,
+                angle_rad,
+                radius_arcsec,
+            },
+        )
 }
 
 fn arb_entry() -> impl Strategy<Value = CatalogEntry> {
@@ -34,7 +40,11 @@ fn arb_entry() -> impl Strategy<Value = CatalogEntry> {
         .prop_map(|(ra, dec, star, flux, colors, shape)| CatalogEntry {
             id: 0,
             pos: SkyCoord::new(ra, dec),
-            source_type: if star { SourceType::Star } else { SourceType::Galaxy },
+            source_type: if star {
+                SourceType::Star
+            } else {
+                SourceType::Galaxy
+            },
             flux_r_nmgy: flux,
             colors,
             shape,
@@ -44,7 +54,11 @@ fn arb_entry() -> impl Strategy<Value = CatalogEntry> {
 fn test_image(psf_sigma: f64) -> Image {
     let rect = SkyRect::new(0.0, 0.03, 0.0, 0.03);
     Image::blank(
-        FieldId { run: 1, camcol: 1, field: 0 },
+        FieldId {
+            run: 1,
+            camcol: 1,
+            field: 0,
+        },
         celeste_survey::Band::R,
         Wcs::for_rect(&rect, 96, 96),
         96,

@@ -9,7 +9,9 @@
 //!
 //! Run with: `cargo run --release --example deblend_joint`
 
-use celeste_core::{fit_source, optimize_sources, FitConfig, ModelPriors, SourceParams, SourceProblem};
+use celeste_core::{
+    fit_source, optimize_sources, FitConfig, ModelPriors, SourceParams, SourceProblem,
+};
 use celeste_survey::bands::Band;
 use celeste_survey::catalog::{Catalog, CatalogEntry, GalaxyShape, SourceType};
 use celeste_survey::psf::Psf;
@@ -38,7 +40,11 @@ fn main() {
         .map(|&band| {
             let rect = SkyRect::new(0.0, 0.02, 0.0, 0.02);
             let mut img = Image::blank(
-                FieldId { run: 1, camcol: 1, field: 0 },
+                FieldId {
+                    run: 1,
+                    camcol: 1,
+                    field: 0,
+                },
                 band,
                 Wcs::for_rect(&rect, 72, 72),
                 72,
@@ -53,7 +59,10 @@ fn main() {
         .collect();
     let refs: Vec<&Image> = images.iter().collect();
     let priors = ModelPriors::new(Priors::sdss_default());
-    let cfg = FitConfig { bca_passes: 3, ..Default::default() };
+    let cfg = FitConfig {
+        bca_passes: 3,
+        ..Default::default()
+    };
 
     let init = |e: &CatalogEntry| {
         let mut g = e.clone();

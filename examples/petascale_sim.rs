@@ -27,7 +27,10 @@ fn main() {
     while nodes <= 8192 {
         let r = simulate_run(
             &cal,
-            &ClusterConfig { nodes, ..Default::default() },
+            &ClusterConfig {
+                nodes,
+                ..Default::default()
+            },
             nodes * 68,
             11 + nodes as u64,
             false,
@@ -41,7 +44,10 @@ fn main() {
     println!("Sustained-rate run (paper Table I):\n");
     let r = simulate_run(
         &cal,
-        &ClusterConfig { nodes: 9600, ..Default::default() },
+        &ClusterConfig {
+            nodes: 9600,
+            ..Default::default()
+        },
         326_400,
         0xF10,
         false,

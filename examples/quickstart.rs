@@ -21,7 +21,12 @@ fn main() {
         source_type: SourceType::Galaxy,
         flux_r_nmgy: 30.0,
         colors: [0.9, 0.5, 0.3, 0.2],
-        shape: GalaxyShape { frac_dev: 0.3, axis_ratio: 0.6, angle_rad: 0.8, radius_arcsec: 2.2 },
+        shape: GalaxyShape {
+            frac_dev: 0.3,
+            axis_ratio: 0.6,
+            angle_rad: 0.8,
+            radius_arcsec: 2.2,
+        },
     };
     let catalog = Catalog::new(vec![truth.clone()]);
 
@@ -31,7 +36,11 @@ fn main() {
         .iter()
         .map(|&band| {
             let mut img = Image::blank(
-                FieldId { run: 1, camcol: 1, field: 0 },
+                FieldId {
+                    run: 1,
+                    camcol: 1,
+                    field: 0,
+                },
                 band,
                 Wcs::for_rect(&rect, 72, 72),
                 72,
@@ -62,7 +71,10 @@ fn main() {
     // 4. Report the posterior.
     let fitted = source.to_entry();
     let unc = source.uncertainty();
-    println!("Celeste quickstart — one source, five bands, {} active pixels", stats.active_pixels);
+    println!(
+        "Celeste quickstart — one source, five bands, {} active pixels",
+        stats.active_pixels
+    );
     println!(
         "Newton iterations: {} (converged: {})\n",
         stats.newton.iterations, stats.newton.converged

@@ -44,7 +44,10 @@ fn main() {
     }
     println!("images covering each source (multiplicity → sources):");
     for (n, count) in &histogram {
-        println!("  {n:>3} images: {count:>6} sources {}", "▪".repeat((count / 20).min(60)));
+        println!(
+            "  {n:>3} images: {count:>6} sources {}",
+            "▪".repeat((count / 20).min(60))
+        );
     }
     let max = histogram.keys().max().copied().unwrap_or(0);
     println!(

@@ -44,13 +44,22 @@ fn photo_then_celeste_beats_photo_alone() {
     let refs: Vec<&Image> = images.iter().collect();
 
     let photo_catalog = run_photo(&refs, &PhotoConfig::default());
-    assert!(photo_catalog.len() >= 3, "Photo found only {}", photo_catalog.len());
+    assert!(
+        photo_catalog.len() >= 3,
+        "Photo found only {}",
+        photo_catalog.len()
+    );
 
     let priors = ModelPriors::new(Priors::sdss_default());
-    let mut fit = FitConfig::default();
-    fit.bca_passes = 1;
-    let mut sources: Vec<SourceParams> =
-        photo_catalog.entries.iter().map(SourceParams::init_from_entry).collect();
+    let fit = FitConfig {
+        bca_passes: 1,
+        ..Default::default()
+    };
+    let mut sources: Vec<SourceParams> = photo_catalog
+        .entries
+        .iter()
+        .map(SourceParams::init_from_entry)
+        .collect();
     celeste_sched::process_region(&mut sources, &refs, &[], &priors, &fit, 4, 7);
     let celeste_catalog = Catalog::new(sources.iter().map(|s| s.to_entry()).collect());
 
@@ -69,7 +78,11 @@ fn photo_then_celeste_beats_photo_alone() {
     );
     let photo_t = compare_catalogs(&truth, &photo_catalog, &cfg);
     let celeste_t = compare_catalogs(&truth, &celeste_catalog, &cfg);
-    assert!(photo_t.position.n >= 3, "too few matches: {}", photo_t.position.n);
+    assert!(
+        photo_t.position.n >= 3,
+        "too few matches: {}",
+        photo_t.position.n
+    );
 
     // The headline science claim, end to end: the Bayesian fit is at
     // least as accurate as the heuristic on brightness and colors.
@@ -115,13 +128,27 @@ fn campaign_matches_direct_region_processing() {
     let tasks = partition_sky(
         &init,
         &survey.geometry.footprint,
-        &PartitionConfig { target_work: 500.0, max_sources: 30, ..Default::default() },
+        &PartitionConfig {
+            target_work: 500.0,
+            max_sources: 30,
+            ..Default::default()
+        },
     );
     let priors = ModelPriors::new(Priors::sdss_default());
-    let mut fit = FitConfig::default();
-    fit.bca_passes = 1;
-    fit.newton.max_iters = 12;
-    let cfg = CampaignConfig { n_nodes: 2, threads_per_node: 2, fit, ..Default::default() };
+    let fit = FitConfig {
+        bca_passes: 1,
+        newton: celeste_core::NewtonConfig {
+            max_iters: 12,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let cfg = CampaignConfig {
+        n_nodes: 2,
+        threads_per_node: 2,
+        fit,
+        ..Default::default()
+    };
     let (fitted, report) = run_campaign(&survey, &store, &init, &tasks, &priors, &cfg);
 
     assert_eq!(report.tasks_completed, tasks.len());
@@ -205,7 +232,11 @@ fn uncertainty_calibration_on_repeated_noise() {
     for seed in 0..12u64 {
         let rect = SkyRect::new(0.0, 0.02, 0.0, 0.02);
         let mut img = Image::blank(
-            FieldId { run: 1, camcol: 1, field: 0 },
+            FieldId {
+                run: 1,
+                camcol: 1,
+                field: 0,
+            },
             celeste_survey::bands::Band::R,
             Wcs::for_rect(&rect, 64, 64),
             64,
@@ -222,7 +253,10 @@ fn uncertainty_calibration_on_repeated_noise() {
         reported_sd = sp.uncertainty().flux_sd_nmgy;
     }
     let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
-    let emp_sd = (estimates.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>()
+    let emp_sd = (estimates
+        .iter()
+        .map(|e| (e - mean) * (e - mean))
+        .sum::<f64>()
         / (estimates.len() - 1) as f64)
         .sqrt();
     assert!(

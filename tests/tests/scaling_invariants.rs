@@ -17,10 +17,7 @@ fn random_catalog(n: usize, seed: u64) -> (Catalog, SkyRect) {
     let mut rng = StdRng::seed_from_u64(seed);
     let entries = (0..n)
         .map(|i| {
-            let pos = SkyCoord::new(
-                rng.random::<f64>() * 0.5,
-                rng.random::<f64>() * 0.5,
-            );
+            let pos = SkyCoord::new(rng.random::<f64>() * 0.5, rng.random::<f64>() * 0.5);
             priors.sample_entry(&mut rng, i as u64, pos)
         })
         .collect();
@@ -138,7 +135,10 @@ fn weak_scaling_shape_matches_paper() {
     let run = |nodes: usize| {
         simulate_run(
             &cal,
-            &ClusterConfig { nodes, ..Default::default() },
+            &ClusterConfig {
+                nodes,
+                ..Default::default()
+            },
             nodes * 68,
             42,
             false,
@@ -147,12 +147,21 @@ fn weak_scaling_shape_matches_paper() {
     let small = run(1);
     let large = run(1024);
     let tp_ratio = large.components.task_processing / small.components.task_processing;
-    assert!((tp_ratio - 1.0).abs() < 0.15, "task processing ratio {tp_ratio}");
+    assert!(
+        (tp_ratio - 1.0).abs() < 0.15,
+        "task processing ratio {tp_ratio}"
+    );
     let io_ratio = large.components.image_loading / small.components.image_loading;
-    assert!((io_ratio - 1.0).abs() < 0.25, "image loading ratio {io_ratio}");
+    assert!(
+        (io_ratio - 1.0).abs() < 0.25,
+        "image loading ratio {io_ratio}"
+    );
     assert!(large.components.load_imbalance > 1.5 * small.components.load_imbalance);
     let growth = large.makespan / small.makespan;
-    assert!(growth > 1.05 && growth < 3.5, "total runtime growth {growth}");
+    assert!(
+        growth > 1.05 && growth < 3.5,
+        "total runtime growth {growth}"
+    );
 }
 
 #[test]
@@ -163,7 +172,10 @@ fn strong_scaling_efficiency_band() {
     let run = |nodes: usize| {
         simulate_run(
             &cal,
-            &ClusterConfig { nodes, ..Default::default() },
+            &ClusterConfig {
+                nodes,
+                ..Default::default()
+            },
             557_056,
             7,
             false,
@@ -185,7 +197,11 @@ fn flop_accounting_matches_between_real_and_simulated() {
     // the Table I accounting; verify the counter wiring end to end.
     celeste_core::flops::reset_visits();
     let report = celeste_bench::run_calibration_campaign(0xF10B);
-    assert!(report.active_pixel_visits > 10_000, "visits {}", report.active_pixel_visits);
+    assert!(
+        report.active_pixel_visits > 10_000,
+        "visits {}",
+        report.active_pixel_visits
+    );
     let fpv = celeste_bench::audit_flops_per_visit();
     let cal = celeste_cluster::calibrate_from_report(&report, fpv);
     assert!(cal.flops_per_proc > 1e6, "flop rate {}", cal.flops_per_proc);

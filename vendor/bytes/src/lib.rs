@@ -1,0 +1,191 @@
+//! Minimal vendored stand-in for the `bytes` crate.
+//!
+//! Provides the little-endian cursor API the image/catalog codec in
+//! `celeste_survey::io` uses: `Buf` over `&[u8]` (reads advance the
+//! slice), `BufMut` over a growable buffer, and the
+//! `BytesMut::freeze() -> Bytes` handoff. `Bytes` here is a plain
+//! cheaply-clonable shared byte buffer.
+
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+}
+
+impl Bytes {
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes {
+            data: Arc::new(data),
+        }
+    }
+}
+
+/// A growable byte buffer for encoding.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Reading cursor over a byte source; reads consume from the front.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    /// Panics if `dst` is longer than the remaining bytes, like the
+    /// real crate; decoders length-check with `remaining` first.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Appending writer.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_u8(7);
+        b.put_u16_le(513);
+        b.put_u32_le(70_000);
+        b.put_u64_le(1 << 40);
+        b.put_f32_le(1.5);
+        b.put_f64_le(-2.25);
+        b.put_slice(b"xyz");
+        let frozen = b.freeze();
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 513);
+        assert_eq!(r.get_u32_le(), 70_000);
+        assert_eq!(r.get_u64_le(), 1 << 40);
+        assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(r.get_f64_le(), -2.25);
+        let mut tail = [0u8; 3];
+        r.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"xyz");
+        assert_eq!(r.remaining(), 0);
+    }
+}

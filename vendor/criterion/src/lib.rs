@@ -1,0 +1,195 @@
+//! Minimal vendored stand-in for the `criterion` benchmark harness.
+//!
+//! The build container has no crates.io access. This shim implements
+//! the subset of the criterion 0.5 API the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with element throughput) with a simple
+//! warmup-then-sample timing loop. Results print as
+//! `<name>  time: <median> ns/iter (<per-element>)` — good enough to
+//! compare kernels on one machine, which is all we do with it.
+
+use std::time::Instant;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Passed to the closure given to `bench_function`; call `iter`.
+pub struct Bencher {
+    samples: usize,
+    /// Median ns per iteration, filled by `iter`.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `f`, storing the median over `samples` timed batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + batch sizing: aim for batches of ≥ ~2 ms so timer
+        // resolution is irrelevant.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().as_nanos().max(1) as f64;
+        let batch = ((2e6 / once).ceil() as usize).clamp(1, 1_000_000);
+        for _ in 0..(batch / 10).max(1) {
+            std::hint::black_box(f());
+        }
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            per_iter.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.ns_per_iter = per_iter[per_iter.len() / 2];
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, None, self.sample_size, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.throughput, self.criterion.sample_size, f);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    samples: usize,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        samples,
+        ns_per_iter: 0.0,
+    };
+    f(&mut b);
+    match throughput {
+        Some(Throughput::Elements(n)) if n > 0 => {
+            println!(
+                "{name:<40} time: {:>12.1} ns/iter   ({:.2} ns/elem, {} elems)",
+                b.ns_per_iter,
+                b.ns_per_iter / n as f64,
+                n
+            );
+        }
+        Some(Throughput::Bytes(n)) if n > 0 => {
+            println!(
+                "{name:<40} time: {:>12.1} ns/iter   ({:.3} GiB/s)",
+                b.ns_per_iter,
+                n as f64 / b.ns_per_iter * 1e9 / (1u64 << 30) as f64
+            );
+        }
+        _ => println!("{name:<40} time: {:>12.1} ns/iter", b.ns_per_iter),
+    }
+}
+
+/// Mirrors criterion's `criterion_group!` (both config and plain forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirrors criterion's `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_with_throughput() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("sum", |b| b.iter(|| (0..10u64).sum::<u64>()));
+        g.finish();
+    }
+}

@@ -1,0 +1,107 @@
+//! Minimal vendored stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel` with clonable multi-consumer
+//! receivers, built on `std::sync::mpsc` plus a shared mutex on the
+//! receiving side. Throughput is irrelevant at our usage site (a
+//! handful of image-prefetch keys per task), correctness of the
+//! disconnect semantics is what matters: `iter()` ends when all
+//! senders drop, exactly like the real crate.
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .recv()
+                .map_err(|_| RecvError)
+        }
+
+        /// Blocking iterator; ends when every sender has dropped.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct RecvError;
+
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    /// An unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+
+    /// A bounded channel (used here only to forge a disconnected
+    /// sender on shutdown; capacity handling comes from std).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        // std's sync_channel has a distinct sender type; emulate a
+        // plain channel and accept the relaxed capacity semantics —
+        // our single call site uses bounded(0) purely for disconnect.
+        let _ = cap;
+        unbounded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn multi_consumer_drains_everything() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || rx.iter().count())
+            })
+            .collect();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 100);
+    }
+}

@@ -1,0 +1,67 @@
+//! Minimal vendored stand-in for the `rayon` crate.
+//!
+//! The build container has no crates.io access. This shim maps the
+//! parallel-iterator entry points the workspace uses (`par_iter`,
+//! `par_chunks`, `par_chunks_mut`) onto ordinary serial iterators, so
+//! all call sites compile unchanged and stay deterministic. Real
+//! node-level parallelism in this workspace comes from
+//! `std::thread::scope` worker pools (see `celeste_sched::runtime`),
+//! which never went through rayon in the first place.
+
+pub mod prelude {
+    /// `par_iter` / `par_chunks` on shared slices (serial fallback).
+    pub trait ParallelSlice<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        #[inline]
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        #[inline]
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `par_chunks_mut` on mutable slices (serial fallback).
+    pub trait ParallelSliceMut<T> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        #[inline]
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = [1, 2, 3, 4];
+        let s: i32 = v.par_iter().map(|x| x * 2).sum();
+        assert_eq!(s, 20);
+    }
+
+    #[test]
+    fn par_chunks_zip_roundtrip() {
+        let mut dst = vec![0u32; 9];
+        let src: Vec<u32> = (0..9).collect();
+        dst.par_chunks_mut(3)
+            .zip(src.par_chunks(3))
+            .enumerate()
+            .for_each(|(i, (d, s))| {
+                for (a, b) in d.iter_mut().zip(s) {
+                    *a = b + i as u32;
+                }
+            });
+        assert_eq!(dst, vec![0, 1, 2, 4, 5, 6, 8, 9, 10]);
+    }
+}
