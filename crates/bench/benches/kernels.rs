@@ -59,6 +59,7 @@ fn bench_elbo(c: &mut Criterion) {
                 &sp.params,
                 &problem.blocks,
                 &mut scratch,
+                problem.cull_tol,
             ))
         })
     });
@@ -101,6 +102,7 @@ fn bench_elbo(c: &mut Criterion) {
                 &mut grad,
                 &mut hess,
                 &mut scratch,
+                problem.cull_tol,
             ))
         })
     });

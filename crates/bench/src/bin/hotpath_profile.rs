@@ -54,6 +54,12 @@ fn main() {
     let scene = celeste_bench::stripe82_scene(1, 25_000.0, 0xBE9C);
     let priors = ModelPriors::new(Priors::sdss_default());
     let refs: Vec<&Image> = scene.single_run.iter().collect();
+    // Culling-tolerance override for perf experiments
+    // (CELESTE_CULL_TOL=0 measures the exact kernel).
+    let cull_tol = std::env::var("CELESTE_CULL_TOL")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(FitConfig::default().cull_tol);
     let entry = scene
         .truth
         .entries
@@ -61,7 +67,10 @@ fn main() {
         .max_by(|a, b| a.flux_r_nmgy.partial_cmp(&b.flux_r_nmgy).unwrap())
         .expect("scene nonempty");
     let sp = SourceParams::init_from_entry(entry);
-    let cfg = FitConfig::default();
+    let cfg = FitConfig {
+        cull_tol,
+        ..FitConfig::default()
+    };
     let problem = celeste_core::SourceProblem::build(&sp, &refs, &[], &priors, &cfg);
     let pixels: usize = problem.blocks.iter().map(|b| b.pixels.len()).sum();
     assert!(pixels > 0, "profile scene has no active pixels");
@@ -70,10 +79,16 @@ fn main() {
         problem.blocks.len()
     );
 
-    // Value-only path (workspace form, as the optimizer runs it).
+    // Value-only path (workspace form, as the optimizer runs it,
+    // culling included).
     let mut lik_scratch = LikScratch::default();
     let value_s = time_per_call(40, 9, || {
-        likelihood_value_into(&sp.params, &problem.blocks, &mut lik_scratch)
+        likelihood_value_into(
+            &sp.params,
+            &problem.blocks,
+            &mut lik_scratch,
+            problem.cull_tol,
+        )
     });
 
     // Derivative path, dense baseline (pre-refactor accumulation).
@@ -95,6 +110,7 @@ fn main() {
             &mut grad,
             &mut hess,
             &mut lik_scratch,
+            problem.cull_tol,
         )
     });
 
@@ -127,8 +143,10 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write BENCH_hotpath.json");
     println!("{json}");
     eprintln!("wrote {out_path}");
-    if speedup < 1.5 {
-        eprintln!("WARNING: packed-vs-dense speedup {speedup:.3} is below the 1.5x acceptance bar");
+    // Gate raised from 1.5x after the culled, lane-batched, FMA-
+    // dispatched kernel landed >2x (PR 2).
+    if speedup < 1.8 {
+        eprintln!("WARNING: packed-vs-dense speedup {speedup:.3} is below the 1.8x acceptance bar");
         std::process::exit(2);
     }
 }

@@ -17,6 +17,23 @@
 //! matrices, trace contractions) are precomputed once per Newton
 //! iteration in [`PreparedStar`] / [`PreparedGalaxy`]; the per-pixel
 //! work is a handful of 2-vector contractions per mixture component.
+//!
+//! ## Component culling and lane batching
+//!
+//! Preparation also derives, per component, a *screening radius* in
+//! Mahalanobis units: a `qf_cut` such that whenever the pixel's
+//! quadratic form `qf = δᵀΣ⁻¹δ` exceeds it, the component's
+//! contribution to **every** output slot (value, gradient, Hessian) is
+//! below the configured culling tolerance (see [`cull_threshold`] for
+//! the bound). The per-pixel kernel then runs in passes over
+//! struct-of-arrays lanes: a branch-free madd loop computes all
+//! quadratic forms, survivors are gathered, `exp` is taken only for
+//! survivors, and the derivative assembly streams compact per-component
+//! blocks that carry just the fields the production kernel reads
+//! (~60 doubles instead of the full ~140-double prepared component).
+//! With tolerance 0 the cut degenerates to the hard `qf > 100` cutoff
+//! and the kernel agrees with [`PreparedGalaxy::eval_reference`] to
+//! 1e-12.
 
 use crate::params::sigmoid;
 use celeste_survey::galaxy::{dev_mixture, exp_mixture};
@@ -113,6 +130,134 @@ impl Sym2 {
     }
 }
 
+/// Hard Mahalanobis cutoff shared by every evaluation path: beyond
+/// `qf > QF_HARD_CUT` a component is `< e⁻⁵⁰` of its peak and is
+/// dropped even at culling tolerance zero (the frozen reference kernel
+/// applies the same cut).
+pub const QF_HARD_CUT: f64 = 100.0;
+
+/// Width of the fixed-size screening lanes: the per-pixel quadratic
+/// forms are computed in chunks of this many components so the madd
+/// loop runs branch-free over a compile-time-known width.
+pub const LANE: usize = 8;
+
+/// Fused-multiply-add strategy for the per-pixel kernels.
+///
+/// The production kernel is instantiated twice: once with plain
+/// `a*b + c` for the portable baseline, and once with
+/// [`f64::mul_add`] inside an `avx2,fma` target-feature function
+/// (where it compiles to a single `vfmadd` instead of a libm call).
+/// Dispatch happens per evaluation via cached CPU feature detection.
+/// The FMA form is at least as accurate as mul-then-add (one rounding
+/// instead of two), so both instantiations agree with the frozen
+/// reference kernel within the 1e-12 parity bar.
+trait Fma {
+    fn madd(a: f64, b: f64, c: f64) -> f64;
+}
+
+/// Plain multiply-then-add (portable baseline).
+struct ScalarMadd;
+
+impl Fma for ScalarMadd {
+    #[inline(always)]
+    fn madd(a: f64, b: f64, c: f64) -> f64 {
+        a * b + c
+    }
+}
+
+/// Hardware contraction; only instantiated inside `fma`-enabled
+/// target-feature functions.
+#[cfg(target_arch = "x86_64")]
+struct HwFma;
+
+#[cfg(target_arch = "x86_64")]
+impl Fma for HwFma {
+    #[inline(always)]
+    fn madd(a: f64, b: f64, c: f64) -> f64 {
+        a.mul_add(b, c)
+    }
+}
+
+/// The screening polynomial envelope `f(q) = (1+q)²·e^{−q/2}`:
+/// monotonically decreasing for `q ≥ 3` (its maximizer). Its log,
+/// `ln f(q) = 2·ln(1+q) − q/2`, is what the threshold solve uses;
+/// this direct form certifies the solve in tests.
+#[cfg_attr(not(test), allow(dead_code))]
+fn cull_envelope(q: f64) -> f64 {
+    (1.0 + q) * (1.0 + q) * (-0.5 * q).exp()
+}
+
+/// Smallest `q` at which [`cull_envelope`] is decreasing.
+const QF_CUT_FLOOR: f64 = 3.0;
+
+/// Solve for the per-component screening radius: the smallest
+/// `qf_cut ∈ [3, QF_HARD_CUT]` such that for every pixel with
+/// `qf > qf_cut`, the component's contribution to each output slot is
+/// at most `tol`.
+///
+/// The certified bound: every slot of the per-component (value,
+/// gradient, Hessian) contribution is at most
+///
+/// ```text
+/// amp · (1+qf)² · e^{−qf/2},   amp = wmax · norm · 2(1+cmax)²
+/// ```
+///
+/// where `wmax = max(|w|, |dw|, |d²w|)` and `cmax` majorizes the
+/// pixel-independent contraction norms (‖JᵀΣ⁻¹‖/√λ_min for the
+/// position gradient, ½‖dΣ‖·λ_max + |tr| for shape gradients, and the
+/// corresponding Hessian-block norms), using `‖δ‖ ≤ √(qf/λ_min)` and
+/// `‖Σ⁻¹δ‖² ≤ λ_max·qf`. Every kernel slot is a sum of at most two
+/// products of factors individually bounded by `(1+cmax)(1+qf)` —
+/// hence the leading 2. Since the envelope decreases beyond its
+/// maximizer at `qf = 3`, holding the bound at `qf_cut` holds it for
+/// the whole culled tail, so an evaluation at tolerance `tol` differs
+/// from the zero-tolerance evaluation by at most `tol` per culled
+/// component — `comps · tol` in total — in every output slot.
+fn cull_threshold(tol: f64, wmax: f64, norm: f64, cmax: f64) -> f64 {
+    if tol <= 0.0 {
+        return QF_HARD_CUT;
+    }
+    let amp = wmax * norm * 2.0 * (1.0 + cmax) * (1.0 + cmax);
+    if amp <= 0.0 {
+        // The component contributes nothing anywhere.
+        return QF_CUT_FLOOR;
+    }
+    // Solve ln f(q) = −ln(amp/tol), i.e. q/2 − 2·ln(1+q) = L, entirely
+    // in log space (preparation runs once per component per Newton
+    // iteration; a transcendental-heavy bisection here was measurable).
+    let l = (amp / tol).ln();
+    if l <= 0.5 * QF_CUT_FLOOR - 2.0 * (1.0 + QF_CUT_FLOOR).ln() {
+        return QF_CUT_FLOOR;
+    }
+    if l >= 0.5 * QF_HARD_CUT - 2.0 * (1.0 + QF_HARD_CUT).ln() {
+        return QF_HARD_CUT;
+    }
+    // Fixed point q ← 2L + 4·ln(1+q): a contraction (derivative
+    // 4/(1+q) < 1 beyond the floor) converging monotonically up to the
+    // root from q₀ = 2L ≤ q*.
+    let mut q = (2.0 * l).clamp(QF_CUT_FLOOR, QF_HARD_CUT);
+    for _ in 0..4 {
+        q = (2.0 * l + 4.0 * (1.0 + q).ln()).min(QF_HARD_CUT);
+    }
+    // The iterate approaches from below (f(q) ≥ tol/amp side); walk
+    // onto the certified side, verified in log space. The envelope is
+    // monotone here and the walk is capped at the hard cut, so this
+    // terminates; near small roots (amp ≲ tol) the fixed point
+    // converges slowly and several steps may be needed.
+    while 2.0 * (1.0 + q).ln() - 0.5 * q > -l && q < QF_HARD_CUT {
+        q = (q + 0.05).min(QF_HARD_CUT);
+    }
+    q
+}
+
+fn frob_sym(s: &Sym2) -> f64 {
+    (s.xx * s.xx + 2.0 * s.xy * s.xy + s.yy * s.yy).sqrt()
+}
+
+fn frob_2x2(a: &[[f64; 2]; 2]) -> f64 {
+    (a[0][0] * a[0][0] + a[0][1] * a[0][1] + a[1][0] * a[1][0] + a[1][1] * a[1][1]).sqrt()
+}
+
 /// One prepared mixture component: everything pixel-independent.
 #[derive(Debug, Clone)]
 struct PreparedComp {
@@ -150,6 +295,9 @@ struct PreparedComp {
     hq: [[Sym2; 3]; 3],
     /// Matching constant part: `cross_tr − tr_md2s` per (s, s′).
     hc: [[f64; 3]; 3],
+    /// Screening radius in Mahalanobis units: pixels with
+    /// `qf > qf_cut` skip this component entirely ([`cull_threshold`]).
+    qf_cut: f64,
 }
 
 fn invert(cov: &Cov2) -> (Sym2, f64) {
@@ -191,6 +339,7 @@ fn congruence(a: &Sym2, j: &[[f64; 2]; 2]) -> Sym2 {
     Sym2::from_cov(&c)
 }
 
+#[allow(clippy::too_many_arguments)] // internal constructor mirroring the math
 fn prepare_comp(
     weight: f64,
     dw_fd: f64,
@@ -199,6 +348,7 @@ fn prepare_comp(
     jac: &[[f64; 2]; 2],
     dsig: [Sym2; 3],
     d2sig: [[Sym2; 3]; 3],
+    cull_tol: f64,
 ) -> PreparedComp {
     let (m, det) = invert(&cov);
     let norm = 1.0 / (std::f64::consts::TAU * det.sqrt());
@@ -246,6 +396,29 @@ fn prepare_comp(
             hc[s][s2] = cross_tr[s][s2] - tr_md2s[s][s2];
         }
     }
+    // Screening radius: majorize every pixel-dependent contraction
+    // (see `cull_threshold` for the certified bound).
+    let qf_cut = if cull_tol <= 0.0 {
+        QF_HARD_CUT
+    } else {
+        let tr = m.xx + m.yy;
+        let disc = (0.25 * tr * tr - (m.xx * m.yy - m.xy * m.xy))
+            .max(0.0)
+            .sqrt();
+        let lam_max = (0.5 * tr + disc).max(f64::MIN_POSITIVE);
+        let lam_min = ((m.xx * m.yy - m.xy * m.xy) / lam_max).max(f64::MIN_POSITIVE);
+        let mut cmax = frob_2x2(&jt_m) / lam_min.sqrt();
+        cmax = cmax.max(frob_2x2(&huu));
+        for s in 0..3 {
+            cmax = cmax.max(0.5 * frob_sym(&dsig[s]) * lam_max + tr_mds[s].abs());
+            cmax = cmax.max(frob_2x2(&ku[s]) * lam_max.sqrt());
+            for s2 in 0..3 {
+                cmax = cmax.max(frob_sym(&hq[s][s2]) * lam_max + hc[s][s2].abs());
+            }
+        }
+        let wmax = weight.abs().max(dw_fd.abs()).max(d2w_fd.abs());
+        cull_threshold(cull_tol, wmax, norm, cmax)
+    };
     PreparedComp {
         weight,
         dw_fd,
@@ -263,6 +436,100 @@ fn prepare_comp(
         ku,
         hq,
         hc,
+        qf_cut,
+    }
+}
+
+/// The compact per-component block the production kernel streams:
+/// only the fields the derivative assembly reads, position-block
+/// fields first so the star path (no shape) touches the fewest cache
+/// lines. Shape-pair tables (`hq`, `hc`) store the lower triangle of
+/// (s, s′) at index `s(s+1)/2 + s′`.
+#[derive(Debug, Clone, Copy, Default)]
+struct EvalBlock {
+    /// Σ⁻¹ as (xx, xy, yy).
+    m: [f64; 3],
+    /// weight × norm (the exp coefficient).
+    wn: f64,
+    /// Jᵀ Σ⁻¹, row-major.
+    jt_m: [f64; 4],
+    /// −JᵀΣ⁻¹J lower triangle (00, 10, 11).
+    huu: [f64; 3],
+    /// dw_fd × norm and d²w_fd × norm (mixing-weight slot).
+    dwn: f64,
+    d2wn: f64,
+    tr_mds: [f64; 3],
+    /// ½·dΣ_s prefolded as (½xx, xy, ½yy) per shape slot, so the gs
+    /// quadratic form over (h₀², h₀h₁, h₁²) needs no scaling (the ½
+    /// and the cross-term 2 are powers of two: folding is exact).
+    dsig: [[f64; 3]; 3],
+    /// Jᵀ Σ⁻¹ dΣ_s, row-major, per shape slot.
+    ku: [[f64; 4]; 3],
+    /// hq prefolded as (xx, 2xy, yy) — same exact power-of-two fold.
+    hq: [[f64; 3]; 6],
+    hc: [f64; 6],
+}
+
+impl EvalBlock {
+    fn from_comp(c: &PreparedComp) -> EvalBlock {
+        let mut b = EvalBlock {
+            m: [c.m.xx, c.m.xy, c.m.yy],
+            wn: c.weight * c.norm,
+            jt_m: [c.jt_m[0][0], c.jt_m[0][1], c.jt_m[1][0], c.jt_m[1][1]],
+            huu: [c.huu[0][0], c.huu[1][0], c.huu[1][1]],
+            dwn: c.dw_fd * c.norm,
+            d2wn: c.d2w_fd * c.norm,
+            tr_mds: c.tr_mds,
+            ..EvalBlock::default()
+        };
+        for s in 0..3 {
+            b.dsig[s] = [0.5 * c.dsig[s].xx, c.dsig[s].xy, 0.5 * c.dsig[s].yy];
+            b.ku[s] = [c.ku[s][0][0], c.ku[s][0][1], c.ku[s][1][0], c.ku[s][1][1]];
+            for s2 in 0..=s {
+                let p = s * (s + 1) / 2 + s2;
+                b.hq[p] = [c.hq[s][s2].xx, 2.0 * c.hq[s][s2].xy, c.hq[s][s2].yy];
+                b.hc[p] = c.hc[s][s2];
+            }
+        }
+        b
+    }
+}
+
+/// Struct-of-arrays screening lanes plus the per-component eval
+/// blocks. The SoA part (`mxx/mxy/myy/qf_cut/wn`) feeds the
+/// branch-free quadratic-form and value loops; `blocks` is streamed
+/// only for components that survive the cull. Buffers are reused
+/// across re-preparations (the zero-allocation hot loop).
+#[derive(Debug, Clone, Default)]
+struct Lanes {
+    mxx: Vec<f64>,
+    mxy: Vec<f64>,
+    myy: Vec<f64>,
+    qf_cut: Vec<f64>,
+    wn: Vec<f64>,
+    blocks: Vec<EvalBlock>,
+}
+
+impl Lanes {
+    fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    fn rebuild(&mut self, comps: &[PreparedComp]) {
+        self.mxx.clear();
+        self.mxy.clear();
+        self.myy.clear();
+        self.qf_cut.clear();
+        self.wn.clear();
+        self.blocks.clear();
+        for c in comps {
+            self.mxx.push(c.m.xx);
+            self.mxy.push(c.m.xy);
+            self.myy.push(c.m.yy);
+            self.qf_cut.push(c.qf_cut);
+            self.wn.push(c.weight * c.norm);
+            self.blocks.push(EvalBlock::from_comp(c));
+        }
     }
 }
 
@@ -270,6 +537,7 @@ fn prepare_comp(
 #[derive(Debug, Clone)]
 pub struct PreparedStar {
     comps: Vec<PreparedComp>,
+    lanes: Lanes,
     /// Source center in pixel coordinates (anchor + J·u already applied).
     center: [f64; 2],
 }
@@ -279,6 +547,7 @@ pub struct PreparedStar {
 #[derive(Debug, Clone)]
 pub struct PreparedGalaxy {
     comps: Vec<PreparedComp>,
+    lanes: Lanes,
     center: [f64; 2],
 }
 
@@ -365,28 +634,33 @@ impl Default for PreparedStar {
     fn default() -> Self {
         PreparedStar {
             comps: Vec::new(),
+            lanes: Lanes::default(),
             center: [0.0; 2],
         }
     }
 }
 
 impl PreparedStar {
-    /// Prepare a star appearance: `center0` is the anchor position in
-    /// pixels, `u_arcsec` the current offset, `jac` maps arcsec → px.
+    /// Prepare a star appearance at culling tolerance zero: `center0`
+    /// is the anchor position in pixels, `u_arcsec` the current
+    /// offset, `jac` maps arcsec → px.
     pub fn new(psf: &Psf, center0: [f64; 2], u_arcsec: [f64; 2], jac: &[[f64; 2]; 2]) -> Self {
         let mut out = PreparedStar::default();
-        out.prepare(psf, center0, u_arcsec, jac);
+        out.prepare(psf, center0, u_arcsec, jac, 0.0);
         out
     }
 
-    /// Refill in place, reusing the component buffer's allocation
+    /// Refill in place, reusing the component buffers' allocations
     /// (the per-evaluation path of the zero-allocation hot loop).
+    /// `cull_tol` bounds the per-component, per-slot error of skipping
+    /// distant components; 0 disables culling beyond the hard cutoff.
     pub fn prepare(
         &mut self,
         psf: &Psf,
         center0: [f64; 2],
         u_arcsec: [f64; 2],
         jac: &[[f64; 2]; 2],
+        cull_tol: f64,
     ) {
         self.center = apply_offset(center0, u_arcsec, jac);
         self.comps.clear();
@@ -399,13 +673,21 @@ impl PreparedStar {
                 jac,
                 [Sym2::default(); 3],
                 [[Sym2::default(); 3]; 3],
+                cull_tol,
             )
         }));
+        self.lanes.rebuild(&self.comps);
+    }
+
+    /// Number of prepared mixture components (sizes the advertised
+    /// culling error bound `comps × tol`).
+    pub fn n_comps(&self) -> usize {
+        self.comps.len()
     }
 
     /// Evaluate value/gradient/Hessian at a pixel center.
     pub fn eval(&self, px: f64, py: f64) -> GeoEval {
-        eval_prepared(&self.comps, self.center, px, py, false)
+        eval_lanes(&self.lanes, self.center, px, py, false)
     }
 
     /// The frozen pre-refactor kernel (parity/benchmark reference).
@@ -416,7 +698,7 @@ impl PreparedStar {
     /// Value-only evaluation (trust-region trial points): no derivative
     /// assembly, roughly 4× cheaper per pixel.
     pub fn eval_value(&self, px: f64, py: f64) -> f64 {
-        eval_value_prepared(&self.comps, self.center, px, py)
+        eval_value_lanes(&self.lanes, self.center, px, py)
     }
 }
 
@@ -425,13 +707,15 @@ impl Default for PreparedGalaxy {
     fn default() -> Self {
         PreparedGalaxy {
             comps: Vec::new(),
+            lanes: Lanes::default(),
             center: [0.0; 2],
         }
     }
 }
 
 impl PreparedGalaxy {
-    /// Prepare a galaxy appearance for the current shape parameters.
+    /// Prepare a galaxy appearance for the current shape parameters at
+    /// culling tolerance zero.
     pub fn new(
         psf: &Psf,
         geo: &GalaxyGeo,
@@ -440,12 +724,14 @@ impl PreparedGalaxy {
         jac: &[[f64; 2]; 2],
     ) -> Self {
         let mut out = PreparedGalaxy::default();
-        out.prepare(psf, geo, center0, u_arcsec, jac);
+        out.prepare(psf, geo, center0, u_arcsec, jac, 0.0);
         out
     }
 
-    /// Refill in place, reusing the component buffer's allocation
+    /// Refill in place, reusing the component buffers' allocations
     /// (the per-evaluation path of the zero-allocation hot loop).
+    /// `cull_tol` bounds the per-component, per-slot error of skipping
+    /// distant components; 0 disables culling beyond the hard cutoff.
     pub fn prepare(
         &mut self,
         psf: &Psf,
@@ -453,6 +739,7 @@ impl PreparedGalaxy {
         center0: [f64; 2],
         u_arcsec: [f64; 2],
         jac: &[[f64; 2]; 2],
+        cull_tol: f64,
     ) {
         let center = apply_offset(center0, u_arcsec, jac);
         let fd = sigmoid(geo.fd_logit);
@@ -508,15 +795,23 @@ impl PreparedGalaxy {
                     jac,
                     d1_pix,
                     d2_pix,
+                    cull_tol,
                 ));
             }
         }
+        self.lanes.rebuild(&self.comps);
         self.center = center;
+    }
+
+    /// Number of prepared mixture components (sizes the advertised
+    /// culling error bound `comps × tol`).
+    pub fn n_comps(&self) -> usize {
+        self.comps.len()
     }
 
     /// Evaluate value/gradient/Hessian at a pixel center.
     pub fn eval(&self, px: f64, py: f64) -> GeoEval {
-        eval_prepared(&self.comps, self.center, px, py, true)
+        eval_lanes(&self.lanes, self.center, px, py, true)
     }
 
     /// The frozen pre-refactor kernel (parity/benchmark reference).
@@ -526,7 +821,7 @@ impl PreparedGalaxy {
 
     /// Value-only evaluation (trust-region trial points).
     pub fn eval_value(&self, px: f64, py: f64) -> f64 {
-        eval_value_prepared(&self.comps, self.center, px, py)
+        eval_value_lanes(&self.lanes, self.center, px, py)
     }
 }
 
@@ -537,89 +832,119 @@ fn apply_offset(center0: [f64; 2], u: [f64; 2], jac: &[[f64; 2]; 2]) -> [f64; 2]
     ]
 }
 
+/// Screening pass shared by the value and derivative kernels: compute
+/// the Mahalanobis quadratic forms for one fixed-width chunk of SoA
+/// lanes. The loop body is branch-free madds over a compile-time
+/// width, so it autovectorizes; lanes past `w` are left at +∞ and can
+/// never pass a screening cut.
+#[inline(always)]
+fn chunk_qf<F: Fma>(
+    lanes: &Lanes,
+    base: usize,
+    w: usize,
+    dxx: f64,
+    dxy2: f64,
+    dyy: f64,
+) -> [f64; LANE] {
+    let mut qf = [f64::INFINITY; LANE];
+    let mxx = &lanes.mxx[base..base + w];
+    let mxy = &lanes.mxy[base..base + w];
+    let myy = &lanes.myy[base..base + w];
+    for j in 0..w {
+        qf[j] = F::madd(mxx[j], dxx, F::madd(mxy[j], dxy2, myy[j] * dyy));
+    }
+    qf
+}
+
 /// Value-only per-pixel kernel: Σ w·N with no derivative assembly.
-fn eval_value_prepared(comps: &[PreparedComp], center: [f64; 2], px: f64, py: f64) -> f64 {
-    let delta = [px - center[0], py - center[1]];
+/// Touches only the SoA lanes (never the derivative blocks). Always
+/// the portable instantiation: the value path is a handful of madds
+/// plus one `exp` per survivor, too light for the FMA dispatch to pay
+/// for its call overhead (measured).
+fn eval_value_lanes(lanes: &Lanes, center: [f64; 2], px: f64, py: f64) -> f64 {
+    eval_value_lanes_impl::<ScalarMadd>(lanes, center, px, py)
+}
+
+#[inline(always)]
+fn eval_value_lanes_impl<F: Fma>(lanes: &Lanes, center: [f64; 2], px: f64, py: f64) -> f64 {
+    let (dx, dy) = (px - center[0], py - center[1]);
+    let (dxx, dxy2, dyy) = (dx * dx, 2.0 * dx * dy, dy * dy);
+    let n = lanes.len();
     let mut total = 0.0;
-    for c in comps {
-        let h = c.m.mv(delta);
-        let qf = delta[0] * h[0] + delta[1] * h[1];
-        if qf > 100.0 {
-            continue;
+    let mut base = 0;
+    while base < n {
+        let w = (n - base).min(LANE);
+        let qf = chunk_qf::<F>(lanes, base, w, dxx, dxy2, dyy);
+        let cut = &lanes.qf_cut[base..base + w];
+        let wn = &lanes.wn[base..base + w];
+        for j in 0..w {
+            if qf[j] <= cut[j] {
+                total = F::madd(wn[j], (-0.5 * qf[j]).exp(), total);
+            }
         }
-        total += c.weight * c.norm * (-0.5 * qf).exp();
+        base += LANE;
     }
     total
 }
 
-/// The shared per-pixel kernel. Slots: [u0, u1, fd, axis, angle, lr].
+/// The production per-pixel kernel. Slots: [u0, u1, fd, axis, angle, lr].
 ///
-/// Exploits two structural facts the reference kernel leaves on the
-/// table: the lnN Hessian is symmetric (only the lower triangle is
-/// accumulated per component, mirrored once per pixel), and the
-/// fd-logit slot (2) carries no lnN derivative at all — it enters
-/// only through the mixing-weight terms — so the main accumulation
-/// skips its row and column entirely.
-fn eval_prepared(
-    comps: &[PreparedComp],
+/// Runs in passes: the lane screening cull ([`screen_lanes`]) drops
+/// components outside their screening radius before any `exp` is
+/// taken, `exp` is batched over the survivors, and the derivative
+/// assembly streams the compact [`EvalBlock`]s. The assembly exploits
+/// two structural facts the reference kernel leaves on the table: the
+/// lnN Hessian is symmetric (only the lower triangle is accumulated
+/// per component, mirrored once per pixel), and the fd-logit slot (2)
+/// carries no lnN derivative at all — it enters only through the
+/// mixing-weight terms — so the main accumulation skips its row and
+/// column entirely.
+fn eval_lanes(lanes: &Lanes, center: [f64; 2], px: f64, py: f64, with_shape: bool) -> GeoEval {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        // SAFETY: feature presence checked at runtime.
+        return unsafe { eval_lanes_fma(lanes, center, px, py, with_shape) };
+    }
+    eval_lanes_impl::<ScalarMadd>(lanes, center, px, py, with_shape)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn eval_lanes_fma(
+    lanes: &Lanes,
+    center: [f64; 2],
+    px: f64,
+    py: f64,
+    with_shape: bool,
+) -> GeoEval {
+    eval_lanes_impl::<HwFma>(lanes, center, px, py, with_shape)
+}
+
+#[inline(always)]
+fn eval_lanes_impl<F: Fma>(
+    lanes: &Lanes,
     center: [f64; 2],
     px: f64,
     py: f64,
     with_shape: bool,
 ) -> GeoEval {
     let mut out = GeoEval::zero();
-    let delta = [px - center[0], py - center[1]];
-    for c in comps {
-        let h = c.m.mv(delta);
-        let qf = delta[0] * h[0] + delta[1] * h[1];
-        if qf > 100.0 {
-            continue; // < e⁻⁵⁰ of peak: numerically zero
-        }
-        let n = c.norm * (-0.5 * qf).exp();
-        let wn = c.weight * n;
-
-        // lnN gradient: gu = Jᵀ h; gs per shape.
-        let g0 = c.jt_m[0][0] * delta[0] + c.jt_m[0][1] * delta[1];
-        let g1 = c.jt_m[1][0] * delta[0] + c.jt_m[1][1] * delta[1];
-        out.val += wn;
-        out.grad[0] += wn * g0;
-        out.grad[1] += wn * g1;
-
-        // u-block (lower triangle): wn·(g gᵀ + ∂²lnN/∂u²).
-        out.hess[0][0] += wn * (g0 * g0 + c.huu[0][0]);
-        out.hess[1][0] += wn * (g1 * g0 + c.huu[1][0]);
-        out.hess[1][1] += wn * (g1 * g1 + c.huu[1][1]);
-        if !with_shape {
-            continue;
-        }
-
-        let mut gs = [0.0; 3];
-        for s in 0..3 {
-            gs[s] = 0.5 * c.dsig[s].quad(h) - c.tr_mds[s];
-            out.grad[3 + s] += wn * gs[s];
-        }
-        for s in 0..3 {
-            // ∂²lnN/∂u∂s = −(Jᵀ M dΣ_s) h; rows 3+s, cols 0..1.
-            let v0 = -(c.ku[s][0][0] * h[0] + c.ku[s][0][1] * h[1]);
-            let v1 = -(c.ku[s][1][0] * h[0] + c.ku[s][1][1] * h[1]);
-            out.hess[3 + s][0] += wn * (gs[s] * g0 + v0);
-            out.hess[3 + s][1] += wn * (gs[s] * g1 + v1);
-            for s2 in 0..=s {
-                // One precombined quad form: ½ hᵀd²Σh − hᵀ(dΣMdΣ′)h.
-                let second = c.hq[s][s2].quad(h) + c.hc[s][s2];
-                out.hess[3 + s][3 + s2] += wn * (gs[s] * gs[s2] + second);
+    let (dx, dy) = (px - center[0], py - center[1]);
+    let (dxx, dxy2, dyy) = (dx * dx, 2.0 * dx * dy, dy * dy);
+    let n = lanes.len();
+    let mut base = 0;
+    while base < n {
+        let w = (n - base).min(LANE);
+        let qf = chunk_qf::<F>(lanes, base, w, dxx, dxy2, dyy);
+        let cut = &lanes.qf_cut[base..base + w];
+        for j in 0..w {
+            if qf[j] > cut[j] {
+                continue;
             }
+            let e = (-0.5 * qf[j]).exp();
+            eval_block::<F>(&lanes.blocks[base + j], e, dx, dy, with_shape, &mut out);
         }
-
-        // Mixing-weight (fd) terms: row/col 2.
-        let dwn = c.dw_fd * n;
-        out.grad[2] += dwn;
-        out.hess[2][2] += c.d2w_fd * n;
-        out.hess[2][0] += dwn * g0;
-        out.hess[2][1] += dwn * g1;
-        for s in 0..3 {
-            out.hess[3 + s][2] += dwn * gs[s];
-        }
+        base += LANE;
     }
     // Mirror the accumulated lower triangle once per pixel.
     for i in 0..GEO {
@@ -630,9 +955,89 @@ fn eval_prepared(
     out
 }
 
+/// Derivative assembly for one surviving component (`e` is its
+/// normalized exponential). Accumulates the lower triangle only; the
+/// caller mirrors once per pixel. Force-inlined so the accumulator
+/// slots stay in registers across the survivor loop and the madds
+/// contract under the FMA instantiation.
+#[inline(always)]
+fn eval_block<F: Fma>(
+    b: &EvalBlock,
+    e: f64,
+    dx: f64,
+    dy: f64,
+    with_shape: bool,
+    out: &mut GeoEval,
+) {
+    let h0 = F::madd(b.m[0], dx, b.m[1] * dy);
+    let h1 = F::madd(b.m[1], dx, b.m[2] * dy);
+    let wn = b.wn * e;
+
+    // lnN gradient: gu = Jᵀ h; gs per shape.
+    let g0 = F::madd(b.jt_m[0], dx, b.jt_m[1] * dy);
+    let g1 = F::madd(b.jt_m[2], dx, b.jt_m[3] * dy);
+    out.val += wn;
+    out.grad[0] = F::madd(wn, g0, out.grad[0]);
+    out.grad[1] = F::madd(wn, g1, out.grad[1]);
+
+    // u-block (lower triangle): wn·(g gᵀ + ∂²lnN/∂u²).
+    out.hess[0][0] = F::madd(wn, F::madd(g0, g0, b.huu[0]), out.hess[0][0]);
+    out.hess[1][0] = F::madd(wn, F::madd(g1, g0, b.huu[1]), out.hess[1][0]);
+    out.hess[1][1] = F::madd(wn, F::madd(g1, g1, b.huu[2]), out.hess[1][1]);
+    if !with_shape {
+        return;
+    }
+
+    let h00 = h0 * h0;
+    let h01 = h0 * h1;
+    let h11 = h1 * h1;
+    let mut gs = [0.0; 3];
+    for s in 0..3 {
+        // dsig is prefolded: the quad over (h00, h01, h11) IS ½hᵀdΣh.
+        let d = &b.dsig[s];
+        gs[s] = F::madd(
+            d[0],
+            h00,
+            F::madd(d[1], h01, F::madd(d[2], h11, -b.tr_mds[s])),
+        );
+        out.grad[3 + s] = F::madd(wn, gs[s], out.grad[3 + s]);
+    }
+    for s in 0..3 {
+        // ∂²lnN/∂u∂s = −(Jᵀ M dΣ_s) h; rows 3+s, cols 0..1.
+        let k = &b.ku[s];
+        let v0 = -F::madd(k[0], h0, k[1] * h1);
+        let v1 = -F::madd(k[2], h0, k[3] * h1);
+        out.hess[3 + s][0] = F::madd(wn, F::madd(gs[s], g0, v0), out.hess[3 + s][0]);
+        out.hess[3 + s][1] = F::madd(wn, F::madd(gs[s], g1, v1), out.hess[3 + s][1]);
+        for s2 in 0..=s {
+            // One precombined, prefolded quad form:
+            // ½ hᵀd²Σh − hᵀ(dΣMdΣ′)h + const.
+            let p = s * (s + 1) / 2 + s2;
+            let hq = &b.hq[p];
+            let second = F::madd(
+                hq[0],
+                h00,
+                F::madd(hq[1], h01, F::madd(hq[2], h11, b.hc[p])),
+            );
+            out.hess[3 + s][3 + s2] =
+                F::madd(wn, F::madd(gs[s], gs[s2], second), out.hess[3 + s][3 + s2]);
+        }
+    }
+
+    // Mixing-weight (fd) terms: row/col 2.
+    let dwn = b.dwn * e;
+    out.grad[2] += dwn;
+    out.hess[2][2] = F::madd(b.d2wn, e, out.hess[2][2]);
+    out.hess[2][0] = F::madd(dwn, g0, out.hess[2][0]);
+    out.hess[2][1] = F::madd(dwn, g1, out.hess[2][1]);
+    for s in 0..3 {
+        out.hess[3 + s][2] = F::madd(dwn, gs[s], out.hess[3 + s][2]);
+    }
+}
+
 /// The pre-refactor per-pixel kernel, frozen verbatim as the parity
-/// and benchmark reference for the symmetry-aware [`eval_prepared`].
-/// Reached through [`PreparedStar::eval_reference`] /
+/// and benchmark reference for the culled, lane-batched
+/// [`eval_lanes`]. Reached through [`PreparedStar::eval_reference`] /
 /// [`PreparedGalaxy::eval_reference`]; not for production use.
 fn eval_prepared_reference(
     comps: &[PreparedComp],
@@ -906,6 +1311,67 @@ mod tests {
             }
         }
         assert!((total - 1.0).abs() < 0.02, "total {total}");
+    }
+
+    #[test]
+    fn cull_threshold_is_on_certified_side() {
+        // The log-space fixed-point solve must land where the envelope
+        // bound is at or below the tolerance (culling never exceeds
+        // the advertised per-component error), across many scales.
+        for &tol in &[1e-14, 1e-12, 1e-9, 1e-6, 1e-3] {
+            for &amp_parts in &[(1.0, 0.1, 0.5), (0.02, 0.15, 8.0), (1e-4, 2.0, 120.0)] {
+                let (wmax, norm, cmax) = amp_parts;
+                let cut = cull_threshold(tol, wmax, norm, cmax);
+                assert!((QF_CUT_FLOOR..=QF_HARD_CUT).contains(&cut), "cut {cut}");
+                let amp = wmax * norm * 2.0 * (1.0 + cmax) * (1.0 + cmax);
+                if cut < QF_HARD_CUT {
+                    assert!(
+                        amp * cull_envelope(cut) <= tol * (1.0 + 1e-9),
+                        "tol {tol}, amp {amp}: envelope {} at cut {cut} exceeds tol",
+                        amp * cull_envelope(cut)
+                    );
+                }
+            }
+            // Sweep amp/tol densely across [~0, 10], in particular the
+            // sub-1 band where the fixed-point root sits near the
+            // floor and converges slowly — the regime where a bounded
+            // nudge loop once returned an uncertified radius.
+            for i in 1..=200 {
+                let ratio = 0.05 * i as f64;
+                let wmax = ratio * tol / 2.0; // norm = 1, cmax = 0
+                let cut = cull_threshold(tol, wmax, 1.0, 0.0);
+                assert!((QF_CUT_FLOOR..=QF_HARD_CUT).contains(&cut), "cut {cut}");
+                if cut < QF_HARD_CUT {
+                    let amp = 2.0 * wmax;
+                    assert!(
+                        amp * cull_envelope(cut) <= tol * (1.0 + 1e-9),
+                        "tol {tol}, amp/tol {ratio}: envelope {} at cut {cut} exceeds tol",
+                        amp * cull_envelope(cut)
+                    );
+                }
+            }
+        }
+        // Zero tolerance degenerates to the hard cutoff.
+        assert_eq!(cull_threshold(0.0, 1.0, 1.0, 1.0), QF_HARD_CUT);
+    }
+
+    #[test]
+    fn culled_star_eval_matches_reference_exactly_at_zero_tol() {
+        let psf = Psf::core_halo(1.3);
+        let prep = PreparedStar::new(&psf, [10.0, 12.0], [0.1, -0.2], &JAC);
+        for &(x, y) in &[(10.5, 12.5), (14.0, 9.0), (30.0, 30.0)] {
+            let a = prep.eval(x, y);
+            let b = prep.eval_reference(x, y);
+            assert!((a.val - b.val).abs() <= 1e-12 * (1.0 + b.val.abs()));
+            for i in 0..GEO {
+                assert!((a.grad[i] - b.grad[i]).abs() <= 1e-12 * (1.0 + b.grad[i].abs()));
+                for j in 0..GEO {
+                    assert!(
+                        (a.hess[i][j] - b.hess[i][j]).abs() <= 1e-12 * (1.0 + b.hess[i][j].abs())
+                    );
+                }
+            }
+        }
     }
 
     #[test]

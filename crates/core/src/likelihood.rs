@@ -137,14 +137,17 @@ pub struct LikScratch {
 /// value. Also bumps the active-pixel-visit counter.
 ///
 /// This is the production kernel: packed lower-triangle Hessian
-/// accumulation, hoisted per-block invariants, and no heap allocation
-/// (given a warmed-up `scratch`).
+/// accumulation, hoisted per-block invariants, component culling in
+/// the geometry kernel at `cull_tol` (0 = exact; see
+/// [`crate::bvn`]'s culling notes for the advertised error bound),
+/// and no heap allocation (given a warmed-up `scratch`).
 pub fn add_likelihood_into(
     params: &[f64; NUM_PARAMS],
     blocks: &[ImageBlock],
     grad: &mut [f64; NUM_PARAMS],
     hess: &mut Mat,
     scratch: &mut LikScratch,
+    cull_tol: f64,
 ) -> f64 {
     let map = lik_param_ids();
     let mut value = 0.0;
@@ -158,10 +161,15 @@ pub fn add_likelihood_into(
     for block in blocks {
         scratch
             .star
-            .prepare(&block.psf, block.center0, u, &block.jac);
-        scratch
-            .gal
-            .prepare(&block.psf, &geo_params, block.center0, u, &block.jac);
+            .prepare(&block.psf, block.center0, u, &block.jac, cull_tol);
+        scratch.gal.prepare(
+            &block.psf,
+            &geo_params,
+            block.center0,
+            u,
+            &block.jac,
+            cull_tol,
+        );
         let moments = [
             flux_moments(params, 0, block.band),
             flux_moments(params, 1, block.band),
@@ -390,7 +398,8 @@ pub fn add_likelihood_into(
 }
 
 /// Compatibility wrapper over [`add_likelihood_into`] that allocates
-/// fresh scratch per call. Prefer the `_into` form on hot paths.
+/// fresh scratch per call and evaluates exactly (culling tolerance
+/// zero). Prefer the `_into` form on hot paths.
 pub fn add_likelihood(
     params: &[f64; NUM_PARAMS],
     blocks: &[ImageBlock],
@@ -398,7 +407,7 @@ pub fn add_likelihood(
     hess: &mut Mat,
 ) -> f64 {
     let mut scratch = LikScratch::default();
-    add_likelihood_into(params, blocks, grad, hess, &mut scratch)
+    add_likelihood_into(params, blocks, grad, hess, &mut scratch, 0.0)
 }
 
 /// The pre-refactor dense accumulation: fills all NL×NL slots of the
@@ -585,19 +594,22 @@ pub fn add_likelihood_dense(
 }
 
 /// Value-only likelihood (used for trust-region trial points).
-/// Allocates fresh scratch per call; hot paths use
-/// [`likelihood_value_into`]. Also bumps the active-pixel-visit
+/// Allocates fresh scratch per call and evaluates exactly; hot paths
+/// use [`likelihood_value_into`]. Also bumps the active-pixel-visit
 /// counter.
 pub fn likelihood_value(params: &[f64; NUM_PARAMS], blocks: &[ImageBlock]) -> f64 {
     let mut scratch = LikScratch::default();
-    likelihood_value_into(params, blocks, &mut scratch)
+    likelihood_value_into(params, blocks, &mut scratch, 0.0)
 }
 
-/// Value-only likelihood with caller-owned scratch (no allocation).
+/// Value-only likelihood with caller-owned scratch (no allocation)
+/// and component culling at `cull_tol` (must match the derivative
+/// path's tolerance so trust-region ratios compare like with like).
 pub fn likelihood_value_into(
     params: &[f64; NUM_PARAMS],
     blocks: &[ImageBlock],
     scratch: &mut LikScratch,
+    cull_tol: f64,
 ) -> f64 {
     let u = [params[ids::U[0]], params[ids::U[1]]];
     let w = [type_weight(params, 0).val, type_weight(params, 1).val];
@@ -606,10 +618,15 @@ pub fn likelihood_value_into(
     for block in blocks {
         scratch
             .star
-            .prepare(&block.psf, block.center0, u, &block.jac);
-        scratch
-            .gal
-            .prepare(&block.psf, &geo_params, block.center0, u, &block.jac);
+            .prepare(&block.psf, block.center0, u, &block.jac, cull_tol);
+        scratch.gal.prepare(
+            &block.psf,
+            &geo_params,
+            block.center0,
+            u,
+            &block.jac,
+            cull_tol,
+        );
         let moments = [
             flux_moments(params, 0, block.band),
             flux_moments(params, 1, block.band),
@@ -721,7 +738,7 @@ mod tests {
         let v2 = likelihood_value(&p, &blocks);
         assert!((v1 - v2).abs() < 1e-9 * (1.0 + v1.abs()), "{v1} vs {v2}");
         let mut scratch = LikScratch::default();
-        let v3 = likelihood_value_into(&p, &blocks, &mut scratch);
+        let v3 = likelihood_value_into(&p, &blocks, &mut scratch, 0.0);
         assert!((v1 - v3).abs() < 1e-9 * (1.0 + v1.abs()), "{v1} vs {v3}");
     }
 

@@ -17,7 +17,7 @@
 //! workspace up front; long-lived workers keep their own and call
 //! [`maximize_with`].
 
-use celeste_linalg::{solve_tr_subproblem, vecops, Mat};
+use celeste_linalg::{solve_tr_subproblem_with, vecops, Mat, TrWorkspace};
 
 thread_local! {
     /// Counts [`EvalWorkspace`] constructions on this thread, so tests
@@ -45,11 +45,13 @@ pub struct EvalWorkspace<S = ()> {
     pub hess: Mat,
     /// Objective-specific scratch, reused across evaluations.
     pub scratch: S,
-    // Solver-side buffers (negated model, trial point), reused by
+    // Solver-side buffers (negated model, trial point, trust-region
+    // solve storage incl. the Jacobi eigen workspace), reused by
     // `maximize_with` across iterations and trust-region trials.
     neg_grad: Vec<f64>,
     neg_hess: Mat,
     x_trial: Vec<f64>,
+    tr: TrWorkspace,
 }
 
 impl<S: Default> EvalWorkspace<S> {
@@ -64,6 +66,7 @@ impl<S: Default> EvalWorkspace<S> {
             neg_grad: vec![0.0; dim],
             neg_hess: Mat::zeros(dim, dim),
             x_trial: vec![0.0; dim],
+            tr: TrWorkspace::new(dim),
         }
     }
 }
@@ -107,6 +110,15 @@ pub trait Objective {
 
     /// Value only (used for trust-region ratio tests).
     fn value(&self, x: &[f64]) -> f64;
+
+    /// Value only, with caller-owned scratch: the allocation-free form
+    /// the optimizer's trial evaluations use. The default forwards to
+    /// [`Objective::value`]; objectives whose value path needs scratch
+    /// (prepared mixtures etc.) override it so a whole
+    /// [`maximize_with`] run touches no heap.
+    fn value_into(&self, x: &[f64], _scratch: &mut Self::Scratch) -> f64 {
+        self.value(x)
+    }
 
     /// Compatibility shim over [`Objective::eval_into`]: allocates a
     /// fresh workspace per call. Prefer `eval_into` on hot paths.
@@ -170,8 +182,12 @@ pub fn maximize<O: Objective>(obj: &O, x: &mut [f64], cfg: &NewtonConfig) -> New
 }
 
 /// Maximize `obj` starting from `x` (updated in place), reusing the
-/// caller's workspace: no gradient/Hessian buffers are allocated, no
-/// matter how many iterations or trust-region trials run.
+/// caller's workspace. The whole run — every full evaluation, every
+/// trust-region solve (including its Jacobi eigendecomposition), and
+/// every trial-point value — goes through workspace-owned buffers, so
+/// a warmed-up workspace makes the entire call heap-allocation-free
+/// (enforced by the counting-allocator test in
+/// `crates/core/tests/hotpath.rs`).
 pub fn maximize_with<O: Objective>(
     obj: &O,
     x: &mut [f64],
@@ -191,14 +207,15 @@ pub fn maximize_with<O: Objective>(
         stats.grad_norm = vecops::max_abs(&ws.grad);
 
         // Maximization: minimize the negated quadratic model. The
-        // negated copies live in the workspace; only the TR solver's
-        // own internals allocate.
+        // negated copies and the trust-region solver's scratch (eigen
+        // workspace, eigenbasis buffers, step) all live in the
+        // workspace.
         ws.neg_hess.copy_from(&ws.hess);
         ws.neg_hess.scale(-1.0);
         for (ng, &g) in ws.neg_grad.iter_mut().zip(ws.grad.iter()) {
             *ng = -g;
         }
-        let sol = solve_tr_subproblem(&ws.neg_hess, &ws.neg_grad, radius);
+        let sol = solve_tr_subproblem_with(&ws.neg_hess, &ws.neg_grad, radius, &mut ws.tr);
         // Converged only when both the gradient is flat AND the model
         // promises nothing — a zero gradient alone can be a saddle,
         // which the TR step escapes along negative curvature.
@@ -214,10 +231,11 @@ pub fn maximize_with<O: Objective>(
             break;
         }
 
-        for ((t, &xi), &si) in ws.x_trial.iter_mut().zip(x.iter()).zip(&sol.step) {
+        let step_norm = vecops::norm2(ws.tr.step());
+        for ((t, &xi), &si) in ws.x_trial.iter_mut().zip(x.iter()).zip(ws.tr.step()) {
             *t = xi + si;
         }
-        let f_trial = obj.value(&ws.x_trial);
+        let f_trial = obj.value_into(&ws.x_trial, &mut ws.scratch);
         stats.value_evals += 1;
         let f = ws.value;
         let rho = (f_trial - f) / sol.predicted_reduction;
@@ -239,7 +257,7 @@ pub fn maximize_with<O: Objective>(
             }
         } else {
             // Reject and shrink.
-            radius = 0.25 * vecops::norm2(&sol.step);
+            radius = 0.25 * step_norm;
             if radius < 1e-12 {
                 stats.converged = true;
                 break;

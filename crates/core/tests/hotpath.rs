@@ -82,7 +82,14 @@ fn fixture() -> (SourceParams, SourceProblem) {
         pixels,
     }];
     let priors = ModelPriors::new(Priors::sdss_default());
-    (sp, SourceProblem { blocks, priors })
+    (
+        sp,
+        SourceProblem {
+            blocks,
+            priors,
+            cull_tol: FitConfig::default().cull_tol,
+        },
+    )
 }
 
 /// One test on purpose: the allocation counter is process-global, so
@@ -110,11 +117,21 @@ fn evaluation_hot_path_is_allocation_free_after_warmup() {
     // --- value-only path: zero heap allocations after warmup. ---
     let mut lik_scratch = LikScratch::default();
     for _ in 0..3 {
-        likelihood_value_into(&sp.params, &problem.blocks, &mut lik_scratch);
+        likelihood_value_into(
+            &sp.params,
+            &problem.blocks,
+            &mut lik_scratch,
+            problem.cull_tol,
+        );
     }
     let before = allocs();
     for _ in 0..25 {
-        likelihood_value_into(&sp.params, &problem.blocks, &mut lik_scratch);
+        likelihood_value_into(
+            &sp.params,
+            &problem.blocks,
+            &mut lik_scratch,
+            problem.cull_tol,
+        );
     }
     let value_allocs = allocs() - before;
     assert_eq!(
@@ -151,5 +168,34 @@ fn evaluation_hot_path_is_allocation_free_after_warmup() {
         workspace_builds() - ws_before,
         1,
         "fit_source allocates exactly one workspace up front"
+    );
+
+    // --- full maximize_with: ZERO heap allocations across the entire
+    // Newton run (every iteration, trust-region solve — eigen
+    // decomposition included — and trial evaluation), not merely per
+    // eval_into. First run warms the trust-region workspace; the
+    // counted repeats must not touch the heap at all. ---
+    let mut x = vec![0.0; sp.params.len()];
+    x.copy_from_slice(&sp.params);
+    let run_stats = celeste_core::maximize_with(&problem, &mut x, &cfg.newton, &mut ws);
+    assert!(
+        run_stats.iterations > 0,
+        "warmup run should take Newton steps"
+    );
+    let before = allocs();
+    let mut total_iters = 0;
+    let mut total_trials = 0;
+    for _ in 0..3 {
+        x.copy_from_slice(&sp.params);
+        let s = celeste_core::maximize_with(&problem, &mut x, &cfg.newton, &mut ws);
+        total_iters += s.iterations;
+        total_trials += s.value_evals;
+    }
+    let maximize_allocs = allocs() - before;
+    assert!(total_iters > 0, "counted runs should take Newton steps");
+    assert_eq!(
+        maximize_allocs, 0,
+        "maximize_with allocated {maximize_allocs} times across 3 warmed-up \
+         runs ({total_iters} iterations, {total_trials} trial evaluations)"
     );
 }

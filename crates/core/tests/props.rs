@@ -2,6 +2,7 @@
 //! must agree with the AD-instantiated generic ELBO at *random* points
 //! in parameter space, not just at the fixed points the unit tests use.
 
+use celeste_core::bvn::{GalaxyGeo, GeoEval, PreparedGalaxy, PreparedStar, GEO};
 use celeste_core::generic;
 use celeste_core::kl::{add_kl, kl_value, ModelPriors};
 use celeste_core::likelihood::{add_likelihood, likelihood_value, ActivePixel, ImageBlock};
@@ -59,6 +60,92 @@ fn small_block() -> ImageBlock {
         center0: [15.0, 16.0],
         psf: std::sync::Arc::new(Psf::core_halo(1.25)),
         pixels,
+    }
+}
+
+/// Assert every slot of two geometry evaluations agrees within
+/// `abs_bound` plus a 1e-12 relative rounding allowance.
+fn assert_geo_close(a: &GeoEval, b: &GeoEval, abs_bound: f64, what: &str) {
+    let close = |x: f64, y: f64, slot: &str| {
+        let tol = abs_bound + 1e-12 * (1.0 + y.abs());
+        assert!(
+            (x - y).abs() <= tol,
+            "{what} {slot}: {x} vs {y} (bound {tol})"
+        );
+    };
+    close(a.val, b.val, "val");
+    for i in 0..GEO {
+        close(a.grad[i], b.grad[i], &format!("grad[{i}]"));
+        for j in 0..GEO {
+            close(a.hess[i][j], b.hess[i][j], &format!("hess[{i}][{j}]"));
+        }
+    }
+}
+
+const PROP_JAC: [[f64; 2]; 2] = [[0.7, 0.04], [-0.02, 0.69]];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn culled_galaxy_kernel_matches_reference_within_bound(
+        u in (-0.6..0.6f64, -0.6..0.6f64),
+        fd in -2.0..2.0f64,
+        axis in -1.0..2.0f64,
+        angle in 0.0..3.0f64,
+        lr in -1.0..1.0f64,
+        off in (-14.0..14.0f64, -14.0..14.0f64),
+        tol_exp in 3.0..14.0f64,
+    ) {
+        // The tentpole parity property: at tolerance zero the culled,
+        // lane-batched kernel agrees with the frozen reference kernel
+        // to 1e-12; at a finite tolerance it stays within the
+        // advertised error bound of `comps × tol` on every output slot
+        // (value, gradient, and Hessian alike).
+        let geo = GalaxyGeo { fd_logit: fd, axis_logit: axis, angle, ln_radius: lr };
+        let psf = Psf::core_halo(1.25);
+        let center0 = [20.0, 22.0];
+        let tol = 10f64.powf(-tol_exp);
+        let exact = PreparedGalaxy::new(&psf, &geo, center0, [u.0, u.1], &PROP_JAC);
+        let mut culled = PreparedGalaxy::default();
+        culled.prepare(&psf, &geo, center0, [u.0, u.1], &PROP_JAC, tol);
+
+        let (px, py) = (center0[0] + off.0, center0[1] + off.1);
+        let reference = exact.eval_reference(px, py);
+        // Zero tolerance: 1e-12 parity with the frozen kernel.
+        assert_geo_close(&exact.eval(px, py), &reference, 0.0, "zero-tol");
+        // Finite tolerance: the advertised bound.
+        let bound = culled.n_comps() as f64 * tol;
+        assert_geo_close(&culled.eval(px, py), &reference, bound, "culled");
+        // The value-only path must cull identically to the derivative
+        // path (trust-region ratios compare like with like).
+        let ev = culled.eval(px, py);
+        let vv = culled.eval_value(px, py);
+        prop_assert!(
+            (ev.val - vv).abs() <= 1e-12 * (1.0 + ev.val.abs()),
+            "value path {vv} vs derivative path {}", ev.val
+        );
+    }
+
+    #[test]
+    fn culled_star_kernel_matches_reference_within_bound(
+        u in (-0.6..0.6f64, -0.6..0.6f64),
+        off in (-10.0..10.0f64, -10.0..10.0f64),
+        seeing in 0.9..1.8f64,
+        tol_exp in 3.0..14.0f64,
+    ) {
+        let psf = Psf::core_halo(seeing);
+        let center0 = [15.0, 16.0];
+        let tol = 10f64.powf(-tol_exp);
+        let exact = PreparedStar::new(&psf, center0, [u.0, u.1], &PROP_JAC);
+        let mut culled = PreparedStar::default();
+        culled.prepare(&psf, center0, [u.0, u.1], &PROP_JAC, tol);
+
+        let (px, py) = (center0[0] + off.0, center0[1] + off.1);
+        let reference = exact.eval_reference(px, py);
+        assert_geo_close(&exact.eval(px, py), &reference, 0.0, "zero-tol star");
+        let bound = culled.n_comps() as f64 * tol;
+        assert_geo_close(&culled.eval(px, py), &reference, bound, "culled star");
     }
 }
 

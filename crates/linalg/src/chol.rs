@@ -18,9 +18,31 @@ impl Cholesky {
     /// pivot is not strictly positive (used by the trust-region solver to
     /// bracket the ridge parameter).
     pub fn new(a: &Mat) -> Result<Self, LinalgError> {
+        let mut ch = Cholesky::zeros(a.rows());
+        ch.factor_into(a)?;
+        Ok(ch)
+    }
+
+    /// Preallocated storage for repeated factorizations of `n × n`
+    /// matrices (fill with [`Cholesky::factor_into`]).
+    pub fn zeros(n: usize) -> Self {
+        Cholesky {
+            l: Mat::zeros(n, n),
+        }
+    }
+
+    /// Refactor `a` into this instance's storage: no heap allocation
+    /// when the dimensions already match. On error the factor contents
+    /// are unspecified but the storage remains reusable.
+    pub fn factor_into(&mut self, a: &Mat) -> Result<(), LinalgError> {
         assert_eq!(a.rows(), a.cols(), "Cholesky: matrix must be square");
         let n = a.rows();
-        let mut l = Mat::zeros(n, n);
+        if self.l.rows() != n {
+            self.l = Mat::zeros(n, n);
+        } else {
+            self.l.fill_zero();
+        }
+        let l = &mut self.l;
         for i in 0..n {
             for j in 0..=i {
                 let mut s = a[(i, j)];
@@ -37,7 +59,7 @@ impl Cholesky {
                 }
             }
         }
-        Ok(Cholesky { l })
+        Ok(())
     }
 
     /// The lower-triangular factor `L`.

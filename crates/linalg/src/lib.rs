@@ -9,12 +9,16 @@
 //!
 //! * [`Mat`] — a row-major dense matrix with the handful of BLAS-like
 //!   operations the rest of the workspace needs,
-//! * [`Cholesky`] — SPD factorization, solves, log-determinant, inverse,
+//! * [`Cholesky`] — SPD factorization, solves, log-determinant, inverse
+//!   (refactor in place via [`Cholesky::factor_into`]),
 //! * [`Ldlt`] — unpivoted LDLᵀ for symmetric quasi-definite systems,
-//! * [`SymEigen`] — cyclic Jacobi eigensolver (always converges for
-//!   symmetric input, no LAPACK dependency),
-//! * [`solve_tr_subproblem`] — the Moré–Sorensen-style trust-region
-//!   subproblem solver used by the nonconvex Newton optimizer,
+//! * [`SymEigen`] / [`EigenWorkspace`] — cyclic Jacobi eigensolver
+//!   (always converges for symmetric input, no LAPACK dependency);
+//!   the workspace form reuses all storage across decompositions,
+//! * [`solve_tr_subproblem`] / [`solve_tr_subproblem_with`] — the
+//!   Moré–Sorensen-style trust-region subproblem solver used by the
+//!   nonconvex Newton optimizer; the `_with` form solves into a
+//!   caller-owned [`TrWorkspace`] with zero heap allocation,
 //! * [`lstsq`] / [`nnls`] — (nonnegative) linear least squares used for
 //!   galaxy-profile mixture fitting and PSF calibration.
 //!
@@ -30,10 +34,10 @@ mod tr;
 pub mod vecops;
 
 pub use chol::{Cholesky, Ldlt};
-pub use eigen::SymEigen;
+pub use eigen::{EigenWorkspace, SymEigen};
 pub use lstsq::{lstsq, lstsq_ridge, nnls};
 pub use mat::Mat;
-pub use tr::{solve_tr_subproblem, TrSolution};
+pub use tr::{solve_tr_subproblem, solve_tr_subproblem_with, TrInfo, TrSolution, TrWorkspace};
 
 /// Errors produced by factorizations when their input assumptions fail.
 #[derive(Debug, Clone, PartialEq)]

@@ -198,10 +198,23 @@ impl Mat {
         }
     }
 
-    /// Quadratic form `vᵀ self v`.
+    /// Quadratic form `vᵀ self v` (allocation-free: row-dot
+    /// accumulation instead of materializing `self v`).
     pub fn quad_form(&self, v: &[f64]) -> f64 {
-        let hv = self.matvec(v);
-        hv.iter().zip(v).map(|(&a, &b)| a * b).sum()
+        assert_eq!(self.cols, v.len(), "quad_form: dimension mismatch");
+        assert_eq!(self.rows, v.len(), "quad_form: matrix must be square");
+        let mut total = 0.0;
+        for (i, &vi) in v.iter().enumerate() {
+            if vi == 0.0 {
+                continue;
+            }
+            let mut s = 0.0;
+            for (&a, &b) in self.row(i).iter().zip(v) {
+                s += a * b;
+            }
+            total += vi * s;
+        }
+        total
     }
 
     /// Rank-1 update `self += alpha · u vᵀ`.

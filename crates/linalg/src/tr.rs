@@ -1,8 +1,8 @@
 //! Trust-region subproblem solver (Moré–Sorensen on the eigenbasis).
 
-use crate::{Mat, SymEigen};
+use crate::{EigenWorkspace, Mat};
 
-/// Result of solving `min_p  gᵀp + ½ pᵀHp  s.t. ‖p‖ ≤ Δ`.
+/// Result of solving `min_p  gᵀp + ½ pᵀHp  s.t. ‖p‖ ≤ Δ`, owning form.
 #[derive(Debug, Clone)]
 pub struct TrSolution {
     /// The minimizing step.
@@ -15,34 +15,110 @@ pub struct TrSolution {
     pub lambda: f64,
 }
 
-/// Solve the trust-region subproblem exactly via eigendecomposition.
+/// Scalar outcome of a workspace-backed solve; the step itself stays
+/// in [`TrWorkspace::step`].
+#[derive(Debug, Clone, Copy)]
+pub struct TrInfo {
+    /// Model reduction `−(gᵀp + ½pᵀHp)` (≥ 0 up to rounding).
+    pub predicted_reduction: f64,
+    /// Whether the step hit the trust-region boundary.
+    pub on_boundary: bool,
+    /// Ridge multiplier λ with `(H + λI) p = −g`, λ ≥ 0.
+    pub lambda: f64,
+}
+
+/// Preallocated storage for repeated trust-region solves: the Jacobi
+/// eigen workspace plus the eigenbasis gradient, trial-step scratch,
+/// and the output step. Owned by the Newton optimizer's evaluation
+/// workspace, so an entire `maximize_with` call — every iteration and
+/// every trust-region trial — touches no heap after the first solve.
+#[derive(Debug, Clone)]
+pub struct TrWorkspace {
+    eig: EigenWorkspace,
+    /// Gradient in the eigenbasis (`Vᵀ g`).
+    gbar: Vec<f64>,
+    /// Step in the eigenbasis.
+    p: Vec<f64>,
+    /// The solution step in the original basis.
+    step: Vec<f64>,
+}
+
+impl TrWorkspace {
+    /// Allocate for `n`-dimensional problems.
+    pub fn new(n: usize) -> Self {
+        TrWorkspace {
+            eig: EigenWorkspace::new(n),
+            gbar: vec![0.0; n],
+            p: vec![0.0; n],
+            step: vec![0.0; n],
+        }
+    }
+
+    /// Current problem dimension.
+    pub fn dim(&self) -> usize {
+        self.step.len()
+    }
+
+    /// Reallocate if the dimension changed (no-op otherwise).
+    pub fn resize(&mut self, n: usize) {
+        if self.dim() != n {
+            *self = TrWorkspace::new(n);
+        }
+    }
+
+    /// The step produced by the last [`solve_tr_subproblem_with`].
+    pub fn step(&self) -> &[f64] {
+        &self.step
+    }
+}
+
+/// Solve the trust-region subproblem exactly via eigendecomposition,
+/// allocating a fresh workspace. Hot paths hold a [`TrWorkspace`] and
+/// call [`solve_tr_subproblem_with`] instead.
+pub fn solve_tr_subproblem(h: &Mat, g: &[f64], delta: f64) -> TrSolution {
+    let mut ws = TrWorkspace::new(g.len());
+    let info = solve_tr_subproblem_with(h, g, delta, &mut ws);
+    TrSolution {
+        step: ws.step,
+        predicted_reduction: info.predicted_reduction,
+        on_boundary: info.on_boundary,
+        lambda: info.lambda,
+    }
+}
+
+/// Solve the trust-region subproblem into caller-owned storage: the
+/// step lands in `ws.step()`, and (given a warmed-up workspace of the
+/// right dimension) the whole solve performs no heap allocation.
 ///
 /// This mirrors the paper's inner optimizer (§IV-D): Newton steps on a
 /// nonconvex objective are safeguarded by a trust region, and each step
-/// costs one eigendecomposition (here: Jacobi, [`SymEigen`]) plus cheap
-/// secular-equation iterations. In the eigenbasis the stationarity
+/// costs one eigendecomposition (here: Jacobi, [`EigenWorkspace`]) plus
+/// cheap secular-equation iterations. In the eigenbasis the stationarity
 /// condition `(H + λI) p = −g` becomes diagonal, so we root-find the
 /// scalar secular equation `‖p(λ)‖ = Δ` with a safeguarded Newton
 /// iteration, handling the hard case (gradient orthogonal to the bottom
 /// eigenspace) explicitly.
-pub fn solve_tr_subproblem(h: &Mat, g: &[f64], delta: f64) -> TrSolution {
+pub fn solve_tr_subproblem_with(h: &Mat, g: &[f64], delta: f64, ws: &mut TrWorkspace) -> TrInfo {
     assert!(delta > 0.0, "trust radius must be positive");
     assert_eq!(h.rows(), g.len(), "gradient/Hessian dimension mismatch");
     let n = g.len();
-    let eig = SymEigen::new(h);
+    ws.resize(n);
+    let TrWorkspace { eig, gbar, p, step } = ws;
+    eig.compute(h);
+    eig.to_eigenbasis_into(g, gbar);
     let lam = eig.values();
-    let gbar = eig.to_eigenbasis(g);
     let lam_min = lam[0];
 
     // Unconstrained Newton step is valid if H ≻ 0 and the step fits.
     if lam_min > 0.0 {
-        let p_newton: Vec<f64> = gbar.iter().zip(lam).map(|(&gi, &li)| -gi / li).collect();
-        let norm = crate::vecops::norm2(&p_newton);
+        for ((pi, &gi), &li) in p.iter_mut().zip(gbar.iter()).zip(lam) {
+            *pi = -gi / li;
+        }
+        let norm = crate::vecops::norm2(p);
         if norm <= delta {
-            let step = eig.from_eigenbasis(&p_newton);
-            let pred = predicted_reduction(h, g, &step);
-            return TrSolution {
-                step,
+            eig.from_eigenbasis_into(p, step);
+            let pred = predicted_reduction(h, g, step);
+            return TrInfo {
                 predicted_reduction: pred,
                 on_boundary: false,
                 lambda: 0.0,
@@ -68,32 +144,31 @@ pub fn solve_tr_subproblem(h: &Mat, g: &[f64], delta: f64) -> TrSolution {
     // eigenspace, so even λ → λ_floor⁺ cannot reach the boundary. Take
     // the limiting interior solution plus a bottom-eigenvector component
     // sized to land exactly on the boundary.
-    let g_scale = crate::vecops::max_abs(&gbar).max(1.0);
-    let bottom: Vec<usize> = (0..n)
-        .filter(|&i| (lam[i] - lam_min).abs() <= 1e-12 * lam_min.abs().max(1.0))
-        .collect();
+    let g_scale = crate::vecops::max_abs(gbar).max(1.0);
+    let lam_tol = 1e-12 * lam_min.abs().max(1.0);
+    // λ is sorted ascending, so index 0 always belongs to the bottom
+    // eigenspace; `bottom_flat` checks the whole cluster.
+    let mut bottom_flat = true;
+    for i in 0..n {
+        if (lam[i] - lam_min).abs() <= lam_tol && gbar[i].abs() > 1e-12 * g_scale {
+            bottom_flat = false;
+        }
+    }
     let hard_case = lam_min <= 0.0
-        && bottom.iter().all(|&i| gbar[i].abs() <= 1e-12 * g_scale)
+        && bottom_flat
         && norm_at(lam_floor + 1e-12 * lam_floor.abs().max(1.0)) < delta;
     if hard_case {
         let l = lam_floor;
-        let mut p: Vec<f64> = (0..n)
-            .map(|i| {
-                let d = lam[i] + l;
-                if d.abs() <= 1e-12 {
-                    0.0
-                } else {
-                    -gbar[i] / d
-                }
-            })
-            .collect();
-        let pnorm = crate::vecops::norm2(&p);
+        for (i, pi) in p.iter_mut().enumerate() {
+            let d = lam[i] + l;
+            *pi = if d.abs() <= 1e-12 { 0.0 } else { -gbar[i] / d };
+        }
+        let pnorm = crate::vecops::norm2(p);
         let tau = (delta * delta - pnorm * pnorm).max(0.0).sqrt();
-        p[bottom[0]] += tau;
-        let step = eig.from_eigenbasis(&p);
-        let pred = predicted_reduction(h, g, &step);
-        return TrSolution {
-            step,
+        p[0] += tau;
+        eig.from_eigenbasis_into(p, step);
+        let pred = predicted_reduction(h, g, step);
+        return TrInfo {
             predicted_reduction: pred,
             on_boundary: true,
             lambda: l,
@@ -143,22 +218,13 @@ pub fn solve_tr_subproblem(h: &Mat, g: &[f64], delta: f64) -> TrSolution {
         l = l_new;
     }
 
-    let p: Vec<f64> = gbar
-        .iter()
-        .zip(lam)
-        .map(|(&gi, &li)| {
-            let d = li + l;
-            if d.abs() <= 1e-300 {
-                0.0
-            } else {
-                -gi / d
-            }
-        })
-        .collect();
-    let step = eig.from_eigenbasis(&p);
-    let pred = predicted_reduction(h, g, &step);
-    TrSolution {
-        step,
+    for (i, pi) in p.iter_mut().enumerate() {
+        let d = lam[i] + l;
+        *pi = if d.abs() <= 1e-300 { 0.0 } else { -gbar[i] / d };
+    }
+    eig.from_eigenbasis_into(p, step);
+    let pred = predicted_reduction(h, g, step);
+    TrInfo {
         predicted_reduction: pred,
         on_boundary: true,
         lambda: l,
@@ -248,5 +314,58 @@ mod tests {
         let sol = solve_tr_subproblem(&h, &g, 0.3);
         let direct = -(crate::vecops::dot(&g, &sol.step) + 0.5 * h.quad_form(&sol.step));
         assert!((sol.predicted_reduction - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn workspace_form_matches_owning_form_across_reuse() {
+        let h = Mat::from_rows(3, 3, &[4.0, 1.0, 0.0, 1.0, 3.0, 0.5, 0.0, 0.5, 5.0]);
+        let mut ws = TrWorkspace::new(3);
+        for &delta in &[0.05, 0.3, 50.0] {
+            let g = [1.0, -2.0, 0.5];
+            let owning = solve_tr_subproblem(&h, &g, delta);
+            let info = solve_tr_subproblem_with(&h, &g, delta, &mut ws);
+            assert_eq!(ws.step(), owning.step.as_slice());
+            assert_eq!(info.predicted_reduction, owning.predicted_reduction);
+            assert_eq!(info.on_boundary, owning.on_boundary);
+            assert_eq!(info.lambda, owning.lambda);
+        }
+    }
+
+    #[test]
+    fn hard_case_on_near_degenerate_7x7() {
+        // The trust-region hard case on a 7×7 Hessian whose bottom
+        // eigenspace is a near-degenerate cluster (eigengaps at the
+        // rounding floor, off-diagonals ~1e-16): the Jacobi guard must
+        // converge and the solver must still land exactly on the
+        // boundary with a valid KKT certificate.
+        let n = 7;
+        let mut h = Mat::zeros(n, n);
+        for i in 0..n {
+            h[(i, i)] = match i {
+                0..=2 => -1.0 + 1e-15 * i as f64, // clustered bottom
+                _ => 2.0 + i as f64,
+            };
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = 1e-16 * ((i + 2 * j) % 5) as f64;
+                h[(i, j)] = v;
+                h[(j, i)] = v;
+            }
+        }
+        // Gradient supported only off the bottom eigenspace.
+        let g = [0.0, 0.0, 0.0, 0.4, -0.2, 0.1, 0.3];
+        let delta = 2.0;
+        let sol = solve_tr_subproblem(&h, &g, delta);
+        assert!(sol.on_boundary, "hard case must reach the boundary");
+        assert!((norm2(&sol.step) - delta).abs() < 1e-8);
+        assert!(sol.predicted_reduction > 0.0);
+        assert!((sol.lambda - 1.0).abs() < 1e-6, "λ = −λ_min in hard case");
+        // KKT residual: (H + λI) p + g ⊥ everything (≈ 0).
+        let mut r = h.matvec(&sol.step);
+        for ((ri, pi), gi) in r.iter_mut().zip(&sol.step).zip(&g) {
+            *ri += sol.lambda * pi + gi;
+        }
+        assert!(crate::vecops::max_abs(&r) < 1e-6, "KKT residual {:?}", r);
     }
 }

@@ -5,9 +5,11 @@
 //! through the Cyclades approach" (§IV-D). A region is processed by a
 //! *persistent* pool of worker threads that lives for the whole
 //! multi-pass optimization: each worker owns one Newton evaluation
-//! workspace and one problem-assembly scratch, reused across every
-//! fit it performs, so steady-state optimization does no per-batch
-//! thread spawning and no per-fit workspace allocation. Connected
+//! workspace (gradient/Hessian buffers, prepared appearance mixtures,
+//! and the trust-region solver's eigen scratch) plus one
+//! problem-assembly scratch, reused across every fit it performs, so
+//! steady-state optimization does no per-batch thread spawning and no
+//! heap allocation anywhere in a fit's Newton loop. Connected
 //! components of the sampled conflict graph never straddle threads,
 //! so every 44-block Newton update is a valid serial
 //! block-coordinate-ascent step.

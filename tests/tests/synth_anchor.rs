@@ -1,0 +1,104 @@
+//! The tier-1 correctness anchor for kernel changes: synthesize a
+//! small multi-band field via `survey::synth`, run the full fit
+//! through the production configuration (culled geometry kernel,
+//! workspace-backed trust-region solver), and require the recovered
+//! fluxes and positions to match ground truth within tight tolerances
+//! at a fixed seed.
+//!
+//! Any future change to the per-pixel kernels (culling bounds, lane
+//! layout, FMA dispatch, Hessian packing) or to the Newton/linalg
+//! stack must keep this green — it is the end-to-end statement that
+//! the optimizations are error-free where it counts.
+
+use celeste_core::{optimize_sources, FitConfig, ModelPriors, SourceParams};
+use celeste_survey::bands::Band;
+use celeste_survey::skygeom::GeometryConfig;
+use celeste_survey::synth::{SurveyConfig, SyntheticSurvey};
+use celeste_survey::{Image, Priors};
+
+#[test]
+fn synth_field_recovery_anchor() {
+    let survey = SyntheticSurvey::generate(SurveyConfig {
+        geometry: GeometryConfig {
+            n_stripes: 1,
+            fields_per_stripe: 1,
+            deep_stripe: None,
+            epochs_per_stripe: 1,
+            stripe_overlap: 0.0,
+            field_overlap: 0.0,
+            stripe_height_deg: 0.03,
+            field_width_deg: 0.03,
+            ..GeometryConfig::default()
+        },
+        pixels_per_field: 128,
+        source_density_per_sq_deg: 15_000.0,
+        seed: 0x1234,
+        ..SurveyConfig::default()
+    });
+    let field = &survey.geometry.fields[0];
+    let images: Vec<Image> = Band::ALL
+        .iter()
+        .map(|&b| survey.render_field(field, b))
+        .collect();
+    let refs: Vec<&Image> = images.iter().collect();
+
+    // Initialize from systematically corrupted truth: fluxes 40% low,
+    // positions off by ~0.4 arcsec — the fit must pull both back.
+    let truth: Vec<_> = survey
+        .truth
+        .in_rect(&field.rect)
+        .into_iter()
+        .cloned()
+        .collect();
+    assert!(truth.len() >= 3, "anchor scene too sparse: {}", truth.len());
+    let mut sources: Vec<SourceParams> = truth
+        .iter()
+        .map(|e| {
+            let mut init = e.clone();
+            init.flux_r_nmgy *= 0.6;
+            init.pos.ra += 0.4 / 3600.0;
+            SourceParams::init_from_entry(&init)
+        })
+        .collect();
+
+    let priors = ModelPriors::new(Priors::sdss_default());
+    let cfg = FitConfig::default(); // production path: culling enabled
+    let stats = optimize_sources(&mut sources, &refs, &priors, &cfg);
+    assert_eq!(stats.passes, cfg.bca_passes);
+    assert!(stats.fits >= sources.len());
+
+    // Bright, *isolated* sources anchor the bar: faint ones are
+    // noise-dominated, and close blends trade flux between companions
+    // (a model degeneracy, not a kernel property).
+    let isolated = |e: &celeste_survey::catalog::CatalogEntry| {
+        truth
+            .iter()
+            .all(|o| o.id == e.id || o.pos.sep_arcsec(&e.pos) > 8.0)
+    };
+    let mut checked = 0;
+    for (sp, e) in sources.iter().zip(&truth) {
+        if e.flux_r_nmgy < 6.0 || !isolated(e) {
+            continue;
+        }
+        let fitted = sp.to_entry();
+        let flux_rel = (fitted.flux_r_nmgy - e.flux_r_nmgy).abs() / e.flux_r_nmgy;
+        assert!(
+            flux_rel < 0.2,
+            "source {}: flux {} vs truth {} (rel {flux_rel:.3})",
+            e.id,
+            fitted.flux_r_nmgy,
+            e.flux_r_nmgy
+        );
+        let sep = fitted.pos.sep_arcsec(&e.pos);
+        assert!(
+            sep < 0.25,
+            "source {}: position off by {sep:.3} arcsec",
+            e.id
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 2,
+        "anchor needs at least 2 bright sources, got {checked}"
+    );
+}
