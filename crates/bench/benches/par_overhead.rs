@@ -1,0 +1,85 @@
+//! Fork-join overhead microbenchmarks: what does `celeste-par` cost
+//! when the workload is too small to benefit?
+//!
+//! These benches document the executor's sequential-cutoff policy
+//! (`celeste_par::iter::SPLITS_PER_THREAD` /
+//! `celeste_par::iter::MIN_PARALLEL_LEN`): drivers split a producer
+//! into at most `threads × SPLITS_PER_THREAD` leaves and never fork
+//! at all below `MIN_PARALLEL_LEN` items or on a one-thread pool, so
+//! tiny inputs pay only the closure-dispatch cost of the serial
+//! path. Compare the `serial/*` and `par/*` rows at each size: at 64
+//! elements the two must be within noise of each other (the cutoff
+//! collapses to a sequential sweep on narrow pools, and a handful of
+//! leaf jobs otherwise), while the large sizes amortize the ~µs-scale
+//! fork cost measured by `join/noop`.
+
+use celeste_par::iter::{ParallelIterator, ParallelSliceMut};
+use celeste_par::{join, ThreadPool};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+/// The work applied per element: cheap enough that scheduling
+/// overhead, not compute, dominates small inputs.
+#[inline]
+fn bump(x: &mut u64) {
+    *x = x
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+}
+
+fn bench_join_overhead(c: &mut Criterion) {
+    let pool = ThreadPool::new(2);
+    let mut g = c.benchmark_group("join");
+    // The external → pool handoff (inject + condvar wake + result
+    // latch). This is paid once per parallel *entry point*, never per
+    // split, and is why drivers go fully sequential on tiny inputs.
+    g.bench_function("install_handoff", |b| {
+        b.iter(|| pool.install(|| black_box(1u64)))
+    });
+    // A worker-side fork-join pair: the true per-split cost (stack
+    // job push/pop, usually popped back unstolen).
+    g.bench_function("worker_noop_pair", |b| {
+        pool.install(|| b.iter(|| join(|| black_box(1u64), || black_box(2u64))))
+    });
+    g.bench_function("serial_noop_pair", |b| {
+        b.iter(|| (black_box(1u64), black_box(2u64)))
+    });
+    g.finish();
+}
+
+fn bench_par_chunks_cutoff(c: &mut Criterion) {
+    let pool = ThreadPool::new(2);
+    for size in [64usize, 4096, 262_144] {
+        let mut data = vec![1u64; size];
+        let name = format!("chunks_{size}");
+        let mut g = c.benchmark_group(&name);
+        g.throughput(Throughput::Elements(size as u64));
+        g.bench_function("serial", |b| {
+            b.iter(|| {
+                for x in data.iter_mut() {
+                    bump(x);
+                }
+                black_box(data[0])
+            })
+        });
+        // Measured from inside the pool, so the rows isolate the
+        // driver's split/steal cost from the one-off install handoff.
+        g.bench_function("par", |b| {
+            let data = &mut data;
+            pool.install(move || {
+                b.iter(|| {
+                    data.par_chunks_mut(64).for_each(|chunk| {
+                        for x in chunk {
+                            bump(x);
+                        }
+                    });
+                    black_box(data[0])
+                })
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_join_overhead, bench_par_chunks_cutoff);
+criterion_main!(benches);

@@ -13,7 +13,13 @@
 //! * full source fits per second through the workspace-reusing path
 //!   (`fit_source_with`), problem assembly included;
 //! * evaluation-workspace builds per fit (1 = built once, reused for
-//!   every iteration and trial, as designed).
+//!   every iteration and trial, as designed);
+//! * region-level fits/sec through the Cyclades pool on the
+//!   `celeste-par` executor, at 1 thread and at N =
+//!   `CELESTE_THREADS` (default: available cores), plus their ratio.
+//!   The scaling gate (≥ 2× at N threads) is enforced only when the
+//!   machine actually has ≥ 4 cores — a 1-core container can only
+//!   ever measure 1.0× and 2–3 cores cannot reach 2× after overhead.
 //!
 //! Usage: `cargo run --release --bin hotpath_profile [out.json]`
 
@@ -127,6 +133,62 @@ fn main() {
     });
     let ws_builds_per_fit = (workspace_builds() - ws_before) as f64 / fits.max(1) as f64;
 
+    // Region-level throughput through the Cyclades pool: every truth
+    // source in the scene jointly optimized for one BCA pass, at one
+    // executor thread and at the configured width.
+    let region_fit = FitConfig {
+        bca_passes: 1,
+        cull_tol,
+        ..FitConfig::default()
+    };
+    let region_threads = celeste_par::configured_threads();
+    let region_fits_per_sec = |pool_width: usize| -> f64 {
+        let pool = celeste_par::ThreadPool::new(pool_width);
+        let init: Vec<SourceParams> = scene
+            .truth
+            .entries
+            .iter()
+            .map(SourceParams::init_from_entry)
+            .collect();
+        pool.install(|| {
+            // One warmup pass builds each worker's thread-local
+            // evaluation workspace.
+            let mut warm = init.clone();
+            celeste_sched::process_region(
+                &mut warm,
+                &refs,
+                &[],
+                &priors,
+                &region_fit,
+                pool_width,
+                0x5EED,
+            );
+            let mut best = 0.0_f64;
+            for _ in 0..3 {
+                let mut sources = init.clone();
+                let t = Instant::now();
+                let stats = celeste_sched::process_region(
+                    &mut sources,
+                    &refs,
+                    &[],
+                    &priors,
+                    &region_fit,
+                    pool_width,
+                    0x5EED,
+                );
+                best = best.max(stats.fits as f64 / t.elapsed().as_secs_f64());
+            }
+            best
+        })
+    };
+    let region_1t = region_fits_per_sec(1);
+    let region_nt = if region_threads > 1 {
+        region_fits_per_sec(region_threads)
+    } else {
+        region_1t
+    };
+    let region_scaling = region_nt / region_1t;
+
     let ns = 1e9;
     let px = pixels as f64;
     let value_ns_px = value_s * ns / px;
@@ -135,7 +197,7 @@ fn main() {
     let speedup = dense_s / packed_s;
 
     let json = format!(
-        "{{\n  \"bench\": \"hotpath\",\n  \"scene\": \"stripe82 brightest source, 5 bands\",\n  \"active_pixels\": {pixels},\n  \"value_ns_per_pixel\": {value_ns_px:.2},\n  \"deriv_dense_ns_per_pixel\": {dense_ns_px:.2},\n  \"deriv_packed_ns_per_pixel\": {packed_ns_px:.2},\n  \"deriv_speedup_vs_dense\": {speedup:.3},\n  \"deriv_over_value_ratio\": {:.3},\n  \"fit_single_source_ms\": {:.3},\n  \"fits_per_sec\": {:.2},\n  \"workspace_builds_per_fit\": {ws_builds_per_fit:.3}\n}}\n",
+        "{{\n  \"bench\": \"hotpath\",\n  \"scene\": \"stripe82 brightest source, 5 bands\",\n  \"active_pixels\": {pixels},\n  \"value_ns_per_pixel\": {value_ns_px:.2},\n  \"deriv_dense_ns_per_pixel\": {dense_ns_px:.2},\n  \"deriv_packed_ns_per_pixel\": {packed_ns_px:.2},\n  \"deriv_speedup_vs_dense\": {speedup:.3},\n  \"deriv_over_value_ratio\": {:.3},\n  \"fit_single_source_ms\": {:.3},\n  \"fits_per_sec\": {:.2},\n  \"workspace_builds_per_fit\": {ws_builds_per_fit:.3},\n  \"region_threads\": {region_threads},\n  \"region_fits_per_sec_1t\": {region_1t:.2},\n  \"region_fits_per_sec_nt\": {region_nt:.2},\n  \"region_scaling\": {region_scaling:.3}\n}}\n",
         packed_s / value_s,
         fit_s * 1e3,
         1.0 / fit_s,
@@ -147,6 +209,16 @@ fn main() {
     // dispatched kernel landed >2x (PR 2).
     if speedup < 1.8 {
         eprintln!("WARNING: packed-vs-dense speedup {speedup:.3} is below the 1.8x acceptance bar");
+        std::process::exit(2);
+    }
+    // Region-scaling gate: only meaningful with real cores to scale
+    // across. ≥ 4 cores must reach 2x; fewer cores are reported but
+    // not gated (1 core is structurally 1.0x).
+    if region_threads >= 4 && region_scaling < 2.0 {
+        eprintln!(
+            "WARNING: region-level scaling {region_scaling:.3}x at {region_threads} threads \
+             is below the 2x acceptance bar"
+        );
         std::process::exit(2);
     }
 }

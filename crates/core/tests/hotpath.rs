@@ -2,9 +2,12 @@
 //! allocation-free and workspace-reusing after warmup.
 //!
 //! A counting global allocator wraps the system allocator for this
-//! test binary. Because the counter is process-global, everything
-//! runs inside ONE #[test] so concurrent test threads can't pollute
-//! the counts.
+//! test binary, tallying into a thread-local counter: the assertions
+//! measure exactly what the measuring thread allocates, so harness or
+//! executor threads elsewhere in the process can never pollute the
+//! deltas (a process-global counter here was measurably flaky).
+//! Everything still runs inside ONE #[test] so the warmup/measure
+//! phases stay ordered.
 
 use celeste_core::likelihood::{likelihood_value_into, ActivePixel, ImageBlock, LikScratch};
 use celeste_core::newton::workspace_builds;
@@ -17,23 +20,32 @@ use celeste_survey::psf::Psf;
 use celeste_survey::skygeom::SkyCoord;
 use celeste_survey::Priors;
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 use std::sync::Arc;
 
 struct CountingAlloc;
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
+std::thread_local! {
+    // Const-initialized: plain TLS slot, no lazy setup allocation.
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Count an allocation against the calling thread. `try_with` so a
+/// late allocation during TLS teardown can't recurse or abort.
+fn bump() {
+    let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        bump();
         unsafe { System.alloc(layout) }
     }
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         unsafe { System.dealloc(ptr, layout) }
     }
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        bump();
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -42,7 +54,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn allocs() -> u64 {
-    ALLOCS.load(Ordering::Relaxed)
+    THREAD_ALLOCS.with(|c| c.get())
 }
 
 fn fixture() -> (SourceParams, SourceProblem) {

@@ -1,0 +1,161 @@
+//! Chase–Lev work-stealing deque, fixed capacity.
+//!
+//! The classic single-owner double-ended queue (Chase & Lev 2005,
+//! with the memory orderings of Lê et al. 2013 "Correct and Efficient
+//! Work-Stealing for Weak Memory Models"): the owning worker pushes
+//! and pops at the bottom (LIFO, cache-hot fork-join order) while any
+//! other thread steals from the top (FIFO, the oldest and usually
+//! largest subtree). Only the top pointer is contended, and only via
+//! a single CAS per steal.
+//!
+//! Slots store the two words of a `JobRef` as relaxed atomics: a
+//! thief's speculative read may race an owner `push` that has lapped
+//! the buffer, so the accesses must be atomic for the race to be
+//! defined behavior — the CAS on `top` then decides whether the read
+//! value is used or discarded (the same scheme as crossbeam-deque).
+//!
+//! Instead of the growable circular buffer (which needs deferred
+//! reclamation), capacity is fixed and `push` reports a full deque so
+//! the pool can overflow into its shared injector queue. Fork-join
+//! splitting is depth-logarithmic, so a worker's deque holds O(log n)
+//! jobs plus spawned scope work — 1024 slots is far beyond any real
+//! depth here.
+
+use crate::job::JobRef;
+use std::sync::atomic::{fence, AtomicIsize, AtomicUsize, Ordering};
+
+const CAP: usize = 1024;
+const MASK: isize = CAP as isize - 1;
+
+/// One buffer slot: the two words of a [`JobRef`]. Relaxed atomics —
+/// synchronization comes from the top/bottom protocol, the atomicity
+/// is what keeps the owner-overwrite vs. thief-read race defined.
+struct Slot {
+    data: AtomicUsize,
+    execute_fn: AtomicUsize,
+}
+
+pub(crate) struct Deque {
+    /// Steal end. Monotonically increasing.
+    top: AtomicIsize,
+    /// Owner end. Only the owner writes it.
+    bottom: AtomicIsize,
+    slots: Box<[Slot]>,
+}
+
+pub(crate) enum Steal {
+    Empty,
+    /// Lost a race with the owner or another thief; worth retrying.
+    Retry,
+    Success(JobRef),
+}
+
+impl Deque {
+    pub(crate) fn new() -> Deque {
+        Deque {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            slots: (0..CAP)
+                .map(|_| Slot {
+                    data: AtomicUsize::new(0),
+                    execute_fn: AtomicUsize::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// Cheap emptiness probe (racy by nature; used only as a wake-up
+    /// heuristic, never for correctness).
+    pub(crate) fn is_empty(&self) -> bool {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        b <= t
+    }
+
+    fn write_slot(&self, index: isize, job: JobRef) {
+        let slot = &self.slots[(index & MASK) as usize];
+        let (data, execute_fn) = job.into_words();
+        slot.data.store(data, Ordering::Relaxed);
+        slot.execute_fn.store(execute_fn, Ordering::Relaxed);
+    }
+
+    /// Read a slot's words. The caller must either own the slot (pop)
+    /// or validate the read with a successful CAS on `top` (steal)
+    /// before trusting the returned job.
+    unsafe fn read_slot(&self, index: isize) -> JobRef {
+        let slot = &self.slots[(index & MASK) as usize];
+        JobRef::from_words(
+            slot.data.load(Ordering::Relaxed),
+            slot.execute_fn.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Owner-only push at the bottom. Returns the job back when the
+    /// deque is full so the caller can overflow elsewhere.
+    pub(crate) fn push(&self, job: JobRef) -> Result<(), JobRef> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b - t >= CAP as isize {
+            return Err(job);
+        }
+        self.write_slot(b, job);
+        // Publish the slot write before the new bottom.
+        self.bottom.store(b + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Owner-only pop at the bottom (most recently pushed).
+    pub(crate) fn pop(&self) -> Option<JobRef> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        // The owner's bottom decrement must be globally visible
+        // before it reads top, or a concurrent steal of the same slot
+        // could go unnoticed.
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            // Safety: with bottom lowered past this slot, no thief
+            // whose CAS succeeds can also hand it out (the t == b
+            // race below is resolved through top).
+            let job = unsafe { self.read_slot(b) };
+            if t == b {
+                // Last element: race the thieves for it via top.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                return won.then_some(job);
+            }
+            Some(job)
+        } else {
+            // Already empty; restore bottom.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Steal from the top. Callable from any thread.
+    pub(crate) fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Speculative read: may race an owner push that lapped the
+        // buffer (defined behavior — the slot words are atomics). The
+        // CAS below validates the read; on failure the value is
+        // discarded unused.
+        let job = unsafe { self.read_slot(t) };
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            Steal::Success(job)
+        } else {
+            Steal::Retry
+        }
+    }
+}

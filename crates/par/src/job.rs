@@ -1,0 +1,227 @@
+//! Type-erased jobs and completion latches.
+//!
+//! A [`JobRef`] is two words — a data pointer and an execute
+//! function — so it fits in a deque slot and is trivially `Copy`.
+//! Fork-join work lives on the forking thread's stack
+//! ([`StackJob`]); fire-and-forget scope work is boxed
+//! ([`HeapJob`]). Both catch panics at the job boundary so an
+//! unwinding task can never tear down a pool worker.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Completion signal a job fires exactly once, as its very last
+/// action (the waiter may free the job's memory immediately after).
+pub(crate) trait Latch {
+    fn set(&self);
+}
+
+/// Spin-probe latch for fork-join waits, where the waiting thread is
+/// a pool worker that keeps executing other jobs instead of blocking.
+#[derive(Default)]
+pub(crate) struct SpinLatch {
+    set: AtomicBool,
+}
+
+impl SpinLatch {
+    pub(crate) fn probe(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+}
+
+impl Latch for SpinLatch {
+    fn set(&self) {
+        self.set.store(true, Ordering::Release);
+    }
+}
+
+/// Blocking latch for threads outside the pool (e.g. `install` from
+/// the main thread), which have no queue to drain while they wait.
+#[derive(Default)]
+pub(crate) struct LockLatch {
+    done: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl LockLatch {
+    pub(crate) fn wait(&self) {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        while !*done {
+            done = self.cond.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl Latch for LockLatch {
+    fn set(&self) {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        *done = true;
+        self.cond.notify_all();
+    }
+}
+
+/// A pointer to an executable job plus its erased execute function.
+#[derive(Clone, Copy)]
+pub(crate) struct JobRef {
+    data: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+/// Identity is the data pointer alone: a live job's address is
+/// unique, and function pointers compare unreliably across codegen
+/// units.
+impl PartialEq for JobRef {
+    fn eq(&self, other: &JobRef) -> bool {
+        std::ptr::eq(self.data, other.data)
+    }
+}
+
+impl Eq for JobRef {}
+
+// Safety: a JobRef is only constructed from jobs whose closures are
+// `Send` (enforced by the `StackJob`/`HeapJob` constructors), and is
+// executed exactly once on whichever thread dequeues it.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// # Safety
+    /// `data` must stay valid until the job has executed.
+    pub(crate) unsafe fn new<T: Job>(data: *const T) -> JobRef {
+        JobRef {
+            data: data as *const (),
+            execute_fn: T::execute,
+        }
+    }
+
+    /// Decompose into two machine words for atomic slot storage.
+    pub(crate) fn into_words(self) -> (usize, usize) {
+        (self.data as usize, self.execute_fn as usize)
+    }
+
+    /// Reassemble from [`JobRef::into_words`] output.
+    ///
+    /// # Safety
+    /// The words must have come from `into_words` of a still-valid
+    /// job (a racing reader must discard the result unless a CAS
+    /// proves the slot was not reclaimed — see `Deque::steal`).
+    pub(crate) unsafe fn from_words(data: usize, execute_fn: usize) -> JobRef {
+        JobRef {
+            data: data as *const (),
+            execute_fn: std::mem::transmute::<usize, unsafe fn(*const ())>(execute_fn),
+        }
+    }
+
+    /// # Safety
+    /// Must be called exactly once, while the underlying job is alive.
+    pub(crate) unsafe fn execute(self) {
+        (self.execute_fn)(self.data)
+    }
+}
+
+/// Implemented by concrete job representations.
+pub(crate) trait Job {
+    /// # Safety
+    /// `this` must be the pointer a matching [`JobRef::new`] erased,
+    /// still valid, and never executed before.
+    unsafe fn execute(this: *const ());
+}
+
+pub(crate) enum JobResult<R> {
+    NotRun,
+    Ok(R),
+    Panic(Box<dyn Any + Send>),
+}
+
+/// A job that lives on the stack of the thread that forked it. The
+/// forking thread must not leave the enclosing frame until `latch`
+/// fires (even when unwinding), which is what makes borrowing stack
+/// data from `join` closures sound.
+pub(crate) struct StackJob<L: Latch, F, R> {
+    latch: L,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+}
+
+// Safety: the closure is Send (constructor bound); the result slot is
+// only touched by the single executing thread before the latch fires
+// and by the single waiting thread after.
+unsafe impl<L: Latch + Sync, F: Send, R: Send> Sync for StackJob<L, F, R> {}
+
+impl<L, F, R> StackJob<L, F, R>
+where
+    L: Latch + Sync,
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(latch: L, func: F) -> StackJob<L, F, R> {
+        StackJob {
+            latch,
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JobResult::NotRun),
+        }
+    }
+
+    pub(crate) fn latch(&self) -> &L {
+        &self.latch
+    }
+
+    /// # Safety
+    /// The returned ref must execute before `self` is dropped.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef::new(self)
+    }
+
+    /// Consume the completed job: return its value or resume its
+    /// panic. Must only be called after the latch has fired.
+    pub(crate) fn into_result(self) -> R {
+        match self.result.into_inner() {
+            JobResult::Ok(r) => r,
+            JobResult::Panic(p) => panic::resume_unwind(p),
+            JobResult::NotRun => unreachable!("StackJob consumed before it ran"),
+        }
+    }
+}
+
+impl<L, F, R> Job for StackJob<L, F, R>
+where
+    L: Latch + Sync,
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    unsafe fn execute(this: *const ()) {
+        let this = &*(this as *const Self);
+        let func = (*this.func.get()).take().expect("StackJob run twice");
+        *this.result.get() = match panic::catch_unwind(AssertUnwindSafe(func)) {
+            Ok(r) => JobResult::Ok(r),
+            Err(p) => JobResult::Panic(p),
+        };
+        // Last touch: the waiter may deallocate the job right after.
+        this.latch.set();
+    }
+}
+
+/// A boxed fire-and-forget job (scope spawns). Completion/panic
+/// accounting is the closure's own responsibility (the scope wraps
+/// it), so execute just runs and frees it.
+pub(crate) struct HeapJob {
+    func: Box<dyn FnOnce() + Send>,
+}
+
+impl HeapJob {
+    /// Box `func` and return the job ref that will run and free it.
+    pub(crate) fn boxed(func: Box<dyn FnOnce() + Send>) -> JobRef {
+        let raw = Box::into_raw(Box::new(HeapJob { func }));
+        // Safety: the box stays alive until execute reclaims it.
+        unsafe { JobRef::new(raw) }
+    }
+}
+
+impl Job for HeapJob {
+    unsafe fn execute(this: *const ()) {
+        let job = Box::from_raw(this as *mut Self);
+        (job.func)();
+    }
+}

@@ -1,0 +1,183 @@
+//! Executor stress tests: nested joins, panic propagation, skewed
+//! loads, and work stealing across explicit pool widths.
+
+use celeste_par::iter::{ParallelIterator, ParallelSlice, ParallelSliceMut};
+use celeste_par::{join, scope, ThreadPool};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Recursive fork-join all the way to single elements: exercises deep
+/// nesting, pop-after-push, and steal-while-waiting.
+fn par_triangle(lo: u64, hi: u64) -> u64 {
+    if hi - lo <= 4 {
+        return (lo..hi).sum();
+    }
+    let mid = lo + (hi - lo) / 2;
+    let (a, b) = join(|| par_triangle(lo, mid), || par_triangle(mid, hi));
+    a + b
+}
+
+#[test]
+fn nested_joins_compute_correct_sum() {
+    for width in [1, 2, 4, 8] {
+        let pool = ThreadPool::new(width);
+        let n = 40_000u64;
+        let got = pool.install(|| par_triangle(0, n));
+        assert_eq!(got, n * (n - 1) / 2, "width {width}");
+    }
+}
+
+#[test]
+fn join_propagates_panic_from_either_side() {
+    let pool = ThreadPool::new(2);
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.install(|| join(|| 1, || panic!("right side")));
+    }))
+    .unwrap_err();
+    let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert_eq!(msg, "right side");
+
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.install(|| join(|| panic!("left side"), || 2));
+    }))
+    .unwrap_err();
+    let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert_eq!(msg, "left side");
+}
+
+#[test]
+fn join_completes_other_side_before_unwinding() {
+    // The panicking side must not unwind past borrowed state while
+    // the other side still runs: the counter must always reach 100.
+    let pool = ThreadPool::new(4);
+    let done = AtomicUsize::new(0);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.install(|| {
+            join(
+                || {
+                    for _ in 0..100 {
+                        done.fetch_add(1, Ordering::SeqCst);
+                    }
+                },
+                || panic!("boom"),
+            )
+        })
+    }));
+    assert!(result.is_err());
+    assert_eq!(done.load(Ordering::SeqCst), 100);
+}
+
+#[test]
+fn scope_propagates_spawn_panic_after_all_jobs_finish() {
+    let pool = ThreadPool::new(3);
+    let completed = AtomicUsize::new(0);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.install(|| {
+            scope(|s| {
+                for i in 0..16 {
+                    let completed = &completed;
+                    s.spawn(move || {
+                        if i == 7 {
+                            panic!("spawn 7");
+                        }
+                        completed.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            })
+        })
+    }));
+    assert!(result.is_err());
+    assert_eq!(completed.load(Ordering::SeqCst), 15);
+}
+
+#[test]
+fn scope_from_external_thread_works() {
+    // No install: the scope owner is not a pool worker, so completion
+    // goes through the blocking path.
+    let total = AtomicUsize::new(0);
+    scope(|s| {
+        for i in 0..32 {
+            let total = &total;
+            s.spawn(move || {
+                total.fetch_add(i, Ordering::SeqCst);
+            });
+        }
+    });
+    assert_eq!(total.load(Ordering::SeqCst), (0..32).sum());
+}
+
+#[test]
+fn skewed_loads_all_complete_and_stay_ordered() {
+    // Item cost varies by ~1000x; stealing must still finish every
+    // item and collect must preserve index order.
+    let items: Vec<usize> = (0..64).collect();
+    for width in [1, 2, 4] {
+        let pool = ThreadPool::new(width);
+        let out: Vec<u64> = pool.install(|| {
+            items
+                .par_iter()
+                .map(|&i| {
+                    let spin = if i % 16 == 0 { 200_000 } else { 200 };
+                    let mut acc = 0u64;
+                    for k in 0..spin {
+                        acc = acc
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(k ^ i as u64);
+                    }
+                    std::hint::black_box(acc);
+                    i as u64
+                })
+                .collect()
+        });
+        assert_eq!(out, (0..64).collect::<Vec<u64>>(), "width {width}");
+    }
+}
+
+#[test]
+fn many_small_scopes_reuse_the_pool() {
+    let pool = ThreadPool::new(2);
+    pool.install(|| {
+        for round in 0..200 {
+            let mut out = [0usize; 4];
+            scope(|s| {
+                for (i, slot) in out.iter_mut().enumerate() {
+                    s.spawn(move || *slot = i + round);
+                }
+            });
+            assert_eq!(out, [round, round + 1, round + 2, round + 3]);
+        }
+    });
+}
+
+#[test]
+fn for_each_write_disjoint_chunks() {
+    let mut data = vec![0u64; 4096];
+    let pool = ThreadPool::new(4);
+    pool.install(|| {
+        data.par_chunks_mut(64).enumerate().for_each(|(ci, chunk)| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (ci * 64 + j) as u64;
+            }
+        });
+    });
+    assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64));
+}
+
+#[test]
+fn parallel_output_is_identical_across_widths() {
+    let input: Vec<u64> = (0..1 << 12).map(|i| i * 2654435761).collect();
+    let reference: Vec<u64> = ThreadPool::new(1).install(|| {
+        input
+            .par_iter()
+            .map(|&x| x.wrapping_mul(x) ^ x.rotate_left(13))
+            .collect()
+    });
+    for width in [2, 4, 7] {
+        let got: Vec<u64> = ThreadPool::new(width).install(|| {
+            input
+                .par_iter()
+                .map(|&x| x.wrapping_mul(x) ^ x.rotate_left(13))
+                .collect()
+        });
+        assert_eq!(got, reference, "width {width}");
+    }
+}

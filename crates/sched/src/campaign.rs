@@ -1,10 +1,11 @@
 //! End-to-end campaign driver: the whole paper pipeline on one machine.
 //!
-//! Simulated "nodes" are OS threads that pop region tasks from a
-//! [`crate::dtree::Dtree`], stage their images through a prefetching
-//! loader (the Burst Buffer path), jointly optimize the region's
-//! sources with Cyclades worker threads, and write results back to the
-//! PGAS store. Runtime is decomposed into the paper's four components
+//! Simulated "nodes" are scoped tasks on the shared `celeste-par`
+//! executor that pop region tasks from a [`crate::dtree::Dtree`],
+//! stage their images through a prefetching loader (the Burst Buffer
+//! path), jointly optimize the region's sources with Cyclades worker
+//! spawns on the same executor, and write results back to the PGAS
+//! store. Runtime is decomposed into the paper's four components
 //! (§VII-C): *image loading* (first-task blocking waits), *task
 //! processing* (the compute loop), *load imbalance* (idle after the
 //! queue drains), and *other* (scheduling, parameter I/O, output).
@@ -51,9 +52,11 @@ impl ComponentTimes {
 /// Campaign configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct CampaignConfig {
-    /// Simulated compute nodes (each is one scheduler thread).
+    /// Simulated compute nodes (each is one scheduler task on the
+    /// executor).
     pub n_nodes: usize,
-    /// Cyclades worker threads per node.
+    /// Cyclades batch width per node (component lists per batch;
+    /// actual parallelism is bounded by the executor pool).
     pub threads_per_node: usize,
     /// Prefetcher I/O threads (shared across nodes — the Burst Buffer).
     pub prefetch_workers: usize,
@@ -63,11 +66,15 @@ pub struct CampaignConfig {
 }
 
 impl Default for CampaignConfig {
+    /// Node and thread counts default to the single `CELESTE_THREADS`
+    /// knob (available parallelism when unset) instead of ad-hoc
+    /// constants, so one setting sizes the whole stack.
     fn default() -> Self {
+        let threads = celeste_par::configured_threads();
         CampaignConfig {
-            n_nodes: 2,
-            threads_per_node: 2,
-            prefetch_workers: 4,
+            n_nodes: threads.min(2),
+            threads_per_node: threads,
+            prefetch_workers: threads.max(2),
             dtree_fanout: 4,
             fit: FitConfig::default(),
         }
@@ -196,7 +203,11 @@ pub fn run_campaign(
         let node_end_times: Arc<Mutex<Vec<(usize, f64)>>> = Arc::new(Mutex::new(Vec::new()));
         let t_stage = Instant::now();
 
-        std::thread::scope(|scope| {
+        // Node loop: scoped spawns on the shared executor. A node
+        // task's nested Cyclades scope spawns land on the same pool,
+        // and a node blocked on a prefetch wait frees its worker's
+        // queue to thieves.
+        celeste_par::scope(|s| {
             for node in 0..cfg.n_nodes {
                 let dtree = Arc::clone(&dtree);
                 let prefetcher = Arc::clone(&prefetcher);
@@ -205,7 +216,7 @@ pub fn run_campaign(
                 let node_end_times = Arc::clone(&node_end_times);
                 let stage_tasks = &stage_tasks;
                 let id_of = &id_of;
-                scope.spawn(move || {
+                s.spawn(move || {
                     let mut comp = ComponentTimes::default();
                     let mut durations = Vec::new();
                     let mut works = Vec::new();

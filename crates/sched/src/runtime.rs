@@ -2,34 +2,37 @@
 //!
 //! "Multiple threads then coordinate to jointly optimize the light
 //! sources for the current task … threads coordinate their work
-//! through the Cyclades approach" (§IV-D). A region is processed by a
-//! *persistent* pool of worker threads that lives for the whole
-//! multi-pass optimization: each worker owns one Newton evaluation
-//! workspace (gradient/Hessian buffers, prepared appearance mixtures,
-//! and the trust-region solver's eigen scratch) plus one
-//! problem-assembly scratch, reused across every fit it performs, so
-//! steady-state optimization does no per-batch thread spawning and no
-//! heap allocation anywhere in a fit's Newton loop. Connected
-//! components of the sampled conflict graph never straddle threads,
-//! so every 44-block Newton update is a valid serial
+//! through the Cyclades approach" (§IV-D). Region processing runs on
+//! the shared `celeste-par` work-stealing executor: each Cyclades
+//! batch becomes one scoped spawn per component list, and because
+//! connected components of the sampled conflict graph never straddle
+//! lists — and each list executes serially on whichever worker picks
+//! it up — every 44-block Newton update remains a valid serial
 //! block-coordinate-ascent step.
 //!
-//! Workers read source parameters from an `Arc` snapshot. Between
-//! batches the pool holds the only reference, so the snapshot is
-//! updated in place (`Arc::make_mut` without a copy) by writing back
-//! just the sources the previous batch fitted — the old
-//! clone-the-whole-region-per-batch behavior is gone.
+//! The executor's workers are persistent for the process lifetime, so
+//! each keeps one Newton evaluation workspace (gradient/Hessian
+//! buffers, prepared appearance mixtures, and the trust-region
+//! solver's eigen scratch) plus one problem-assembly scratch in
+//! thread-local storage, built once ever and reused across every fit
+//! the worker performs in any region: steady-state optimization does
+//! no thread spawning and no heap allocation anywhere in a fit's
+//! Newton loop.
+//!
+//! Workers read source parameters from a plain snapshot borrowed for
+//! the duration of the batch (the scope joins before the coordinator
+//! continues); between batches only the sources fitted since the last
+//! refresh are written back.
 
 use crate::cyclades::{conflict_graph, overlap_radius_arcsec, sample_batches, ConflictGraph};
 use celeste_core::{
     fit_source_with, source_workspace, BuildScratch, FitConfig, ModelPriors, SourceParams,
-    SourceProblem,
+    SourceProblem, SourceWorkspace,
 };
 use celeste_survey::Image;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::mpsc;
-use std::sync::Arc;
+use std::cell::RefCell;
 
 /// Statistics from processing one region.
 #[derive(Debug, Clone, Copy, Default)]
@@ -45,15 +48,10 @@ pub struct RegionStats {
     pub graph_builds: usize,
 }
 
-/// One unit of worker work: fit `indices` against the shared snapshot.
-struct Job {
-    snapshot: Arc<Vec<SourceParams>>,
-    indices: Vec<usize>,
-}
-
-/// Per-source outcome shipped back to the coordinator. `source` is
-/// `None` when the subproblem had no active pixels (nothing to fit) —
-/// the coordinator still needs the entry to account for the index.
+/// Per-source outcome written by a worker into its batch slot.
+/// `source` is `None` when the subproblem had no active pixels
+/// (nothing to fit) — the coordinator still needs the entry to
+/// account for the index.
 struct FitResult {
     idx: usize,
     source: Option<SourceParams>,
@@ -61,29 +59,31 @@ struct FitResult {
     active_pixels: usize,
 }
 
-/// Worker → coordinator messages.
-enum WorkerMsg {
-    /// One job's results, sent only after the worker has dropped its
-    /// snapshot `Arc` — so when the coordinator has collected every
-    /// job of a batch, it provably holds the only reference and
-    /// `Arc::make_mut` never deep-clones.
-    JobDone(Vec<FitResult>),
-    /// Sent from a drop guard if the worker thread panics, so the
-    /// coordinator fails fast instead of waiting on a dead worker.
-    Died,
+/// Per-executor-worker fit state: one Newton evaluation workspace and
+/// one problem-assembly scratch, built on first use and reused for
+/// every fit that worker ever performs (the executor's workers are
+/// persistent, so this is once per process per thread).
+struct FitState {
+    ws: SourceWorkspace,
+    build: BuildScratch,
 }
 
-/// Sends [`WorkerMsg::Died`] if dropped during a panic unwind.
-struct DeathGuard {
-    tx: mpsc::Sender<WorkerMsg>,
+thread_local! {
+    static FIT_STATE: RefCell<Option<FitState>> = const { RefCell::new(None) };
 }
 
-impl Drop for DeathGuard {
-    fn drop(&mut self) {
-        if std::thread::panicking() {
-            let _ = self.tx.send(WorkerMsg::Died);
-        }
-    }
+/// Run `f` with the calling worker's fit state (creating it on first
+/// use). Fit tasks never recurse into the executor, so the RefCell is
+/// never re-entered.
+fn with_fit_state<R>(f: impl FnOnce(&mut FitState) -> R) -> R {
+    FIT_STATE.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let state = slot.get_or_insert_with(|| FitState {
+            ws: source_workspace(),
+            build: BuildScratch::default(),
+        });
+        f(state)
+    })
 }
 
 /// Rebuild the conflict graph when any source's fitted position or
@@ -130,11 +130,13 @@ impl GraphCache {
     }
 }
 
-/// Jointly optimize `sources` against `images` with `n_threads`
-/// persistent Cyclades worker threads. Sources outside this region
-/// (their contribution to pixel backgrounds) should already be folded
-/// into the images' neighbor handling by the caller passing them in
-/// `fixed_neighbors`.
+/// Jointly optimize `sources` against `images` with Cyclades batches
+/// `n_threads` component-lists wide, executed on the shared
+/// `celeste-par` pool (actual parallelism is the minimum of
+/// `n_threads` and the pool width — `CELESTE_THREADS` by default).
+/// Sources outside this region (their contribution to pixel
+/// backgrounds) should already be folded into the images' neighbor
+/// handling by the caller passing them in `fixed_neighbors`.
 pub fn process_region(
     sources: &mut [SourceParams],
     images: &[&Image],
@@ -170,130 +172,95 @@ pub fn process_region(
     stats.graph_builds += 1;
 
     // Region snapshot the workers read. Built once; between batches
-    // only fitted entries are written back (no per-batch clone: the
-    // coordinator holds the sole Arc reference by then).
-    let mut snapshot: Arc<Vec<SourceParams>> = Arc::new(sources.to_vec());
+    // only fitted entries are written back. The batch scope borrows
+    // it immutably and joins before the coordinator touches it again,
+    // so no Arc (and no per-batch clone) is needed.
+    let mut snapshot: Vec<SourceParams> = sources.to_vec();
 
-    let (result_tx, result_rx) = mpsc::channel::<WorkerMsg>();
-    std::thread::scope(|scope| {
-        // Persistent workers, one input channel each.
-        let mut job_txs: Vec<mpsc::Sender<Job>> = Vec::with_capacity(n_threads);
-        for _ in 0..n_threads {
-            let (job_tx, job_rx) = mpsc::channel::<Job>();
-            job_txs.push(job_tx);
-            let result_tx = result_tx.clone();
-            scope.spawn(move || {
-                let _guard = DeathGuard {
-                    tx: result_tx.clone(),
-                };
-                // Thread-affine state, reused across every fit this
-                // worker ever performs in this region.
-                let mut ws = source_workspace();
-                let mut build = BuildScratch::default();
-                while let Ok(Job { snapshot, indices }) = job_rx.recv() {
-                    let mut results = Vec::with_capacity(indices.len());
-                    for &idx in &indices {
-                        let mut sp = snapshot[idx].clone();
-                        let others: Vec<&SourceParams> = snapshot
-                            .iter()
-                            .enumerate()
-                            .filter(|(j, _)| *j != idx)
-                            .map(|(_, o)| o)
-                            .chain(fixed_neighbors.iter())
-                            .collect();
-                        let problem = SourceProblem::build_with(
-                            &sp, images, &others, priors, fit_cfg, &mut build,
-                        );
-                        results.push(if problem.blocks.is_empty() {
-                            FitResult {
-                                idx,
-                                source: None,
-                                newton_iters: 0,
-                                active_pixels: 0,
-                            }
-                        } else {
-                            let fs = fit_source_with(&mut sp, &problem, fit_cfg, &mut ws);
-                            FitResult {
-                                idx,
-                                source: Some(sp),
-                                newton_iters: fs.newton.iterations,
-                                active_pixels: fs.active_pixels,
+    let mut dirty: Vec<usize> = Vec::new();
+    for _pass in 0..fit_cfg.bca_passes {
+        stats.passes += 1;
+        if graph.stale(sources, psf_radius_arcsec) {
+            graph = GraphCache::build(sources, psf_radius_arcsec);
+            stats.graph_builds += 1;
+        }
+        stats.conflict_edges = graph.graph.edges;
+        let batch_size = (sources.len() / 2).max(4 * n_threads).max(1);
+        let batches = sample_batches(&mut rng, &graph.graph, n_threads, batch_size);
+        for batch in batches {
+            stats.batches += 1;
+            // Refresh the snapshot in place: only sources fitted
+            // since the last refresh are copied.
+            if !dirty.is_empty() {
+                for &idx in &dirty {
+                    snapshot[idx] = sources[idx].clone();
+                }
+                dirty.clear();
+            }
+            // One scoped spawn per non-empty component list; each
+            // list runs serially on one executor worker, so no two
+            // conflicting sources are ever fitted concurrently. A
+            // panicking fit propagates from the scope (after the
+            // batch's other lists finish) instead of hanging the
+            // coordinator.
+            let lists: Vec<Vec<usize>> = batch.into_iter().filter(|l| !l.is_empty()).collect();
+            let mut results: Vec<Vec<FitResult>> =
+                lists.iter().map(|l| Vec::with_capacity(l.len())).collect();
+            let snap = &snapshot;
+            celeste_par::scope(|s| {
+                for (out, list) in results.iter_mut().zip(&lists) {
+                    s.spawn(move || {
+                        with_fit_state(|state| {
+                            for &idx in list {
+                                let mut sp = snap[idx].clone();
+                                let others: Vec<&SourceParams> = snap
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|(j, _)| *j != idx)
+                                    .map(|(_, o)| o)
+                                    .chain(fixed_neighbors.iter())
+                                    .collect();
+                                let problem = SourceProblem::build_with(
+                                    &sp,
+                                    images,
+                                    &others,
+                                    priors,
+                                    fit_cfg,
+                                    &mut state.build,
+                                );
+                                out.push(if problem.blocks.is_empty() {
+                                    FitResult {
+                                        idx,
+                                        source: None,
+                                        newton_iters: 0,
+                                        active_pixels: 0,
+                                    }
+                                } else {
+                                    let fs =
+                                        fit_source_with(&mut sp, &problem, fit_cfg, &mut state.ws);
+                                    FitResult {
+                                        idx,
+                                        source: Some(sp),
+                                        newton_iters: fs.newton.iterations,
+                                        active_pixels: fs.active_pixels,
+                                    }
+                                });
                             }
                         });
-                    }
-                    // Release the snapshot BEFORE reporting: once the
-                    // coordinator has every JobDone of the batch, all
-                    // worker references are provably gone.
-                    drop(snapshot);
-                    if result_tx.send(WorkerMsg::JobDone(results)).is_err() {
-                        return; // coordinator gone: shut down
-                    }
+                    });
                 }
             });
-        }
-        drop(result_tx); // workers hold the remaining clones
-
-        let mut dirty: Vec<usize> = Vec::new();
-        for _pass in 0..fit_cfg.bca_passes {
-            stats.passes += 1;
-            if graph.stale(sources, psf_radius_arcsec) {
-                graph = GraphCache::build(sources, psf_radius_arcsec);
-                stats.graph_builds += 1;
-            }
-            stats.conflict_edges = graph.graph.edges;
-            let batch_size = (sources.len() / 2).max(4 * n_threads).max(1);
-            let batches = sample_batches(&mut rng, &graph.graph, n_threads, batch_size);
-            for batch in batches {
-                stats.batches += 1;
-                // Refresh the snapshot in place: only sources fitted
-                // since the last refresh are copied. All worker Arcs
-                // are dropped by now, so make_mut does not clone.
-                if !dirty.is_empty() {
-                    let snap = Arc::make_mut(&mut snapshot);
-                    for &idx in &dirty {
-                        snap[idx] = sources[idx].clone();
-                    }
-                    dirty.clear();
-                }
-                let mut outstanding_jobs = 0usize;
-                for (worker, thread_list) in
-                    batch.into_iter().enumerate().filter(|(_, l)| !l.is_empty())
-                {
-                    outstanding_jobs += 1;
-                    job_txs[worker % n_threads]
-                        .send(Job {
-                            snapshot: Arc::clone(&snapshot),
-                            indices: thread_list,
-                        })
-                        .expect("worker alive");
-                }
-                // Every job reports exactly once; a worker panic is
-                // surfaced by its death guard rather than a timeout,
-                // so slow fits wait indefinitely (like the old scoped
-                // join) while real failures still fail fast.
-                while outstanding_jobs > 0 {
-                    match result_rx.recv() {
-                        Ok(WorkerMsg::JobDone(results)) => {
-                            outstanding_jobs -= 1;
-                            for res in results {
-                                if let Some(sp) = res.source {
-                                    sources[res.idx] = sp;
-                                    dirty.push(res.idx);
-                                    stats.fits += 1;
-                                    stats.newton_iters += res.newton_iters;
-                                    stats.active_pixels += res.active_pixels;
-                                }
-                            }
-                        }
-                        Ok(WorkerMsg::Died) | Err(_) => {
-                            panic!("Cyclades worker died mid-batch")
-                        }
-                    }
+            for res in results.into_iter().flatten() {
+                if let Some(sp) = res.source {
+                    sources[res.idx] = sp;
+                    dirty.push(res.idx);
+                    stats.fits += 1;
+                    stats.newton_iters += res.newton_iters;
+                    stats.active_pixels += res.active_pixels;
                 }
             }
         }
-        drop(job_txs); // closes worker inputs; scope joins them
-    });
+    }
     stats
 }
 

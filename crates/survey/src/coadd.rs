@@ -10,6 +10,7 @@
 
 use crate::image::Image;
 use crate::psf::{Psf, PsfComponent};
+use rayon::prelude::*;
 
 /// Sum-coadd a set of same-footprint exposures (same band, same WCS
 /// grid). Panics if geometries differ.
@@ -25,14 +26,23 @@ pub fn coadd(exposures: &[&Image]) -> Image {
     let mut out = first.clone();
     out.sky_level = exposures.iter().map(|e| e.sky_level).sum();
     out.nmgy_to_counts = exposures.iter().map(|e| e.nmgy_to_counts).sum();
-    for p in &mut out.pixels {
-        *p = 0.0;
-    }
-    for e in exposures {
-        for (o, &p) in out.pixels.iter_mut().zip(&e.pixels) {
-            *o += p;
-        }
-    }
+    // Pixel-chunk parallel sum. Every pixel adds its exposures in
+    // argument order, so the result is bit-identical to the serial
+    // loop at any thread count.
+    const COADD_CHUNK: usize = 4096;
+    out.pixels
+        .par_chunks_mut(COADD_CHUNK)
+        .enumerate()
+        .for_each(|(ci, chunk)| {
+            chunk.fill(0.0);
+            let base = ci * COADD_CHUNK;
+            let len = chunk.len();
+            for e in exposures {
+                for (o, &p) in chunk.iter_mut().zip(&e.pixels[base..base + len]) {
+                    *o += p;
+                }
+            }
+        });
     // Flux-weighted mixture of per-epoch PSFs, renormalized to unit
     // weight. (Each epoch contributes flux ∝ its ι.)
     let total_iota = out.nmgy_to_counts;

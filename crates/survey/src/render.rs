@@ -49,29 +49,59 @@ pub fn source_gmm_pix(entry: &CatalogEntry, img: &Image) -> Gmm {
 
 /// Add a catalog's expected counts into `expected` (length = pixels of
 /// `img`), which should start at the sky level.
+///
+/// Rows are evaluated in parallel; each pixel still accumulates its
+/// sources in catalog order, so the output is bit-identical to a
+/// serial sweep at any thread count.
 pub fn accumulate_expected(catalog: &Catalog, img: &Image, expected: &mut [f64]) {
     assert_eq!(expected.len(), img.len());
     let band = img.band.index();
-    for entry in &catalog.entries {
-        let flux_counts = entry.fluxes()[band] * img.nmgy_to_counts;
-        if flux_counts <= 0.0 {
-            continue;
-        }
-        let gmm = source_gmm_pix(entry, img);
-        let center = img.wcs.sky_to_pix(&entry.pos);
-        let r = gmm
-            .support_radius(RENDER_NSIGMA)
-            .min(img.width.max(img.height) as f64);
-        let (xs, ys) = img.clip_box(center[0] - r, center[0] + r, center[1] - r, center[1] + r);
-        for y in ys {
-            let py = y as f64 + 0.5;
-            let row = &mut expected[y * img.width + xs.start..y * img.width + xs.end];
-            for (dx, e) in row.iter_mut().enumerate() {
-                let px = (xs.start + dx) as f64 + 0.5;
-                *e += flux_counts * gmm.eval(px, py);
-            }
-        }
+    // Per-source appearance and clipped support box, prepared once up
+    // front (cheap relative to the per-pixel mixture evaluations).
+    struct Prepared {
+        gmm: Gmm,
+        flux_counts: f64,
+        xs: std::ops::Range<usize>,
+        ys: std::ops::Range<usize>,
     }
+    let prepared: Vec<Prepared> = catalog
+        .entries
+        .iter()
+        .filter_map(|entry| {
+            let flux_counts = entry.fluxes()[band] * img.nmgy_to_counts;
+            if flux_counts <= 0.0 {
+                return None;
+            }
+            let gmm = source_gmm_pix(entry, img);
+            let center = img.wcs.sky_to_pix(&entry.pos);
+            let r = gmm
+                .support_radius(RENDER_NSIGMA)
+                .min(img.width.max(img.height) as f64);
+            let (xs, ys) = img.clip_box(center[0] - r, center[0] + r, center[1] - r, center[1] + r);
+            Some(Prepared {
+                gmm,
+                flux_counts,
+                xs,
+                ys,
+            })
+        })
+        .collect();
+    let width = img.width;
+    expected
+        .par_chunks_mut(width)
+        .enumerate()
+        .for_each(|(y, row)| {
+            let py = y as f64 + 0.5;
+            for p in &prepared {
+                if !p.ys.contains(&y) {
+                    continue;
+                }
+                for (dx, e) in row[p.xs.clone()].iter_mut().enumerate() {
+                    let px = (p.xs.start + dx) as f64 + 0.5;
+                    *e += p.flux_counts * p.gmm.eval(px, py);
+                }
+            }
+        });
 }
 
 /// Expected counts per pixel for a catalog (sky + all sources).

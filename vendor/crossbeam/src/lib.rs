@@ -1,50 +1,112 @@
 //! Minimal vendored stand-in for the `crossbeam` crate.
 //!
-//! Provides `crossbeam::channel` with clonable multi-consumer
-//! receivers, built on `std::sync::mpsc` plus a shared mutex on the
-//! receiving side. Throughput is irrelevant at our usage site (a
-//! handful of image-prefetch keys per task), correctness of the
-//! disconnect semantics is what matters: `iter()` ends when all
-//! senders drop, exactly like the real crate.
+//! Provides `crossbeam::channel` with clonable multi-producer,
+//! multi-consumer endpoints, built on a `Mutex<VecDeque>` plus a
+//! condvar. Unlike the earlier `std::sync::mpsc`-backed shim — whose
+//! shared receiver held the mutex *through* the blocking `recv`,
+//! serializing every consumer on one lock — a blocked `recv` here
+//! waits on the condvar with the lock released, so idle consumers
+//! never gate each other and a send wakes exactly the waiters it can
+//! feed. Disconnect semantics match the real crate: `recv`/`iter` end
+//! when every sender has dropped, and `send` fails once every
+//! receiver has dropped.
 
 pub mod channel {
-    use std::sync::mpsc;
-    use std::sync::{Arc, Mutex};
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
 
-    pub struct Sender<T>(mpsc::Sender<T>);
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        /// Signaled on every send and on the last sender's drop.
+        ready: Condvar,
+    }
+
+    pub struct Sender<T>(Arc<Shared<T>>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            self.0.lock().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let last = {
+                let mut inner = self.0.lock();
+                inner.senders -= 1;
+                inner.senders == 0
+            };
+            if last {
+                // Wake every blocked consumer so they observe the
+                // disconnect.
+                self.0.ready.notify_all();
+            }
         }
     }
 
     #[derive(Debug)]
     pub struct SendError<T>(pub T);
 
-    impl<T> Sender<T> {
-        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0
-                .send(value)
-                .map_err(|mpsc::SendError(v)| SendError(v))
+    impl<T> Shared<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
         }
     }
 
-    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            {
+                let mut inner = self.0.lock();
+                if inner.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                inner.queue.push_back(value);
+            }
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    pub struct Receiver<T>(Arc<Shared<T>>);
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
+            self.0.lock().receivers += 1;
             Receiver(Arc::clone(&self.0))
         }
     }
 
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.lock().receivers -= 1;
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct RecvError;
+
     impl<T> Receiver<T> {
+        /// Block until a value or disconnect. The lock is released
+        /// while waiting, so concurrent consumers make independent
+        /// progress.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .recv()
-                .map_err(|_| RecvError)
+            let mut inner = self.0.lock();
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.0.ready.wait(inner).unwrap_or_else(|e| e.into_inner());
+            }
         }
 
         /// Blocking iterator; ends when every sender has dropped.
@@ -52,9 +114,6 @@ pub mod channel {
             Iter { rx: self }
         }
     }
-
-    #[derive(Debug)]
-    pub struct RecvError;
 
     pub struct Iter<'a, T> {
         rx: &'a Receiver<T>,
@@ -69,16 +128,21 @@ pub mod channel {
 
     /// An unbounded MPMC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
     }
 
     /// A bounded channel (used here only to forge a disconnected
-    /// sender on shutdown; capacity handling comes from std).
+    /// sender on shutdown; capacity handling comes from the unbounded
+    /// queue).
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
-        // std's sync_channel has a distinct sender type; emulate a
-        // plain channel and accept the relaxed capacity semantics —
-        // our single call site uses bounded(0) purely for disconnect.
         let _ = cap;
         unbounded()
     }
@@ -87,6 +151,7 @@ pub mod channel {
 #[cfg(test)]
 mod tests {
     use super::channel;
+    use std::time::Duration;
 
     #[test]
     fn multi_consumer_drains_everything() {
@@ -103,5 +168,46 @@ mod tests {
         drop(tx);
         let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
         assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn blocked_consumers_do_not_serialize_on_the_lock() {
+        // Two consumers block in recv simultaneously; a send must
+        // reach one of them even while the other stays blocked (the
+        // old shim held the mutex through the blocking recv, so a
+        // parked consumer could gate the others).
+        let (tx, rx) = channel::unbounded::<u32>();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || rx.recv())
+            })
+            .collect();
+        // Let both consumers reach their blocking wait.
+        std::thread::sleep(Duration::from_millis(30));
+        tx.send(7).unwrap();
+        tx.send(8).unwrap();
+        let mut got: Vec<u32> = consumers
+            .into_iter()
+            .map(|h| h.join().unwrap().expect("value"))
+            .collect();
+        got.sort();
+        assert_eq!(got, vec![7, 8]);
+    }
+
+    #[test]
+    fn send_fails_after_all_receivers_drop() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn recv_reports_disconnect_after_draining() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().ok(), Some(1));
+        assert!(rx.recv().is_err());
     }
 }

@@ -1,42 +1,21 @@
 //! Minimal vendored stand-in for the `rayon` crate.
 //!
-//! The build container has no crates.io access. This shim maps the
+//! The build container has no crates.io access, so this shim maps the
 //! parallel-iterator entry points the workspace uses (`par_iter`,
-//! `par_chunks`, `par_chunks_mut`) onto ordinary serial iterators, so
-//! all call sites compile unchanged and stay deterministic. Real
-//! node-level parallelism in this workspace comes from
-//! `std::thread::scope` worker pools (see `celeste_sched::runtime`),
-//! which never went through rayon in the first place.
+//! `par_chunks`, `par_chunks_mut`, plus the `map`/`zip`/`enumerate`
+//! adapters and `for_each`/`collect`/`sum` drivers) onto the
+//! `celeste-par` work-stealing executor. Call sites compile unchanged
+//! — and, unlike the old serial fallback, now genuinely fan out
+//! across the node: work runs on the global `celeste-par` pool, sized
+//! by `CELESTE_THREADS` (default: available parallelism).
+//!
+//! Drivers assemble order-sensitive results left-to-right, so output
+//! is bit-identical to the serial path at any thread count.
+
+pub use celeste_par::join;
 
 pub mod prelude {
-    /// `par_iter` / `par_chunks` on shared slices (serial fallback).
-    pub trait ParallelSlice<T> {
-        fn par_iter(&self) -> std::slice::Iter<'_, T>;
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
-    }
-
-    impl<T> ParallelSlice<T> for [T] {
-        #[inline]
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
-        }
-        #[inline]
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(chunk_size)
-        }
-    }
-
-    /// `par_chunks_mut` on mutable slices (serial fallback).
-    pub trait ParallelSliceMut<T> {
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
-    }
-
-    impl<T> ParallelSliceMut<T> for [T] {
-        #[inline]
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
-        }
-    }
+    pub use celeste_par::iter::{ParallelIterator, ParallelSlice, ParallelSliceMut};
 }
 
 #[cfg(test)]
@@ -63,5 +42,12 @@ mod tests {
                 }
             });
         assert_eq!(dst, vec![0, 1, 2, 4, 5, 6, 8, 9, 10]);
+    }
+
+    #[test]
+    fn collect_preserves_input_order() {
+        let v: Vec<usize> = (0..4096).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 3).collect();
+        assert_eq!(out, (0..4096).map(|x| x * 3).collect::<Vec<_>>());
     }
 }
