@@ -1,0 +1,89 @@
+//! Quick bvn-kernel probe: per-call cost of the dispatched vs the
+//! portable instantiations of the value and derivative kernels, on a
+//! realistic prepared galaxy + star. Not a benchmark of record.
+
+use celeste_core::bvn::{GalaxyGeo, PreparedGalaxy, PreparedStar};
+use celeste_survey::psf::Psf;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn time_ns<O>(reps: usize, mut f: impl FnMut() -> O) -> f64 {
+    for _ in 0..reps / 4 {
+        black_box(f());
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..reps {
+            black_box(f());
+        }
+        best = best.min(t.elapsed().as_secs_f64() / reps as f64 * 1e9);
+    }
+    best
+}
+
+fn main() {
+    let jac = [[0.7, 0.04], [-0.02, 0.69]];
+    let psf = Psf::core_halo(1.3);
+    let geo = GalaxyGeo {
+        fd_logit: 0.3,
+        axis_logit: 0.5,
+        angle: 0.8,
+        ln_radius: 0.4,
+    };
+    let mut gal = PreparedGalaxy::default();
+    gal.prepare(&psf, &geo, [10.0, 12.0], [0.1, -0.2], &jac, 1e-9);
+    let mut star = PreparedStar::default();
+    star.prepare(&psf, [10.0, 12.0], [0.1, -0.2], &jac, 1e-9);
+
+    // A spread of pixels: near center (all survive) to wings (culled).
+    let pts: Vec<(f64, f64)> = (0..64)
+        .map(|i| {
+            let r = 0.25 * i as f64;
+            (10.0 + r * 0.7, 12.0 + r * 0.45)
+        })
+        .collect();
+
+    let reps = 2000;
+    let n = pts.len() as f64;
+    let t = time_ns(reps, || {
+        pts.iter().map(|&(x, y)| gal.eval_value(x, y)).sum::<f64>()
+    }) / n;
+    println!("gal value dispatched : {t:8.2} ns/px");
+    let t = time_ns(reps, || {
+        pts.iter()
+            .map(|&(x, y)| gal.eval_value_portable(x, y))
+            .sum::<f64>()
+    }) / n;
+    println!("gal value portable   : {t:8.2} ns/px");
+    let t = time_ns(reps, || {
+        pts.iter().map(|&(x, y)| star.eval_value(x, y)).sum::<f64>()
+    }) / n;
+    println!("star value dispatched: {t:8.2} ns/px");
+    let t = time_ns(reps, || {
+        pts.iter()
+            .map(|&(x, y)| star.eval_value_portable(x, y))
+            .sum::<f64>()
+    }) / n;
+    println!("star value portable  : {t:8.2} ns/px");
+    let t = time_ns(reps, || {
+        pts.iter().map(|&(x, y)| gal.eval(x, y).val).sum::<f64>()
+    }) / n;
+    println!("gal deriv dispatched : {t:8.2} ns/px");
+    let t = time_ns(reps, || {
+        pts.iter()
+            .map(|&(x, y)| gal.eval_portable(x, y).val)
+            .sum::<f64>()
+    }) / n;
+    println!("gal deriv portable   : {t:8.2} ns/px");
+    let t = time_ns(reps, || {
+        pts.iter().map(|&(x, y)| star.eval(x, y).val).sum::<f64>()
+    }) / n;
+    println!("star deriv dispatched: {t:8.2} ns/px");
+    let t = time_ns(reps, || {
+        pts.iter()
+            .map(|&(x, y)| star.eval_portable(x, y).val)
+            .sum::<f64>()
+    }) / n;
+    println!("star deriv portable  : {t:8.2} ns/px");
+}

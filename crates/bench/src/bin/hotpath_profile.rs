@@ -21,6 +21,12 @@
 //!   machine actually has ≥ 4 cores — a 1-core container can only
 //!   ever measure 1.0× and 2–3 cores cannot reach 2× after overhead.
 //!
+//! The emitted JSON records `kernel_dispatch` (`fma`/`scalar`, from
+//! [`celeste_linalg::fused::kernel_isa`]) so committed numbers from
+//! different machines are comparable; the packed/dense gate is 2.6×
+//! under FMA dispatch and 1.8× on the portable instantiation (which
+//! `CELESTE_FORCE_SCALAR=1` selects explicitly).
+//!
 //! Usage: `cargo run --release --bin hotpath_profile [out.json]`
 
 use celeste_core::likelihood::{
@@ -195,9 +201,14 @@ fn main() {
     let dense_ns_px = dense_s * ns / px;
     let packed_ns_px = packed_s * ns / px;
     let speedup = dense_s / packed_s;
+    // Which kernel instantiation this process dispatched: committed
+    // numbers are only comparable across machines when it's recorded
+    // (a scalar-path run silently looks like a regression against an
+    // FMA-path baseline).
+    let kernel_dispatch = celeste_linalg::fused::kernel_isa();
 
     let json = format!(
-        "{{\n  \"bench\": \"hotpath\",\n  \"scene\": \"stripe82 brightest source, 5 bands\",\n  \"active_pixels\": {pixels},\n  \"value_ns_per_pixel\": {value_ns_px:.2},\n  \"deriv_dense_ns_per_pixel\": {dense_ns_px:.2},\n  \"deriv_packed_ns_per_pixel\": {packed_ns_px:.2},\n  \"deriv_speedup_vs_dense\": {speedup:.3},\n  \"deriv_over_value_ratio\": {:.3},\n  \"fit_single_source_ms\": {:.3},\n  \"fits_per_sec\": {:.2},\n  \"workspace_builds_per_fit\": {ws_builds_per_fit:.3},\n  \"region_threads\": {region_threads},\n  \"region_fits_per_sec_1t\": {region_1t:.2},\n  \"region_fits_per_sec_nt\": {region_nt:.2},\n  \"region_scaling\": {region_scaling:.3}\n}}\n",
+        "{{\n  \"bench\": \"hotpath\",\n  \"scene\": \"stripe82 brightest source, 5 bands\",\n  \"kernel_dispatch\": \"{kernel_dispatch}\",\n  \"active_pixels\": {pixels},\n  \"value_ns_per_pixel\": {value_ns_px:.2},\n  \"deriv_dense_ns_per_pixel\": {dense_ns_px:.2},\n  \"deriv_packed_ns_per_pixel\": {packed_ns_px:.2},\n  \"deriv_speedup_vs_dense\": {speedup:.3},\n  \"deriv_over_value_ratio\": {:.3},\n  \"fit_single_source_ms\": {:.3},\n  \"fits_per_sec\": {:.2},\n  \"workspace_builds_per_fit\": {ws_builds_per_fit:.3},\n  \"region_threads\": {region_threads},\n  \"region_fits_per_sec_1t\": {region_1t:.2},\n  \"region_fits_per_sec_nt\": {region_nt:.2},\n  \"region_scaling\": {region_scaling:.3}\n}}\n",
         packed_s / value_s,
         fit_s * 1e3,
         1.0 / fit_s,
@@ -205,10 +216,16 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write BENCH_hotpath.json");
     println!("{json}");
     eprintln!("wrote {out_path}");
-    // Gate raised from 1.5x after the culled, lane-batched, FMA-
-    // dispatched kernel landed >2x (PR 2).
-    if speedup < 1.8 {
-        eprintln!("WARNING: packed-vs-dense speedup {speedup:.3} is below the 1.8x acceptance bar");
+    // Gate raised 1.5x → 1.8x (PR 2: culled, lane-batched kernel),
+    // 1.8x → 2.6x (PR 4: component-batched SIMD assembly + factored
+    // block sums; only enforced on the FMA instantiation — the
+    // portable one has no SIMD assembly to gate).
+    let gate = if kernel_dispatch == "fma" { 2.6 } else { 1.8 };
+    if speedup < gate {
+        eprintln!(
+            "WARNING: packed-vs-dense speedup {speedup:.3} ({kernel_dispatch} dispatch) \
+             is below the {gate}x acceptance bar"
+        );
         std::process::exit(2);
     }
     // Region-scaling gate: only meaningful with real cores to scale

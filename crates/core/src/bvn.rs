@@ -141,42 +141,28 @@ pub const QF_HARD_CUT: f64 = 100.0;
 /// loop runs branch-free over a compile-time-known width.
 pub const LANE: usize = 8;
 
-/// Fused-multiply-add strategy for the per-pixel kernels.
-///
-/// The production kernel is instantiated twice: once with plain
-/// `a*b + c` for the portable baseline, and once with
-/// [`f64::mul_add`] inside an `avx2,fma` target-feature function
-/// (where it compiles to a single `vfmadd` instead of a libm call).
-/// Dispatch happens per evaluation via cached CPU feature detection.
-/// The FMA form is at least as accurate as mul-then-add (one rounding
+/// Fused-multiply-add strategy for the per-pixel kernels
+/// ([`celeste_linalg::fused`]): the production kernel is instantiated
+/// once with plain `a*b + c` (portable baseline) and once with
+/// [`f64::mul_add`] inside an `avx2,fma` target-feature function. The
+/// FMA form is at least as accurate as mul-then-add (one rounding
 /// instead of two), so both instantiations agree with the frozen
-/// reference kernel within the 1e-12 parity bar.
-trait Fma {
-    fn madd(a: f64, b: f64, c: f64) -> f64;
-}
-
-/// Plain multiply-then-add (portable baseline).
-struct ScalarMadd;
-
-impl Fma for ScalarMadd {
-    #[inline(always)]
-    fn madd(a: f64, b: f64, c: f64) -> f64 {
-        a * b + c
-    }
-}
-
-/// Hardware contraction; only instantiated inside `fma`-enabled
-/// target-feature functions.
-#[cfg(target_arch = "x86_64")]
-struct HwFma;
+/// reference kernel within the 1e-12 parity bar — but they are not
+/// bit-identical to each other, so **every** evaluation path (value
+/// and derivative alike) dispatches through the same process-global
+/// [`fused::fma_enabled`] decision: a component whose quadratic form
+/// straddles its screening cut must be culled in both paths or
+/// neither, or the trust region's value and gradient become mutually
+/// inconsistent at the cut.
+use celeste_linalg::fused::{self, Madd as Fma, ScalarMadd};
 
 #[cfg(target_arch = "x86_64")]
-impl Fma for HwFma {
-    #[inline(always)]
-    fn madd(a: f64, b: f64, c: f64) -> f64 {
-        a.mul_add(b, c)
-    }
-}
+use celeste_linalg::fused::HwFma;
+
+/// Batch width of the vectorized survivor path: exponentials and
+/// derivative assembly run over this many surviving components in
+/// SIMD lockstep (4 × f64 = one AVX2 register).
+pub const EXP_BATCH: usize = 4;
 
 /// The screening polynomial envelope `f(q) = (1+q)²·e^{−q/2}`:
 /// monotonically decreasing for `q ≥ 3` (its maximizer). Its log,
@@ -493,13 +479,65 @@ impl EvalBlock {
         }
         b
     }
+
+    /// Scatter this block's 61 fields into the field-major transpose
+    /// (component `i` of `n`): field `f`'s lane array occupies
+    /// `soa[f·n .. (f+1)·n]`, so a batch of consecutive components
+    /// is one contiguous vector load per field in the SIMD assembly.
+    fn scatter_soa(&self, soa: &mut [f64], n: usize, i: usize) {
+        for k in 0..3 {
+            soa[(F_M + k) * n + i] = self.m[k];
+            soa[(F_HUU + k) * n + i] = self.huu[k];
+            soa[(F_TRMDS + k) * n + i] = self.tr_mds[k];
+        }
+        soa[F_WN * n + i] = self.wn;
+        soa[F_DWN * n + i] = self.dwn;
+        soa[F_D2WN * n + i] = self.d2wn;
+        for k in 0..4 {
+            soa[(F_JTM + k) * n + i] = self.jt_m[k];
+        }
+        for s in 0..3 {
+            for k in 0..3 {
+                soa[(F_DSIG + 3 * s + k) * n + i] = self.dsig[s][k];
+            }
+            for k in 0..4 {
+                soa[(F_KU + 4 * s + k) * n + i] = self.ku[s][k];
+            }
+        }
+        for p in 0..6 {
+            for k in 0..3 {
+                soa[(F_HQ + 3 * p + k) * n + i] = self.hq[p][k];
+            }
+            soa[(F_HC + p) * n + i] = self.hc[p];
+        }
+    }
 }
+
+/// Field indices of the [`EvalBlock`] transpose (`Lanes::soa`), in
+/// [`EvalBlock`] declaration order. Multi-slot fields are flattened
+/// in their natural (row-major / packed) order.
+const F_M: usize = 0; // 3: Σ⁻¹ (xx, xy, yy)
+const F_WN: usize = 3; // weight × norm
+const F_JTM: usize = 4; // 4: Jᵀ Σ⁻¹ row-major
+const F_HUU: usize = 8; // 3: −JᵀΣ⁻¹J lower triangle
+const F_DWN: usize = 11;
+const F_D2WN: usize = 12;
+const F_TRMDS: usize = 13; // 3
+const F_DSIG: usize = 16; // 3 shape slots × 3 (prefolded)
+const F_KU: usize = 25; // 3 shape slots × 4
+const F_HQ: usize = 37; // 6 pairs × 3 (prefolded)
+const F_HC: usize = 55; // 6
+/// Total lane-array count of the transpose.
+const N_FIELDS: usize = 61;
 
 /// Struct-of-arrays screening lanes plus the per-component eval
 /// blocks. The SoA part (`mxx/mxy/myy/qf_cut/wn`) feeds the
 /// branch-free quadratic-form and value loops; `blocks` is streamed
-/// only for components that survive the cull. Buffers are reused
-/// across re-preparations (the zero-allocation hot loop).
+/// for components that survive the cull in partially-culled chunks,
+/// while `soa` — the field-major transpose of `blocks` — feeds the
+/// batched assembly of fully-surviving chunks with contiguous vector
+/// loads. Buffers are reused across re-preparations (the
+/// zero-allocation hot loop).
 #[derive(Debug, Clone, Default)]
 struct Lanes {
     mxx: Vec<f64>,
@@ -508,6 +546,11 @@ struct Lanes {
     qf_cut: Vec<f64>,
     wn: Vec<f64>,
     blocks: Vec<EvalBlock>,
+    /// Field-major transpose of `blocks`: `N_FIELDS` lane arrays of
+    /// stride `len()` each (see the `F_*` indices). Only batch routes
+    /// read it, and those fire only for groups that lie entirely
+    /// within `len()` ([`classify_chunk`]), so no padding is needed.
+    soa: Vec<f64>,
 }
 
 impl Lanes {
@@ -529,6 +572,12 @@ impl Lanes {
             self.qf_cut.push(c.qf_cut);
             self.wn.push(c.weight * c.norm);
             self.blocks.push(EvalBlock::from_comp(c));
+        }
+        let n = self.blocks.len();
+        self.soa.clear();
+        self.soa.resize(N_FIELDS * n, 0.0);
+        for (i, b) in self.blocks.iter().enumerate() {
+            b.scatter_soa(&mut self.soa, n, i);
         }
     }
 }
@@ -700,6 +749,20 @@ impl PreparedStar {
     pub fn eval_value(&self, px: f64, py: f64) -> f64 {
         eval_value_lanes(&self.lanes, self.center, px, py)
     }
+
+    /// The portable (non-SIMD) kernel instantiation, bypassing the
+    /// runtime dispatch: parity hook for the scalar-vs-SIMD property
+    /// tests. Not a production entry point.
+    #[doc(hidden)]
+    pub fn eval_portable(&self, px: f64, py: f64) -> GeoEval {
+        eval_lanes_impl::<ScalarMadd>(&self.lanes, self.center, px, py, false)
+    }
+
+    /// Portable value-only instantiation (see [`Self::eval_portable`]).
+    #[doc(hidden)]
+    pub fn eval_value_portable(&self, px: f64, py: f64) -> f64 {
+        eval_value_lanes_impl::<ScalarMadd>(&self.lanes, self.center, px, py)
+    }
 }
 
 impl Default for PreparedGalaxy {
@@ -823,6 +886,20 @@ impl PreparedGalaxy {
     pub fn eval_value(&self, px: f64, py: f64) -> f64 {
         eval_value_lanes(&self.lanes, self.center, px, py)
     }
+
+    /// The portable (non-SIMD) kernel instantiation, bypassing the
+    /// runtime dispatch: parity hook for the scalar-vs-SIMD property
+    /// tests. Not a production entry point.
+    #[doc(hidden)]
+    pub fn eval_portable(&self, px: f64, py: f64) -> GeoEval {
+        eval_lanes_impl::<ScalarMadd>(&self.lanes, self.center, px, py, true)
+    }
+
+    /// Portable value-only instantiation (see [`Self::eval_portable`]).
+    #[doc(hidden)]
+    pub fn eval_value_portable(&self, px: f64, py: f64) -> f64 {
+        eval_value_lanes_impl::<ScalarMadd>(&self.lanes, self.center, px, py)
+    }
 }
 
 fn apply_offset(center0: [f64; 2], u: [f64; 2], jac: &[[f64; 2]; 2]) -> [f64; 2] {
@@ -857,12 +934,120 @@ fn chunk_qf<F: Fma>(
 }
 
 /// Value-only per-pixel kernel: Σ w·N with no derivative assembly.
-/// Touches only the SoA lanes (never the derivative blocks). Always
-/// the portable instantiation: the value path is a handful of madds
-/// plus one `exp` per survivor, too light for the FMA dispatch to pay
-/// for its call overhead (measured).
+/// Touches only the SoA lanes (never the derivative blocks).
+///
+/// Dispatches through the same process-global [`fused::fma_enabled`]
+/// decision as the derivative kernel, so the screening quadratic
+/// forms round identically in both paths and a component at its
+/// screening cut is culled in both or neither. (An earlier revision
+/// pinned this path to the portable instantiation while the
+/// derivative path dispatched hardware FMA; near `qf_cut` the two
+/// could then disagree on culling, making trust-region values and
+/// gradients mutually inconsistent.)
 fn eval_value_lanes(lanes: &Lanes, center: [f64; 2], px: f64, py: f64) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    if fused::fma_enabled() {
+        // SAFETY: fma_enabled() verified avx2+fma at runtime.
+        return unsafe { eval_value_lanes_fma(lanes, center, px, py) };
+    }
     eval_value_lanes_impl::<ScalarMadd>(lanes, center, px, py)
+}
+
+/// Routing decision for one screening chunk — the cull comparison
+/// and route selection shared *verbatim* by the value and derivative
+/// SIMD kernels, so the two can never again diverge on a culling
+/// decision (the dispatch-unification invariant in code form):
+///
+/// * [`ChunkRoute::Skip`] — no survivor; the chunk costs just its
+///   quadratic forms (the far-wing common case);
+/// * [`ChunkRoute::BatchFull`] / [`ChunkRoute::BatchHalf`] — every
+///   lane survives a full (8) or final half (4) chunk: unmasked
+///   [`exp4`] batches with fixed straight-line indices (the
+///   source-core common case);
+/// * [`ChunkRoute::Scalar`] — mixed survival: per-survivor scalar
+///   streaming (a handful of boundary chunks per pixel; batching the
+///   stragglers was measured slower).
+#[cfg(target_arch = "x86_64")]
+enum ChunkRoute {
+    Skip,
+    BatchFull,
+    BatchHalf,
+    Scalar([bool; LANE]),
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn classify_chunk(qf: &[f64; LANE], cut: &[f64], w: usize) -> ChunkRoute {
+    let mut keep = [false; LANE];
+    let (mut any, mut all) = (false, true);
+    for j in 0..w {
+        keep[j] = qf[j] <= cut[j];
+        any |= keep[j];
+        all &= keep[j];
+    }
+    if !any {
+        ChunkRoute::Skip
+    } else if all && w == LANE {
+        ChunkRoute::BatchFull
+    } else if all && w == EXP_BATCH {
+        ChunkRoute::BatchHalf
+    } else {
+        ChunkRoute::Scalar(keep)
+    }
+}
+
+/// The vectorized value-path instantiation: no survivor compression,
+/// each 8-wide screening chunk routed by [`classify_chunk`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn eval_value_lanes_fma(lanes: &Lanes, center: [f64; 2], px: f64, py: f64) -> f64 {
+    let n = lanes.len();
+    if n <= EXP_BATCH {
+        // Mixtures smaller than one exp batch (stars): the batch
+        // setup costs more than the libm exponentials it replaces.
+        // Same instantiation, so screening is unchanged.
+        return eval_value_lanes_impl::<HwFma>(lanes, center, px, py);
+    }
+    let (dx, dy) = (px - center[0], py - center[1]);
+    let (dxx, dxy2, dyy) = (dx * dx, 2.0 * dx * dy, dy * dy);
+    let mut total = [0.0; LANE];
+    let mut base = 0;
+    while base < n {
+        let w = (n - base).min(LANE);
+        let qf = chunk_qf::<HwFma>(lanes, base, w, dxx, dxy2, dyy);
+        match classify_chunk(&qf, &lanes.qf_cut[base..base + w], w) {
+            ChunkRoute::Skip => {}
+            ChunkRoute::BatchFull => {
+                let wn = &lanes.wn[base..base + LANE];
+                let e0 = exp4::<HwFma>([-0.5 * qf[0], -0.5 * qf[1], -0.5 * qf[2], -0.5 * qf[3]]);
+                let e1 = exp4::<HwFma>([-0.5 * qf[4], -0.5 * qf[5], -0.5 * qf[6], -0.5 * qf[7]]);
+                for j in 0..EXP_BATCH {
+                    total[j] = HwFma::madd(wn[j], e0[j], total[j]);
+                    total[EXP_BATCH + j] =
+                        HwFma::madd(wn[EXP_BATCH + j], e1[j], total[EXP_BATCH + j]);
+                }
+            }
+            ChunkRoute::BatchHalf => {
+                let wn = &lanes.wn[base..base + EXP_BATCH];
+                let e0 = exp4::<HwFma>([-0.5 * qf[0], -0.5 * qf[1], -0.5 * qf[2], -0.5 * qf[3]]);
+                for j in 0..EXP_BATCH {
+                    total[j] = HwFma::madd(wn[j], e0[j], total[j]);
+                }
+            }
+            ChunkRoute::Scalar(keep) => {
+                let wn = &lanes.wn[base..base + w];
+                for j in 0..w {
+                    if keep[j] {
+                        total[j] = HwFma::madd(wn[j], (-0.5 * qf[j]).exp(), total[j]);
+                    }
+                }
+            }
+        }
+        base += LANE;
+    }
+    let t0 = (total[0] + total[1]) + (total[2] + total[3]);
+    let t1 = (total[4] + total[5]) + (total[6] + total[7]);
+    t0 + t1
 }
 
 #[inline(always)]
@@ -887,6 +1072,65 @@ fn eval_value_lanes_impl<F: Fma>(lanes: &Lanes, center: [f64; 2], px: f64, py: f
     total
 }
 
+/// Polynomial `exp` over a 4-lane batch: `out[l] = e^{x[l]}`, valid
+/// on the kernel's domain `x ∈ [−QF_HARD_CUT/2, 0]` (extends to any
+/// non-overflowing input, but no underflow handling below
+/// `2^{−1022}` is needed or provided). The classic Cephes-style
+/// scheme — `e^x = 2^k · e^r` with `r = x − k·ln 2` reduced in two
+/// parts so the reduction is exact, then a degree-13 Taylor
+/// evaluation of `e^r` on `|r| ≤ ½ln 2` (truncation < 4e−18
+/// relative) and an exponent-field scale by `2^k`. Total error ~1–2
+/// ulp, far inside the kernel's 1e-12 parity bar against the libm
+/// `exp` the reference kernel calls. Branch-free straight-line lane
+/// loops: inside an `avx2,fma` instantiation the whole batch
+/// compiles to vector rounds, FMAs, and one integer shift.
+#[inline(always)]
+#[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))] // only the SIMD paths batch
+fn exp4<F: Fma>(x: [f64; EXP_BATCH]) -> [f64; EXP_BATCH] {
+    // ln 2 split: hi has its low 32 mantissa bits zeroed, so k·LN2_HI
+    // is exact for the |k| ≤ 73 this domain produces.
+    const LN2_HI: f64 = f64::from_bits(0x3FE6_2E42_FEE0_0000);
+    const LN2_LO: f64 = f64::from_bits(0x3DEA_39EF_3579_6967);
+    // Taylor 1/j! for j = 2..=13 (j = 0, 1 are exact in the Horner
+    // tail below).
+    const C: [f64; 12] = [
+        0.5,
+        1.0 / 6.0,
+        1.0 / 24.0,
+        1.0 / 120.0,
+        1.0 / 720.0,
+        1.0 / 5040.0,
+        1.0 / 40320.0,
+        1.0 / 362880.0,
+        1.0 / 3628800.0,
+        1.0 / 39916800.0,
+        1.0 / 479001600.0,
+        1.0 / 6227020800.0,
+    ];
+    let mut k = [0.0; EXP_BATCH];
+    let mut r = [0.0; EXP_BATCH];
+    for l in 0..EXP_BATCH {
+        k[l] = (x[l] * std::f64::consts::LOG2_E).round_ties_even();
+        r[l] = F::madd(-k[l], LN2_LO, F::madd(-k[l], LN2_HI, x[l]));
+    }
+    let mut p = [0.0; EXP_BATCH];
+    for l in 0..EXP_BATCH {
+        let mut acc = C[11];
+        for c in C[..11].iter().rev() {
+            acc = F::madd(acc, r[l], *c);
+        }
+        // e^r ≈ 1 + r + r²·(Σ c_j r^{j−2}).
+        p[l] = F::madd(acc, r[l] * r[l], r[l]) + 1.0;
+    }
+    let mut out = [0.0; EXP_BATCH];
+    for l in 0..EXP_BATCH {
+        // 2^k via the exponent field; k ≥ −73 keeps this normal.
+        let two_k = f64::from_bits(((k[l] as i64 + 1023) << 52) as u64);
+        out[l] = p[l] * two_k;
+    }
+    out
+}
+
 /// The production per-pixel kernel. Slots: [u0, u1, fd, axis, angle, lr].
 ///
 /// Runs in passes: the lane screening cull ([`screen_lanes`]) drops
@@ -901,13 +1145,23 @@ fn eval_value_lanes_impl<F: Fma>(lanes: &Lanes, center: [f64; 2], px: f64, py: f
 /// column entirely.
 fn eval_lanes(lanes: &Lanes, center: [f64; 2], px: f64, py: f64, with_shape: bool) -> GeoEval {
     #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
-        // SAFETY: feature presence checked at runtime.
+    if fused::fma_enabled() {
+        // SAFETY: fma_enabled() verified avx2+fma at runtime.
         return unsafe { eval_lanes_fma(lanes, center, px, py, with_shape) };
     }
     eval_lanes_impl::<ScalarMadd>(lanes, center, px, py, with_shape)
 }
 
+/// The vectorized derivative instantiation. Chunks route through the
+/// same [`classify_chunk`] as the value path: a fully-surviving
+/// 8-wide chunk takes its exponentials in two [`exp4`] batches and
+/// assembles two [`eval_block4`] groups — 4 *consecutive* components
+/// per output slot with contiguous vector loads from the field-major
+/// [`EvalBlock`] transpose (`Lanes::soa`) and vertical SoA madds
+/// into lane accumulators ([`GeoAcc4`]), reduced once per pixel.
+/// Partially-culled chunks stream their survivors through the scalar
+/// [`eval_block`] instead (same instantiation, so screening rounds
+/// identically everywhere).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn eval_lanes_fma(
@@ -917,7 +1171,261 @@ unsafe fn eval_lanes_fma(
     py: f64,
     with_shape: bool,
 ) -> GeoEval {
-    eval_lanes_impl::<HwFma>(lanes, center, px, py, with_shape)
+    let n = lanes.len();
+    if n <= LANE {
+        // Small mixtures (stars: a PSF's worth of components) cannot
+        // fill SIMD batches; the batch/accumulator setup would cost
+        // more than it saves (measured ~6× on the 2-component
+        // core+halo star). Stream them through the scalar assembly —
+        // same HwFma instantiation, so screening still rounds
+        // identically to every other path.
+        return eval_lanes_impl::<HwFma>(lanes, center, px, py, with_shape);
+    }
+    let mut out = GeoEval::zero();
+    let mut acc = GeoAcc4::zero();
+    let (dx, dy) = (px - center[0], py - center[1]);
+    let (dxx, dxy2, dyy) = (dx * dx, 2.0 * dx * dy, dy * dy);
+    let mut base = 0;
+    while base < n {
+        let w = (n - base).min(LANE);
+        let qf = chunk_qf::<HwFma>(lanes, base, w, dxx, dxy2, dyy);
+        match classify_chunk(&qf, &lanes.qf_cut[base..base + w], w) {
+            ChunkRoute::Skip => {}
+            ChunkRoute::BatchFull => {
+                let e0 = exp4::<HwFma>([-0.5 * qf[0], -0.5 * qf[1], -0.5 * qf[2], -0.5 * qf[3]]);
+                let e1 = exp4::<HwFma>([-0.5 * qf[4], -0.5 * qf[5], -0.5 * qf[6], -0.5 * qf[7]]);
+                eval_block4::<HwFma>(&lanes.soa, n, base, &e0, dx, dy, with_shape, &mut acc);
+                eval_block4::<HwFma>(
+                    &lanes.soa,
+                    n,
+                    base + EXP_BATCH,
+                    &e1,
+                    dx,
+                    dy,
+                    with_shape,
+                    &mut acc,
+                );
+            }
+            ChunkRoute::BatchHalf => {
+                // E.g. the 28-component galaxy mixture's tail.
+                let e0 = exp4::<HwFma>([-0.5 * qf[0], -0.5 * qf[1], -0.5 * qf[2], -0.5 * qf[3]]);
+                eval_block4::<HwFma>(&lanes.soa, n, base, &e0, dx, dy, with_shape, &mut acc);
+            }
+            ChunkRoute::Scalar(keep) => {
+                for j in 0..w {
+                    if keep[j] {
+                        eval_block::<HwFma>(
+                            &lanes.blocks[base + j],
+                            (-0.5 * qf[j]).exp(),
+                            dx,
+                            dy,
+                            with_shape,
+                            &mut out,
+                        );
+                    }
+                }
+            }
+        }
+        base += LANE;
+    }
+    acc.fold_into(&mut out);
+    // Mirror the accumulated lower triangle once per pixel.
+    for i in 0..GEO {
+        for j in 0..i {
+            out.hess[j][i] = out.hess[i][j];
+        }
+    }
+    out
+}
+
+/// Length of the packed lower triangle of the 6×6 geometry Hessian.
+const GEO_PACKED: usize = GEO * (GEO + 1) / 2;
+
+/// Four-lane accumulator for the batched derivative assembly: every
+/// output slot of [`GeoEval`] (value, 6 gradient slots, the packed
+/// lower Hessian triangle) carries one partial sum per SIMD lane, so
+/// [`eval_block4`] accumulates with purely vertical madds — no
+/// horizontal reduction until [`GeoAcc4::fold_into`] runs once per
+/// pixel.
+#[cfg(target_arch = "x86_64")]
+struct GeoAcc4 {
+    val: [f64; EXP_BATCH],
+    grad: [[f64; EXP_BATCH]; GEO],
+    /// Packed lower triangle, row-major: slot (i, j ≤ i) at
+    /// `i(i+1)/2 + j`.
+    hess: [[f64; EXP_BATCH]; GEO_PACKED],
+}
+
+#[cfg(target_arch = "x86_64")]
+impl GeoAcc4 {
+    #[inline(always)]
+    fn zero() -> GeoAcc4 {
+        GeoAcc4 {
+            val: [0.0; EXP_BATCH],
+            grad: [[0.0; EXP_BATCH]; GEO],
+            hess: [[0.0; EXP_BATCH]; GEO_PACKED],
+        }
+    }
+
+    /// Reduce the lanes into the scalar output (fixed lane order:
+    /// deterministic across runs).
+    #[inline(always)]
+    fn fold_into(&self, out: &mut GeoEval) {
+        let sum4 = |v: &[f64; EXP_BATCH]| (v[0] + v[1]) + (v[2] + v[3]);
+        out.val += sum4(&self.val);
+        for i in 0..GEO {
+            out.grad[i] += sum4(&self.grad[i]);
+            for j in 0..=i {
+                out.hess[i][j] += sum4(&self.hess[i * (i + 1) / 2 + j]);
+            }
+        }
+    }
+}
+
+/// Load one field's batch: the four consecutive lanes `g..g+4` of
+/// field `f` in the [`EvalBlock`] transpose — a single unaligned
+/// vector load in the SIMD instantiation.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn ld4(soa: &[f64], n: usize, f: usize, g: usize) -> [f64; EXP_BATCH] {
+    soa[f * n + g..f * n + g + EXP_BATCH].try_into().unwrap()
+}
+
+/// Derivative assembly for one batch of four *consecutive* surviving
+/// components `g..g+4`: the lane-`l` columns of every intermediate
+/// (`h0`, `g0`, `gs`, …) belong to component `g + l`, every field
+/// batch is one contiguous load from the field-major transpose
+/// ([`ld4`]), each output slot accumulates all four lanes with one
+/// vertical madd per lane, and nothing is reduced horizontally (see
+/// [`GeoAcc4`]). The math is [`eval_block`]'s, transposed to
+/// struct-of-arrays.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // internal hot-path plumbing
+fn eval_block4<F: Fma>(
+    soa: &[f64],
+    n: usize,
+    g: usize,
+    e: &[f64; EXP_BATCH],
+    dx: f64,
+    dy: f64,
+    with_shape: bool,
+    acc: &mut GeoAcc4,
+) {
+    let m0 = ld4(soa, n, F_M, g);
+    let m1 = ld4(soa, n, F_M + 1, g);
+    let m2 = ld4(soa, n, F_M + 2, g);
+    let wnb = ld4(soa, n, F_WN, g);
+    let jt0 = ld4(soa, n, F_JTM, g);
+    let jt1 = ld4(soa, n, F_JTM + 1, g);
+    let jt2 = ld4(soa, n, F_JTM + 2, g);
+    let jt3 = ld4(soa, n, F_JTM + 3, g);
+    let huu0 = ld4(soa, n, F_HUU, g);
+    let huu1 = ld4(soa, n, F_HUU + 1, g);
+    let huu2 = ld4(soa, n, F_HUU + 2, g);
+
+    let mut h0 = [0.0; EXP_BATCH];
+    let mut h1 = [0.0; EXP_BATCH];
+    let mut wn = [0.0; EXP_BATCH];
+    let mut g0 = [0.0; EXP_BATCH];
+    let mut g1 = [0.0; EXP_BATCH];
+    for l in 0..EXP_BATCH {
+        h0[l] = F::madd(m0[l], dx, m1[l] * dy);
+        h1[l] = F::madd(m1[l], dx, m2[l] * dy);
+        wn[l] = wnb[l] * e[l];
+        // lnN gradient: gu = Jᵀ h; gs per shape.
+        g0[l] = F::madd(jt0[l], dx, jt1[l] * dy);
+        g1[l] = F::madd(jt2[l], dx, jt3[l] * dy);
+    }
+    for l in 0..EXP_BATCH {
+        acc.val[l] += wn[l];
+        acc.grad[0][l] = F::madd(wn[l], g0[l], acc.grad[0][l]);
+        acc.grad[1][l] = F::madd(wn[l], g1[l], acc.grad[1][l]);
+        // u-block (lower triangle): wn·(g gᵀ + ∂²lnN/∂u²).
+        acc.hess[0][l] = F::madd(wn[l], F::madd(g0[l], g0[l], huu0[l]), acc.hess[0][l]);
+        acc.hess[1][l] = F::madd(wn[l], F::madd(g1[l], g0[l], huu1[l]), acc.hess[1][l]);
+        acc.hess[2][l] = F::madd(wn[l], F::madd(g1[l], g1[l], huu2[l]), acc.hess[2][l]);
+    }
+    if !with_shape {
+        return;
+    }
+
+    let mut h00 = [0.0; EXP_BATCH];
+    let mut h01 = [0.0; EXP_BATCH];
+    let mut h11 = [0.0; EXP_BATCH];
+    for l in 0..EXP_BATCH {
+        h00[l] = h0[l] * h0[l];
+        h01[l] = h0[l] * h1[l];
+        h11[l] = h1[l] * h1[l];
+    }
+    let mut gs = [[0.0; EXP_BATCH]; 3];
+    for s in 0..3 {
+        let d0 = ld4(soa, n, F_DSIG + 3 * s, g);
+        let d1 = ld4(soa, n, F_DSIG + 3 * s + 1, g);
+        let d2 = ld4(soa, n, F_DSIG + 3 * s + 2, g);
+        let tr = ld4(soa, n, F_TRMDS + s, g);
+        for l in 0..EXP_BATCH {
+            // dsig is prefolded: the quad over (h00, h01, h11) IS
+            // ½hᵀdΣh.
+            gs[s][l] = F::madd(
+                d0[l],
+                h00[l],
+                F::madd(d1[l], h01[l], F::madd(d2[l], h11[l], -tr[l])),
+            );
+            acc.grad[3 + s][l] = F::madd(wn[l], gs[s][l], acc.grad[3 + s][l]);
+        }
+    }
+    for s in 0..3 {
+        let row = (3 + s) * (4 + s) / 2;
+        let k0 = ld4(soa, n, F_KU + 4 * s, g);
+        let k1 = ld4(soa, n, F_KU + 4 * s + 1, g);
+        let k2 = ld4(soa, n, F_KU + 4 * s + 2, g);
+        let k3 = ld4(soa, n, F_KU + 4 * s + 3, g);
+        for l in 0..EXP_BATCH {
+            // ∂²lnN/∂u∂s = −(Jᵀ M dΣ_s) h; rows 3+s, cols 0..1.
+            let v0 = -F::madd(k0[l], h0[l], k1[l] * h1[l]);
+            let v1 = -F::madd(k2[l], h0[l], k3[l] * h1[l]);
+            acc.hess[row][l] = F::madd(wn[l], F::madd(gs[s][l], g0[l], v0), acc.hess[row][l]);
+            acc.hess[row + 1][l] =
+                F::madd(wn[l], F::madd(gs[s][l], g1[l], v1), acc.hess[row + 1][l]);
+        }
+        for s2 in 0..=s {
+            let p = s * (s + 1) / 2 + s2;
+            let q0 = ld4(soa, n, F_HQ + 3 * p, g);
+            let q1 = ld4(soa, n, F_HQ + 3 * p + 1, g);
+            let q2 = ld4(soa, n, F_HQ + 3 * p + 2, g);
+            let hc = ld4(soa, n, F_HC + p, g);
+            for l in 0..EXP_BATCH {
+                // One precombined, prefolded quad form:
+                // ½ hᵀd²Σh − hᵀ(dΣMdΣ′)h + const.
+                let second = F::madd(
+                    q0[l],
+                    h00[l],
+                    F::madd(q1[l], h01[l], F::madd(q2[l], h11[l], hc[l])),
+                );
+                acc.hess[row + 3 + s2][l] = F::madd(
+                    wn[l],
+                    F::madd(gs[s][l], gs[s2][l], second),
+                    acc.hess[row + 3 + s2][l],
+                );
+            }
+        }
+    }
+
+    // Mixing-weight (fd) terms: row/col 2 (packed row offset 3).
+    let dwnb = ld4(soa, n, F_DWN, g);
+    let d2wnb = ld4(soa, n, F_D2WN, g);
+    for l in 0..EXP_BATCH {
+        let dwn = dwnb[l] * e[l];
+        acc.grad[2][l] += dwn;
+        acc.hess[5][l] = F::madd(d2wnb[l], e[l], acc.hess[5][l]);
+        acc.hess[3][l] = F::madd(dwn, g0[l], acc.hess[3][l]);
+        acc.hess[4][l] = F::madd(dwn, g1[l], acc.hess[4][l]);
+        for s in 0..3 {
+            let row = (3 + s) * (4 + s) / 2;
+            acc.hess[row + 2][l] = F::madd(dwn, gs[s][l], acc.hess[row + 2][l]);
+        }
+    }
 }
 
 #[inline(always)]
@@ -1370,6 +1878,89 @@ mod tests {
                         (a.hess[i][j] - b.hess[i][j]).abs() <= 1e-12 * (1.0 + b.hess[i][j].abs())
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn exp4_matches_libm_within_ulps() {
+        // The batched polynomial exp must track libm exp to a couple
+        // of ulps across the kernel's whole domain [−50, 0] (qf up to
+        // the hard cut), under both madd strategies.
+        let mut worst: f64 = 0.0;
+        for i in 0..=5000 {
+            let x = -50.0 * i as f64 / 5000.0;
+            let xs = [x, x - 0.013, (x - 0.27).max(-50.0), x * 0.5];
+            let scalar = exp4::<ScalarMadd>(xs);
+            for l in 0..EXP_BATCH {
+                let want = xs[l].exp();
+                let rel = ((scalar[l] - want) / want).abs();
+                worst = worst.max(rel);
+            }
+            #[cfg(target_arch = "x86_64")]
+            {
+                // HwFma::madd is mul_add — fused rounding regardless
+                // of target features, so this exercises the same
+                // arithmetic the avx2 instantiation runs.
+                let hw = exp4::<HwFma>(xs);
+                for l in 0..EXP_BATCH {
+                    let want = xs[l].exp();
+                    worst = worst.max(((hw[l] - want) / want).abs());
+                }
+            }
+        }
+        assert!(worst < 1e-15, "exp4 worst relative error {worst:.3e}");
+    }
+
+    /// Regression test for the value/derivative dispatch mismatch:
+    /// `eval_value_lanes` was pinned to the portable madds while
+    /// `eval_lanes` dispatched hardware FMA, so on AVX2 machines the
+    /// two paths rounded the screening quadratic form differently —
+    /// a component sitting exactly at its screening radius could be
+    /// culled in the value path but kept in the derivative path (or
+    /// vice versa), making trust-region values and gradients
+    /// mutually inconsistent at the cut. Both paths now route
+    /// through one process-global dispatch decision.
+    #[test]
+    fn value_and_derivative_paths_cull_identically_at_screening_radius() {
+        // Single-component star: culled ⇔ the evaluation is exactly
+        // zero, so zero-ness of each path exposes its decision.
+        let psf = Psf::single(1.1);
+        let mut prep = PreparedStar::new(&psf, [0.0, 0.0], [0.0, 0.0], &JAC);
+        assert_eq!(prep.n_comps(), 1);
+
+        // Place the component *exactly* at its screening radius for a
+        // sweep of pixels: set the cut to the very qf each dispatch
+        // path computes there, then walk a few ulps to either side.
+        for i in 0..200 {
+            let px = 1.0 + 0.11 * i as f64;
+            let py = 0.7 + 0.047 * i as f64;
+            let (dx, dy) = (px, py);
+            let (dxx, dxy2, dyy) = (dx * dx, 2.0 * dx * dy, dy * dy);
+            // The exact qf the production screening computes for this
+            // pixel under the *dispatched* strategy.
+            let qf_scalar = chunk_qf::<ScalarMadd>(&prep.lanes, 0, 1, dxx, dxy2, dyy)[0];
+            #[cfg(target_arch = "x86_64")]
+            let qf_hw = chunk_qf::<HwFma>(&prep.lanes, 0, 1, dxx, dxy2, dyy)[0];
+            #[cfg(not(target_arch = "x86_64"))]
+            let qf_hw = qf_scalar;
+            // Pin the cut at each candidate rounding of the qf (and a
+            // few ulps around) — under the old per-path dispatch, any
+            // qf_scalar ≠ qf_hw here made the paths disagree.
+            for cut in [
+                qf_scalar,
+                qf_hw,
+                qf_scalar - 4.0 * f64::EPSILON * qf_scalar,
+                qf_hw + 4.0 * f64::EPSILON * qf_hw,
+            ] {
+                prep.lanes.qf_cut[0] = cut;
+                let val_path_keeps = prep.eval_value(px, py) != 0.0;
+                let deriv_path_keeps = prep.eval(px, py).val != 0.0;
+                assert_eq!(
+                    val_path_keeps, deriv_path_keeps,
+                    "culling mismatch at ({px},{py}) cut {cut}: \
+                     value path keeps: {val_path_keeps}, derivative path keeps: {deriv_path_keeps}"
+                );
             }
         }
     }

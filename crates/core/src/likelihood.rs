@@ -27,12 +27,16 @@
 //! [`add_likelihood_dense`], the parity reference and benchmark
 //! baseline.
 
-use crate::bvn::{GalaxyGeo, PreparedGalaxy, PreparedStar, GEO};
-use crate::fluxdist::{flux_moments, flux_param_ids, type_weight, NF};
+use crate::bvn::{GalaxyGeo, GeoEval, PreparedGalaxy, PreparedStar, GEO};
+use crate::fluxdist::{flux_moments, flux_param_ids, type_weight, FluxMoment, TypeWeight, NF};
 use crate::params::{ids, NUM_PARAMS};
+use celeste_linalg::fused::{self, axpy2, Madd, ScalarMadd};
 use celeste_linalg::Mat;
 use celeste_survey::psf::Psf;
 use std::sync::Arc;
+
+#[cfg(target_arch = "x86_64")]
+use celeste_linalg::fused::HwFma;
 
 /// Number of likelihood-active parameters (of the 44): position (2),
 /// type logits (2), two 10-dim flux blocks, shape (4).
@@ -157,6 +161,10 @@ pub fn add_likelihood_into(
     let u = [params[ids::U[0]], params[ids::U[1]]];
     let w = [type_weight(params, 0), type_weight(params, 1)];
     let geo_params = galaxy_geo(params);
+    // One dispatch decision for the whole evaluation (process-global
+    // and cached, so it can never disagree with the geometry kernel's
+    // own dispatch).
+    let use_fma = fused::fma_enabled();
 
     for block in blocks {
         scratch
@@ -176,41 +184,8 @@ pub fn add_likelihood_into(
         ];
         crate::flops::record_visits(block.pixels.len() as u64);
 
-        let iota = block.iota;
-        let iota2 = iota * iota;
-        // Per-(block, type) invariants, hoisted out of the pixel loop.
-        // Naming: i = ι, i2 = ι², w = w_t, l = L_t, s2 = S2_t.
-        let mut iw = [0.0; 2]; // ι·w
-        let mut iw2 = [0.0; 2]; // ι²·w
-        let mut il = [0.0; 2]; // ι·L
-        let mut i2s2 = [0.0; 2]; // ι²·S2
-        let mut iwl = [0.0; 2]; // ι·w·L
-        let mut iw2s2 = [0.0; 2]; // ι²·w·S2
-        let mut dsa = [[0.0; 2]; 2]; // ι·L·∇w      (A-slot ∇S coeff)
-        let mut dqa = [[0.0; 2]; 2]; // ι²·S2·∇w    (A-slot ∇Q coeff)
-        let mut dsf = [[0.0; NF]; 2]; // ι·w·∇L     (flux ∇S coeff)
-        let mut dqf = [[0.0; NF]; 2]; // ι²·w·∇S2   (flux ∇Q coeff)
-        let mut ilg = [[0.0; NF]; 2]; // ι·∇L       (A×F cross coeff)
-        let mut i2sg = [[0.0; NF]; 2]; // ι²·∇S2    (A×F cross coeff)
-        for t in 0..2 {
-            let (l, s2) = (&moments[t].0, &moments[t].1);
-            iw[t] = iota * w[t].val;
-            iw2[t] = iota2 * w[t].val;
-            il[t] = iota * l.val;
-            i2s2[t] = iota2 * s2.val;
-            iwl[t] = iw[t] * l.val;
-            iw2s2[t] = iw2[t] * s2.val;
-            for k in 0..2 {
-                dsa[t][k] = il[t] * w[t].grad[k];
-                dqa[t][k] = i2s2[t] * w[t].grad[k];
-            }
-            for c in 0..NF {
-                dsf[t][c] = iw[t] * l.grad[c];
-                dqf[t][c] = iw2[t] * s2.grad[c];
-                ilg[t][c] = iota * l.grad[c];
-                i2sg[t][c] = iota2 * s2.grad[c];
-            }
-        }
+        let coefs = BlockCoefs::new(block.iota, &w, &moments);
+        let mut sums = BlockSums::default();
 
         for pix in &block.pixels {
             let geo = [
@@ -222,8 +197,8 @@ pub fn add_likelihood_into(
             let mut s = 0.0;
             let mut q = 0.0;
             for t in 0..2 {
-                s += iwl[t] * geo[t].val;
-                q += iw2s2[t] * geo[t].val * geo[t].val;
+                s += coefs.iwl[t] * geo[t].val;
+                q += coefs.iw2s2[t] * geo[t].val * geo[t].val;
             }
             let e = (pix.eps + s).max(RATE_FLOOR);
             let v = (q - s * s).max(0.0);
@@ -231,162 +206,24 @@ pub fn add_likelihood_into(
             value += pix.x * (e.ln() - v / (2.0 * e2)) - e;
 
             // φ partials.
-            let phi_e = pix.x / e + pix.x * v / (e2 * e) - 1.0;
-            let phi_v = -pix.x / (2.0 * e2);
-            let phi_ee = -pix.x / e2 - 3.0 * pix.x * v / (e2 * e2);
-            let phi_ev = pix.x / (e2 * e);
-
-            // Dense ∇S and ∇Q over the 28 compact slots.
-            let mut ds = [0.0; NL];
-            let mut dq = [0.0; NL];
-            for t in 0..2 {
-                let gt = &geo[t];
-                let g2 = gt.val * gt.val;
-                // A slots.
-                for k in 0..2 {
-                    ds[CA[k]] += dsa[t][k] * gt.val;
-                    dq[CA[k]] += dqa[t][k] * g2;
-                }
-                // Flux slots.
-                let cfi = cf(t);
-                for c in 0..NF {
-                    ds[cfi[c]] += dsf[t][c] * gt.val;
-                    dq[cfi[c]] += dqf[t][c] * g2;
-                }
-                // Geometry slots (star: only u).
-                let gdim = if t == 0 { 2 } else { GEO };
-                let two_gv = 2.0 * gt.val;
-                for gslot in 0..gdim {
-                    ds[CG[gslot]] += iwl[t] * gt.grad[gslot];
-                    dq[CG[gslot]] += iw2s2[t] * two_gv * gt.grad[gslot];
-                }
-            }
-            let mut dv = [0.0; NL];
-            for i in 0..NL {
-                dv[i] = dq[i] - 2.0 * s * ds[i];
-            }
-
-            // Gradient.
-            for i in 0..NL {
-                g28[i] += phi_e * ds[i] + phi_v * dv[i];
-            }
-
-            // Hessian: block-structured ∇²S (scaled cs) and ∇²Q
-            // (scaled phi_v), plus the rank-2 φ chain terms. Only the
-            // lower triangle is touched, written row-wise into the
-            // packed buffer (compact row r starts at r(r+1)/2 and is
-            // contiguous) so the inner loops stay branch-free; the
-            // scatter at the end mirrors once.
-            let cs = phi_e - 2.0 * s * phi_v;
-            for t in 0..2 {
-                let (l, s2m) = (&moments[t].0, &moments[t].1);
-                let gt = &geo[t];
-                let g2 = gt.val * gt.val;
-                let base = 4 + 10 * t;
-
-                // Per-pixel block coefficients.
-                let haa = cs * il[t] * gt.val + phi_v * i2s2[t] * g2; // × ∇²w
-                let hffc = cs * iw[t] * gt.val; // × ∇²L
-                let hffq = phi_v * iw2[t] * g2; // × ∇²S2
-                let hgc = cs * iwl[t]; // × ∇²G
-                let hgq = phi_v * iw2s2[t]; // × ∇²(G²)
-                let csg = cs * gt.val;
-                let pvg2 = phi_v * g2;
-                let cag = cs * il[t] + 2.0 * phi_v * i2s2[t] * gt.val; // A×G
-                let two_pv_gv = 2.0 * phi_v * gt.val;
-                // F×G coefficient per flux slot (used by the u-columns
-                // of flux rows and the flux-columns of shape rows).
-                let mut fgcs = [0.0; NF];
-                for c in 0..NF {
-                    fgcs[c] = cs * dsf[t][c] + two_pv_gv * dqf[t][c];
-                }
-
-                // u-block rows 0–1: G×G over the position slots.
-                let hg00 = 2.0 * (gt.grad[0] * gt.grad[0] + gt.val * gt.hess[0][0]);
-                let hg10 = 2.0 * (gt.grad[1] * gt.grad[0] + gt.val * gt.hess[1][0]);
-                let hg11 = 2.0 * (gt.grad[1] * gt.grad[1] + gt.val * gt.hess[1][1]);
-                h28[0] += hgc * gt.hess[0][0] + hgq * hg00;
-                h28[1] += hgc * gt.hess[1][0] + hgq * hg10;
-                h28[2] += hgc * gt.hess[1][1] + hgq * hg11;
-
-                // A rows 2–3: A×G u-columns, then the A×A triangle.
-                let ga0 = gt.grad[0] * cag;
-                let ga1 = gt.grad[1] * cag;
-                h28[3] += w[t].grad[0] * ga0; // (2,0)
-                h28[4] += w[t].grad[0] * ga1; // (2,1)
-                h28[5] += haa * w[t].hess[0][0]; // (2,2)
-                h28[6] += w[t].grad[1] * ga0; // (3,0)
-                h28[7] += w[t].grad[1] * ga1; // (3,1)
-                h28[8] += haa * w[t].hess[1][0]; // (3,2)
-                h28[9] += haa * w[t].hess[1][1]; // (3,3)
-
-                // Flux rows base..base+NF: u-columns (F×G), A-columns
-                // (A×F), and the F×F triangle — all contiguous writes.
-                for c in 0..NF {
-                    let r = base + c;
-                    let off = r * (r + 1) / 2;
-                    let row = &mut h28[off..off + r + 1];
-                    row[0] += gt.grad[0] * fgcs[c];
-                    row[1] += gt.grad[1] * fgcs[c];
-                    let fc = csg * ilg[t][c] + pvg2 * i2sg[t][c];
-                    row[2] += w[t].grad[0] * fc;
-                    row[3] += w[t].grad[1] * fc;
-                    let lh = &l.hess[c];
-                    let sh = &s2m.hess[c];
-                    for c2 in 0..=c {
-                        row[base + c2] += hffc * lh[c2] + hffq * sh[c2];
-                    }
-                }
-
-                // Shape rows 24–27 (galaxy only; the star's geometry
-                // stops at the u slots).
-                if t == 1 {
-                    for a in 2..GEO {
-                        let r = 22 + a; // CG[a] = 24 + (a − 2)
-                        let off = r * (r + 1) / 2;
-                        let row = &mut h28[off..off + r + 1];
-                        let ga = gt.grad[a];
-                        // G×G u-columns.
-                        for b in 0..2 {
-                            let hg2 = 2.0 * (ga * gt.grad[b] + gt.val * gt.hess[a][b]);
-                            row[b] += hgc * gt.hess[a][b] + hgq * hg2;
-                        }
-                        // A×G columns.
-                        let gav = ga * cag;
-                        row[2] += w[t].grad[0] * gav;
-                        row[3] += w[t].grad[1] * gav;
-                        // F×G columns (this type's flux block).
-                        for c in 0..NF {
-                            row[base + c] += ga * fgcs[c];
-                        }
-                        // G×G shape-shape triangle.
-                        for b in 2..=a {
-                            let hg2 = 2.0 * (ga * gt.grad[b] + gt.val * gt.hess[a][b]);
-                            row[22 + b] += hgc * gt.hess[a][b] + hgq * hg2;
-                        }
-                    }
-                }
-            }
-            // Rank-2 chain terms (symmetric in (i, j): accumulate the
-            // lower triangle only — this halves the densest loop of
-            // the kernel).
-            let a2 = phi_ee - 2.0 * phi_v;
-            for i in 0..NL {
-                let dsi = ds[i];
-                let dvi = dv[i];
-                if dsi == 0.0 && dvi == 0.0 {
-                    continue;
-                }
-                let row = &mut h28[i * (i + 1) / 2..i * (i + 1) / 2 + i + 1];
-                // row[j] += a2·dsi·ds[j] + φ_ev·(dsi·dv[j] + dvi·ds[j]),
-                // with the two ds[j] coefficients folded.
-                let cds = a2 * dsi + phi_ev * dvi;
-                let cdv = phi_ev * dsi;
-                for j in 0..=i {
-                    row[j] += cds * ds[j] + cdv * dv[j];
-                }
+            let phi = Phi {
+                e: pix.x / e + pix.x * v / (e2 * e) - 1.0,
+                v: -pix.x / (2.0 * e2),
+                ee: -pix.x / e2 - 3.0 * pix.x * v / (e2 * e2),
+                ev: pix.x / (e2 * e),
+            };
+            // Fully-culled pixel (both appearances screened to
+            // exactly zero, far wings): every ∇S/∇Q entry is zero,
+            // so the whole 28-slot accumulation is a no-op — only
+            // the value term above carries information. The check is
+            // exact: a culled evaluation never touches its outputs.
+            if geo[0].val != 0.0 || geo[1].val != 0.0 {
+                pixel_derivs_dispatch(
+                    use_fma, &coefs, &geo, s, &phi, &mut g28, &mut h28, &mut sums,
+                );
             }
         }
+        fold_block_sums(&coefs, &sums, &mut h28);
     }
 
     // Scatter compact → 44 (mirroring the packed triangle).
@@ -395,6 +232,333 @@ pub fn add_likelihood_into(
     }
     hess.scatter_sym_packed(&h28, &map);
     value
+}
+
+/// Per-(block, type) invariants, hoisted out of the pixel loop.
+/// Naming: i = ι, i2 = ι², w = w_t, l = L_t, s2 = S2_t.
+struct BlockCoefs<'a> {
+    /// Type weights (softmax over the two logits) with derivatives.
+    w: &'a [TypeWeight; 2],
+    /// Band-flux moments (L, S2) per type.
+    moments: &'a [(FluxMoment, FluxMoment); 2],
+    iw: [f64; 2],         // ι·w
+    iw2: [f64; 2],        // ι²·w
+    il: [f64; 2],         // ι·L
+    i2s2: [f64; 2],       // ι²·S2
+    iwl: [f64; 2],        // ι·w·L
+    iw2s2: [f64; 2],      // ι²·w·S2
+    dsa: [[f64; 2]; 2],   // ι·L·∇w    (A-slot ∇S coeff)
+    dqa: [[f64; 2]; 2],   // ι²·S2·∇w  (A-slot ∇Q coeff)
+    dsf: [[f64; NF]; 2],  // ι·w·∇L    (flux ∇S coeff)
+    dqf: [[f64; NF]; 2],  // ι²·w·∇S2  (flux ∇Q coeff)
+    ilg: [[f64; NF]; 2],  // ι·∇L      (A×F cross coeff)
+    i2sg: [[f64; NF]; 2], // ι²·∇S2    (A×F cross coeff)
+}
+
+impl<'a> BlockCoefs<'a> {
+    fn new(
+        iota: f64,
+        w: &'a [TypeWeight; 2],
+        moments: &'a [(FluxMoment, FluxMoment); 2],
+    ) -> BlockCoefs<'a> {
+        let iota2 = iota * iota;
+        let mut out = BlockCoefs {
+            w,
+            moments,
+            iw: [0.0; 2],
+            iw2: [0.0; 2],
+            il: [0.0; 2],
+            i2s2: [0.0; 2],
+            iwl: [0.0; 2],
+            iw2s2: [0.0; 2],
+            dsa: [[0.0; 2]; 2],
+            dqa: [[0.0; 2]; 2],
+            dsf: [[0.0; NF]; 2],
+            dqf: [[0.0; NF]; 2],
+            ilg: [[0.0; NF]; 2],
+            i2sg: [[0.0; NF]; 2],
+        };
+        for t in 0..2 {
+            let (l, s2) = (&moments[t].0, &moments[t].1);
+            out.iw[t] = iota * w[t].val;
+            out.iw2[t] = iota2 * w[t].val;
+            out.il[t] = iota * l.val;
+            out.i2s2[t] = iota2 * s2.val;
+            out.iwl[t] = out.iw[t] * l.val;
+            out.iw2s2[t] = out.iw2[t] * s2.val;
+            for k in 0..2 {
+                out.dsa[t][k] = out.il[t] * w[t].grad[k];
+                out.dqa[t][k] = out.i2s2[t] * w[t].grad[k];
+            }
+            for c in 0..NF {
+                out.dsf[t][c] = out.iw[t] * l.grad[c];
+                out.dqf[t][c] = out.iw2[t] * s2.grad[c];
+                out.ilg[t][c] = iota * l.grad[c];
+                out.i2sg[t][c] = iota2 * s2.grad[c];
+            }
+        }
+        out
+    }
+}
+
+/// Partials of the per-pixel objective `φ(E, Var)`.
+struct Phi {
+    e: f64,
+    v: f64,
+    ee: f64,
+    ev: f64,
+}
+
+/// Pixel-sum accumulators for the Hessian blocks that factor as
+/// (pixel scalar) × (block-constant table): the A×A, F×F, A×F, A×G
+/// and F×G blocks all multiply per-block tables (`w` derivatives,
+/// flux-moment derivatives, the `BlockCoefs` products) by one of
+/// four per-type pixel scalars — `cs·G`, `φ_v·G²`, `cs·∇G_b`, and
+/// `2φ_v·G·∇G_b`. Accumulating those scalars per pixel and folding
+/// the block products once per block ([`fold_block_sums`]) deletes
+/// several hundred madds from every pixel (over half the
+/// block-structured accumulation).
+#[derive(Default)]
+struct BlockSums {
+    /// Σ cs·G_t.
+    csg: [f64; 2],
+    /// Σ φ_v·G_t².
+    pvg2: [f64; 2],
+    /// Σ cs·∇G_b per type and geometry slot.
+    cs_g: [[f64; GEO]; 2],
+    /// Σ 2φ_v·G·∇G_b per type and geometry slot.
+    pv_g: [[f64; GEO]; 2],
+}
+
+/// Fold the factored Hessian blocks once per image block: every
+/// entry here is (pixel-summed scalar) × (block-constant table),
+/// exactly the terms [`pixel_derivs`] no longer writes per pixel.
+/// Runs once per block — cost is amortized over the pixel loop.
+fn fold_block_sums(c: &BlockCoefs, sums: &BlockSums, h28: &mut [f64; NL_PACKED]) {
+    let w = c.w;
+    for t in 0..2 {
+        let (l, s2m) = (&c.moments[t].0, &c.moments[t].1);
+        let base = 4 + 10 * t;
+        let gdim = if t == 0 { 2 } else { GEO };
+
+        // A×A: haa = il·(Σ cs·G) + i2s2·(Σ φ_v·G²)  (× ∇²w).
+        let haa = c.il[t] * sums.csg[t] + c.i2s2[t] * sums.pvg2[t];
+        h28[5] += haa * w[t].hess[0][0]; // (2,2)
+        h28[8] += haa * w[t].hess[1][0]; // (3,2)
+        h28[9] += haa * w[t].hess[1][1]; // (3,3)
+
+        // A×G: rows 2–3, u columns (and shape columns below).
+        let gag = |b: usize| c.il[t] * sums.cs_g[t][b] + c.i2s2[t] * sums.pv_g[t][b];
+        h28[3] += w[t].grad[0] * gag(0); // (2,0)
+        h28[4] += w[t].grad[0] * gag(1); // (2,1)
+        h28[6] += w[t].grad[1] * gag(0); // (3,0)
+        h28[7] += w[t].grad[1] * gag(1); // (3,1)
+
+        // Flux rows: u-columns (F×G), A-columns (A×F), and the F×F
+        // triangle (hffc × ∇²L + hffq × ∇²S2).
+        let hffc = c.iw[t] * sums.csg[t];
+        let hffq = c.iw2[t] * sums.pvg2[t];
+        for fc in 0..NF {
+            let r = base + fc;
+            let off = r * (r + 1) / 2;
+            let row = &mut h28[off..off + r + 1];
+            row[0] += c.dsf[t][fc] * sums.cs_g[t][0] + c.dqf[t][fc] * sums.pv_g[t][0];
+            row[1] += c.dsf[t][fc] * sums.cs_g[t][1] + c.dqf[t][fc] * sums.pv_g[t][1];
+            let cross = sums.csg[t] * c.ilg[t][fc] + sums.pvg2[t] * c.i2sg[t][fc];
+            row[2] += w[t].grad[0] * cross;
+            row[3] += w[t].grad[1] * cross;
+            for c2 in 0..=fc {
+                row[base + c2] += hffc * l.hess[fc][c2] + hffq * s2m.hess[fc][c2];
+            }
+        }
+
+        // Shape rows (galaxy only): A-columns and F-columns.
+        if t == 1 {
+            for a in 2..gdim {
+                let r = 22 + a;
+                let off = r * (r + 1) / 2;
+                let row = &mut h28[off..off + r + 1];
+                let g = gag(a);
+                row[2] += w[t].grad[0] * g;
+                row[3] += w[t].grad[1] * g;
+                for fc in 0..NF {
+                    row[base + fc] +=
+                        c.dsf[t][fc] * sums.cs_g[t][a] + c.dqf[t][fc] * sums.pv_g[t][a];
+                }
+            }
+        }
+    }
+}
+
+/// Route one pixel's derivative accumulation to the instantiation the
+/// process-global [`fused::fma_enabled`] decision selected (hoisted
+/// to `use_fma` by the caller so the flag is checked once per pixel,
+/// not once per row).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // internal hot-path plumbing
+fn pixel_derivs_dispatch(
+    use_fma: bool,
+    c: &BlockCoefs,
+    geo: &[GeoEval; 2],
+    s: f64,
+    phi: &Phi,
+    g28: &mut [f64; NL],
+    h28: &mut [f64; NL_PACKED],
+    sums: &mut BlockSums,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if use_fma {
+        // SAFETY: use_fma comes from fused::fma_enabled(), which
+        // verified avx2+fma at runtime.
+        unsafe { pixel_derivs_fma(c, geo, s, phi, g28, h28, sums) };
+        return;
+    }
+    let _ = use_fma;
+    pixel_derivs::<ScalarMadd>(c, geo, s, phi, g28, h28, sums)
+}
+
+/// The `avx2,fma` instantiation of [`pixel_derivs`]: the packed
+/// lower-triangle rows (rank-2 chain terms, flux-block triangles —
+/// ~⅓ of the whole derivative path) contract to hardware FMA and the
+/// contiguous row updates vectorize 4-wide.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)] // internal hot-path plumbing
+unsafe fn pixel_derivs_fma(
+    c: &BlockCoefs,
+    geo: &[GeoEval; 2],
+    s: f64,
+    phi: &Phi,
+    g28: &mut [f64; NL],
+    h28: &mut [f64; NL_PACKED],
+    sums: &mut BlockSums,
+) {
+    pixel_derivs::<HwFma>(c, geo, s, phi, g28, h28, sums)
+}
+
+/// Accumulate one pixel's gradient and packed lower-triangle Hessian
+/// contribution over the 28 compact slots, generic over the madd
+/// strategy ([`celeste_linalg::fused`]).
+///
+/// Hessian layout: block-structured ∇²S (scaled cs) and ∇²Q (scaled
+/// φ_v), plus the rank-2 φ chain terms. Only the lower triangle is
+/// touched, written row-wise into the packed buffer (compact row r
+/// starts at r(r+1)/2 and is contiguous) so the inner loops stay
+/// branch-free; the caller's scatter mirrors once per evaluation.
+/// The blocks that factor through block-constant tables (A×A, F×F,
+/// A×F, A×G, F×G) are *not* written here — only their pixel scalars
+/// are accumulated into `sums`, and [`fold_block_sums`] writes them
+/// once per block.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // internal hot-path plumbing
+fn pixel_derivs<F: Madd>(
+    c: &BlockCoefs,
+    geo: &[GeoEval; 2],
+    s: f64,
+    phi: &Phi,
+    g28: &mut [f64; NL],
+    h28: &mut [f64; NL_PACKED],
+    sums: &mut BlockSums,
+) {
+    // Dense ∇S and ∇Q over the 28 compact slots.
+    let mut ds = [0.0; NL];
+    let mut dq = [0.0; NL];
+    for t in 0..2 {
+        let gt = &geo[t];
+        let g2 = gt.val * gt.val;
+        // A slots.
+        for k in 0..2 {
+            ds[CA[k]] = F::madd(c.dsa[t][k], gt.val, ds[CA[k]]);
+            dq[CA[k]] = F::madd(c.dqa[t][k], g2, dq[CA[k]]);
+        }
+        // Flux slots.
+        let cfi = cf(t);
+        for fc in 0..NF {
+            ds[cfi[fc]] = F::madd(c.dsf[t][fc], gt.val, ds[cfi[fc]]);
+            dq[cfi[fc]] = F::madd(c.dqf[t][fc], g2, dq[cfi[fc]]);
+        }
+        // Geometry slots (star: only u).
+        let gdim = if t == 0 { 2 } else { GEO };
+        let two_gv = 2.0 * gt.val;
+        for gslot in 0..gdim {
+            ds[CG[gslot]] = F::madd(c.iwl[t], gt.grad[gslot], ds[CG[gslot]]);
+            dq[CG[gslot]] = F::madd(c.iw2s2[t] * two_gv, gt.grad[gslot], dq[CG[gslot]]);
+        }
+    }
+    let mut dv = [0.0; NL];
+    for i in 0..NL {
+        dv[i] = F::madd(-2.0 * s, ds[i], dq[i]);
+    }
+
+    // Gradient.
+    axpy2::<F>(g28, phi.e, &ds, phi.v, &dv);
+
+    let cs = phi.e - 2.0 * s * phi.v;
+    for t in 0..2 {
+        let gt = &geo[t];
+        let g2 = gt.val * gt.val;
+
+        // Per-pixel block coefficients.
+        let hgc = cs * c.iwl[t]; // × ∇²G
+        let hgq = phi.v * c.iw2s2[t]; // × ∇²(G²)
+        let two_pv_gv = 2.0 * phi.v * gt.val;
+
+        // Factored-block pixel sums (everything the fold needs).
+        sums.csg[t] += cs * gt.val;
+        sums.pvg2[t] = F::madd(phi.v, g2, sums.pvg2[t]);
+        let gdim = if t == 0 { 2 } else { GEO };
+        for b in 0..gdim {
+            sums.cs_g[t][b] = F::madd(cs, gt.grad[b], sums.cs_g[t][b]);
+            sums.pv_g[t][b] = F::madd(two_pv_gv, gt.grad[b], sums.pv_g[t][b]);
+        }
+
+        // u-block rows 0–1: G×G over the position slots.
+        let hg00 = 2.0 * F::madd(gt.grad[0], gt.grad[0], gt.val * gt.hess[0][0]);
+        let hg10 = 2.0 * F::madd(gt.grad[1], gt.grad[0], gt.val * gt.hess[1][0]);
+        let hg11 = 2.0 * F::madd(gt.grad[1], gt.grad[1], gt.val * gt.hess[1][1]);
+        h28[0] += F::madd(hgc, gt.hess[0][0], hgq * hg00);
+        h28[1] += F::madd(hgc, gt.hess[1][0], hgq * hg10);
+        h28[2] += F::madd(hgc, gt.hess[1][1], hgq * hg11);
+
+        // Shape rows 24–27 (galaxy only; the star's geometry stops at
+        // the u slots): the G×G columns — u-block columns and the
+        // shape-shape triangle — are the only parts that need the
+        // per-pixel geometry Hessian.
+        if t == 1 {
+            for a in 2..GEO {
+                let r = 22 + a; // CG[a] = 24 + (a − 2)
+                let off = r * (r + 1) / 2;
+                let row = &mut h28[off..off + r + 1];
+                let ga = gt.grad[a];
+                // G×G u-columns.
+                for b in 0..2 {
+                    let hg2 = 2.0 * F::madd(ga, gt.grad[b], gt.val * gt.hess[a][b]);
+                    row[b] += F::madd(hgc, gt.hess[a][b], hgq * hg2);
+                }
+                // G×G shape-shape triangle.
+                for b in 2..=a {
+                    let hg2 = 2.0 * F::madd(ga, gt.grad[b], gt.val * gt.hess[a][b]);
+                    row[22 + b] += F::madd(hgc, gt.hess[a][b], hgq * hg2);
+                }
+            }
+        }
+    }
+    // Rank-2 chain terms (symmetric in (i, j): accumulate the lower
+    // triangle only — this halves the densest loop of the kernel).
+    let a2 = phi.ee - 2.0 * phi.v;
+    for i in 0..NL {
+        let dsi = ds[i];
+        let dvi = dv[i];
+        if dsi == 0.0 && dvi == 0.0 {
+            continue;
+        }
+        let row = &mut h28[i * (i + 1) / 2..i * (i + 1) / 2 + i + 1];
+        // row[j] += a2·dsi·ds[j] + φ_ev·(dsi·dv[j] + dvi·ds[j]),
+        // with the two ds[j] coefficients folded.
+        let cds = F::madd(a2, dsi, phi.ev * dvi);
+        let cdv = phi.ev * dsi;
+        axpy2::<F>(row, cds, &ds[..i + 1], cdv, &dv[..i + 1]);
+    }
 }
 
 /// Compatibility wrapper over [`add_likelihood_into`] that allocates

@@ -84,6 +84,21 @@ fn assert_geo_close(a: &GeoEval, b: &GeoEval, abs_bound: f64, what: &str) {
 
 const PROP_JAC: [[f64; 2]; 2] = [[0.7, 0.04], [-0.02, 0.69]];
 
+/// A PSF with `n` equal-weight components of staggered widths:
+/// parameterizes the prepared mixture size (stars: `n` comps,
+/// galaxies: `14·n`) so the SIMD kernel's batch remainders are all
+/// exercised.
+fn uniform_psf(n: usize) -> Psf {
+    Psf {
+        components: (0..n)
+            .map(|i| celeste_survey::psf::PsfComponent {
+                weight: 1.0 / n as f64,
+                sigma_px: 1.0 + 0.35 * i as f64,
+            })
+            .collect(),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -146,6 +161,95 @@ proptest! {
         assert_geo_close(&exact.eval(px, py), &reference, 0.0, "zero-tol star");
         let bound = culled.n_comps() as f64 * tol;
         assert_geo_close(&culled.eval(px, py), &reference, bound, "culled star");
+    }
+
+    #[test]
+    fn batched_galaxy_kernel_matches_portable_instantiation(
+        u in (-0.6..0.6f64, -0.6..0.6f64),
+        fd in -2.0..2.0f64,
+        axis in -1.0..2.0f64,
+        angle in 0.0..3.0f64,
+        lr in -1.0..1.0f64,
+        off in (-40.0..40.0f64, -40.0..40.0f64),
+        n_psf in 1usize..5,
+        tol_exp in 3.0..14.0f64,
+    ) {
+        // The batched-exp + SoA-assembly instantiation (dispatched on
+        // AVX2 hardware) against the portable scalar instantiation:
+        // zero-tol parity at 1e-12 against the dense reference for
+        // both, plus a few-ulp scalar-vs-SIMD bound on every slot.
+        // `n_psf` varies the mixture size (14·n_psf components) so
+        // partial final chunks (n % 4 ≠ 0, e.g. n = 14, 42) and full
+        // ones (n = 28, 56) are both exercised; the wide `off` range
+        // reaches the all-culled regime.
+        let psf = uniform_psf(n_psf);
+        let geo = GalaxyGeo { fd_logit: fd, axis_logit: axis, angle, ln_radius: lr };
+        let center0 = [50.0, 52.0];
+        let exact = PreparedGalaxy::new(&psf, &geo, center0, [u.0, u.1], &PROP_JAC);
+        let (px, py) = (center0[0] + off.0, center0[1] + off.1);
+
+        // Zero tolerance: both instantiations meet the 1e-12 parity
+        // bar against the frozen dense reference.
+        let reference = exact.eval_reference(px, py);
+        let simd = exact.eval(px, py);
+        let portable = exact.eval_portable(px, py);
+        assert_geo_close(&simd, &reference, 0.0, "dispatched vs reference");
+        assert_geo_close(&portable, &reference, 0.0, "portable vs reference");
+        // Scalar vs SIMD: a few-ulp relative bound per slot.
+        assert_geo_close(&simd, &portable, 0.0, "dispatched vs portable");
+        // Value path agrees across instantiations too.
+        let v_simd = exact.eval_value(px, py);
+        let v_port = exact.eval_value_portable(px, py);
+        prop_assert!(
+            (v_simd - v_port).abs() <= 1e-12 * (1.0 + v_port.abs()),
+            "value dispatched {v_simd} vs portable {v_port}"
+        );
+
+        // All-culled pixels are *exactly* zero in every path.
+        if reference.val == 0.0 {
+            prop_assert!(simd.val == 0.0 && portable.val == 0.0 && v_simd == 0.0);
+        }
+
+        // And at a finite culling tolerance the instantiations still
+        // agree with each other to ulps (same screening decisions:
+        // one shared dispatch).
+        let tol = 10f64.powf(-tol_exp);
+        let mut culled = PreparedGalaxy::default();
+        culled.prepare(&psf, &geo, center0, [u.0, u.1], &PROP_JAC, tol);
+        assert_geo_close(
+            &culled.eval(px, py),
+            &culled.eval_portable(px, py),
+            0.0,
+            "culled dispatched vs portable",
+        );
+    }
+
+    #[test]
+    fn batched_star_kernel_matches_portable_instantiation(
+        u in (-0.6..0.6f64, -0.6..0.6f64),
+        off in (-35.0..35.0f64, -35.0..35.0f64),
+        n_psf in 1usize..7,
+    ) {
+        // Star mixtures sweep n = 1..6: below, at, and above one exp
+        // batch, so the small-mixture streaming shortcut and the
+        // chunked path are both held to parity with the portable
+        // instantiation (on AVX2 hardware both dispatch HwFma; the
+        // assertion is that they agree with ScalarMadd to ulps).
+        let psf = uniform_psf(n_psf);
+        let center0 = [40.0, 41.0];
+        let exact = PreparedStar::new(&psf, center0, [u.0, u.1], &PROP_JAC);
+        let (px, py) = (center0[0] + off.0, center0[1] + off.1);
+        let reference = exact.eval_reference(px, py);
+        let simd = exact.eval(px, py);
+        let portable = exact.eval_portable(px, py);
+        assert_geo_close(&simd, &reference, 0.0, "star dispatched vs reference");
+        assert_geo_close(&simd, &portable, 0.0, "star dispatched vs portable");
+        let v_simd = exact.eval_value(px, py);
+        let v_port = exact.eval_value_portable(px, py);
+        prop_assert!((v_simd - v_port).abs() <= 1e-12 * (1.0 + v_port.abs()));
+        if reference.val == 0.0 {
+            prop_assert!(simd.val == 0.0 && v_simd == 0.0);
+        }
     }
 }
 

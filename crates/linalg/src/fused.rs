@@ -1,0 +1,166 @@
+//! Fused-multiply-add strategy and runtime SIMD dispatch, shared by
+//! every hand-vectorized kernel in the workspace.
+//!
+//! The hot kernels (the bivariate-normal geometry kernel in
+//! `celeste-core::bvn`, the 28-slot packed likelihood accumulation in
+//! `celeste-core::likelihood`) are each instantiated twice: once with
+//! plain `a*b + c` for the portable baseline, and once with
+//! [`f64::mul_add`] inside an `avx2,fma` target-feature function
+//! (where it compiles to a single `vfmadd` instead of a libm call).
+//! Blanket `-C target-cpu=native` was measured to *hurt* (AVX-512
+//! downclock, and the dense reference baseline autovectorizes), so
+//! SIMD stays explicit and runtime-dispatched through this module.
+//!
+//! **Every** kernel must route its instantiation choice through
+//! [`fma_enabled`]: a single cached decision means the value-only and
+//! derivative evaluation paths round identically, so screening cuts
+//! (`qf ≤ qf_cut` in the bvn kernel) make bit-identical culling
+//! decisions in both. Per-path `is_x86_feature_detected!` checks are
+//! how the value/derivative dispatch mismatch happened.
+//!
+//! Setting `CELESTE_FORCE_SCALAR=1` in the environment forces the
+//! portable instantiation everywhere (read once per process), so the
+//! scalar fallback stays exercised on AVX2 hardware — CI runs a
+//! dedicated leg with it set.
+
+use std::sync::OnceLock;
+
+/// Fused-multiply-add strategy for hand-vectorized kernels: computes
+/// `a*b + c` either as two rounded operations (portable) or as one
+/// fused contraction (hardware FMA). The FMA form is at least as
+/// accurate (one rounding instead of two), so both instantiations of
+/// a kernel agree with a dense reference within a 1e-12 parity bar —
+/// but they are *not* bit-identical to each other, which is why the
+/// dispatch decision must be process-global ([`fma_enabled`]).
+pub trait Madd {
+    fn madd(a: f64, b: f64, c: f64) -> f64;
+}
+
+/// Plain multiply-then-add (portable baseline).
+pub struct ScalarMadd;
+
+impl Madd for ScalarMadd {
+    #[inline(always)]
+    fn madd(a: f64, b: f64, c: f64) -> f64 {
+        a * b + c
+    }
+}
+
+/// Hardware contraction; only instantiate inside `fma`-enabled
+/// target-feature functions (elsewhere `mul_add` is a libm call and
+/// far slower than two plain ops).
+#[cfg(target_arch = "x86_64")]
+pub struct HwFma;
+
+#[cfg(target_arch = "x86_64")]
+impl Madd for HwFma {
+    #[inline(always)]
+    fn madd(a: f64, b: f64, c: f64) -> f64 {
+        a.mul_add(b, c)
+    }
+}
+
+/// The dispatch decision, given whether the scalar path is forced:
+/// split out of [`fma_enabled`] so the policy is unit-testable
+/// without mutating process environment.
+fn decide(force_scalar: bool) -> bool {
+    if force_scalar {
+        return false;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+fn force_scalar_env() -> bool {
+    std::env::var("CELESTE_FORCE_SCALAR").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Whether the `avx2,fma` kernel instantiations are dispatched in
+/// this process. Cached once: CPU features cannot change, and the
+/// `CELESTE_FORCE_SCALAR` override is read a single time so the
+/// value-only and derivative paths can never disagree mid-run.
+pub fn fma_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| decide(force_scalar_env()))
+}
+
+/// Which kernel instantiation this process dispatches — `"fma"` or
+/// `"scalar"` — for benchmark records: committed numbers from
+/// different machines are only comparable when the instantiation is
+/// known (a scalar-path run silently looks like a regression against
+/// an FMA-path baseline).
+pub fn kernel_isa() -> &'static str {
+    if fma_enabled() {
+        "fma"
+    } else {
+        "scalar"
+    }
+}
+
+/// `out[j] += c1·x[j] + c2·y[j]` — the packed-triangle row update
+/// shared by the likelihood kernel's rank-2 chain terms and
+/// flux-block triangles. Generic over the madd strategy; call inside
+/// a target-feature function for the FMA instantiation.
+#[inline(always)]
+pub fn axpy2<F: Madd>(out: &mut [f64], c1: f64, x: &[f64], c2: f64, y: &[f64]) {
+    debug_assert_eq!(out.len(), x.len());
+    debug_assert_eq!(out.len(), y.len());
+    for j in 0..out.len() {
+        out[j] = F::madd(c1, x[j], F::madd(c2, y[j], out[j]));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decide_respects_force_scalar() {
+        assert!(!decide(true));
+        // Un-forced: must agree with the direct feature probe.
+        #[cfg(target_arch = "x86_64")]
+        assert_eq!(
+            decide(false),
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        );
+        #[cfg(not(target_arch = "x86_64"))]
+        assert!(!decide(false));
+    }
+
+    #[test]
+    fn isa_string_matches_dispatch() {
+        assert_eq!(kernel_isa(), if fma_enabled() { "fma" } else { "scalar" });
+    }
+
+    #[test]
+    fn axpy2_matches_two_axpys() {
+        let x = [1.0, -2.0, 3.0, 0.5];
+        let y = [0.25, 4.0, -1.5, 2.0];
+        let mut out = [1.0, 1.0, 1.0, 1.0];
+        axpy2::<ScalarMadd>(&mut out, 2.0, &x, -3.0, &y);
+        for j in 0..4 {
+            let want = 1.0 + 2.0 * x[j] - 3.0 * y[j];
+            assert!((out[j] - want).abs() < 1e-12, "slot {j}");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn hwfma_agrees_with_scalar_within_ulps() {
+        for i in 0..100 {
+            let a = 0.1 + 0.37 * i as f64;
+            let b = -5.0 + 0.11 * i as f64;
+            let c = 1.0 / (1.0 + i as f64);
+            let f = HwFma::madd(a, b, c);
+            let s = ScalarMadd::madd(a, b, c);
+            assert!((f - s).abs() <= 1e-13 * (1.0 + s.abs()), "{f} vs {s}");
+        }
+    }
+}

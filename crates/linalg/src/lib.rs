@@ -20,7 +20,11 @@
 //!   nonconvex Newton optimizer; the `_with` form solves into a
 //!   caller-owned [`TrWorkspace`] with zero heap allocation,
 //! * [`lstsq`] / [`nnls`] — (nonnegative) linear least squares used for
-//!   galaxy-profile mixture fitting and PSF calibration.
+//!   galaxy-profile mixture fitting and PSF calibration,
+//! * [`fused`] — the fused-multiply-add strategy trait and the
+//!   process-global `avx2,fma` runtime dispatch every hand-vectorized
+//!   kernel in the workspace routes through (plus the
+//!   `CELESTE_FORCE_SCALAR` escape hatch).
 //!
 //! Matrices here are small (≤ a few hundred rows); all algorithms are
 //! O(n³) dense and optimized for clarity plus cache-friendly row-major
@@ -28,6 +32,7 @@
 
 mod chol;
 mod eigen;
+pub mod fused;
 mod lstsq;
 mod mat;
 mod tr;
