@@ -10,13 +10,12 @@
 //! variable (a positive float, default 1.0): CI sets 0.2 for smoke
 //! runs, the committed EXPERIMENTS.md numbers use 1.0.
 
+use celeste::Celeste;
 use celeste_ad::{op_count, reset_op_count, Counting};
 use celeste_core::generic;
 use celeste_core::{FitConfig, ModelPriors, SourceParams};
-use celeste_photo::{compare_catalogs, run_photo, PhotoConfig, TableII};
-use celeste_sched::{
-    partition_sky, run_campaign, stage_survey, CampaignConfig, CampaignReport, PartitionConfig,
-};
+use celeste_photo::{compare_catalogs, TableII};
+use celeste_sched::{partition_sky, CampaignReport, PartitionConfig};
 use celeste_survey::bands::Band;
 use celeste_survey::coadd::coadd;
 use celeste_survey::io::ImageStore;
@@ -222,30 +221,27 @@ pub struct TableIIResult {
 /// protocol's reference), Photo on the single run (baseline + Celeste
 /// initialization), Celeste on the single run, then score.
 pub fn run_table2(scene: &Stripe82Scene, fit: &FitConfig, n_threads: usize) -> TableIIResult {
-    let photo_cfg = PhotoConfig::default();
+    let detector = Celeste::session();
     let coadd_refs: Vec<&Image> = scene.coadds.iter().collect();
-    let coadd_catalog = run_photo(&coadd_refs, &photo_cfg);
+    let coadd_catalog = detector.detect(&coadd_refs).expect("one image per band");
 
     let single_refs: Vec<&Image> = scene.single_run.iter().collect();
-    let photo_catalog = run_photo(&single_refs, &photo_cfg);
+    let photo_catalog = detector.detect(&single_refs).expect("one image per band");
 
     // Celeste: init from the single-run Photo catalog, learn priors
     // from the coadd catalog (the "preexisting catalog" of §III).
-    let priors = ModelPriors::new(Priors::sdss_default().fit_from_catalog(&coadd_catalog));
-    let mut sources: Vec<SourceParams> = photo_catalog
-        .entries
-        .iter()
-        .map(SourceParams::init_from_entry)
-        .collect();
-    celeste_sched::process_region(
-        &mut sources,
-        &single_refs,
-        &[],
-        &priors,
-        fit,
-        n_threads,
-        0xC0FFEE,
-    );
+    let session = Celeste::builder()
+        .threads(n_threads)
+        .fit(*fit)
+        .priors(ModelPriors::new(
+            Priors::sdss_default().fit_from_catalog(&coadd_catalog),
+        ))
+        .build()
+        .expect("valid fit config");
+    let mut sources = session.init_sources(&photo_catalog);
+    session
+        .fit_region(&mut sources, &single_refs, &[], 0xC0FFEE)
+        .expect("finite inputs");
     let celeste_catalog = Catalog::new(sources.iter().map(|s| s.to_entry()).collect());
 
     let cmp_cfg = celeste_photo::compare::CompareConfig {
@@ -287,7 +283,6 @@ pub fn run_calibration_campaign(seed: u64) -> CampaignReport {
     });
     let dir = std::env::temp_dir().join(format!("celeste-calib-{}", std::process::id()));
     let store = ImageStore::open(&dir).expect("open store");
-    stage_survey(&survey, &store);
     let init = survey.truth.clone();
     let tasks = partition_sky(
         &init,
@@ -298,24 +293,25 @@ pub fn run_calibration_campaign(seed: u64) -> CampaignReport {
             ..Default::default()
         },
     );
-    let priors = ModelPriors::new(Priors::sdss_default());
-    let fit = FitConfig {
-        bca_passes: 1,
-        newton: celeste_core::NewtonConfig {
-            max_iters: 15,
+    let session = Celeste::builder()
+        .threads(2)
+        .n_nodes(2)
+        .fit(FitConfig {
+            bca_passes: 1,
+            newton: celeste_core::NewtonConfig {
+                max_iters: 15,
+                ..Default::default()
+            },
             ..Default::default()
-        },
-        ..Default::default()
-    };
-    let cfg = CampaignConfig {
-        n_nodes: 2,
-        threads_per_node: 2,
-        fit,
-        ..Default::default()
-    };
-    let (_, report) = run_campaign(&survey, &store, &init, &tasks, &priors, &cfg);
+        })
+        .build()
+        .expect("valid fit config");
+    session.stage(&survey, &store).expect("writable store");
+    let outcome = session
+        .run_campaign(&survey, &store, &init, &tasks)
+        .expect("staged campaign");
     std::fs::remove_dir_all(&dir).ok();
-    report
+    outcome.report
 }
 
 /// Count of Table II rows where `a` is strictly better (lower mean).

@@ -1,0 +1,217 @@
+//! One validated configuration surface for the whole pipeline.
+
+use crate::error::CelesteError;
+use celeste_core::{FitConfig, ModelPriors};
+use celeste_photo::PhotoConfig;
+use celeste_sched::CampaignConfig;
+use celeste_survey::Priors;
+
+/// The resolved, validated configuration a [`Session`](crate::Session)
+/// runs with. Built by [`CelesteBuilder`]; every derived legacy config
+/// ([`FitConfig`], [`PhotoConfig`], [`CampaignConfig`]) comes from
+/// this one surface, so there is exactly one place a knob lives.
+///
+/// # Thread-count precedence
+///
+/// [`CelesteConfig::threads`] is the single source of parallelism.
+/// It resolves as: explicit [`CelesteBuilder::threads`] if set, else
+/// the `CELESTE_THREADS` environment variable if set to a positive
+/// integer, else the machine's available parallelism. The campaign
+/// node count, Cyclades batch width, and prefetcher pool are derived
+/// from it (overridable individually), replacing the pre-facade
+/// duplication where `CampaignConfig::n_nodes` and `process_region`'s
+/// `n_threads` each re-read the environment. Note the global
+/// `celeste-par` executor is sized once per process from
+/// `CELESTE_THREADS`; a larger `threads` value cannot widen it —
+/// effective parallelism is the minimum of the two.
+#[derive(Debug, Clone)]
+pub struct CelesteConfig {
+    /// The resolved thread count every parallel layer derives from.
+    pub threads: usize,
+    /// Simulated campaign nodes (default: `threads.min(2)`).
+    pub n_nodes: usize,
+    /// Prefetcher IO threads (default: `threads.max(2)`).
+    pub prefetch_workers: usize,
+    /// Dtree scheduler fanout (default: 4).
+    pub dtree_fanout: usize,
+    /// Variational-fit knobs (Newton, active pixels, culling, BCA).
+    pub fit: FitConfig,
+    /// Detection/classification knobs for the Photo stage.
+    pub photo: PhotoConfig,
+    /// Model priors used by every fit the session runs.
+    pub priors: ModelPriors,
+}
+
+impl CelesteConfig {
+    /// The legacy campaign config this session's settings derive to.
+    pub fn campaign(&self) -> CampaignConfig {
+        CampaignConfig {
+            n_nodes: self.n_nodes,
+            threads_per_node: self.threads,
+            prefetch_workers: self.prefetch_workers,
+            dtree_fanout: self.dtree_fanout,
+            fit: self.fit,
+        }
+    }
+}
+
+/// Builder for a [`Session`](crate::Session): set what you need,
+/// inherit validated defaults for the rest.
+///
+/// ```
+/// use celeste::Celeste;
+/// let session = Celeste::builder().threads(2).build().unwrap();
+/// assert_eq!(session.config().threads, 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CelesteBuilder {
+    threads: Option<usize>,
+    n_nodes: Option<usize>,
+    prefetch_workers: Option<usize>,
+    dtree_fanout: Option<usize>,
+    fit: Option<FitConfig>,
+    photo: Option<PhotoConfig>,
+    priors: Option<ModelPriors>,
+}
+
+impl CelesteBuilder {
+    /// Pin the thread count, overriding `CELESTE_THREADS` and the
+    /// machine default (see [`CelesteConfig`] for the precedence).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Number of simulated campaign nodes.
+    pub fn n_nodes(mut self, n: usize) -> Self {
+        self.n_nodes = Some(n);
+        self
+    }
+
+    /// Prefetcher IO thread count.
+    pub fn prefetch_workers(mut self, n: usize) -> Self {
+        self.prefetch_workers = Some(n);
+        self
+    }
+
+    /// Dtree scheduler fanout.
+    pub fn dtree_fanout(mut self, n: usize) -> Self {
+        self.dtree_fanout = Some(n);
+        self
+    }
+
+    /// Replace the variational-fit configuration.
+    pub fn fit(mut self, fit: FitConfig) -> Self {
+        self.fit = Some(fit);
+        self
+    }
+
+    /// Replace the detection/classification configuration.
+    pub fn photo(mut self, photo: PhotoConfig) -> Self {
+        self.photo = Some(photo);
+        self
+    }
+
+    /// Replace the model priors (default: SDSS-derived).
+    pub fn priors(mut self, priors: ModelPriors) -> Self {
+        self.priors = Some(priors);
+        self
+    }
+
+    /// Resolve defaults and validate every knob, yielding a ready
+    /// [`Session`](crate::Session). Rejections come back as
+    /// [`CelesteError::Config`] naming the offending field.
+    pub fn build(self) -> Result<crate::Session, CelesteError> {
+        let config = self.into_config()?;
+        Ok(crate::Session::from_config(config))
+    }
+
+    fn into_config(self) -> Result<CelesteConfig, CelesteError> {
+        fn bad(field: &'static str, message: impl Into<String>) -> CelesteError {
+            CelesteError::Config {
+                field,
+                message: message.into(),
+            }
+        }
+
+        if self.threads == Some(0) {
+            return Err(bad("threads", "must be at least 1"));
+        }
+        let threads = self.threads.unwrap_or_else(celeste_par::configured_threads);
+        let n_nodes = self.n_nodes.unwrap_or_else(|| threads.min(2));
+        if n_nodes == 0 {
+            return Err(bad("n_nodes", "must be at least 1"));
+        }
+        let prefetch_workers = self.prefetch_workers.unwrap_or_else(|| threads.max(2));
+        if prefetch_workers == 0 {
+            return Err(bad("prefetch_workers", "must be at least 1"));
+        }
+        let dtree_fanout = self.dtree_fanout.unwrap_or(4);
+        if dtree_fanout < 2 {
+            return Err(bad("dtree_fanout", "must be at least 2"));
+        }
+
+        let fit = self.fit.unwrap_or_default();
+        if fit.bca_passes == 0 {
+            return Err(bad("fit.bca_passes", "must be at least 1"));
+        }
+        if fit.newton.max_iters == 0 {
+            return Err(bad("fit.newton.max_iters", "must be at least 1"));
+        }
+        if !(fit.cull_tol.is_finite() && fit.cull_tol >= 0.0) {
+            return Err(bad(
+                "fit.cull_tol",
+                format!("must be finite and non-negative, got {}", fit.cull_tol),
+            ));
+        }
+        if !(fit.active_nsigma.is_finite() && fit.active_nsigma > 0.0) {
+            return Err(bad(
+                "fit.active_nsigma",
+                format!("must be finite and positive, got {}", fit.active_nsigma),
+            ));
+        }
+        if !(fit.min_radius_px.is_finite() && fit.min_radius_px > 0.0) {
+            return Err(bad(
+                "fit.min_radius_px",
+                format!("must be finite and positive, got {}", fit.min_radius_px),
+            ));
+        }
+        if !(fit.max_radius_px.is_finite() && fit.max_radius_px >= fit.min_radius_px) {
+            return Err(bad(
+                "fit.max_radius_px",
+                format!(
+                    "must be finite and at least min_radius_px ({}), got {}",
+                    fit.min_radius_px, fit.max_radius_px
+                ),
+            ));
+        }
+
+        let photo = self.photo.unwrap_or_default();
+        if !(photo.detect.threshold_sigma.is_finite() && photo.detect.threshold_sigma > 0.0) {
+            return Err(bad(
+                "photo.detect.threshold_sigma",
+                format!(
+                    "must be finite and positive, got {}",
+                    photo.detect.threshold_sigma
+                ),
+            ));
+        }
+        if photo.detect.min_pixels == 0 {
+            return Err(bad("photo.detect.min_pixels", "must be at least 1"));
+        }
+
+        let priors = self
+            .priors
+            .unwrap_or_else(|| ModelPriors::new(Priors::sdss_default()));
+
+        Ok(CelesteConfig {
+            threads,
+            n_nodes,
+            prefetch_workers,
+            dtree_fanout,
+            fit,
+            photo,
+            priors,
+        })
+    }
+}

@@ -1,0 +1,102 @@
+//! The facade's typed error surface.
+
+use celeste_core::FitError;
+use celeste_photo::PhotoError;
+use celeste_sched::CampaignError;
+use celeste_survey::io::IoError;
+
+/// Everything that can go wrong across the facade: invalid
+/// configuration or input is reported here instead of panicking, and
+/// lower-layer errors ([`PhotoError`], [`FitError`], [`IoError`],
+/// [`CampaignError`]) are carried with their context intact.
+#[derive(Debug)]
+pub enum CelesteError {
+    /// A configuration value failed validation at
+    /// [`CelesteBuilder::build`](crate::CelesteBuilder::build).
+    Config {
+        /// The offending builder field.
+        field: &'static str,
+        /// Why the value was rejected.
+        message: String,
+    },
+    /// Invalid input to the detection pipeline (duplicate band,
+    /// missing r band).
+    Photo(PhotoError),
+    /// Invalid input to a source fit (non-finite parameters or pixel
+    /// data).
+    Fit {
+        /// The offending source, when known.
+        source_id: Option<u64>,
+        /// The underlying validation failure.
+        error: FitError,
+    },
+    /// An image-store failure outside a campaign (opening, loading,
+    /// saving).
+    Io(IoError),
+    /// An IO failure inside a campaign (staging, a node's image
+    /// fetch, output writing), with where it happened.
+    Campaign(CampaignError),
+    /// A campaign was started with no region tasks to schedule.
+    EmptyTaskList,
+}
+
+impl std::fmt::Display for CelesteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CelesteError::Config { field, message } => {
+                write!(f, "invalid config `{field}`: {message}")
+            }
+            CelesteError::Photo(e) => write!(f, "photo pipeline: {e}"),
+            CelesteError::Fit {
+                source_id: Some(id),
+                error,
+            } => write!(f, "fit of source {id}: {error}"),
+            CelesteError::Fit {
+                source_id: None,
+                error,
+            } => write!(f, "fit: {error}"),
+            CelesteError::Io(e) => write!(f, "image store: {e}"),
+            CelesteError::Campaign(e) => write!(f, "campaign: {e}"),
+            CelesteError::EmptyTaskList => write!(f, "campaign has no region tasks"),
+        }
+    }
+}
+
+impl std::error::Error for CelesteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CelesteError::Photo(e) => Some(e),
+            CelesteError::Fit { error, .. } => Some(error),
+            CelesteError::Io(e) => Some(e),
+            CelesteError::Campaign(e) => Some(e),
+            CelesteError::Config { .. } | CelesteError::EmptyTaskList => None,
+        }
+    }
+}
+
+impl From<PhotoError> for CelesteError {
+    fn from(e: PhotoError) -> Self {
+        CelesteError::Photo(e)
+    }
+}
+
+impl From<FitError> for CelesteError {
+    fn from(error: FitError) -> Self {
+        CelesteError::Fit {
+            source_id: None,
+            error,
+        }
+    }
+}
+
+impl From<IoError> for CelesteError {
+    fn from(e: IoError) -> Self {
+        CelesteError::Io(e)
+    }
+}
+
+impl From<CampaignError> for CelesteError {
+    fn from(e: CampaignError) -> Self {
+        CelesteError::Campaign(e)
+    }
+}

@@ -1,0 +1,100 @@
+#![deny(missing_docs)]
+//! The unified Celeste facade: one configuration surface, one session
+//! type, typed errors, and streaming region results for the whole
+//! pipeline of *Cataloging the Visible Universe Through Bayesian
+//! Inference at Petascale* (Regier et al., IPDPS 2018).
+//!
+//! The underlying crates expose the pipeline as free functions
+//! (`run_photo`, `process_region`, `run_campaign`, `fit_source`) with
+//! separate config structs and panicking input checks. This crate
+//! replaces that glue with a builder-configured [`Session`]:
+//!
+//! ```text
+//!            Celeste::builder() ──► Session (validated CelesteConfig)
+//!                                      │
+//!        images ──► session.detect ────┤      heuristic catalog
+//!                                      ▼
+//!       catalog ──► session.init_sources ──► Vec<SourceParams>
+//!                                      │
+//!       sources ──► session.fit_source │ session.fit_region
+//!                      (one source)    │   (joint Cyclades BCA)
+//!                                      ▼
+//!        survey ──► session.stage ──► session.run_campaign
+//!                                      │
+//!                                      ├──► RegionResult stream
+//!                                      │    (per Dtree task, live)
+//!                                      ▼
+//!                             CampaignOutcome { params, report }
+//! ```
+//!
+//! Every fallible entry point returns [`CelesteError`] instead of
+//! panicking, and [`Session::run_campaign_streaming`] hands the caller
+//! an iterator of [`RegionResult`]s emitted as Dtree tasks complete,
+//! so partial catalogs can be consumed, checkpointed, or served
+//! mid-campaign. Draining that stream reproduces the batch return
+//! bit-identically — streaming observes the run, it does not alter it.
+//!
+//! # One thread knob
+//!
+//! All parallelism derives from a single resolved thread count with
+//! the precedence **builder [`CelesteBuilder::threads`] >
+//! `CELESTE_THREADS` environment variable > available parallelism**.
+//! The Cyclades batch width, campaign node count, and prefetcher pool
+//! all default from that one value (see [`CelesteConfig`]); the legacy
+//! per-layer knobs (`CampaignConfig::n_nodes`, `process_region`'s
+//! `n_threads`) are derived from it rather than duplicating it.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use celeste::{Celeste, SourceParams};
+//!
+//! # fn images() -> Vec<celeste::Image> { Vec::new() }
+//! # fn main() -> Result<(), celeste::CelesteError> {
+//! let session = Celeste::builder().threads(4).build()?;
+//! let images = images();
+//! let refs: Vec<&celeste::Image> = images.iter().collect();
+//!
+//! // Detect sources heuristically, then infer the catalog jointly.
+//! let detected = session.detect(&refs)?;
+//! let mut sources = session.init_sources(&detected);
+//! session.fit_region(&mut sources, &refs, &[], 7)?;
+//! for sp in &sources {
+//!     println!("{:?}", sp.to_entry());
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The legacy free functions remain available (and unchanged) through
+//! the re-exported subcrates for existing callers and the parity
+//! suites; new code should go through the session.
+
+mod config;
+mod error;
+mod session;
+
+pub use config::{CelesteBuilder, CelesteConfig};
+pub use error::CelesteError;
+pub use session::{CampaignOutcome, Celeste, RegionStream, Session};
+
+// The subcrates, re-exported so facade users need a single dependency.
+pub use celeste_core as model;
+pub use celeste_par as par;
+pub use celeste_photo as photo;
+pub use celeste_sched as sched;
+pub use celeste_survey as survey;
+
+// The types a facade caller touches directly, flattened.
+pub use celeste_core::{
+    FitConfig, FitError, FitStats, ModelPriors, NewtonConfig, SourceParams, Uncertainty,
+};
+pub use celeste_photo::{PhotoConfig, PhotoError};
+pub use celeste_sched::runtime::RegionStats;
+pub use celeste_sched::{
+    partition_sky, CampaignConfig, CampaignError, CampaignReport, PartitionConfig, RegionResult,
+    RegionTask,
+};
+pub use celeste_survey::io::{ImageStore, IoError};
+pub use celeste_survey::synth::{SurveyConfig, SyntheticSurvey};
+pub use celeste_survey::{Catalog, Image, Priors};

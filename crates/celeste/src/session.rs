@@ -1,0 +1,248 @@
+//! The session: detect → initialize → fit → campaign, one object.
+
+use crate::config::{CelesteBuilder, CelesteConfig};
+use crate::error::CelesteError;
+use celeste_core::{validate_fit_inputs, FitStats, SourceParams, SourceProblem};
+use celeste_sched::partition::RegionTask;
+use celeste_sched::runtime::{process_region, RegionStats};
+use celeste_sched::{CampaignReport, RegionResult};
+use celeste_survey::io::ImageStore;
+use celeste_survey::synth::SyntheticSurvey;
+use celeste_survey::{Catalog, Image};
+
+/// Entry point to the facade. [`Celeste::builder`] configures a
+/// [`Session`]; see the [crate docs](crate) for the full lifecycle.
+pub struct Celeste;
+
+impl Celeste {
+    /// Start configuring a session.
+    pub fn builder() -> CelesteBuilder {
+        CelesteBuilder::default()
+    }
+
+    /// A session with all defaults (never fails: the defaults are
+    /// valid by construction).
+    pub fn session() -> Session {
+        match Celeste::builder().build() {
+            Ok(session) => session,
+            Err(_) => unreachable!("default configuration is valid"),
+        }
+    }
+}
+
+/// A configured pipeline session. Cheap to create and `Sync`; all
+/// methods take `&self`, so one session can serve concurrent callers.
+#[derive(Debug, Clone)]
+pub struct Session {
+    cfg: CelesteConfig,
+}
+
+/// The batch return of [`Session::run_campaign`]: the fitted
+/// parameters of every source plus the measured runtime report.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// Final fitted parameters, in initialization-catalog order.
+    pub params: Vec<SourceParams>,
+    /// The four-component runtime breakdown and task statistics.
+    pub report: CampaignReport,
+    /// Every per-task [`RegionResult`], in arrival order. Populated
+    /// by [`Session::run_campaign`]; empty on the streaming path
+    /// (the consumer received them instead).
+    pub regions: Vec<RegionResult>,
+}
+
+/// Blocking iterator over [`RegionResult`]s, yielded to the consumer
+/// closure of [`Session::run_campaign_streaming`] while the campaign
+/// runs. Ends when the campaign finishes (or fails). Dropping it
+/// early is fine — the campaign completes regardless.
+pub struct RegionStream {
+    rx: crossbeam::channel::Receiver<RegionResult>,
+}
+
+impl Iterator for RegionStream {
+    type Item = RegionResult;
+
+    fn next(&mut self) -> Option<RegionResult> {
+        self.rx.recv().ok()
+    }
+}
+
+impl Session {
+    pub(crate) fn from_config(cfg: CelesteConfig) -> Session {
+        Session { cfg }
+    }
+
+    /// The validated configuration this session runs with.
+    pub fn config(&self) -> &CelesteConfig {
+        &self.cfg
+    }
+
+    /// Run heuristic detection + photometry (the Photo stage) over one
+    /// field's images: exactly one image per band, r band required.
+    pub fn detect(&self, images: &[&Image]) -> Result<Catalog, CelesteError> {
+        Ok(celeste_photo::try_run_photo(images, &self.cfg.photo)?)
+    }
+
+    /// Initialize variational source parameters from a catalog (the
+    /// paper's "initialize from an earlier survey's estimates").
+    pub fn init_sources(&self, catalog: &Catalog) -> Vec<SourceParams> {
+        catalog
+            .entries
+            .iter()
+            .map(SourceParams::init_from_entry)
+            .collect()
+    }
+
+    /// Fit one source against `images`, holding `neighbors` fixed in
+    /// the pixel background. Input is validated (non-finite parameters
+    /// or pixels are reported, not propagated into the Newton loop).
+    pub fn fit_source(
+        &self,
+        source: &mut SourceParams,
+        images: &[&Image],
+        neighbors: &[&SourceParams],
+    ) -> Result<FitStats, CelesteError> {
+        let problem =
+            SourceProblem::build(source, images, neighbors, &self.cfg.priors, &self.cfg.fit);
+        let id = source.id;
+        celeste_core::try_fit_source(source, &problem, &self.cfg.fit).map_err(|error| {
+            CelesteError::Fit {
+                source_id: Some(id),
+                error,
+            }
+        })
+    }
+
+    /// Jointly optimize a region's sources with Cyclades block
+    /// coordinate ascent on the shared executor (batch width =
+    /// the session's resolved thread count). `neighbors` are sources
+    /// outside the region, held fixed. Validates every source's
+    /// parameters and every image's calibration and pixels before
+    /// fitting (the same checks [`Session::fit_source`] applies).
+    pub fn fit_region(
+        &self,
+        sources: &mut [SourceParams],
+        images: &[&Image],
+        neighbors: &[SourceParams],
+        seed: u64,
+    ) -> Result<RegionStats, CelesteError> {
+        for sp in sources.iter().chain(neighbors.iter()) {
+            celeste_core::validate_params(sp).map_err(|error| CelesteError::Fit {
+                source_id: Some(sp.id),
+                error,
+            })?;
+        }
+        celeste_core::validate_images(images).map_err(|error| CelesteError::Fit {
+            source_id: None,
+            error,
+        })?;
+        Ok(process_region(
+            sources,
+            images,
+            neighbors,
+            &self.cfg.priors,
+            &self.cfg.fit,
+            self.cfg.threads,
+            seed,
+        ))
+    }
+
+    /// Validate a single-source problem without fitting (the check
+    /// [`Session::fit_source`] applies).
+    pub fn validate(
+        &self,
+        source: &SourceParams,
+        problem: &SourceProblem,
+    ) -> Result<(), CelesteError> {
+        validate_fit_inputs(source, problem).map_err(|error| CelesteError::Fit {
+            source_id: Some(source.id),
+            error,
+        })
+    }
+
+    /// Render and write every survey image into `store` (the paper's
+    /// Lustre → Burst Buffer staging step). Returns the image count.
+    pub fn stage(
+        &self,
+        survey: &SyntheticSurvey,
+        store: &ImageStore,
+    ) -> Result<usize, CelesteError> {
+        Ok(celeste_sched::try_stage_survey(survey, store)?)
+    }
+
+    /// Run a full campaign — both partition stages, Dtree-scheduled
+    /// across the session's simulated nodes — collecting every
+    /// [`RegionResult`] alongside the final parameters. Equivalent to
+    /// draining [`Session::run_campaign_streaming`]; the final
+    /// parameters are bit-identical to the legacy
+    /// [`run_campaign`](celeste_sched::run_campaign) tuple return.
+    pub fn run_campaign(
+        &self,
+        survey: &SyntheticSurvey,
+        store: &ImageStore,
+        init_catalog: &Catalog,
+        tasks: &[RegionTask],
+    ) -> Result<CampaignOutcome, CelesteError> {
+        let (mut outcome, regions) =
+            self.run_campaign_streaming(survey, store, init_catalog, tasks, |stream| {
+                stream.collect::<Vec<RegionResult>>()
+            })?;
+        outcome.regions = regions;
+        Ok(outcome)
+    }
+
+    /// [`Session::run_campaign`], streaming: the campaign runs on a
+    /// scoped background thread while `consume` runs on the calling
+    /// thread with a live [`RegionStream`] — each Dtree task's fitted
+    /// sources arrive the moment the task is written back, so callers
+    /// can checkpoint or serve partial catalogs mid-campaign. Returns
+    /// the batch outcome (with [`CampaignOutcome::regions`] empty —
+    /// the consumer saw them) plus whatever `consume` returned.
+    pub fn run_campaign_streaming<R, F>(
+        &self,
+        survey: &SyntheticSurvey,
+        store: &ImageStore,
+        init_catalog: &Catalog,
+        tasks: &[RegionTask],
+        consume: F,
+    ) -> Result<(CampaignOutcome, R), CelesteError>
+    where
+        F: FnOnce(RegionStream) -> R,
+    {
+        if tasks.is_empty() {
+            return Err(CelesteError::EmptyTaskList);
+        }
+        let campaign_cfg = self.cfg.campaign();
+        let (tx, rx) = crossbeam::channel::unbounded();
+        std::thread::scope(|scope| {
+            let priors = &self.cfg.priors;
+            let handle = scope.spawn(move || {
+                let result = celeste_sched::run_campaign_streaming(
+                    survey,
+                    store,
+                    init_catalog,
+                    tasks,
+                    priors,
+                    &campaign_cfg,
+                    &tx,
+                );
+                // Dropping the last sender ends the consumer's stream.
+                drop(tx);
+                result
+            });
+            let consumed = consume(RegionStream { rx });
+            let (params, report) = match handle.join() {
+                Ok(run) => run?,
+                Err(panic) => std::panic::resume_unwind(panic),
+            };
+            Ok((
+                CampaignOutcome {
+                    params,
+                    report,
+                    regions: Vec::new(),
+                },
+                consumed,
+            ))
+        })
+    }
+}

@@ -24,7 +24,7 @@
 //! Mahalanobis units: a `qf_cut` such that whenever the pixel's
 //! quadratic form `qf = δᵀΣ⁻¹δ` exceeds it, the component's
 //! contribution to **every** output slot (value, gradient, Hessian) is
-//! below the configured culling tolerance (see [`cull_threshold`] for
+//! below the configured culling tolerance (see `cull_threshold` for
 //! the bound). The per-pixel kernel then runs in passes over
 //! struct-of-arrays lanes: a branch-free madd loop computes all
 //! quadratic forms, survivors are gathered, `exp` is taken only for

@@ -271,6 +271,104 @@ pub struct FitStats {
     pub elbo_after: f64,
 }
 
+/// Invalid input to a source fit, reported by [`try_fit_source`] /
+/// [`try_fit_source_with`] instead of corrupting the Newton loop (a
+/// single NaN parameter or pixel poisons every downstream ELBO
+/// evaluation and trust-region step).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FitError {
+    /// A variational parameter is NaN or infinite.
+    NonFiniteParam {
+        /// Index into the 44-slot parameter block.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// An active pixel carries a non-finite observed count or
+    /// background rate.
+    NonFinitePixel {
+        /// Index of the image block holding the pixel.
+        block: usize,
+        /// Index of the pixel within the block.
+        pixel: usize,
+    },
+    /// An image's calibration (sky level, nmgy→counts scale, or WCS
+    /// geometry) is NaN or infinite — it would scale every likelihood
+    /// term of its block.
+    NonFiniteCalibration {
+        /// Index of the offending image (or image block).
+        block: usize,
+    },
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::NonFiniteParam { index, value } => {
+                write!(f, "non-finite parameter {value} at index {index}")
+            }
+            FitError::NonFinitePixel { block, pixel } => {
+                write!(f, "non-finite data in pixel {pixel} of image block {block}")
+            }
+            FitError::NonFiniteCalibration { block } => {
+                write!(f, "non-finite calibration on image block {block}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Validate one source's variational parameter block: every slot must
+/// be finite.
+pub fn validate_params(source: &SourceParams) -> Result<(), FitError> {
+    for (index, &value) in source.params.iter().enumerate() {
+        if !value.is_finite() {
+            return Err(FitError::NonFiniteParam { index, value });
+        }
+    }
+    Ok(())
+}
+
+/// Validate raw images before problem assembly: calibration (sky
+/// level, nmgy→counts scale) and every pixel must be finite. The
+/// `block` index in a reported error is the image's position in
+/// `images`.
+pub fn validate_images(images: &[&Image]) -> Result<(), FitError> {
+    for (block, img) in images.iter().enumerate() {
+        if !(img.sky_level.is_finite() && img.nmgy_to_counts.is_finite()) {
+            return Err(FitError::NonFiniteCalibration { block });
+        }
+        if let Some(pixel) = img.pixels.iter().position(|p| !p.is_finite()) {
+            return Err(FitError::NonFinitePixel { block, pixel });
+        }
+    }
+    Ok(())
+}
+
+/// Validate a fit's inputs: the source's parameters plus every
+/// assembled block's calibration and active pixels must be finite.
+pub fn validate_fit_inputs(source: &SourceParams, problem: &SourceProblem) -> Result<(), FitError> {
+    validate_params(source)?;
+    for (bi, block) in problem.blocks.iter().enumerate() {
+        if !(block.iota.is_finite()
+            && block.center0.iter().all(|c| c.is_finite())
+            && block.jac.iter().flatten().all(|j| j.is_finite()))
+        {
+            return Err(FitError::NonFiniteCalibration { block: bi });
+        }
+        for (pi, p) in block.pixels.iter().enumerate() {
+            if !(p.x.is_finite() && p.eps.is_finite() && p.px.is_finite() && p.py.is_finite()) {
+                return Err(FitError::NonFinitePixel {
+                    block: bi,
+                    pixel: pi,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// The evaluation workspace type a source fit uses.
 pub type SourceWorkspace = EvalWorkspace<SourceScratch>;
 
@@ -286,6 +384,29 @@ pub fn source_workspace() -> SourceWorkspace {
 pub fn fit_source(source: &mut SourceParams, problem: &SourceProblem, cfg: &FitConfig) -> FitStats {
     let mut ws = source_workspace();
     fit_source_with(source, problem, cfg, &mut ws)
+}
+
+/// [`fit_source`] with invalid input reported as a [`FitError`]: the
+/// form the `celeste` facade calls on user-supplied parameters.
+pub fn try_fit_source(
+    source: &mut SourceParams,
+    problem: &SourceProblem,
+    cfg: &FitConfig,
+) -> Result<FitStats, FitError> {
+    let mut ws = source_workspace();
+    try_fit_source_with(source, problem, cfg, &mut ws)
+}
+
+/// [`fit_source_with`] behind the same input validation as
+/// [`try_fit_source`].
+pub fn try_fit_source_with(
+    source: &mut SourceParams,
+    problem: &SourceProblem,
+    cfg: &FitConfig,
+    ws: &mut SourceWorkspace,
+) -> Result<FitStats, FitError> {
+    validate_fit_inputs(source, problem)?;
+    Ok(fit_source_with(source, problem, cfg, ws))
 }
 
 /// Fit one source to convergence reusing the caller's workspace: the

@@ -29,4 +29,4 @@ pub mod measure;
 pub mod pipeline;
 
 pub use compare::{compare_catalogs, ErrorRow, TableII};
-pub use pipeline::{run_photo, PhotoConfig};
+pub use pipeline::{run_photo, try_run_photo, PhotoConfig, PhotoError};

@@ -17,6 +17,29 @@ pub struct PhotoConfig {
     pub classify: ClassifyConfig,
 }
 
+/// Invalid input to the Photo pipeline.
+///
+/// [`try_run_photo`] reports these instead of panicking; the legacy
+/// [`run_photo`] wrapper panics with the same messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhotoError {
+    /// Two images of the same band were passed for one field.
+    DuplicateBand(celeste_survey::bands::Band),
+    /// No r-band image: detection has nothing to run on.
+    MissingReferenceBand,
+}
+
+impl std::fmt::Display for PhotoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PhotoError::DuplicateBand(b) => write!(f, "duplicate band {b}"),
+            PhotoError::MissingReferenceBand => write!(f, "r-band image required"),
+        }
+    }
+}
+
+impl std::error::Error for PhotoError {}
+
 /// Run Photo over one field: `images` must hold exactly one image per
 /// band (any order). Detection runs on the r band; photometry is forced
 /// at the detected positions in every band. Returns the estimated
@@ -25,14 +48,28 @@ pub struct PhotoConfig {
 /// Note the deliberate heuristic limitation the paper calls out (§I):
 /// Photo uses *one* image per band — repeat exposures are ignored
 /// unless they were first combined into a coadd.
+///
+/// Panics on a duplicate band or a missing r band; the non-panicking
+/// form is [`try_run_photo`].
 pub fn run_photo(images: &[&Image], cfg: &PhotoConfig) -> Catalog {
+    match try_run_photo(images, cfg) {
+        Ok(catalog) => catalog,
+        Err(e) => panic!("run_photo: {e}"),
+    }
+}
+
+/// [`run_photo`] with invalid input reported as a [`PhotoError`]
+/// instead of a panic (the form the `celeste` facade calls).
+pub fn try_run_photo(images: &[&Image], cfg: &PhotoConfig) -> Result<Catalog, PhotoError> {
     let mut by_band: [Option<&Image>; NUM_BANDS] = [None; NUM_BANDS];
     for img in images {
         let slot = &mut by_band[img.band.index()];
-        assert!(slot.is_none(), "run_photo: duplicate band {}", img.band);
+        if slot.is_some() {
+            return Err(PhotoError::DuplicateBand(img.band));
+        }
         *slot = Some(img);
     }
-    let r_img = by_band[REFERENCE_BAND].expect("run_photo: r-band image required");
+    let r_img = by_band[REFERENCE_BAND].ok_or(PhotoError::MissingReferenceBand)?;
 
     let r_bg = estimate_background(r_img);
     let backgrounds: [Option<Background>; NUM_BANDS] = {
@@ -116,7 +153,7 @@ pub fn run_photo(images: &[&Image], cfg: &PhotoConfig) -> Catalog {
             shape,
         });
     }
-    Catalog::new(entries)
+    Ok(Catalog::new(entries))
 }
 
 /// Convenience: run Photo when images are owned (e.g. fresh coadds).
@@ -250,5 +287,32 @@ mod tests {
         let images = render_scene(&truth, 2);
         let no_r: Vec<&Image> = images.iter().filter(|i| i.band != Band::R).collect();
         let _ = run_photo(&no_r, &PhotoConfig::default());
+    }
+
+    #[test]
+    fn try_run_photo_reports_typed_errors() {
+        let truth = Catalog::new(vec![bright_star(0, 0.025, 0.025, 10.0)]);
+        let images = render_scene(&truth, 2);
+        let cfg = PhotoConfig::default();
+
+        let no_r: Vec<&Image> = images.iter().filter(|i| i.band != Band::R).collect();
+        assert_eq!(
+            try_run_photo(&no_r, &cfg).unwrap_err(),
+            PhotoError::MissingReferenceBand
+        );
+
+        let mut dup: Vec<&Image> = images.iter().collect();
+        dup.push(&images[Band::G.index()]);
+        assert_eq!(
+            try_run_photo(&dup, &cfg).unwrap_err(),
+            PhotoError::DuplicateBand(Band::G)
+        );
+
+        // Valid input through the fallible form matches the panicking
+        // wrapper exactly.
+        let refs: Vec<&Image> = images.iter().collect();
+        let a = try_run_photo(&refs, &cfg).unwrap();
+        let b = run_photo(&refs, &cfg);
+        assert_eq!(a.entries, b.entries);
     }
 }

@@ -17,15 +17,85 @@
 use crate::dtree::Dtree;
 use crate::partition::RegionTask;
 use crate::pgas::ParamStore;
-use crate::runtime::process_region;
+use crate::runtime::{process_region, RegionStats};
 use celeste_core::{FitConfig, ModelPriors, SourceParams};
 use celeste_survey::bands::Band;
-use celeste_survey::io::{ImageKey, ImageStore, Prefetcher};
+use celeste_survey::io::{ImageKey, ImageStore, IoError, Prefetcher};
 use celeste_survey::synth::SyntheticSurvey;
 use celeste_survey::Catalog;
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// An IO failure during a campaign, with where in the pipeline it
+/// happened. The fallible drivers ([`try_run_campaign`],
+/// [`run_campaign_streaming`], [`try_stage_survey`]) return these;
+/// the legacy [`run_campaign`] / [`stage_survey`] wrappers panic.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Writing an image into the store during staging failed.
+    Staging {
+        /// The (field, band) that failed to stage.
+        key: ImageKey,
+        /// The underlying store error.
+        source: IoError,
+    },
+    /// A node's blocking image fetch failed mid-campaign.
+    ImageLoad {
+        /// The (field, band) that failed to load.
+        key: ImageKey,
+        /// The underlying store error.
+        source: IoError,
+    },
+    /// Writing the fitted output catalog failed.
+    Output(IoError),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Staging { key, source } => {
+                write!(f, "staging image {:?}/{} failed: {source}", key.0, key.1)
+            }
+            CampaignError::ImageLoad { key, source } => {
+                write!(f, "loading image {:?}/{} failed: {source}", key.0, key.1)
+            }
+            CampaignError::Output(source) => write!(f, "writing output catalog failed: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Staging { source, .. }
+            | CampaignError::ImageLoad { source, .. }
+            | CampaignError::Output(source) => Some(source),
+        }
+    }
+}
+
+/// One finished region task, as emitted on the streaming path while
+/// the campaign is still running: the fitted parameters of every
+/// source in the task plus the region-level optimizer statistics.
+#[derive(Debug, Clone)]
+pub struct RegionResult {
+    /// The [`RegionTask::id`] this result belongs to.
+    pub task_id: u64,
+    /// Partition stage (0 = primary, 1 = shifted boundary pass).
+    pub stage: u8,
+    /// The simulated node that processed the task.
+    pub node: usize,
+    /// Fitted parameters for every source in the task, in task order.
+    pub sources: Vec<SourceParams>,
+    /// Cyclades optimizer statistics for the region.
+    pub stats: RegionStats,
+}
+
+/// Where streaming campaign drivers emit [`RegionResult`]s: the
+/// sending half of a crossbeam MPMC channel, so results can be
+/// consumed, checkpointed, or served while later tasks still compute.
+pub type RegionSink = crossbeam::channel::Sender<RegionResult>;
 
 /// The four runtime components of Figs. 4–5.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -118,19 +188,39 @@ impl CampaignReport {
 }
 
 /// Write every survey image into `store` (staging the campaign data,
-/// i.e. the paper's Lustre → Burst Buffer step).
+/// i.e. the paper's Lustre → Burst Buffer step). Panics if the store
+/// is unwritable; the non-panicking form is [`try_stage_survey`].
 pub fn stage_survey(survey: &SyntheticSurvey, store: &ImageStore) -> usize {
+    try_stage_survey(survey, store).expect("stage image")
+}
+
+/// [`stage_survey`] with store failures reported as a
+/// [`CampaignError::Staging`] carrying the offending (field, band)
+/// instead of a panic. Returns the number of images staged.
+pub fn try_stage_survey(
+    survey: &SyntheticSurvey,
+    store: &ImageStore,
+) -> Result<usize, CampaignError> {
     use rayon::prelude::*;
     let jobs: Vec<(usize, Band)> = (0..survey.geometry.fields.len())
         .flat_map(|i| Band::ALL.iter().map(move |&b| (i, b)))
         .collect();
-    jobs.par_iter()
+    let results: Vec<Result<(), CampaignError>> = jobs
+        .par_iter()
         .map(|&(i, band)| {
-            let img = survey.render_field(&survey.geometry.fields[i], band);
-            store.save(&img).expect("stage image");
-            1usize
+            let field = &survey.geometry.fields[i];
+            let img = survey.render_field(field, band);
+            store.save(&img).map_err(|source| CampaignError::Staging {
+                key: (field.id, band),
+                source,
+            })
         })
-        .sum()
+        .collect();
+    let n = results.len();
+    for r in results {
+        r?;
+    }
+    Ok(n)
 }
 
 /// Image keys a task needs: every (field, band) whose footprint
@@ -147,7 +237,8 @@ pub fn task_image_keys(survey: &SyntheticSurvey, task: &RegionTask) -> Vec<Image
 
 /// Run a full campaign: both partition stages, Dtree-scheduled across
 /// `cfg.n_nodes` node threads. Returns the final catalog parameters
-/// and the measured report.
+/// and the measured report. Panics on IO failure; the non-panicking
+/// forms are [`try_run_campaign`] and [`run_campaign_streaming`].
 pub fn run_campaign(
     survey: &SyntheticSurvey,
     store: &ImageStore,
@@ -156,6 +247,65 @@ pub fn run_campaign(
     priors: &ModelPriors,
     cfg: &CampaignConfig,
 ) -> (Vec<SourceParams>, CampaignReport) {
+    campaign_inner(survey, store, init_catalog, tasks, priors, cfg, None)
+        .unwrap_or_else(|e| panic!("run_campaign: {e}"))
+}
+
+/// [`run_campaign`] with IO failures reported as [`CampaignError`]s
+/// instead of panics.
+pub fn try_run_campaign(
+    survey: &SyntheticSurvey,
+    store: &ImageStore,
+    init_catalog: &Catalog,
+    tasks: &[RegionTask],
+    priors: &ModelPriors,
+    cfg: &CampaignConfig,
+) -> Result<(Vec<SourceParams>, CampaignReport), CampaignError> {
+    campaign_inner(survey, store, init_catalog, tasks, priors, cfg, None)
+}
+
+/// [`try_run_campaign`], additionally emitting a [`RegionResult`] into
+/// `sink` the moment each Dtree task finishes — partial catalogs are
+/// consumable mid-campaign from the channel's receiving half while
+/// later tasks still compute. A dropped receiver does not stop the
+/// campaign; emission is simply skipped. The returned parameters are
+/// bit-identical to [`run_campaign`]'s: streaming observes the run,
+/// it does not alter it.
+pub fn run_campaign_streaming(
+    survey: &SyntheticSurvey,
+    store: &ImageStore,
+    init_catalog: &Catalog,
+    tasks: &[RegionTask],
+    priors: &ModelPriors,
+    cfg: &CampaignConfig,
+    sink: &RegionSink,
+) -> Result<(Vec<SourceParams>, CampaignReport), CampaignError> {
+    campaign_inner(survey, store, init_catalog, tasks, priors, cfg, Some(sink))
+}
+
+/// Everything a node hands back to the coordinator after draining its
+/// share of a stage's Dtree.
+struct NodeOutcome {
+    node: usize,
+    comp: ComponentTimes,
+    durations: Vec<f64>,
+    works: Vec<f64>,
+    loads: Vec<f64>,
+    n_tasks: usize,
+    n_sources: usize,
+    /// First IO failure the node hit (it stops popping tasks after).
+    error: Option<CampaignError>,
+}
+
+fn campaign_inner(
+    survey: &SyntheticSurvey,
+    store: &ImageStore,
+    init_catalog: &Catalog,
+    tasks: &[RegionTask],
+    priors: &ModelPriors,
+    cfg: &CampaignConfig,
+    sink: Option<&RegionSink>,
+) -> Result<(Vec<SourceParams>, CampaignReport), CampaignError> {
     let t_campaign = Instant::now();
     celeste_core::flops::reset_visits();
 
@@ -186,20 +336,7 @@ pub fn run_campaign(
             cfg.dtree_fanout,
             (0..stage_tasks.len()).collect::<Vec<usize>>(),
         ));
-        #[allow(clippy::type_complexity)]
-        let results: Arc<
-            Mutex<
-                Vec<(
-                    usize,
-                    ComponentTimes,
-                    Vec<f64>,
-                    Vec<f64>,
-                    Vec<f64>,
-                    usize,
-                    usize,
-                )>,
-            >,
-        > = Arc::new(Mutex::new(Vec::new()));
+        let results: Arc<Mutex<Vec<NodeOutcome>>> = Arc::new(Mutex::new(Vec::new()));
         let node_end_times: Arc<Mutex<Vec<(usize, f64)>>> = Arc::new(Mutex::new(Vec::new()));
         let t_stage = Instant::now();
 
@@ -217,12 +354,16 @@ pub fn run_campaign(
                 let stage_tasks = &stage_tasks;
                 let id_of = &id_of;
                 s.spawn(move || {
-                    let mut comp = ComponentTimes::default();
-                    let mut durations = Vec::new();
-                    let mut works = Vec::new();
-                    let mut loads = Vec::new();
-                    let mut n_tasks = 0usize;
-                    let mut n_sources = 0usize;
+                    let mut out = NodeOutcome {
+                        node,
+                        comp: ComponentTimes::default(),
+                        durations: Vec::new(),
+                        works: Vec::new(),
+                        loads: Vec::new(),
+                        n_tasks: 0,
+                        n_sources: 0,
+                        error: None,
+                    };
                     let mut first_task = true;
 
                     let mut next = dtree.pop(node);
@@ -239,17 +380,32 @@ pub fn run_campaign(
                         }
 
                         // Blocking image fetch for the current task.
+                        // A failed load stops this node (the rest of
+                        // the fleet keeps draining the Dtree); the
+                        // coordinator reports the first failure.
                         let t0 = Instant::now();
                         let keys = task_image_keys(survey, task);
-                        let images: Vec<Arc<celeste_survey::Image>> =
-                            keys.iter().filter_map(|k| prefetcher.get(k).ok()).collect();
+                        let mut images: Vec<Arc<celeste_survey::Image>> =
+                            Vec::with_capacity(keys.len());
+                        for k in &keys {
+                            match prefetcher.get(k) {
+                                Ok(img) => images.push(img),
+                                Err(source) => {
+                                    out.error = Some(CampaignError::ImageLoad { key: *k, source });
+                                    break;
+                                }
+                            }
+                        }
+                        if out.error.is_some() {
+                            break;
+                        }
                         let wait = t0.elapsed().as_secs_f64();
-                        loads.push(wait);
+                        out.loads.push(wait);
                         if first_task {
-                            comp.image_loading += wait;
+                            out.comp.image_loading += wait;
                             first_task = false;
                         } else {
-                            comp.other += wait;
+                            out.comp.other += wait;
                         }
 
                         // Fetch parameters (PGAS gets) for the region
@@ -267,13 +423,13 @@ pub fn run_campaign(
                             .map(|(_, e)| e.id)
                             .collect();
                         let neighbors = params.get_many(node, &neighbor_ids);
-                        comp.other += t1.elapsed().as_secs_f64();
+                        out.comp.other += t1.elapsed().as_secs_f64();
 
                         // The compute loop.
                         let t2 = Instant::now();
                         let image_refs: Vec<&celeste_survey::Image> =
                             images.iter().map(|a| a.as_ref()).collect();
-                        process_region(
+                        let region_stats = process_region(
                             &mut sources,
                             &image_refs,
                             &neighbors,
@@ -283,18 +439,32 @@ pub fn run_campaign(
                             task.id ^ 0x5eed,
                         );
                         let dt = t2.elapsed().as_secs_f64();
-                        comp.task_processing += dt;
-                        durations.push(dt);
-                        works.push(task.predicted_work.max(1.0));
+                        out.comp.task_processing += dt;
+                        out.durations.push(dt);
+                        out.works.push(task.predicted_work.max(1.0));
 
                         // Write back (PGAS puts).
                         let t3 = Instant::now();
                         for sp in &sources {
                             params.put(node, sp.id, &sp.params);
                         }
-                        comp.other += t3.elapsed().as_secs_f64();
-                        n_tasks += 1;
-                        n_sources += sources.len();
+                        out.comp.other += t3.elapsed().as_secs_f64();
+                        out.n_tasks += 1;
+                        out.n_sources += sources.len();
+
+                        // Streaming surface: the finished task leaves
+                        // the node the moment it is written back, not
+                        // at campaign end. A closed channel (receiver
+                        // dropped) just stops emission.
+                        if let Some(sink) = sink {
+                            let _ = sink.send(RegionResult {
+                                task_id: task.id,
+                                stage: task.stage,
+                                node,
+                                sources: sources.clone(),
+                                stats: region_stats,
+                            });
+                        }
 
                         // Evict this task's images to bound memory.
                         for k in &keys {
@@ -304,9 +474,7 @@ pub fn run_campaign(
                     node_end_times
                         .lock()
                         .push((node, t_stage.elapsed().as_secs_f64()));
-                    results
-                        .lock()
-                        .push((node, comp, durations, works, loads, n_tasks, n_sources));
+                    results.lock().push(out);
                 });
             }
         });
@@ -319,14 +487,21 @@ pub fn run_campaign(
         for &(node, t) in ends.iter() {
             idle_of[node] = t_last - t;
         }
-        for (node, comp, durations, works, loads, n_tasks, n_sources) in results.lock().drain(..) {
-            per_node[node].add(&comp);
-            per_node[node].load_imbalance += idle_of[node];
-            task_durations.extend(durations);
-            task_works.extend(works);
-            image_load_durations.extend(loads);
-            tasks_completed += n_tasks;
-            sources_optimized += n_sources;
+        let mut first_error = None;
+        for out in results.lock().drain(..) {
+            per_node[out.node].add(&out.comp);
+            per_node[out.node].load_imbalance += idle_of[out.node];
+            task_durations.extend(out.durations);
+            task_works.extend(out.works);
+            image_load_durations.extend(out.loads);
+            tasks_completed += out.n_tasks;
+            sources_optimized += out.n_sources;
+            if let Some(e) = out.error {
+                first_error.get_or_insert(e);
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
         }
     }
 
@@ -335,7 +510,9 @@ pub fn run_campaign(
     let t_out = Instant::now();
     let fitted = params.export();
     let out_catalog = celeste_survey::Catalog::new(fitted.iter().map(|sp| sp.to_entry()).collect());
-    let _ = store.save_catalog("celeste-output", &out_catalog);
+    store
+        .save_catalog("celeste-output", &out_catalog)
+        .map_err(CampaignError::Output)?;
     if let Some(first) = per_node.first_mut() {
         first.other += t_out.elapsed().as_secs_f64();
     }
@@ -350,7 +527,7 @@ pub fn run_campaign(
         image_load_durations,
         active_pixel_visits: celeste_core::flops::visits(),
     };
-    (fitted, report)
+    Ok((fitted, report))
 }
 
 #[cfg(test)]

@@ -29,7 +29,9 @@ pub mod pgas;
 pub mod runtime;
 
 pub use campaign::{
-    run_campaign, stage_survey, task_image_keys, CampaignConfig, CampaignReport, ComponentTimes,
+    run_campaign, run_campaign_streaming, stage_survey, task_image_keys, try_run_campaign,
+    try_stage_survey, CampaignConfig, CampaignError, CampaignReport, ComponentTimes, RegionResult,
+    RegionSink,
 };
 pub use cyclades::{conflict_graph, sample_batches, ConflictGraph};
 pub use dtree::{Dtree, DtreeStats};

@@ -29,6 +29,10 @@ pub enum IoError {
     Io(std::io::Error),
     /// The file did not parse as a SIMG container.
     Format(String),
+    /// A background prefetch worker failed to load the image (the
+    /// underlying store error, carried as text across the worker
+    /// boundary).
+    Prefetch(String),
 }
 
 impl From<std::io::Error> for IoError {
@@ -42,11 +46,19 @@ impl std::fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "io error: {e}"),
             IoError::Format(m) => write!(f, "format error: {m}"),
+            IoError::Prefetch(m) => write!(f, "prefetch failed: {m}"),
         }
     }
 }
 
-impl std::error::Error for IoError {}
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Format(_) | IoError::Prefetch(_) => None,
+        }
+    }
+}
 
 /// Serialize an image to the SIMG binary layout.
 pub fn encode_image(img: &Image) -> Bytes {
@@ -396,7 +408,7 @@ impl Prefetcher {
         loop {
             match slots.get(key) {
                 Some(Slot::Ready(img)) => return Ok(Arc::clone(img)),
-                Some(Slot::Failed(msg)) => return Err(IoError::Format(msg.clone())),
+                Some(Slot::Failed(msg)) => return Err(IoError::Prefetch(msg.clone())),
                 _ => self.shared.ready.wait(&mut slots),
             }
         }

@@ -9,16 +9,13 @@
 //!
 //! Run with: `cargo run --release --example deblend_joint`
 
-use celeste_core::{
-    fit_source, optimize_sources, FitConfig, ModelPriors, SourceParams, SourceProblem,
-};
-use celeste_survey::bands::Band;
-use celeste_survey::catalog::{Catalog, CatalogEntry, GalaxyShape, SourceType};
-use celeste_survey::psf::Psf;
-use celeste_survey::render::render_observed;
-use celeste_survey::skygeom::{FieldId, SkyCoord, SkyRect};
-use celeste_survey::wcs::Wcs;
-use celeste_survey::{Image, Priors};
+use celeste::survey::bands::Band;
+use celeste::survey::catalog::{CatalogEntry, GalaxyShape, SourceType};
+use celeste::survey::psf::Psf;
+use celeste::survey::render::render_observed;
+use celeste::survey::skygeom::{FieldId, SkyCoord, SkyRect};
+use celeste::survey::wcs::Wcs;
+use celeste::{Catalog, Celeste, CelesteError, FitConfig, Image, SourceParams};
 
 fn star(id: u64, ra: f64, flux: f64) -> CatalogEntry {
     CatalogEntry {
@@ -31,7 +28,7 @@ fn star(id: u64, ra: f64, flux: f64) -> CatalogEntry {
     }
 }
 
-fn main() {
+fn main() -> Result<(), CelesteError> {
     // Two stars 3.6 arcsec apart — about 2.5 pixels: heavily blended.
     let truth = vec![star(0, 0.0095, 24.0), star(1, 0.0095 + 3.6 / 3600.0, 8.0)];
     let catalog = Catalog::new(truth.clone());
@@ -58,11 +55,12 @@ fn main() {
         })
         .collect();
     let refs: Vec<&Image> = images.iter().collect();
-    let priors = ModelPriors::new(Priors::sdss_default());
-    let cfg = FitConfig {
-        bca_passes: 3,
-        ..Default::default()
-    };
+    let session = Celeste::builder()
+        .fit(FitConfig {
+            bca_passes: 3,
+            ..Default::default()
+        })
+        .build()?;
 
     let init = |e: &CatalogEntry| {
         let mut g = e.clone();
@@ -73,13 +71,12 @@ fn main() {
     // (a) Independent: each source fit as if alone.
     let mut indep: Vec<SourceParams> = truth.iter().map(init).collect();
     for sp in &mut indep {
-        let problem = SourceProblem::build(sp, &refs, &[], &priors, &cfg);
-        fit_source(sp, &problem, &cfg);
+        session.fit_source(sp, &refs, &[])?;
     }
 
-    // (b) Joint block coordinate ascent.
+    // (b) Joint Cyclades block coordinate ascent.
     let mut joint: Vec<SourceParams> = truth.iter().map(init).collect();
-    optimize_sources(&mut joint, &refs, &priors, &cfg);
+    session.fit_region(&mut joint, &refs, &[], 42)?;
 
     println!("Blended pair, separation 3.6\" (~2.5 px), PSF fwhm ≈ 4.6\"\n");
     println!(
@@ -107,4 +104,5 @@ fn main() {
         100.0 * err(&indep),
         100.0 * err(&joint)
     );
+    Ok(())
 }

@@ -4,11 +4,13 @@
 //!
 //! Run with: `cargo run --release --example petascale_sim`
 
+use celeste::model::flops::OBJECTIVE_OVERHEAD_FACTOR;
 use celeste_cluster::report::{components_table, stacked_chart, table1};
 use celeste_cluster::{calibrate_from_report, simulate_run, ClusterConfig};
-use celeste_core::flops::OBJECTIVE_OVERHEAD_FACTOR;
 
 fn main() {
+    // The mini-campaign behind this calibration runs through the
+    // `celeste` facade session (see `celeste_bench::run_calibration_campaign`).
     println!("Calibrating the simulator from a real mini-campaign on this machine …");
     let flops_per_visit =
         celeste_bench::audit_flops_per_visit() * celeste_bench::measure_deriv_cost_ratio();

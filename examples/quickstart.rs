@@ -1,19 +1,19 @@
-//! Quickstart: simulate a patch of sky, run Celeste on one source, and
-//! print the posterior — point estimates *and* uncertainties, the
-//! paper's headline advantage over heuristic pipelines.
+//! Quickstart: simulate a patch of sky, run Celeste on one source
+//! through the unified `celeste` facade, and print the posterior —
+//! point estimates *and* uncertainties, the paper's headline advantage
+//! over heuristic pipelines.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use celeste_core::{fit_source, FitConfig, ModelPriors, SourceParams, SourceProblem};
-use celeste_survey::bands::{nmgy_to_mag, Band};
-use celeste_survey::catalog::{Catalog, CatalogEntry, GalaxyShape, SourceType};
-use celeste_survey::psf::Psf;
-use celeste_survey::render::render_observed;
-use celeste_survey::skygeom::{FieldId, SkyCoord, SkyRect};
-use celeste_survey::wcs::Wcs;
-use celeste_survey::{Image, Priors};
+use celeste::survey::bands::{nmgy_to_mag, Band};
+use celeste::survey::catalog::{CatalogEntry, GalaxyShape, SourceType};
+use celeste::survey::psf::Psf;
+use celeste::survey::render::render_observed;
+use celeste::survey::skygeom::{FieldId, SkyCoord, SkyRect};
+use celeste::survey::wcs::Wcs;
+use celeste::{Catalog, Celeste, CelesteError, Image, SourceParams};
 
-fn main() {
+fn main() -> Result<(), CelesteError> {
     // 1. The "universe": one galaxy with known true parameters.
     let truth = CatalogEntry {
         id: 0,
@@ -55,20 +55,20 @@ fn main() {
         .collect();
     let refs: Vec<&Image> = images.iter().collect();
 
-    // 3. Initialize from a rough guess (what an earlier catalog would
+    // 3. One session configures the whole pipeline. Invalid knobs and
+    //    invalid inputs come back as typed `CelesteError`s, not panics.
+    let session = Celeste::builder().build()?;
+
+    // 4. Initialize from a rough guess (what an earlier catalog would
     //    provide) and run variational inference.
     let mut guess = truth.clone();
     guess.flux_r_nmgy = 10.0;
     guess.shape = GalaxyShape::round_disk(1.0);
     guess.pos.ra += 0.7 / 3600.0;
     let mut source = SourceParams::init_from_entry(&guess);
+    let stats = session.fit_source(&mut source, &refs, &[])?;
 
-    let priors = ModelPriors::new(Priors::sdss_default());
-    let cfg = FitConfig::default();
-    let problem = SourceProblem::build(&source, &refs, &[], &priors, &cfg);
-    let stats = fit_source(&mut source, &problem, &cfg);
-
-    // 4. Report the posterior.
+    // 5. Report the posterior.
     let fitted = source.to_entry();
     let unc = source.uncertainty();
     println!(
@@ -122,4 +122,5 @@ fn main() {
         fitted.pos.sep_arcsec(&truth.pos),
         unc.position_sd_arcsec[0]
     );
+    Ok(())
 }

@@ -6,8 +6,8 @@
 //! (the full-scale run is `cargo run --release -p celeste-bench --bin
 //! table2_stripe82`).
 
+use celeste::FitConfig;
 use celeste_bench::{rows_better, run_table2, stripe82_scene};
-use celeste_core::FitConfig;
 
 fn main() {
     println!("Generating a Stripe 82-style deep field (12 epochs) …");

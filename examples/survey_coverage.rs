@@ -6,8 +6,8 @@
 //!
 //! Run with: `cargo run --release --example survey_coverage`
 
-use celeste_survey::skygeom::GeometryConfig;
-use celeste_survey::synth::{SurveyConfig, SyntheticSurvey};
+use celeste::survey::skygeom::GeometryConfig;
+use celeste::{SurveyConfig, SyntheticSurvey};
 
 fn main() {
     let survey = SyntheticSurvey::generate(SurveyConfig {
