@@ -3,7 +3,7 @@
 use crate::error::CelesteError;
 use celeste_core::{FitConfig, ModelPriors};
 use celeste_photo::PhotoConfig;
-use celeste_sched::CampaignConfig;
+use celeste_sched::{CampaignConfig, FaultPlan, RetryPolicy};
 use celeste_survey::Priors;
 
 /// The resolved, validated configuration a [`Session`](crate::Session)
@@ -40,6 +40,11 @@ pub struct CelesteConfig {
     pub photo: PhotoConfig,
     /// Model priors used by every fit the session runs.
     pub priors: ModelPriors,
+    /// Lease/retry/backoff policy for campaign region tasks.
+    pub retry: RetryPolicy,
+    /// Deterministic fault injection for chaos testing. `None` (the
+    /// default) defers to the `CELESTE_FAULTS` environment variable.
+    pub faults: Option<FaultPlan>,
 }
 
 impl CelesteConfig {
@@ -51,6 +56,8 @@ impl CelesteConfig {
             prefetch_workers: self.prefetch_workers,
             dtree_fanout: self.dtree_fanout,
             fit: self.fit,
+            retry: self.retry,
+            faults: self.faults,
         }
     }
 }
@@ -72,6 +79,8 @@ pub struct CelesteBuilder {
     fit: Option<FitConfig>,
     photo: Option<PhotoConfig>,
     priors: Option<ModelPriors>,
+    retry: Option<RetryPolicy>,
+    faults: Option<FaultPlan>,
 }
 
 impl CelesteBuilder {
@@ -115,6 +124,19 @@ impl CelesteBuilder {
     /// Replace the model priors (default: SDSS-derived).
     pub fn priors(mut self, priors: ModelPriors) -> Self {
         self.priors = Some(priors);
+        self
+    }
+
+    /// Replace the campaign lease/retry/backoff policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Inject deterministic faults into campaigns (chaos testing).
+    /// Overrides the `CELESTE_FAULTS` environment variable.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -204,6 +226,27 @@ impl CelesteBuilder {
             .priors
             .unwrap_or_else(|| ModelPriors::new(Priors::sdss_default()));
 
+        let retry = self.retry.unwrap_or_default();
+        if retry.max_attempts == 0 {
+            return Err(bad("retry.max_attempts", "must be at least 1"));
+        }
+        if retry.lease_timeout.is_zero() {
+            return Err(bad("retry.lease_timeout", "must be positive"));
+        }
+
+        if let Some(f) = &self.faults {
+            for (field, rate) in [
+                ("faults.io_error_rate", f.io_error_rate),
+                ("faults.panic_rate", f.panic_rate),
+                ("faults.slow_rate", f.slow_rate),
+                ("faults.hang_rate", f.hang_rate),
+            ] {
+                if !(rate.is_finite() && (0.0..=1.0).contains(&rate)) {
+                    return Err(bad(field, format!("must be in [0, 1], got {rate}")));
+                }
+            }
+        }
+
         Ok(CelesteConfig {
             threads,
             n_nodes,
@@ -212,6 +255,8 @@ impl CelesteBuilder {
             fit,
             photo,
             priors,
+            retry,
+            faults: self.faults,
         })
     }
 }

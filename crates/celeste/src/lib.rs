@@ -34,6 +34,23 @@
 //! mid-campaign. Draining that stream reproduces the batch return
 //! bit-identically — streaming observes the run, it does not alter it.
 //!
+//! # Fault tolerance
+//!
+//! Campaigns are resilient at region granularity: every region task
+//! is a *lease* with a deadline; a panicking fit, failed image load,
+//! or hung node loses its lease and the task is reissued with
+//! seeded-deterministic exponential backoff, up to
+//! [`RetryPolicy::max_attempts`]. Regions that keep failing are
+//! quarantined into [`CampaignReport::failed_regions`] with their
+//! full per-attempt error chains — the campaign degrades gracefully
+//! instead of aborting. [`Session::run_campaign_checkpointed`]
+//! persists completed regions durably and
+//! [`Session::resume_campaign`] restarts from the file, refitting
+//! only unfinished regions, with a bit-identical final catalog.
+//! Deterministic fault injection ([`FaultPlan`], or the
+//! `CELESTE_FAULTS` environment variable) drives the chaos suite
+//! through these exact production paths.
+//!
 //! # One thread knob
 //!
 //! All parallelism derives from a single resolved thread count with
@@ -92,8 +109,9 @@ pub use celeste_core::{
 pub use celeste_photo::{PhotoConfig, PhotoError};
 pub use celeste_sched::runtime::RegionStats;
 pub use celeste_sched::{
-    partition_sky, CampaignConfig, CampaignError, CampaignReport, PartitionConfig, RegionResult,
-    RegionTask,
+    partition_sky, try_partition_sky, CampaignConfig, CampaignError, CampaignReport, CancelToken,
+    CheckpointConfig, CheckpointError, FailedRegion, FaultPlan, PartitionConfig, PartitionError,
+    RegionError, RegionResult, RegionTask, RetryPolicy,
 };
 pub use celeste_survey::io::{ImageStore, IoError};
 pub use celeste_survey::synth::{SurveyConfig, SyntheticSurvey};

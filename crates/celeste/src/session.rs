@@ -5,7 +5,10 @@ use crate::error::CelesteError;
 use celeste_core::{validate_fit_inputs, FitStats, SourceParams, SourceProblem};
 use celeste_sched::partition::RegionTask;
 use celeste_sched::runtime::{process_region, RegionStats};
-use celeste_sched::{CampaignReport, RegionResult};
+use celeste_sched::{
+    plan_fingerprint, CampaignReport, CancelToken, Checkpoint, CheckpointConfig, RegionResult,
+    RunOptions,
+};
 use celeste_survey::io::ImageStore;
 use celeste_survey::synth::SyntheticSurvey;
 use celeste_survey::{Catalog, Image};
@@ -54,9 +57,13 @@ pub struct CampaignOutcome {
 /// Blocking iterator over [`RegionResult`]s, yielded to the consumer
 /// closure of [`Session::run_campaign_streaming`] while the campaign
 /// runs. Ends when the campaign finishes (or fails). Dropping it
-/// early is fine — the campaign completes regardless.
+/// early cancels the campaign cleanly: in-flight regions finish,
+/// pending checkpoint state is flushed, and the campaign returns
+/// `Ok` with [`CampaignReport::cancelled`] set — it never blocks on
+/// a consumer that has stopped listening.
 pub struct RegionStream {
     rx: crossbeam::channel::Receiver<RegionResult>,
+    cancel: CancelToken,
 }
 
 impl Iterator for RegionStream {
@@ -64,6 +71,15 @@ impl Iterator for RegionStream {
 
     fn next(&mut self) -> Option<RegionResult> {
         self.rx.recv().ok()
+    }
+}
+
+impl Drop for RegionStream {
+    fn drop(&mut self) {
+        // A fully drained stream means the campaign already finished;
+        // cancelling then is a no-op (the report is only marked
+        // cancelled when tasks actually remain).
+        self.cancel.cancel();
     }
 }
 
@@ -197,7 +213,9 @@ impl Session {
     /// sources arrive the moment the task is written back, so callers
     /// can checkpoint or serve partial catalogs mid-campaign. Returns
     /// the batch outcome (with [`CampaignOutcome::regions`] empty —
-    /// the consumer saw them) plus whatever `consume` returned.
+    /// the consumer saw them) plus whatever `consume` returned. If
+    /// `consume` returns while the stream still has results coming,
+    /// the campaign is cancelled cleanly (see [`RegionStream`]).
     pub fn run_campaign_streaming<R, F>(
         &self,
         survey: &SyntheticSurvey,
@@ -209,28 +227,128 @@ impl Session {
     where
         F: FnOnce(RegionStream) -> R,
     {
+        self.campaign_with(survey, store, init_catalog, tasks, None, None, consume)
+    }
+
+    /// [`Session::run_campaign`] with durable progress: every
+    /// completed region is recorded to `ckpt` (written atomically
+    /// every [`CheckpointConfig::every`] completions and once at the
+    /// end), so a crashed or cancelled campaign can be picked up by
+    /// [`Session::resume_campaign`] without refitting finished
+    /// regions.
+    pub fn run_campaign_checkpointed(
+        &self,
+        survey: &SyntheticSurvey,
+        store: &ImageStore,
+        init_catalog: &Catalog,
+        tasks: &[RegionTask],
+        ckpt: &CheckpointConfig,
+    ) -> Result<CampaignOutcome, CelesteError> {
+        let (mut outcome, regions) = self.campaign_with(
+            survey,
+            store,
+            init_catalog,
+            tasks,
+            Some(ckpt),
+            None,
+            |stream| stream.collect::<Vec<RegionResult>>(),
+        )?;
+        outcome.regions = regions;
+        Ok(outcome)
+    }
+
+    /// Resume a campaign from the checkpoint at
+    /// [`CheckpointConfig::path`]: regions already completed are
+    /// restored bit-exactly from the file (and appear in
+    /// [`CampaignOutcome::regions`] alongside freshly fitted ones);
+    /// only the rest are scheduled. The checkpoint's plan fingerprint
+    /// must match `tasks` — resuming against a different task plan is
+    /// a typed error, not silent corruption. If the checkpoint file
+    /// does not exist yet, this is simply a fresh
+    /// [`Session::run_campaign_checkpointed`] run, so crash-retry
+    /// loops can call `resume_campaign` unconditionally.
+    pub fn resume_campaign(
+        &self,
+        survey: &SyntheticSurvey,
+        store: &ImageStore,
+        init_catalog: &Catalog,
+        tasks: &[RegionTask],
+        ckpt: &CheckpointConfig,
+    ) -> Result<CampaignOutcome, CelesteError> {
+        let resume = if ckpt.path.exists() {
+            Some(
+                Checkpoint::load(&ckpt.path, plan_fingerprint(tasks))
+                    .map_err(celeste_sched::CampaignError::Checkpoint)?,
+            )
+        } else {
+            None
+        };
+        let (mut outcome, regions) = self.campaign_with(
+            survey,
+            store,
+            init_catalog,
+            tasks,
+            Some(ckpt),
+            resume,
+            |stream| stream.collect::<Vec<RegionResult>>(),
+        )?;
+        outcome.regions = regions;
+        Ok(outcome)
+    }
+
+    /// The one campaign driver every public variant funnels through:
+    /// spawns the campaign on a scoped thread with the session's
+    /// lease/retry policy, streams results to `consume` on the
+    /// calling thread, and wires the stream's cancel token so a
+    /// consumer that stops listening shuts the campaign down instead
+    /// of deadlocking it.
+    #[allow(clippy::too_many_arguments)]
+    fn campaign_with<R, F>(
+        &self,
+        survey: &SyntheticSurvey,
+        store: &ImageStore,
+        init_catalog: &Catalog,
+        tasks: &[RegionTask],
+        checkpoint: Option<&CheckpointConfig>,
+        resume: Option<Checkpoint>,
+        consume: F,
+    ) -> Result<(CampaignOutcome, R), CelesteError>
+    where
+        F: FnOnce(RegionStream) -> R,
+    {
         if tasks.is_empty() {
             return Err(CelesteError::EmptyTaskList);
         }
         let campaign_cfg = self.cfg.campaign();
+        let cancel = CancelToken::default();
         let (tx, rx) = crossbeam::channel::unbounded();
         std::thread::scope(|scope| {
             let priors = &self.cfg.priors;
+            let cancel_ref = &cancel;
             let handle = scope.spawn(move || {
-                let result = celeste_sched::run_campaign_streaming(
+                let result = celeste_sched::run_campaign_with(
                     survey,
                     store,
                     init_catalog,
                     tasks,
                     priors,
                     &campaign_cfg,
-                    &tx,
+                    RunOptions {
+                        sink: Some(&tx),
+                        checkpoint,
+                        resume,
+                        cancel: Some(cancel_ref),
+                        clock: None,
+                    },
                 );
                 // Dropping the last sender ends the consumer's stream.
                 drop(tx);
                 result
             });
-            let consumed = consume(RegionStream { rx });
+            let consumed = consume(RegionStream {
+                rx,
+                cancel: cancel.clone(),
+            });
             let (params, report) = match handle.join() {
                 Ok(run) => run?,
                 Err(panic) => std::panic::resume_unwind(panic),

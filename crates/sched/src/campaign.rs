@@ -1,36 +1,69 @@
 //! End-to-end campaign driver: the whole paper pipeline on one machine.
 //!
 //! Simulated "nodes" are scoped tasks on the shared `celeste-par`
-//! executor that pop region tasks from a [`crate::dtree::Dtree`],
-//! stage their images through a prefetching loader (the Burst Buffer
-//! path), jointly optimize the region's sources with Cyclades worker
-//! spawns on the same executor, and write results back to the PGAS
-//! store. Runtime is decomposed into the paper's four components
-//! (§VII-C): *image loading* (first-task blocking waits), *task
-//! processing* (the compute loop), *load imbalance* (idle after the
-//! queue drains), and *other* (scheduling, parameter I/O, output).
+//! executor that lease region tasks from a [`crate::lease::TaskLedger`]
+//! (Dtree distribution for fresh work), stage their images through a
+//! prefetching loader (the Burst Buffer path), jointly optimize the
+//! region's sources with Cyclades worker spawns on the same executor,
+//! and write results back to the PGAS store. Runtime is decomposed
+//! into the paper's four components (§VII-C): *image loading*
+//! (first-task blocking waits), *task processing* (the compute loop),
+//! *load imbalance* (idle after the queue drains), and *other*
+//! (scheduling, parameter I/O, output).
+//!
+//! # Fault tolerance
+//!
+//! At the paper's scale (650k cores) failures are routine, so the
+//! driver survives them instead of aborting:
+//!
+//! * Every task is processed under a **lease**; a completion is
+//!   accepted only while its lease is current, so results are
+//!   exactly-once even when hung tasks are reclaimed and reissued.
+//! * Each region fit runs under `catch_unwind`: a panicking fit (or
+//!   failed image load) becomes a typed [`RegionError`] feeding
+//!   bounded retries with seeded-jittered exponential backoff.
+//! * Tasks that exhaust their retry budget are **quarantined** into
+//!   [`CampaignReport::failed_regions`] — the campaign completes
+//!   without them (their sources keep initialization parameters).
+//! * With a [`CheckpointConfig`], completed results persist
+//!   periodically; [`RunOptions::resume`] restarts from the file,
+//!   re-running only unfinished regions, bit-identical to an
+//!   uninterrupted run.
+//! * A [`FaultPlan`] (config or `CELESTE_FAULTS` env) injects I/O
+//!   errors, fit panics, stalls, and hangs into these *production*
+//!   paths deterministically, for chaos testing.
+//!
+//! All resilience bookkeeping happens at region granularity — one
+//! mutex acquisition per task attempt, nothing per fit or per pixel.
 //!
 //! The per-task duration samples this driver measures are what
 //! calibrate the petascale discrete-event simulator in
 //! `celeste-cluster`.
 
-use crate::dtree::Dtree;
+use crate::checkpoint::{plan_fingerprint, Checkpoint, CheckpointConfig, CheckpointError};
+use crate::fault::FaultPlan;
+use crate::lease::{
+    Acquire, Clock, FailedRegion, RegionError, RetryPolicy, SystemClock, TaskLedger,
+};
 use crate::partition::RegionTask;
 use crate::pgas::ParamStore;
 use crate::runtime::{process_region, RegionStats};
 use celeste_core::{FitConfig, ModelPriors, SourceParams};
 use celeste_survey::bands::Band;
-use celeste_survey::io::{ImageKey, ImageStore, IoError, Prefetcher};
+use celeste_survey::io::{ImageKey, ImageStore, IoError, LoadFaults, Prefetcher};
 use celeste_survey::synth::SyntheticSurvey;
 use celeste_survey::Catalog;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// An IO failure during a campaign, with where in the pipeline it
-/// happened. The fallible drivers ([`try_run_campaign`],
-/// [`run_campaign_streaming`], [`try_stage_survey`]) return these;
-/// the legacy [`run_campaign`] / [`stage_survey`] wrappers panic.
+/// A fatal campaign failure. Per-region failures (image loads, fit
+/// panics, expired leases) are *not* fatal — they feed the retry path
+/// and, at worst, quarantine the region into
+/// [`CampaignReport::failed_regions`]. What remains fatal: staging
+/// failures, output-catalog write failures, and checkpoint problems
+/// (a durability guarantee that cannot be kept is an error).
 #[derive(Debug)]
 pub enum CampaignError {
     /// Writing an image into the store during staging failed.
@@ -40,7 +73,9 @@ pub enum CampaignError {
         /// The underlying store error.
         source: IoError,
     },
-    /// A node's blocking image fetch failed mid-campaign.
+    /// A node's blocking image fetch failed mid-campaign. Retained
+    /// for API stability: since the resilience layer, load failures
+    /// are retried and surface as quarantined regions instead.
     ImageLoad {
         /// The (field, band) that failed to load.
         key: ImageKey,
@@ -49,6 +84,9 @@ pub enum CampaignError {
     },
     /// Writing the fitted output catalog failed.
     Output(IoError),
+    /// Reading the resume checkpoint or writing a periodic
+    /// checkpoint failed.
+    Checkpoint(CheckpointError),
 }
 
 impl std::fmt::Display for CampaignError {
@@ -61,6 +99,7 @@ impl std::fmt::Display for CampaignError {
                 write!(f, "loading image {:?}/{} failed: {source}", key.0, key.1)
             }
             CampaignError::Output(source) => write!(f, "writing output catalog failed: {source}"),
+            CampaignError::Checkpoint(source) => write!(f, "campaign checkpoint failed: {source}"),
         }
     }
 }
@@ -71,6 +110,7 @@ impl std::error::Error for CampaignError {
             CampaignError::Staging { source, .. }
             | CampaignError::ImageLoad { source, .. }
             | CampaignError::Output(source) => Some(source),
+            CampaignError::Checkpoint(source) => Some(source),
         }
     }
 }
@@ -96,6 +136,26 @@ pub struct RegionResult {
 /// sending half of a crossbeam MPMC channel, so results can be
 /// consumed, checkpointed, or served while later tasks still compute.
 pub type RegionSink = crossbeam::channel::Sender<RegionResult>;
+
+/// Cooperative cancellation for a running campaign. Cloning shares
+/// the flag; once [`CancelToken::cancel`] is called, node loops stop
+/// leasing new work at the next task boundary and the campaign
+/// returns `Ok` with [`CampaignReport::cancelled`] set (cancellation
+/// is a clean early exit, not an error).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Request cancellation (idempotent, callable from any thread).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
 
 /// The four runtime components of Figs. 4–5.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -133,6 +193,14 @@ pub struct CampaignConfig {
     /// Dtree fanout.
     pub dtree_fanout: usize,
     pub fit: FitConfig,
+    /// Lease/retry/backoff policy for region tasks. The lease timeout
+    /// must comfortably exceed the slowest task's duration; the
+    /// default (30s) is ~1000× a typical laptop-scale region fit.
+    pub retry: RetryPolicy,
+    /// Injected faults for chaos testing. `None` (the default) falls
+    /// back to the `CELESTE_FAULTS` environment variable, so the CI
+    /// chaos job exercises the exact production code paths.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for CampaignConfig {
@@ -147,6 +215,8 @@ impl Default for CampaignConfig {
             prefetch_workers: threads.max(2),
             dtree_fanout: 4,
             fit: FitConfig::default(),
+            retry: RetryPolicy::default(),
+            faults: None,
         }
     }
 }
@@ -168,6 +238,22 @@ pub struct CampaignReport {
     pub image_load_durations: Vec<f64>,
     /// Active-pixel visits during the run.
     pub active_pixel_visits: u64,
+    /// Regions that exhausted their retry budget and were quarantined,
+    /// with the error chain of every failed attempt. Their sources
+    /// keep initialization parameters in the output catalog.
+    pub failed_regions: Vec<FailedRegion>,
+    /// Task reissues after failed attempts or expired leases.
+    pub retries: u64,
+    /// Leases reclaimed (or completions refused) past their deadline.
+    pub leases_expired: u64,
+    /// Results discarded because their lease was no longer current —
+    /// the exactly-once arbitration rejecting late duplicates.
+    pub stale_results: u64,
+    /// Tasks restored from a resume checkpoint instead of re-run
+    /// (counted in `tasks_completed` as well).
+    pub tasks_restored: usize,
+    /// True when the run was cancelled before every task settled.
+    pub cancelled: bool,
 }
 
 impl CampaignReport {
@@ -235,10 +321,35 @@ pub fn task_image_keys(survey: &SyntheticSurvey, task: &RegionTask) -> Vec<Image
         .collect()
 }
 
-/// Run a full campaign: both partition stages, Dtree-scheduled across
+/// Optional behaviors of one campaign run, threaded through
+/// [`run_campaign_with`]. The default runs exactly like the classic
+/// entry points: no streaming, no checkpointing, no cancellation,
+/// wall-clock time.
+#[derive(Default)]
+pub struct RunOptions<'a> {
+    /// Emit each finished region here the moment it completes.
+    pub sink: Option<&'a RegionSink>,
+    /// Persist completed results periodically to this checkpoint.
+    pub checkpoint: Option<&'a CheckpointConfig>,
+    /// Restart from a prior checkpoint: its completed regions are
+    /// restored (parameters applied, results re-emitted to `sink`)
+    /// and only the remaining tasks run. The checkpoint's fingerprint
+    /// must match this run's task plan.
+    pub resume: Option<Checkpoint>,
+    /// Cooperative cancellation; see [`CancelToken`].
+    pub cancel: Option<&'a CancelToken>,
+    /// Time source for leases, backoff, and injected stalls. Defaults
+    /// to wall-clock; tests inject a
+    /// [`VirtualClock`](crate::lease::VirtualClock) for deterministic
+    /// fault timing.
+    pub clock: Option<Arc<dyn Clock>>,
+}
+
+/// Run a full campaign: both partition stages, lease-scheduled across
 /// `cfg.n_nodes` node threads. Returns the final catalog parameters
-/// and the measured report. Panics on IO failure; the non-panicking
-/// forms are [`try_run_campaign`] and [`run_campaign_streaming`].
+/// and the measured report. Panics on fatal IO failure; the
+/// non-panicking forms are [`try_run_campaign`],
+/// [`run_campaign_streaming`], and [`run_campaign_with`].
 pub fn run_campaign(
     survey: &SyntheticSurvey,
     store: &ImageStore,
@@ -247,8 +358,16 @@ pub fn run_campaign(
     priors: &ModelPriors,
     cfg: &CampaignConfig,
 ) -> (Vec<SourceParams>, CampaignReport) {
-    campaign_inner(survey, store, init_catalog, tasks, priors, cfg, None)
-        .unwrap_or_else(|e| panic!("run_campaign: {e}"))
+    campaign_inner(
+        survey,
+        store,
+        init_catalog,
+        tasks,
+        priors,
+        cfg,
+        RunOptions::default(),
+    )
+    .unwrap_or_else(|e| panic!("run_campaign: {e}"))
 }
 
 /// [`run_campaign`] with IO failures reported as [`CampaignError`]s
@@ -261,11 +380,19 @@ pub fn try_run_campaign(
     priors: &ModelPriors,
     cfg: &CampaignConfig,
 ) -> Result<(Vec<SourceParams>, CampaignReport), CampaignError> {
-    campaign_inner(survey, store, init_catalog, tasks, priors, cfg, None)
+    campaign_inner(
+        survey,
+        store,
+        init_catalog,
+        tasks,
+        priors,
+        cfg,
+        RunOptions::default(),
+    )
 }
 
 /// [`try_run_campaign`], additionally emitting a [`RegionResult`] into
-/// `sink` the moment each Dtree task finishes — partial catalogs are
+/// `sink` the moment each task's lease commits — partial catalogs are
 /// consumable mid-campaign from the channel's receiving half while
 /// later tasks still compute. A dropped receiver does not stop the
 /// campaign; emission is simply skipped. The returned parameters are
@@ -280,11 +407,36 @@ pub fn run_campaign_streaming(
     cfg: &CampaignConfig,
     sink: &RegionSink,
 ) -> Result<(Vec<SourceParams>, CampaignReport), CampaignError> {
-    campaign_inner(survey, store, init_catalog, tasks, priors, cfg, Some(sink))
+    campaign_inner(
+        survey,
+        store,
+        init_catalog,
+        tasks,
+        priors,
+        cfg,
+        RunOptions {
+            sink: Some(sink),
+            ..Default::default()
+        },
+    )
 }
 
-/// Everything a node hands back to the coordinator after draining its
-/// share of a stage's Dtree.
+/// The fully-optioned campaign entry point: streaming, checkpointing,
+/// resume, cancellation, and clock injection via [`RunOptions`].
+pub fn run_campaign_with(
+    survey: &SyntheticSurvey,
+    store: &ImageStore,
+    init_catalog: &Catalog,
+    tasks: &[RegionTask],
+    priors: &ModelPriors,
+    cfg: &CampaignConfig,
+    options: RunOptions<'_>,
+) -> Result<(Vec<SourceParams>, CampaignReport), CampaignError> {
+    campaign_inner(survey, store, init_catalog, tasks, priors, cfg, options)
+}
+
+/// Everything a node hands back to the coordinator after its share of
+/// a stage's ledger settles.
 struct NodeOutcome {
     node: usize,
     comp: ComponentTimes,
@@ -293,8 +445,60 @@ struct NodeOutcome {
     loads: Vec<f64>,
     n_tasks: usize,
     n_sources: usize,
-    /// First IO failure the node hit (it stops popping tasks after).
-    error: Option<CampaignError>,
+}
+
+/// Periodic checkpoint writer shared by the node loops: accumulates
+/// committed results and rewrites the checkpoint file every
+/// `cfg.every` completions (plus a final flush at campaign exit).
+struct Checkpointer {
+    cfg: CheckpointConfig,
+    fingerprint: u64,
+    state: Mutex<(Vec<RegionResult>, usize)>,
+}
+
+impl Checkpointer {
+    fn new(cfg: CheckpointConfig, fingerprint: u64, restored: Vec<RegionResult>) -> Checkpointer {
+        Checkpointer {
+            cfg,
+            fingerprint,
+            state: Mutex::new((restored, 0)),
+        }
+    }
+
+    fn save_locked(&self, completed: &[RegionResult]) -> Result<(), CheckpointError> {
+        Checkpoint {
+            fingerprint: self.fingerprint,
+            completed: completed.to_vec(),
+        }
+        .save(&self.cfg.path)
+    }
+
+    fn record(&self, result: RegionResult) -> Result<(), CheckpointError> {
+        let mut state = self.state.lock();
+        state.0.push(result);
+        state.1 += 1;
+        if state.1 >= self.cfg.every {
+            state.1 = 0;
+            self.save_locked(&state.0)?;
+        }
+        Ok(())
+    }
+
+    fn flush(&self) -> Result<(), CheckpointError> {
+        let state = self.state.lock();
+        self.save_locked(&state.0)
+    }
+}
+
+/// Render a `catch_unwind` payload as text for the error chain.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
 }
 
 fn campaign_inner(
@@ -304,10 +508,18 @@ fn campaign_inner(
     tasks: &[RegionTask],
     priors: &ModelPriors,
     cfg: &CampaignConfig,
-    sink: Option<&RegionSink>,
+    options: RunOptions<'_>,
 ) -> Result<(Vec<SourceParams>, CampaignReport), CampaignError> {
     let t_campaign = Instant::now();
     celeste_core::flops::reset_visits();
+
+    let sink = options.sink;
+    let clock: Arc<dyn Clock> = options
+        .clock
+        .unwrap_or_else(|| Arc::new(SystemClock::default()));
+    let faults = cfg.faults.or_else(FaultPlan::from_env);
+    let default_cancel = CancelToken::default();
+    let cancel = options.cancel.unwrap_or(&default_cancel);
 
     // PGAS store holds every source, partitioned across nodes.
     let params = Arc::new(ParamStore::new(cfg.n_nodes));
@@ -316,25 +528,95 @@ fn campaign_inner(
     }
     let id_of: Vec<u64> = init_catalog.entries.iter().map(|e| e.id).collect();
 
-    let prefetcher = Arc::new(Prefetcher::new(store.clone(), cfg.prefetch_workers));
+    // Resume: restore the checkpoint's completed regions. Their
+    // parameters are applied to the PGAS store stage-by-stage below
+    // (stage-1 results must not overwrite stage-0 inputs early), their
+    // tasks are marked pre-done in the ledger, and their results are
+    // re-emitted so streaming consumers still see every region once.
+    let fingerprint = plan_fingerprint(tasks);
+    let restored: Vec<RegionResult> = match options.resume {
+        Some(ckpt) => {
+            if ckpt.fingerprint != fingerprint {
+                return Err(CampaignError::Checkpoint(CheckpointError::PlanMismatch {
+                    found: ckpt.fingerprint,
+                    expected: fingerprint,
+                }));
+            }
+            ckpt.completed
+        }
+        None => Vec::new(),
+    };
+    let restored_ids: std::collections::HashSet<u64> = restored.iter().map(|r| r.task_id).collect();
+    let tasks_restored = restored.len();
+    if let Some(sink) = sink {
+        for r in &restored {
+            let _ = sink.send(r.clone());
+        }
+    }
+    let checkpointer = options
+        .checkpoint
+        .map(|c| Arc::new(Checkpointer::new(c.clone(), fingerprint, restored.clone())));
+
+    // Chaos I/O faults are injected at the store the prefetcher reads
+    // through — the exact production load path, not a mock.
+    let prefetch_store = match &faults {
+        Some(f) if f.io_error_rate > 0.0 => store.clone().with_load_faults(Arc::new(
+            LoadFaults::new(f.seed, f.io_error_rate, f.io_max_per_key),
+        )),
+        _ => store.clone(),
+    };
+    let prefetcher = Arc::new(Prefetcher::new(prefetch_store, cfg.prefetch_workers));
+
     let mut per_node = vec![ComponentTimes::default(); cfg.n_nodes];
     let mut task_durations = Vec::new();
     let mut task_works = Vec::new();
     let mut image_load_durations = Vec::new();
-    let mut tasks_completed = 0usize;
+    let mut tasks_completed = tasks_restored;
     let mut sources_optimized = 0usize;
+    let mut failed_regions: Vec<FailedRegion> = Vec::new();
+    let mut retries = 0u64;
+    let mut leases_expired = 0u64;
+    let mut stale_results = 0u64;
 
-    // Stage barriers: all stage-0 tasks complete before stage-1 begins
+    // A checkpoint write failure is fatal: nodes stop at the next task
+    // boundary and the stored error is returned.
+    let fatal: Arc<Mutex<Option<CampaignError>>> = Arc::new(Mutex::new(None));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Stage barriers: all stage-0 tasks settle before stage-1 begins
     // (paper §IV-A).
     for stage in 0..=1u8 {
         let stage_tasks: Vec<&RegionTask> = tasks.iter().filter(|t| t.stage == stage).collect();
         if stage_tasks.is_empty() {
             continue;
         }
-        let dtree = Arc::new(Dtree::new(
+        // Apply this stage's restored results (within a stage, tasks
+        // partition the sources, so application order is immaterial).
+        for r in restored.iter().filter(|r| r.stage == stage) {
+            for sp in &r.sources {
+                params.put(0, sp.id, &sp.params);
+            }
+        }
+        let pre_done: Vec<usize> = stage_tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| restored_ids.contains(&t.id))
+            .map(|(i, _)| i)
+            .collect();
+        if pre_done.len() == stage_tasks.len() {
+            continue; // whole stage restored from the checkpoint
+        }
+        if cancel.is_cancelled() || stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let meta: Vec<(u64, u8)> = stage_tasks.iter().map(|t| (t.id, t.stage)).collect();
+        let ledger = Arc::new(TaskLedger::new(
+            meta,
+            &pre_done,
             cfg.n_nodes,
             cfg.dtree_fanout,
-            (0..stage_tasks.len()).collect::<Vec<usize>>(),
+            cfg.retry,
+            Arc::clone(&clock),
         ));
         let results: Arc<Mutex<Vec<NodeOutcome>>> = Arc::new(Mutex::new(Vec::new()));
         let node_end_times: Arc<Mutex<Vec<(usize, f64)>>> = Arc::new(Mutex::new(Vec::new()));
@@ -346,13 +628,19 @@ fn campaign_inner(
         // queue to thieves.
         celeste_par::scope(|s| {
             for node in 0..cfg.n_nodes {
-                let dtree = Arc::clone(&dtree);
+                let ledger = Arc::clone(&ledger);
                 let prefetcher = Arc::clone(&prefetcher);
                 let params = Arc::clone(&params);
                 let results = Arc::clone(&results);
                 let node_end_times = Arc::clone(&node_end_times);
+                let clock = Arc::clone(&clock);
+                let fatal = Arc::clone(&fatal);
+                let stop = Arc::clone(&stop);
+                let checkpointer = checkpointer.clone();
+                let faults = &faults;
                 let stage_tasks = &stage_tasks;
                 let id_of = &id_of;
+                let cancel = &cancel;
                 s.spawn(move || {
                     let mut out = NodeOutcome {
                         node,
@@ -362,42 +650,68 @@ fn campaign_inner(
                         loads: Vec::new(),
                         n_tasks: 0,
                         n_sources: 0,
-                        error: None,
                     };
                     let mut first_task = true;
 
-                    let mut next = dtree.pop(node);
-                    if let Some(i) = next {
-                        prefetcher.request(&task_image_keys(survey, stage_tasks[i]));
+                    // Lookahead: lease + prefetch the next fresh task
+                    // before computing the current one, hiding its
+                    // image loads behind compute.
+                    let mut next = ledger.try_acquire_fresh(node);
+                    if let Some(l) = &next {
+                        prefetcher.request(&task_image_keys(survey, stage_tasks[l.task_index]));
                     }
-                    while let Some(task_idx) = next {
-                        let task = stage_tasks[task_idx];
-                        // Pop + prefetch the following task before
-                        // computing this one (hides its image loads).
-                        next = dtree.pop(node);
-                        if let Some(i) = next {
-                            prefetcher.request(&task_image_keys(survey, stage_tasks[i]));
+                    loop {
+                        if cancel.is_cancelled() || stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let lease = match next.take() {
+                            Some(l) => l,
+                            None => match ledger.acquire(node) {
+                                Acquire::Task(l) => l,
+                                Acquire::Wait(d) => {
+                                    clock.sleep(d);
+                                    continue;
+                                }
+                                Acquire::Drained => break,
+                            },
+                        };
+                        let task = stage_tasks[lease.task_index];
+                        next = ledger.try_acquire_fresh(node);
+                        if let Some(l) = &next {
+                            prefetcher.request(&task_image_keys(survey, stage_tasks[l.task_index]));
                         }
 
-                        // Blocking image fetch for the current task.
-                        // A failed load stops this node (the rest of
-                        // the fleet keeps draining the Dtree); the
-                        // coordinator reports the first failure.
+                        // Blocking image fetch for the current task. A
+                        // failed load fails this *attempt* (the rest of
+                        // the fleet keeps working); the cached failure
+                        // is evicted so the retry reloads from disk.
                         let t0 = Instant::now();
                         let keys = task_image_keys(survey, task);
                         let mut images: Vec<Arc<celeste_survey::Image>> =
                             Vec::with_capacity(keys.len());
+                        let mut load_error: Option<(ImageKey, IoError)> = None;
                         for k in &keys {
                             match prefetcher.get(k) {
                                 Ok(img) => images.push(img),
                                 Err(source) => {
-                                    out.error = Some(CampaignError::ImageLoad { key: *k, source });
+                                    load_error = Some((*k, source));
                                     break;
                                 }
                             }
                         }
-                        if out.error.is_some() {
-                            break;
+                        if let Some((key, source)) = load_error {
+                            for k in &keys {
+                                prefetcher.evict(k);
+                            }
+                            drop(images);
+                            ledger.fail(
+                                &lease,
+                                RegionError::ImageLoad {
+                                    key,
+                                    error: source.to_string(),
+                                },
+                            );
+                            continue;
                         }
                         let wait = t0.elapsed().as_secs_f64();
                         out.loads.push(wait);
@@ -425,26 +739,80 @@ fn campaign_inner(
                         let neighbors = params.get_many(node, &neighbor_ids);
                         out.comp.other += t1.elapsed().as_secs_f64();
 
-                        // The compute loop.
+                        // Injected straggler: stall before compute.
+                        if let Some(f) = faults {
+                            if f.should_slow(task.id, lease.attempt) {
+                                clock.sleep(f.slow_for);
+                            }
+                        }
+
+                        // The compute loop, isolated under
+                        // catch_unwind: a panicking fit — injected or
+                        // real — fails this attempt instead of tearing
+                        // down the campaign. (`celeste_par::scope`
+                        // re-raises spawn panics here after the
+                        // batch's other lists finish, so the pool
+                        // itself survives.)
                         let t2 = Instant::now();
                         let image_refs: Vec<&celeste_survey::Image> =
                             images.iter().map(|a| a.as_ref()).collect();
-                        let region_stats = process_region(
-                            &mut sources,
-                            &image_refs,
-                            &neighbors,
-                            priors,
-                            &cfg.fit,
-                            cfg.threads_per_node,
-                            task.id ^ 0x5eed,
-                        );
+                        let fit_outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                if let Some(f) = faults {
+                                    if f.should_panic(task.id, lease.attempt) {
+                                        panic!(
+                                            "injected fault: panic in task {} attempt {}",
+                                            task.id, lease.attempt
+                                        );
+                                    }
+                                }
+                                process_region(
+                                    &mut sources,
+                                    &image_refs,
+                                    &neighbors,
+                                    priors,
+                                    &cfg.fit,
+                                    cfg.threads_per_node,
+                                    task.id ^ 0x5eed,
+                                )
+                            }));
                         let dt = t2.elapsed().as_secs_f64();
+                        let region_stats = match fit_outcome {
+                            Ok(stats) => stats,
+                            Err(payload) => {
+                                for k in &keys {
+                                    prefetcher.evict(k);
+                                }
+                                ledger.fail(&lease, RegionError::FitPanic(panic_message(payload)));
+                                continue;
+                            }
+                        };
+
+                        // Injected hang: stall past the lease deadline
+                        // so the commit below arrives too late and is
+                        // refused (the supervisor reissues the task).
+                        if let Some(f) = faults {
+                            if f.should_hang(task.id, lease.attempt) {
+                                clock.sleep(cfg.retry.lease_timeout + cfg.retry.lease_timeout / 2);
+                            }
+                        }
+
+                        // Commit point: results count only while the
+                        // lease is current. A stale or expired lease
+                        // discards everything — no PGAS writes, no
+                        // emission — preserving exactly-once output.
+                        let t3 = Instant::now();
+                        if !ledger.complete(&lease) {
+                            for k in &keys {
+                                prefetcher.evict(k);
+                            }
+                            continue;
+                        }
                         out.comp.task_processing += dt;
                         out.durations.push(dt);
                         out.works.push(task.predicted_work.max(1.0));
 
                         // Write back (PGAS puts).
-                        let t3 = Instant::now();
                         for sp in &sources {
                             params.put(node, sp.id, &sp.params);
                         }
@@ -452,18 +820,28 @@ fn campaign_inner(
                         out.n_tasks += 1;
                         out.n_sources += sources.len();
 
-                        // Streaming surface: the finished task leaves
-                        // the node the moment it is written back, not
-                        // at campaign end. A closed channel (receiver
-                        // dropped) just stops emission.
-                        if let Some(sink) = sink {
-                            let _ = sink.send(RegionResult {
+                        // Streaming + durability surfaces: the
+                        // committed task leaves the node the moment it
+                        // is written back, not at campaign end. A
+                        // closed channel (receiver dropped) just stops
+                        // emission.
+                        if sink.is_some() || checkpointer.is_some() {
+                            let result = RegionResult {
                                 task_id: task.id,
                                 stage: task.stage,
                                 node,
                                 sources: sources.clone(),
                                 stats: region_stats,
-                            });
+                            };
+                            if let Some(ck) = &checkpointer {
+                                if let Err(e) = ck.record(result.clone()) {
+                                    fatal.lock().get_or_insert(CampaignError::Checkpoint(e));
+                                    stop.store(true, Ordering::SeqCst);
+                                }
+                            }
+                            if let Some(sink) = sink {
+                                let _ = sink.send(result);
+                            }
                         }
 
                         // Evict this task's images to bound memory.
@@ -487,7 +865,6 @@ fn campaign_inner(
         for &(node, t) in ends.iter() {
             idle_of[node] = t_last - t;
         }
-        let mut first_error = None;
         for out in results.lock().drain(..) {
             per_node[out.node].add(&out.comp);
             per_node[out.node].load_imbalance += idle_of[out.node];
@@ -496,25 +873,40 @@ fn campaign_inner(
             image_load_durations.extend(out.loads);
             tasks_completed += out.n_tasks;
             sources_optimized += out.n_sources;
-            if let Some(e) = out.error {
-                first_error.get_or_insert(e);
-            }
         }
-        if let Some(e) = first_error {
-            return Err(e);
-        }
+        failed_regions.extend(ledger.failed_regions());
+        let stats = ledger.stats();
+        retries += stats.retries;
+        leases_expired += stats.leases_expired;
+        stale_results += stats.stale_completions;
     }
 
-    // Write the fitted catalog back to storage (the paper's "writing
-    // output to disk", part of the `other` component).
-    let t_out = Instant::now();
+    // Final checkpoint flush (covers cancellation and `every` > 1).
+    if let Some(ck) = &checkpointer {
+        if let Err(e) = ck.flush() {
+            fatal.lock().get_or_insert(CampaignError::Checkpoint(e));
+        }
+    }
+    if let Some(e) = fatal.lock().take() {
+        return Err(e);
+    }
+    let cancelled = cancel.is_cancelled() && tasks_completed + failed_regions.len() < tasks.len();
+
     let fitted = params.export();
-    let out_catalog = celeste_survey::Catalog::new(fitted.iter().map(|sp| sp.to_entry()).collect());
-    store
-        .save_catalog("celeste-output", &out_catalog)
-        .map_err(CampaignError::Output)?;
-    if let Some(first) = per_node.first_mut() {
-        first.other += t_out.elapsed().as_secs_f64();
+    if !cancelled {
+        // Write the fitted catalog back to storage (the paper's
+        // "writing output to disk", part of the `other` component).
+        // Cancelled runs skip publication: their durable state is the
+        // checkpoint, not a partial output catalog.
+        let t_out = Instant::now();
+        let out_catalog =
+            celeste_survey::Catalog::new(fitted.iter().map(|sp| sp.to_entry()).collect());
+        store
+            .save_catalog("celeste-output", &out_catalog)
+            .map_err(CampaignError::Output)?;
+        if let Some(first) = per_node.first_mut() {
+            first.other += t_out.elapsed().as_secs_f64();
+        }
     }
 
     let report = CampaignReport {
@@ -526,6 +918,12 @@ fn campaign_inner(
         task_works,
         image_load_durations,
         active_pixel_visits: celeste_core::flops::visits(),
+        failed_regions,
+        retries,
+        leases_expired,
+        stale_results,
+        tasks_restored,
+        cancelled,
     };
     Ok((fitted, report))
 }
@@ -600,6 +998,12 @@ mod tests {
         assert!(report.active_pixel_visits > 0);
         assert_eq!(report.per_node.len(), 2);
         assert!(report.makespan > 0.0);
+        // Fault-free run: the resilience layer must be invisible.
+        assert!(report.failed_regions.is_empty());
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.leases_expired, 0);
+        assert_eq!(report.stale_results, 0);
+        assert!(!report.cancelled);
         // Component accounting: per-node totals are positive and the
         // processing component dominates I/O for this compute-bound
         // workload.

@@ -1,0 +1,375 @@
+//! Durable campaign checkpoints: completed region results serialized
+//! periodically so a killed campaign resumes instead of restarting.
+//!
+//! Format (`SCKP`, little-endian via the vendored `bytes` cursor API,
+//! like the image/catalog codec in `celeste_survey::io`):
+//!
+//! ```text
+//! magic "SCKP" | version u16 | fingerprint u64 | n_regions u32
+//! per region:
+//!   task_id u64 | stage u8 | node u32
+//!   n_sources u32, each: id u64, base ra f64, base dec f64, 44×f64
+//!   stats: 7×u64 (passes batches fits newton_iters conflict_edges
+//!                 active_pixels graph_builds)
+//! ```
+//!
+//! The fingerprint hashes the task plan `(id, stage)*`; a checkpoint
+//! only loads against the plan that produced it. Writes go to a temp
+//! file in the same directory and rename into place, so a crash
+//! mid-write leaves the previous checkpoint intact. Since completed
+//! attempts are deterministic and never re-run on resume, parameters
+//! are stored bit-exactly (`f64::to_bits`) and the resumed catalog is
+//! bit-identical to an uninterrupted run.
+
+use crate::campaign::RegionResult;
+use crate::fault::mix64;
+use crate::partition::RegionTask;
+use crate::runtime::RegionStats;
+use bytes::{Buf, BufMut, BytesMut};
+use celeste_core::{SourceParams, NUM_PARAMS};
+use celeste_survey::skygeom::SkyCoord;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"SCKP";
+const VERSION: u16 = 1;
+
+/// When and where a campaign checkpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointConfig {
+    /// Checkpoint file path (written atomically via temp + rename).
+    pub path: PathBuf,
+    /// Write after every `every` completed regions (and always once
+    /// more when the campaign exits). 1 = after each region.
+    pub every: usize,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint to `path` after every `every` completed regions.
+    pub fn new(path: impl Into<PathBuf>, every: usize) -> CheckpointConfig {
+        CheckpointConfig {
+            path: path.into(),
+            every: every.max(1),
+        }
+    }
+}
+
+/// Errors reading or writing a checkpoint file.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem I/O failed.
+    Io(std::io::Error),
+    /// The file is not a checkpoint, or is truncated/corrupt.
+    Malformed(String),
+    /// The checkpoint was produced by a different task plan.
+    PlanMismatch {
+        /// Fingerprint stored in the file.
+        found: u64,
+        /// Fingerprint of the current task plan.
+        expected: u64,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+            CheckpointError::Malformed(m) => write!(f, "malformed checkpoint: {m}"),
+            CheckpointError::PlanMismatch { found, expected } => write!(
+                f,
+                "checkpoint belongs to a different task plan \
+                 (fingerprint {found:#018x}, campaign has {expected:#018x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Order-independent fingerprint of a task plan: which `(id, stage)`
+/// pairs the campaign will run. Resuming against a different plan
+/// (different partition, different survey) is rejected.
+pub fn plan_fingerprint(tasks: &[RegionTask]) -> u64 {
+    let mut acc = 0xC0FF_EE00_5EED_0001u64;
+    for t in tasks {
+        acc ^= mix64(t.id ^ ((t.stage as u64) << 56) ^ 0x51A6_E00D);
+    }
+    mix64(acc)
+}
+
+/// A decoded checkpoint: the completed region results of a prior
+/// (partial or finished) run of one task plan.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// [`plan_fingerprint`] of the producing campaign's task plan.
+    pub fingerprint: u64,
+    /// Completed regions, in completion order.
+    pub completed: Vec<RegionResult>,
+}
+
+impl Checkpoint {
+    /// Serialize to the `SCKP` byte format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = BytesMut::with_capacity(64 + self.completed.len() * 512);
+        b.put_slice(MAGIC);
+        b.put_u16_le(VERSION);
+        b.put_u64_le(self.fingerprint);
+        b.put_u32_le(self.completed.len() as u32);
+        for r in &self.completed {
+            b.put_u64_le(r.task_id);
+            b.put_u8(r.stage);
+            b.put_u32_le(r.node as u32);
+            b.put_u32_le(r.sources.len() as u32);
+            for sp in &r.sources {
+                b.put_u64_le(sp.id);
+                b.put_f64_le(sp.base_pos.ra);
+                b.put_f64_le(sp.base_pos.dec);
+                for &p in &sp.params {
+                    b.put_f64_le(p);
+                }
+            }
+            for v in [
+                r.stats.passes,
+                r.stats.batches,
+                r.stats.fits,
+                r.stats.newton_iters,
+                r.stats.conflict_edges,
+                r.stats.active_pixels,
+                r.stats.graph_builds,
+            ] {
+                b.put_u64_le(v as u64);
+            }
+        }
+        b.freeze().to_vec()
+    }
+
+    /// Decode an `SCKP` buffer.
+    pub fn decode(mut buf: &[u8]) -> Result<Checkpoint, CheckpointError> {
+        fn need(buf: &&[u8], n: usize, what: &str) -> Result<(), CheckpointError> {
+            if buf.remaining() < n {
+                Err(CheckpointError::Malformed(format!(
+                    "truncated reading {what}"
+                )))
+            } else {
+                Ok(())
+            }
+        }
+        need(&buf, 4 + 2 + 8 + 4, "header")?;
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(CheckpointError::Malformed("bad magic".into()));
+        }
+        let version = buf.get_u16_le();
+        if version != VERSION {
+            return Err(CheckpointError::Malformed(format!(
+                "unsupported version {version}"
+            )));
+        }
+        let fingerprint = buf.get_u64_le();
+        let n_regions = buf.get_u32_le() as usize;
+        let mut completed = Vec::with_capacity(n_regions.min(1 << 16));
+        for _ in 0..n_regions {
+            need(&buf, 8 + 1 + 4 + 4, "region header")?;
+            let task_id = buf.get_u64_le();
+            let stage = buf.get_u8();
+            let node = buf.get_u32_le() as usize;
+            let n_sources = buf.get_u32_le() as usize;
+            let per_source = 8 + 16 + NUM_PARAMS * 8;
+            need(&buf, n_sources * per_source + 7 * 8, "region body")?;
+            let mut sources = Vec::with_capacity(n_sources);
+            for _ in 0..n_sources {
+                let id = buf.get_u64_le();
+                let ra = buf.get_f64_le();
+                let dec = buf.get_f64_le();
+                let mut params = [0.0f64; NUM_PARAMS];
+                for p in &mut params {
+                    *p = buf.get_f64_le();
+                }
+                sources.push(SourceParams {
+                    id,
+                    base_pos: SkyCoord::new(ra, dec),
+                    params,
+                });
+            }
+            let mut stat = [0u64; 7];
+            for s in &mut stat {
+                *s = buf.get_u64_le();
+            }
+            completed.push(RegionResult {
+                task_id,
+                stage,
+                node,
+                sources,
+                stats: RegionStats {
+                    passes: stat[0] as usize,
+                    batches: stat[1] as usize,
+                    fits: stat[2] as usize,
+                    newton_iters: stat[3] as usize,
+                    conflict_edges: stat[4] as usize,
+                    active_pixels: stat[5] as usize,
+                    graph_builds: stat[6] as usize,
+                },
+            });
+        }
+        Ok(Checkpoint {
+            fingerprint,
+            completed,
+        })
+    }
+
+    /// Atomically write to `path`: encode to `path` + `.tmp` in the
+    /// same directory, then rename over the target, so a crash
+    /// mid-write never corrupts an existing checkpoint.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.encode()).map_err(CheckpointError::Io)?;
+        std::fs::rename(&tmp, path).map_err(CheckpointError::Io)
+    }
+
+    /// Load from `path` and verify it belongs to the plan with
+    /// `expected` fingerprint.
+    pub fn load(path: &Path, expected: u64) -> Result<Checkpoint, CheckpointError> {
+        let bytes = std::fs::read(path).map_err(CheckpointError::Io)?;
+        let ckpt = Checkpoint::decode(&bytes)?;
+        if ckpt.fingerprint != expected {
+            return Err(CheckpointError::PlanMismatch {
+                found: ckpt.fingerprint,
+                expected,
+            });
+        }
+        Ok(ckpt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use celeste_survey::skygeom::SkyRect;
+
+    fn region(task_id: u64, n_sources: u64) -> RegionResult {
+        RegionResult {
+            task_id,
+            stage: (task_id % 2) as u8,
+            node: task_id as usize % 3,
+            sources: (0..n_sources)
+                .map(|i| {
+                    let mut params = [0.0; NUM_PARAMS];
+                    for (j, p) in params.iter_mut().enumerate() {
+                        // Exercise sign/exponent bits incl. negatives.
+                        *p = ((task_id * 131 + i * 17 + j as u64) as f64 - 300.0) * 0.37;
+                    }
+                    SourceParams {
+                        id: task_id * 1000 + i,
+                        base_pos: SkyCoord::new(0.1 * i as f64, -0.05 * i as f64),
+                        params,
+                    }
+                })
+                .collect(),
+            stats: RegionStats {
+                passes: 2,
+                batches: 3,
+                fits: 5 + task_id as usize,
+                newton_iters: 40,
+                conflict_edges: 7,
+                active_pixels: 9000,
+                graph_builds: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn roundtrips_bit_exactly() {
+        let ckpt = Checkpoint {
+            fingerprint: 0xDEAD_BEEF_1234_5678,
+            completed: (0..5u64).map(|t| region(t, 1 + t % 3)).collect(),
+        };
+        let decoded = Checkpoint::decode(&ckpt.encode()).unwrap();
+        assert_eq!(decoded.fingerprint, ckpt.fingerprint);
+        assert_eq!(decoded.completed.len(), ckpt.completed.len());
+        for (a, b) in decoded.completed.iter().zip(&ckpt.completed) {
+            assert_eq!(a.task_id, b.task_id);
+            assert_eq!(a.stage, b.stage);
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.sources.len(), b.sources.len());
+            for (x, y) in a.sources.iter().zip(&b.sources) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.base_pos.ra.to_bits(), y.base_pos.ra.to_bits());
+                assert_eq!(x.base_pos.dec.to_bits(), y.base_pos.dec.to_bits());
+                for (p, q) in x.params.iter().zip(&y.params) {
+                    assert_eq!(p.to_bits(), q.to_bits());
+                }
+            }
+            assert_eq!(a.stats.fits, b.stats.fits);
+            assert_eq!(a.stats.active_pixels, b.stats.active_pixels);
+        }
+    }
+
+    #[test]
+    fn save_load_and_plan_guard() {
+        let tasks: Vec<RegionTask> = (0..4u64)
+            .map(|id| RegionTask {
+                id,
+                stage: (id % 2) as u8,
+                rect: SkyRect::new(0.0, 1.0, 0.0, 1.0),
+                source_indices: vec![],
+                predicted_work: 1.0,
+            })
+            .collect();
+        let fp = plan_fingerprint(&tasks);
+        // Order-independent, content-sensitive.
+        let mut rev = tasks.clone();
+        rev.reverse();
+        assert_eq!(fp, plan_fingerprint(&rev));
+        assert_ne!(fp, plan_fingerprint(&tasks[..3]));
+
+        let dir = std::env::temp_dir().join(format!("celeste-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.sckp");
+        let ckpt = Checkpoint {
+            fingerprint: fp,
+            completed: vec![region(1, 2)],
+        };
+        ckpt.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path, fp).unwrap();
+        assert_eq!(loaded.completed.len(), 1);
+        assert_eq!(loaded.completed[0].task_id, 1);
+        match Checkpoint::load(&path, fp ^ 1) {
+            Err(CheckpointError::PlanMismatch { found, expected }) => {
+                assert_eq!(found, fp);
+                assert_eq!(expected, fp ^ 1);
+            }
+            other => panic!("want PlanMismatch, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_buffers_are_typed_errors() {
+        assert!(matches!(
+            Checkpoint::decode(b"nope"),
+            Err(CheckpointError::Malformed(_))
+        ));
+        let good = Checkpoint {
+            fingerprint: 7,
+            completed: vec![region(0, 2)],
+        }
+        .encode();
+        assert!(matches!(
+            Checkpoint::decode(&good[..good.len() - 3]),
+            Err(CheckpointError::Malformed(_))
+        ));
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            Checkpoint::decode(&bad_magic),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+}

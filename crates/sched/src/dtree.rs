@@ -53,10 +53,18 @@ pub struct Dtree<T> {
 impl<T> Dtree<T> {
     /// Build a tree over `n_workers` leaves with the given fanout and
     /// load all `tasks` at the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_workers == 0` — a scheduler with no workers can
+    /// never drain its pool, so this is a programming error at the
+    /// call site, not a recoverable condition.
     pub fn new(n_workers: usize, fanout: usize, tasks: Vec<T>) -> Dtree<T> {
-        assert!(n_workers > 0);
+        assert!(n_workers > 0, "Dtree requires at least one worker");
         let fanout = fanout.max(2);
         // Build a complete fanout-ary tree with at least n_workers leaves.
+        // `levels` starts non-empty and only grows, so the `expect`s on
+        // `last()` here and below are provably unreachable.
         let mut levels = vec![1usize];
         while *levels.last().expect("nonempty") < n_workers {
             levels.push(levels.last().unwrap() * fanout);
@@ -105,9 +113,11 @@ impl<T> Dtree<T> {
     }
 
     /// Pop a task for `worker`. Refills the leaf pool from ancestors
-    /// when empty; returns `None` only when the whole tree is drained.
+    /// when empty; returns `None` when the whole tree is drained, or
+    /// when `worker` is out of range (an out-of-range worker id owns
+    /// no leaf, hence has no work — it is not a panic).
     pub fn pop(&self, worker: usize) -> Option<T> {
-        let leaf = self.leaf_of_worker[worker];
+        let leaf = *self.leaf_of_worker.get(worker)?;
         loop {
             if let Some(t) = self.nodes[leaf].pool.lock().pop_front() {
                 self.stats.served.fetch_add(1, Ordering::Relaxed);
@@ -260,6 +270,18 @@ mod tests {
         let dt = Dtree::new(4, 2, Vec::<u8>::new());
         assert!(dt.pop(0).is_none());
         assert!(dt.pop(3).is_none());
+    }
+
+    #[test]
+    fn out_of_range_worker_gets_no_work_and_steals_none() {
+        let dt = Dtree::new(2, 2, vec![1u8, 2, 3]);
+        assert!(dt.pop(7).is_none());
+        let mut seen = Vec::new();
+        while let Some(t) = dt.pop(0) {
+            seen.push(t);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![1, 2, 3]);
     }
 
     #[test]

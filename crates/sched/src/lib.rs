@@ -20,21 +20,37 @@
 //! this machine (simulated "nodes" = thread groups), measuring the
 //! same four runtime components the paper plots in Figs. 4–5: task
 //! processing, image loading, load imbalance, and other.
+//!
+//! The resilience layer — [`lease`] (leased tasks with retry/backoff
+//! and quarantine), [`checkpoint`] (durable resume state), and
+//! [`fault`] (deterministic chaos injection) — keeps campaigns alive
+//! through panicking fits, failed image loads, and hung tasks; see
+//! the [`campaign`] module docs for the full fault-tolerance story.
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod cyclades;
 pub mod dtree;
+pub mod fault;
+pub mod lease;
 pub mod partition;
 pub mod pgas;
 pub mod runtime;
 
 pub use campaign::{
-    run_campaign, run_campaign_streaming, stage_survey, task_image_keys, try_run_campaign,
-    try_stage_survey, CampaignConfig, CampaignError, CampaignReport, ComponentTimes, RegionResult,
-    RegionSink,
+    run_campaign, run_campaign_streaming, run_campaign_with, stage_survey, task_image_keys,
+    try_run_campaign, try_stage_survey, CampaignConfig, CampaignError, CampaignReport, CancelToken,
+    ComponentTimes, RegionResult, RegionSink, RunOptions,
 };
+pub use checkpoint::{plan_fingerprint, Checkpoint, CheckpointConfig, CheckpointError};
 pub use cyclades::{conflict_graph, sample_batches, ConflictGraph};
 pub use dtree::{Dtree, DtreeStats};
-pub use partition::{partition_sky, PartitionConfig, RegionTask};
+pub use fault::FaultPlan;
+pub use lease::{
+    Clock, FailedRegion, RegionError, RetryPolicy, SystemClock, TaskLedger, VirtualClock,
+};
+pub use partition::{
+    partition_sky, try_partition_sky, PartitionConfig, PartitionError, RegionTask,
+};
 pub use pgas::{ParamStore, StoreStats};
 pub use runtime::{process_region, RegionStats};

@@ -59,8 +59,74 @@ pub fn predicted_work(entry: &CatalogEntry) -> f64 {
     10.0 * brightness * extent
 }
 
+/// Invalid partitioning input (an initialization catalog is untrusted
+/// external data — it may come from a different survey's files).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartitionError {
+    /// A source's sky position is NaN or infinite.
+    NonFinitePosition {
+        /// The offending catalog entry's id.
+        id: u64,
+    },
+    /// A source's predicted work is NaN or infinite (non-finite flux
+    /// or galaxy shape).
+    NonFiniteWork {
+        /// The offending catalog entry's id.
+        id: u64,
+    },
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::NonFinitePosition { id } => {
+                write!(f, "source {id} has a non-finite sky position")
+            }
+            PartitionError::NonFiniteWork { id } => {
+                write!(f, "source {id} has non-finite predicted work")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
 /// Generate both partition stages for `catalog` over `footprint`.
+/// Panics on catalogs with non-finite positions or fluxes; the
+/// validating form is [`try_partition_sky`].
 pub fn partition_sky(
+    catalog: &Catalog,
+    footprint: &SkyRect,
+    cfg: &PartitionConfig,
+) -> Vec<RegionTask> {
+    try_partition_sky(catalog, footprint, cfg).unwrap_or_else(|e| panic!("partition_sky: {e}"))
+}
+
+/// [`partition_sky`] with input validation: malformed catalog entries
+/// come back as a typed [`PartitionError`] naming the offending
+/// source, instead of a panic (or a corrupt partition) deep inside
+/// the splitter. After validation the splitter itself is panic-free:
+/// its comparisons use `total_cmp` and every interior `expect`
+/// documents an invariant the validation establishes.
+pub fn try_partition_sky(
+    catalog: &Catalog,
+    footprint: &SkyRect,
+    cfg: &PartitionConfig,
+) -> Result<Vec<RegionTask>, PartitionError> {
+    for e in &catalog.entries {
+        if !(e.pos.ra.is_finite() && e.pos.dec.is_finite()) {
+            return Err(PartitionError::NonFinitePosition { id: e.id });
+        }
+        if !predicted_work(e).is_finite() {
+            return Err(PartitionError::NonFiniteWork { id: e.id });
+        }
+    }
+    Ok(partition_sky_validated(catalog, footprint, cfg))
+}
+
+/// The splitter proper; positions and works are finite by the time we
+/// get here (checked by [`try_partition_sky`]).
+fn partition_sky_validated(
     catalog: &Catalog,
     footprint: &SkyRect,
     cfg: &PartitionConfig,
@@ -117,9 +183,13 @@ pub fn partition_sky(
                     .min_by(|(_, a), (_, b)| {
                         let da = e.pos.sep_arcsec(&a.center());
                         let db = e.pos.sep_arcsec(&b.center());
-                        da.partial_cmp(&db).expect("finite separations")
+                        da.total_cmp(&db)
                     })
                     .map(|(j, _)| j)
+                    // Invariant: stage 2 only runs when stage 1 emitted
+                    // tasks (`!tasks.is_empty()` above), and each stage-1
+                    // task contributes one shifted rect, so `rects` is
+                    // nonempty here.
                     .expect("stage-2 rects nonempty");
                 let r = &mut rects[nearest];
                 r.ra_min = r.ra_min.min(e.pos.ra);
@@ -187,7 +257,7 @@ fn recursive_split(
         } else {
             catalog.entries[b].pos.dec
         };
-        ka.partial_cmp(&kb).unwrap()
+        ka.total_cmp(&kb)
     });
     let mut acc = 0.0;
     let mut cut_pos = None;
@@ -267,6 +337,31 @@ mod tests {
             })
             .collect();
         (Catalog::new(entries), fp)
+    }
+
+    #[test]
+    fn malformed_catalogs_are_rejected_with_typed_errors() {
+        let (mut cat, fp) = test_catalog(16);
+        let cfg = PartitionConfig::default();
+        assert!(try_partition_sky(&cat, &fp, &cfg).is_ok());
+
+        let good_pos = cat.entries[3].pos;
+        cat.entries[3].pos = SkyCoord::new(f64::NAN, 0.1);
+        assert_eq!(
+            try_partition_sky(&cat, &fp, &cfg).err(),
+            Some(PartitionError::NonFinitePosition {
+                id: cat.entries[3].id
+            })
+        );
+
+        cat.entries[3].pos = good_pos;
+        cat.entries[5].flux_r_nmgy = f64::INFINITY;
+        assert_eq!(
+            try_partition_sky(&cat, &fp, &cfg).err(),
+            Some(PartitionError::NonFiniteWork {
+                id: cat.entries[5].id
+            })
+        );
     }
 
     #[test]

@@ -11,6 +11,19 @@
 //! sense — no participation from the owner is needed. Accesses to a
 //! partition other than the caller's are counted as *remote* so the
 //! cluster simulator can charge interconnect latency for them.
+//!
+//! # Fault-tolerance invariant
+//!
+//! The campaign's resilience layer depends on the store never seeing
+//! partial work: a node writes a region's fitted parameters back with
+//! `put` only *after* its task lease commits ([`complete`] returned
+//! `true`), so failed or superseded attempts leave the address space
+//! untouched and a retried task re-reads exactly the parameters the
+//! failed attempt read. `put` on an unknown id returns `false` rather
+//! than inserting, which keeps quarantined regions at their
+//! initialization values in the exported catalog.
+//!
+//! [`complete`]: crate::lease::TaskLedger::complete
 
 use crate::partition::RegionTask;
 use celeste_core::params::NUM_PARAMS;

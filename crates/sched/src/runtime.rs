@@ -137,6 +137,16 @@ impl GraphCache {
 /// Sources outside this region (their contribution to pixel
 /// backgrounds) should already be folded into the images' neighbor
 /// handling by the caller passing them in `fixed_neighbors`.
+///
+/// # Panics
+///
+/// A panic in any per-source fit propagates out of the Cyclades
+/// scope (`celeste_par::scope` re-raises the first spawn panic after
+/// the others finish; the pool itself survives). The campaign runner
+/// wraps this call in `catch_unwind` at the node boundary, converting
+/// the panic into a typed `RegionError::FitPanic` that feeds the
+/// lease retry/quarantine machinery, so one poisoned region cannot
+/// take down a campaign.
 pub fn process_region(
     sources: &mut [SourceParams],
     images: &[&Image],

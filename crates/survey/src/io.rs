@@ -33,6 +33,10 @@ pub enum IoError {
     /// underlying store error, carried as text across the worker
     /// boundary).
     Prefetch(String),
+    /// A deterministic fault-injection failure (chaos testing): the
+    /// store was configured with [`LoadFaults`] and this load drew a
+    /// scheduled error.
+    Injected(String),
 }
 
 impl From<std::io::Error> for IoError {
@@ -47,6 +51,7 @@ impl std::fmt::Display for IoError {
             IoError::Io(e) => write!(f, "io error: {e}"),
             IoError::Format(m) => write!(f, "format error: {m}"),
             IoError::Prefetch(m) => write!(f, "prefetch failed: {m}"),
+            IoError::Injected(m) => write!(f, "injected fault: {m}"),
         }
     }
 }
@@ -55,7 +60,7 @@ impl std::error::Error for IoError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             IoError::Io(e) => Some(e),
-            IoError::Format(_) | IoError::Prefetch(_) => None,
+            IoError::Format(_) | IoError::Prefetch(_) | IoError::Injected(_) => None,
         }
     }
 }
@@ -241,10 +246,99 @@ pub fn decode_catalog(mut buf: &[u8]) -> Result<crate::catalog::Catalog, IoError
 /// A key identifying one stored image.
 pub type ImageKey = (FieldId, Band);
 
+/// Deterministic I/O fault injection for [`ImageStore::load`]: the
+/// k-th load of a given key fails with [`IoError::Injected`] iff a
+/// seeded hash of `(seed, key, k)` falls below `rate`, independent of
+/// thread interleaving — the same store sees the same fault schedule
+/// on every run. At most `max_per_key` failures are injected per key,
+/// so retrying loaders always heal (set it above the retry budget to
+/// force quarantine instead).
+///
+/// This exercises the *production* load path — the prefetcher, the
+/// campaign's blocking fetches, and their error handling all see the
+/// injected error exactly where a real filesystem error would appear.
+pub struct LoadFaults {
+    seed: u64,
+    rate: f64,
+    max_per_key: u32,
+    /// Per-key (loads attempted, failures injected).
+    counts: Mutex<HashMap<ImageKey, (u32, u32)>>,
+    injected: std::sync::atomic::AtomicU64,
+}
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit hash step.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl LoadFaults {
+    /// A fault schedule failing roughly `rate` of loads (per key, per
+    /// load attempt), at most `max_per_key` times per key.
+    pub fn new(seed: u64, rate: f64, max_per_key: u32) -> LoadFaults {
+        LoadFaults {
+            seed,
+            rate,
+            max_per_key,
+            counts: Mutex::new(HashMap::new()),
+            injected: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Total failures injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Whether the k-th load of `key` is scheduled to fail (pure
+    /// function of the seed — what `check` consults).
+    pub fn scheduled(&self, key: &ImageKey, k: u32) -> bool {
+        let (f, b) = key;
+        let kh = ((f.run as u64) << 32) ^ ((f.camcol as u64) << 16) ^ f.field as u64;
+        let h = mix64(self.seed ^ mix64(kh ^ ((b.index() as u64) << 48)) ^ k as u64);
+        let unit = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < self.rate
+    }
+
+    fn check(&self, key: &ImageKey) -> Result<(), IoError> {
+        let mut counts = self.counts.lock();
+        let entry = counts.entry(*key).or_insert((0, 0));
+        let k = entry.0;
+        entry.0 += 1;
+        if entry.1 < self.max_per_key && self.scheduled(key, k) {
+            entry.1 += 1;
+            self.injected
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let (f, b) = key;
+            return Err(IoError::Injected(format!(
+                "scheduled load failure for {:?}/{} (load #{k})",
+                f,
+                b.name()
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for LoadFaults {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoadFaults")
+            .field("seed", &self.seed)
+            .field("rate", &self.rate)
+            .field("max_per_key", &self.max_per_key)
+            .field("injected", &self.injected())
+            .finish()
+    }
+}
+
 /// Directory-backed image storage, one SIMG file per (field, band).
 #[derive(Debug, Clone)]
 pub struct ImageStore {
     root: PathBuf,
+    /// Optional deterministic fault schedule applied to loads.
+    faults: Option<Arc<LoadFaults>>,
 }
 
 impl ImageStore {
@@ -253,7 +347,16 @@ impl ImageStore {
         std::fs::create_dir_all(root.as_ref())?;
         Ok(ImageStore {
             root: root.as_ref().to_path_buf(),
+            faults: None,
         })
+    }
+
+    /// This store with a deterministic load-fault schedule attached
+    /// (saves and catalog I/O are unaffected). Clones share the
+    /// schedule's counters.
+    pub fn with_load_faults(mut self, faults: Arc<LoadFaults>) -> ImageStore {
+        self.faults = Some(faults);
+        self
     }
 
     /// The file path for a key.
@@ -278,8 +381,13 @@ impl ImageStore {
         Ok(())
     }
 
-    /// Load an image.
+    /// Load an image. With [`ImageStore::with_load_faults`] attached,
+    /// scheduled loads fail with [`IoError::Injected`] before touching
+    /// the filesystem.
     pub fn load(&self, key: &ImageKey) -> Result<Image, IoError> {
+        if let Some(faults) = &self.faults {
+            faults.check(key)?;
+        }
         let mut data = Vec::new();
         std::fs::File::open(self.path_for(key))?.read_to_end(&mut data)?;
         decode_image(&data)
@@ -573,6 +681,34 @@ mod tests {
         store.save_catalog("output", &cat).unwrap();
         let loaded = store.load_catalog("output").unwrap();
         assert_eq!(loaded.entries, cat.entries);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_faults_are_deterministic_and_bounded() {
+        let dir = std::env::temp_dir().join(format!("celeste-faults-test-{}", std::process::id()));
+        let store = ImageStore::open(&dir).unwrap();
+        let img = test_image(3, Band::R);
+        store.save(&img).unwrap();
+        let key = (img.field, img.band);
+
+        // rate = 1.0 with a failure cap of 2: exactly the first two
+        // loads fail, every later load succeeds.
+        let faults = Arc::new(LoadFaults::new(11, 1.0, 2));
+        let store = store.with_load_faults(Arc::clone(&faults));
+        assert!(matches!(store.load(&key), Err(IoError::Injected(_))));
+        assert!(matches!(store.load(&key), Err(IoError::Injected(_))));
+        assert!(store.load(&key).is_ok());
+        assert!(store.load(&key).is_ok());
+        assert_eq!(faults.injected(), 2);
+
+        // The schedule is a pure function of (seed, key, attempt):
+        // two independent instances agree on every decision.
+        let a = LoadFaults::new(42, 0.5, u32::MAX);
+        let b = LoadFaults::new(42, 0.5, u32::MAX);
+        for k in 0..64 {
+            assert_eq!(a.scheduled(&key, k), b.scheduled(&key, k));
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -184,6 +184,49 @@ fn one_field_images(survey: &SyntheticSurvey) -> Vec<Image> {
 }
 
 #[test]
+fn dropping_the_stream_early_cancels_the_campaign_cleanly() {
+    let (survey, store, init, tasks, dir) = campaign_fixture("earlydrop");
+    // Slow every region by 20ms so the cancellation (set within
+    // microseconds of the first result) always lands with work left.
+    let session = Celeste::builder()
+        .threads(2)
+        .n_nodes(1)
+        .fit(quick_fit())
+        .faults(celeste::FaultPlan {
+            slow_rate: 1.0,
+            slow_for: std::time::Duration::from_millis(20),
+            ..Default::default()
+        })
+        .build()
+        .unwrap();
+    let n_tasks = tasks.len();
+    // The consumer takes one result and walks away. The campaign must
+    // notice, wind down without deadlocking on the dead receiver, and
+    // return Ok with the cancellation recorded.
+    let (outcome, first) = session
+        .run_campaign_streaming(&survey, &store, &init, &tasks, |mut stream| {
+            let first = stream.next().expect("at least one region");
+            assert!(!first.sources.is_empty());
+            first
+        })
+        .unwrap();
+    assert!(
+        outcome.report.cancelled,
+        "early drop should mark the run cancelled"
+    );
+    assert!(
+        outcome.report.tasks_completed < n_tasks,
+        "cancellation should leave work undone ({} of {n_tasks} done)",
+        outcome.report.tasks_completed
+    );
+    assert!(outcome.report.tasks_completed >= 1);
+    assert!(outcome.report.failed_regions.is_empty());
+    let _ = first;
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn duplicate_band_is_a_typed_error() {
     let survey = tiny_survey();
     let images = one_field_images(&survey);
@@ -335,6 +378,22 @@ fn builder_rejects_invalid_knobs() {
     };
     match Celeste::builder().fit(bad_fit).build() {
         Err(CelesteError::Config { field, .. }) => assert_eq!(field, "fit.cull_tol"),
+        other => panic!("want Config error, got {:?}", other.map(|_| ())),
+    }
+    let bad_retry = celeste::RetryPolicy {
+        max_attempts: 0,
+        ..Default::default()
+    };
+    match Celeste::builder().retry(bad_retry).build() {
+        Err(CelesteError::Config { field, .. }) => assert_eq!(field, "retry.max_attempts"),
+        other => panic!("want Config error, got {:?}", other.map(|_| ())),
+    }
+    let bad_faults = celeste::FaultPlan {
+        panic_rate: 1.5,
+        ..Default::default()
+    };
+    match Celeste::builder().faults(bad_faults).build() {
+        Err(CelesteError::Config { field, .. }) => assert_eq!(field, "faults.panic_rate"),
         other => panic!("want Config error, got {:?}", other.map(|_| ())),
     }
 }
