@@ -3,6 +3,7 @@
 use celeste_core::FitError;
 use celeste_photo::PhotoError;
 use celeste_sched::CampaignError;
+use celeste_store::StoreError;
 use celeste_survey::io::IoError;
 
 /// Everything that can go wrong across the facade: invalid
@@ -38,6 +39,9 @@ pub enum CelesteError {
     Campaign(CampaignError),
     /// A campaign was started with no region tasks to schedule.
     EmptyTaskList,
+    /// A malformed catalog-store query (see
+    /// [`Session::query`](crate::Session::query)).
+    Store(StoreError),
 }
 
 impl std::fmt::Display for CelesteError {
@@ -58,6 +62,7 @@ impl std::fmt::Display for CelesteError {
             CelesteError::Io(e) => write!(f, "image store: {e}"),
             CelesteError::Campaign(e) => write!(f, "campaign: {e}"),
             CelesteError::EmptyTaskList => write!(f, "campaign has no region tasks"),
+            CelesteError::Store(e) => write!(f, "catalog store: {e}"),
         }
     }
 }
@@ -69,6 +74,7 @@ impl std::error::Error for CelesteError {
             CelesteError::Fit { error, .. } => Some(error),
             CelesteError::Io(e) => Some(e),
             CelesteError::Campaign(e) => Some(e),
+            CelesteError::Store(e) => Some(e),
             CelesteError::Config { .. } | CelesteError::EmptyTaskList => None,
         }
     }
@@ -98,5 +104,11 @@ impl From<IoError> for CelesteError {
 impl From<CampaignError> for CelesteError {
     fn from(e: CampaignError) -> Self {
         CelesteError::Campaign(e)
+    }
+}
+
+impl From<StoreError> for CelesteError {
+    fn from(e: StoreError) -> Self {
+        CelesteError::Store(e)
     }
 }

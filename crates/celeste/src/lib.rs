@@ -51,6 +51,16 @@
 //! `CELESTE_FAULTS` environment variable) drives the chaos suite
 //! through these exact production paths.
 //!
+//! # Catalog service
+//!
+//! [`Session::run_campaign_into_store`] streams every fitted region
+//! into a [`CatalogStore`] — a sky-sharded index serving cone
+//! searches, rect/type/flux filters, and brightest-N queries
+//! ([`Session::query`]) to concurrent readers while the campaign is
+//! still running. Regions are cached by fit provenance (images +
+//! configuration + initialization content), so re-running over an
+//! overlapping footprint refits only the shards whose inputs changed.
+//!
 //! # One thread knob
 //!
 //! All parallelism derives from a single resolved thread count with
@@ -100,6 +110,7 @@ pub use celeste_core as model;
 pub use celeste_par as par;
 pub use celeste_photo as photo;
 pub use celeste_sched as sched;
+pub use celeste_store as store;
 pub use celeste_survey as survey;
 
 // The types a facade caller touches directly, flattened.
@@ -113,6 +124,11 @@ pub use celeste_sched::{
     CheckpointConfig, CheckpointError, FailedRegion, FaultPlan, PartitionConfig, PartitionError,
     RegionError, RegionResult, RegionTask, RetryPolicy,
 };
+pub use celeste_store::{
+    plan_provenance_keys, task_provenance_key, CatalogQuery, CatalogStore, CatalogStoreStats,
+    SourceFilter, StoreConfig, StoreError,
+};
+pub use celeste_survey::catalog::{CatalogEntry, SourceType};
 pub use celeste_survey::io::{ImageStore, IoError};
 pub use celeste_survey::synth::{SurveyConfig, SyntheticSurvey};
-pub use celeste_survey::{Catalog, Image, Priors};
+pub use celeste_survey::{Catalog, CellId, Image, Priors, SkyCoord, SkyRect};

@@ -3,15 +3,19 @@
 use crate::config::{CelesteBuilder, CelesteConfig};
 use crate::error::CelesteError;
 use celeste_core::{validate_fit_inputs, FitStats, SourceParams, SourceProblem};
+use celeste_sched::fault::mix64;
 use celeste_sched::partition::RegionTask;
 use celeste_sched::runtime::{process_region, RegionStats};
 use celeste_sched::{
-    plan_fingerprint, CampaignReport, CancelToken, Checkpoint, CheckpointConfig, RegionResult,
-    RunOptions,
+    fit_config_hash, plan_fingerprint, task_image_keys, CampaignReport, CancelToken, Checkpoint,
+    CheckpointConfig, RegionResult, RunOptions,
 };
+use celeste_store::{catalog_content_hash, plan_provenance_keys, CatalogQuery, CatalogStore};
+use celeste_survey::catalog::CatalogEntry;
 use celeste_survey::io::ImageStore;
 use celeste_survey::synth::SyntheticSurvey;
 use celeste_survey::{Catalog, Image};
+use std::collections::HashMap;
 
 /// Entry point to the facade. [`Celeste::builder`] configures a
 /// [`Session`]; see the [crate docs](crate) for the full lifecycle.
@@ -294,6 +298,97 @@ impl Session {
         )?;
         outcome.regions = regions;
         Ok(outcome)
+    }
+
+    /// Run a campaign and stream every fitted region into `catalog`,
+    /// a [`CatalogStore`] concurrent readers can query *while the
+    /// campaign is still running*. Quarantined regions (see
+    /// [`CampaignReport::failed_regions`]) never reach the store, so
+    /// its contents are exactly the successfully fitted regions; once
+    /// the campaign finishes, [`CatalogStore::to_catalog`] is
+    /// bit-identical to the batch [`Session::run_campaign`] output at
+    /// any thread count.
+    ///
+    /// Every region is also recorded in the store's provenance cache,
+    /// keyed by the content of everything its fit was conditioned on
+    /// (task geometry, initialization entries of its sources and
+    /// fixed neighbors, the exact image set, the survey content, and
+    /// the fit configuration — see
+    /// [`task_provenance_key`](celeste_store::task_provenance_key)).
+    /// Re-running over an overlapping footprint replays cache hits as
+    /// resume state, refitting only tasks whose inputs changed:
+    /// [`CampaignReport::tasks_restored`] counts the shards served
+    /// from cache, and an unchanged re-run restores every task and
+    /// refits none.
+    pub fn run_campaign_into_store(
+        &self,
+        survey: &SyntheticSurvey,
+        store: &ImageStore,
+        init_catalog: &Catalog,
+        tasks: &[RegionTask],
+        catalog: &CatalogStore,
+    ) -> Result<CampaignOutcome, CelesteError> {
+        let salt = self.provenance_salt(survey);
+        let keys = plan_provenance_keys(tasks, init_catalog, salt, |t| task_image_keys(survey, t));
+        let mut completed = Vec::new();
+        for (t, &k) in tasks.iter().zip(&keys) {
+            if let Some(mut r) = catalog.cached_region(k) {
+                // The cached fit is keyed purely by input content; the
+                // re-run's plan may number the task differently.
+                r.task_id = t.id;
+                r.stage = t.stage;
+                completed.push(r);
+            }
+        }
+        let resume = (!completed.is_empty()).then(|| Checkpoint {
+            fingerprint: plan_fingerprint(tasks),
+            completed,
+        });
+        let key_of: HashMap<u64, u64> = tasks.iter().zip(&keys).map(|(t, &k)| (t.id, k)).collect();
+        let (outcome, ()) =
+            self.campaign_with(survey, store, init_catalog, tasks, None, resume, |stream| {
+                for r in stream {
+                    match key_of.get(&r.task_id) {
+                        Some(&k) => catalog.absorb(k, &r),
+                        None => catalog.ingest(&r),
+                    }
+                }
+            })?;
+        Ok(outcome)
+    }
+
+    /// Serve a [`CatalogQuery`] against a [`CatalogStore`] (typically
+    /// one a concurrent [`Session::run_campaign_into_store`] is still
+    /// filling). Malformed queries come back as
+    /// [`CelesteError::Store`], never a panic.
+    pub fn query(
+        &self,
+        catalog: &CatalogStore,
+        query: &CatalogQuery,
+    ) -> Result<Vec<CatalogEntry>, CelesteError> {
+        Ok(catalog.query(query)?)
+    }
+
+    /// The provenance-cache salt: everything campaign-global a region
+    /// fit is conditioned on — the fit configuration and the survey
+    /// content (truth catalog, geometry, seed) that determines the
+    /// rendered imagery.
+    fn provenance_salt(&self, survey: &SyntheticSurvey) -> u64 {
+        let mut acc = 0x5EED_5E55_1051_0001u64;
+        for bits in [
+            fit_config_hash(&self.cfg.fit),
+            catalog_content_hash(&survey.truth),
+            survey.config.seed,
+            survey.config.pixels_per_field as u64,
+            survey.geometry.fields.len() as u64,
+            survey.geometry.footprint.ra_min.to_bits(),
+            survey.geometry.footprint.ra_max.to_bits(),
+            survey.geometry.footprint.dec_min.to_bits(),
+            survey.geometry.footprint.dec_max.to_bits(),
+        ] {
+            acc = mix64(acc ^ mix64(bits));
+        }
+        acc
     }
 
     /// The one campaign driver every public variant funnels through:

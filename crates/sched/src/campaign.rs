@@ -115,6 +115,44 @@ impl std::error::Error for CampaignError {
     }
 }
 
+/// What a region's fit was conditioned on: the exact set of images it
+/// read (a source is covered by 5–480 overlapping exposures, paper
+/// §IV-A) and a hash of the fit configuration. Two fits with equal
+/// provenance over the same sources are bit-identical, which is what
+/// lets a catalog store skip refitting unchanged shards.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegionProvenance {
+    /// Every (field, band) image the task's fit read, in the
+    /// deterministic [`task_image_keys`] order.
+    pub image_keys: Vec<ImageKey>,
+    /// [`fit_config_hash`] of the campaign's [`FitConfig`].
+    pub config_hash: u64,
+}
+
+/// Bit-exact hash of every [`FitConfig`] knob that can change a fit's
+/// result. Part of a region's [`RegionProvenance`]: a re-run with a
+/// different configuration must never reuse cached shard results.
+pub fn fit_config_hash(fit: &FitConfig) -> u64 {
+    use crate::fault::mix64;
+    let mut acc = 0x5EED_CA7A_106D_0001u64;
+    for bits in [
+        fit.newton.max_iters as u64,
+        fit.newton.grad_tol.to_bits(),
+        fit.newton.f_tol.to_bits(),
+        fit.newton.initial_radius.to_bits(),
+        fit.newton.max_radius.to_bits(),
+        fit.active_nsigma.to_bits(),
+        fit.min_radius_px.to_bits(),
+        fit.max_radius_px.to_bits(),
+        fit.bca_passes as u64,
+        fit.laplace_scales as u64,
+        fit.cull_tol.to_bits(),
+    ] {
+        acc = mix64(acc ^ mix64(bits));
+    }
+    acc
+}
+
 /// One finished region task, as emitted on the streaming path while
 /// the campaign is still running: the fitted parameters of every
 /// source in the task plus the region-level optimizer statistics.
@@ -130,6 +168,8 @@ pub struct RegionResult {
     pub sources: Vec<SourceParams>,
     /// Cyclades optimizer statistics for the region.
     pub stats: RegionStats,
+    /// The images and configuration this fit was conditioned on.
+    pub provenance: RegionProvenance,
 }
 
 /// Where streaming campaign drivers emit [`RegionResult`]s: the
@@ -514,6 +554,7 @@ fn campaign_inner(
     celeste_core::flops::reset_visits();
 
     let sink = options.sink;
+    let config_hash = fit_config_hash(&cfg.fit);
     let clock: Arc<dyn Clock> = options
         .clock
         .unwrap_or_else(|| Arc::new(SystemClock::default()));
@@ -590,6 +631,20 @@ fn campaign_inner(
         if stage_tasks.is_empty() {
             continue;
         }
+        // Freeze neighbor values at the stage barrier: every task in
+        // this stage conditions on the same parameter snapshot, so a
+        // fit never observes a concurrently completing sibling task
+        // and the campaign is deterministic at any node or thread
+        // count. (Own sources still read live — tasks within a stage
+        // partition them, so nobody else writes them.) The snapshot
+        // is taken *before* restored results are applied: a resumed
+        // task must see exactly the stage inputs the fresh run saw.
+        let neighbor_snapshot: Arc<std::collections::HashMap<u64, SourceParams>> = Arc::new(
+            id_of
+                .iter()
+                .filter_map(|&id| params.get(0, id).map(|sp| (id, sp)))
+                .collect(),
+        );
         // Apply this stage's restored results (within a stage, tasks
         // partition the sources, so application order is immaterial).
         for r in restored.iter().filter(|r| r.stage == stage) {
@@ -637,6 +692,7 @@ fn campaign_inner(
                 let fatal = Arc::clone(&fatal);
                 let stop = Arc::clone(&stop);
                 let checkpointer = checkpointer.clone();
+                let neighbor_snapshot = Arc::clone(&neighbor_snapshot);
                 let faults = &faults;
                 let stage_tasks = &stage_tasks;
                 let id_of = &id_of;
@@ -736,7 +792,10 @@ fn campaign_inner(
                             })
                             .map(|(_, e)| e.id)
                             .collect();
-                        let neighbors = params.get_many(node, &neighbor_ids);
+                        let neighbors: Vec<SourceParams> = neighbor_ids
+                            .iter()
+                            .filter_map(|id| neighbor_snapshot.get(id).cloned())
+                            .collect();
                         out.comp.other += t1.elapsed().as_secs_f64();
 
                         // Injected straggler: stall before compute.
@@ -832,6 +891,10 @@ fn campaign_inner(
                                 node,
                                 sources: sources.clone(),
                                 stats: region_stats,
+                                provenance: RegionProvenance {
+                                    image_keys: keys.clone(),
+                                    config_hash,
+                                },
                             };
                             if let Some(ck) = &checkpointer {
                                 if let Err(e) = ck.record(result.clone()) {

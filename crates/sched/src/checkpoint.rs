@@ -11,6 +11,8 @@
 //!   n_sources u32, each: id u64, base ra f64, base dec f64, 44×f64
 //!   stats: 7×u64 (passes batches fits newton_iters conflict_edges
 //!                 active_pixels graph_builds)
+//!   provenance (v2): config_hash u64 | n_keys u32,
+//!     each key: run u32 | camcol u16 | field u16 | band u8
 //! ```
 //!
 //! The fingerprint hashes the task plan `(id, stage)*`; a checkpoint
@@ -21,17 +23,20 @@
 //! are stored bit-exactly (`f64::to_bits`) and the resumed catalog is
 //! bit-identical to an uninterrupted run.
 
-use crate::campaign::RegionResult;
+use crate::campaign::{RegionProvenance, RegionResult};
 use crate::fault::mix64;
 use crate::partition::RegionTask;
 use crate::runtime::RegionStats;
 use bytes::{Buf, BufMut, BytesMut};
 use celeste_core::{SourceParams, NUM_PARAMS};
-use celeste_survey::skygeom::SkyCoord;
+use celeste_survey::bands::Band;
+use celeste_survey::skygeom::{FieldId, SkyCoord};
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"SCKP";
-const VERSION: u16 = 1;
+// v2 added per-region provenance (image keys + config hash); earlier
+// files are rejected as unsupported rather than silently misread.
+const VERSION: u16 = 2;
 
 /// When and where a campaign checkpoints.
 #[derive(Debug, Clone, PartialEq)]
@@ -145,6 +150,14 @@ impl Checkpoint {
             ] {
                 b.put_u64_le(v as u64);
             }
+            b.put_u64_le(r.provenance.config_hash);
+            b.put_u32_le(r.provenance.image_keys.len() as u32);
+            for (field, band) in &r.provenance.image_keys {
+                b.put_u32_le(field.run);
+                b.put_u16_le(field.camcol);
+                b.put_u16_le(field.field);
+                b.put_u8(band.index() as u8);
+            }
         }
         b.freeze().to_vec()
     }
@@ -202,6 +215,21 @@ impl Checkpoint {
             for s in &mut stat {
                 *s = buf.get_u64_le();
             }
+            need(&buf, 8 + 4, "provenance header")?;
+            let config_hash = buf.get_u64_le();
+            let n_keys = buf.get_u32_le() as usize;
+            need(&buf, n_keys * (4 + 2 + 2 + 1), "provenance keys")?;
+            let mut image_keys = Vec::with_capacity(n_keys);
+            for _ in 0..n_keys {
+                let run = buf.get_u32_le();
+                let camcol = buf.get_u16_le();
+                let field = buf.get_u16_le();
+                let band_idx = buf.get_u8() as usize;
+                let band = *Band::ALL.get(band_idx).ok_or_else(|| {
+                    CheckpointError::Malformed(format!("band index {band_idx} out of range"))
+                })?;
+                image_keys.push((FieldId { run, camcol, field }, band));
+            }
             completed.push(RegionResult {
                 task_id,
                 stage,
@@ -215,6 +243,10 @@ impl Checkpoint {
                     conflict_edges: stat[4] as usize,
                     active_pixels: stat[5] as usize,
                     graph_builds: stat[6] as usize,
+                },
+                provenance: RegionProvenance {
+                    image_keys,
+                    config_hash,
                 },
             });
         }
@@ -281,6 +313,23 @@ mod tests {
                 active_pixels: 9000,
                 graph_builds: 1,
             },
+            provenance: RegionProvenance {
+                image_keys: (0..task_id % 3)
+                    .flat_map(|f| {
+                        Band::ALL.iter().map(move |&b| {
+                            (
+                                FieldId {
+                                    run: 1000 + task_id as u32,
+                                    camcol: 1,
+                                    field: f as u16,
+                                },
+                                b,
+                            )
+                        })
+                    })
+                    .collect(),
+                config_hash: 0xABCD_0000 ^ task_id,
+            },
         }
     }
 
@@ -308,6 +357,7 @@ mod tests {
             }
             assert_eq!(a.stats.fits, b.stats.fits);
             assert_eq!(a.stats.active_pixels, b.stats.active_pixels);
+            assert_eq!(a.provenance, b.provenance);
         }
     }
 

@@ -38,9 +38,10 @@ pub mod pgas;
 pub mod runtime;
 
 pub use campaign::{
-    run_campaign, run_campaign_streaming, run_campaign_with, stage_survey, task_image_keys,
-    try_run_campaign, try_stage_survey, CampaignConfig, CampaignError, CampaignReport, CancelToken,
-    ComponentTimes, RegionResult, RegionSink, RunOptions,
+    fit_config_hash, run_campaign, run_campaign_streaming, run_campaign_with, stage_survey,
+    task_image_keys, try_run_campaign, try_stage_survey, CampaignConfig, CampaignError,
+    CampaignReport, CancelToken, ComponentTimes, RegionProvenance, RegionResult, RegionSink,
+    RunOptions,
 };
 pub use checkpoint::{plan_fingerprint, Checkpoint, CheckpointConfig, CheckpointError};
 pub use cyclades::{conflict_graph, sample_batches, ConflictGraph};

@@ -1,0 +1,887 @@
+//! Sky-sharded catalog store: a concurrently queryable view of
+//! campaign results (ROADMAP "catalog service" item).
+//!
+//! [`CatalogStore`] is a hierarchical sky index over the
+//! [`CellId`] grid from `celeste-survey`: every fitted
+//! [`CatalogEntry`] lives in the level-`L` cell containing its
+//! position, cells are striped across a fixed set of reader/writer
+//! locks, and an id index tracks which cell currently holds each
+//! source. One campaign thread can stream [`RegionResult`]s into the
+//! store while any number of reader threads serve cone searches,
+//! rect/band filters, and brightest-N queries.
+//!
+//! # Lifecycle and invariants
+//!
+//! The store moves through three phases, none of which require
+//! exclusive access to the whole structure:
+//!
+//! 1. **Ingest** — [`CatalogStore::ingest`] upserts every source of a
+//!    region result. Within one campaign stage, region tasks own
+//!    disjoint source sets, so concurrent ingests never race on an
+//!    id; across stages the later (shifted, stage-1) fit of a source
+//!    overwrites its stage-0 entry, which is exactly the batch
+//!    campaign's "last write wins" PGAS semantics. Ingesting a
+//!    campaign's streamed results therefore yields a store whose
+//!    [`CatalogStore::to_catalog`] is bit-identical to the batch
+//!    output catalog, at any pool width.
+//! 2. **Query** — readers lock only the shards their covering cells
+//!    hash to, never the id index. Every query observes a consistent
+//!    snapshot of each *shard*; a source concurrently moving between
+//!    cells (a refit that shifted its position across a cell
+//!    boundary) may transiently be seen in both cells, so all queries
+//!    deduplicate by id before returning. A source is inserted into
+//!    its new cell *before* being removed from the old one, so a
+//!    fully-ingested source is never invisible.
+//! 3. **Re-run** — [`CatalogStore::cached_region`] looks up a prior
+//!    region result by provenance key (see [`task_provenance_key`]).
+//!    A driver re-running a campaign over an overlapping footprint
+//!    materializes cache hits as a resume checkpoint so the campaign
+//!    refits only tasks whose inputs changed — O(changed shards),
+//!    not O(footprint). The cache is append-only and keyed purely by
+//!    input content, so stale entries can never be returned for
+//!    changed inputs; they are simply never looked up again.
+//!
+//! Lock ordering is deadlock-free by construction: writers take the
+//! id-index lock for a source first and then at most one cell-shard
+//! lock at a time; readers take cell-shard locks only, one at a time.
+
+#![deny(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use celeste_sched::fault::mix64;
+use celeste_sched::{RegionResult, RegionTask};
+use celeste_survey::bands::Band;
+use celeste_survey::catalog::{Catalog, CatalogEntry, SourceType};
+use celeste_survey::io::ImageKey;
+use celeste_survey::skygeom::{CellId, SkyCoord, SkyRect};
+use parking_lot::{Mutex, RwLock};
+
+/// Padding (degrees) around a region rect within which the campaign
+/// holds neighbor sources fixed (15″, mirroring the campaign's
+/// neighbor selection). Provenance keys must cover at least this
+/// footprint so a changed neighbor invalidates the cached fit.
+const NEIGHBOR_PAD_DEG: f64 = 15.0 / 3600.0;
+
+/// Dependency margin for stage-1 cache keys: strictly wider than
+/// [`NEIGHBOR_PAD_DEG`] so boundary sources are never missed.
+const STAGE_DEP_PAD_DEG: f64 = 16.0 / 3600.0;
+
+/// A query the store rejected before touching any shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The query parameters were malformed (non-finite coordinates,
+    /// negative or NaN radius, NaN flux threshold).
+    InvalidQuery(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::InvalidQuery(reason) => write!(f, "invalid catalog query: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Sizing knobs for a [`CatalogStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Cell refinement level (cells are `180/2^level` degrees on a
+    /// side). Deeper levels mean finer query pruning but more cells.
+    pub level: u8,
+    /// Number of reader/writer locks cells are striped across;
+    /// rounded up to a power of two, minimum 1.
+    pub lock_shards: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        // 180/2^10 ≈ 0.18° cells: about one SDSS field per cell.
+        StoreConfig {
+            level: 10,
+            lock_shards: 64,
+        }
+    }
+}
+
+/// Occupancy and traffic counters for a [`CatalogStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CatalogStoreStats {
+    /// Distinct sources currently stored.
+    pub entries: usize,
+    /// Non-empty sky cells.
+    pub cells: usize,
+    /// Region results ingested (including re-ingests of cached ones).
+    pub regions_ingested: u64,
+    /// Provenance-cache entries recorded.
+    pub cache_entries: usize,
+    /// Provenance-cache lookups that hit.
+    pub cache_hits: u64,
+}
+
+/// Predicate for [`CatalogStore::rect_search`]: all present fields
+/// must match (absent fields match everything).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SourceFilter {
+    /// Keep only stars, or only galaxies.
+    pub source_type: Option<SourceType>,
+    /// Keep only sources at least this bright (nanomaggies) in the
+    /// given band. Sources whose flux in that band is non-finite
+    /// never match.
+    pub min_flux: Option<(Band, f64)>,
+}
+
+impl SourceFilter {
+    /// Whether `entry` passes every present predicate.
+    pub fn matches(&self, entry: &CatalogEntry) -> bool {
+        if let Some(t) = self.source_type {
+            if entry.source_type != t {
+                return false;
+            }
+        }
+        if let Some((band, min)) = self.min_flux {
+            let f = entry.fluxes()[band.index()];
+            // Demands both "is finite enough to compare" and "is at
+            // least min": a NaN flux never matches.
+            if !matches!(
+                f.partial_cmp(&min),
+                Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+            ) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn validate(&self) -> Result<(), StoreError> {
+        match self.min_flux {
+            Some((_, min)) if min.is_nan() => {
+                Err(StoreError::InvalidQuery("min_flux threshold is NaN".into()))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// A self-describing catalog query, the facade's one-call query
+/// surface ([`CatalogStore::query`]).
+#[derive(Debug, Clone)]
+pub enum CatalogQuery {
+    /// Every source within `radius_arcsec` of `center`, nearest
+    /// first (ties by id).
+    Cone {
+        /// Cone axis.
+        center: SkyCoord,
+        /// Cone angular radius, arcseconds (inclusive).
+        radius_arcsec: f64,
+    },
+    /// Every source inside `rect` passing `filter`, ascending id.
+    Rect {
+        /// Half-open sky window (RA wraparound honored).
+        rect: SkyRect,
+        /// Type/flux predicate.
+        filter: SourceFilter,
+    },
+    /// The `n` brightest sources by r-band flux, brightest first
+    /// (ties by id), optionally restricted to a sky window.
+    BrightestN {
+        /// How many sources to return.
+        n: usize,
+        /// Optional restriction window.
+        within: Option<SkyRect>,
+    },
+}
+
+/// One lock stripe: the cells (and their entries) that hash to it.
+/// Entries within a cell are keyed by id so iteration order — and
+/// therefore query output — is deterministic.
+#[derive(Default)]
+struct Shard {
+    cells: HashMap<CellId, BTreeMap<u64, CatalogEntry>>,
+}
+
+/// The sky-sharded catalog store. See the module docs for the
+/// lifecycle and locking invariants.
+pub struct CatalogStore {
+    level: u8,
+    mask: usize,
+    shards: Vec<RwLock<Shard>>,
+    /// id → current cell, striped by id hash. A writer must hold the
+    /// id's stripe lock for the whole move (insert-new then
+    /// remove-old) so concurrent upserts of one source serialize.
+    ids: Vec<Mutex<HashMap<u64, CellId>>>,
+    /// Provenance key → the region result fitted under that key.
+    cache: Mutex<HashMap<u64, RegionResult>>,
+    entries: AtomicUsize,
+    regions_ingested: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl Default for CatalogStore {
+    fn default() -> Self {
+        CatalogStore::new(StoreConfig::default())
+    }
+}
+
+impl CatalogStore {
+    /// An empty store with the given sizing.
+    pub fn new(cfg: StoreConfig) -> CatalogStore {
+        let n = cfg.lock_shards.max(1).next_power_of_two();
+        CatalogStore {
+            level: cfg.level,
+            mask: n - 1,
+            shards: (0..n).map(|_| RwLock::new(Shard::default())).collect(),
+            ids: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            cache: Mutex::new(HashMap::new()),
+            entries: AtomicUsize::new(0),
+            regions_ingested: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The cell refinement level entries are indexed at.
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    fn shard_of(&self, cell: CellId) -> &RwLock<Shard> {
+        let key = ((cell.ix as u64) << 32) | cell.iy as u64;
+        &self.shards[mix64(key) as usize & self.mask]
+    }
+
+    fn id_stripe(&self, id: u64) -> &Mutex<HashMap<u64, CellId>> {
+        &self.ids[mix64(id) as usize & self.mask]
+    }
+
+    /// Insert or update one entry. The entry is indexed under the
+    /// cell containing its position; a position change that crosses a
+    /// cell boundary moves it (new cell first, then old, so readers
+    /// never observe the id absent).
+    pub fn insert(&self, entry: CatalogEntry) {
+        let cell = CellId::of(&entry.pos, self.level);
+        let id = entry.id;
+        let mut idx = self.id_stripe(id).lock();
+        let old = idx.insert(id, cell);
+        match old {
+            None => {
+                self.entries.fetch_add(1, Ordering::Relaxed);
+                self.shard_of(cell)
+                    .write()
+                    .cells
+                    .entry(cell)
+                    .or_default()
+                    .insert(id, entry);
+            }
+            Some(old_cell) if old_cell == cell => {
+                self.shard_of(cell)
+                    .write()
+                    .cells
+                    .entry(cell)
+                    .or_default()
+                    .insert(id, entry);
+            }
+            Some(old_cell) => {
+                self.shard_of(cell)
+                    .write()
+                    .cells
+                    .entry(cell)
+                    .or_default()
+                    .insert(id, entry);
+                let mut shard = self.shard_of(old_cell).write();
+                if let Some(cellmap) = shard.cells.get_mut(&old_cell) {
+                    cellmap.remove(&id);
+                    if cellmap.is_empty() {
+                        shard.cells.remove(&old_cell);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Upsert every fitted source of a region result.
+    pub fn ingest(&self, result: &RegionResult) {
+        for sp in &result.sources {
+            self.insert(sp.to_entry());
+        }
+        self.regions_ingested.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `result` in the provenance cache under `key`.
+    pub fn record(&self, key: u64, result: &RegionResult) {
+        self.cache.lock().insert(key, result.clone());
+    }
+
+    /// [`CatalogStore::ingest`] plus [`CatalogStore::record`] — the
+    /// one-call sink for a streaming campaign whose driver computed
+    /// the task's provenance key up front.
+    pub fn absorb(&self, key: u64, result: &RegionResult) {
+        self.ingest(result);
+        self.record(key, result);
+    }
+
+    /// The cached region result fitted under `key`, if any. The
+    /// caller rewrites `task_id`/`stage` to the re-run's plan before
+    /// replaying it as resume state.
+    pub fn cached_region(&self, key: u64) -> Option<RegionResult> {
+        let hit = self.cache.lock().get(&key).cloned();
+        if hit.is_some() {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// The current entry for a source id, if present.
+    pub fn get(&self, id: u64) -> Option<CatalogEntry> {
+        let cell = *self.id_stripe(id).lock().get(&id)?;
+        self.shard_of(cell)
+            .read()
+            .cells
+            .get(&cell)
+            .and_then(|m| m.get(&id))
+            .cloned()
+    }
+
+    /// Number of distinct sources stored.
+    pub fn len(&self) -> usize {
+        self.entries.load(Ordering::Relaxed)
+    }
+
+    /// Whether the store holds no sources.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Occupancy and traffic counters.
+    pub fn stats(&self) -> CatalogStoreStats {
+        let cells = self.shards.iter().map(|s| s.read().cells.len()).sum();
+        CatalogStoreStats {
+            entries: self.len(),
+            cells,
+            regions_ingested: self.regions_ingested.load(Ordering::Relaxed),
+            cache_entries: self.cache.lock().len(),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Visit every entry currently indexed under `cells`,
+    /// deduplicated by id (a concurrent cross-cell move can expose a
+    /// source in two cells transiently).
+    fn collect_cells(&self, cells: &[CellId], out: &mut BTreeMap<u64, CatalogEntry>) {
+        for &cell in cells {
+            let shard = self.shard_of(cell).read();
+            if let Some(map) = shard.cells.get(&cell) {
+                for (&id, e) in map {
+                    out.insert(id, e.clone());
+                }
+            }
+        }
+    }
+
+    /// Every entry in the store, deduplicated by id.
+    fn collect_all(&self, out: &mut BTreeMap<u64, CatalogEntry>) {
+        for shard in &self.shards {
+            let shard = shard.read();
+            for map in shard.cells.values() {
+                for (&id, e) in map {
+                    out.insert(id, e.clone());
+                }
+            }
+        }
+    }
+
+    /// Every source within `radius_arcsec` of `center` with its
+    /// separation, nearest first (ties by id). Agrees with the
+    /// brute-force [`Catalog::cone_search`] over the same entries,
+    /// including across the RA seam, but only touches the shards
+    /// whose cells the cone can reach.
+    pub fn cone_search(
+        &self,
+        center: &SkyCoord,
+        radius_arcsec: f64,
+    ) -> Result<Vec<(CatalogEntry, f64)>, StoreError> {
+        if !center.is_finite() {
+            return Err(StoreError::InvalidQuery("cone center is non-finite".into()));
+        }
+        if !radius_arcsec.is_finite() || radius_arcsec < 0.0 {
+            return Err(StoreError::InvalidQuery(format!(
+                "cone radius must be finite and non-negative, got {radius_arcsec}"
+            )));
+        }
+        let r_deg = radius_arcsec / 3600.0;
+        // Conservative bounding rect under the flat-sky metric: the
+        // separation scales RA by cos of the *mean* dec of the pair,
+        // which for a hit lies within r/2 of the center's dec. A tiny
+        // guard pad keeps exactly-on-boundary candidates inside; over-
+        // inclusion is harmless (the exact test below decides).
+        let pad = 1e-7;
+        let worst_dec = (center.dec.abs() + 0.5 * r_deg).min(90.0);
+        let cosw = worst_dec.to_radians().cos();
+        let half_w = if cosw > 1e-9 {
+            (r_deg / cosw + pad).min(180.0)
+        } else {
+            180.0
+        };
+        let rect = SkyRect::new(
+            center.ra - half_w,
+            center.ra + half_w,
+            (center.dec - r_deg - pad).max(-90.0),
+            (center.dec + r_deg + pad).min(90.0 + f64::EPSILON * 90.0),
+        );
+        let cells = CellId::covering(&rect, self.level);
+        let mut seen = BTreeMap::new();
+        self.collect_cells(&cells, &mut seen);
+        let mut hits: Vec<(CatalogEntry, f64)> = seen
+            .into_values()
+            .map(|e| {
+                let sep = e.pos.sep_arcsec(center);
+                (e, sep)
+            })
+            .filter(|(_, sep)| sep.is_finite() && *sep <= radius_arcsec)
+            .collect();
+        hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.id.cmp(&b.0.id)));
+        Ok(hits)
+    }
+
+    /// Every source inside `rect` (half-open, RA-wraparound honored)
+    /// passing `filter`, in ascending id order.
+    pub fn rect_search(
+        &self,
+        rect: &SkyRect,
+        filter: &SourceFilter,
+    ) -> Result<Vec<CatalogEntry>, StoreError> {
+        if ![rect.ra_min, rect.ra_max, rect.dec_min, rect.dec_max]
+            .iter()
+            .all(|v| v.is_finite())
+        {
+            return Err(StoreError::InvalidQuery(
+                "rect bounds are non-finite".into(),
+            ));
+        }
+        filter.validate()?;
+        let cells = CellId::covering(rect, self.level);
+        let mut seen = BTreeMap::new();
+        self.collect_cells(&cells, &mut seen);
+        Ok(seen
+            .into_values()
+            .filter(|e| rect.contains(&e.pos) && filter.matches(e))
+            .collect())
+    }
+
+    /// The `n` brightest sources by r-band flux, brightest first
+    /// (ties by id), optionally restricted to `within`. Sources with
+    /// non-finite flux are skipped. Agrees with the brute-force
+    /// [`Catalog::brightest_n`] over the same entries.
+    pub fn brightest_n(&self, n: usize, within: Option<&SkyRect>) -> Vec<CatalogEntry> {
+        let mut seen = BTreeMap::new();
+        match within {
+            Some(rect) => {
+                self.collect_cells(&CellId::covering(rect, self.level), &mut seen);
+                seen.retain(|_, e| rect.contains(&e.pos));
+            }
+            None => self.collect_all(&mut seen),
+        }
+        let mut bright: Vec<CatalogEntry> = seen
+            .into_values()
+            .filter(|e| e.flux_r_nmgy.is_finite())
+            .collect();
+        bright.sort_by(|a, b| {
+            b.flux_r_nmgy
+                .total_cmp(&a.flux_r_nmgy)
+                .then(a.id.cmp(&b.id))
+        });
+        bright.truncate(n);
+        bright
+    }
+
+    /// Run a self-describing [`CatalogQuery`], discarding per-hit
+    /// separations (use [`CatalogStore::cone_search`] directly if you
+    /// need them).
+    pub fn query(&self, q: &CatalogQuery) -> Result<Vec<CatalogEntry>, StoreError> {
+        match q {
+            CatalogQuery::Cone {
+                center,
+                radius_arcsec,
+            } => Ok(self
+                .cone_search(center, *radius_arcsec)?
+                .into_iter()
+                .map(|(e, _)| e)
+                .collect()),
+            CatalogQuery::Rect { rect, filter } => self.rect_search(rect, filter),
+            CatalogQuery::BrightestN { n, within } => Ok(self.brightest_n(*n, within.as_ref())),
+        }
+    }
+
+    /// Snapshot the whole store as a [`Catalog`], entries in
+    /// ascending id order — the same order the batch campaign path
+    /// emits, so a store fed by a streamed campaign snapshots to a
+    /// catalog bit-identical to the batch output.
+    pub fn to_catalog(&self) -> Catalog {
+        let mut seen = BTreeMap::new();
+        self.collect_all(&mut seen);
+        Catalog::new(seen.into_values().collect())
+    }
+}
+
+fn fold(acc: u64, bits: u64) -> u64 {
+    mix64(acc ^ mix64(bits))
+}
+
+fn entry_content_hash(e: &CatalogEntry) -> u64 {
+    let mut acc = fold(0x5EED_E27C_0000_0001, e.id);
+    for bits in [
+        e.pos.ra.to_bits(),
+        e.pos.dec.to_bits(),
+        u64::from(e.source_type == SourceType::Galaxy),
+        e.flux_r_nmgy.to_bits(),
+    ] {
+        acc = fold(acc, bits);
+    }
+    for c in e.colors {
+        acc = fold(acc, c.to_bits());
+    }
+    for bits in [
+        e.shape.frac_dev.to_bits(),
+        e.shape.axis_ratio.to_bits(),
+        e.shape.angle_rad.to_bits(),
+        e.shape.radius_arcsec.to_bits(),
+    ] {
+        acc = fold(acc, bits);
+    }
+    acc
+}
+
+/// Content hash of an entire catalog: the fold of every entry's
+/// bit-exact content, in order. Drivers fold this (for the survey's
+/// truth catalog, whose entries fully determine the rendered imagery
+/// given the survey seed) into the provenance `salt` so changed
+/// imagery invalidates cached region fits.
+pub fn catalog_content_hash(cat: &Catalog) -> u64 {
+    cat.entries.iter().fold(0x5EED_CA7A_0106_0003, |acc, e| {
+        fold(acc, entry_content_hash(e))
+    })
+}
+
+/// Content hash of everything a *stage-0* region fit is conditioned
+/// on: the task geometry and stage, the initialization-catalog
+/// entries of its own sources **and** of the fixed neighbors within
+/// the campaign's 15″ neighbor pad, the exact image set, and the fit
+/// configuration (folded into `salt` together with any
+/// survey-content hash the driver wants to pin). Two tasks with equal
+/// keys fit bit-identically, so a cached result can stand in for a
+/// refit. Stage-1 tasks additionally depend on stage-0 *outputs*;
+/// use [`plan_provenance_keys`] to fold those dependencies in.
+pub fn task_provenance_key(
+    task: &RegionTask,
+    init: &Catalog,
+    image_keys: &[ImageKey],
+    salt: u64,
+) -> u64 {
+    let mut acc = fold(0x5EED_F00D_CA7A_0001, salt);
+    acc = fold(acc, u64::from(task.stage));
+    for bits in [
+        task.rect.ra_min.to_bits(),
+        task.rect.ra_max.to_bits(),
+        task.rect.dec_min.to_bits(),
+        task.rect.dec_max.to_bits(),
+    ] {
+        acc = fold(acc, bits);
+    }
+    for &i in &task.source_indices {
+        acc = fold(acc, i as u64);
+        if let Some(e) = init.entries.get(i) {
+            acc = fold(acc, entry_content_hash(e));
+        }
+    }
+    // Fixed neighbors, selected exactly as the campaign selects them.
+    let neighbor_rect = task.rect.padded(NEIGHBOR_PAD_DEG);
+    for (i, e) in init.entries.iter().enumerate() {
+        if !task.source_indices.contains(&i) && neighbor_rect.contains(&e.pos) {
+            acc = fold(acc, i as u64);
+            acc = fold(acc, entry_content_hash(e));
+        }
+    }
+    for (field, band) in image_keys {
+        acc = fold(acc, u64::from(field.run));
+        acc = fold(acc, u64::from(field.camcol));
+        acc = fold(acc, u64::from(field.field));
+        acc = fold(acc, band.index() as u64);
+    }
+    acc
+}
+
+/// Provenance keys for a whole campaign plan, one per task, in task
+/// order. Stage-0 keys are pure [`task_provenance_key`]s; each
+/// stage-1 key additionally folds in the key of every stage-0 task
+/// whose rect intersects the stage-1 rect padded by the neighbor
+/// margin — those are exactly the tasks whose *outputs* the stage-1
+/// fit starts from (its own sources' stage-0 params) or conditions
+/// on (fixed neighbors). A change anywhere in a stage-1 task's input
+/// cone therefore changes its key and forces a refit, while
+/// untouched shards keep their keys and hit the cache.
+pub fn plan_provenance_keys<F>(
+    tasks: &[RegionTask],
+    init: &Catalog,
+    salt: u64,
+    image_keys_of: F,
+) -> Vec<u64>
+where
+    F: Fn(&RegionTask) -> Vec<ImageKey>,
+{
+    let base: Vec<u64> = tasks
+        .iter()
+        .map(|t| task_provenance_key(t, init, &image_keys_of(t), salt))
+        .collect();
+    tasks
+        .iter()
+        .zip(&base)
+        .map(|(t, &key)| {
+            if t.stage == 0 {
+                return key;
+            }
+            let dep_rect = t.rect.padded(STAGE_DEP_PAD_DEG);
+            let mut acc = key;
+            for (t0, &k0) in tasks.iter().zip(&base) {
+                if t0.stage == 0 && t0.rect.intersects(&dep_rect) {
+                    acc = fold(acc, k0);
+                }
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use celeste_survey::catalog::GalaxyShape;
+
+    fn entry(id: u64, ra: f64, dec: f64, flux: f64) -> CatalogEntry {
+        CatalogEntry {
+            id,
+            pos: SkyCoord::new(ra, dec),
+            source_type: if id.is_multiple_of(2) {
+                SourceType::Star
+            } else {
+                SourceType::Galaxy
+            },
+            flux_r_nmgy: flux,
+            colors: [0.1, 0.2, -0.1, 0.05],
+            shape: GalaxyShape::round_disk(1.5),
+        }
+    }
+
+    fn store_with(entries: &[CatalogEntry]) -> CatalogStore {
+        let store = CatalogStore::default();
+        for e in entries {
+            store.insert(e.clone());
+        }
+        store
+    }
+
+    #[test]
+    fn insert_upserts_and_moves_across_cells() {
+        let store = CatalogStore::default();
+        store.insert(entry(7, 10.0, 10.0, 1.0));
+        assert_eq!(store.len(), 1);
+        // Same cell update.
+        store.insert(entry(7, 10.001, 10.0, 2.0));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(7).unwrap().flux_r_nmgy, 2.0);
+        // Cross-cell move: far away, old cell must be vacated.
+        store.insert(entry(7, 200.0, -40.0, 3.0));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(7).unwrap().pos.ra, 200.0);
+        assert_eq!(store.stats().cells, 1);
+        assert_eq!(store.to_catalog().len(), 1);
+    }
+
+    #[test]
+    fn queries_match_brute_force_references() {
+        let entries: Vec<CatalogEntry> = (0..200)
+            .map(|i| {
+                entry(
+                    i,
+                    (i as f64 * 37.7) % 360.0,
+                    ((i as f64 * 11.3) % 120.0) - 60.0,
+                    (i as f64 * 7.1) % 50.0,
+                )
+            })
+            .collect();
+        let store = store_with(&entries);
+        let cat = Catalog::new(entries);
+        let center = SkyCoord::new(37.7, -48.7);
+        for radius in [0.0, 3600.0, 500_000.0] {
+            let got: Vec<(u64, f64)> = store
+                .cone_search(&center, radius)
+                .unwrap()
+                .iter()
+                .map(|(e, s)| (e.id, *s))
+                .collect();
+            let want: Vec<(u64, f64)> = cat
+                .cone_search(&center, radius)
+                .iter()
+                .map(|(e, s)| (e.id, *s))
+                .collect();
+            assert_eq!(got, want, "cone radius {radius}");
+        }
+        let rect = SkyRect::new(10.0, 200.0, -30.0, 45.0);
+        let got: Vec<u64> = store
+            .rect_search(&rect, &SourceFilter::default())
+            .unwrap()
+            .iter()
+            .map(|e| e.id)
+            .collect();
+        let mut want: Vec<u64> = cat.in_rect(&rect).iter().map(|e| e.id).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        let got: Vec<u64> = store.brightest_n(10, None).iter().map(|e| e.id).collect();
+        let want: Vec<u64> = cat.brightest_n(10).iter().map(|e| e.id).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn cone_search_spans_the_ra_seam() {
+        let store = store_with(&[entry(1, 359.999, 0.0, 1.0), entry(2, 0.0005, 0.0, 1.0)]);
+        let hits = store.cone_search(&SkyCoord::new(0.0, 0.0), 10.0).unwrap();
+        let ids: Vec<u64> = hits.iter().map(|(e, _)| e.id).collect();
+        assert_eq!(ids, vec![2, 1], "west-of-seam neighbor must be found");
+    }
+
+    #[test]
+    fn filters_and_invalid_queries() {
+        let mut galaxy = entry(1, 5.0, 5.0, 30.0);
+        galaxy.source_type = SourceType::Galaxy;
+        let mut star = entry(2, 5.001, 5.0, 0.5);
+        star.source_type = SourceType::Star;
+        let store = store_with(&[galaxy, star]);
+        let rect = SkyRect::new(0.0, 10.0, 0.0, 10.0);
+        let only_galaxies = SourceFilter {
+            source_type: Some(SourceType::Galaxy),
+            ..SourceFilter::default()
+        };
+        let got = store.rect_search(&rect, &only_galaxies).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].id, 1);
+        let bright_r = SourceFilter {
+            min_flux: Some((Band::R, 1.0)),
+            ..SourceFilter::default()
+        };
+        let got = store.rect_search(&rect, &bright_r).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].id, 1);
+        assert!(store
+            .cone_search(&SkyCoord::new(f64::NAN, 0.0), 1.0)
+            .is_err());
+        assert!(store.cone_search(&SkyCoord::new(0.0, 0.0), -1.0).is_err());
+        let nan_flux = SourceFilter {
+            min_flux: Some((Band::R, f64::NAN)),
+            ..SourceFilter::default()
+        };
+        assert!(store.rect_search(&rect, &nan_flux).is_err());
+    }
+
+    #[test]
+    fn provenance_keys_separate_stages_and_content() {
+        let mk_task = |id: u64, stage: u8, ra0: f64| RegionTask {
+            id,
+            stage,
+            rect: SkyRect::new(ra0, ra0 + 0.1, 0.0, 0.1),
+            source_indices: vec![0],
+            predicted_work: 1.0,
+        };
+        let init = Catalog::new(vec![entry(0, 0.05, 0.05, 1.0), entry(1, 0.09, 0.05, 2.0)]);
+        let t = mk_task(3, 0, 0.0);
+        let keys = vec![(
+            celeste_survey::skygeom::FieldId {
+                run: 1,
+                camcol: 2,
+                field: 3,
+            },
+            Band::R,
+        )];
+        let k = task_provenance_key(&t, &init, &keys, 0);
+        // Stable under irrelevant changes (task id is not an input).
+        let mut t2 = t.clone();
+        t2.id = 99;
+        assert_eq!(k, task_provenance_key(&t2, &init, &keys, 0));
+        // Sensitive to stage, salt, images, and neighbor content.
+        let mut staged = t.clone();
+        staged.stage = 1;
+        assert_ne!(k, task_provenance_key(&staged, &init, &keys, 0));
+        assert_ne!(k, task_provenance_key(&t, &init, &keys, 1));
+        assert_ne!(k, task_provenance_key(&t, &init, &[], 0));
+        let mut init2 = init.clone();
+        init2.entries[1].flux_r_nmgy += 1.0; // a fixed neighbor moved
+        assert_ne!(k, task_provenance_key(&t, &init2, &keys, 0));
+    }
+
+    #[test]
+    fn stage1_keys_fold_in_overlapping_stage0_keys() {
+        let init = Catalog::new(vec![
+            entry(0, 0.05, 0.05, 1.0),
+            entry(1, 0.15, 0.05, 2.0),
+            entry(2, 0.30, 0.05, 3.0),
+        ]);
+        let mk = |id: u64, stage: u8, ra0: f64, ra1: f64, src: Vec<usize>| RegionTask {
+            id,
+            stage,
+            rect: SkyRect::new(ra0, ra1, 0.0, 0.1),
+            source_indices: src,
+            predicted_work: 1.0,
+        };
+        let tasks = vec![
+            mk(0, 0, 0.0, 0.1, vec![0]),
+            mk(1, 0, 0.1, 0.2, vec![1]),
+            mk(2, 0, 0.25, 0.4, vec![2]),
+            mk(3, 1, 0.05, 0.15, vec![0, 1]),
+        ];
+        let keys = plan_provenance_keys(&tasks, &init, 7, |_| Vec::new());
+        // Perturb task 0's own source: its key and the overlapping
+        // stage-1 key must change; the far-away stage-0 key must not.
+        let mut init2 = init.clone();
+        init2.entries[0].pos.ra += 1e-6;
+        let keys2 = plan_provenance_keys(&tasks, &init2, 7, |_| Vec::new());
+        assert_ne!(keys[0], keys2[0]);
+        assert_ne!(keys[3], keys2[3], "stage-1 key must track stage-0 inputs");
+        assert_eq!(keys[2], keys2[2], "disjoint stage-0 task is unaffected");
+    }
+
+    #[test]
+    fn concurrent_ingest_and_query() {
+        let store = CatalogStore::new(StoreConfig {
+            level: 10,
+            lock_shards: 8,
+        });
+        std::thread::scope(|s| {
+            let writer = s.spawn(|| {
+                for i in 0..2000u64 {
+                    store.insert(entry(
+                        i % 200,
+                        (i as f64 * 0.91) % 360.0,
+                        0.05,
+                        1.0 + i as f64,
+                    ));
+                }
+            });
+            let reader = s.spawn(|| {
+                let rect = SkyRect::new(0.0, 360.0, 0.0, 0.1);
+                for _ in 0..200 {
+                    let hits = store.rect_search(&rect, &SourceFilter::default()).unwrap();
+                    // Dedup invariant: ids strictly ascending.
+                    assert!(hits.windows(2).all(|w| w[0].id < w[1].id));
+                    let _ = store.brightest_n(5, Some(&rect));
+                    let _ = store
+                        .cone_search(&SkyCoord::new(180.0, 0.05), 3600.0)
+                        .unwrap();
+                }
+            });
+            writer.join().unwrap();
+            reader.join().unwrap();
+        });
+        assert_eq!(store.len(), 200);
+        assert_eq!(store.to_catalog().len(), 200);
+    }
+}

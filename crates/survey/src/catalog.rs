@@ -97,12 +97,50 @@ impl Catalog {
     }
 
     /// Find the entry nearest to `pos`, returning `(entry, separation
-    /// arcsec)`. `None` for an empty catalog.
+    /// arcsec)`. `None` for an empty catalog, a non-finite `pos`, or a
+    /// catalog whose every position is non-finite: entries at NaN or
+    /// infinite positions (catalogs are often external data) are
+    /// skipped, never a panic.
     pub fn nearest(&self, pos: &SkyCoord) -> Option<(&CatalogEntry, f64)> {
         self.entries
             .iter()
             .map(|e| (e, e.pos.sep_arcsec(pos)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .filter(|(_, sep)| sep.is_finite())
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Every entry within `radius_arcsec` of `center`, with its
+    /// separation, sorted by (separation, id). Entries at non-finite
+    /// positions are skipped. This is the brute-force O(catalog)
+    /// reference the sharded `CatalogStore` cone search must agree
+    /// with.
+    pub fn cone_search(&self, center: &SkyCoord, radius_arcsec: f64) -> Vec<(&CatalogEntry, f64)> {
+        let mut hits: Vec<(&CatalogEntry, f64)> = self
+            .entries
+            .iter()
+            .map(|e| (e, e.pos.sep_arcsec(center)))
+            .filter(|(_, sep)| sep.is_finite() && *sep <= radius_arcsec)
+            .collect();
+        hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.id.cmp(&b.0.id)));
+        hits
+    }
+
+    /// The `n` brightest entries by r-band flux, brightest first, ties
+    /// broken by id. Entries with non-finite flux are skipped. The
+    /// brute-force reference for the store's sharded brightest-N.
+    pub fn brightest_n(&self, n: usize) -> Vec<&CatalogEntry> {
+        let mut bright: Vec<&CatalogEntry> = self
+            .entries
+            .iter()
+            .filter(|e| e.flux_r_nmgy.is_finite())
+            .collect();
+        bright.sort_by(|a, b| {
+            b.flux_r_nmgy
+                .total_cmp(&a.flux_r_nmgy)
+                .then(a.id.cmp(&b.id))
+        });
+        bright.truncate(n);
+        bright
     }
 
     /// CSV export (one header plus one row per entry) — the human- and
@@ -167,6 +205,54 @@ mod tests {
         assert!(Catalog::default()
             .nearest(&SkyCoord::new(0.0, 0.0))
             .is_none());
+    }
+
+    #[test]
+    fn nearest_skips_non_finite_entries_instead_of_panicking() {
+        // Regression: a NaN position used to abort the process via
+        // `partial_cmp().unwrap()`.
+        let cat = Catalog::new(vec![
+            entry(1, f64::NAN, 0.0),
+            entry(2, 0.01, 0.0),
+            entry(3, f64::INFINITY, 5.0),
+        ]);
+        let (e, sep) = cat.nearest(&SkyCoord::new(0.0, 0.0)).unwrap();
+        assert_eq!(e.id, 2);
+        assert!(sep.is_finite());
+        // All-NaN catalog: no finite candidate, not a panic.
+        let poisoned = Catalog::new(vec![entry(1, f64::NAN, f64::NAN)]);
+        assert!(poisoned.nearest(&SkyCoord::new(0.0, 0.0)).is_none());
+        // Non-finite query position: every separation is NaN.
+        assert!(cat.nearest(&SkyCoord::new(f64::NAN, 0.0)).is_none());
+    }
+
+    #[test]
+    fn nearest_crosses_the_ra_seam() {
+        let cat = Catalog::new(vec![entry(1, 359.999, 0.0), entry(2, 0.1, 0.0)]);
+        let (e, sep) = cat.nearest(&SkyCoord::new(0.0005, 0.0)).unwrap();
+        assert_eq!(e.id, 1, "seam neighbor must win, got sep {sep}");
+        assert!(sep < 10.0);
+    }
+
+    #[test]
+    fn cone_search_and_brightest_are_nan_safe_and_ordered() {
+        let mut bright = entry(4, 0.002, 0.0);
+        bright.flux_r_nmgy = 50.0;
+        let mut nan_flux = entry(5, 0.003, 0.0);
+        nan_flux.flux_r_nmgy = f64::NAN;
+        let cat = Catalog::new(vec![
+            entry(1, 0.0, 0.0),
+            entry(2, 359.9995, 0.0), // inside a seam-straddling cone
+            entry(3, f64::NAN, 0.0),
+            bright,
+            nan_flux,
+        ]);
+        let hits = cat.cone_search(&SkyCoord::new(0.0, 0.0), 10.0);
+        let ids: Vec<u64> = hits.iter().map(|(e, _)| e.id).collect();
+        assert_eq!(ids, vec![1, 2, 4]);
+        assert!(hits.windows(2).all(|w| w[0].1 <= w[1].1));
+        let top: Vec<u64> = cat.brightest_n(2).iter().map(|e| e.id).collect();
+        assert_eq!(top, vec![4, 1]);
     }
 
     #[test]

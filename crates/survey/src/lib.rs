@@ -47,6 +47,6 @@ pub use bands::Band;
 pub use catalog::{Catalog, CatalogEntry, GalaxyShape, SourceType};
 pub use image::Image;
 pub use priors::Priors;
-pub use skygeom::SkyCoord;
+pub use skygeom::{CellId, SkyCoord, SkyRect};
 pub use synth::{SurveyConfig, SyntheticSurvey};
 pub use wcs::Wcs;

@@ -18,16 +18,35 @@ pub struct SkyCoord {
     pub dec: f64,
 }
 
+/// Normalize a right-ascension difference to `(-180, 180]` degrees, so
+/// separations and interval tests measure the short way around the
+/// 0°/360° seam instead of treating RA as a plain number.
+pub fn wrap_dra_deg(dra: f64) -> f64 {
+    let d = dra.rem_euclid(360.0);
+    if d > 180.0 {
+        d - 360.0
+    } else {
+        d
+    }
+}
+
 impl SkyCoord {
     pub fn new(ra: f64, dec: f64) -> Self {
         SkyCoord { ra, dec }
     }
 
+    /// Whether both coordinates are finite.
+    pub fn is_finite(&self) -> bool {
+        self.ra.is_finite() && self.dec.is_finite()
+    }
+
     /// Angular separation in arcseconds (flat-sky, adequate for the
-    /// sub-degree fields this survey generates).
+    /// sub-degree fields this survey generates). The RA difference is
+    /// taken the short way around the sphere, so positions on either
+    /// side of the 0°/360° seam are neighbors, not 360° apart.
     pub fn sep_arcsec(&self, other: &SkyCoord) -> f64 {
         let cosd = (0.5 * (self.dec + other.dec)).to_radians().cos();
-        let dra = (self.ra - other.ra) * cosd;
+        let dra = wrap_dra_deg(self.ra - other.ra) * cosd;
         let ddec = self.dec - other.dec;
         (dra * dra + ddec * ddec).sqrt() * 3600.0
     }
@@ -53,8 +72,17 @@ impl SkyRect {
         }
     }
 
+    /// Whether `p` lies inside the rectangle (half-open on the max
+    /// edges). The RA interval is treated as an arc on the circle:
+    /// a rect spanning the 0°/360° seam (e.g. `ra_min = 359.9,
+    /// ra_max = 360.1`) contains `ra = 0.05`, and a point's RA may be
+    /// given in any 360° alias. Rects of RA width ≥ 360° contain every
+    /// RA.
     pub fn contains(&self, p: &SkyCoord) -> bool {
-        p.ra >= self.ra_min && p.ra < self.ra_max && p.dec >= self.dec_min && p.dec < self.dec_max
+        // dra ∈ [0, 360), so a full-circle rect (width ≥ 360) accepts
+        // every finite RA without a special case.
+        let dra = (p.ra - self.ra_min).rem_euclid(360.0);
+        dra < self.width_deg() && p.dec >= self.dec_min && p.dec < self.dec_max
     }
 
     pub fn center(&self) -> SkyCoord {
@@ -76,11 +104,18 @@ impl SkyRect {
         self.width_deg() * self.height_deg()
     }
 
+    /// Whether the two rectangles overlap with positive area. Like
+    /// [`SkyRect::contains`], the RA intervals are arcs on the circle,
+    /// so rects on opposite sides of the 0°/360° seam intersect when
+    /// their arcs do; touching edges do not count as overlap.
     pub fn intersects(&self, other: &SkyRect) -> bool {
-        self.ra_min < other.ra_max
-            && other.ra_min < self.ra_max
-            && self.dec_min < other.dec_max
-            && other.dec_min < self.dec_max
+        // Offset of the other arc's start from ours, in [0, 360).
+        // The arcs overlap iff that start falls inside our arc, or
+        // ours falls inside theirs (equivalently the offset wraps back
+        // within their width).
+        let d = (other.ra_min - self.ra_min).rem_euclid(360.0);
+        let ra_overlap = d < self.width_deg() || 360.0 - d < other.width_deg();
+        ra_overlap && self.dec_min < other.dec_max && other.dec_min < self.dec_max
     }
 
     /// Grow the rectangle by `margin_deg` on every side.
@@ -228,17 +263,19 @@ impl SurveyGeometry {
                 }
             }
         }
-        let footprint = fields
-            .iter()
-            .map(|f| f.rect)
-            .fold(fields[0].rect, |acc, r| {
+        // A degenerate config (0 stripes or 0 fields per stripe) is a
+        // legal empty footprint, not an index-out-of-bounds panic.
+        let footprint = match fields.first() {
+            None => SkyRect::new(0.0, 0.0, 0.0, 0.0),
+            Some(first) => fields.iter().map(|f| f.rect).fold(first.rect, |acc, r| {
                 SkyRect::new(
                     acc.ra_min.min(r.ra_min),
                     acc.ra_max.max(r.ra_max),
                     acc.dec_min.min(r.dec_min),
                     acc.dec_max.max(r.dec_max),
                 )
-            });
+            }),
+        };
         SurveyGeometry { fields, footprint }
     }
 
@@ -277,6 +314,147 @@ impl SurveyGeometry {
             out.push('\n');
         }
         out
+    }
+}
+
+/// Finest supported [`CellId`] level (cells of ~0.00017°); beyond this
+/// the per-level column counts would overflow `u32`.
+pub const MAX_CELL_LEVEL: u8 = 20;
+
+/// One cell of the hierarchical sky grid: at `level` L the sphere is
+/// tiled by `2·2^L × 2^L` equal cells of `180/2^L` degrees on a side
+/// (RA columns wrap around the 0°/360° seam; dec rows span ±90°).
+/// Level 0 is two hemispheric cells; each refinement splits a cell
+/// into four [`CellId::children`]. This is the spatial-partitioning
+/// shape survey catalogs shard on (MOC/HATS-style), flattened to the
+/// survey's flat-sky metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId {
+    /// Refinement level, 0 ..= [`MAX_CELL_LEVEL`].
+    pub level: u8,
+    /// RA column, `0 .. 2·2^level`, counting east from RA 0°.
+    pub ix: u32,
+    /// Dec row, `0 .. 2^level`, counting north from dec −90°.
+    pub iy: u32,
+}
+
+impl CellId {
+    /// Cell side length in degrees at `level`.
+    pub fn side_deg(level: u8) -> f64 {
+        180.0 / (1u64 << level.min(MAX_CELL_LEVEL)) as f64
+    }
+
+    /// Number of RA columns at `level`.
+    pub fn n_ra(level: u8) -> u32 {
+        2 << level.min(MAX_CELL_LEVEL)
+    }
+
+    /// Number of dec rows at `level`.
+    pub fn n_dec(level: u8) -> u32 {
+        1 << level.min(MAX_CELL_LEVEL)
+    }
+
+    /// The cell containing `p` at `level`. RA is taken mod 360°, dec
+    /// is clamped to ±90°, so every finite position maps to exactly
+    /// one cell; non-finite positions map to cell (0, 0) — callers
+    /// that care filter such entries first.
+    pub fn of(p: &SkyCoord, level: u8) -> CellId {
+        let level = level.min(MAX_CELL_LEVEL);
+        let side = CellId::side_deg(level);
+        let ra = if p.ra.is_finite() {
+            p.ra.rem_euclid(360.0)
+        } else {
+            0.0
+        };
+        let dec = if p.dec.is_finite() {
+            p.dec.clamp(-90.0, 90.0)
+        } else {
+            -90.0
+        };
+        let ix = ((ra / side) as u32).min(CellId::n_ra(level) - 1);
+        let iy = (((dec + 90.0) / side) as u32).min(CellId::n_dec(level) - 1);
+        CellId { level, ix, iy }
+    }
+
+    /// The cell's sky footprint.
+    pub fn rect(&self) -> SkyRect {
+        let side = CellId::side_deg(self.level);
+        SkyRect::new(
+            self.ix as f64 * side,
+            (self.ix + 1) as f64 * side,
+            self.iy as f64 * side - 90.0,
+            (self.iy + 1) as f64 * side - 90.0,
+        )
+    }
+
+    /// The enclosing cell one level coarser (`None` at level 0).
+    pub fn parent(&self) -> Option<CellId> {
+        if self.level == 0 {
+            return None;
+        }
+        Some(CellId {
+            level: self.level - 1,
+            ix: self.ix / 2,
+            iy: self.iy / 2,
+        })
+    }
+
+    /// The four cells tiling this one at the next finer level.
+    pub fn children(&self) -> [CellId; 4] {
+        let level = (self.level + 1).min(MAX_CELL_LEVEL);
+        let (ix, iy) = (self.ix * 2, self.iy * 2);
+        [
+            CellId { level, ix, iy },
+            CellId {
+                level,
+                ix: ix + 1,
+                iy,
+            },
+            CellId {
+                level,
+                ix,
+                iy: iy + 1,
+            },
+            CellId {
+                level,
+                ix: ix + 1,
+                iy: iy + 1,
+            },
+        ]
+    }
+
+    /// Every cell at `level` whose footprint overlaps `rect` (RA
+    /// handled periodically, like [`SkyRect::intersects`]). A point
+    /// contained in `rect` is always inside one of the returned cells.
+    pub fn covering(rect: &SkyRect, level: u8) -> Vec<CellId> {
+        let level = level.min(MAX_CELL_LEVEL);
+        let side = CellId::side_deg(level);
+        let (n_ra, n_dec) = (CellId::n_ra(level), CellId::n_dec(level));
+        let width = rect.width_deg();
+        let height = rect.height_deg();
+        if !(width > 0.0 && height > 0.0) {
+            return Vec::new();
+        }
+        // Dec rows whose (half-open) span overlaps the rect's.
+        let lo = ((rect.dec_min.clamp(-90.0, 90.0) + 90.0) / side) as u32;
+        let hi_edge = (rect.dec_max.clamp(-90.0, 90.0) + 90.0) / side;
+        let hi = (hi_edge.ceil() as i64 - 1).clamp(0, (n_dec - 1) as i64) as u32;
+        // RA columns, walked eastward from the one containing ra_min;
+        // a column is covered while its start angle precedes the arc's
+        // (unwrapped) end.
+        let start = rect.ra_min.rem_euclid(360.0);
+        let end = start + width.min(360.0);
+        let c0 = ((start / side) as u32).min(n_ra - 1);
+        let mut cells = Vec::new();
+        let mut k = 0u32;
+        while k < n_ra && (c0 + k) as f64 * side < end {
+            let ix = (c0 + k) % n_ra;
+            for iy in lo.min(n_dec - 1)..=hi {
+                cells.push(CellId { level, ix, iy });
+            }
+            k += 1;
+        }
+        cells
     }
 }
 
@@ -346,5 +524,133 @@ mod tests {
         let n = ids.len();
         ids.dedup();
         assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn sep_arcsec_wraps_the_ra_seam() {
+        // 0.001° apart across the seam, not 359.998° apart.
+        let a = SkyCoord::new(359.9995, 0.0);
+        let b = SkyCoord::new(0.0005, 0.0);
+        assert!(
+            (a.sep_arcsec(&b) - 3.6).abs() < 1e-6,
+            "{}",
+            a.sep_arcsec(&b)
+        );
+        assert!((b.sep_arcsec(&a) - 3.6).abs() < 1e-6);
+        // Aliased RA values measure the same separation.
+        let c = SkyCoord::new(-0.0005, 0.0);
+        assert!((a.sep_arcsec(&b) - c.sep_arcsec(&b)).abs() < 1e-9);
+        // The long way is never reported: antipodal-in-RA is 180°.
+        let d = SkyCoord::new(190.0, 0.0);
+        let e = SkyCoord::new(10.0, 0.0);
+        assert!((d.sep_arcsec(&e) / 3600.0 - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rect_contains_and_intersects_across_the_seam() {
+        let r = SkyRect::new(359.9, 360.1, -0.5, 0.5);
+        assert!(r.contains(&SkyCoord::new(0.05, 0.0)));
+        assert!(r.contains(&SkyCoord::new(359.95, 0.0)));
+        assert!(r.contains(&SkyCoord::new(-0.05, 0.0)), "aliased ra");
+        assert!(!r.contains(&SkyCoord::new(0.15, 0.0)));
+        assert!(!r.contains(&SkyCoord::new(180.0, 0.0)));
+        assert!(r.intersects(&SkyRect::new(0.05, 1.0, 0.0, 1.0)));
+        assert!(SkyRect::new(0.05, 1.0, 0.0, 1.0).intersects(&r));
+        assert!(!r.intersects(&SkyRect::new(0.1, 1.0, 0.0, 1.0)), "touching");
+        assert!(!r.intersects(&SkyRect::new(10.0, 20.0, 0.0, 1.0)));
+        // Non-wrapping behavior is unchanged.
+        let p = SkyRect::new(0.0, 1.0, 0.0, 1.0);
+        assert!(p.contains(&SkyCoord::new(0.5, 0.5)));
+        assert!(!p.contains(&SkyCoord::new(1.5, 0.5)));
+        assert!(!p.contains(&SkyCoord::new(0.5, f64::NAN)));
+        assert!(!p.contains(&SkyCoord::new(f64::NAN, 0.5)));
+    }
+
+    #[test]
+    fn degenerate_geometry_configs_yield_empty_footprints() {
+        for cfg in [
+            GeometryConfig {
+                n_stripes: 0,
+                ..GeometryConfig::default()
+            },
+            GeometryConfig {
+                fields_per_stripe: 0,
+                ..GeometryConfig::default()
+            },
+        ] {
+            let g = SurveyGeometry::generate(&cfg);
+            assert!(g.fields.is_empty());
+            assert_eq!(g.footprint.area_sq_deg(), 0.0);
+            assert!(g.fields_containing(&SkyCoord::new(0.0, 0.0)).is_empty());
+            assert!(g
+                .fields_intersecting(&SkyRect::new(0.0, 1.0, 0.0, 1.0))
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn cell_of_and_rect_are_consistent() {
+        for level in [0u8, 2, 5, 9] {
+            for &(ra, dec) in &[
+                (0.0, 0.0),
+                (359.999, -89.999),
+                (0.001, 89.9),
+                (180.0, 45.0),
+                (-0.5, -45.0), // aliased ra
+                (725.0, 0.0),  // aliased ra
+            ] {
+                let p = SkyCoord::new(ra, dec);
+                let cell = CellId::of(&p, level);
+                assert!(cell.ix < CellId::n_ra(level));
+                assert!(cell.iy < CellId::n_dec(level));
+                assert!(
+                    cell.rect().contains(&p),
+                    "cell {cell:?} does not contain ({ra}, {dec})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cell_hierarchy_roundtrips() {
+        let p = SkyCoord::new(123.4, -12.3);
+        let cell = CellId::of(&p, 7);
+        assert_eq!(cell.parent().unwrap(), CellId::of(&p, 6));
+        assert!(cell.parent().unwrap().children().contains(&cell));
+        assert!(CellId::of(&p, 0).parent().is_none());
+    }
+
+    #[test]
+    fn covering_finds_every_containing_cell() {
+        let level = 6;
+        // Straddle the seam and a cell boundary.
+        let rect = SkyRect::new(359.4, 360.8, -1.3, 2.2);
+        let cells = CellId::covering(&rect, level);
+        assert!(!cells.is_empty());
+        // Every returned cell genuinely intersects, and every point of
+        // a fine sample grid inside the rect lands in a returned cell.
+        for c in &cells {
+            assert!(c.rect().intersects(&rect), "{c:?}");
+        }
+        for i in 0..40 {
+            for j in 0..40 {
+                let p = SkyCoord::new(
+                    359.4 + 1.4 * (i as f64 + 0.5) / 40.0,
+                    -1.3 + 3.5 * (j as f64 + 0.5) / 40.0,
+                );
+                assert!(rect.contains(&p));
+                assert!(
+                    cells.contains(&CellId::of(&p, level)),
+                    "point ({}, {}) in no covering cell",
+                    p.ra,
+                    p.dec
+                );
+            }
+        }
+        // Degenerate rects cover nothing.
+        assert!(CellId::covering(&SkyRect::new(1.0, 1.0, 0.0, 1.0), level).is_empty());
+        // A full-sky rect covers every cell exactly once.
+        let all = CellId::covering(&SkyRect::new(0.0, 360.0, -90.0, 90.0), 2);
+        assert_eq!(all.len(), (CellId::n_ra(2) * CellId::n_dec(2)) as usize);
     }
 }

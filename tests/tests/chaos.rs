@@ -204,6 +204,78 @@ fn injected_panics_retry_to_success_or_quarantine_exactly_once() {
 }
 
 #[test]
+fn store_fed_by_a_faulty_campaign_holds_exactly_the_surviving_regions() {
+    silence_injected_panics();
+    let (survey, store, init, tasks) = fixture("store");
+    let priors = ModelPriors::new(Priors::sdss_default());
+    // Same seed as the quarantine test: some tasks panic through the
+    // whole retry budget, the rest survive.
+    let faults = FaultPlan {
+        seed: 193,
+        panic_rate: 0.4,
+        ..Default::default()
+    };
+    let retry = RetryPolicy {
+        max_attempts: 3,
+        ..Default::default()
+    };
+    let cfg = quick_cfg(1, retry, faults);
+    let clock = Arc::new(VirtualClock::default());
+    let catalog = celeste_store::CatalogStore::default();
+    let (tx, rx) = crossbeam::channel::unbounded();
+    let report = std::thread::scope(|s| {
+        let handle = s.spawn(|| {
+            let run = run_campaign_with(
+                &survey,
+                &store,
+                &init,
+                &tasks,
+                &priors,
+                &cfg,
+                RunOptions {
+                    sink: Some(&tx),
+                    clock: Some(clock),
+                    ..Default::default()
+                },
+            );
+            drop(tx);
+            run
+        });
+        // Feed the store live, while faults fire and leases churn.
+        for r in rx.iter() {
+            catalog.ingest(&r);
+        }
+        let (_, report) = handle.join().unwrap().unwrap();
+        report
+    });
+
+    let quarantined: std::collections::HashSet<u64> =
+        report.failed_regions.iter().map(|f| f.task_id).collect();
+    assert!(
+        !quarantined.is_empty() && quarantined.len() < tasks.len(),
+        "seed should quarantine some tasks and let others survive"
+    );
+    // The store holds exactly the sources fitted by surviving
+    // regions: a quarantined region contributes nothing, and a
+    // source in a quarantined stage-0 task can still arrive via a
+    // surviving stage-1 task (and vice versa).
+    let mut expected: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    for t in tasks.iter().filter(|t| !quarantined.contains(&t.id)) {
+        for &i in &t.source_indices {
+            expected.insert(init.entries[i].id);
+        }
+    }
+    let got: std::collections::HashSet<u64> =
+        catalog.to_catalog().entries.iter().map(|e| e.id).collect();
+    assert_eq!(got, expected, "store contents vs surviving regions");
+    assert_eq!(catalog.len(), expected.len());
+    assert_eq!(
+        catalog.stats().regions_ingested,
+        report.tasks_completed as u64
+    );
+}
+
+#[test]
 fn transient_io_failures_heal_with_retry() {
     let (survey, store, init, tasks) = fixture("io");
     let priors = ModelPriors::new(Priors::sdss_default());

@@ -1,0 +1,427 @@
+//! CatalogStore integration suite: the sky-sharded store must be a
+//! *view* over the campaign, not a different catalog.
+//!
+//! * Streaming parity — a store fed live by
+//!   `Session::run_campaign_into_store` snapshots to a catalog
+//!   bit-identical to the legacy batch output, at explicit 1- and
+//!   2-thread executor pools.
+//! * Provenance cache — an unchanged re-run restores every shard
+//!   from cache and refits none; perturbing one initialization entry
+//!   refits only the shards whose input cone contains it, and the
+//!   mixed cached/refit catalog still matches a from-scratch run.
+//! * Query correctness — property tests pit the sharded cone,
+//!   rect, and brightest-N paths against the brute-force `Catalog`
+//!   references over random skies, including the RA seam.
+//! * Concurrency — readers query (and agree with invariants) while
+//!   a 2-thread campaign is still filling the store.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use celeste::{
+    CatalogQuery, CatalogStore, Celeste, CelesteError, FitConfig, Session, SourceFilter,
+    StoreConfig, StoreError,
+};
+use celeste_par::ThreadPool;
+use celeste_sched::{partition_sky, run_campaign, stage_survey, PartitionConfig, RegionTask};
+use celeste_survey::catalog::{CatalogEntry, GalaxyShape, SourceType};
+use celeste_survey::io::ImageStore;
+use celeste_survey::skygeom::{GeometryConfig, SkyCoord, SkyRect};
+use celeste_survey::synth::{SurveyConfig, SyntheticSurvey};
+use celeste_survey::Catalog;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn tiny_survey() -> SyntheticSurvey {
+    SyntheticSurvey::generate(SurveyConfig {
+        geometry: GeometryConfig {
+            n_stripes: 1,
+            fields_per_stripe: 2,
+            deep_stripe: None,
+            epochs_per_stripe: 1,
+            ..GeometryConfig::default()
+        },
+        pixels_per_field: 64,
+        source_density_per_sq_deg: 2500.0,
+        ..SurveyConfig::default()
+    })
+}
+
+fn quick_fit() -> FitConfig {
+    FitConfig {
+        bca_passes: 1,
+        newton: celeste::NewtonConfig {
+            max_iters: 10,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn campaign_fixture(
+    tag: &str,
+) -> (
+    SyntheticSurvey,
+    ImageStore,
+    Catalog,
+    Vec<RegionTask>,
+    std::path::PathBuf,
+) {
+    let survey = tiny_survey();
+    let dir = std::env::temp_dir().join(format!("celeste-store-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = ImageStore::open(&dir).unwrap();
+    stage_survey(&survey, &store);
+    let mut init = survey.truth.clone();
+    for e in &mut init.entries {
+        e.flux_r_nmgy *= 0.7;
+    }
+    let tasks = partition_sky(
+        &init,
+        &survey.geometry.footprint,
+        &PartitionConfig {
+            target_work: 600.0,
+            max_sources: 40,
+            ..Default::default()
+        },
+    );
+    assert!(tasks.len() >= 2, "want multiple tasks, got {}", tasks.len());
+    (survey, store, init, tasks, dir)
+}
+
+fn parity_session() -> Session {
+    // n_nodes = 1 makes the Dtree pop order deterministic; threads = 2
+    // keeps the Cyclades batch structure fixed across executor widths.
+    Celeste::builder()
+        .threads(2)
+        .n_nodes(1)
+        .fit(quick_fit())
+        .build()
+        .unwrap()
+}
+
+fn assert_catalogs_bitwise_equal(got: &Catalog, want: &Catalog, what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: entry counts differ");
+    for (g, w) in got.entries.iter().zip(&want.entries) {
+        assert_eq!(g.id, w.id, "{what}: id order diverged");
+        assert_eq!(g, w, "{what}: source {} diverged", g.id);
+    }
+}
+
+#[test]
+fn streamed_store_matches_batch_catalog_bitwise_at_1_and_2_threads() {
+    let (survey, store, init, tasks, dir) = campaign_fixture("parity");
+    let session = parity_session();
+    let legacy_cfg = session.config().campaign();
+    let priors = session.config().priors.clone();
+
+    // Live streaming ingest: the store fills while the campaign runs.
+    let catalog = CatalogStore::default();
+    let outcome = session
+        .run_campaign_into_store(&survey, &store, &init, &tasks, &catalog)
+        .unwrap();
+    assert_eq!(outcome.report.tasks_completed, tasks.len());
+    assert_eq!(outcome.report.tasks_restored, 0, "first run has no cache");
+    let streamed = catalog.to_catalog();
+    assert_eq!(streamed.len(), init.len());
+
+    // The batch catalog at explicit executor widths 1 and 2 must be
+    // bit-identical to the streamed store's snapshot.
+    for width in [1usize, 2] {
+        let pool = ThreadPool::new(width);
+        let (legacy_params, _) =
+            pool.install(|| run_campaign(&survey, &store, &init, &tasks, &priors, &legacy_cfg));
+        let mut batch: Vec<CatalogEntry> = legacy_params.iter().map(|sp| sp.to_entry()).collect();
+        batch.sort_by_key(|e| e.id);
+        assert_catalogs_bitwise_equal(
+            &streamed,
+            &Catalog::new(batch),
+            &format!("streamed store vs batch at width {width}"),
+        );
+    }
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unchanged_rerun_restores_every_shard_and_refits_none() {
+    let (survey, store, init, tasks, dir) = campaign_fixture("cache");
+    let session = parity_session();
+    let catalog = CatalogStore::default();
+
+    let first = session
+        .run_campaign_into_store(&survey, &store, &init, &tasks, &catalog)
+        .unwrap();
+    assert_eq!(first.report.tasks_restored, 0);
+    let snap1 = catalog.to_catalog();
+
+    // Same imagery, same config, same plan: every shard is served
+    // from the provenance cache and nothing is refit.
+    let second = session
+        .run_campaign_into_store(&survey, &store, &init, &tasks, &catalog)
+        .unwrap();
+    assert_eq!(
+        second.report.tasks_restored,
+        tasks.len(),
+        "unchanged re-run must refit 0 shards"
+    );
+    assert_eq!(second.report.tasks_completed, tasks.len());
+    let snap2 = catalog.to_catalog();
+    assert_catalogs_bitwise_equal(&snap2, &snap1, "cached re-run");
+    assert!(catalog.stats().cache_hits >= tasks.len() as u64);
+    for (a, b) in first.params.iter().zip(&second.params) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.params, b.params, "restored params diverged for {}", a.id);
+    }
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn perturbed_init_refits_only_the_affected_shards() {
+    let (survey, store, init, tasks, dir) = campaign_fixture("perturb");
+    let session = parity_session();
+    let catalog = CatalogStore::default();
+    session
+        .run_campaign_into_store(&survey, &store, &init, &tasks, &catalog)
+        .unwrap();
+
+    // Nudge one initialization entry: only tasks whose input cone
+    // (own sources, fixed neighbors, or stage-0 dependencies) sees
+    // the change may refit; the rest must restore from cache.
+    let mut init2 = init.clone();
+    init2.entries[0].flux_r_nmgy *= 1.10;
+    let rerun = session
+        .run_campaign_into_store(&survey, &store, &init2, &tasks, &catalog)
+        .unwrap();
+    assert!(
+        rerun.report.tasks_restored < tasks.len(),
+        "the perturbed shard must refit"
+    );
+    assert!(
+        rerun.report.tasks_restored > 0,
+        "shards away from the perturbation must restore from cache \
+         ({} tasks total)",
+        tasks.len()
+    );
+
+    // The mixed cached/refit catalog must equal a from-scratch run
+    // over the perturbed initialization, bit for bit — the cache may
+    // only skip work, never change the answer.
+    let fresh = CatalogStore::default();
+    session
+        .run_campaign_into_store(&survey, &store, &init2, &tasks, &fresh)
+        .unwrap();
+    assert_catalogs_bitwise_equal(
+        &catalog.to_catalog(),
+        &fresh.to_catalog(),
+        "cached+refit vs from-scratch",
+    );
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn queries_serve_while_a_campaign_streams_into_the_store() {
+    let (survey, store, init, tasks, dir) = campaign_fixture("live");
+    let session = parity_session();
+    let catalog = CatalogStore::default();
+    let done = AtomicBool::new(false);
+    let window = survey.geometry.footprint.padded(0.5);
+    let center = SkyCoord::new(
+        0.5 * (window.ra_min + window.ra_max),
+        0.5 * (window.dec_min + window.dec_max),
+    );
+
+    let outcome = std::thread::scope(|s| {
+        let reader = s.spawn(|| {
+            let mut polls = 0u64;
+            while !done.load(Ordering::Acquire) {
+                let hits = catalog
+                    .rect_search(&window, &SourceFilter::default())
+                    .unwrap();
+                assert!(
+                    hits.windows(2).all(|w| w[0].id < w[1].id),
+                    "rect results must be id-sorted and duplicate-free"
+                );
+                let bright = catalog.brightest_n(5, None);
+                assert!(bright
+                    .windows(2)
+                    .all(|w| w[0].flux_r_nmgy >= w[1].flux_r_nmgy));
+                let cone = session
+                    .query(
+                        &catalog,
+                        &CatalogQuery::Cone {
+                            center,
+                            radius_arcsec: 3.0 * 3600.0,
+                        },
+                    )
+                    .unwrap();
+                assert!(cone.len() <= catalog.len());
+                polls += 1;
+            }
+            polls
+        });
+        let outcome = session
+            .run_campaign_into_store(&survey, &store, &init, &tasks, &catalog)
+            .unwrap();
+        done.store(true, Ordering::Release);
+        let polls = reader.join().unwrap();
+        assert!(polls > 0, "reader must have observed the store");
+        outcome
+    });
+    assert_eq!(outcome.report.tasks_completed, tasks.len());
+    assert_eq!(catalog.len(), init.len());
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_queries_are_typed_errors_through_the_session() {
+    let session = parity_session();
+    let catalog = CatalogStore::default();
+    match session.query(
+        &catalog,
+        &CatalogQuery::Cone {
+            center: SkyCoord::new(f64::NAN, 0.0),
+            radius_arcsec: 10.0,
+        },
+    ) {
+        Err(CelesteError::Store(StoreError::InvalidQuery(_))) => {}
+        other => panic!("want InvalidQuery error, got {:?}", other.map(|_| ())),
+    }
+    match session.query(
+        &catalog,
+        &CatalogQuery::Cone {
+            center: SkyCoord::new(0.0, 0.0),
+            radius_arcsec: -1.0,
+        },
+    ) {
+        Err(CelesteError::Store(StoreError::InvalidQuery(_))) => {}
+        other => panic!("want InvalidQuery error, got {:?}", other.map(|_| ())),
+    }
+}
+
+/// A random sky with deliberate clustering at the RA seam and at
+/// cell boundaries, so the sharded paths are exercised where they
+/// are most likely to disagree with brute force.
+fn random_sky(n: usize, seed: u64, level: u8) -> Vec<CatalogEntry> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let side = 180.0 / f64::from(1u32 << level.min(20));
+    (0..n as u64)
+        .map(|id| {
+            let (ra, dec) = match id % 4 {
+                // Hug the RA seam from both sides.
+                0 => (
+                    (360.0 + (rng.random::<f64>() - 0.5) * 0.01) % 360.0,
+                    (rng.random::<f64>() - 0.5) * 20.0,
+                ),
+                // Hug a shard (cell) boundary.
+                1 => (
+                    (rng.random::<f64>() * 359.0 / side).floor() * side
+                        + (rng.random::<f64>() - 0.5) * 1e-4,
+                    (rng.random::<f64>() - 0.5) * 170.0,
+                ),
+                _ => (
+                    rng.random::<f64>() * 360.0,
+                    (rng.random::<f64>() - 0.5) * 178.0,
+                ),
+            };
+            CatalogEntry {
+                id,
+                pos: SkyCoord::new(ra.rem_euclid(360.0), dec),
+                source_type: if id % 3 == 0 {
+                    SourceType::Galaxy
+                } else {
+                    SourceType::Star
+                },
+                flux_r_nmgy: rng.random::<f64>() * 100.0,
+                colors: [0.1, 0.2, -0.1, 0.05],
+                shape: GalaxyShape::round_disk(1.0),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sharded_queries_match_brute_force_over_random_skies(
+        seed in 0..1000u64,
+        n in 30..250usize,
+        level in 4..12u32,
+        ra_c in 0.0..360.0f64,
+        dec_c in -85.0..85.0f64,
+        radius in 0.0..150_000.0f64,
+        width in 0.0..40.0f64,
+        k in 0..40usize,
+    ) {
+        let level = level as u8;
+        let entries = random_sky(n, seed, level);
+        let store = CatalogStore::new(StoreConfig { level, lock_shards: 8 });
+        for e in &entries {
+            store.insert(e.clone());
+        }
+        let cat = Catalog::new(entries);
+
+        // Cone search, including cones straddling the seam.
+        let center = SkyCoord::new(ra_c, dec_c);
+        let got: Vec<(u64, u64)> = store
+            .cone_search(&center, radius)
+            .unwrap()
+            .iter()
+            .map(|(e, s)| (e.id, s.to_bits()))
+            .collect();
+        let want: Vec<(u64, u64)> = cat
+            .cone_search(&center, radius)
+            .iter()
+            .map(|(e, s)| (e.id, s.to_bits()))
+            .collect();
+        prop_assert_eq!(got, want, "cone at ({}, {}) r={}", ra_c, dec_c, radius);
+
+        // Rect search, including rects wrapping past RA 360.
+        let rect = SkyRect::new(ra_c, ra_c + width, (dec_c - 10.0).max(-90.0), dec_c);
+        let got: Vec<u64> = store
+            .rect_search(&rect, &SourceFilter::default())
+            .unwrap()
+            .iter()
+            .map(|e| e.id)
+            .collect();
+        let mut want: Vec<u64> = cat.in_rect(&rect).iter().map(|e| e.id).collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+
+        // Brightest-N, global and windowed.
+        let got: Vec<u64> = store.brightest_n(k, None).iter().map(|e| e.id).collect();
+        let want: Vec<u64> = cat.brightest_n(k).iter().map(|e| e.id).collect();
+        prop_assert_eq!(got, want);
+        let got: Vec<u64> = store
+            .brightest_n(k, Some(&rect))
+            .iter()
+            .map(|e| e.id)
+            .collect();
+        let windowed = Catalog::new(cat.in_rect(&rect).into_iter().cloned().collect());
+        let want: Vec<u64> = windowed.brightest_n(k).iter().map(|e| e.id).collect();
+        prop_assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn store_ids_cover_exactly_the_initialization_catalog() {
+    let (survey, store, init, tasks, dir) = campaign_fixture("cover");
+    let session = parity_session();
+    let catalog = CatalogStore::default();
+    session
+        .run_campaign_into_store(&survey, &store, &init, &tasks, &catalog)
+        .unwrap();
+    let got: HashSet<u64> = catalog.to_catalog().entries.iter().map(|e| e.id).collect();
+    let want: HashSet<u64> = init.entries.iter().map(|e| e.id).collect();
+    assert_eq!(got, want);
+    for id in &want {
+        assert!(catalog.get(*id).is_some(), "id {id} missing from get()");
+    }
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+}
