@@ -29,10 +29,12 @@
 //!
 //! Usage: `cargo run --release --bin hotpath_profile [out.json]`
 
+use celeste_core::bvn::{PreparedGalaxy, PreparedStar, RouteCounts};
 use celeste_core::likelihood::{
-    add_likelihood_dense, add_likelihood_into, likelihood_value_into, LikScratch,
+    add_likelihood_dense, add_likelihood_into, galaxy_geo, likelihood_value_into, LikScratch,
 };
 use celeste_core::newton::workspace_builds;
+use celeste_core::params::ids;
 use celeste_core::{BuildScratch, FitConfig, ModelPriors, SourceParams, NUM_PARAMS};
 use celeste_linalg::Mat;
 use celeste_survey::{Image, Priors};
@@ -90,6 +92,35 @@ fn main() {
         "profiling over {pixels} active pixels, {} image blocks",
         problem.blocks.len()
     );
+
+    // Chunk-route histogram over the profiled scene: replays the
+    // dispatched derivative kernel's routing (skip / batch / masked /
+    // scalar) for both appearances at every active pixel, so a
+    // routing regression — e.g. boundary chunks falling off the
+    // masked route back to scalar — is visible in the committed
+    // record, not just in aggregate ns/px.
+    let mut routes = RouteCounts::default();
+    {
+        let u = [sp.params[ids::U[0]], sp.params[ids::U[1]]];
+        let geo = galaxy_geo(&sp.params);
+        let mut star = PreparedStar::default();
+        let mut gal = PreparedGalaxy::default();
+        for block in &problem.blocks {
+            star.prepare(&block.psf, block.center0, u, &block.jac, problem.cull_tol);
+            gal.prepare(
+                &block.psf,
+                &geo,
+                block.center0,
+                u,
+                &block.jac,
+                problem.cull_tol,
+            );
+            for px in &block.pixels {
+                routes.add(&star.route_counts(px.px, px.py));
+                routes.add(&gal.route_counts(px.px, px.py));
+            }
+        }
+    }
 
     // Value-only path (workspace form, as the optimizer runs it,
     // culling included).
@@ -207,9 +238,38 @@ fn main() {
     // FMA-path baseline).
     let kernel_dispatch = celeste_linalg::fused::kernel_isa();
 
+    // Benchmark-of-record sanity check: the derivative/value ratio is
+    // a pure shape property of the kernels (scene- and machine-rate
+    // independent to first order), so a large drift flags a silent
+    // value- or derivative-path regression even when absolute timings
+    // moved with the hardware. Warn, don't fail: the committed record
+    // may be from a different dispatch tier.
+    let new_ratio = packed_s / value_s;
+    if let Ok(prev) = std::fs::read_to_string(&out_path) {
+        if let Some(prev_ratio) = prev
+            .lines()
+            .find(|l| l.contains("\"deriv_over_value_ratio\""))
+            .and_then(|l| l.split(':').nth(1))
+            .and_then(|v| v.trim().trim_end_matches(',').parse::<f64>().ok())
+        {
+            let drift = (new_ratio / prev_ratio - 1.0).abs();
+            if drift > 0.20 {
+                eprintln!(
+                    "WARNING: deriv_over_value_ratio {new_ratio:.3} drifts {:.0}% from the \
+                     benchmark of record ({prev_ratio:.3}) — check for a silent value- or \
+                     derivative-path regression",
+                    drift * 100.0
+                );
+            }
+        }
+    }
+
     let json = format!(
-        "{{\n  \"bench\": \"hotpath\",\n  \"scene\": \"stripe82 brightest source, 5 bands\",\n  \"kernel_dispatch\": \"{kernel_dispatch}\",\n  \"active_pixels\": {pixels},\n  \"value_ns_per_pixel\": {value_ns_px:.2},\n  \"deriv_dense_ns_per_pixel\": {dense_ns_px:.2},\n  \"deriv_packed_ns_per_pixel\": {packed_ns_px:.2},\n  \"deriv_speedup_vs_dense\": {speedup:.3},\n  \"deriv_over_value_ratio\": {:.3},\n  \"fit_single_source_ms\": {:.3},\n  \"fits_per_sec\": {:.2},\n  \"workspace_builds_per_fit\": {ws_builds_per_fit:.3},\n  \"region_threads\": {region_threads},\n  \"region_fits_per_sec_1t\": {region_1t:.2},\n  \"region_fits_per_sec_nt\": {region_nt:.2},\n  \"region_scaling\": {region_scaling:.3}\n}}\n",
-        packed_s / value_s,
+        "{{\n  \"bench\": \"hotpath\",\n  \"scene\": \"stripe82 brightest source, 5 bands\",\n  \"kernel_dispatch\": \"{kernel_dispatch}\",\n  \"active_pixels\": {pixels},\n  \"value_ns_per_pixel\": {value_ns_px:.2},\n  \"deriv_dense_ns_per_pixel\": {dense_ns_px:.2},\n  \"deriv_packed_ns_per_pixel\": {packed_ns_px:.2},\n  \"deriv_speedup_vs_dense\": {speedup:.3},\n  \"deriv_over_value_ratio\": {new_ratio:.3},\n  \"chunk_routes\": {{ \"skip\": {}, \"batch\": {}, \"masked\": {}, \"scalar\": {} }},\n  \"fit_single_source_ms\": {:.3},\n  \"fits_per_sec\": {:.2},\n  \"workspace_builds_per_fit\": {ws_builds_per_fit:.3},\n  \"region_threads\": {region_threads},\n  \"region_fits_per_sec_1t\": {region_1t:.2},\n  \"region_fits_per_sec_nt\": {region_nt:.2},\n  \"region_scaling\": {region_scaling:.3}\n}}\n",
+        routes.skip,
+        routes.batch,
+        routes.masked,
+        routes.scalar,
         fit_s * 1e3,
         1.0 / fit_s,
     );
@@ -218,9 +278,10 @@ fn main() {
     eprintln!("wrote {out_path}");
     // Gate raised 1.5x → 1.8x (PR 2: culled, lane-batched kernel),
     // 1.8x → 2.6x (PR 4: component-batched SIMD assembly + factored
-    // block sums; only enforced on the FMA instantiation — the
-    // portable one has no SIMD assembly to gate).
-    let gate = if kernel_dispatch == "fma" { 2.6 } else { 1.8 };
+    // block sums), 2.6x → 2.8x (PR 8: tiled rank-2 triangle folds +
+    // masked-SoA survivor batching; only enforced on the FMA
+    // instantiation — the portable one has no SIMD assembly to gate).
+    let gate = if kernel_dispatch == "fma" { 2.8 } else { 1.8 };
     if speedup < gate {
         eprintln!(
             "WARNING: packed-vs-dense speedup {speedup:.3} ({kernel_dispatch} dispatch) \

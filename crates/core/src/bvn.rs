@@ -164,6 +164,18 @@ use celeste_linalg::fused::HwFma;
 /// SIMD lockstep (4 × f64 = one AVX2 register).
 pub const EXP_BATCH: usize = 4;
 
+/// Survivor count at which a mixed-survival 4-wide group routes to
+/// the masked SoA batch (`ChunkRoute::Masked`) instead of scalar
+/// streaming. The masked batch costs one `exp4` + one
+/// `eval_block4` pass regardless of how many lanes are alive (dead
+/// lanes run with `e = 0`, so every one of their contributions — all
+/// of which multiply through `wn`/`dwn`/`d²wn·e` — vanishes exactly),
+/// while scalar streaming costs one libm `exp` + one `eval_block`
+/// per survivor. Measured on the benchmark container (`bvn_probe`):
+/// the batch beats two scalar survivors and roughly ties one, so the
+/// break-even is 2 of 4; a lone survivor stays scalar.
+pub const MASKED_BREAK_EVEN: usize = 2;
+
 /// The screening polynomial envelope `f(q) = (1+q)²·e^{−q/2}`:
 /// monotonically decreasing for `q ≥ 3` (its maximizer). Its log,
 /// `ln f(q) = 2·ln(1+q) − q/2`, is what the threshold solve uses;
@@ -763,6 +775,12 @@ impl PreparedStar {
     pub fn eval_value_portable(&self, px: f64, py: f64) -> f64 {
         eval_value_lanes_impl::<ScalarMadd>(&self.lanes, self.center, px, py)
     }
+
+    /// Chunk-route histogram the dispatched derivative kernel takes
+    /// at this pixel (diagnostics only; see [`RouteCounts`]).
+    pub fn route_counts(&self, px: f64, py: f64) -> RouteCounts {
+        route_counts_lanes(&self.lanes, self.center, px, py)
+    }
 }
 
 impl Default for PreparedGalaxy {
@@ -900,6 +918,12 @@ impl PreparedGalaxy {
     pub fn eval_value_portable(&self, px: f64, py: f64) -> f64 {
         eval_value_lanes_impl::<ScalarMadd>(&self.lanes, self.center, px, py)
     }
+
+    /// Chunk-route histogram the dispatched derivative kernel takes
+    /// at this pixel (diagnostics only; see [`RouteCounts`]).
+    pub fn route_counts(&self, px: f64, py: f64) -> RouteCounts {
+        route_counts_lanes(&self.lanes, self.center, px, py)
+    }
 }
 
 fn apply_offset(center0: [f64; 2], u: [f64; 2], jac: &[[f64; 2]; 2]) -> [f64; 2] {
@@ -964,18 +988,22 @@ fn eval_value_lanes(lanes: &Lanes, center: [f64; 2], px: f64, py: f64) -> f64 {
 ///   lane survives a full (8) or final half (4) chunk: unmasked
 ///   [`exp4`] batches with fixed straight-line indices (the
 ///   source-core common case);
-/// * [`ChunkRoute::Scalar`] — mixed survival: per-survivor scalar
-///   streaming (a handful of boundary chunks per pixel; batching the
-///   stragglers was measured slower).
-#[cfg(target_arch = "x86_64")]
+/// * [`ChunkRoute::Masked`] — mixed survival where at least one
+///   aligned 4-wide group has ≥ [`MASKED_BREAK_EVEN`] survivors
+///   (popcount per group): qualifying groups run the dense SoA batch
+///   with dead lanes masked to `e = 0`, the rest stream scalar (the
+///   boundary-pixel recovery route);
+/// * [`ChunkRoute::Scalar`] — mixed survival too sparse for masking:
+///   per-survivor scalar streaming.
+#[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))] // payloads read by the SIMD kernels
 enum ChunkRoute {
     Skip,
     BatchFull,
     BatchHalf,
+    Masked([bool; LANE]),
     Scalar([bool; LANE]),
 }
 
-#[cfg(target_arch = "x86_64")]
 #[inline(always)]
 fn classify_chunk(qf: &[f64; LANE], cut: &[f64], w: usize) -> ChunkRoute {
     let mut keep = [false; LANE];
@@ -986,14 +1014,137 @@ fn classify_chunk(qf: &[f64; LANE], cut: &[f64], w: usize) -> ChunkRoute {
         all &= keep[j];
     }
     if !any {
-        ChunkRoute::Skip
-    } else if all && w == LANE {
-        ChunkRoute::BatchFull
-    } else if all && w == EXP_BATCH {
-        ChunkRoute::BatchHalf
-    } else {
-        ChunkRoute::Scalar(keep)
+        return ChunkRoute::Skip;
     }
+    if all && w == LANE {
+        return ChunkRoute::BatchFull;
+    }
+    if all && w == EXP_BATCH {
+        return ChunkRoute::BatchHalf;
+    }
+    // Mixed survival: masked-batchable iff some aligned 4-wide group
+    // that lies entirely within the lanes meets the break-even.
+    let mut off = 0;
+    while off + EXP_BATCH <= w {
+        let alive = keep[off..off + EXP_BATCH].iter().filter(|&&k| k).count();
+        if alive >= MASKED_BREAK_EVEN {
+            return ChunkRoute::Masked(keep);
+        }
+        off += EXP_BATCH;
+    }
+    ChunkRoute::Scalar(keep)
+}
+
+/// Masked 4-wide exponentials for one mixed-survival group: dead
+/// lanes get input 0 (their quadratic form can sit anywhere past the
+/// cut — far outside [`exp4`]'s domain, where the exponent-field
+/// `2^k` scale would produce garbage), then their `e` is forced to
+/// exactly 0.0 so every downstream contribution vanishes.
+#[inline(always)]
+#[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))] // only the SIMD paths batch
+fn exp4_masked<F: Fma>(qf: &[f64], keep: &[bool]) -> [f64; EXP_BATCH] {
+    let mut x = [0.0; EXP_BATCH];
+    for l in 0..EXP_BATCH {
+        if keep[l] {
+            x[l] = -0.5 * qf[l];
+        }
+    }
+    let mut e = exp4::<F>(x);
+    for l in 0..EXP_BATCH {
+        if !keep[l] {
+            e[l] = 0.0;
+        }
+    }
+    e
+}
+
+/// Survivors in one aligned 4-wide group of a mixed chunk.
+#[inline(always)]
+#[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
+fn group_alive(keep: &[bool]) -> usize {
+    keep[..EXP_BATCH].iter().filter(|&&k| k).count()
+}
+
+/// Per-route chunk counts for one pixel evaluation — the screening
+/// router's diagnostic face, used by `bvn_probe` and the
+/// `chunk_routes` block of `BENCH_hotpath.json`. Counting is kept off
+/// the hot path (the production kernels carry no counters); instead
+/// this replays the routing the dispatched *derivative* kernel takes
+/// — the same `classify_chunk`, the same small-mixture early-out,
+/// the same process-global FMA decision — so a routing regression
+/// shows up here exactly as the kernel would experience it. (The
+/// value kernel differs only in its early-out width: it batches
+/// mixtures down to one exp-batch.)
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RouteCounts {
+    /// Chunks with no survivor (cost: quadratic forms only).
+    pub skip: usize,
+    /// Fully-surviving chunks on the unmasked batch routes.
+    pub batch: usize,
+    /// Mixed-survival chunks on the masked SoA route.
+    pub masked: usize,
+    /// Chunks streamed per-survivor: mixed survival below the
+    /// [`MASKED_BREAK_EVEN`] popcount, plus — under the portable
+    /// instantiation or a small-mixture early-out — every surviving
+    /// chunk.
+    pub scalar: usize,
+}
+
+impl RouteCounts {
+    /// Merge another evaluation's counts into this one.
+    pub fn add(&mut self, other: &RouteCounts) {
+        self.skip += other.skip;
+        self.batch += other.batch;
+        self.masked += other.masked;
+        self.scalar += other.scalar;
+    }
+
+    /// Total chunks routed.
+    pub fn total(&self) -> usize {
+        self.skip + self.batch + self.masked + self.scalar
+    }
+}
+
+/// The screening quadratic forms under the dispatched madd strategy
+/// (outside any target-feature function `mul_add` is a libm call —
+/// fine for diagnostics, and it rounds identically to the kernel's
+/// hardware FMA).
+fn dispatched_chunk_qf(
+    lanes: &Lanes,
+    base: usize,
+    w: usize,
+    dxx: f64,
+    dxy2: f64,
+    dyy: f64,
+) -> [f64; LANE] {
+    #[cfg(target_arch = "x86_64")]
+    if fused::fma_enabled() {
+        return chunk_qf::<HwFma>(lanes, base, w, dxx, dxy2, dyy);
+    }
+    chunk_qf::<ScalarMadd>(lanes, base, w, dxx, dxy2, dyy)
+}
+
+fn route_counts_lanes(lanes: &Lanes, center: [f64; 2], px: f64, py: f64) -> RouteCounts {
+    let mut counts = RouteCounts::default();
+    let n = lanes.len();
+    let (dx, dy) = (px - center[0], py - center[1]);
+    let (dxx, dxy2, dyy) = (dx * dx, 2.0 * dx * dy, dy * dy);
+    // Batch routes fire only in the SIMD derivative kernel past its
+    // small-mixture early-out; otherwise survivors stream scalar.
+    let batched = fused::fma_enabled() && n > LANE;
+    let mut base = 0;
+    while base < n {
+        let w = (n - base).min(LANE);
+        let qf = dispatched_chunk_qf(lanes, base, w, dxx, dxy2, dyy);
+        match classify_chunk(&qf, &lanes.qf_cut[base..base + w], w) {
+            ChunkRoute::Skip => counts.skip += 1,
+            ChunkRoute::BatchFull | ChunkRoute::BatchHalf if batched => counts.batch += 1,
+            ChunkRoute::Masked(_) if batched => counts.masked += 1,
+            _ => counts.scalar += 1,
+        }
+        base += LANE;
+    }
+    counts
 }
 
 /// The vectorized value-path instantiation: no survivor compression,
@@ -1032,6 +1183,34 @@ unsafe fn eval_value_lanes_fma(lanes: &Lanes, center: [f64; 2], px: f64, py: f64
                 let e0 = exp4::<HwFma>([-0.5 * qf[0], -0.5 * qf[1], -0.5 * qf[2], -0.5 * qf[3]]);
                 for j in 0..EXP_BATCH {
                     total[j] = HwFma::madd(wn[j], e0[j], total[j]);
+                }
+            }
+            ChunkRoute::Masked(keep) => {
+                let wn = &lanes.wn[base..base + w];
+                let mut off = 0;
+                while off + EXP_BATCH <= w {
+                    if group_alive(&keep[off..]) >= MASKED_BREAK_EVEN {
+                        let e = exp4_masked::<HwFma>(&qf[off..], &keep[off..]);
+                        for l in 0..EXP_BATCH {
+                            total[off + l] = HwFma::madd(wn[off + l], e[l], total[off + l]);
+                        }
+                    } else {
+                        for l in 0..EXP_BATCH {
+                            if keep[off + l] {
+                                total[off + l] = HwFma::madd(
+                                    wn[off + l],
+                                    (-0.5 * qf[off + l]).exp(),
+                                    total[off + l],
+                                );
+                            }
+                        }
+                    }
+                    off += EXP_BATCH;
+                }
+                for j in off..w {
+                    if keep[j] {
+                        total[j] = HwFma::madd(wn[j], (-0.5 * qf[j]).exp(), total[j]);
+                    }
                 }
             }
             ChunkRoute::Scalar(keep) => {
@@ -1159,9 +1338,11 @@ fn eval_lanes(lanes: &Lanes, center: [f64; 2], px: f64, py: f64, with_shape: boo
 /// per output slot with contiguous vector loads from the field-major
 /// [`EvalBlock`] transpose (`Lanes::soa`) and vertical SoA madds
 /// into lane accumulators ([`GeoAcc4`]), reduced once per pixel.
-/// Partially-culled chunks stream their survivors through the scalar
-/// [`eval_block`] instead (same instantiation, so screening rounds
-/// identically everywhere).
+/// Partially-culled chunks route by survivor popcount: 4-wide groups
+/// with ≥ [`MASKED_BREAK_EVEN`] survivors run the same SoA batch with
+/// dead lanes masked to `e = 0` ([`exp4_masked`]), sparser groups
+/// stream their survivors through the scalar [`eval_block`] (same
+/// instantiation, so screening rounds identically everywhere).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn eval_lanes_fma(
@@ -1210,6 +1391,50 @@ unsafe fn eval_lanes_fma(
                 // E.g. the 28-component galaxy mixture's tail.
                 let e0 = exp4::<HwFma>([-0.5 * qf[0], -0.5 * qf[1], -0.5 * qf[2], -0.5 * qf[3]]);
                 eval_block4::<HwFma>(&lanes.soa, n, base, &e0, dx, dy, with_shape, &mut acc);
+            }
+            ChunkRoute::Masked(keep) => {
+                let mut off = 0;
+                while off + EXP_BATCH <= w {
+                    if group_alive(&keep[off..]) >= MASKED_BREAK_EVEN {
+                        let e = exp4_masked::<HwFma>(&qf[off..], &keep[off..]);
+                        eval_block4::<HwFma>(
+                            &lanes.soa,
+                            n,
+                            base + off,
+                            &e,
+                            dx,
+                            dy,
+                            with_shape,
+                            &mut acc,
+                        );
+                    } else {
+                        for l in 0..EXP_BATCH {
+                            if keep[off + l] {
+                                eval_block::<HwFma>(
+                                    &lanes.blocks[base + off + l],
+                                    (-0.5 * qf[off + l]).exp(),
+                                    dx,
+                                    dy,
+                                    with_shape,
+                                    &mut out,
+                                );
+                            }
+                        }
+                    }
+                    off += EXP_BATCH;
+                }
+                for j in off..w {
+                    if keep[j] {
+                        eval_block::<HwFma>(
+                            &lanes.blocks[base + j],
+                            (-0.5 * qf[j]).exp(),
+                            dx,
+                            dy,
+                            with_shape,
+                            &mut out,
+                        );
+                    }
+                }
             }
             ChunkRoute::Scalar(keep) => {
                 for j in 0..w {
@@ -1981,6 +2206,95 @@ mod tests {
                     (e.hess[i][j] - e.hess[j][i]).abs() < 1e-12,
                     "asym at ({i},{j})"
                 );
+            }
+        }
+    }
+
+    /// Force an arbitrary survivor pattern onto the first `LANE` lanes
+    /// of a prepared mixture: bit `j` of `alive` keeps lane `j`
+    /// (screening cut at the hard cutoff), a cleared bit kills it
+    /// (cut below any reachable quadratic form). Later lanes keep
+    /// their prepared cuts.
+    fn force_pattern(cuts: &mut [f64], alive: u32) {
+        for (j, cut) in cuts.iter_mut().take(LANE).enumerate() {
+            *cut = if alive & (1 << j) != 0 {
+                QF_HARD_CUT
+            } else {
+                -1.0
+            };
+        }
+    }
+
+    fn assert_geo_parity(a: &GeoEval, b: &GeoEval, what: &str) {
+        let close = |x: f64, y: f64, slot: &str| {
+            assert!(
+                (x - y).abs() <= 1e-12 * (1.0 + y.abs()),
+                "{what} {slot}: {x} vs {y}"
+            );
+        };
+        close(a.val, b.val, "val");
+        for i in 0..GEO {
+            close(a.grad[i], b.grad[i], &format!("grad[{i}]"));
+            for j in 0..GEO {
+                close(a.hess[i][j], b.hess[i][j], &format!("hess[{i}][{j}]"));
+            }
+        }
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// The masked-SoA mixed-survival route against the portable
+        /// per-survivor reference, across every survivor pattern of
+        /// the first chunk's two 4-wide groups (0..4 lanes alive per
+        /// group — below, at, and above [`MASKED_BREAK_EVEN`]) and of
+        /// the mixture's final half chunk. The pinned cuts sit far
+        /// from every reachable quadratic form, so the dispatched and
+        /// portable instantiations make identical keep decisions and
+        /// the comparison isolates the masked assembly itself.
+        #[test]
+        fn masked_route_matches_portable_across_survivor_patterns(
+            alive in 0u32..256,
+            tail_alive in 0u32..16,
+            off in (-2.5..2.5f64, -2.5..2.5f64),
+            fd in -1.5..1.5f64,
+            lr in -0.5..0.7f64,
+        ) {
+            let prep_geo = geo(fd, 0.6, 0.9, lr);
+            let mut prep = PreparedGalaxy::new(
+                &Psf::core_halo(1.25),
+                &prep_geo,
+                [10.0, 12.0],
+                [0.1, -0.05],
+                &JAC,
+            );
+            // 28 components: three full chunks plus a half chunk, so
+            // both the full-width and half-width mixed routes exist.
+            prop_assert_eq!(prep.n_comps(), 28);
+            force_pattern(&mut prep.lanes.qf_cut[..LANE], alive);
+            force_pattern(&mut prep.lanes.qf_cut[24..28], tail_alive);
+
+            let (px, py) = (10.0 + off.0, 12.0 + off.1);
+            let dispatched = prep.eval(px, py);
+            let portable = prep.eval_portable(px, py);
+            assert_geo_parity(&dispatched, &portable, "masked deriv");
+            let v_disp = prep.eval_value(px, py);
+            let v_port = prep.eval_value_portable(px, py);
+            prop_assert!(
+                (v_disp - v_port).abs() <= 1e-12 * (1.0 + v_port.abs()),
+                "masked value: {} vs {}", v_disp, v_port
+            );
+            // The value and derivative paths share the router bit for
+            // bit: a fully-dead mixture must be exactly zero in both.
+            if alive == 0 && tail_alive == 0 {
+                let mid = &mut prep.lanes.qf_cut[LANE..24];
+                for c in mid.iter_mut() {
+                    *c = -1.0;
+                }
+                prop_assert!(prep.eval(px, py).val == 0.0);
+                prop_assert!(prep.eval_value(px, py) == 0.0);
             }
         }
     }

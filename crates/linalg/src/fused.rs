@@ -116,6 +116,35 @@ pub fn axpy2<F: Madd>(out: &mut [f64], c1: f64, x: &[f64], c2: f64, y: &[f64]) {
     }
 }
 
+/// `out[j] += Σ_p c1[p]·x[p][j] + c2[p]·y[p][j]` — the tiled form of
+/// [`axpy2`]: `P` coefficient/row pairs folded into `out` with one
+/// read-modify-write of each output slot instead of `P`. This is the
+/// inner update of the likelihood kernel's tiled rank-2 accumulation:
+/// the FLOP count matches `P` separate [`axpy2`] calls, but the
+/// destination row (a packed Hessian triangle in the hot caller)
+/// streams through registers once per tile rather than once per
+/// pixel, and the `P` independent madd chains per slot give the SIMD
+/// instantiation real ILP. `out` may be shorter than the `N`-wide
+/// source rows (triangle rows grow with the row index); the fold
+/// reads only the first `out.len()` entries of each.
+#[inline(always)]
+pub fn axpy2_tile<F: Madd, const P: usize, const N: usize>(
+    out: &mut [f64],
+    c1: &[f64; P],
+    x: &[[f64; N]; P],
+    c2: &[f64; P],
+    y: &[[f64; N]; P],
+) {
+    assert!(out.len() <= N);
+    for (j, o) in out.iter_mut().enumerate() {
+        let mut acc = *o;
+        for p in 0..P {
+            acc = F::madd(c1[p], x[p][j], F::madd(c2[p], y[p][j], acc));
+        }
+        *o = acc;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +177,41 @@ mod tests {
         for j in 0..4 {
             let want = 1.0 + 2.0 * x[j] - 3.0 * y[j];
             assert!((out[j] - want).abs() < 1e-12, "slot {j}");
+        }
+    }
+
+    #[test]
+    fn axpy2_tile_matches_sequential_axpy2s() {
+        // The tiled fold must equal applying the P row pairs one at a
+        // time (same FLOPs, reassociated accumulation) to well within
+        // the kernels' 1e-12 parity bar.
+        let x = [
+            [1.0, -2.0, 3.0, 0.5, 0.25],
+            [0.1, 0.2, -0.3, 0.4, -0.5],
+            [2.0, -1.0, 0.0, 1.5, 0.75],
+        ];
+        let y = [
+            [0.25, 4.0, -1.5, 2.0, 1.0],
+            [-1.0, 0.5, 0.25, -0.75, 2.0],
+            [0.0, 1.0, -2.0, 3.0, -4.0],
+        ];
+        let c1 = [2.0, -0.5, 1.25];
+        let c2 = [-3.0, 0.75, 0.5];
+        for len in 0..=5 {
+            let mut tiled = vec![1.0; len];
+            axpy2_tile::<ScalarMadd, 3, 5>(&mut tiled, &c1, &x, &c2, &y);
+            let mut seq = vec![1.0; len];
+            for p in 0..3 {
+                axpy2::<ScalarMadd>(&mut seq, c1[p], &x[p][..len], c2[p], &y[p][..len]);
+            }
+            for j in 0..len {
+                assert!(
+                    (tiled[j] - seq[j]).abs() < 1e-13 * (1.0 + seq[j].abs()),
+                    "len {len} slot {j}: {} vs {}",
+                    tiled[j],
+                    seq[j]
+                );
+            }
         }
     }
 

@@ -1,11 +1,14 @@
 //! End-to-end campaign driver: the whole paper pipeline on one machine.
 //!
-//! Simulated "nodes" are scoped tasks on the shared `celeste-par`
-//! executor that lease region tasks from a [`crate::lease::TaskLedger`]
-//! (Dtree distribution for fresh work), stage their images through a
+//! Simulated "nodes" are dedicated orchestration threads that lease
+//! region tasks from a [`crate::lease::TaskLedger`] (Dtree
+//! distribution for fresh work), stage their images through a
 //! prefetching loader (the Burst Buffer path), jointly optimize the
-//! region's sources with Cyclades worker spawns on the same executor,
-//! and write results back to the PGAS store. Runtime is decomposed
+//! region's sources with Cyclades worker spawns on the shared
+//! `celeste-par` executor, and write results back to the PGAS store.
+//! The loops themselves stay off the executor because they block (on
+//! prefetch waits and lease clocks); only their short compute jobs
+//! are stealable. Runtime is decomposed
 //! into the paper's four components (§VII-C): *image loading*
 //! (first-task blocking waits), *task processing* (the compute loop),
 //! *load imbalance* (idle after the queue drains), and *other*
@@ -677,11 +680,17 @@ fn campaign_inner(
         let node_end_times: Arc<Mutex<Vec<(usize, f64)>>> = Arc::new(Mutex::new(Vec::new()));
         let t_stage = Instant::now();
 
-        // Node loop: scoped spawns on the shared executor. A node
-        // task's nested Cyclades scope spawns land on the same pool,
-        // and a node blocked on a prefetch wait frees its worker's
-        // queue to thieves.
-        celeste_par::scope(|s| {
+        // Node loops are *orchestration*, not compute: they block on
+        // prefetch condvars and lease-clock sleeps, sometimes for a
+        // whole lease timeout. They therefore run on dedicated OS
+        // threads, never as pool jobs — a pool worker draining inside
+        // a nested scope (a Cyclades batch, or an assembly/fit join)
+        // executes whatever job it finds, and a node loop picked up
+        // there would pin that scope open for the loop's entire
+        // lifetime, sleeps included. Only the short-lived region jobs
+        // the loops spawn through `process_region` land on the shared
+        // executor.
+        std::thread::scope(|s| {
             for node in 0..cfg.n_nodes {
                 let ledger = Arc::clone(&ledger);
                 let prefetcher = Arc::clone(&prefetcher);

@@ -23,6 +23,15 @@
 //! the duration of the batch (the scope joins before the coordinator
 //! continues); between batches only the sources fitted since the last
 //! refresh are written back.
+//!
+//! Within a component list, problem assembly and fitting form a
+//! two-stage software pipeline: while the owning worker runs the
+//! Newton solve for source k, the assembly of source k+1 sits on its
+//! deque as a stealable `celeste_par::join` job, so an otherwise-idle
+//! worker overlaps it with the fit. Assembly reads only the immutable
+//! batch snapshot and fits still execute serially in list order, so
+//! the output is bit-identical to the unpipelined schedule at any
+//! thread count.
 
 use crate::cyclades::{conflict_graph, overlap_radius_arcsec, sample_batches, ConflictGraph};
 use celeste_core::{
@@ -73,8 +82,9 @@ thread_local! {
 }
 
 /// Run `f` with the calling worker's fit state (creating it on first
-/// use). Fit tasks never recurse into the executor, so the RefCell is
-/// never re-entered.
+/// use). The borrow must last only for one assembly or one fit —
+/// never across a `celeste_par::join`: a worker waiting on a stolen
+/// job executes other pipeline stages, which take this same RefCell.
 fn with_fit_state<R>(f: impl FnOnce(&mut FitState) -> R) -> R {
     FIT_STATE.with(|cell| {
         let mut slot = cell.borrow_mut();
@@ -84,6 +94,62 @@ fn with_fit_state<R>(f: impl FnOnce(&mut FitState) -> R) -> R {
         });
         f(state)
     })
+}
+
+/// A source's subproblem, assembled and ready to fit. `SourceProblem`
+/// owns its blocks (the worker's `BuildScratch` is only reused
+/// internally), so an `Assembled` moves freely between the worker
+/// that built it and the worker that fits it.
+struct Assembled {
+    sp: SourceParams,
+    problem: SourceProblem,
+}
+
+/// Assembly stage of the fit pipeline: snapshot-read, borrow the
+/// executing worker's build scratch for the duration of one
+/// `build_with`, release it before returning.
+fn assemble_source(
+    snap: &[SourceParams],
+    idx: usize,
+    images: &[&Image],
+    fixed_neighbors: &[SourceParams],
+    priors: &ModelPriors,
+    fit_cfg: &FitConfig,
+) -> Assembled {
+    let sp = snap[idx].clone();
+    let others: Vec<&SourceParams> = snap
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| *j != idx)
+        .map(|(_, o)| o)
+        .chain(fixed_neighbors.iter())
+        .collect();
+    let problem = with_fit_state(|state| {
+        SourceProblem::build_with(&sp, images, &others, priors, fit_cfg, &mut state.build)
+    });
+    Assembled { sp, problem }
+}
+
+/// Fit stage of the pipeline: consumes an [`Assembled`], borrowing
+/// the executing worker's Newton workspace only while the solve runs.
+fn fit_assembled(idx: usize, assembled: Assembled, fit_cfg: &FitConfig) -> FitResult {
+    let Assembled { mut sp, problem } = assembled;
+    if problem.blocks.is_empty() {
+        FitResult {
+            idx,
+            source: None,
+            newton_iters: 0,
+            active_pixels: 0,
+        }
+    } else {
+        let fs = with_fit_state(|state| fit_source_with(&mut sp, &problem, fit_cfg, &mut state.ws));
+        FitResult {
+            idx,
+            source: Some(sp),
+            newton_iters: fs.newton.iterations,
+            active_pixels: fs.active_pixels,
+        }
+    }
 }
 
 /// Rebuild the conflict graph when any source's fitted position or
@@ -208,11 +274,11 @@ pub fn process_region(
                 dirty.clear();
             }
             // One scoped spawn per non-empty component list; each
-            // list runs serially on one executor worker, so no two
-            // conflicting sources are ever fitted concurrently. A
-            // panicking fit propagates from the scope (after the
-            // batch's other lists finish) instead of hanging the
-            // coordinator.
+            // list's *fits* run serially in list order on whichever
+            // worker owns the spawn, so no two conflicting sources
+            // are ever fitted concurrently. A panicking fit
+            // propagates from the scope (after the batch's other
+            // lists finish) instead of hanging the coordinator.
             let lists: Vec<Vec<usize>> = batch.into_iter().filter(|l| !l.is_empty()).collect();
             let mut results: Vec<Vec<FitResult>> =
                 lists.iter().map(|l| Vec::with_capacity(l.len())).collect();
@@ -220,43 +286,51 @@ pub fn process_region(
             celeste_par::scope(|s| {
                 for (out, list) in results.iter_mut().zip(&lists) {
                     s.spawn(move || {
-                        with_fit_state(|state| {
-                            for &idx in list {
-                                let mut sp = snap[idx].clone();
-                                let others: Vec<&SourceParams> = snap
-                                    .iter()
-                                    .enumerate()
-                                    .filter(|(j, _)| *j != idx)
-                                    .map(|(_, o)| o)
-                                    .chain(fixed_neighbors.iter())
-                                    .collect();
-                                let problem = SourceProblem::build_with(
-                                    &sp,
-                                    images,
-                                    &others,
-                                    priors,
-                                    fit_cfg,
-                                    &mut state.build,
-                                );
-                                out.push(if problem.blocks.is_empty() {
-                                    FitResult {
-                                        idx,
-                                        source: None,
-                                        newton_iters: 0,
-                                        active_pixels: 0,
-                                    }
-                                } else {
-                                    let fs =
-                                        fit_source_with(&mut sp, &problem, fit_cfg, &mut state.ws);
-                                    FitResult {
-                                        idx,
-                                        source: Some(sp),
-                                        newton_iters: fs.newton.iterations,
-                                        active_pixels: fs.active_pixels,
-                                    }
-                                });
+                        // Software pipeline: fit source k inline on
+                        // this worker while assembly of source k+1 is
+                        // exposed to the pool through `join` — an
+                        // idle worker steals it, overlapping problem
+                        // assembly with the Newton solve. Assembly
+                        // reads only the immutable batch snapshot,
+                        // and when nobody steals, the worker pops the
+                        // job back and the schedule degenerates to
+                        // the old assemble-then-fit order; either way
+                        // each source's fit consumes an identical
+                        // problem and results land in list order, so
+                        // output is bit-identical to the serial
+                        // schedule.
+                        let mut cur = assemble_source(
+                            snap,
+                            list[0],
+                            images,
+                            fixed_neighbors,
+                            priors,
+                            fit_cfg,
+                        );
+                        for pos in 0..list.len() {
+                            let idx = list[pos];
+                            let assembled = cur;
+                            let (res, next) = celeste_par::join(
+                                move || fit_assembled(idx, assembled, fit_cfg),
+                                || {
+                                    list.get(pos + 1).map(|&j| {
+                                        assemble_source(
+                                            snap,
+                                            j,
+                                            images,
+                                            fixed_neighbors,
+                                            priors,
+                                            fit_cfg,
+                                        )
+                                    })
+                                },
+                            );
+                            out.push(res);
+                            match next {
+                                Some(nx) => cur = nx,
+                                None => break,
                             }
-                        });
+                        }
                     });
                 }
             });

@@ -501,8 +501,9 @@ impl Prefetcher {
         for key in keys {
             if !slots.contains_key(key) {
                 slots.insert(*key, Slot::Pending);
-                // The worker channel outlives all requests; ignore a
-                // send error only if the prefetcher is shutting down.
+                // The worker channel outlives all requests; a send
+                // error only happens when the prefetcher is shutting
+                // down, in which case the key is simply not loaded.
                 let _ = self.tx.send(*key);
             }
         }
@@ -511,13 +512,22 @@ impl Prefetcher {
     /// Get an image, blocking until its background load completes.
     /// Requests the key first if it was never requested.
     pub fn get(&self, key: &ImageKey) -> Result<Arc<Image>, IoError> {
-        self.request(std::slice::from_ref(key));
         let mut slots = self.shared.slots.lock();
         loop {
             match slots.get(key) {
                 Some(Slot::Ready(img)) => return Ok(Arc::clone(img)),
                 Some(Slot::Failed(msg)) => return Err(IoError::Prefetch(msg.clone())),
-                _ => self.shared.ready.wait(&mut slots),
+                Some(Slot::Pending) => self.shared.ready.wait(&mut slots),
+                // Absent: never requested, or a concurrent `evict`
+                // dropped the finished load while we were waiting
+                // (tasks share image keys, so one task's completion
+                // can evict a key another getter still wants). Either
+                // way, waiting would block forever — no worker
+                // repopulates a missing slot — so re-issue the load.
+                None => {
+                    slots.insert(*key, Slot::Pending);
+                    let _ = self.tx.send(*key);
+                }
             }
         }
     }
