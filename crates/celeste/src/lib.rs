@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 //! The unified Celeste facade: one configuration surface, one session
 //! type, typed errors, and streaming region results for the whole

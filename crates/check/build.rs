@@ -1,0 +1,15 @@
+// The model instantiation switch: the production sources of the
+// Chase-Lev deque (crates/par/src/deque.rs) and the crossbeam MPMC
+// channel (vendor/crossbeam/src/lib.rs) are compiled a second time
+// inside this crate, with `celeste_model` set so their `#[cfg]` type
+// aliases bind the model atomics/mutexes instead of std's. Same
+// source text, two instantiations — like the fma/portable kernel
+// split in celeste-core.
+fn main() {
+    println!("cargo::rustc-cfg=celeste_model");
+    println!("cargo::rustc-check-cfg=cfg(celeste_model)");
+    // Rebuild when the ported sources change: cargo only tracks files
+    // inside the crate directory by default.
+    println!("cargo::rerun-if-changed=../par/src/deque.rs");
+    println!("cargo::rerun-if-changed=../../vendor/crossbeam/src/lib.rs");
+}

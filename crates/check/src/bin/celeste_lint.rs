@@ -1,0 +1,30 @@
+//! `celeste_lint`: static invariant gate for the workspace. Exits
+//! nonzero when any rule is violated; see `celeste_check::lint`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .or_else(|| {
+            // Default to the workspace root: two levels up from this
+            // crate's manifest dir.
+            std::env::var("CARGO_MANIFEST_DIR")
+                .ok()
+                .map(|d| PathBuf::from(d).join("../.."))
+        })
+        .unwrap_or_else(|| PathBuf::from("."));
+    let violations = celeste_check::lint::run(&root);
+    if violations.is_empty() {
+        println!("celeste_lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.msg);
+        }
+        eprintln!("celeste_lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

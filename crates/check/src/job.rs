@@ -1,0 +1,38 @@
+//! Model stand-in for `celeste-par`'s `JobRef`.
+//!
+//! The production `JobRef` is a type-erased (pointer, fn-pointer)
+//! pair whose `from_words` transmutes — undefined behavior if fed
+//! words that were never a real job. Under the model we *want* to
+//! observe exactly that situation (a mutated ordering letting a thief
+//! read unwritten or torn slot words), so the model `JobRef` is a
+//! plain two-word value: `from_words` is total, and the tests assert
+//! on the word values a steal returns.
+//!
+//! The ported `deque.rs` names `crate::job::JobRef`; inside
+//! `celeste-check` that path resolves here instead of to the
+//! production type. Same source text, harmless substitution.
+
+/// Two opaque words standing in for the production job pair.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct JobRef {
+    pub data: usize,
+    pub execute_fn: usize,
+}
+
+impl JobRef {
+    /// Build a distinguishable fake job for the tests.
+    pub fn sentinel(i: usize) -> JobRef {
+        JobRef {
+            data: 0x1000 + i,
+            execute_fn: 0x2000 + i,
+        }
+    }
+
+    pub fn into_words(self) -> (usize, usize) {
+        (self.data, self.execute_fn)
+    }
+
+    pub fn from_words(data: usize, execute_fn: usize) -> JobRef {
+        JobRef { data, execute_fn }
+    }
+}

@@ -1,0 +1,52 @@
+//! `celeste-check`: deterministic concurrency model checking for the
+//! workspace's lock-free core, plus a workspace invariant lint
+//! (`celeste_lint`).
+//!
+//! The checker is a small vendored loom-style engine: model atomics,
+//! mutexes and condvars whose every access is a yield point for an
+//! exhaustive DFS scheduler (bounded preemptions), over an
+//! approximate C11 memory model (per-location store histories,
+//! vector clocks, release/acquire transfer, a global SeqCst clock).
+//!
+//! The checked code is *the production source text*: `build.rs` sets
+//! `celeste_model`, and [`deque`]/[`chan_port`] include
+//! `crates/par/src/deque.rs` and `vendor/crossbeam/src/lib.rs` by
+//! `#[path]`, where `#[cfg(celeste_model)]` import switches bind the
+//! model primitives instead of std's. Same bytes, two instantiations
+//! — so a passing model run speaks about the code that ships.
+
+pub mod job;
+pub mod lint;
+pub mod model;
+pub mod mutate;
+mod rt;
+pub mod sync;
+pub mod thread;
+pub mod vv;
+
+/// What the ported sources import under `cfg(celeste_model)`: the
+/// model primitives under their std names, plus the std types that
+/// stay real (`Arc`, `Ordering`).
+pub mod model_sync {
+    pub use std::sync::atomic::Ordering;
+    pub use std::sync::Arc;
+
+    pub use crate::sync::{fence, AtomicIsize, AtomicUsize, Condvar, Mutex, MutexGuard};
+}
+
+/// The production Chase-Lev deque (`crates/par/src/deque.rs`),
+/// compiled against the model atomics. Only the model test suite
+/// drives it, so the non-test build sees it as dead code.
+#[allow(dead_code)]
+#[path = "../../par/src/deque.rs"]
+pub mod deque;
+
+/// The production crossbeam channel shim (`vendor/crossbeam/src/
+/// lib.rs`), compiled against the model mutex/condvar. The channel
+/// API lives at `chan_port::channel::*` because the included file is
+/// that crate's root.
+#[path = "../../../vendor/crossbeam/src/lib.rs"]
+pub mod chan_port;
+
+#[cfg(test)]
+mod tests;

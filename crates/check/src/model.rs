@@ -1,0 +1,181 @@
+//! Public entry points: configure a model, run the exhaustive DFS,
+//! get a [`Report`].
+
+use std::panic;
+use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex, Once};
+
+use crate::mutate::{Mutation, MutationState};
+use crate::rt::{self, Exec, Pool, SchedShared, Trail};
+
+/// Outcome of a model run.
+#[derive(Debug)]
+pub struct Report {
+    /// No execution failed (and the state space was fully explored).
+    pub ok: bool,
+    /// First failure found: panic message, deadlock, or livelock.
+    pub failure: Option<String>,
+    /// Number of executions explored (up to and including the failing
+    /// one).
+    pub executions: usize,
+    /// Last ops of the failing execution, oldest first.
+    pub trace: Vec<String>,
+    /// For each seeded mutation: did it rewrite at least one op?
+    pub mutations_fired: Vec<bool>,
+}
+
+impl Report {
+    /// Panic with the recorded trace if the run failed — the standard
+    /// assertion for correctness tests.
+    pub fn assert_ok(&self) {
+        assert!(
+            self.ok,
+            "model check failed after {} execution(s): {}\ntrace:\n  {}",
+            self.executions,
+            self.failure.as_deref().unwrap_or("?"),
+            self.trace.join("\n  "),
+        );
+    }
+
+    /// Assert the checker caught a seeded bug *and* every mutation
+    /// actually rewrote an op — a rule that never fires means the
+    /// harness targeted a nonexistent site and proved nothing.
+    pub fn assert_caught(&self) {
+        assert!(
+            self.mutations_fired.iter().all(|&f| f),
+            "a seeded mutation never fired: the harness targets a nonexistent site"
+        );
+        assert!(
+            !self.ok,
+            "seeded weakening was NOT caught in {} executions",
+            self.executions
+        );
+    }
+}
+
+/// Model configuration. Defaults: preemption bound 3, 20_000 steps
+/// per execution, 400_000 executions max.
+pub struct Builder {
+    pub preemption_bound: usize,
+    pub max_steps: usize,
+    pub max_executions: usize,
+    mutations: Vec<Mutation>,
+}
+
+impl Default for Builder {
+    fn default() -> Builder {
+        Builder::new()
+    }
+}
+
+impl Builder {
+    pub fn new() -> Builder {
+        Builder {
+            preemption_bound: 3,
+            max_steps: 20_000,
+            max_executions: 400_000,
+            mutations: Vec::new(),
+        }
+    }
+
+    pub fn preemption_bound(mut self, b: usize) -> Builder {
+        self.preemption_bound = b;
+        self
+    }
+
+    pub fn mutate(mut self, m: Mutation) -> Builder {
+        self.mutations.push(m);
+        self
+    }
+
+    /// Exhaustively explore every interleaving of `f` (up to the
+    /// preemption bound), stopping at the first failure.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        install_quiet_hook();
+        let body: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let shared = Arc::new(SchedShared {
+            m: OsMutex::new(Exec::new(Trail::default(), Vec::new(), 0, 0)),
+            cv: OsCondvar::new(),
+            pool: Pool::new(),
+        });
+
+        let mut trail = Trail::default();
+        let mut muts: Vec<MutationState> = self
+            .mutations
+            .iter()
+            .map(|&rule| MutationState { rule, fired: false })
+            .collect();
+        let mut executions = 0usize;
+
+        loop {
+            executions += 1;
+            let (t, m, failure, trace) = rt::run_one(
+                &shared,
+                Arc::clone(&body),
+                trail,
+                muts,
+                self.preemption_bound,
+                self.max_steps,
+            );
+            trail = t;
+            muts = m;
+            if let Some(msg) = failure {
+                return Report {
+                    ok: false,
+                    failure: Some(msg),
+                    executions,
+                    trace,
+                    mutations_fired: muts.iter().map(|m| m.fired).collect(),
+                };
+            }
+            if executions >= self.max_executions {
+                return Report {
+                    ok: false,
+                    failure: Some(format!(
+                        "state space not exhausted after {executions} executions \
+                         (raise max_executions or shrink the test)"
+                    )),
+                    executions,
+                    trace,
+                    mutations_fired: muts.iter().map(|m| m.fired).collect(),
+                };
+            }
+            if !trail.backtrack() {
+                return Report {
+                    ok: true,
+                    failure: None,
+                    executions,
+                    trace: Vec::new(),
+                    mutations_fired: muts.iter().map(|m| m.fired).collect(),
+                };
+            }
+        }
+    }
+}
+
+/// `Builder::new().check(f)` shorthand.
+pub fn check<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f)
+}
+
+/// Model threads panic on purpose (aborts, seeded-bug detections) —
+/// thousands of times per mutation run. Silence the default hook for
+/// panics raised while running model code; everything else prints as
+/// usual.
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let in_model = rt::IN_MODEL.with(|m| m.get());
+            if !in_model {
+                default(info);
+            }
+        }));
+    });
+}

@@ -1,0 +1,75 @@
+//! Seeded weakenings for the mutation harness.
+//!
+//! A model checker only has teeth if it demonstrably *catches* bugs,
+//! so the harness runs each checked algorithm under a list of seeded
+//! mutations — memory-ordering downgrades (`SeqCst → AcqRel →
+//! Relaxed`) applied at specific sites, or condvar notification
+//! weakenings — and asserts the checker reports a violation for every
+//! one. Mutations are applied inside the model runtime, so the ported
+//! production source text stays byte-identical.
+//!
+//! Sites are addressed structurally rather than by source span: an
+//! atomic location's id is its creation order within the execution
+//! (deterministic — the model replays creations identically), the
+//! thread id distinguishes e.g. the owner's `pop` fence from a
+//! thief's `steal` fence, and `from` pins the ordering the production
+//! code requested so a rule can never silently rewrite the wrong
+//! operation.
+
+use std::sync::atomic::Ordering;
+
+/// Which class of operation a [`Mutation::Weaken`] rule applies to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpKind {
+    /// An atomic load.
+    Load,
+    /// An atomic store.
+    Store,
+    /// An atomic read-modify-write (CAS, fetch_add, swap).
+    Rmw,
+    /// A standalone `fence` (no location; rules must leave `loc` as
+    /// `None`).
+    Fence,
+}
+
+/// One seeded weakening. The first matching rule fires; a rule
+/// matches when the op kind and requested ordering equal `kind`/
+/// `from` and the optional thread/location filters agree.
+#[derive(Clone, Copy, Debug)]
+pub enum Mutation {
+    /// Replace a requested memory ordering with a weaker one at
+    /// matching sites.
+    Weaken {
+        /// Restrict to ops performed by this model thread id.
+        thread: Option<usize>,
+        /// Restrict to this atomic location (creation order id).
+        loc: Option<usize>,
+        /// Operation class the rule applies to.
+        kind: OpKind,
+        /// The ordering the production source requests at the site.
+        from: Ordering,
+        /// The weakened ordering to substitute.
+        to: Ordering,
+    },
+    /// Drop `Condvar::notify_one` calls (models a forgotten wakeup).
+    SuppressNotifyOne {
+        /// Restrict to this condvar (creation order id).
+        cond: Option<usize>,
+    },
+    /// Degrade `Condvar::notify_all` to waking a single thread
+    /// (models the "one waiter is enough" fallacy on disconnect
+    /// broadcasts).
+    NotifyAllToOne {
+        /// Restrict to this condvar (creation order id).
+        cond: Option<usize>,
+    },
+}
+
+/// A [`Mutation`] plus whether it ever fired during a run — a rule
+/// that never matches means the harness targeted a site that does not
+/// exist, which must fail loudly rather than vacuously pass.
+#[derive(Clone, Debug)]
+pub(crate) struct MutationState {
+    pub(crate) rule: Mutation,
+    pub(crate) fired: bool,
+}

@@ -1,0 +1,1100 @@
+//! The model-checking runtime: a deterministic exhaustive scheduler
+//! over real OS threads plus an approximate C11 memory model.
+//!
+//! One model thread runs at a time; every visible operation (atomic
+//! access, fence, mutex/condvar op, spawn, termination) is a *yield
+//! point* where the scheduler picks the next thread to run. The
+//! sequence of picks — plus value choices such as which store a
+//! relaxed load reads from and which waiter a `notify_one` wakes — is
+//! recorded on a trail; depth-first backtracking over the trail
+//! enumerates every interleaving up to a preemption bound.
+//!
+//! The memory model follows loom's approximation of C11: per-location
+//! store histories (modification order = append order), per-thread
+//! vector clocks with release/acquire clock transfer, per-thread
+//! coherence floors, release-fence and acquire-fence clocks, and a
+//! single global `sc` clock that every `SeqCst` operation two-way
+//! joins with (a sound over-approximation of the total order S for
+//! the patterns checked here; see the deque tests for the fence
+//! dichotomy it has to capture). Strong RMWs always read the latest
+//! store in modification order, which is what makes a CAS an
+//! arbitration point.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex, MutexGuard as OsGuard};
+
+use crate::mutate::{Mutation, MutationState, OpKind};
+use crate::vv::{VersionVec, MAX_THREADS};
+
+/// Payload used to unwind model threads when an execution aborts
+/// (failure found or state-space exhaustion). Caught by the worker;
+/// never observed by user code.
+pub(crate) struct AbortToken;
+
+fn acq(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn rel(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+// ---------------------------------------------------------------------------
+// Trail: the DFS backbone.
+
+#[derive(Clone, Debug)]
+struct ChoicePoint {
+    options: Vec<usize>,
+    chosen: usize,
+}
+
+/// The recorded sequence of scheduling/value choices for one
+/// execution. Replayed from the front; `backtrack` advances the last
+/// choice point that still has unexplored siblings.
+#[derive(Clone, Default, Debug)]
+pub(crate) struct Trail {
+    choices: Vec<ChoicePoint>,
+    pos: usize,
+}
+
+impl Trail {
+    /// Pick among `options` (non-empty): replay if this point was
+    /// already recorded, otherwise record it with its first option.
+    fn choose(&mut self, options: Vec<usize>) -> usize {
+        if self.pos < self.choices.len() {
+            let c = &self.choices[self.pos];
+            assert_eq!(
+                c.options, options,
+                "model replay diverged: execution is not deterministic"
+            );
+            self.pos += 1;
+            c.options[c.chosen]
+        } else {
+            let v = options[0];
+            self.choices.push(ChoicePoint { options, chosen: 0 });
+            self.pos += 1;
+            v
+        }
+    }
+
+    /// Advance to the next unexplored execution. Returns false when
+    /// the whole tree has been visited.
+    pub(crate) fn backtrack(&mut self) -> bool {
+        while let Some(c) = self.choices.last_mut() {
+            if c.chosen + 1 < c.options.len() {
+                c.chosen += 1;
+                self.pos = 0;
+                return true;
+            }
+            self.choices.pop();
+        }
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution state.
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    Runnable,
+    Blocked,
+    Terminated,
+}
+
+struct ThreadSt {
+    state: TState,
+    clock: VersionVec,
+    /// Release-fence clock: carried by subsequent relaxed stores.
+    fence_rel: VersionVec,
+    /// Clocks of every store read so far; merged into `clock` by an
+    /// acquire fence.
+    acq_stash: VersionVec,
+    /// Per-location coherence floor: minimal index in the store
+    /// history this thread may still read.
+    last_seen: Vec<usize>,
+    /// Final clock at termination, joined by `join`ers.
+    end_clock: VersionVec,
+    joiners: Vec<usize>,
+}
+
+#[derive(Clone)]
+struct StoreEvent {
+    val: usize,
+    by: usize,
+    /// The storer's own clock component at the store: `clock.covers
+    /// (by, seq)` means the observer happens-after this store.
+    seq: u32,
+    /// Clock released with the store (empty-ish for relaxed stores
+    /// with no preceding release fence).
+    rel: VersionVec,
+}
+
+struct AtomicSt {
+    stores: Vec<StoreEvent>,
+    /// Index of the latest SeqCst store (in S, which the serialized
+    /// execution realizes directly). SC loads — and loads sequenced
+    /// after an SC fence — may not read anything older.
+    last_sc: Option<usize>,
+}
+
+struct MutexSt {
+    owner: Option<usize>,
+    /// Clock of the last unlock; joined on acquisition.
+    rel: VersionVec,
+    waiters: Vec<usize>,
+}
+
+struct CondSt {
+    waiters: Vec<usize>,
+}
+
+const TRACE_CAP: usize = 64;
+/// `active` value meaning "no thread running" (end of execution).
+const NO_ACTIVE: usize = usize::MAX;
+
+pub(crate) struct Exec {
+    threads: Vec<ThreadSt>,
+    atomics: Vec<AtomicSt>,
+    mutexes: Vec<MutexSt>,
+    conds: Vec<CondSt>,
+    /// The SC-*fence* clock: two-way joined at every SeqCst fence
+    /// (and only there). Joining it on every SC atomic op — loom's
+    /// shortcut — over-synchronizes: an SC CAS on one location would
+    /// publish unrelated plain stores, hiding exactly the stale-read
+    /// bugs the mutation harness seeds (see the steal-fence test).
+    /// C++17 [atomics.order] couples SC *atomics* to other threads
+    /// only per-location, which `AtomicSt::last_sc` implements.
+    sc: VersionVec,
+    active: usize,
+    preemptions: usize,
+    preemption_bound: usize,
+    steps: usize,
+    max_steps: usize,
+    /// OS-side jobs still running (model threads occupying a worker).
+    os_live: usize,
+    exec_done: bool,
+    pub(crate) aborting: bool,
+    pub(crate) failure: Option<String>,
+    trace: Vec<String>,
+    trail: Trail,
+    mutations: Vec<MutationState>,
+}
+
+impl Exec {
+    pub(crate) fn new(
+        trail: Trail,
+        mutations: Vec<MutationState>,
+        preemption_bound: usize,
+        max_steps: usize,
+    ) -> Exec {
+        let mut ex = Exec {
+            threads: Vec::new(),
+            atomics: Vec::new(),
+            mutexes: Vec::new(),
+            conds: Vec::new(),
+            sc: VersionVec::new(),
+            active: 0,
+            preemptions: 0,
+            preemption_bound,
+            steps: 0,
+            max_steps,
+            os_live: 1,
+            exec_done: false,
+            aborting: false,
+            failure: None,
+            trace: Vec::new(),
+            trail,
+            mutations,
+        };
+        // Root thread (tid 0).
+        ex.threads
+            .push(ThreadSt::fresh(VersionVec::new(), Vec::new()));
+        ex
+    }
+
+    pub(crate) fn into_outcome(self) -> (Trail, Vec<MutationState>, Option<String>, Vec<String>) {
+        (self.trail, self.mutations, self.failure, self.trace)
+    }
+
+    fn trace_push(&mut self, s: String) {
+        if self.trace.len() == TRACE_CAP {
+            self.trace.remove(0);
+        }
+        self.trace.push(s);
+    }
+
+    fn fail(&mut self, msg: String) {
+        if self.failure.is_none() {
+            self.failure = Some(msg);
+        }
+        self.aborting = true;
+    }
+
+    // -- mutation hooks ----------------------------------------------------
+
+    fn mutate_ord(
+        &mut self,
+        tid: usize,
+        loc: Option<usize>,
+        kind: OpKind,
+        ord: Ordering,
+    ) -> Ordering {
+        for m in &mut self.mutations {
+            if let Mutation::Weaken {
+                thread,
+                loc: ml,
+                kind: mk,
+                from,
+                to,
+            } = m.rule
+            {
+                if mk == kind
+                    && from == ord
+                    && thread.is_none_or(|t| t == tid)
+                    && ml.is_none_or(|l| Some(l) == loc)
+                {
+                    m.fired = true;
+                    return to;
+                }
+            }
+        }
+        ord
+    }
+
+    fn mutate_suppress_notify_one(&mut self, cond: usize) -> bool {
+        for m in &mut self.mutations {
+            if let Mutation::SuppressNotifyOne { cond: mc } = m.rule {
+                if mc.is_none_or(|c| c == cond) {
+                    m.fired = true;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn mutate_notify_all_to_one(&mut self, cond: usize) -> bool {
+        for m in &mut self.mutations {
+            if let Mutation::NotifyAllToOne { cond: mc } = m.rule {
+                if mc.is_none_or(|c| c == cond) {
+                    m.fired = true;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    // -- memory model ------------------------------------------------------
+
+    fn sc_pre(&mut self, tid: usize) {
+        self.threads[tid].clock.join(&self.sc);
+    }
+
+    fn sc_post(&mut self, tid: usize) {
+        self.sc.join(&self.threads[tid].clock);
+    }
+
+    fn floor(&self, tid: usize, loc: usize) -> usize {
+        self.threads[tid].last_seen.get(loc).copied().unwrap_or(0)
+    }
+
+    fn set_floor(&mut self, tid: usize, loc: usize, idx: usize) {
+        let ls = &mut self.threads[tid].last_seen;
+        if ls.len() <= loc {
+            ls.resize(loc + 1, 0);
+        }
+        ls[loc] = ls[loc].max(idx);
+    }
+
+    fn do_load(&mut self, tid: usize, loc: usize, ord: Ordering) -> usize {
+        let ord = self.mutate_ord(tid, Some(loc), OpKind::Load, ord);
+        // Readable window: at or after the coherence floor, the
+        // latest store this thread happens-after, and — for SC loads
+        // — the latest SC store to this location plus anything the SC
+        // fence clock covers ([atomics.order] p4-p6).
+        let clock = self.threads[tid].clock;
+        let mut lo = self.floor(tid, loc);
+        if ord == Ordering::SeqCst {
+            if let Some(i) = self.atomics[loc].last_sc {
+                lo = lo.max(i);
+            }
+        }
+        let sc = self.sc;
+        let stores = &self.atomics[loc].stores;
+        for (i, s) in stores.iter().enumerate().skip(lo) {
+            if clock.covers(s.by, s.seq) || (ord == Ordering::SeqCst && sc.covers(s.by, s.seq)) {
+                lo = i;
+            }
+        }
+        let options: Vec<usize> = (lo..stores.len()).collect();
+        let idx = if options.len() == 1 {
+            options[0]
+        } else {
+            self.trail.choose(options)
+        };
+        let ev = self.atomics[loc].stores[idx].clone();
+        self.set_floor(tid, loc, idx);
+        let th = &mut self.threads[tid];
+        th.acq_stash.join(&ev.rel);
+        if acq(ord) {
+            th.clock.join(&ev.rel);
+        }
+        self.trace_push(format!(
+            "t{tid} load a{loc} ({ord:?}) -> {} [idx {idx}]",
+            ev.val
+        ));
+        ev.val
+    }
+
+    fn do_store(&mut self, tid: usize, loc: usize, val: usize, ord: Ordering) {
+        let ord = self.mutate_ord(tid, Some(loc), OpKind::Store, ord);
+        let th = &mut self.threads[tid];
+        let seq = th.clock.inc(tid);
+        let relc = if rel(ord) { th.clock } else { th.fence_rel };
+        let idx = self.atomics[loc].stores.len();
+        self.atomics[loc].stores.push(StoreEvent {
+            val,
+            by: tid,
+            seq,
+            rel: relc,
+        });
+        if ord == Ordering::SeqCst {
+            self.atomics[loc].last_sc = Some(idx);
+        }
+        self.set_floor(tid, loc, idx);
+        self.trace_push(format!("t{tid} store a{loc} <- {val} ({ord:?})"));
+    }
+
+    /// Strong read-modify-write: reads the *latest* store in
+    /// modification order (this is what makes a CAS decide races),
+    /// applies `f`, and writes iff `f` returns `Some`. Returns the
+    /// value read and whether the write happened.
+    fn do_rmw(
+        &mut self,
+        tid: usize,
+        loc: usize,
+        ord: Ordering,
+        ord_fail: Ordering,
+        f: &mut dyn FnMut(usize) -> Option<usize>,
+    ) -> (usize, bool) {
+        let ord = self.mutate_ord(tid, Some(loc), OpKind::Rmw, ord);
+        let last = self.atomics[loc].stores.len() - 1;
+        let ev = self.atomics[loc].stores[last].clone();
+        self.set_floor(tid, loc, last);
+        self.threads[tid].acq_stash.join(&ev.rel);
+        let wrote = match f(ev.val) {
+            Some(newval) => {
+                let th = &mut self.threads[tid];
+                if acq(ord) {
+                    th.clock.join(&ev.rel);
+                }
+                let seq = th.clock.inc(tid);
+                let mut relc = if rel(ord) { th.clock } else { th.fence_rel };
+                // RMWs continue the release sequence of the store
+                // they replace: acquiring from this store must also
+                // synchronize with the previous releaser.
+                relc.join(&ev.rel);
+                let idx = self.atomics[loc].stores.len();
+                self.atomics[loc].stores.push(StoreEvent {
+                    val: newval,
+                    by: tid,
+                    seq,
+                    rel: relc,
+                });
+                if ord == Ordering::SeqCst {
+                    self.atomics[loc].last_sc = Some(idx);
+                }
+                self.set_floor(tid, loc, idx);
+                true
+            }
+            None => {
+                if acq(ord_fail) {
+                    self.threads[tid].clock.join(&ev.rel);
+                }
+                false
+            }
+        };
+        self.trace_push(format!(
+            "t{tid} rmw a{loc} read {} wrote={wrote} ({ord:?})",
+            ev.val
+        ));
+        (ev.val, wrote)
+    }
+
+    fn do_fence(&mut self, tid: usize, ord: Ordering) {
+        let ord = self.mutate_ord(tid, None, OpKind::Fence, ord);
+        if acq(ord) {
+            let stash = self.threads[tid].acq_stash;
+            self.threads[tid].clock.join(&stash);
+        }
+        if rel(ord) {
+            let clock = self.threads[tid].clock;
+            self.threads[tid].fence_rel.join(&clock);
+        }
+        if ord == Ordering::SeqCst {
+            // Fence-fence rule ([atomics.order] p6): everything any
+            // earlier SC-fencing thread had written is a coherence
+            // floor for loads sequenced after this fence — realized
+            // by the two-way clock join (covered stores raise `lo` in
+            // do_load).
+            self.sc_pre(tid);
+            self.sc_post(tid);
+            // SC-write -> SC-fence rule (p5): loads after this fence
+            // may not read past writes older than each location's
+            // latest SC store.
+            for loc in 0..self.atomics.len() {
+                if let Some(i) = self.atomics[loc].last_sc {
+                    self.set_floor(tid, loc, i);
+                }
+            }
+        }
+        self.trace_push(format!("t{tid} fence ({ord:?})"));
+    }
+
+    // -- scheduling --------------------------------------------------------
+
+    fn runnable(&self) -> Vec<usize> {
+        (0..self.threads.len())
+            .filter(|&t| self.threads[t].state == TState::Runnable)
+            .collect()
+    }
+
+    /// Pick the next active thread after `tid` finished an op. The
+    /// heart of the search: switching away from a still-runnable
+    /// thread costs one unit of the preemption budget.
+    fn schedule(&mut self, tid: usize) {
+        let runnable = self.runnable();
+        if runnable.is_empty() {
+            self.active = NO_ACTIVE;
+            if self.threads.iter().any(|t| t.state == TState::Blocked) {
+                let stuck: Vec<String> = self
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.state == TState::Blocked)
+                    .map(|(i, _)| format!("t{i}"))
+                    .collect();
+                self.fail(format!(
+                    "deadlock: {} blocked with no runnable thread",
+                    stuck.join(", ")
+                ));
+            }
+            return;
+        }
+        let cur_runnable = self.threads[tid].state == TState::Runnable;
+        let options = if cur_runnable && self.preemptions >= self.preemption_bound {
+            vec![tid]
+        } else {
+            runnable
+        };
+        let next = if options.len() == 1 {
+            options[0]
+        } else {
+            self.trail.choose(options)
+        };
+        if cur_runnable && next != tid {
+            self.preemptions += 1;
+        }
+        self.active = next;
+    }
+}
+
+impl ThreadSt {
+    fn fresh(clock: VersionVec, last_seen: Vec<usize>) -> ThreadSt {
+        ThreadSt {
+            state: TState::Runnable,
+            clock,
+            fence_rel: VersionVec::new(),
+            acq_stash: VersionVec::new(),
+            last_seen,
+            end_clock: VersionVec::new(),
+            joiners: Vec::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared scheduler handle + thread-local context.
+
+pub(crate) struct SchedShared {
+    pub(crate) m: OsMutex<Exec>,
+    pub(crate) cv: OsCondvar,
+    pub(crate) pool: Pool,
+}
+
+impl SchedShared {
+    /// Poison-tolerant lock: model threads unwind (AbortToken) while
+    /// holding this mutex by design, and the state stays consistent.
+    pub(crate) fn lock(&self) -> OsGuard<'_, Exec> {
+        self.m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<SchedShared>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+    /// Set while unwinding an aborted execution: model ops become
+    /// no-ops instead of re-panicking inside destructors.
+    static IN_ABORT: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// Set while running model code: silences the panic hook.
+    pub(crate) static IN_MODEL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn ctx() -> (Arc<SchedShared>, usize) {
+    CTX.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("model primitive used outside Model::check execution")
+    })
+}
+
+pub(crate) fn in_abort() -> bool {
+    IN_ABORT.with(|a| a.get())
+}
+
+fn abort_unwind() -> ! {
+    IN_ABORT.with(|a| a.set(true));
+    panic::panic_any(AbortToken)
+}
+
+// ---------------------------------------------------------------------------
+// The yield protocol.
+
+pub(crate) enum Attempt<R> {
+    Done(R),
+    Blocked,
+}
+
+/// Run one visible operation: execute `f` under the scheduler lock
+/// (re-attempting while it reports Blocked), then let the scheduler
+/// pick the next thread and park until this thread is granted again.
+pub(crate) fn yield_op<R>(mut f: impl FnMut(&mut Exec, usize) -> Attempt<R>) -> R {
+    if in_abort() {
+        abort_unwind();
+    }
+    let (shared, tid) = ctx();
+    let mut guard = shared.lock();
+    loop {
+        if guard.aborting {
+            drop(guard);
+            abort_unwind();
+        }
+        debug_assert_eq!(guard.active, tid, "op from non-active thread");
+        guard.steps += 1;
+        if guard.steps > guard.max_steps {
+            let max = guard.max_steps;
+            guard.fail(format!("exceeded {max} steps: livelock or unbounded loop"));
+            shared.cv.notify_all();
+            drop(guard);
+            abort_unwind();
+        }
+        let attempt = f(&mut guard, tid);
+        let done = matches!(attempt, Attempt::Done(_));
+        if !done {
+            guard.threads[tid].state = TState::Blocked;
+        }
+        guard.schedule(tid);
+        shared.cv.notify_all();
+        while guard.active != tid {
+            if guard.aborting {
+                shared.cv.notify_all();
+                drop(guard);
+                abort_unwind();
+            }
+            if guard.active == NO_ACTIVE {
+                // Execution over (we must be terminated or aborting —
+                // a blocked thread here means deadlock already
+                // failed).
+                drop(guard);
+                abort_unwind();
+            }
+            guard = shared.cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+        if let Attempt::Done(r) = attempt {
+            return r;
+        }
+        // Re-attempt the blocked op now that we were woken + granted.
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registration ops (no scheduling: creation is invisible to peers).
+
+pub(crate) fn new_atomic(init: usize) -> usize {
+    let (shared, tid) = ctx();
+    let mut ex = shared.lock();
+    let th = &mut ex.threads[tid];
+    let seq = th.clock.inc(tid);
+    let rel = th.clock;
+    let id = ex.atomics.len();
+    ex.atomics.push(AtomicSt {
+        stores: vec![StoreEvent {
+            val: init,
+            by: tid,
+            seq,
+            rel,
+        }],
+        last_sc: None,
+    });
+    let idx_floor = 0;
+    ex.set_floor(tid, id, idx_floor);
+    id
+}
+
+pub(crate) fn new_mutex() -> usize {
+    let (shared, _) = ctx();
+    let mut ex = shared.lock();
+    let id = ex.mutexes.len();
+    ex.mutexes.push(MutexSt {
+        owner: None,
+        rel: VersionVec::new(),
+        waiters: Vec::new(),
+    });
+    id
+}
+
+pub(crate) fn new_cond() -> usize {
+    let (shared, _) = ctx();
+    let mut ex = shared.lock();
+    let id = ex.conds.len();
+    ex.conds.push(CondSt {
+        waiters: Vec::new(),
+    });
+    id
+}
+
+// ---------------------------------------------------------------------------
+// Atomic / fence ops.
+
+pub(crate) fn atomic_load(loc: usize, ord: Ordering) -> usize {
+    yield_op(|ex, tid| Attempt::Done(ex.do_load(tid, loc, ord)))
+}
+
+pub(crate) fn atomic_store(loc: usize, val: usize, ord: Ordering) {
+    yield_op(|ex, tid| {
+        ex.do_store(tid, loc, val, ord);
+        Attempt::Done(())
+    })
+}
+
+pub(crate) fn atomic_rmw(
+    loc: usize,
+    ord: Ordering,
+    ord_fail: Ordering,
+    mut f: impl FnMut(usize) -> Option<usize>,
+) -> (usize, bool) {
+    yield_op(|ex, tid| Attempt::Done(ex.do_rmw(tid, loc, ord, ord_fail, &mut f)))
+}
+
+pub(crate) fn fence(ord: Ordering) {
+    yield_op(|ex, tid| {
+        ex.do_fence(tid, ord);
+        Attempt::Done(())
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Mutex / condvar ops.
+
+pub(crate) fn mutex_lock(id: usize) {
+    if in_abort() {
+        // Exclusion during abort unwinding comes from the real lock
+        // embedded in the model Mutex (see sync.rs).
+        return;
+    }
+    yield_op(|ex, tid| {
+        if let Some(owner) = ex.mutexes[id].owner {
+            debug_assert_ne!(owner, tid, "model mutex is not reentrant");
+            if !ex.mutexes[id].waiters.contains(&tid) {
+                ex.mutexes[id].waiters.push(tid);
+            }
+            Attempt::Blocked
+        } else {
+            ex.mutexes[id].owner = Some(tid);
+            ex.mutexes[id].waiters.retain(|&w| w != tid);
+            let relc = ex.mutexes[id].rel;
+            ex.threads[tid].clock.join(&relc);
+            ex.trace_push(format!("t{tid} lock m{id}"));
+            Attempt::Done(())
+        }
+    })
+}
+
+pub(crate) fn mutex_unlock(id: usize) {
+    if in_abort() {
+        return;
+    }
+    yield_op(|ex, tid| {
+        debug_assert_eq!(ex.mutexes[id].owner, Some(tid));
+        ex.mutexes[id].owner = None;
+        let clock = ex.threads[tid].clock;
+        ex.mutexes[id].rel.join(&clock);
+        // Wake every waiter; they race to re-acquire (losers block
+        // again), which models OS wakeup races faithfully.
+        let waiters = std::mem::take(&mut ex.mutexes[id].waiters);
+        for w in waiters {
+            if ex.threads[w].state == TState::Blocked {
+                ex.threads[w].state = TState::Runnable;
+            }
+        }
+        ex.trace_push(format!("t{tid} unlock m{id}"));
+        Attempt::Done(())
+    })
+}
+
+/// Condvar wait: atomically release `mutex` and sleep until notified,
+/// then re-acquire. The two phases live in one re-attempted op.
+pub(crate) fn cond_wait(cond: usize, mutex: usize) {
+    if in_abort() {
+        return;
+    }
+    let mut phase = 0usize;
+    yield_op(|ex, tid| {
+        match phase {
+            0 => {
+                // Release the mutex and enqueue on the condvar.
+                debug_assert_eq!(ex.mutexes[mutex].owner, Some(tid));
+                ex.mutexes[mutex].owner = None;
+                let clock = ex.threads[tid].clock;
+                ex.mutexes[mutex].rel.join(&clock);
+                let waiters = std::mem::take(&mut ex.mutexes[mutex].waiters);
+                for w in waiters {
+                    if ex.threads[w].state == TState::Blocked {
+                        ex.threads[w].state = TState::Runnable;
+                    }
+                }
+                ex.conds[cond].waiters.push(tid);
+                ex.trace_push(format!("t{tid} wait c{cond} (released m{mutex})"));
+                phase = 1;
+                Attempt::Blocked
+            }
+            _ => {
+                // Woken by notify; re-acquire the mutex.
+                if let Some(owner) = ex.mutexes[mutex].owner {
+                    debug_assert_ne!(owner, tid);
+                    if !ex.mutexes[mutex].waiters.contains(&tid) {
+                        ex.mutexes[mutex].waiters.push(tid);
+                    }
+                    Attempt::Blocked
+                } else {
+                    ex.mutexes[mutex].owner = Some(tid);
+                    ex.mutexes[mutex].waiters.retain(|&w| w != tid);
+                    let relc = ex.mutexes[mutex].rel;
+                    ex.threads[tid].clock.join(&relc);
+                    ex.trace_push(format!("t{tid} woke c{cond}, relocked m{mutex}"));
+                    Attempt::Done(())
+                }
+            }
+        }
+    })
+}
+
+pub(crate) fn cond_notify_one(cond: usize) {
+    if in_abort() {
+        return;
+    }
+    yield_op(|ex, tid| {
+        if ex.mutate_suppress_notify_one(cond) {
+            ex.trace_push(format!(
+                "t{tid} notify_one c{cond} [SUPPRESSED by mutation]"
+            ));
+            return Attempt::Done(());
+        }
+        wake_one(ex, tid, cond);
+        Attempt::Done(())
+    })
+}
+
+pub(crate) fn cond_notify_all(cond: usize) {
+    if in_abort() {
+        return;
+    }
+    yield_op(|ex, tid| {
+        if ex.mutate_notify_all_to_one(cond) {
+            ex.trace_push(format!(
+                "t{tid} notify_all c{cond} [DEGRADED to notify_one]"
+            ));
+            wake_one(ex, tid, cond);
+            return Attempt::Done(());
+        }
+        let waiters = std::mem::take(&mut ex.conds[cond].waiters);
+        for w in &waiters {
+            ex.threads[*w].state = TState::Runnable;
+        }
+        ex.trace_push(format!(
+            "t{tid} notify_all c{cond} (woke {})",
+            waiters.len()
+        ));
+        Attempt::Done(())
+    })
+}
+
+/// Wake one condvar waiter; *which* waiter is a value choice.
+fn wake_one(ex: &mut Exec, tid: usize, cond: usize) {
+    if ex.conds[cond].waiters.is_empty() {
+        ex.trace_push(format!("t{tid} notify_one c{cond} (no waiters)"));
+        return;
+    }
+    let options = ex.conds[cond].waiters.clone();
+    let target = if options.len() == 1 {
+        options[0]
+    } else {
+        ex.trail.choose(options)
+    };
+    ex.conds[cond].waiters.retain(|&w| w != target);
+    ex.threads[target].state = TState::Runnable;
+    ex.trace_push(format!("t{tid} notify_one c{cond} -> t{target}"));
+}
+
+// ---------------------------------------------------------------------------
+// Threads: spawn / join / the worker-side entry.
+
+pub(crate) fn spawn_thread(f: Box<dyn FnOnce() + Send>) -> usize {
+    if in_abort() {
+        abort_unwind();
+    }
+    let (shared, tid) = ctx();
+    let child = {
+        let mut ex = shared.lock();
+        if ex.aborting {
+            drop(ex);
+            abort_unwind();
+        }
+        assert!(
+            ex.threads.len() < MAX_THREADS,
+            "model supports at most {MAX_THREADS} threads"
+        );
+        ex.steps += 1;
+        // Thread creation synchronizes-with the child's start: the
+        // child begins with the parent's clock and coherence floors.
+        let clock = ex.threads[tid].clock;
+        let last_seen = ex.threads[tid].last_seen.clone();
+        ex.threads.push(ThreadSt::fresh(clock, last_seen));
+        let child = ex.threads.len() - 1;
+        ex.os_live += 1;
+        ex.trace_push(format!("t{tid} spawn t{child}"));
+        child
+    };
+    // Submit the OS-side job *before* yielding so the child can run
+    // as soon as the scheduler picks it.
+    let shared2 = Arc::clone(&shared);
+    shared
+        .pool
+        .submit(Box::new(move || worker_entry(shared2, child, f)));
+    yield_op(|ex, tid2| {
+        debug_assert_eq!(tid2, tid);
+        ex.trace_push(format!("t{tid2} post-spawn yield"));
+        Attempt::Done(())
+    });
+    child
+}
+
+pub(crate) fn join_thread(target: usize) {
+    yield_op(|ex, tid| {
+        if ex.threads[target].state == TState::Terminated {
+            let end = ex.threads[target].end_clock;
+            ex.threads[tid].clock.join(&end);
+            ex.trace_push(format!("t{tid} joined t{target}"));
+            Attempt::Done(())
+        } else {
+            if !ex.threads[target].joiners.contains(&tid) {
+                ex.threads[target].joiners.push(tid);
+            }
+            Attempt::Blocked
+        }
+    })
+}
+
+/// Runs on a pool worker: installs the context, parks until first
+/// granted, runs the model thread body, then retires the thread.
+pub(crate) fn worker_entry(shared: Arc<SchedShared>, tid: usize, f: Box<dyn FnOnce() + Send>) {
+    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&shared), tid)));
+    IN_ABORT.with(|a| a.set(false));
+    IN_MODEL.with(|m| m.set(true));
+
+    // Park until the scheduler grants this thread for the first time.
+    let mut aborted_before_start = false;
+    {
+        let mut guard = shared.lock();
+        while guard.active != tid {
+            if guard.aborting || guard.active == NO_ACTIVE {
+                aborted_before_start = true;
+                break;
+            }
+            guard = shared.cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    let outcome = if aborted_before_start {
+        Err(None)
+    } else {
+        match panic::catch_unwind(AssertUnwindSafe(f)) {
+            Ok(()) => Ok(()),
+            Err(p) if p.is::<AbortToken>() => Err(None),
+            // `&*p`: pass the payload itself, not the Box-as-Any.
+            Err(p) => Err(Some(panic_message(&*p))),
+        }
+    };
+
+    let mut ex = shared.lock();
+    let th = &mut ex.threads[tid];
+    th.state = TState::Terminated;
+    th.end_clock = th.clock;
+    match outcome {
+        Ok(()) => {
+            let joiners = std::mem::take(&mut ex.threads[tid].joiners);
+            for j in joiners {
+                if ex.threads[j].state == TState::Blocked {
+                    ex.threads[j].state = TState::Runnable;
+                }
+            }
+            ex.trace_push(format!("t{tid} terminated"));
+            if ex.active == tid {
+                ex.schedule(tid);
+            }
+        }
+        Err(Some(msg)) => {
+            ex.trace_push(format!("t{tid} panicked: {msg}"));
+            ex.fail(msg);
+        }
+        Err(None) => {
+            // Aborted: the failure (if any) is already recorded.
+        }
+    }
+    ex.os_live -= 1;
+    if ex.os_live == 0 {
+        ex.exec_done = true;
+    }
+    drop(ex);
+    shared.cv.notify_all();
+
+    IN_MODEL.with(|m| m.set(false));
+    IN_ABORT.with(|a| a.set(false));
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool: OS threads are reused across the (many) executions of
+// a DFS run instead of being spawned per model thread.
+
+type Job = Box<dyn FnOnce() + Send>;
+
+struct PoolInner {
+    q: OsMutex<(Vec<Job>, bool)>,
+    cv: OsCondvar,
+}
+
+pub(crate) struct Pool {
+    inner: Arc<PoolInner>,
+    handles: OsMutex<Vec<std::thread::JoinHandle<()>>>,
+    spawned: std::sync::atomic::AtomicUsize,
+}
+
+impl Pool {
+    pub(crate) fn new() -> Pool {
+        Pool {
+            inner: Arc::new(PoolInner {
+                q: OsMutex::new((Vec::new(), false)),
+                cv: OsCondvar::new(),
+            }),
+            handles: OsMutex::new(Vec::new()),
+            spawned: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    pub(crate) fn submit(&self, job: Job) {
+        {
+            let mut q = self.inner.q.lock().unwrap_or_else(|e| e.into_inner());
+            q.0.push(job);
+        }
+        self.inner.cv.notify_one();
+        // Every live model thread occupies a worker while parked, so
+        // keep one worker per possible model thread. The counter only
+        // gates the first MAX_THREADS submits; later ones reuse.
+        if self.spawned.fetch_add(1, Ordering::Relaxed) < MAX_THREADS {
+            let inner = Arc::clone(&self.inner);
+            let h = std::thread::Builder::new()
+                .name("celeste-check-worker".into())
+                .spawn(move || worker_loop(inner))
+                .expect("spawn model worker");
+            self.handles
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(h);
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut q = self.inner.q.lock().unwrap_or_else(|e| e.into_inner());
+            q.1 = true;
+        }
+        self.inner.cv.notify_all();
+        let handles = std::mem::take(&mut *self.handles.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: Arc<PoolInner>) {
+    loop {
+        let job = {
+            let mut q = inner.q.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(j) = q.0.pop() {
+                    break j;
+                }
+                if q.1 {
+                    return;
+                }
+                q = inner.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        job();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Controller-side helpers (used by model.rs).
+
+/// Reset the execution state for a (re)run and release the root
+/// thread, then submit its job and wait for the execution to finish.
+pub(crate) fn run_one(
+    shared: &Arc<SchedShared>,
+    body: Arc<dyn Fn() + Send + Sync>,
+    trail: Trail,
+    mutations: Vec<MutationState>,
+    preemption_bound: usize,
+    max_steps: usize,
+) -> (Trail, Vec<MutationState>, Option<String>, Vec<String>) {
+    {
+        let mut ex = shared.lock();
+        *ex = Exec::new(trail, mutations, preemption_bound, max_steps);
+    }
+    let shared2 = Arc::clone(shared);
+    shared.pool.submit(Box::new(move || {
+        worker_entry(shared2, 0, Box::new(move || body()))
+    }));
+    let mut ex = shared.lock();
+    while !ex.exec_done {
+        ex = shared.cv.wait(ex).unwrap_or_else(|e| e.into_inner());
+    }
+    let done = std::mem::replace(&mut *ex, Exec::new(Trail::default(), Vec::new(), 0, 0));
+    done.into_outcome()
+}

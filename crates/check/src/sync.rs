@@ -1,0 +1,252 @@
+//! Model drop-ins for the std sync primitives the checked sources
+//! use. Each value registers a location/mutex/condvar id with the
+//! current execution at construction; every operation is a scheduler
+//! yield point routed through the (private) `rt` module.
+//!
+//! These types only work inside `Model::check` — constructing one
+//! outside an execution panics with a clear message.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::Ordering;
+use std::sync::{LockResult, Mutex as OsMutex, MutexGuard as OsGuard};
+
+use crate::rt;
+
+/// Model [`std::sync::atomic::fence`].
+pub fn fence(ord: Ordering) {
+    rt::fence(ord);
+}
+
+/// Model `AtomicUsize`: same API surface as std's, every access a
+/// yield point in the interleaving search.
+pub struct AtomicUsize {
+    loc: usize,
+}
+
+impl AtomicUsize {
+    pub fn new(v: usize) -> AtomicUsize {
+        AtomicUsize {
+            loc: rt::new_atomic(v),
+        }
+    }
+
+    pub fn load(&self, ord: Ordering) -> usize {
+        rt::atomic_load(self.loc, ord)
+    }
+
+    pub fn store(&self, val: usize, ord: Ordering) {
+        rt::atomic_store(self.loc, val, ord);
+    }
+
+    pub fn swap(&self, val: usize, ord: Ordering) -> usize {
+        rt::atomic_rmw(self.loc, ord, Ordering::Relaxed, |_| Some(val)).0
+    }
+
+    pub fn fetch_add(&self, val: usize, ord: Ordering) -> usize {
+        rt::atomic_rmw(self.loc, ord, Ordering::Relaxed, |cur| {
+            Some(cur.wrapping_add(val))
+        })
+        .0
+    }
+
+    pub fn fetch_sub(&self, val: usize, ord: Ordering) -> usize {
+        rt::atomic_rmw(self.loc, ord, Ordering::Relaxed, |cur| {
+            Some(cur.wrapping_sub(val))
+        })
+        .0
+    }
+
+    pub fn compare_exchange(
+        &self,
+        expected: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        let (read, wrote) = rt::atomic_rmw(self.loc, success, failure, |cur| {
+            (cur == expected).then_some(new)
+        });
+        if wrote {
+            Ok(read)
+        } else {
+            Err(read)
+        }
+    }
+
+    /// Modeled as strong: spurious failures only add retry paths that
+    /// the strong model already subsumes via genuine CAS losses.
+    pub fn compare_exchange_weak(
+        &self,
+        expected: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        self.compare_exchange(expected, new, success, failure)
+    }
+}
+
+/// Model `AtomicIsize`; values round-trip through the usize store
+/// history as raw bit patterns.
+pub struct AtomicIsize {
+    loc: usize,
+}
+
+impl AtomicIsize {
+    pub fn new(v: isize) -> AtomicIsize {
+        AtomicIsize {
+            loc: rt::new_atomic(v as usize),
+        }
+    }
+
+    pub fn load(&self, ord: Ordering) -> isize {
+        rt::atomic_load(self.loc, ord) as isize
+    }
+
+    pub fn store(&self, val: isize, ord: Ordering) {
+        rt::atomic_store(self.loc, val as usize, ord);
+    }
+
+    pub fn fetch_add(&self, val: isize, ord: Ordering) -> isize {
+        rt::atomic_rmw(self.loc, ord, Ordering::Relaxed, |cur| {
+            Some((cur as isize).wrapping_add(val) as usize)
+        })
+        .0 as isize
+    }
+
+    pub fn compare_exchange(
+        &self,
+        expected: isize,
+        new: isize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<isize, isize> {
+        let (read, wrote) = rt::atomic_rmw(self.loc, success, failure, |cur| {
+            (cur as isize == expected).then_some(new as usize)
+        });
+        if wrote {
+            Ok(read as isize)
+        } else {
+            Err(read as isize)
+        }
+    }
+}
+
+/// Model `Mutex<T>`.
+///
+/// Exclusion normally comes from the model protocol (one thread runs
+/// at a time and `rt::mutex_lock` blocks on contention). The embedded
+/// *real* mutex exists for abort unwinding: when an execution aborts,
+/// several OS threads unwind concurrently and their destructors
+/// (e.g. channel `Drop` impls) still lock — the real mutex keeps the
+/// data access exclusive on that path. The real guard is released
+/// *before* the model unlock so a parked unlocker can never hold the
+/// real lock across a scheduler switch.
+pub struct Mutex<T> {
+    id: usize,
+    real: OsMutex<()>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the data is only reachable through `lock()`, which enforces
+// exclusion via the model protocol (normal mode) or the embedded real
+// mutex (abort mode), so `Mutex<T>` is as thread-safe as std's.
+unsafe impl<T: Send> Send for Mutex<T> {}
+// SAFETY: as above — `&Mutex<T>` only hands out data access under a
+// held lock.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+pub struct MutexGuard<'a, T> {
+    mx: &'a Mutex<T>,
+    real: Option<OsGuard<'a, ()>>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(data: T) -> Mutex<T> {
+        Mutex {
+            id: rt::new_mutex(),
+            real: OsMutex::new(()),
+            data: UnsafeCell::new(data),
+        }
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        // Model acquisition first (may park this thread); the real
+        // lock is uncontended in normal mode once the model grants.
+        rt::mutex_lock(self.id);
+        let real = self.real.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(MutexGuard {
+            mx: self,
+            real: Some(real),
+        })
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves exclusion (model protocol or, while
+        // aborting, the embedded real mutex), so no aliasing &mut
+        // exists for the lifetime of this borrow.
+        unsafe { &*self.mx.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — the held lock makes this the only
+        // live reference to the data.
+        unsafe { &mut *self.mx.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Real lock first: a model unlock can park this thread, and
+        // holding the real lock across the park would block the next
+        // model-granted locker at the OS level.
+        drop(self.real.take());
+        rt::mutex_unlock(self.mx.id);
+    }
+}
+
+/// Model `Condvar` (no spurious wakeups; the checked code loops on
+/// its condition regardless).
+pub struct Condvar {
+    id: usize,
+}
+
+impl Condvar {
+    pub fn new() -> Condvar {
+        Condvar { id: rt::new_cond() }
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let mx = guard.mx;
+        // Release the real lock before the model wait parks us; the
+        // guard's Drop must not run (the model mutex is released
+        // inside cond_wait as part of the atomic wait protocol).
+        drop(guard.real.take());
+        std::mem::forget(guard);
+        rt::cond_wait(self.id, mx.id);
+        let real = mx.real.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(MutexGuard {
+            mx,
+            real: Some(real),
+        })
+    }
+
+    pub fn notify_one(&self) {
+        rt::cond_notify_one(self.id);
+    }
+
+    pub fn notify_all(&self) {
+        rt::cond_notify_all(self.id);
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}

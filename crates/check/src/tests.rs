@@ -1,0 +1,533 @@
+//! Model-checker test suite: engine smoke tests, the ported deque
+//! and channel models, the store lock-protocol model, and the
+//! mutation harness that proves the checker catches seeded bugs.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::chan_port::channel;
+use crate::deque::{Deque, Steal};
+use crate::job::JobRef;
+use crate::model::{Builder, Report};
+use crate::mutate::{Mutation, OpKind};
+use crate::sync::{AtomicUsize, Mutex};
+use crate::thread;
+
+// ---------------------------------------------------------------------------
+// Engine smoke tests.
+
+#[test]
+fn engine_finds_lost_update() {
+    // Two unsynchronized increments: load+store (not RMW) so one can
+    // stomp the other. The checker must find the interleaving where
+    // the final value is 1.
+    let report = Builder::new().preemption_bound(2).check(|| {
+        let c = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&c);
+        let h = thread::spawn(move || {
+            let v = c2.load(Ordering::SeqCst);
+            c2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = c.load(Ordering::SeqCst);
+        c.store(v + 1, Ordering::SeqCst);
+        h.join().ok();
+        let total = c.load(Ordering::SeqCst);
+        assert!(total == 2, "lost update: total {total}");
+    });
+    assert!(!report.ok, "lost update must be discoverable");
+    assert!(
+        report
+            .failure
+            .as_deref()
+            .is_some_and(|m| m.contains("lost update")),
+        "unexpected failure: {:?}\ntrace:\n  {}",
+        report.failure,
+        report.trace.join("\n  ")
+    );
+}
+
+#[test]
+fn engine_passes_rmw_counter() {
+    // The same counter with fetch_add is race-free; every
+    // interleaving must pass.
+    let report = Builder::new().preemption_bound(2).check(|| {
+        let c = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&c);
+        let h = thread::spawn(move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        c.fetch_add(1, Ordering::SeqCst);
+        h.join().ok();
+        assert_eq!(c.load(Ordering::SeqCst), 2);
+    });
+    report.assert_ok();
+}
+
+#[test]
+fn engine_finds_relaxed_publication_race() {
+    // Message-passing with a relaxed flag store: the reader may see
+    // the flag without the payload. The checker must catch it; the
+    // Release/Acquire version below must pass.
+    let mp = |flag_ord: Ordering, read_ord: Ordering| {
+        move || {
+            let data = Arc::new(AtomicUsize::new(0));
+            let flag = Arc::new(AtomicUsize::new(0));
+            let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+            let h = thread::spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(1, flag_ord);
+            });
+            if flag.load(read_ord) == 1 {
+                assert_eq!(data.load(Ordering::Relaxed), 42, "saw flag without payload");
+            }
+            h.join().ok();
+        }
+    };
+    let racy = Builder::new()
+        .preemption_bound(2)
+        .check(mp(Ordering::Relaxed, Ordering::Acquire));
+    assert!(!racy.ok, "relaxed publication must be caught");
+    let sound = Builder::new()
+        .preemption_bound(2)
+        .check(mp(Ordering::Release, Ordering::Acquire));
+    sound.assert_ok();
+}
+
+// ---------------------------------------------------------------------------
+// Deque model: the production Chase-Lev source under the model.
+
+/// One item pushed *concurrently* with a thief (the spawn edge must
+/// not order the push before the steal, or the push-publication
+/// orderings would be vacuously covered). Exactly one valid copy of
+/// the item must surface.
+fn deque_push_vs_steal() {
+    let d = Arc::new(Deque::new());
+    let d2 = Arc::clone(&d);
+    let thief = thread::spawn(move || {
+        let mut got = Vec::new();
+        for _ in 0..2 {
+            match d2.steal() {
+                Steal::Success(j) => {
+                    got.push(j);
+                    break;
+                }
+                Steal::Empty | Steal::Retry => {}
+            }
+        }
+        got
+    });
+    d.push(JobRef::sentinel(0)).unwrap();
+    let mut got = thief.join().expect("thief result");
+    while let Some(j) = d.pop() {
+        got.push(j);
+    }
+    assert_eq!(
+        got.len(),
+        1,
+        "item lost or duplicated ({} copies)",
+        got.len()
+    );
+    assert_eq!(
+        got[0],
+        JobRef::sentinel(0),
+        "stale slot words: {:?}",
+        got[0]
+    );
+    assert!(d.is_empty());
+}
+
+/// Two items, owner pops once while a thief steals up to twice, then
+/// the owner drains. Conservation: every pushed item surfaces exactly
+/// once — this is the closure that exposes the pop/steal SeqCst-fence
+/// dichotomy (double-take of the last slot when either fence is
+/// weakened) and the size-1 pop-vs-steal CAS arbitration.
+fn deque_two_item_workout() {
+    let d = Arc::new(Deque::new());
+    d.push(JobRef::sentinel(0)).unwrap();
+    d.push(JobRef::sentinel(1)).unwrap();
+    let d2 = Arc::clone(&d);
+    let thief = thread::spawn(move || {
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            match d2.steal() {
+                Steal::Success(j) => {
+                    got.push(j);
+                    if got.len() == 2 {
+                        break;
+                    }
+                }
+                Steal::Empty => break,
+                Steal::Retry => {}
+            }
+        }
+        got
+    });
+    let mut got = Vec::new();
+    if let Some(j) = d.pop() {
+        got.push(j);
+    }
+    got.append(&mut thief.join().expect("thief result"));
+    while let Some(j) = d.pop() {
+        got.push(j);
+    }
+    let mut words: Vec<usize> = got.iter().map(|j| j.data).collect();
+    words.sort_unstable();
+    assert_eq!(
+        words,
+        vec![JobRef::sentinel(0).data, JobRef::sentinel(1).data],
+        "deque conservation violated"
+    );
+    assert!(d.is_empty());
+}
+
+#[test]
+fn deque_push_vs_steal_is_sound() {
+    Builder::new()
+        .preemption_bound(3)
+        .check(deque_push_vs_steal)
+        .assert_ok();
+}
+
+#[test]
+fn deque_two_item_workout_is_sound() {
+    Builder::new()
+        .preemption_bound(3)
+        .check(deque_two_item_workout)
+        .assert_ok();
+}
+
+// ---------------------------------------------------------------------------
+// Channel model: the vendored crossbeam shim under the model.
+
+/// Consumer blocks, producer sends one value then leaks the sender
+/// (no disconnect broadcast): delivery depends entirely on send's
+/// `notify_one`.
+fn chan_send_wakes_consumer() {
+    let (tx, rx) = channel::unbounded::<u32>();
+    let consumer = thread::spawn(move || rx.recv());
+    tx.send(7).unwrap();
+    // Leak the sender: the disconnect broadcast must not be what
+    // rescues a lost wakeup.
+    std::mem::forget(tx);
+    let got = consumer.join().expect("consumer result");
+    assert_eq!(got.ok(), Some(7));
+}
+
+/// Two consumers block on an empty queue; dropping the last sender
+/// must wake *both* so each observes the disconnect.
+fn chan_disconnect_wakes_all() {
+    let (tx, rx) = channel::unbounded::<u32>();
+    let rx2 = rx.clone();
+    let c1 = thread::spawn(move || rx.recv());
+    let c2 = thread::spawn(move || rx2.recv());
+    drop(tx);
+    let r1 = c1.join().expect("consumer 1");
+    let r2 = c2.join().expect("consumer 2");
+    assert!(
+        r1.is_err() && r2.is_err(),
+        "both consumers must see disconnect"
+    );
+}
+
+/// MPMC conservation: two values, two competing consumers, ended by
+/// disconnect. Every value is delivered exactly once.
+fn chan_two_consumers_drain() {
+    let (tx, rx) = channel::unbounded::<u32>();
+    let rx2 = rx.clone();
+    let c1 = thread::spawn(move || rx.iter().collect::<Vec<_>>());
+    let c2 = thread::spawn(move || rx2.iter().collect::<Vec<_>>());
+    tx.send(7).unwrap();
+    tx.send(8).unwrap();
+    drop(tx);
+    let mut all = c1.join().expect("consumer 1");
+    all.append(&mut c2.join().expect("consumer 2"));
+    all.sort_unstable();
+    assert_eq!(all, vec![7, 8], "channel lost or duplicated a value");
+}
+
+#[test]
+fn channel_send_wakes_consumer_is_sound() {
+    Builder::new()
+        .preemption_bound(3)
+        .check(chan_send_wakes_consumer)
+        .assert_ok();
+}
+
+#[test]
+fn channel_disconnect_wakes_all_is_sound() {
+    Builder::new()
+        .preemption_bound(3)
+        .check(chan_disconnect_wakes_all)
+        .assert_ok();
+}
+
+#[test]
+fn channel_two_consumers_drain_is_sound() {
+    Builder::new()
+        .preemption_bound(3)
+        .check(chan_two_consumers_drain)
+        .assert_ok();
+}
+
+// ---------------------------------------------------------------------------
+// Store lock-protocol model: a miniature of CatalogStore's id-stripe
+// -> cell-shard discipline (model mutexes standing in for the
+// parking_lot locks; see crates/store's lock-order witness).
+
+/// Both threads honor id-stripe (A) before cell-shard (B): every
+/// interleaving completes.
+fn store_lock_order_honored() {
+    let a = Arc::new(Mutex::new(0u32));
+    let b = Arc::new(Mutex::new(0u32));
+    let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+    let h = thread::spawn(move || {
+        let _ga = a2.lock().unwrap();
+        let mut gb = b2.lock().unwrap();
+        *gb += 1;
+    });
+    {
+        let _ga = a.lock().unwrap();
+        let mut gb = b.lock().unwrap();
+        *gb += 1;
+    }
+    h.join().ok();
+}
+
+/// One thread inverts the order (B then A): classic ABBA — the
+/// checker must find the deadlock.
+fn store_lock_order_inverted() {
+    let a = Arc::new(Mutex::new(0u32));
+    let b = Arc::new(Mutex::new(0u32));
+    let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+    let h = thread::spawn(move || {
+        let _gb = b2.lock().unwrap();
+        let mut ga = a2.lock().unwrap();
+        *ga += 1;
+    });
+    {
+        let _ga = a.lock().unwrap();
+        let mut gb = b.lock().unwrap();
+        *gb += 1;
+    }
+    h.join().ok();
+}
+
+/// The store's cell-migration invariant: while an id moves between
+/// cells, a reader holding the id-stripe lock must always find it.
+/// `gap` models releasing the stripe between remove and re-insert.
+fn store_migration(gap: bool) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        // stripe guards the id -> cell mapping; present[cell] is the
+        // per-cell membership the reader checks.
+        let stripe = Arc::new(Mutex::new(0usize));
+        let present = Arc::new([Mutex::new(true), Mutex::new(false)]);
+        let (stripe2, present2) = (Arc::clone(&stripe), Arc::clone(&present));
+        let writer = thread::spawn(move || {
+            if gap {
+                // Buggy: the id vanishes between the two criticals.
+                {
+                    let cell = *stripe2.lock().unwrap();
+                    *present2[cell].lock().unwrap() = false;
+                }
+                {
+                    let mut cell = stripe2.lock().unwrap();
+                    *present2[1].lock().unwrap() = true;
+                    *cell = 1;
+                }
+            } else {
+                // Production order: insert-new, repoint, remove-old,
+                // all under the stripe lock.
+                let mut cell = stripe2.lock().unwrap();
+                let old = *cell;
+                *present2[1].lock().unwrap() = true;
+                *cell = 1;
+                if old != 1 {
+                    *present2[old].lock().unwrap() = false;
+                }
+            }
+        });
+        {
+            // Hold the stripe lock across the cell check, as the
+            // store's readers do — releasing it between the mapping
+            // read and the cell access would be a (different) bug.
+            let cell = stripe.lock().unwrap();
+            let here = *present[*cell].lock().unwrap();
+            assert!(here, "reader found its id in no cell (migration gap)");
+        }
+        writer.join().ok();
+    }
+}
+
+#[test]
+fn store_lock_order_model_is_sound() {
+    Builder::new()
+        .preemption_bound(3)
+        .check(store_lock_order_honored)
+        .assert_ok();
+}
+
+#[test]
+fn store_lock_order_inversion_deadlocks() {
+    let report = Builder::new()
+        .preemption_bound(3)
+        .check(store_lock_order_inverted);
+    assert!(!report.ok, "ABBA inversion must deadlock");
+    assert!(
+        report
+            .failure
+            .as_deref()
+            .is_some_and(|m| m.contains("deadlock")),
+        "unexpected failure: {:?}",
+        report.failure
+    );
+}
+
+#[test]
+fn store_migration_model_is_sound() {
+    Builder::new()
+        .preemption_bound(3)
+        .check(store_migration(false))
+        .assert_ok();
+}
+
+#[test]
+fn store_migration_gap_is_caught() {
+    let report = Builder::new()
+        .preemption_bound(3)
+        .check(store_migration(true));
+    assert!(!report.ok, "migration gap must be observable");
+    assert!(
+        report
+            .failure
+            .as_deref()
+            .is_some_and(|m| m.contains("migration gap")),
+        "unexpected failure: {:?}",
+        report.failure
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Mutation harness: every seeded weakening of the production
+// orderings must be caught. Location ids follow creation order in
+// `Deque::new`: a0 = top, a1 = bottom, a2.. = slot words. Thread ids:
+// t0 = owner/root, t1 = the spawned thief.
+//
+// Deliberately NOT seeded (benign in this fixed-capacity variant, by
+// hand analysis):
+//  - push/steal `top.load(Acquire)` -> Relaxed: the Acquire only
+//    tightens the emptiness estimate; the CAS on `top` re-validates.
+//  - CAS success/failure orderings: the model's strong RMW reads the
+//    latest store, so arbitration never depends on them here.
+
+fn run_mutation(m: Mutation, bound: usize, closure: fn()) -> Report {
+    Builder::new()
+        .preemption_bound(bound)
+        .mutate(m)
+        .check(closure)
+}
+
+#[test]
+fn mutation_push_bottom_release_to_relaxed_is_caught() {
+    // push's `bottom.store(Release)` publishes the slot words; a
+    // relaxed store lets the thief read stale slot contents.
+    let r = run_mutation(
+        Mutation::Weaken {
+            thread: None,
+            loc: Some(1),
+            kind: OpKind::Store,
+            from: Ordering::Release,
+            to: Ordering::Relaxed,
+        },
+        3,
+        deque_push_vs_steal,
+    );
+    r.assert_caught();
+}
+
+#[test]
+fn mutation_pop_fence_seqcst_to_acquire_is_caught() {
+    // pop's SeqCst fence orders the bottom decrement before the top
+    // read; weakened, the owner fast-pops a slot a thief also takes.
+    let r = run_mutation(
+        Mutation::Weaken {
+            thread: Some(0),
+            loc: None,
+            kind: OpKind::Fence,
+            from: Ordering::SeqCst,
+            to: Ordering::Acquire,
+        },
+        2,
+        deque_two_item_workout,
+    );
+    r.assert_caught();
+}
+
+#[test]
+fn mutation_steal_fence_seqcst_to_acquire_is_caught() {
+    // steal's SeqCst fence forces a fresh bottom read; weakened, the
+    // thief over-reads past the owner's decrement.
+    let r = run_mutation(
+        Mutation::Weaken {
+            thread: Some(1),
+            loc: None,
+            kind: OpKind::Fence,
+            from: Ordering::SeqCst,
+            to: Ordering::Acquire,
+        },
+        2,
+        deque_two_item_workout,
+    );
+    r.assert_caught();
+}
+
+#[test]
+fn mutation_steal_bottom_acquire_to_relaxed_is_caught() {
+    // steal's `bottom.load(Acquire)` synchronizes with push's
+    // Release; relaxed, the slot words may predate the push.
+    let r = run_mutation(
+        Mutation::Weaken {
+            thread: Some(1),
+            loc: Some(1),
+            kind: OpKind::Load,
+            from: Ordering::Acquire,
+            to: Ordering::Relaxed,
+        },
+        3,
+        deque_push_vs_steal,
+    );
+    r.assert_caught();
+}
+
+#[test]
+fn mutation_suppressed_notify_one_is_caught() {
+    // Losing send's notify_one strands the blocked consumer (the
+    // leaked sender means no disconnect broadcast rescues it).
+    let r = run_mutation(
+        Mutation::SuppressNotifyOne { cond: None },
+        2,
+        chan_send_wakes_consumer,
+    );
+    r.assert_caught();
+    assert!(
+        r.failure.as_deref().is_some_and(|m| m.contains("deadlock")),
+        "expected deadlock, got {:?}",
+        r.failure
+    );
+}
+
+#[test]
+fn mutation_notify_all_to_one_is_caught() {
+    // Degrading the disconnect broadcast to notify_one strands one of
+    // the two blocked consumers.
+    let r = run_mutation(
+        Mutation::NotifyAllToOne { cond: None },
+        2,
+        chan_disconnect_wakes_all,
+    );
+    r.assert_caught();
+    assert!(
+        r.failure.as_deref().is_some_and(|m| m.contains("deadlock")),
+        "expected deadlock, got {:?}",
+        r.failure
+    );
+}

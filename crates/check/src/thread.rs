@@ -1,0 +1,46 @@
+//! Model threads: `spawn`/`join` with the same shape as
+//! `std::thread`, scheduled by the model's exhaustive scheduler.
+
+use std::sync::{Arc, Mutex as OsMutex};
+
+use crate::rt;
+
+pub struct JoinHandle<T> {
+    tid: usize,
+    /// Written exactly once by the child before it terminates; the
+    /// join op's happens-before edge orders the read after it.
+    result: Arc<OsMutex<Option<T>>>,
+}
+
+/// Spawn a model thread running `f`. At most
+/// [`crate::vv::MAX_THREADS`] threads (root included) per execution.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let result = Arc::new(OsMutex::new(None));
+    let slot = Arc::clone(&result);
+    let tid = rt::spawn_thread(Box::new(move || {
+        let v = f();
+        *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+    }));
+    JoinHandle { tid, result }
+}
+
+impl<T> JoinHandle<T> {
+    /// Block until the thread terminates; returns its result. Unlike
+    /// std, a panicking child aborts the whole execution (the checker
+    /// reports it), so join itself cannot observe an Err. The
+    /// `Result<_, ()>` shape exists only to mirror `std::thread`'s
+    /// signature for the dual-instantiation sources.
+    #[allow(clippy::result_unit_err)]
+    pub fn join(self) -> Result<T, ()> {
+        rt::join_thread(self.tid);
+        self.result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .ok_or(())
+    }
+}

@@ -1,0 +1,67 @@
+//! Vector clocks over the model's (small, fixed) thread universe.
+
+/// Maximum model threads per execution, root included. Exhaustive
+/// interleaving search is exponential in thread count; every model in
+/// this workspace needs at most an owner plus two or three peers.
+pub const MAX_THREADS: usize = 4;
+
+/// A vector clock: one Lamport component per model thread. Component
+/// `t` counts the store/fence events thread `t` has performed;
+/// `a.covers(t, s)` means the owner of `a` has (transitively)
+/// synchronized with event `s` of thread `t`.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct VersionVec {
+    v: [u32; MAX_THREADS],
+}
+
+impl VersionVec {
+    /// The all-zero clock (knows of no events).
+    pub fn new() -> VersionVec {
+        VersionVec::default()
+    }
+
+    /// Pointwise maximum: afterwards `self` covers everything either
+    /// clock covered. The heart of acquire/release propagation.
+    pub fn join(&mut self, other: &VersionVec) {
+        for (a, b) in self.v.iter_mut().zip(other.v.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Component for thread `t`.
+    pub fn get(&self, t: usize) -> u32 {
+        self.v[t]
+    }
+
+    /// Bump thread `t`'s component (a new event by `t`); returns the
+    /// event's sequence number.
+    pub fn inc(&mut self, t: usize) -> u32 {
+        self.v[t] += 1;
+        self.v[t]
+    }
+
+    /// Whether this clock has seen event `seq` of thread `t`.
+    pub fn covers(&self, t: usize, seq: u32) -> bool {
+        self.v[t] >= seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VersionVec::new();
+        let mut b = VersionVec::new();
+        a.inc(0);
+        a.inc(0);
+        b.inc(1);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+        assert!(a.covers(0, 2));
+        assert!(a.covers(1, 1));
+        assert!(!a.covers(1, 2));
+    }
+}

@@ -21,6 +21,8 @@
 //! imbalance (idle before the slowest process finishes), and other
 //! (scheduling + parameter/output I/O).
 
+#![forbid(unsafe_code)]
+
 pub mod calibrate;
 pub mod report;
 pub mod sim;

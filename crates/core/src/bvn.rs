@@ -1149,6 +1149,10 @@ fn route_counts_lanes(lanes: &Lanes, center: [f64; 2], px: f64, py: f64) -> Rout
 
 /// The vectorized value-path instantiation: no survivor compression,
 /// each 8-wide screening chunk routed by [`classify_chunk`].
+///
+/// # Safety
+/// Caller must have verified `avx2`+`fma` support at runtime (every
+/// call site gates on `fused::fma_enabled()`).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn eval_value_lanes_fma(lanes: &Lanes, center: [f64; 2], px: f64, py: f64) -> f64 {
@@ -1343,6 +1347,10 @@ fn eval_lanes(lanes: &Lanes, center: [f64; 2], px: f64, py: f64, with_shape: boo
 /// dead lanes masked to `e = 0` ([`exp4_masked`]), sparser groups
 /// stream their survivors through the scalar [`eval_block`] (same
 /// instantiation, so screening rounds identically everywhere).
+///
+/// # Safety
+/// Caller must have verified `avx2`+`fma` support at runtime (every
+/// call site gates on `fused::fma_enabled()`).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn eval_lanes_fma(
@@ -1513,7 +1521,10 @@ impl GeoAcc4 {
 #[cfg(target_arch = "x86_64")]
 #[inline(always)]
 fn ld4(soa: &[f64], n: usize, f: usize, g: usize) -> [f64; EXP_BATCH] {
-    soa[f * n + g..f * n + g + EXP_BATCH].try_into().unwrap()
+    let base = f * n + g;
+    let mut out = [0.0; EXP_BATCH];
+    out.copy_from_slice(&soa[base..base + EXP_BATCH]);
+    out
 }
 
 /// Derivative assembly for one batch of four *consecutive* surviving

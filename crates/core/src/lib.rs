@@ -25,6 +25,7 @@
 //! * [`flops`] — active-pixel-visit accounting (paper §VI-B).
 
 pub mod bvn;
+pub mod dense;
 pub mod flops;
 pub mod fluxdist;
 pub mod generic;

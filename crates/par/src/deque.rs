@@ -20,11 +20,65 @@
 //! splitting is depth-logarithmic, so a worker's deque holds O(log n)
 //! jobs plus spawned scope work — 1024 slots is far beyond any real
 //! depth here.
+//!
+//! # Memory-ordering argument
+//!
+//! Every ordering below is load-bearing; `celeste-check`'s mutation
+//! harness (`crates/check/src/tests.rs`) demonstrates a detectable
+//! failure for each weakening, and the model suite passes the deque
+//! exhaustively as written. The argument, ordering by ordering:
+//!
+//! - **`push`: `bottom.store(b + 1, Release)`** — publishes the slot
+//!   words written by `write_slot`. A thief that *acquires* this
+//!   `bottom` value (in `steal`) therefore sees the slot contents the
+//!   owner wrote before it. Weakened to `Relaxed`, a thief can
+//!   observe the new `bottom` but stale slot words and execute a
+//!   garbage `JobRef` (mutation `M1`).
+//! - **`push`: `top.load(Acquire)`** — only bounds the fullness
+//!   check. `Acquire` orders it before the slot write for the lapped
+//!   case; the CAS protocol makes a stale (smaller) `top` value
+//!   merely conservative (spurious `Err(full)`), never unsound.
+//! - **`pop`: `fence(SeqCst)` between the `bottom` decrement and the
+//!   `top` read** — the owner must make its claim on the bottom slot
+//!   globally visible *before* checking whether a thief could hold
+//!   the same slot. The fence pairs with `steal`'s fence in the
+//!   single total SeqCst order: whichever executes later sees the
+//!   other side's write. Weakened to `Acquire` (mutation `M2`), the
+//!   owner can read a stale `top`, take the `t < b` fast path, and
+//!   hand out a slot a thief also steals — a double-execute.
+//! - **`pop`/`steal`: the `top` CAS (`SeqCst` success)** — the
+//!   arbitration point for the last element: exactly one of
+//!   {owner, thief} wins `top = t → t+1`. The *values* make the
+//!   algorithm correct here (a strong CAS on a single location);
+//!   SeqCst keeps the CAS inside the same total order as the two
+//!   fences so the claim and the fence-protected reads can't be
+//!   mutually reordered.
+//! - **`steal`: `top.load(Acquire)` then `fence(SeqCst)` then
+//!   `bottom.load(Acquire)`** — the fence pairs with `pop`'s: a thief
+//!   that runs its fence after an owner's pop-fence must see the
+//!   decremented `bottom` and bail out (`Empty`) instead of stealing
+//!   the slot the owner is popping. Weakened to `Acquire` (mutation
+//!   `M3`), the thief can read the pre-pop `bottom` and both sides
+//!   take the same job. The `Acquire` on `bottom` is what carries the
+//!   owner's `Release`-published slot writes (mutation `M4` weakens
+//!   exactly this edge and reads stale slot words).
 
 use crate::job::JobRef;
+#[cfg(not(celeste_model))]
 use std::sync::atomic::{fence, AtomicIsize, AtomicUsize, Ordering};
+// Under the model instantiation (compiled a second time inside
+// `celeste-check`; see that crate's build.rs) the same names bind the
+// model-checked primitives, so every access below becomes a yield
+// point in the exhaustive interleaving search.
+#[cfg(celeste_model)]
+use crate::model_sync::{fence, AtomicIsize, AtomicUsize, Ordering};
 
+#[cfg(not(celeste_model))]
 const CAP: usize = 1024;
+// The model registers one location per atomic: keep the buffer small
+// so a checked deque is ~18 locations, not ~2050.
+#[cfg(celeste_model)]
+const CAP: usize = 8;
 const MASK: isize = CAP as isize - 1;
 
 /// One buffer slot: the two words of a [`JobRef`]. Relaxed atomics —
@@ -79,9 +133,12 @@ impl Deque {
         slot.execute_fn.store(execute_fn, Ordering::Relaxed);
     }
 
-    /// Read a slot's words. The caller must either own the slot (pop)
-    /// or validate the read with a successful CAS on `top` (steal)
-    /// before trusting the returned job.
+    /// Read a slot's words.
+    ///
+    /// # Safety
+    /// The caller must either own the slot (pop) or validate the read
+    /// with a successful CAS on `top` (steal) before trusting the
+    /// returned job; an unvalidated value must be discarded unused.
     unsafe fn read_slot(&self, index: isize) -> JobRef {
         let slot = &self.slots[(index & MASK) as usize];
         JobRef::from_words(
@@ -114,7 +171,7 @@ impl Deque {
         fence(Ordering::SeqCst);
         let t = self.top.load(Ordering::Relaxed);
         if t <= b {
-            // Safety: with bottom lowered past this slot, no thief
+            // SAFETY: with bottom lowered past this slot, no thief
             // whose CAS succeeds can also hand it out (the t == b
             // race below is resolved through top).
             let job = unsafe { self.read_slot(b) };
@@ -143,10 +200,10 @@ impl Deque {
         if t >= b {
             return Steal::Empty;
         }
-        // Speculative read: may race an owner push that lapped the
-        // buffer (defined behavior — the slot words are atomics). The
-        // CAS below validates the read; on failure the value is
-        // discarded unused.
+        // SAFETY: speculative read — it may race an owner push that
+        // lapped the buffer (defined behavior, the slot words are
+        // atomics). The CAS below validates the read; on failure the
+        // value is discarded unused, satisfying read_slot's contract.
         let job = unsafe { self.read_slot(t) };
         if self
             .top

@@ -81,7 +81,7 @@ impl PartialEq for JobRef {
 
 impl Eq for JobRef {}
 
-// Safety: a JobRef is only constructed from jobs whose closures are
+// SAFETY: a JobRef is only constructed from jobs whose closures are
 // `Send` (enforced by the `StackJob`/`HeapJob` constructors), and is
 // executed exactly once on whichever thread dequeues it.
 unsafe impl Send for JobRef {}
@@ -145,7 +145,7 @@ pub(crate) struct StackJob<L: Latch, F, R> {
     result: UnsafeCell<JobResult<R>>,
 }
 
-// Safety: the closure is Send (constructor bound); the result slot is
+// SAFETY: the closure is Send (constructor bound); the result slot is
 // only touched by the single executing thread before the latch fires
 // and by the single waiting thread after.
 unsafe impl<L: Latch + Sync, F: Send, R: Send> Sync for StackJob<L, F, R> {}
@@ -191,6 +191,10 @@ where
     F: FnOnce() -> R + Send,
     R: Send,
 {
+    // SAFETY: `this` is the pointer `as_job_ref` erased; the stack
+    // frame it points into outlives execution (callers block on the
+    // latch), and nothing else touches the cells until the latch
+    // fires.
     unsafe fn execute(this: *const ()) {
         let this = &*(this as *const Self);
         let func = (*this.func.get()).take().expect("StackJob run twice");
@@ -214,12 +218,15 @@ impl HeapJob {
     /// Box `func` and return the job ref that will run and free it.
     pub(crate) fn boxed(func: Box<dyn FnOnce() + Send>) -> JobRef {
         let raw = Box::into_raw(Box::new(HeapJob { func }));
-        // Safety: the box stays alive until execute reclaims it.
+        // SAFETY: the box stays alive until execute reclaims it.
         unsafe { JobRef::new(raw) }
     }
 }
 
 impl Job for HeapJob {
+    // SAFETY: `this` is the `Box::into_raw` pointer from `boxed`,
+    // executed exactly once, so reclaiming the box here is the sole
+    // owner freeing it.
     unsafe fn execute(this: *const ()) {
         let job = Box::from_raw(this as *mut Self);
         (job.func)();

@@ -92,6 +92,9 @@ fn current_worker<'a>() -> Option<&'a WorkerCtx> {
         if ptr.is_null() {
             None
         } else {
+            // SAFETY: non-null means we are on the worker thread
+            // whose stack frame owns the ctx (see the fn docs), so
+            // the reference cannot dangle while this thread runs.
             Some(unsafe { &*ptr })
         }
     })
@@ -160,7 +163,7 @@ impl ThreadPool {
             }
         }
         let job = StackJob::new(LockLatch::default(), f);
-        // Safety: we block on the latch below, so the stack job
+        // SAFETY: we block on the latch below, so the stack job
         // outlives its execution.
         let job_ref = unsafe { job.as_job_ref() };
         inject(&self.inner, job_ref);
@@ -209,7 +212,7 @@ fn worker_main(inner: Arc<PoolInner>, index: usize) {
 /// whole process beats a silently dead worker and a hung pool.
 fn execute_job(job: JobRef) {
     let aborter = AbortOnUnwind;
-    // Safety: every JobRef in a queue came from a live job.
+    // SAFETY: every JobRef in a queue came from a live job.
     unsafe { job.execute() };
     std::mem::forget(aborter);
 }
@@ -345,7 +348,7 @@ where
     RB: Send,
 {
     let job_b = StackJob::new(SpinLatch::default(), oper_b);
-    // Safety: this frame blocks on the latch before returning (even
+    // SAFETY: this frame blocks on the latch before returning (even
     // when `oper_a` panics), so the job outlives its execution.
     let ref_b = unsafe { job_b.as_job_ref() };
     push_job(ctx, ref_b);
@@ -490,7 +493,7 @@ impl<'scope> Scope<'scope> {
             state.job_done();
         };
         let boxed: Box<dyn FnOnce() + Send + 'scope> = Box::new(wrapped);
-        // Safety: the scope's wait_all keeps every borrow in `f` alive
+        // SAFETY: the scope's wait_all keeps every borrow in `f` alive
         // until the job has run, which is exactly the guarantee the
         // 'static erasure needs.
         let boxed: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(boxed) };

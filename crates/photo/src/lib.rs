@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![allow(clippy::needless_range_loop)] // lockstep-indexed numeric kernels
 //! A "Photo"-like heuristic cataloging pipeline (DESIGN.md S6).
 //!

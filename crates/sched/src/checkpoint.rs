@@ -187,7 +187,12 @@ impl Checkpoint {
         }
         let fingerprint = buf.get_u64_le();
         let n_regions = buf.get_u32_le() as usize;
-        let mut completed = Vec::with_capacity(n_regions.min(1 << 16));
+        // Preallocation is capped by what the buffer could possibly
+        // hold (the minimum encoded region is 85 bytes), so a
+        // length-lying header can cost at most `remaining / 85`
+        // reserved slots — never an OOM-sized reservation.
+        const MIN_REGION_BYTES: usize = 8 + 1 + 4 + 4 + 7 * 8 + 8 + 4;
+        let mut completed = Vec::with_capacity(n_regions.min(buf.remaining() / MIN_REGION_BYTES));
         for _ in 0..n_regions {
             need(&buf, 8 + 1 + 4 + 4, "region header")?;
             let task_id = buf.get_u64_le();
@@ -195,7 +200,15 @@ impl Checkpoint {
             let node = buf.get_u32_le() as usize;
             let n_sources = buf.get_u32_le() as usize;
             let per_source = 8 + 16 + NUM_PARAMS * 8;
-            need(&buf, n_sources * per_source + 7 * 8, "region body")?;
+            let body = n_sources
+                .checked_mul(per_source)
+                .and_then(|b| b.checked_add(7 * 8))
+                .ok_or_else(|| {
+                    CheckpointError::Malformed("source count overflows region body".into())
+                })?;
+            need(&buf, body, "region body")?;
+            // `need` proved the bytes exist, so this reservation is
+            // bounded by the actual buffer size.
             let mut sources = Vec::with_capacity(n_sources);
             for _ in 0..n_sources {
                 let id = buf.get_u64_le();
@@ -218,7 +231,11 @@ impl Checkpoint {
             need(&buf, 8 + 4, "provenance header")?;
             let config_hash = buf.get_u64_le();
             let n_keys = buf.get_u32_le() as usize;
-            need(&buf, n_keys * (4 + 2 + 2 + 1), "provenance keys")?;
+            let keys_bytes = n_keys.checked_mul(4 + 2 + 2 + 1).ok_or_else(|| {
+                CheckpointError::Malformed("key count overflows provenance body".into())
+            })?;
+            need(&buf, keys_bytes, "provenance keys")?;
+            // Bounded by the actual buffer size, as above.
             let mut image_keys = Vec::with_capacity(n_keys);
             for _ in 0..n_keys {
                 let run = buf.get_u32_le();

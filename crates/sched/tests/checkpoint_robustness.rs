@@ -1,0 +1,194 @@
+//! Decode-robustness properties for the `SCKP` v2 checkpoint codec:
+//! truncated, bit-flipped, length-lying, and arbitrary-garbage inputs
+//! must come back as typed [`CheckpointError`]s (or, for payload-only
+//! bit flips, a structurally bounded `Ok`) — never a panic, never a
+//! read past the buffer, never an attacker-sized preallocation.
+
+use celeste_core::{SourceParams, NUM_PARAMS};
+use celeste_sched::checkpoint::{Checkpoint, CheckpointError};
+use celeste_sched::fault::mix64;
+use celeste_sched::runtime::RegionStats;
+use celeste_sched::{RegionProvenance, RegionResult};
+use celeste_survey::bands::Band;
+use celeste_survey::skygeom::{FieldId, SkyCoord};
+use proptest::prelude::*;
+
+/// A deterministic but irregular valid checkpoint: `seed` varies the
+/// region count, per-region source counts, and provenance key counts.
+fn sample_checkpoint(seed: u64) -> Checkpoint {
+    let n_regions = (mix64(seed) % 4) as u64 + 1;
+    let completed = (0..n_regions)
+        .map(|r| {
+            let h = mix64(seed ^ (r + 1));
+            let n_sources = h % 3;
+            RegionResult {
+                task_id: h,
+                stage: (h % 2) as u8,
+                node: (h % 5) as usize,
+                sources: (0..n_sources)
+                    .map(|i| {
+                        let mut params = [0.0; NUM_PARAMS];
+                        for (j, p) in params.iter_mut().enumerate() {
+                            *p = f64::from_bits(mix64(h ^ (i << 8) ^ j as u64));
+                        }
+                        SourceParams {
+                            id: h ^ i,
+                            base_pos: SkyCoord::new(
+                                (h % 360) as f64,
+                                (h % 120) as f64 / 2.0 - 30.0,
+                            ),
+                            params,
+                        }
+                    })
+                    .collect(),
+                stats: RegionStats {
+                    passes: 1,
+                    batches: 2,
+                    fits: (h % 100) as usize,
+                    newton_iters: 17,
+                    conflict_edges: 3,
+                    active_pixels: 4096,
+                    graph_builds: 1,
+                },
+                provenance: RegionProvenance {
+                    image_keys: (0..h % 4)
+                        .map(|k| {
+                            (
+                                FieldId {
+                                    run: (h >> 8) as u32,
+                                    camcol: (k + 1) as u16,
+                                    field: k as u16,
+                                },
+                                Band::ALL[(k % 5) as usize],
+                            )
+                        })
+                        .collect(),
+                    config_hash: mix64(h),
+                },
+            }
+        })
+        .collect();
+    Checkpoint {
+        fingerprint: mix64(seed ^ 0xF1),
+        completed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every strict prefix of a valid encoding is a typed Malformed
+    /// error: the format carries explicit counts, so running out of
+    /// bytes early is always detectable (and must never over-read).
+    #[test]
+    fn truncation_is_a_typed_error(seed in 0u64..1_000_000, frac in 0.0..1.0f64) {
+        let bytes = sample_checkpoint(seed).encode();
+        let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+        prop_assert!(
+            matches!(
+                Checkpoint::decode(&bytes[..cut]),
+                Err(CheckpointError::Malformed(_))
+            ),
+            "truncation to {cut}/{} bytes must be Malformed",
+            bytes.len()
+        );
+    }
+
+    /// Flipping any single bit never panics: the result is either a
+    /// typed error or a decode whose structure is bounded by the
+    /// original (a flip can only land in a fixed-width field, and the
+    /// count checks keep lied counts from inflating the output).
+    #[test]
+    fn single_bit_flip_never_panics(seed in 0u64..1_000_000, pos in 0.0..1.0f64, bit in 0u32..8) {
+        let mut bytes = sample_checkpoint(seed).encode();
+        let n_regions_orig = sample_checkpoint(seed).completed.len();
+        let idx = ((bytes.len() - 1) as f64 * pos) as usize;
+        bytes[idx] ^= 1 << bit;
+        match Checkpoint::decode(&bytes) {
+            Err(CheckpointError::Malformed(_)) => {}
+            Err(other) => prop_assert!(false, "unexpected error variant: {other:?}"),
+            Ok(ckpt) => {
+                // A flip below the region count can only shrink or
+                // keep the region count (growing it would demand
+                // bytes the buffer doesn't have — except a flip in
+                // the count field itself when regions are empty
+                // enough to re-parse, which the size cap bounds).
+                prop_assert!(
+                    ckpt.completed.len() <= n_regions_orig.max(1) * 8 + 8,
+                    "decoded {} regions from a 1-bit corruption of {}",
+                    ckpt.completed.len(),
+                    n_regions_orig
+                );
+            }
+        }
+    }
+
+    /// Arbitrary garbage never panics and never over-reads: decode
+    /// returns some typed result for every input.
+    #[test]
+    fn arbitrary_garbage_never_panics(bytes in prop::collection::vec(0u32..256, 0..256)) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let _ = Checkpoint::decode(&bytes);
+    }
+
+    /// Garbage behind a valid header prefix (magic + version) drives
+    /// the interior paths: still typed, still panic-free.
+    #[test]
+    fn garbage_with_valid_header_never_panics(bytes in prop::collection::vec(0u32..256, 0..256)) {
+        let mut buf = b"SCKP\x02\x00".to_vec();
+        buf.extend(bytes.into_iter().map(|b| b as u8));
+        let _ = Checkpoint::decode(&buf);
+    }
+}
+
+/// Length-lying counts: each count field is overwritten with huge
+/// values; decode must reject with a typed error without reserving
+/// attacker-sized memory or reading past the buffer. (Deterministic
+/// offsets, so this is a plain test, not a property.)
+#[test]
+fn length_lying_counts_are_rejected() {
+    let bytes = sample_checkpoint(7).encode();
+
+    // n_regions lives at offset 14 (magic 4 + version 2 + fp 8).
+    let mut lie = bytes.clone();
+    lie[14..18].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        Checkpoint::decode(&lie),
+        Err(CheckpointError::Malformed(_))
+    ));
+
+    // n_sources of the first region: offset 18 + 8 + 1 + 4 = 31.
+    let mut lie = bytes.clone();
+    lie[31..35].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        Checkpoint::decode(&lie),
+        Err(CheckpointError::Malformed(_))
+    ));
+
+    // A lying count that would overflow `n * per_entry` on 32-bit
+    // (and is absurd on 64-bit) must also be caught by the
+    // checked-arithmetic path, not wrap around.
+    let mut lie = bytes;
+    lie[31..35].copy_from_slice(&0xFFFF_FFFFu32.to_le_bytes());
+    match Checkpoint::decode(&lie) {
+        Err(CheckpointError::Malformed(msg)) => {
+            assert!(
+                msg.contains("truncated") || msg.contains("overflow"),
+                "unexpected message: {msg}"
+            );
+        }
+        other => panic!("want Malformed, got {other:?}"),
+    }
+}
+
+/// The valid samples the mutation properties start from must
+/// themselves round-trip, or the properties above are vacuous.
+#[test]
+fn samples_round_trip() {
+    for seed in 0..32 {
+        let ckpt = sample_checkpoint(seed);
+        let decoded = Checkpoint::decode(&ckpt.encode()).expect("valid sample must decode");
+        assert_eq!(decoded.fingerprint, ckpt.fingerprint);
+        assert_eq!(decoded.completed.len(), ckpt.completed.len());
+    }
+}

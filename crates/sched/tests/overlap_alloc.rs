@@ -41,16 +41,26 @@ fn bump() {
     let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
 }
 
+// SAFETY: pure pass-through to `System` plus a TLS counter bump;
+// every GlobalAlloc contract obligation is delegated unchanged.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds GlobalAlloc's layout contract; forwarded
+    // verbatim to `System`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         bump();
+        // SAFETY: same layout the caller vouched for.
         unsafe { System.alloc(layout) }
     }
+    // SAFETY: as for `alloc` — `ptr`/`layout` come from a matching
+    // `System` allocation.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: same ptr/layout pair the caller vouched for.
         unsafe { System.dealloc(ptr, layout) }
     }
+    // SAFETY: as for `alloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         bump();
+        // SAFETY: same ptr/layout/new_size the caller vouched for.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

@@ -43,8 +43,17 @@
 //!
 //! Lock ordering is deadlock-free by construction: writers take the
 //! id-index lock for a source first and then at most one cell-shard
-//! lock at a time; readers take cell-shard locks only, one at a time.
+//! lock at a time; readers take an id-stripe and then at most one
+//! cell-shard lock. The order is ranked — id-stripe (1) → cell-shard
+//! (2) → cache (3) — and *checked*: every acquisition goes through a
+//! `// lock-order:`-annotated helper (enforced by `celeste_lint`)
+//! that, under `debug_assertions`, pushes its rank on a thread-local
+//! witness stack and asserts ranks strictly increase (`mod witness`).
+//! The model-checked protocol (`crates/check`, `store_lock_order` and
+//! `store_migration` tests) exhaustively verifies the same discipline
+//! under every bounded interleaving.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 use std::collections::{BTreeMap, HashMap};
@@ -57,6 +66,66 @@ use celeste_survey::catalog::{Catalog, CatalogEntry, SourceType};
 use celeste_survey::io::ImageKey;
 use celeste_survey::skygeom::{CellId, SkyCoord, SkyRect};
 use parking_lot::{Mutex, RwLock};
+
+/// Debug-only lock-order witness: a thread-local stack of held lock
+/// ranks. Acquiring a lock whose rank is not strictly greater than
+/// the deepest held rank is a programming error and panics
+/// immediately (debug/test builds only — release builds compile the
+/// whole check away). Ranks: id-stripe (1) → cell-shard (2) →
+/// cache (3).
+mod witness {
+    /// Rank of an id-index stripe mutex.
+    pub(crate) const ID_STRIPE: u8 = 1;
+    /// Rank of a cell-shard rwlock.
+    pub(crate) const CELL_SHARD: u8 = 2;
+    /// Rank of the provenance-cache mutex.
+    pub(crate) const CACHE: u8 = 3;
+
+    #[cfg(debug_assertions)]
+    thread_local! {
+        static HELD: std::cell::RefCell<Vec<u8>> = const { std::cell::RefCell::new(Vec::new()) };
+    }
+
+    /// RAII record of one acquisition; drop order must mirror lock
+    /// release order (helpers bind it right before the guard, so both
+    /// unwind together).
+    pub(crate) struct Token {
+        #[cfg(debug_assertions)]
+        rank: u8,
+    }
+
+    /// Record acquiring a lock of `rank`, asserting the documented
+    /// order (strictly increasing ranks per thread).
+    pub(crate) fn acquire(rank: u8, class: &'static str) -> Token {
+        #[cfg(debug_assertions)]
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(&deepest) = held.last() {
+                assert!(
+                    rank > deepest,
+                    "lock-order violation: acquiring {class} (rank {rank}) while                      holding rank {deepest}; order is id-stripe (1) -> cell-shard (2) -> cache (3)"
+                );
+            }
+            held.push(rank);
+        });
+        #[cfg(not(debug_assertions))]
+        let _ = (rank, class);
+        Token {
+            #[cfg(debug_assertions)]
+            rank,
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    impl Drop for Token {
+        fn drop(&mut self) {
+            HELD.with(|held| {
+                let popped = held.borrow_mut().pop();
+                debug_assert_eq!(popped, Some(self.rank), "witness stack out of order");
+            });
+        }
+    }
+}
 
 /// Padding (degrees) around a region rect within which the campaign
 /// holds neighbor sources fixed (15″, mirroring the campaign's
@@ -252,8 +321,40 @@ impl CatalogStore {
         &self.shards[mix64(key) as usize & self.mask]
     }
 
-    fn id_stripe(&self, id: u64) -> &Mutex<HashMap<u64, CellId>> {
-        &self.ids[mix64(id) as usize & self.mask]
+    /// Run `f` holding the id stripe for `id`. The outermost lock a
+    /// writer or point-reader takes; shard accesses nest inside.
+    fn with_id_stripe<R>(&self, id: u64, f: impl FnOnce(&mut HashMap<u64, CellId>) -> R) -> R {
+        let _witness = witness::acquire(witness::ID_STRIPE, "id-stripe");
+        // lock-order: id-stripe (1) — cell-shard (2) may nest inside.
+        let mut guard = self.ids[mix64(id) as usize & self.mask].lock();
+        f(&mut guard)
+    }
+
+    /// Run `f` holding `shard` for writing.
+    fn with_shard_write<R>(&self, shard: &RwLock<Shard>, f: impl FnOnce(&mut Shard) -> R) -> R {
+        let _witness = witness::acquire(witness::CELL_SHARD, "cell-shard");
+        // lock-order: cell-shard (2) — at most one at a time, inside
+        // at most one id-stripe (1).
+        let mut guard = shard.write();
+        f(&mut guard)
+    }
+
+    /// Run `f` holding `shard` for reading.
+    fn with_shard_read<R>(&self, shard: &RwLock<Shard>, f: impl FnOnce(&Shard) -> R) -> R {
+        let _witness = witness::acquire(witness::CELL_SHARD, "cell-shard");
+        // lock-order: cell-shard (2) — at most one at a time, inside
+        // at most one id-stripe (1).
+        let guard = shard.read();
+        f(&guard)
+    }
+
+    /// Run `f` holding the provenance cache.
+    fn with_cache<R>(&self, f: impl FnOnce(&mut HashMap<u64, RegionResult>) -> R) -> R {
+        let _witness = witness::acquire(witness::CACHE, "cache");
+        // lock-order: cache (3) — innermost; never held across a
+        // stripe or shard acquisition.
+        let mut guard = self.cache.lock();
+        f(&mut guard)
     }
 
     /// Insert or update one entry. The entry is indexed under the
@@ -263,42 +364,35 @@ impl CatalogStore {
     pub fn insert(&self, entry: CatalogEntry) {
         let cell = CellId::of(&entry.pos, self.level);
         let id = entry.id;
-        let mut idx = self.id_stripe(id).lock();
-        let old = idx.insert(id, cell);
-        match old {
-            None => {
-                self.entries.fetch_add(1, Ordering::Relaxed);
-                self.shard_of(cell)
-                    .write()
-                    .cells
-                    .entry(cell)
-                    .or_default()
-                    .insert(id, entry);
-            }
-            Some(old_cell) if old_cell == cell => {
-                self.shard_of(cell)
-                    .write()
-                    .cells
-                    .entry(cell)
-                    .or_default()
-                    .insert(id, entry);
-            }
-            Some(old_cell) => {
-                self.shard_of(cell)
-                    .write()
-                    .cells
-                    .entry(cell)
-                    .or_default()
-                    .insert(id, entry);
-                let mut shard = self.shard_of(old_cell).write();
-                if let Some(cellmap) = shard.cells.get_mut(&old_cell) {
-                    cellmap.remove(&id);
-                    if cellmap.is_empty() {
-                        shard.cells.remove(&old_cell);
-                    }
+        self.with_id_stripe(id, |idx| {
+            let old = idx.insert(id, cell);
+            match old {
+                None => {
+                    self.entries.fetch_add(1, Ordering::Relaxed);
+                    self.with_shard_write(self.shard_of(cell), |s| {
+                        s.cells.entry(cell).or_default().insert(id, entry);
+                    });
+                }
+                Some(old_cell) if old_cell == cell => {
+                    self.with_shard_write(self.shard_of(cell), |s| {
+                        s.cells.entry(cell).or_default().insert(id, entry);
+                    });
+                }
+                Some(old_cell) => {
+                    self.with_shard_write(self.shard_of(cell), |s| {
+                        s.cells.entry(cell).or_default().insert(id, entry);
+                    });
+                    self.with_shard_write(self.shard_of(old_cell), |s| {
+                        if let Some(cellmap) = s.cells.get_mut(&old_cell) {
+                            cellmap.remove(&id);
+                            if cellmap.is_empty() {
+                                s.cells.remove(&old_cell);
+                            }
+                        }
+                    });
                 }
             }
-        }
+        });
     }
 
     /// Upsert every fitted source of a region result.
@@ -311,7 +405,7 @@ impl CatalogStore {
 
     /// Record `result` in the provenance cache under `key`.
     pub fn record(&self, key: u64, result: &RegionResult) {
-        self.cache.lock().insert(key, result.clone());
+        self.with_cache(|cache| cache.insert(key, result.clone()));
     }
 
     /// [`CatalogStore::ingest`] plus [`CatalogStore::record`] — the
@@ -326,7 +420,7 @@ impl CatalogStore {
     /// caller rewrites `task_id`/`stage` to the re-run's plan before
     /// replaying it as resume state.
     pub fn cached_region(&self, key: u64) -> Option<RegionResult> {
-        let hit = self.cache.lock().get(&key).cloned();
+        let hit = self.with_cache(|cache| cache.get(&key).cloned());
         if hit.is_some() {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -335,13 +429,15 @@ impl CatalogStore {
 
     /// The current entry for a source id, if present.
     pub fn get(&self, id: u64) -> Option<CatalogEntry> {
-        let cell = *self.id_stripe(id).lock().get(&id)?;
-        self.shard_of(cell)
-            .read()
-            .cells
-            .get(&cell)
-            .and_then(|m| m.get(&id))
-            .cloned()
+        // Hold the stripe across the shard read so the id → cell
+        // mapping can't be repointed mid-lookup (the model's
+        // `store_migration` reader checks exactly this discipline).
+        self.with_id_stripe(id, |idx| {
+            let cell = *idx.get(&id)?;
+            self.with_shard_read(self.shard_of(cell), |s| {
+                s.cells.get(&cell).and_then(|m| m.get(&id)).cloned()
+            })
+        })
     }
 
     /// Number of distinct sources stored.
@@ -356,12 +452,16 @@ impl CatalogStore {
 
     /// Occupancy and traffic counters.
     pub fn stats(&self) -> CatalogStoreStats {
-        let cells = self.shards.iter().map(|s| s.read().cells.len()).sum();
+        let cells = self
+            .shards
+            .iter()
+            .map(|shard| self.with_shard_read(shard, |s| s.cells.len()))
+            .sum();
         CatalogStoreStats {
             entries: self.len(),
             cells,
             regions_ingested: self.regions_ingested.load(Ordering::Relaxed),
-            cache_entries: self.cache.lock().len(),
+            cache_entries: self.with_cache(|cache| cache.len()),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
         }
     }
@@ -371,24 +471,26 @@ impl CatalogStore {
     /// source in two cells transiently).
     fn collect_cells(&self, cells: &[CellId], out: &mut BTreeMap<u64, CatalogEntry>) {
         for &cell in cells {
-            let shard = self.shard_of(cell).read();
-            if let Some(map) = shard.cells.get(&cell) {
-                for (&id, e) in map {
-                    out.insert(id, e.clone());
+            self.with_shard_read(self.shard_of(cell), |s| {
+                if let Some(map) = s.cells.get(&cell) {
+                    for (&id, e) in map {
+                        out.insert(id, e.clone());
+                    }
                 }
-            }
+            });
         }
     }
 
     /// Every entry in the store, deduplicated by id.
     fn collect_all(&self, out: &mut BTreeMap<u64, CatalogEntry>) {
         for shard in &self.shards {
-            let shard = shard.read();
-            for map in shard.cells.values() {
-                for (&id, e) in map {
-                    out.insert(id, e.clone());
+            self.with_shard_read(shard, |s| {
+                for map in s.cells.values() {
+                    for (&id, e) in map {
+                        out.insert(id, e.clone());
+                    }
                 }
-            }
+            });
         }
     }
 
@@ -657,6 +759,23 @@ where
 mod tests {
     use super::*;
     use celeste_survey::catalog::GalaxyShape;
+
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn witness_catches_inverted_acquisition() {
+        let _cache = witness::acquire(witness::CACHE, "cache");
+        let _stripe = witness::acquire(witness::ID_STRIPE, "id-stripe");
+    }
+
+    #[test]
+    fn witness_allows_documented_nesting() {
+        let stripe = witness::acquire(witness::ID_STRIPE, "id-stripe");
+        let shard = witness::acquire(witness::CELL_SHARD, "cell-shard");
+        drop(shard);
+        drop(stripe);
+        // Sequential re-acquisition at any rank is fine once empty.
+        let _cache = witness::acquire(witness::CACHE, "cache");
+    }
 
     fn entry(id: u64, ra: f64, dec: f64, flux: f64) -> CatalogEntry {
         CatalogEntry {

@@ -13,7 +13,14 @@
 
 pub mod channel {
     use std::collections::VecDeque;
-    use std::sync::{Arc, Condvar, Mutex};
+    #[cfg(not(celeste_model))]
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+    // Under the model instantiation (this file is compiled a second
+    // time inside `celeste-check`; see that crate's build.rs) the
+    // same names bind model-checked primitives, so lock/wait/notify
+    // become yield points in the exhaustive interleaving search.
+    #[cfg(celeste_model)]
+    use crate::model_sync::{Arc, Condvar, Mutex, MutexGuard};
 
     struct Inner<T> {
         queue: VecDeque<T>,
@@ -55,7 +62,7 @@ pub mod channel {
     pub struct SendError<T>(pub T);
 
     impl<T> Shared<T> {
-        fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        fn lock(&self) -> MutexGuard<'_, Inner<T>> {
             self.inner.lock().unwrap_or_else(|e| e.into_inner())
         }
     }
@@ -148,7 +155,11 @@ pub mod channel {
     }
 }
 
-#[cfg(test)]
+// These tests drive the channel with real OS threads and sleeps;
+// under the model instantiation that would mean model primitives
+// outside a `Model::check` execution, so they only build for the
+// production instantiation (the model suite lives in celeste-check).
+#[cfg(all(test, not(celeste_model)))]
 mod tests {
     use super::channel;
     use std::time::Duration;
