@@ -3,6 +3,7 @@
 use celeste_core::FitError;
 use celeste_photo::PhotoError;
 use celeste_sched::CampaignError;
+use celeste_serve::ServeError;
 use celeste_store::StoreError;
 use celeste_survey::io::IoError;
 
@@ -42,6 +43,14 @@ pub enum CelesteError {
     /// A malformed catalog-store query (see
     /// [`Session::query`](crate::Session::query)).
     Store(StoreError),
+    /// A catalog-service failure (see
+    /// [`Session::serve`](crate::Session::serve)): wire protocol,
+    /// snapshot persistence, daemon configuration, or a remote
+    /// query error — each chained through
+    /// [`std::error::Error::source`] down to its typed cause (a
+    /// remote validation failure bottoms out at the same
+    /// [`StoreError::InvalidQuery`] the in-process path returns).
+    Serve(ServeError),
 }
 
 impl std::fmt::Display for CelesteError {
@@ -63,6 +72,7 @@ impl std::fmt::Display for CelesteError {
             CelesteError::Campaign(e) => write!(f, "campaign: {e}"),
             CelesteError::EmptyTaskList => write!(f, "campaign has no region tasks"),
             CelesteError::Store(e) => write!(f, "catalog store: {e}"),
+            CelesteError::Serve(e) => write!(f, "catalog service: {e}"),
         }
     }
 }
@@ -75,6 +85,7 @@ impl std::error::Error for CelesteError {
             CelesteError::Io(e) => Some(e),
             CelesteError::Campaign(e) => Some(e),
             CelesteError::Store(e) => Some(e),
+            CelesteError::Serve(e) => Some(e),
             CelesteError::Config { .. } | CelesteError::EmptyTaskList => None,
         }
     }
@@ -110,5 +121,11 @@ impl From<CampaignError> for CelesteError {
 impl From<StoreError> for CelesteError {
     fn from(e: StoreError) -> Self {
         CelesteError::Store(e)
+    }
+}
+
+impl From<ServeError> for CelesteError {
+    fn from(e: ServeError) -> Self {
+        CelesteError::Serve(e)
     }
 }

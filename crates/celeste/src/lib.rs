@@ -62,6 +62,21 @@
 //! configuration + initialization content), so re-running over an
 //! overlapping footprint refits only the shards whose inputs changed.
 //!
+//! # Catalog daemon
+//!
+//! [`Session::serve`] turns that store into a long-running network
+//! service: a [`CatalogDaemon`] owns a store (optionally restored
+//! from an `SCST` snapshot, so restarts answer instantly with zero
+//! refits), keeps ingesting from a live campaign, and answers the
+//! full query API over TCP — length-prefixed `SCQP` frames, a
+//! bounded pool of dedicated handler threads, per-connection
+//! timeouts, typed error frames, graceful shutdown. With
+//! [`ServeConfig::max_resident_entries`] set, cold cells spill to
+//! the snapshot file and fault back in on demand (LRU by query
+//! touch), so a served catalog can outgrow memory. Query from
+//! anywhere with [`CatalogClient`]; answers are bit-identical to the
+//! in-process store.
+//!
 //! # One thread knob
 //!
 //! All parallelism derives from a single resolved thread count with
@@ -111,6 +126,7 @@ pub use celeste_core as model;
 pub use celeste_par as par;
 pub use celeste_photo as photo;
 pub use celeste_sched as sched;
+pub use celeste_serve as serve;
 pub use celeste_store as store;
 pub use celeste_survey as survey;
 
@@ -125,9 +141,12 @@ pub use celeste_sched::{
     CheckpointConfig, CheckpointError, FailedRegion, FaultPlan, PartitionConfig, PartitionError,
     RegionError, RegionResult, RegionTask, RetryPolicy,
 };
+pub use celeste_serve::{
+    CatalogClient, CatalogDaemon, RemoteError, ServeConfig, ServeError, ServedStore,
+};
 pub use celeste_store::{
     plan_provenance_keys, task_provenance_key, CatalogQuery, CatalogStore, CatalogStoreStats,
-    SourceFilter, StoreConfig, StoreError,
+    CellOccupancy, SourceFilter, StoreConfig, StoreError,
 };
 pub use celeste_survey::catalog::{CatalogEntry, SourceType};
 pub use celeste_survey::io::{ImageStore, IoError};

@@ -10,6 +10,7 @@ use celeste_sched::{
     fit_config_hash, plan_fingerprint, task_image_keys, CampaignReport, CancelToken, Checkpoint,
     CheckpointConfig, RegionResult, RunOptions,
 };
+use celeste_serve::{CatalogDaemon, ServeConfig};
 use celeste_store::{catalog_content_hash, plan_provenance_keys, CatalogQuery, CatalogStore};
 use celeste_survey::catalog::CatalogEntry;
 use celeste_survey::io::ImageStore;
@@ -367,6 +368,26 @@ impl Session {
         query: &CatalogQuery,
     ) -> Result<Vec<CatalogEntry>, CelesteError> {
         Ok(catalog.query(query)?)
+    }
+
+    /// Start a catalog daemon: a [`CatalogDaemon`] owning a
+    /// [`celeste_serve::ServedStore`] (restored from
+    /// [`ServeConfig::snapshot`] if the file exists — instant
+    /// restart, zero refits) and answering the full query API over
+    /// TCP on `addr` (`"127.0.0.1:0"` picks an ephemeral port).
+    ///
+    /// The daemon serves while a campaign ingests: pass
+    /// `daemon.store().store()` as the catalog of a concurrent
+    /// [`Session::run_campaign_into_store`] and clients see every
+    /// region the moment it is absorbed, bit-identical to an
+    /// in-process query. Failures come back as
+    /// [`CelesteError::Serve`] with the full cause chain.
+    pub fn serve(
+        &self,
+        addr: impl std::net::ToSocketAddrs,
+        config: &ServeConfig,
+    ) -> Result<CatalogDaemon, CelesteError> {
+        Ok(CatalogDaemon::start(addr, config)?)
     }
 
     /// The provenance-cache salt: everything campaign-global a region

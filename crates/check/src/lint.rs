@@ -13,12 +13,13 @@
 //!    in the numeric kernel files outside tests. `Vec::new()` is
 //!    allowed: it is `const` and does not allocate.
 //! 4. **`store-lock-order`** — every lock acquisition in
-//!    `crates/store` sits under a `// lock-order:` annotation naming
-//!    its rank, so the documented id-stripe → cell-shard order stays
-//!    visible (and greppable) at every acquisition site.
+//!    `crates/store` and `crates/serve` sits under a `// lock-order:`
+//!    annotation naming its rank, so the documented serve-policy →
+//!    id-stripe → cell-shard order stays visible (and greppable) at
+//!    every acquisition site.
 //! 5. **`missing-forbid-unsafe`** — crates audited as needing no
-//!    unsafe (`store`, `celeste`, `photo`, `cluster`) must pin that
-//!    with `#![forbid(unsafe_code)]`.
+//!    unsafe (`store`, `serve`, `celeste`, `photo`, `cluster`) must
+//!    pin that with `#![forbid(unsafe_code)]`.
 //!
 //! The pass works on a comment/string-stripped shadow of each file so
 //! tokens inside literals or prose never trip a rule, while the
@@ -58,6 +59,7 @@ const KERNEL_FILES: &[&str] = &[
 /// Crates audited as not needing `unsafe` at all.
 const FORBID_UNSAFE_CRATES: &[&str] = &[
     "crates/store",
+    "crates/serve",
     "crates/celeste",
     "crates/photo",
     "crates/cluster",
@@ -112,7 +114,7 @@ pub fn run(root: &Path) -> Vec<Violation> {
         if KERNEL_FILES.contains(&rel.as_str()) {
             check_tokens(&rel, &shadow, ALLOC_TOKENS, "kernel-alloc", &mut out);
         }
-        if rel.starts_with("crates/store/src/") {
+        if rel.starts_with("crates/store/src/") || rel.starts_with("crates/serve/src/") {
             check_store_lock_order(&rel, &shadow, &mut out);
         }
     }

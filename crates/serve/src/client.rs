@@ -1,0 +1,202 @@
+//! Typed SCQP client: one TCP connection, blocking request/response.
+//!
+//! Used by the parity tests, the `celeste_served` example, and — per
+//! ROADMAP item 2 — the future multi-node transport. Error frames
+//! come back as [`ServeError::Remote`] carrying the full source
+//! chain: a remote query-validation failure surfaces the same
+//! [`StoreError::InvalidQuery`] an in-process call would return.
+//!
+//! [`StoreError::InvalidQuery`]: celeste_store::StoreError
+
+use crate::wire::{decode_payload, encode_request, Body, Request, Response};
+use crate::{RemoteError, ServeError};
+use celeste_store::{CatalogQuery, CatalogStoreStats, SourceFilter};
+use celeste_survey::catalog::CatalogEntry;
+use celeste_survey::skygeom::{SkyCoord, SkyRect};
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Default per-call timeout.
+const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+/// Default ceiling on response payload size (a whole catalog can
+/// come back from a brightest-N over millions of sources, so this is
+/// deliberately roomy — it guards against a garbage length prefix,
+/// not against big answers).
+const DEFAULT_MAX_FRAME: usize = 256 << 20;
+
+/// A connected SCQP client.
+pub struct CatalogClient {
+    stream: TcpStream,
+    next_id: u64,
+    max_frame: usize,
+}
+
+impl CatalogClient {
+    /// Connect with default timeouts.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<CatalogClient, ServeError> {
+        CatalogClient::connect_with(addr, DEFAULT_TIMEOUT, DEFAULT_MAX_FRAME)
+    }
+
+    /// Connect with an explicit per-call timeout and response-size
+    /// ceiling.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+        max_frame: usize,
+    ) -> Result<CatalogClient, ServeError> {
+        let stream = TcpStream::connect(addr).map_err(ServeError::Io)?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(ServeError::Io)?;
+        stream
+            .set_write_timeout(Some(timeout))
+            .map_err(ServeError::Io)?;
+        stream.set_nodelay(true).ok();
+        Ok(CatalogClient {
+            stream,
+            next_id: 1,
+            max_frame,
+        })
+    }
+
+    fn read_exact(&mut self, buf: &mut [u8]) -> Result<(), ServeError> {
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            match self.stream.read(&mut buf[filled..]) {
+                Ok(0) => {
+                    return Err(ServeError::Protocol(
+                        "server closed the connection mid-frame".into(),
+                    ))
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(ServeError::Io(e)),
+            }
+        }
+        Ok(())
+    }
+
+    /// One request/response exchange, with id echo verification.
+    fn call(&mut self, request: &Request) -> Result<Response, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.stream
+            .write_all(&encode_request(id, request))
+            .map_err(ServeError::Io)?;
+        let mut len_bytes = [0u8; 4];
+        self.read_exact(&mut len_bytes)?;
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len > self.max_frame {
+            return Err(ServeError::Wire(crate::wire::WireError::FrameTooLarge {
+                len,
+                max: self.max_frame,
+            }));
+        }
+        let mut payload = vec![0u8; len];
+        self.read_exact(&mut payload)?;
+        let frame = decode_payload(&payload).map_err(ServeError::Wire)?;
+        match frame.body {
+            Body::Response(resp) => {
+                // Error frames may legitimately carry id 0 (the
+                // server cannot know the id of a frame it could not
+                // decode); anything else must echo ours.
+                let id_ok = frame.request_id == id
+                    || (frame.request_id == 0 && matches!(resp, Response::Error(_)));
+                if !id_ok {
+                    return Err(ServeError::Protocol(format!(
+                        "response id {} does not echo request id {id}",
+                        frame.request_id
+                    )));
+                }
+                Ok(resp)
+            }
+            Body::Request(_) => Err(ServeError::Protocol(
+                "server sent a request frame to a client".into(),
+            )),
+        }
+    }
+
+    /// Run a self-describing query; entries come back exactly as the
+    /// in-process [`celeste_store::CatalogStore::query`] would return
+    /// them (bit-identical floats).
+    pub fn query(&mut self, q: &CatalogQuery) -> Result<Vec<CatalogEntry>, ServeError> {
+        match self.call(&Request::Query(q.clone()))? {
+            Response::Entries(entries) => Ok(entries),
+            Response::Error(frame) => Err(ServeError::Remote(RemoteError::new(frame))),
+            other => unexpected("entries", &other),
+        }
+    }
+
+    /// Cone search with per-hit separations, nearest first.
+    pub fn cone_search(
+        &mut self,
+        center: &SkyCoord,
+        radius_arcsec: f64,
+    ) -> Result<Vec<(CatalogEntry, f64)>, ServeError> {
+        let req = Request::Cone {
+            center: *center,
+            radius_arcsec,
+        };
+        match self.call(&req)? {
+            Response::Cone(hits) => Ok(hits),
+            Response::Error(frame) => Err(ServeError::Remote(RemoteError::new(frame))),
+            other => unexpected("cone hits", &other),
+        }
+    }
+
+    /// Rect search, ascending id.
+    pub fn rect_search(
+        &mut self,
+        rect: &SkyRect,
+        filter: &SourceFilter,
+    ) -> Result<Vec<CatalogEntry>, ServeError> {
+        self.query(&CatalogQuery::Rect {
+            rect: *rect,
+            filter: *filter,
+        })
+    }
+
+    /// The `n` brightest sources, brightest first.
+    pub fn brightest_n(
+        &mut self,
+        n: usize,
+        within: Option<&SkyRect>,
+    ) -> Result<Vec<CatalogEntry>, ServeError> {
+        self.query(&CatalogQuery::BrightestN {
+            n,
+            within: within.copied(),
+        })
+    }
+
+    /// Fetch the server's store counters.
+    pub fn stats(&mut self) -> Result<CatalogStoreStats, ServeError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            Response::Error(frame) => Err(ServeError::Remote(RemoteError::new(frame))),
+            other => unexpected("stats", &other),
+        }
+    }
+
+    /// Liveness round trip.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Error(frame) => Err(ServeError::Remote(RemoteError::new(frame))),
+            other => unexpected("pong", &other),
+        }
+    }
+}
+
+fn unexpected<T>(wanted: &str, got: &Response) -> Result<T, ServeError> {
+    let kind = match got {
+        Response::Entries(_) => "entries",
+        Response::Cone(_) => "cone hits",
+        Response::Stats(_) => "stats",
+        Response::Pong => "pong",
+        Response::Error(_) => "error",
+    };
+    Err(ServeError::Protocol(format!(
+        "expected {wanted} response, got {kind}"
+    )))
+}

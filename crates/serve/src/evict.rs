@@ -1,0 +1,479 @@
+//! The daemon's memory policy: a [`CatalogStore`] wrapped with
+//! snapshot-backed, cell-granular LRU eviction.
+//!
+//! With `max_resident_entries == 0` every query goes straight to the
+//! store (fully concurrent, no extra locking). With a capacity set, a
+//! query runs in three steps under one policy mutex:
+//!
+//! 1. **Fault-in** — the cells the query can reach (via
+//!    [`CatalogStore::covering_cells`], which shares the cone's
+//!    bounding-rect math with the search itself) are intersected with
+//!    the spilled set and loaded back from the snapshot file with
+//!    [`Snapshot::load_cells`]; entries re-enter through
+//!    [`CatalogStore::insert_if_absent`] so a fresher fit ingested
+//!    since the spill is never clobbered.
+//! 2. **Query** — the store answers exactly as it would in-process;
+//!    the query's touch stamp marks its cells hottest.
+//! 3. **Evict** — if residency exceeds capacity, the coldest cells
+//!    (oldest last-touch first) are removed with
+//!    [`CatalogStore::take_cell`] and the snapshot is rewritten to
+//!    cover resident ∪ taken ∪ previously-spilled before anything is
+//!    forgotten, so an entry is never only in memory *or* lost.
+//!
+//! Serializing capacity-bounded queries through one mutex is a
+//! deliberate trade-off: it makes the fault-in/evict/query
+//! interleaving trivially sound (no window where another connection's
+//! eviction removes cells a query just faulted in). The unbounded
+//! configuration — the common case while a catalog fits in memory —
+//! keeps the store's full lock-striped concurrency.
+
+use crate::snapshot::Snapshot;
+use crate::ServeError;
+use celeste_store::{CatalogQuery, CatalogStore, CatalogStoreStats, StoreConfig};
+use celeste_survey::catalog::{Catalog, CatalogEntry};
+use celeste_survey::skygeom::{CellId, SkyCoord};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+
+/// Eviction bookkeeping, all behind one mutex.
+#[derive(Debug, Default)]
+struct PolicyState {
+    /// Cells whose entries live (only) in the snapshot file.
+    spilled: BTreeSet<CellId>,
+    /// The store version the snapshot file is known to cover, if any.
+    /// `None` means dirty: the file must be rewritten before it can
+    /// back an eviction.
+    snapshot_version: Option<u64>,
+}
+
+/// A [`CatalogStore`] plus the daemon's persistence and memory
+/// policy. All daemon reads and writes go through this type; a live
+/// campaign may keep ingesting into [`ServedStore::store`]
+/// concurrently.
+pub struct ServedStore {
+    store: CatalogStore,
+    snapshot_path: Option<PathBuf>,
+    capacity: usize,
+    // lock-order: policy mutex is strictly outer to every store lock
+    // (stripes, shards, cache); the store never calls back into it.
+    state: Mutex<PolicyState>,
+}
+
+impl ServedStore {
+    /// Build the store a daemon serves. If `snapshot_path` names an
+    /// existing `SCST` file, its catalog is loaded (fingerprint
+    /// verified) so the daemon answers instantly with zero refits. A
+    /// nonzero `capacity` (max resident entries) requires a snapshot
+    /// path — evicted cells must have somewhere to go.
+    pub fn open(
+        config: StoreConfig,
+        snapshot_path: Option<PathBuf>,
+        capacity: usize,
+    ) -> Result<ServedStore, ServeError> {
+        if capacity > 0 && snapshot_path.is_none() {
+            return Err(ServeError::Config(
+                "max_resident_entries requires a snapshot path to spill to".into(),
+            ));
+        }
+        let store = CatalogStore::new(config);
+        let mut snapshot_version = None;
+        if let Some(path) = &snapshot_path {
+            if path.exists() {
+                let snap = Snapshot::load(path)?;
+                let level_matches = snap.level == store.level();
+                for (_, entries) in snap.cells {
+                    for e in entries {
+                        store.insert(e);
+                    }
+                }
+                // A snapshot grouped at a different level can't back
+                // cell-granular fault-in; leave it dirty so the first
+                // eviction rewrites it at our level.
+                if level_matches {
+                    snapshot_version = Some(store.version());
+                }
+            }
+        }
+        let served = ServedStore {
+            store,
+            snapshot_path,
+            capacity,
+            state: Mutex::new(PolicyState {
+                spilled: BTreeSet::new(),
+                snapshot_version,
+            }),
+        };
+        if served.capacity > 0 {
+            // lock-order: serve policy state (outer to store locks)
+            let mut state = served.state.lock();
+            served.enforce_capacity(&mut state)?;
+        }
+        Ok(served)
+    }
+
+    /// The underlying store — the ingest surface for
+    /// `run_campaign_into_store` and friends.
+    pub fn store(&self) -> &CatalogStore {
+        &self.store
+    }
+
+    /// Max resident entries (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many cells currently live only in the snapshot file.
+    pub fn spilled_cells(&self) -> usize {
+        // lock-order: serve policy state (outer to store locks)
+        self.state.lock().spilled.len()
+    }
+
+    /// Occupancy/traffic counters of the resident store (spilled
+    /// cells are not resident and therefore not counted).
+    pub fn stats(&self) -> CatalogStoreStats {
+        self.store.stats()
+    }
+
+    /// Run a self-describing query with fault-in and eviction.
+    pub fn query(&self, q: &CatalogQuery) -> Result<Vec<CatalogEntry>, ServeError> {
+        self.run(q, |s| s.query(q))
+    }
+
+    /// Cone search (with separations) with fault-in and eviction.
+    pub fn cone_search(
+        &self,
+        center: &SkyCoord,
+        radius_arcsec: f64,
+    ) -> Result<Vec<(CatalogEntry, f64)>, ServeError> {
+        let coverage = CatalogQuery::Cone {
+            center: *center,
+            radius_arcsec,
+        };
+        self.run(&coverage, |s| s.cone_search(center, radius_arcsec))
+    }
+
+    /// The full catalog — resident entries plus everything spilled to
+    /// the snapshot file, resident winning by id, ascending id order.
+    pub fn catalog(&self) -> Result<Catalog, ServeError> {
+        if self.capacity == 0 {
+            return Ok(self.store.to_catalog());
+        }
+        // lock-order: serve policy state (outer to store locks)
+        let state = self.state.lock();
+        let mut by_id: BTreeMap<u64, CatalogEntry> = BTreeMap::new();
+        if !state.spilled.is_empty() {
+            let path = self.snapshot_path.as_ref().expect("capacity>0 has a path");
+            for e in Snapshot::load_cells(path, &state.spilled)? {
+                by_id.insert(e.id, e);
+            }
+        }
+        for e in self.store.to_catalog().entries {
+            by_id.insert(e.id, e);
+        }
+        Ok(Catalog::new(by_id.into_values().collect()))
+    }
+
+    /// Write a full snapshot now (resident ∪ spilled), atomically.
+    /// No-op error if the store was opened without a snapshot path.
+    pub fn snapshot(&self) -> Result<(), ServeError> {
+        if self.snapshot_path.is_none() {
+            return Err(ServeError::Config(
+                "store was opened without a snapshot path".into(),
+            ));
+        }
+        // lock-order: serve policy state (outer to store locks)
+        let mut state = self.state.lock();
+        self.rewrite_snapshot(&mut state)
+    }
+
+    fn run<T>(
+        &self,
+        coverage: &CatalogQuery,
+        f: impl FnOnce(&CatalogStore) -> Result<T, celeste_store::StoreError>,
+    ) -> Result<T, ServeError> {
+        if self.capacity == 0 {
+            // Unbounded: nothing is ever spilled, skip the policy
+            // mutex entirely and keep the store's concurrency.
+            return f(&self.store).map_err(ServeError::Query);
+        }
+        // lock-order: serve policy state (outer to store locks)
+        let mut state = self.state.lock();
+        let covering = self
+            .store
+            .covering_cells(coverage)
+            .map_err(ServeError::Query)?;
+        let wanted: BTreeSet<CellId> = match covering {
+            None => state.spilled.clone(),
+            Some(cells) => cells
+                .into_iter()
+                .filter(|c| state.spilled.contains(c))
+                .collect(),
+        };
+        if !wanted.is_empty() {
+            self.fault_in(&mut state, &wanted)?;
+        }
+        let out = f(&self.store).map_err(ServeError::Query)?;
+        self.enforce_capacity(&mut state)?;
+        Ok(out)
+    }
+
+    /// Reload `wanted` spilled cells from the snapshot file.
+    fn fault_in(
+        &self,
+        state: &mut PolicyState,
+        wanted: &BTreeSet<CellId>,
+    ) -> Result<(), ServeError> {
+        let path = self.snapshot_path.as_ref().expect("capacity>0 has a path");
+        let v0 = self.store.version();
+        let mut inserted = 0u64;
+        for e in Snapshot::load_cells(path, wanted)? {
+            if self.store.insert_if_absent(e) {
+                inserted += 1;
+            }
+        }
+        for c in wanted {
+            state.spilled.remove(c);
+        }
+        // The faulted entries came *from* the file, so the file still
+        // covers them: advance the covered version by exactly our own
+        // bumps. Any concurrent external insert breaks the equality
+        // and conservatively leaves the snapshot dirty.
+        if state.snapshot_version == Some(v0) && self.store.version() == v0 + inserted {
+            state.snapshot_version = Some(v0 + inserted);
+        } else {
+            state.snapshot_version = None;
+        }
+        Ok(())
+    }
+
+    /// Rewrite the snapshot to cover resident ∪ spilled (resident
+    /// wins by id), plus `extra` entries taken out of the store but
+    /// not yet in the file (they win over the old file, lose to
+    /// resident re-inserts).
+    fn rewrite_with(
+        &self,
+        state: &mut PolicyState,
+        extra: &BTreeMap<u64, CatalogEntry>,
+    ) -> Result<(), ServeError> {
+        let path = self.snapshot_path.as_ref().expect("checked by caller");
+        let v0 = self.store.version();
+        let mut by_id: BTreeMap<u64, CatalogEntry> = BTreeMap::new();
+        if !state.spilled.is_empty() && path.exists() {
+            for e in Snapshot::load_cells(path, &state.spilled)? {
+                by_id.insert(e.id, e);
+            }
+        }
+        for (id, e) in extra {
+            by_id.insert(*id, e.clone());
+        }
+        for e in self.store.to_catalog().entries {
+            by_id.insert(e.id, e);
+        }
+        let snap = Snapshot::of_entries(by_id.into_values().collect(), self.store.level());
+        snap.save(path)?;
+        // Mutations racing the collection above bump the version past
+        // v0 and the file is (correctly) considered dirty again.
+        state.snapshot_version = Some(v0);
+        Ok(())
+    }
+
+    fn rewrite_snapshot(&self, state: &mut PolicyState) -> Result<(), ServeError> {
+        self.rewrite_with(state, &BTreeMap::new())
+    }
+
+    /// Evict coldest cells until residency fits the capacity. The
+    /// snapshot is rewritten *with the taken entries in hand*, so a
+    /// concurrent insert into a victim cell (between stats and take)
+    /// can never be lost: whatever `take_cell` returned is written
+    /// out before the policy lock is released.
+    fn enforce_capacity(&self, state: &mut PolicyState) -> Result<(), ServeError> {
+        if self.capacity == 0 {
+            return Ok(());
+        }
+        let stats = self.store.stats();
+        if stats.entries <= self.capacity {
+            return Ok(());
+        }
+        let mut order = stats.per_cell;
+        // Coldest first: oldest last-touch, then fewest touches, then
+        // cell id for determinism.
+        order.sort_by_key(|o| (o.last_touch, o.touches, o.cell));
+        let mut resident = stats.entries;
+        let mut taken: BTreeMap<u64, CatalogEntry> = BTreeMap::new();
+        for occ in &order {
+            if resident <= self.capacity {
+                break;
+            }
+            let evicted = self.store.take_cell(occ.cell);
+            if evicted.is_empty() {
+                continue;
+            }
+            resident -= evicted.len().min(resident);
+            state.spilled.insert(occ.cell);
+            for e in evicted {
+                taken.insert(e.id, e);
+            }
+        }
+        if taken.is_empty() {
+            return Ok(());
+        }
+        self.rewrite_with(state, &taken)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use celeste_survey::catalog::{GalaxyShape, SourceType};
+    use celeste_survey::skygeom::SkyRect;
+
+    fn entry(id: u64) -> CatalogEntry {
+        CatalogEntry {
+            id,
+            pos: SkyCoord::new(
+                (id as f64 * 47.0) % 360.0,
+                ((id as f64 * 13.0) % 160.0) - 80.0,
+            ),
+            source_type: if id.is_multiple_of(2) {
+                SourceType::Star
+            } else {
+                SourceType::Galaxy
+            },
+            flux_r_nmgy: 1.0 + id as f64,
+            colors: [0.0, 0.1, 0.2, 0.3],
+            shape: GalaxyShape::round_disk(1.0),
+        }
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("celeste-evict-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("cat.scst")
+    }
+
+    #[test]
+    fn capacity_requires_snapshot_path() {
+        assert!(matches!(
+            ServedStore::open(StoreConfig::default(), None, 10),
+            Err(ServeError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn unbounded_store_is_transparent() {
+        let served = ServedStore::open(StoreConfig::default(), None, 0).unwrap();
+        for id in 0..20 {
+            served.store().insert(entry(id));
+        }
+        assert_eq!(served.catalog().unwrap().len(), 20);
+        assert_eq!(served.spilled_cells(), 0);
+        let all = served
+            .query(&CatalogQuery::BrightestN {
+                n: 100,
+                within: None,
+            })
+            .unwrap();
+        assert_eq!(all.len(), 20);
+    }
+
+    #[test]
+    fn eviction_spills_and_queries_fault_back_in() {
+        let path = tmp("spill");
+        let served = ServedStore::open(StoreConfig::default(), Some(path.clone()), 8).unwrap();
+        for id in 0..64 {
+            served.store().insert(entry(id));
+        }
+        // Queries answer identically to a brute-force reference over
+        // the same entries, no matter what is resident.
+        let reference: Vec<CatalogEntry> = (0..64).map(entry).collect();
+        for probe in 0..16u64 {
+            let rect = SkyRect::new(
+                (probe as f64 * 23.0) % 340.0,
+                (probe as f64 * 23.0) % 340.0 + 20.0,
+                -80.0,
+                80.0,
+            );
+            let got = served
+                .query(&CatalogQuery::Rect {
+                    rect,
+                    filter: Default::default(),
+                })
+                .unwrap();
+            let mut want: Vec<CatalogEntry> = reference
+                .iter()
+                .filter(|e| rect.contains(&e.pos))
+                .cloned()
+                .collect();
+            want.sort_by_key(|e| e.id);
+            assert_eq!(got, want, "probe {probe}");
+            assert!(
+                served.stats().entries <= 8 || served.spilled_cells() == 0,
+                "capacity enforced after each query"
+            );
+        }
+        assert!(served.spilled_cells() > 0, "64 entries can't fit in 8");
+        // Nothing was lost: the union is the full catalog.
+        let cat = served.catalog().unwrap();
+        assert_eq!(cat.len(), 64);
+        for (got, want) in cat.entries.iter().zip(&reference) {
+            assert_eq!(got.id, want.id);
+            assert_eq!(got.flux_r_nmgy.to_bits(), want.flux_r_nmgy.to_bits());
+        }
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn restart_from_snapshot_serves_identically() {
+        let path = tmp("restart");
+        {
+            let served = ServedStore::open(StoreConfig::default(), Some(path.clone()), 0).unwrap();
+            for id in 0..30 {
+                served.store().insert(entry(id));
+            }
+            served.snapshot().unwrap();
+        }
+        let reborn = ServedStore::open(StoreConfig::default(), Some(path.clone()), 0).unwrap();
+        assert_eq!(reborn.catalog().unwrap().len(), 30);
+        assert_eq!(
+            reborn.stats().regions_ingested,
+            0,
+            "restart must not refit anything"
+        );
+        let got = reborn
+            .query(&CatalogQuery::BrightestN { n: 5, within: None })
+            .unwrap();
+        let ids: Vec<u64> = got.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![29, 28, 27, 26, 25]);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn fault_in_never_clobbers_fresher_fits() {
+        let path = tmp("fresher");
+        let served = ServedStore::open(StoreConfig::default(), Some(path.clone()), 4).unwrap();
+        for id in 0..32 {
+            served.store().insert(entry(id));
+        }
+        // Force everything through an eviction cycle.
+        served
+            .query(&CatalogQuery::BrightestN { n: 1, within: None })
+            .unwrap();
+        assert!(served.spilled_cells() > 0);
+        // A live campaign now re-fits source 3 with a new flux.
+        let mut fresher = entry(3);
+        fresher.flux_r_nmgy = 999.0;
+        served.store().insert(fresher);
+        // A whole-sky query faults every spilled cell back in; the
+        // stale snapshot copy of 3 must not overwrite the new fit.
+        let all = served
+            .query(&CatalogQuery::BrightestN {
+                n: 64,
+                within: None,
+            })
+            .unwrap();
+        assert_eq!(all[0].id, 3);
+        assert_eq!(all[0].flux_r_nmgy, 999.0);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+}

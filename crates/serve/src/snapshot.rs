@@ -1,0 +1,397 @@
+//! `SCST` v1 — cell-grouped catalog snapshots.
+//!
+//! A daemon periodically freezes its [`CatalogStore`] to one file so
+//! a restart serves the full catalog instantly, with zero refits, and
+//! so cold cells can be evicted from memory and faulted back in on
+//! demand. Format (little-endian, `bytes` cursor API like `SCKP`):
+//!
+//! ```text
+//! magic "SCST" | version u16 | fingerprint u64 | level u8 | n_cells u32
+//! per cell: level u8 | ix u32 | iy u32 | n_entries u32 | n × entry
+//! ```
+//!
+//! Entries use the fixed-width 97-byte SCQP encoding
+//! ([`wire::ENTRY_BYTES`]), which is what makes partial loads cheap:
+//! [`Snapshot::load_cells`] skips an unwanted cell in O(1) by
+//! advancing `n_entries × 97` bytes instead of decoding it. The
+//! fingerprint is [`catalog_content_hash`] over all entries in
+//! ascending-id order — a full [`Snapshot::load`] recomputes and
+//! verifies it, so bit rot surfaces as a typed
+//! [`SnapshotError::FingerprintMismatch`], never a silently wrong
+//! catalog. Writes go to `path + ".tmp"` and rename into place
+//! (crash mid-write leaves the previous snapshot intact). Parameters
+//! are stored bit-exactly (`f64` bits pass through unchanged), so a
+//! restarted daemon answers queries bit-identically to the one that
+//! wrote the file.
+
+use crate::wire::{self, ENTRY_BYTES};
+use bytes::{Buf, BufMut, BytesMut};
+use celeste_store::{catalog_content_hash, CatalogStore};
+use celeste_survey::catalog::{Catalog, CatalogEntry};
+use celeste_survey::skygeom::CellId;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// Snapshot file magic.
+pub const MAGIC: &[u8; 4] = b"SCST";
+/// Snapshot format version.
+pub const VERSION: u16 = 1;
+
+/// Errors reading or writing a snapshot file.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Filesystem I/O failed.
+    Io(std::io::Error),
+    /// The file is not a snapshot, or is truncated/corrupt.
+    Malformed(String),
+    /// The decoded entries hash differently than the header claims —
+    /// the file was corrupted after it was written.
+    FingerprintMismatch {
+        /// Fingerprint stored in the header.
+        found: u64,
+        /// Fingerprint of the decoded content.
+        expected: u64,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O failed: {e}"),
+            SnapshotError::Malformed(m) => write!(f, "malformed snapshot: {m}"),
+            SnapshotError::FingerprintMismatch { found, expected } => write!(
+                f,
+                "snapshot content does not match its fingerprint \
+                 (header {found:#018x}, content {expected:#018x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded (or about-to-be-encoded) catalog snapshot: entries
+/// grouped by the sky cell they live in at `level`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Cell refinement level the grouping used.
+    pub level: u8,
+    /// [`catalog_content_hash`] over all entries, ascending id.
+    pub fingerprint: u64,
+    /// Cells in ascending [`CellId`] order; entries within a cell in
+    /// ascending id order.
+    pub cells: Vec<(CellId, Vec<CatalogEntry>)>,
+}
+
+impl Snapshot {
+    /// Freeze the current contents of `store`: every entry, grouped
+    /// by its cell at the store's level, fingerprinted.
+    pub fn of_store(store: &CatalogStore) -> Snapshot {
+        Snapshot::of_entries(store.to_catalog().entries, store.level())
+    }
+
+    /// Group `entries` into cells at `level`, deduplicating by id
+    /// (last write wins) and ordering ascending — the same
+    /// normalization [`CatalogStore::to_catalog`] applies, so the
+    /// fingerprint is deterministic regardless of input order.
+    pub fn of_entries(entries: Vec<CatalogEntry>, level: u8) -> Snapshot {
+        let mut by_id: BTreeMap<u64, CatalogEntry> = BTreeMap::new();
+        for e in entries {
+            by_id.insert(e.id, e);
+        }
+        let catalog = Catalog::new(by_id.into_values().collect());
+        let fingerprint = catalog_content_hash(&catalog);
+        let mut cells: BTreeMap<CellId, Vec<CatalogEntry>> = BTreeMap::new();
+        for e in catalog.entries {
+            cells.entry(CellId::of(&e.pos, level)).or_default().push(e);
+        }
+        Snapshot {
+            level,
+            fingerprint,
+            cells: cells.into_iter().collect(),
+        }
+    }
+
+    /// Every entry across all cells, ascending id.
+    pub fn entries(&self) -> Vec<CatalogEntry> {
+        let mut by_id: BTreeMap<u64, CatalogEntry> = BTreeMap::new();
+        for (_, cell) in &self.cells {
+            for e in cell {
+                by_id.insert(e.id, e.clone());
+            }
+        }
+        by_id.into_values().collect()
+    }
+
+    /// Serialize to the `SCST` byte format.
+    pub fn encode(&self) -> Vec<u8> {
+        let n_entries: usize = self.cells.iter().map(|(_, c)| c.len()).sum();
+        let mut b = BytesMut::with_capacity(32 + self.cells.len() * 16 + n_entries * ENTRY_BYTES);
+        b.put_slice(MAGIC);
+        b.put_u16_le(VERSION);
+        b.put_u64_le(self.fingerprint);
+        b.put_u8(self.level);
+        b.put_u32_le(self.cells.len() as u32);
+        for (cell, entries) in &self.cells {
+            b.put_u8(cell.level);
+            b.put_u32_le(cell.ix);
+            b.put_u32_le(cell.iy);
+            b.put_u32_le(entries.len() as u32);
+            for e in entries {
+                wire::put_entry_bytes(&mut b, e);
+            }
+        }
+        b.freeze().to_vec()
+    }
+
+    /// Decode an `SCST` buffer and verify its fingerprint.
+    pub fn decode(buf: &[u8]) -> Result<Snapshot, SnapshotError> {
+        let snap = Snapshot::decode_unverified(buf)?;
+        let expected = catalog_content_hash(&Catalog::new(snap.entries()));
+        if snap.fingerprint != expected {
+            return Err(SnapshotError::FingerprintMismatch {
+                found: snap.fingerprint,
+                expected,
+            });
+        }
+        Ok(snap)
+    }
+
+    fn decode_unverified(mut buf: &[u8]) -> Result<Snapshot, SnapshotError> {
+        fn need(buf: &&[u8], n: usize, what: &str) -> Result<(), SnapshotError> {
+            if buf.remaining() < n {
+                Err(SnapshotError::Malformed(format!(
+                    "truncated reading {what}"
+                )))
+            } else {
+                Ok(())
+            }
+        }
+        need(&buf, 4 + 2 + 8 + 1 + 4, "header")?;
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(SnapshotError::Malformed("bad magic".into()));
+        }
+        let version = buf.get_u16_le();
+        if version != VERSION {
+            return Err(SnapshotError::Malformed(format!(
+                "unsupported version {version}"
+            )));
+        }
+        let fingerprint = buf.get_u64_le();
+        let level = buf.get_u8();
+        let n_cells = buf.get_u32_le() as usize;
+        // Bounded reservation: a length-lying header can reserve at
+        // most `remaining / 13` slots (the minimum encoded cell).
+        const MIN_CELL_BYTES: usize = 1 + 4 + 4 + 4;
+        let mut cells = Vec::with_capacity(n_cells.min(buf.remaining() / MIN_CELL_BYTES));
+        for _ in 0..n_cells {
+            need(&buf, MIN_CELL_BYTES, "cell header")?;
+            let cell = CellId {
+                level: buf.get_u8(),
+                ix: buf.get_u32_le(),
+                iy: buf.get_u32_le(),
+            };
+            let n_entries = buf.get_u32_le() as usize;
+            let body = n_entries.checked_mul(ENTRY_BYTES).ok_or_else(|| {
+                SnapshotError::Malformed("entry count overflows cell body".into())
+            })?;
+            need(&buf, body, "cell entries")?;
+            // `need` proved the bytes exist; bounded reservation.
+            let mut entries = Vec::with_capacity(n_entries);
+            for _ in 0..n_entries {
+                entries.push(
+                    wire::get_entry_bytes(&mut buf)
+                        .map_err(|e| SnapshotError::Malformed(e.to_string()))?,
+                );
+            }
+            cells.push((cell, entries));
+        }
+        if !buf.is_empty() {
+            return Err(SnapshotError::Malformed(format!(
+                "{} trailing bytes",
+                buf.len()
+            )));
+        }
+        Ok(Snapshot {
+            level,
+            fingerprint,
+            cells,
+        })
+    }
+
+    /// Atomically write to `path` (temp file + rename, like `SCKP`).
+    pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.encode()).map_err(SnapshotError::Io)?;
+        std::fs::rename(&tmp, path).map_err(SnapshotError::Io)
+    }
+
+    /// Load and fingerprint-verify a full snapshot from `path`.
+    pub fn load(path: &Path) -> Result<Snapshot, SnapshotError> {
+        let bytes = std::fs::read(path).map_err(SnapshotError::Io)?;
+        Snapshot::decode(&bytes)
+    }
+
+    /// Load only the entries of `wanted` cells from `path`, skipping
+    /// every other cell without decoding it (`n_entries × 97`-byte
+    /// strides). This is the eviction fault-in path: cheap even when
+    /// the snapshot is much larger than memory. Structural errors are
+    /// typed; the whole-file fingerprint is *not* recomputed here
+    /// (that would defeat the point of a partial read).
+    pub fn load_cells(
+        path: &Path,
+        wanted: &BTreeSet<CellId>,
+    ) -> Result<Vec<CatalogEntry>, SnapshotError> {
+        let bytes = std::fs::read(path).map_err(SnapshotError::Io)?;
+        let mut buf: &[u8] = &bytes;
+        fn need(buf: &&[u8], n: usize, what: &str) -> Result<(), SnapshotError> {
+            if buf.remaining() < n {
+                Err(SnapshotError::Malformed(format!(
+                    "truncated reading {what}"
+                )))
+            } else {
+                Ok(())
+            }
+        }
+        need(&buf, 4 + 2 + 8 + 1 + 4, "header")?;
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(SnapshotError::Malformed("bad magic".into()));
+        }
+        let version = buf.get_u16_le();
+        if version != VERSION {
+            return Err(SnapshotError::Malformed(format!(
+                "unsupported version {version}"
+            )));
+        }
+        let _fingerprint = buf.get_u64_le();
+        let _level = buf.get_u8();
+        let n_cells = buf.get_u32_le() as usize;
+        let mut out = Vec::new();
+        for _ in 0..n_cells {
+            need(&buf, 1 + 4 + 4 + 4, "cell header")?;
+            let cell = CellId {
+                level: buf.get_u8(),
+                ix: buf.get_u32_le(),
+                iy: buf.get_u32_le(),
+            };
+            let n_entries = buf.get_u32_le() as usize;
+            let body = n_entries.checked_mul(ENTRY_BYTES).ok_or_else(|| {
+                SnapshotError::Malformed("entry count overflows cell body".into())
+            })?;
+            need(&buf, body, "cell entries")?;
+            if wanted.contains(&cell) {
+                out.reserve(n_entries);
+                for _ in 0..n_entries {
+                    out.push(
+                        wire::get_entry_bytes(&mut buf)
+                            .map_err(|e| SnapshotError::Malformed(e.to_string()))?,
+                    );
+                }
+            } else {
+                // O(1) skip: `need` above proved `body` bytes exist.
+                buf = &buf[body..];
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use celeste_survey::catalog::{GalaxyShape, SourceType};
+    use celeste_survey::skygeom::SkyCoord;
+
+    fn entry(id: u64) -> CatalogEntry {
+        CatalogEntry {
+            id,
+            pos: SkyCoord::new(
+                (id as f64 * 61.3) % 360.0,
+                ((id as f64 * 17.9) % 160.0) - 80.0,
+            ),
+            source_type: if id.is_multiple_of(3) {
+                SourceType::Galaxy
+            } else {
+                SourceType::Star
+            },
+            flux_r_nmgy: 0.25 * id as f64,
+            colors: [0.1, 0.2, -0.3, 0.4],
+            shape: GalaxyShape::round_disk(1.0 + id as f64 * 0.01),
+        }
+    }
+
+    #[test]
+    fn roundtrips_bit_exactly_and_guards_fingerprint() {
+        let snap = Snapshot::of_entries((0..50).map(entry).collect(), 10);
+        let bytes = snap.encode();
+        let decoded = Snapshot::decode(&bytes).unwrap();
+        assert_eq!(decoded, snap);
+        for (a, b) in decoded.entries().iter().zip(snap.entries()) {
+            assert_eq!(a.pos.ra.to_bits(), b.pos.ra.to_bits());
+            assert_eq!(a.flux_r_nmgy.to_bits(), b.flux_r_nmgy.to_bits());
+        }
+        // Flip one flux bit deep in a cell body: structure still
+        // parses, fingerprint catches it.
+        let mut corrupt = bytes.clone();
+        let off = bytes.len() - 40;
+        corrupt[off] ^= 1;
+        assert!(matches!(
+            Snapshot::decode(&corrupt),
+            Err(SnapshotError::FingerprintMismatch { .. }) | Err(SnapshotError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn partial_load_skips_unwanted_cells() {
+        let dir = std::env::temp_dir().join(format!("celeste-scst-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cat.scst");
+        let snap = Snapshot::of_entries((0..80).map(entry).collect(), 10);
+        assert!(snap.cells.len() > 2, "fixture must span several cells");
+        snap.save(&path).unwrap();
+
+        let wanted: BTreeSet<CellId> = snap.cells.iter().take(2).map(|(c, _)| *c).collect();
+        let got = Snapshot::load_cells(&path, &wanted).unwrap();
+        let want: Vec<CatalogEntry> = snap
+            .cells
+            .iter()
+            .take(2)
+            .flat_map(|(_, es)| es.clone())
+            .collect();
+        assert_eq!(got, want);
+
+        let all = Snapshot::load(&path).unwrap();
+        assert_eq!(all, snap);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_buffers_are_typed_errors() {
+        assert!(matches!(
+            Snapshot::decode(b"nope"),
+            Err(SnapshotError::Malformed(_))
+        ));
+        let good = Snapshot::of_entries((0..10).map(entry).collect(), 10).encode();
+        assert!(matches!(
+            Snapshot::decode(&good[..good.len() - 5]),
+            Err(SnapshotError::Malformed(_))
+        ));
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            Snapshot::decode(&bad_magic),
+            Err(SnapshotError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,804 @@
+//! `SCQP` v1 — the catalog query wire protocol.
+//!
+//! Frames are length-prefixed little-endian, built with the vendored
+//! `bytes` cursor API exactly the way `SCKP` frames checkpoints:
+//!
+//! ```text
+//! on wire:  len u32 | payload (len bytes)
+//! payload:  magic "SCQP" | version u16 | request id u64 | kind u8 | body
+//! ```
+//!
+//! Request kinds: 1 = self-describing [`CatalogQuery`] (entries only),
+//! 2 = cone-with-separations, 3 = stats, 4 = ping. Response kinds:
+//! 0x81 = entries, 0x82 = cone hits, 0x83 = stats, 0x84 = pong,
+//! 0xFF = error frame. The request id is echoed verbatim in the
+//! response so clients can detect desync.
+//!
+//! Decoding never panics and never preallocates more than the buffer
+//! could possibly hold: every read is preceded by a `need()` length
+//! check, counts go through `checked_mul`, and `Vec::with_capacity`
+//! is capped by `remaining / MIN_ITEM_BYTES` — the same hardening the
+//! `SCKP` checkpoint decoder established. Malformed input yields a
+//! typed [`WireError`], and a server answers it with an
+//! [`ErrorFrame`] before dropping the connection.
+//!
+//! Sky rects are reassembled as struct literals, not via
+//! [`SkyRect::new`], whose debug assertion would turn inverted
+//! garbage bounds into a panic; an inverted rect is instead a valid
+//! value that simply covers no cells.
+
+use bytes::{Buf, BufMut, BytesMut};
+use celeste_store::{CatalogQuery, CatalogStoreStats, CellOccupancy, SourceFilter};
+use celeste_survey::bands::Band;
+use celeste_survey::catalog::{CatalogEntry, GalaxyShape, SourceType};
+use celeste_survey::skygeom::{CellId, SkyCoord, SkyRect};
+
+/// Frame magic: every SCQP payload starts with these four bytes.
+pub const MAGIC: &[u8; 4] = b"SCQP";
+/// Protocol version; peers reject anything else (typed, not silent).
+pub const VERSION: u16 = 1;
+/// Bytes of payload before the kind-specific body.
+pub const HEADER_BYTES: usize = 4 + 2 + 8 + 1;
+/// One encoded [`CatalogEntry`]: id + position + type + flux +
+/// 4 colors + 4 shape parameters.
+pub const ENTRY_BYTES: usize = 8 + 16 + 1 + 8 + 32 + 32;
+/// One encoded cone hit: an entry plus its separation.
+pub const CONE_HIT_BYTES: usize = ENTRY_BYTES + 8;
+/// One encoded [`CellOccupancy`] row in a stats response.
+pub const CELL_OCC_BYTES: usize = 1 + 4 + 4 + 4 + 8 + 8;
+
+/// Typed decode/size failures. Never a panic: every malformed,
+/// truncated, or oversized frame maps here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload is truncated, has a bad magic/kind/tag, or lies
+    /// about a count.
+    Malformed(String),
+    /// The peer speaks a different SCQP version.
+    UnsupportedVersion(u16),
+    /// The frame's declared length exceeds the configured ceiling
+    /// (checked before any allocation).
+    FrameTooLarge {
+        /// Declared payload length.
+        len: usize,
+        /// Configured maximum.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Malformed(m) => write!(f, "malformed SCQP frame: {m}"),
+            WireError::UnsupportedVersion(v) => {
+                write!(f, "unsupported SCQP version {v} (speaking {VERSION})")
+            }
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte ceiling")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// What went wrong, as carried by an [`ErrorFrame`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The query failed the store's validation (non-finite center,
+    /// negative radius, NaN flux threshold, ...). The connection
+    /// stays open — the request was well-framed, just unanswerable.
+    InvalidQuery,
+    /// The peer's frame did not decode; the connection is dropped
+    /// after this frame (framing may be desynced).
+    Malformed,
+    /// The peer's frame exceeded the size ceiling; dropped likewise.
+    FrameTooLarge,
+    /// The server failed internally (snapshot I/O, ...).
+    Internal,
+}
+
+impl ErrorKind {
+    fn code(self) -> u8 {
+        match self {
+            ErrorKind::InvalidQuery => 1,
+            ErrorKind::Malformed => 2,
+            ErrorKind::FrameTooLarge => 3,
+            ErrorKind::Internal => 4,
+        }
+    }
+
+    fn from_code(c: u8) -> Result<ErrorKind, WireError> {
+        match c {
+            1 => Ok(ErrorKind::InvalidQuery),
+            2 => Ok(ErrorKind::Malformed),
+            3 => Ok(ErrorKind::FrameTooLarge),
+            4 => Ok(ErrorKind::Internal),
+            other => Err(WireError::Malformed(format!(
+                "unknown error-frame kind {other}"
+            ))),
+        }
+    }
+}
+
+/// A server-to-client error report: the typed kind plus a human
+/// message (UTF-8; decoded lossily so a mangled message can't mask
+/// the error it describes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorFrame {
+    /// What class of failure this is.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl std::fmt::Display for ErrorFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self.kind {
+            ErrorKind::InvalidQuery => "invalid query",
+            ErrorKind::Malformed => "malformed frame",
+            ErrorKind::FrameTooLarge => "frame too large",
+            ErrorKind::Internal => "internal server error",
+        };
+        write!(f, "{kind}: {}", self.message)
+    }
+}
+
+/// A client-to-server request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run a self-describing catalog query; answers with entries.
+    Query(CatalogQuery),
+    /// Cone search answering with per-hit separations (the one query
+    /// shape whose full answer [`CatalogQuery`] cannot carry).
+    Cone {
+        /// Cone axis.
+        center: SkyCoord,
+        /// Angular radius, arcseconds (inclusive).
+        radius_arcsec: f64,
+    },
+    /// Fetch the store's occupancy/traffic counters.
+    Stats,
+    /// Liveness probe; answers [`Response::Pong`].
+    Ping,
+}
+
+/// A server-to-client response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Entries answering a [`Request::Query`].
+    Entries(Vec<CatalogEntry>),
+    /// Cone hits with separations answering a [`Request::Cone`].
+    Cone(Vec<(CatalogEntry, f64)>),
+    /// Counters answering a [`Request::Stats`].
+    Stats(CatalogStoreStats),
+    /// Liveness answer to [`Request::Ping`].
+    Pong,
+    /// The request could not be answered; see [`ErrorFrame::kind`]
+    /// for whether the connection survives.
+    Error(ErrorFrame),
+}
+
+/// Either side of the conversation, as decoded off the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Body {
+    /// A client-to-server message.
+    Request(Request),
+    /// A server-to-client message.
+    Response(Response),
+}
+
+/// One decoded SCQP payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Client-chosen id, echoed by the server.
+    pub request_id: u64,
+    /// The message itself.
+    pub body: Body,
+}
+
+fn put_header(b: &mut BytesMut, request_id: u64, kind: u8) {
+    b.put_slice(MAGIC);
+    b.put_u16_le(VERSION);
+    b.put_u64_le(request_id);
+    b.put_u8(kind);
+}
+
+fn put_entry(b: &mut BytesMut, e: &CatalogEntry) {
+    b.put_u64_le(e.id);
+    b.put_f64_le(e.pos.ra);
+    b.put_f64_le(e.pos.dec);
+    b.put_u8(match e.source_type {
+        SourceType::Star => 0,
+        SourceType::Galaxy => 1,
+    });
+    b.put_f64_le(e.flux_r_nmgy);
+    for c in e.colors {
+        b.put_f64_le(c);
+    }
+    for v in [
+        e.shape.frac_dev,
+        e.shape.axis_ratio,
+        e.shape.angle_rad,
+        e.shape.radius_arcsec,
+    ] {
+        b.put_f64_le(v);
+    }
+}
+
+fn put_rect(b: &mut BytesMut, r: &SkyRect) {
+    b.put_f64_le(r.ra_min);
+    b.put_f64_le(r.ra_max);
+    b.put_f64_le(r.dec_min);
+    b.put_f64_le(r.dec_max);
+}
+
+fn put_filter(b: &mut BytesMut, f: &SourceFilter) {
+    let mut flags = 0u8;
+    if f.source_type.is_some() {
+        flags |= 1;
+    }
+    if f.min_flux.is_some() {
+        flags |= 2;
+    }
+    b.put_u8(flags);
+    b.put_u8(match f.source_type {
+        Some(SourceType::Galaxy) => 1,
+        _ => 0,
+    });
+    let (band, min) = f
+        .min_flux
+        .map_or((0u8, 0.0), |(band, min)| (band.index() as u8, min));
+    b.put_u8(band);
+    b.put_f64_le(min);
+}
+
+fn finish(b: BytesMut) -> Vec<u8> {
+    let payload = b.freeze().to_vec();
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.put_u32_le(payload.len() as u32);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Encode a request as a full on-wire frame (length prefix included).
+pub fn encode_request(request_id: u64, req: &Request) -> Vec<u8> {
+    let mut b = BytesMut::with_capacity(HEADER_BYTES + 64);
+    match req {
+        Request::Query(q) => {
+            put_header(&mut b, request_id, 1);
+            match q {
+                CatalogQuery::Cone {
+                    center,
+                    radius_arcsec,
+                } => {
+                    b.put_u8(0);
+                    b.put_f64_le(center.ra);
+                    b.put_f64_le(center.dec);
+                    b.put_f64_le(*radius_arcsec);
+                }
+                CatalogQuery::Rect { rect, filter } => {
+                    b.put_u8(1);
+                    put_rect(&mut b, rect);
+                    put_filter(&mut b, filter);
+                }
+                CatalogQuery::BrightestN { n, within } => {
+                    b.put_u8(2);
+                    b.put_u32_le((*n).min(u32::MAX as usize) as u32);
+                    match within {
+                        Some(rect) => {
+                            b.put_u8(1);
+                            put_rect(&mut b, rect);
+                        }
+                        None => b.put_u8(0),
+                    }
+                }
+            }
+        }
+        Request::Cone {
+            center,
+            radius_arcsec,
+        } => {
+            put_header(&mut b, request_id, 2);
+            b.put_f64_le(center.ra);
+            b.put_f64_le(center.dec);
+            b.put_f64_le(*radius_arcsec);
+        }
+        Request::Stats => put_header(&mut b, request_id, 3),
+        Request::Ping => put_header(&mut b, request_id, 4),
+    }
+    finish(b)
+}
+
+/// Encode a response as a full on-wire frame (length prefix included).
+pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
+    let mut b = BytesMut::with_capacity(HEADER_BYTES + 64);
+    match resp {
+        Response::Entries(entries) => {
+            put_header(&mut b, request_id, 0x81);
+            b.put_u32_le(entries.len() as u32);
+            for e in entries {
+                put_entry(&mut b, e);
+            }
+        }
+        Response::Cone(hits) => {
+            put_header(&mut b, request_id, 0x82);
+            b.put_u32_le(hits.len() as u32);
+            for (e, sep) in hits {
+                put_entry(&mut b, e);
+                b.put_f64_le(*sep);
+            }
+        }
+        Response::Stats(s) => {
+            put_header(&mut b, request_id, 0x83);
+            for v in [
+                s.entries as u64,
+                s.cells as u64,
+                s.regions_ingested,
+                s.cache_entries as u64,
+                s.cache_hits,
+                s.queries,
+            ] {
+                b.put_u64_le(v);
+            }
+            b.put_u32_le(s.per_cell.len() as u32);
+            for o in &s.per_cell {
+                b.put_u8(o.cell.level);
+                b.put_u32_le(o.cell.ix);
+                b.put_u32_le(o.cell.iy);
+                b.put_u32_le(o.entries.min(u32::MAX as usize) as u32);
+                b.put_u64_le(o.touches);
+                b.put_u64_le(o.last_touch);
+            }
+        }
+        Response::Pong => put_header(&mut b, request_id, 0x84),
+        Response::Error(e) => {
+            put_header(&mut b, request_id, 0xFF);
+            b.put_u8(e.kind.code());
+            let msg = e.message.as_bytes();
+            b.put_u32_le(msg.len() as u32);
+            b.put_slice(msg);
+        }
+    }
+    finish(b)
+}
+
+/// Append one fixed-width ([`ENTRY_BYTES`]) entry encoding — shared
+/// with the `SCST` snapshot codec so spilled cells and wire responses
+/// are byte-compatible.
+pub fn put_entry_bytes(b: &mut BytesMut, e: &CatalogEntry) {
+    put_entry(b, e);
+}
+
+/// Decode one fixed-width entry. The caller must have length-checked
+/// [`ENTRY_BYTES`] remaining.
+pub fn get_entry_bytes(buf: &mut &[u8]) -> Result<CatalogEntry, WireError> {
+    get_entry(buf)
+}
+
+fn need(buf: &&[u8], n: usize, what: &str) -> Result<(), WireError> {
+    if buf.remaining() < n {
+        Err(WireError::Malformed(format!("truncated reading {what}")))
+    } else {
+        Ok(())
+    }
+}
+
+fn get_entry(buf: &mut &[u8]) -> Result<CatalogEntry, WireError> {
+    // Caller has `need`ed ENTRY_BYTES.
+    let id = buf.get_u64_le();
+    let ra = buf.get_f64_le();
+    let dec = buf.get_f64_le();
+    let source_type = match buf.get_u8() {
+        0 => SourceType::Star,
+        1 => SourceType::Galaxy,
+        other => return Err(WireError::Malformed(format!("unknown source type {other}"))),
+    };
+    let flux_r_nmgy = buf.get_f64_le();
+    let mut colors = [0.0f64; 4];
+    for c in &mut colors {
+        *c = buf.get_f64_le();
+    }
+    let mut shape = [0.0f64; 4];
+    for s in &mut shape {
+        *s = buf.get_f64_le();
+    }
+    Ok(CatalogEntry {
+        id,
+        pos: SkyCoord { ra, dec },
+        source_type,
+        flux_r_nmgy,
+        colors,
+        shape: GalaxyShape {
+            frac_dev: shape[0],
+            axis_ratio: shape[1],
+            angle_rad: shape[2],
+            radius_arcsec: shape[3],
+        },
+    })
+}
+
+fn get_rect(buf: &mut &[u8]) -> SkyRect {
+    // Struct literal, NOT SkyRect::new: its debug assertion would
+    // panic on inverted garbage bounds; as a plain value an inverted
+    // rect just covers no cells and matches nothing.
+    let ra_min = buf.get_f64_le();
+    let ra_max = buf.get_f64_le();
+    let dec_min = buf.get_f64_le();
+    let dec_max = buf.get_f64_le();
+    SkyRect {
+        ra_min,
+        ra_max,
+        dec_min,
+        dec_max,
+    }
+}
+
+fn get_filter(buf: &mut &[u8]) -> Result<SourceFilter, WireError> {
+    let flags = buf.get_u8();
+    if flags & !3 != 0 {
+        return Err(WireError::Malformed(format!(
+            "unknown filter flags {flags:#04x}"
+        )));
+    }
+    let type_code = buf.get_u8();
+    let band_code = buf.get_u8() as usize;
+    let min = buf.get_f64_le();
+    let source_type = if flags & 1 != 0 {
+        Some(match type_code {
+            0 => SourceType::Star,
+            1 => SourceType::Galaxy,
+            other => {
+                return Err(WireError::Malformed(format!(
+                    "unknown source type {other} in filter"
+                )))
+            }
+        })
+    } else {
+        None
+    };
+    let min_flux = if flags & 2 != 0 {
+        let band = *Band::ALL
+            .get(band_code)
+            .ok_or_else(|| WireError::Malformed(format!("band index {band_code} out of range")))?;
+        Some((band, min))
+    } else {
+        None
+    };
+    Ok(SourceFilter {
+        source_type,
+        min_flux,
+    })
+}
+
+const FILTER_BYTES: usize = 1 + 1 + 1 + 8;
+
+fn get_query(buf: &mut &[u8]) -> Result<CatalogQuery, WireError> {
+    need(buf, 1, "query tag")?;
+    match buf.get_u8() {
+        0 => {
+            need(buf, 24, "cone query")?;
+            let ra = buf.get_f64_le();
+            let dec = buf.get_f64_le();
+            let radius_arcsec = buf.get_f64_le();
+            Ok(CatalogQuery::Cone {
+                center: SkyCoord { ra, dec },
+                radius_arcsec,
+            })
+        }
+        1 => {
+            need(buf, 32 + FILTER_BYTES, "rect query")?;
+            let rect = get_rect(buf);
+            let filter = get_filter(buf)?;
+            Ok(CatalogQuery::Rect { rect, filter })
+        }
+        2 => {
+            need(buf, 4 + 1, "brightest-n query")?;
+            let n = buf.get_u32_le() as usize;
+            let within = match buf.get_u8() {
+                0 => None,
+                1 => {
+                    need(buf, 32, "brightest-n window")?;
+                    Some(get_rect(buf))
+                }
+                other => return Err(WireError::Malformed(format!("unknown within tag {other}"))),
+            };
+            Ok(CatalogQuery::BrightestN { n, within })
+        }
+        other => Err(WireError::Malformed(format!("unknown query tag {other}"))),
+    }
+}
+
+fn check_drained(buf: &[u8]) -> Result<(), WireError> {
+    if buf.is_empty() {
+        Ok(())
+    } else {
+        Err(WireError::Malformed(format!(
+            "{} trailing bytes after body",
+            buf.len()
+        )))
+    }
+}
+
+/// Decode one SCQP payload (the bytes *after* the length prefix).
+pub fn decode_payload(mut buf: &[u8]) -> Result<Frame, WireError> {
+    need(&buf, HEADER_BYTES, "frame header")?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(WireError::Malformed("bad magic".into()));
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let request_id = buf.get_u64_le();
+    let kind = buf.get_u8();
+    let body = match kind {
+        1 => Body::Request(Request::Query(get_query(&mut buf)?)),
+        2 => {
+            need(&buf, 24, "cone request")?;
+            let ra = buf.get_f64_le();
+            let dec = buf.get_f64_le();
+            let radius_arcsec = buf.get_f64_le();
+            Body::Request(Request::Cone {
+                center: SkyCoord { ra, dec },
+                radius_arcsec,
+            })
+        }
+        3 => Body::Request(Request::Stats),
+        4 => Body::Request(Request::Ping),
+        0x81 => {
+            need(&buf, 4, "entry count")?;
+            let n = buf.get_u32_le() as usize;
+            let body_bytes = n
+                .checked_mul(ENTRY_BYTES)
+                .ok_or_else(|| WireError::Malformed("entry count overflows body".into()))?;
+            need(&buf, body_bytes, "entries")?;
+            // `need` proved the bytes exist; bounded reservation.
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push(get_entry(&mut buf)?);
+            }
+            Body::Response(Response::Entries(entries))
+        }
+        0x82 => {
+            need(&buf, 4, "hit count")?;
+            let n = buf.get_u32_le() as usize;
+            let body_bytes = n
+                .checked_mul(CONE_HIT_BYTES)
+                .ok_or_else(|| WireError::Malformed("hit count overflows body".into()))?;
+            need(&buf, body_bytes, "cone hits")?;
+            let mut hits = Vec::with_capacity(n);
+            for _ in 0..n {
+                let e = get_entry(&mut buf)?;
+                let sep = buf.get_f64_le();
+                hits.push((e, sep));
+            }
+            Body::Response(Response::Cone(hits))
+        }
+        0x83 => {
+            need(&buf, 6 * 8 + 4, "stats header")?;
+            let mut counters = [0u64; 6];
+            for c in &mut counters {
+                *c = buf.get_u64_le();
+            }
+            let n = buf.get_u32_le() as usize;
+            let body_bytes = n
+                .checked_mul(CELL_OCC_BYTES)
+                .ok_or_else(|| WireError::Malformed("cell count overflows body".into()))?;
+            need(&buf, body_bytes, "per-cell stats")?;
+            let mut per_cell = Vec::with_capacity(n);
+            for _ in 0..n {
+                let level = buf.get_u8();
+                let ix = buf.get_u32_le();
+                let iy = buf.get_u32_le();
+                let entries = buf.get_u32_le() as usize;
+                let touches = buf.get_u64_le();
+                let last_touch = buf.get_u64_le();
+                per_cell.push(CellOccupancy {
+                    cell: CellId { level, ix, iy },
+                    entries,
+                    touches,
+                    last_touch,
+                });
+            }
+            Body::Response(Response::Stats(CatalogStoreStats {
+                entries: counters[0] as usize,
+                cells: counters[1] as usize,
+                regions_ingested: counters[2],
+                cache_entries: counters[3] as usize,
+                cache_hits: counters[4],
+                queries: counters[5],
+                per_cell,
+            }))
+        }
+        0x84 => Body::Response(Response::Pong),
+        0xFF => {
+            need(&buf, 1 + 4, "error frame header")?;
+            let kind = ErrorKind::from_code(buf.get_u8())?;
+            let len = buf.get_u32_le() as usize;
+            need(&buf, len, "error message")?;
+            let mut msg = vec![0u8; len];
+            buf.copy_to_slice(&mut msg);
+            Body::Response(Response::Error(ErrorFrame {
+                kind,
+                message: String::from_utf8_lossy(&msg).into_owned(),
+            }))
+        }
+        other => {
+            return Err(WireError::Malformed(format!(
+                "unknown frame kind {other:#04x}"
+            )))
+        }
+    };
+    check_drained(buf)?;
+    Ok(Frame { request_id, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u64) -> CatalogEntry {
+        CatalogEntry {
+            id,
+            pos: SkyCoord::new(
+                (id as f64 * 13.7) % 360.0,
+                ((id as f64 * 7.3) % 160.0) - 80.0,
+            ),
+            source_type: if id.is_multiple_of(2) {
+                SourceType::Star
+            } else {
+                SourceType::Galaxy
+            },
+            flux_r_nmgy: id as f64 * 0.5 - 3.0,
+            colors: [0.1, -0.2, 0.3, -0.4],
+            shape: GalaxyShape {
+                frac_dev: 0.3,
+                axis_ratio: 0.7,
+                angle_rad: 1.1,
+                radius_arcsec: 2.2,
+            },
+        }
+    }
+
+    fn roundtrip(frame: &[u8]) -> Frame {
+        let (len, payload) = frame.split_at(4);
+        assert_eq!(
+            u32::from_le_bytes(len.try_into().unwrap()) as usize,
+            payload.len()
+        );
+        decode_payload(payload).unwrap()
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Query(CatalogQuery::Cone {
+                center: SkyCoord::new(10.0, -5.0),
+                radius_arcsec: 42.0,
+            }),
+            Request::Query(CatalogQuery::Rect {
+                rect: SkyRect::new(0.0, 1.0, -1.0, 1.0),
+                filter: SourceFilter {
+                    source_type: Some(SourceType::Galaxy),
+                    min_flux: Some((Band::Z, 0.25)),
+                },
+            }),
+            Request::Query(CatalogQuery::BrightestN {
+                n: 17,
+                within: Some(SkyRect::new(5.0, 6.0, 0.0, 2.0)),
+            }),
+            Request::Query(CatalogQuery::BrightestN { n: 3, within: None }),
+            Request::Cone {
+                center: SkyCoord::new(359.9, 0.1),
+                radius_arcsec: 3600.0,
+            },
+            Request::Stats,
+            Request::Ping,
+        ];
+        for (i, req) in reqs.iter().enumerate() {
+            let frame = roundtrip(&encode_request(i as u64 + 7, req));
+            assert_eq!(frame.request_id, i as u64 + 7);
+            assert_eq!(frame.body, Body::Request(req.clone()), "request {i}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_bit_exactly() {
+        let entries: Vec<CatalogEntry> = (0..9).map(entry).collect();
+        let resps = [
+            Response::Entries(entries.clone()),
+            Response::Cone(
+                entries
+                    .iter()
+                    .map(|e| (e.clone(), e.id as f64 * 0.9))
+                    .collect(),
+            ),
+            Response::Stats(CatalogStoreStats {
+                entries: 9,
+                cells: 2,
+                regions_ingested: 4,
+                cache_entries: 3,
+                cache_hits: 1,
+                queries: 55,
+                per_cell: vec![CellOccupancy {
+                    cell: CellId {
+                        level: 10,
+                        ix: 3,
+                        iy: 9,
+                    },
+                    entries: 9,
+                    touches: 12,
+                    last_touch: 55,
+                }],
+            }),
+            Response::Pong,
+            Response::Error(ErrorFrame {
+                kind: ErrorKind::InvalidQuery,
+                message: "cone radius must be finite".into(),
+            }),
+        ];
+        for resp in &resps {
+            let frame = roundtrip(&encode_response(99, resp));
+            assert_eq!(frame.request_id, 99);
+            match (&frame.body, resp) {
+                (Body::Response(Response::Entries(got)), Response::Entries(want)) => {
+                    for (g, w) in got.iter().zip(want) {
+                        assert_eq!(g.pos.ra.to_bits(), w.pos.ra.to_bits());
+                        assert_eq!(g.flux_r_nmgy.to_bits(), w.flux_r_nmgy.to_bits());
+                    }
+                    assert_eq!(got, want);
+                }
+                (Body::Response(got), want) => assert_eq!(got, want),
+                other => panic!("decoded a request from a response: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_typed_errors() {
+        let good = encode_request(1, &Request::Ping);
+        let payload = &good[4..];
+        assert!(matches!(
+            decode_payload(&payload[..payload.len() - 1]),
+            Err(WireError::Malformed(_))
+        ));
+        let mut bad_magic = payload.to_vec();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            decode_payload(&bad_magic),
+            Err(WireError::Malformed(_))
+        ));
+        let mut bad_version = payload.to_vec();
+        bad_version[4] = 9;
+        assert!(matches!(
+            decode_payload(&bad_version),
+            Err(WireError::UnsupportedVersion(9))
+        ));
+        // Trailing garbage after a complete body is rejected, not
+        // silently ignored (it would desync framing).
+        let mut trailing = payload.to_vec();
+        trailing.push(0);
+        assert!(matches!(
+            decode_payload(&trailing),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn length_lying_counts_are_rejected_without_huge_prealloc() {
+        // An Entries response claiming u32::MAX entries but carrying
+        // none: must be a typed error, and must not reserve
+        // gigabytes first.
+        let mut b = BytesMut::with_capacity(HEADER_BYTES + 4);
+        put_header(&mut b, 5, 0x81);
+        b.put_u32_le(u32::MAX);
+        let payload = b.freeze().to_vec();
+        assert!(matches!(
+            decode_payload(&payload),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}

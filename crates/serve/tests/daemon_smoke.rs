@@ -1,0 +1,169 @@
+//! Daemon smoke: ephemeral port, real sockets, typed errors,
+//! graceful shutdown. The full campaign-parity suite lives in
+//! `celeste-tests`; this one has no survey dependency and runs with
+//! the crate's own tests.
+
+use celeste_serve::{CatalogClient, CatalogDaemon, ServeConfig, ServeError};
+use celeste_store::CatalogQuery;
+use celeste_survey::catalog::{CatalogEntry, GalaxyShape, SourceType};
+use celeste_survey::skygeom::{SkyCoord, SkyRect};
+use std::io::{Read, Write};
+
+fn entry(id: u64) -> CatalogEntry {
+    CatalogEntry {
+        id,
+        pos: SkyCoord::new(
+            (id as f64 * 31.0) % 360.0,
+            ((id as f64 * 7.0) % 160.0) - 80.0,
+        ),
+        source_type: if id.is_multiple_of(2) {
+            SourceType::Star
+        } else {
+            SourceType::Galaxy
+        },
+        flux_r_nmgy: 1.0 + id as f64,
+        colors: [0.1, 0.2, 0.3, 0.4],
+        shape: GalaxyShape::round_disk(1.2),
+    }
+}
+
+#[test]
+fn serves_queries_over_tcp() {
+    let daemon = CatalogDaemon::start("127.0.0.1:0", &ServeConfig::default()).unwrap();
+    for id in 0..40 {
+        daemon.store().store().insert(entry(id));
+    }
+    let mut client = CatalogClient::connect(daemon.addr()).unwrap();
+    client.ping().unwrap();
+
+    let store = daemon.store().store();
+    let queries = [
+        CatalogQuery::BrightestN { n: 7, within: None },
+        CatalogQuery::Rect {
+            rect: SkyRect::new(0.0, 180.0, -90.0, 90.0),
+            filter: Default::default(),
+        },
+        CatalogQuery::Cone {
+            center: SkyCoord::new(31.0, -73.0),
+            radius_arcsec: 500_000.0,
+        },
+    ];
+    for q in &queries {
+        let remote = client.query(q).unwrap();
+        let local = store.query(q).unwrap();
+        assert_eq!(remote.len(), local.len());
+        for (r, l) in remote.iter().zip(&local) {
+            assert_eq!(r.id, l.id);
+            assert_eq!(r.pos.ra.to_bits(), l.pos.ra.to_bits());
+            assert_eq!(r.flux_r_nmgy.to_bits(), l.flux_r_nmgy.to_bits());
+        }
+    }
+    // Cone with separations, bit-identical.
+    let center = SkyCoord::new(31.0, -73.0);
+    let remote = client.cone_search(&center, 500_000.0).unwrap();
+    let local = store.cone_search(&center, 500_000.0).unwrap();
+    assert_eq!(remote.len(), local.len());
+    for ((re, rs), (le, ls)) in remote.iter().zip(&local) {
+        assert_eq!(re.id, le.id);
+        assert_eq!(rs.to_bits(), ls.to_bits());
+    }
+    // Stats round trip.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.entries, 40);
+    assert!(stats.queries > 0);
+    assert_eq!(stats.per_cell.len(), stats.cells);
+
+    daemon.shutdown().unwrap();
+}
+
+#[test]
+fn invalid_query_keeps_connection_and_chains_source() {
+    let daemon = CatalogDaemon::start("127.0.0.1:0", &ServeConfig::default()).unwrap();
+    daemon.store().store().insert(entry(1));
+    let mut client = CatalogClient::connect(daemon.addr()).unwrap();
+
+    let err = client
+        .query(&CatalogQuery::Cone {
+            center: SkyCoord::new(f64::NAN, 0.0),
+            radius_arcsec: 1.0,
+        })
+        .unwrap_err();
+    // Full source chain: ServeError::Remote → RemoteError →
+    // StoreError::InvalidQuery.
+    let remote = match &err {
+        ServeError::Remote(r) => r,
+        other => panic!("want Remote, got {other:?}"),
+    };
+    let source = std::error::Error::source(remote).expect("remote error must chain its cause");
+    assert!(
+        source.to_string().contains("non-finite"),
+        "source must be the store's validation error, got: {source}"
+    );
+    // The connection survives a validation error: next query works.
+    let ok = client
+        .query(&CatalogQuery::BrightestN { n: 1, within: None })
+        .unwrap();
+    assert_eq!(ok.len(), 1);
+    daemon.shutdown().unwrap();
+}
+
+#[test]
+fn garbage_frames_get_typed_error_and_daemon_survives() {
+    let daemon = CatalogDaemon::start("127.0.0.1:0", &ServeConfig::default()).unwrap();
+    daemon.store().store().insert(entry(2));
+    let addr = daemon.addr();
+
+    // Raw garbage after a plausible length prefix: the server must
+    // answer a typed error frame and close, not panic.
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    let garbage = [42u8; 32];
+    raw.write_all(&(garbage.len() as u32).to_le_bytes())
+        .unwrap();
+    raw.write_all(&garbage).unwrap();
+    let mut reply = Vec::new();
+    raw.read_to_end(&mut reply).unwrap();
+    assert!(!reply.is_empty(), "server must answer before closing");
+    let len = u32::from_le_bytes(reply[..4].try_into().unwrap()) as usize;
+    let frame = celeste_serve::wire::decode_payload(&reply[4..4 + len]).unwrap();
+    match frame.body {
+        celeste_serve::wire::Body::Response(celeste_serve::wire::Response::Error(e)) => {
+            assert_eq!(e.kind, celeste_serve::ErrorKind::Malformed);
+        }
+        other => panic!("want error frame, got {other:?}"),
+    }
+    drop(raw);
+
+    // An oversized frame is refused before allocation.
+    let mut big = std::net::TcpStream::connect(addr).unwrap();
+    big.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    big.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    let mut reply = Vec::new();
+    big.read_to_end(&mut reply).unwrap();
+    let len = u32::from_le_bytes(reply[..4].try_into().unwrap()) as usize;
+    let frame = celeste_serve::wire::decode_payload(&reply[4..4 + len]).unwrap();
+    match frame.body {
+        celeste_serve::wire::Body::Response(celeste_serve::wire::Response::Error(e)) => {
+            assert_eq!(e.kind, celeste_serve::ErrorKind::FrameTooLarge);
+        }
+        other => panic!("want error frame, got {other:?}"),
+    }
+    drop(big);
+
+    // The daemon is still alive and correct after both abuses.
+    let mut client = CatalogClient::connect(addr).unwrap();
+    client.ping().unwrap();
+    assert_eq!(
+        client
+            .query(&CatalogQuery::BrightestN {
+                n: 10,
+                within: None
+            })
+            .unwrap()
+            .len(),
+        1
+    );
+    daemon.shutdown().unwrap();
+}

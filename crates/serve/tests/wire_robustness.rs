@@ -1,0 +1,306 @@
+//! Decode-robustness properties for the `SCQP` wire codec and the
+//! `SCST` snapshot codec: truncated, bit-flipped, length-lying, and
+//! arbitrary-garbage inputs must come back as typed [`WireError`]s /
+//! [`SnapshotError`]s (or, for flips the fingerprint cannot see, a
+//! structurally bounded `Ok`) — never a panic, never a read past the
+//! buffer, never an attacker-sized preallocation. Mirrors the `SCKP`
+//! suite in `sched/tests/checkpoint_robustness.rs`.
+
+use celeste_sched::fault::mix64;
+use celeste_serve::wire::{
+    decode_payload, encode_request, encode_response, ErrorFrame, ErrorKind, Request, Response,
+    WireError, HEADER_BYTES,
+};
+use celeste_serve::{Snapshot, SnapshotError};
+use celeste_store::{CatalogQuery, CatalogStoreStats, CellOccupancy, SourceFilter};
+use celeste_survey::bands::Band;
+use celeste_survey::catalog::{CatalogEntry, GalaxyShape, SourceType};
+use celeste_survey::skygeom::{CellId, SkyCoord, SkyRect};
+use proptest::prelude::*;
+
+fn sample_entry(seed: u64) -> CatalogEntry {
+    let h = mix64(seed);
+    CatalogEntry {
+        id: h % 4096,
+        pos: SkyCoord::new((h % 360) as f64 + 0.25, ((h % 160) as f64 / 2.0) - 40.0),
+        source_type: if h.is_multiple_of(2) {
+            SourceType::Star
+        } else {
+            SourceType::Galaxy
+        },
+        flux_r_nmgy: (h % 1000) as f64 * 0.03,
+        colors: [0.1, -0.2, 0.3, (h % 7) as f64 * 0.1],
+        shape: GalaxyShape {
+            frac_dev: (h % 10) as f64 / 10.0,
+            axis_ratio: 0.5,
+            angle_rad: 1.0,
+            radius_arcsec: 2.0 + (h % 5) as f64,
+        },
+    }
+}
+
+/// A deterministic but irregular valid payload (the bytes after the
+/// length prefix): `seed` picks the message kind and the body sizes,
+/// covering every request and response shape the protocol has.
+fn sample_payload(seed: u64) -> Vec<u8> {
+    let h = mix64(seed);
+    let rect = SkyRect::new(
+        (h % 100) as f64,
+        (h % 100) as f64 + 5.0,
+        -10.0,
+        (h % 40) as f64,
+    );
+    let entries: Vec<CatalogEntry> = (0..h % 5).map(|i| sample_entry(h ^ i)).collect();
+    let frame = match h % 10 {
+        0 => encode_request(
+            h,
+            &Request::Query(CatalogQuery::Cone {
+                center: SkyCoord::new((h % 360) as f64, 0.0),
+                radius_arcsec: (h % 7200) as f64,
+            }),
+        ),
+        1 => encode_request(
+            h,
+            &Request::Query(CatalogQuery::Rect {
+                rect,
+                filter: SourceFilter {
+                    source_type: (h.is_multiple_of(3)).then_some(SourceType::Galaxy),
+                    min_flux: (h % 3 == 1).then_some((Band::ALL[(h % 5) as usize], 0.5)),
+                },
+            }),
+        ),
+        2 => encode_request(
+            h,
+            &Request::Query(CatalogQuery::BrightestN {
+                n: (h % 64) as usize,
+                within: (h.is_multiple_of(2)).then_some(rect),
+            }),
+        ),
+        3 => encode_request(
+            h,
+            &Request::Cone {
+                center: SkyCoord::new(1.0, 2.0),
+                radius_arcsec: 60.0,
+            },
+        ),
+        4 => encode_request(h, &Request::Stats),
+        5 => encode_request(h, &Request::Ping),
+        6 => encode_response(h, &Response::Entries(entries)),
+        7 => encode_response(
+            h,
+            &Response::Cone(entries.into_iter().map(|e| (e, 0.5)).collect()),
+        ),
+        8 => encode_response(
+            h,
+            &Response::Stats(CatalogStoreStats {
+                entries: (h % 100) as usize,
+                cells: (h % 10) as usize,
+                regions_ingested: h % 50,
+                cache_entries: 3,
+                cache_hits: 1,
+                queries: h % 1000,
+                per_cell: (0..h % 4)
+                    .map(|i| CellOccupancy {
+                        cell: CellId {
+                            level: 10,
+                            ix: i as u32,
+                            iy: (h % 7) as u32,
+                        },
+                        entries: (h % 30) as usize,
+                        touches: h % 13,
+                        last_touch: h % 1000,
+                    })
+                    .collect(),
+            }),
+        ),
+        _ => encode_response(
+            h,
+            &Response::Error(ErrorFrame {
+                kind: match h % 4 {
+                    0 => ErrorKind::InvalidQuery,
+                    1 => ErrorKind::Malformed,
+                    2 => ErrorKind::FrameTooLarge,
+                    _ => ErrorKind::Internal,
+                },
+                message: "x".repeat((h % 40) as usize),
+            }),
+        ),
+    };
+    frame[4..].to_vec()
+}
+
+fn sample_snapshot(seed: u64) -> Snapshot {
+    let h = mix64(seed);
+    let n = h % 40 + 1;
+    Snapshot::of_entries((0..n).map(|i| sample_entry(h ^ (i << 8))).collect(), 10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every strict prefix of a valid SCQP payload is a typed
+    /// Malformed error: the format carries explicit counts, so
+    /// running out of bytes early is always detectable.
+    #[test]
+    fn scqp_truncation_is_a_typed_error(seed in 0u64..1_000_000, frac in 0.0..1.0f64) {
+        let payload = sample_payload(seed);
+        let cut = ((payload.len() - 1) as f64 * frac) as usize;
+        prop_assert!(
+            matches!(
+                decode_payload(&payload[..cut]),
+                Err(WireError::Malformed(_))
+            ),
+            "truncation to {cut}/{} bytes must be Malformed",
+            payload.len()
+        );
+    }
+
+    /// Flipping any single bit of an SCQP payload never panics: the
+    /// result is a typed error or a decode whose structure is bounded
+    /// by the buffer (lied counts cannot inflate the output — the
+    /// `need` checks cap every reservation at what the bytes hold).
+    #[test]
+    fn scqp_single_bit_flip_never_panics(seed in 0u64..1_000_000, pos in 0.0..1.0f64, bit in 0u32..8) {
+        let mut payload = sample_payload(seed);
+        let n = payload.len();
+        let idx = ((n - 1) as f64 * pos) as usize;
+        payload[idx] ^= 1 << bit;
+        match decode_payload(&payload) {
+            Err(WireError::Malformed(_)) | Err(WireError::UnsupportedVersion(_)) | Ok(_) => {}
+            Err(other) => prop_assert!(false, "unexpected error variant: {other:?}"),
+        }
+    }
+
+    /// Arbitrary garbage never panics and never over-reads.
+    #[test]
+    fn scqp_arbitrary_garbage_never_panics(bytes in prop::collection::vec(0u32..256, 0..256)) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let _ = decode_payload(&bytes);
+    }
+
+    /// Garbage behind a valid header prefix (magic + version) drives
+    /// the per-kind body decoders: still typed, still panic-free.
+    #[test]
+    fn scqp_garbage_with_valid_header_never_panics(bytes in prop::collection::vec(0u32..256, 0..256)) {
+        let mut buf = b"SCQP\x01\x00".to_vec();
+        buf.extend(bytes.into_iter().map(|b| b as u8));
+        let _ = decode_payload(&buf);
+    }
+
+    /// Every strict prefix of a valid SCST snapshot is a typed
+    /// Malformed error (a prefix can never pass the trailing-bytes
+    /// and count checks simultaneously).
+    #[test]
+    fn scst_truncation_is_a_typed_error(seed in 0u64..1_000_000, frac in 0.0..1.0f64) {
+        let bytes = sample_snapshot(seed).encode();
+        let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+        prop_assert!(
+            matches!(
+                Snapshot::decode(&bytes[..cut]),
+                Err(SnapshotError::Malformed(_))
+            ),
+            "truncation to {cut}/{} bytes must be Malformed",
+            bytes.len()
+        );
+    }
+
+    /// Flipping any single bit of a snapshot never panics and never
+    /// yields a silently wrong catalog: either a typed structural
+    /// error, a fingerprint mismatch, or — for flips in the cell-id
+    /// fields the fingerprint does not cover — an `Ok` carrying
+    /// exactly the original entries (the fingerprint still verified).
+    #[test]
+    fn scst_single_bit_flip_is_caught_or_content_preserving(
+        seed in 0u64..1_000_000, pos in 0.0..1.0f64, bit in 0u32..8
+    ) {
+        let snap = sample_snapshot(seed);
+        let mut bytes = snap.encode();
+        let n = bytes.len();
+        let idx = ((n - 1) as f64 * pos) as usize;
+        bytes[idx] ^= 1 << bit;
+        match Snapshot::decode(&bytes) {
+            Err(SnapshotError::Malformed(_))
+            | Err(SnapshotError::FingerprintMismatch { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error variant: {other:?}"),
+            Ok(decoded) => {
+                // The fingerprint verified, so the content survived
+                // the flip bit-exactly; only cell grouping (or the
+                // level byte) can differ.
+                let got = decoded.entries();
+                let want = snap.entries();
+                prop_assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(&want) {
+                    prop_assert_eq!(g.id, w.id);
+                    prop_assert_eq!(g.flux_r_nmgy.to_bits(), w.flux_r_nmgy.to_bits());
+                    prop_assert_eq!(g.pos.ra.to_bits(), w.pos.ra.to_bits());
+                }
+            }
+        }
+    }
+
+    /// Arbitrary garbage never panics the snapshot decoder.
+    #[test]
+    fn scst_arbitrary_garbage_never_panics(bytes in prop::collection::vec(0u32..256, 0..256)) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let _ = Snapshot::decode(&bytes);
+    }
+
+    /// Garbage behind a valid SCST header never panics.
+    #[test]
+    fn scst_garbage_with_valid_header_never_panics(bytes in prop::collection::vec(0u32..256, 0..256)) {
+        let mut buf = b"SCST\x01\x00".to_vec();
+        buf.extend(bytes.into_iter().map(|b| b as u8));
+        let _ = Snapshot::decode(&buf);
+    }
+}
+
+/// Length-lying counts: count fields overwritten with huge values
+/// must be rejected with a typed error, without reserving
+/// attacker-sized memory or reading past the buffer. (Deterministic
+/// offsets, so a plain test, not a property.)
+#[test]
+fn length_lying_counts_are_rejected() {
+    // SCQP Entries response: count lives right after the header.
+    let entries: Vec<CatalogEntry> = (0..3).map(sample_entry).collect();
+    let frame = encode_response(9, &Response::Entries(entries));
+    let mut payload = frame[4..].to_vec();
+    payload[HEADER_BYTES..HEADER_BYTES + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        decode_payload(&payload),
+        Err(WireError::Malformed(_))
+    ));
+
+    // SCST: n_cells at offset 15 (magic 4 + version 2 + fp 8 + level 1),
+    // first cell's n_entries at 19 + 9 = 28.
+    let bytes = sample_snapshot(7).encode();
+    let mut lie = bytes.clone();
+    lie[15..19].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        Snapshot::decode(&lie),
+        Err(SnapshotError::Malformed(_))
+    ));
+    let mut lie = bytes;
+    lie[28..32].copy_from_slice(&u32::MAX.to_le_bytes());
+    match Snapshot::decode(&lie) {
+        Err(SnapshotError::Malformed(msg)) => {
+            assert!(
+                msg.contains("truncated") || msg.contains("overflow"),
+                "unexpected message: {msg}"
+            );
+        }
+        other => panic!("want Malformed, got {other:?}"),
+    }
+}
+
+/// The valid samples the mutation properties start from must
+/// themselves decode, or the properties above are vacuous.
+#[test]
+fn samples_round_trip() {
+    for seed in 0..32 {
+        let payload = sample_payload(seed);
+        decode_payload(&payload).expect("valid payload must decode");
+        let snap = sample_snapshot(seed);
+        let decoded = Snapshot::decode(&snap.encode()).expect("valid snapshot must decode");
+        assert_eq!(decoded, snap);
+    }
+}

@@ -176,8 +176,27 @@ impl Default for StoreConfig {
     }
 }
 
+/// Occupancy and traffic counters for one resident sky cell. The
+/// touch counters drive the serving layer's eviction policy (cold
+/// cells spill to the snapshot file first) and double as a per-cell
+/// heat map in the stats query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellOccupancy {
+    /// Which cell.
+    pub cell: CellId,
+    /// Distinct sources currently resident in the cell.
+    pub entries: usize,
+    /// How many sky queries have read this cell since it became
+    /// resident (counters reset when a cell empties or is evicted).
+    pub touches: u64,
+    /// Value of the store's query clock when the cell was last read
+    /// by a sky query (0 = never). Ordering cells by this field is
+    /// LRU-by-query-touch.
+    pub last_touch: u64,
+}
+
 /// Occupancy and traffic counters for a [`CatalogStore`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CatalogStoreStats {
     /// Distinct sources currently stored.
     pub entries: usize,
@@ -189,6 +208,12 @@ pub struct CatalogStoreStats {
     pub cache_entries: usize,
     /// Provenance-cache lookups that hit.
     pub cache_hits: u64,
+    /// Sky queries answered (cone/rect/brightest-N; each ticks the
+    /// query clock the [`CellOccupancy::last_touch`] stamps come
+    /// from).
+    pub queries: u64,
+    /// Per-cell occupancy and touch counters, ascending by cell id.
+    pub per_cell: Vec<CellOccupancy>,
 }
 
 /// Predicate for [`CatalogStore::rect_search`]: all present fields
@@ -237,7 +262,7 @@ impl SourceFilter {
 
 /// A self-describing catalog query, the facade's one-call query
 /// surface ([`CatalogStore::query`]).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CatalogQuery {
     /// Every source within `radius_arcsec` of `center`, nearest
     /// first (ties by id).
@@ -264,12 +289,20 @@ pub enum CatalogQuery {
     },
 }
 
+/// One resident cell: its entries keyed by id (so iteration order —
+/// and therefore query output — is deterministic) plus atomic touch
+/// counters that sky queries bump under the shard's *read* lock.
+#[derive(Default)]
+struct Cell {
+    entries: BTreeMap<u64, CatalogEntry>,
+    touches: AtomicU64,
+    last_touch: AtomicU64,
+}
+
 /// One lock stripe: the cells (and their entries) that hash to it.
-/// Entries within a cell are keyed by id so iteration order — and
-/// therefore query output — is deterministic.
 #[derive(Default)]
 struct Shard {
-    cells: HashMap<CellId, BTreeMap<u64, CatalogEntry>>,
+    cells: HashMap<CellId, Cell>,
 }
 
 /// The sky-sharded catalog store. See the module docs for the
@@ -287,6 +320,13 @@ pub struct CatalogStore {
     entries: AtomicUsize,
     regions_ingested: AtomicU64,
     cache_hits: AtomicU64,
+    /// Bumped once per sky query; cells record its value as their
+    /// last-touch stamp (LRU by query touch for eviction policy).
+    query_clock: AtomicU64,
+    /// Bumped on every content mutation (insert / take). Lets a
+    /// serving layer detect whether a persisted snapshot still
+    /// reflects the store without hashing it.
+    version: AtomicU64,
 }
 
 impl Default for CatalogStore {
@@ -308,12 +348,21 @@ impl CatalogStore {
             entries: AtomicUsize::new(0),
             regions_ingested: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            query_clock: AtomicU64::new(0),
+            version: AtomicU64::new(0),
         }
     }
 
     /// The cell refinement level entries are indexed at.
     pub fn level(&self) -> u8 {
         self.level
+    }
+
+    /// Content version: bumped on every [`CatalogStore::insert`] (and
+    /// [`CatalogStore::take_cell`] removal). Two equal readings with
+    /// no writer in between mean the stored content did not change.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
     }
 
     fn shard_of(&self, cell: CellId) -> &RwLock<Shard> {
@@ -370,22 +419,22 @@ impl CatalogStore {
                 None => {
                     self.entries.fetch_add(1, Ordering::Relaxed);
                     self.with_shard_write(self.shard_of(cell), |s| {
-                        s.cells.entry(cell).or_default().insert(id, entry);
+                        s.cells.entry(cell).or_default().entries.insert(id, entry);
                     });
                 }
                 Some(old_cell) if old_cell == cell => {
                     self.with_shard_write(self.shard_of(cell), |s| {
-                        s.cells.entry(cell).or_default().insert(id, entry);
+                        s.cells.entry(cell).or_default().entries.insert(id, entry);
                     });
                 }
                 Some(old_cell) => {
                     self.with_shard_write(self.shard_of(cell), |s| {
-                        s.cells.entry(cell).or_default().insert(id, entry);
+                        s.cells.entry(cell).or_default().entries.insert(id, entry);
                     });
                     self.with_shard_write(self.shard_of(old_cell), |s| {
-                        if let Some(cellmap) = s.cells.get_mut(&old_cell) {
-                            cellmap.remove(&id);
-                            if cellmap.is_empty() {
+                        if let Some(c) = s.cells.get_mut(&old_cell) {
+                            c.entries.remove(&id);
+                            if c.entries.is_empty() {
                                 s.cells.remove(&old_cell);
                             }
                         }
@@ -393,6 +442,78 @@ impl CatalogStore {
                 }
             }
         });
+        // Bumped strictly *after* the mutation is visible (all locks
+        // released), so a reader that observes version v also sees
+        // every mutation counted in v — the serving layer's snapshot
+        // freshness check depends on this ordering.
+        self.version.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Insert `entry` only if no entry with its id is present.
+    /// Atomic with respect to concurrent [`CatalogStore::insert`]s of
+    /// the same id (the id's stripe lock serializes them). Returns
+    /// whether the entry was inserted. The serving layer uses this to
+    /// fault spilled snapshot entries back in without clobbering a
+    /// fresher fit a live campaign ingested meanwhile.
+    pub fn insert_if_absent(&self, entry: CatalogEntry) -> bool {
+        let cell = CellId::of(&entry.pos, self.level);
+        let id = entry.id;
+        let inserted = self.with_id_stripe(id, |idx| {
+            if idx.contains_key(&id) {
+                return false;
+            }
+            idx.insert(id, cell);
+            self.entries.fetch_add(1, Ordering::Relaxed);
+            self.with_shard_write(self.shard_of(cell), |s| {
+                s.cells.entry(cell).or_default().entries.insert(id, entry);
+            });
+            true
+        });
+        if inserted {
+            // After the locks, for the same reason as in `insert`.
+            self.version.fetch_add(1, Ordering::AcqRel);
+        }
+        inserted
+    }
+
+    /// Remove and return every entry currently resident in `cell`, in
+    /// ascending id order — the eviction primitive: the serving layer
+    /// spills the returned entries' cell to its snapshot file and
+    /// reloads on demand. Entries concurrently moving *into* the cell
+    /// stay; an id concurrently moved to a different cell is left
+    /// untouched. Bumps [`CatalogStore::version`] once when anything
+    /// was removed.
+    pub fn take_cell(&self, cell: CellId) -> Vec<CatalogEntry> {
+        let ids: Vec<u64> = self.with_shard_read(self.shard_of(cell), |s| {
+            s.cells
+                .get(&cell)
+                .map(|c| c.entries.keys().copied().collect())
+                .unwrap_or_default()
+        });
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            self.with_id_stripe(id, |idx| {
+                if idx.get(&id) != Some(&cell) {
+                    return;
+                }
+                idx.remove(&id);
+                self.with_shard_write(self.shard_of(cell), |s| {
+                    if let Some(c) = s.cells.get_mut(&cell) {
+                        if let Some(e) = c.entries.remove(&id) {
+                            self.entries.fetch_sub(1, Ordering::Relaxed);
+                            out.push(e);
+                        }
+                        if c.entries.is_empty() {
+                            s.cells.remove(&cell);
+                        }
+                    }
+                });
+            });
+        }
+        if !out.is_empty() {
+            self.version.fetch_add(1, Ordering::AcqRel);
+        }
+        out
     }
 
     /// Upsert every fitted source of a region result.
@@ -435,7 +556,7 @@ impl CatalogStore {
         self.with_id_stripe(id, |idx| {
             let cell = *idx.get(&id)?;
             self.with_shard_read(self.shard_of(cell), |s| {
-                s.cells.get(&cell).and_then(|m| m.get(&id)).cloned()
+                s.cells.get(&cell).and_then(|c| c.entries.get(&id)).cloned()
             })
         })
     }
@@ -450,30 +571,54 @@ impl CatalogStore {
         self.len() == 0
     }
 
-    /// Occupancy and traffic counters.
+    /// Occupancy and traffic counters, including the per-cell
+    /// occupancy/touch table (ascending by cell id) that the serving
+    /// layer's LRU eviction ranks cells by.
     pub fn stats(&self) -> CatalogStoreStats {
-        let cells = self
-            .shards
-            .iter()
-            .map(|shard| self.with_shard_read(shard, |s| s.cells.len()))
-            .sum();
+        let mut per_cell: Vec<CellOccupancy> = Vec::new();
+        for shard in &self.shards {
+            self.with_shard_read(shard, |s| {
+                for (&cell, c) in &s.cells {
+                    per_cell.push(CellOccupancy {
+                        cell,
+                        entries: c.entries.len(),
+                        touches: c.touches.load(Ordering::Relaxed),
+                        last_touch: c.last_touch.load(Ordering::Relaxed),
+                    });
+                }
+            });
+        }
+        per_cell.sort_by_key(|o| (o.cell.level, o.cell.ix, o.cell.iy));
         CatalogStoreStats {
             entries: self.len(),
-            cells,
+            cells: per_cell.len(),
             regions_ingested: self.regions_ingested.load(Ordering::Relaxed),
             cache_entries: self.with_cache(|cache| cache.len()),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            queries: self.query_clock.load(Ordering::Relaxed),
+            per_cell,
         }
     }
 
     /// Visit every entry currently indexed under `cells`,
     /// deduplicated by id (a concurrent cross-cell move can expose a
-    /// source in two cells transiently).
-    fn collect_cells(&self, cells: &[CellId], out: &mut BTreeMap<u64, CatalogEntry>) {
+    /// source in two cells transiently). A `Some(stamp)` records a
+    /// query touch on each visited cell (the eviction LRU signal);
+    /// `None` is a bookkeeping read that leaves the counters alone.
+    fn collect_cells(
+        &self,
+        cells: &[CellId],
+        out: &mut BTreeMap<u64, CatalogEntry>,
+        stamp: Option<u64>,
+    ) {
         for &cell in cells {
             self.with_shard_read(self.shard_of(cell), |s| {
-                if let Some(map) = s.cells.get(&cell) {
-                    for (&id, e) in map {
+                if let Some(c) = s.cells.get(&cell) {
+                    if let Some(stamp) = stamp {
+                        c.touches.fetch_add(1, Ordering::Relaxed);
+                        c.last_touch.store(stamp, Ordering::Relaxed);
+                    }
+                    for (&id, e) in &c.entries {
                         out.insert(id, e.clone());
                     }
                 }
@@ -481,17 +626,29 @@ impl CatalogStore {
         }
     }
 
-    /// Every entry in the store, deduplicated by id.
-    fn collect_all(&self, out: &mut BTreeMap<u64, CatalogEntry>) {
+    /// Every entry in the store, deduplicated by id. Touch stamping
+    /// as in [`CatalogStore::collect_cells`].
+    fn collect_all(&self, out: &mut BTreeMap<u64, CatalogEntry>, stamp: Option<u64>) {
         for shard in &self.shards {
             self.with_shard_read(shard, |s| {
-                for map in s.cells.values() {
-                    for (&id, e) in map {
+                for c in s.cells.values() {
+                    if let Some(stamp) = stamp {
+                        c.touches.fetch_add(1, Ordering::Relaxed);
+                        c.last_touch.store(stamp, Ordering::Relaxed);
+                    }
+                    for (&id, e) in &c.entries {
                         out.insert(id, e.clone());
                     }
                 }
             });
         }
+    }
+
+    /// Advance the query clock and return the new stamp. Every sky
+    /// query (cone/rect/brightest-N) takes one tick; cells touched by
+    /// the query record it as their last-touch time.
+    fn query_stamp(&self) -> u64 {
+        self.query_clock.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Every source within `radius_arcsec` of `center` with its
@@ -512,29 +669,10 @@ impl CatalogStore {
                 "cone radius must be finite and non-negative, got {radius_arcsec}"
             )));
         }
-        let r_deg = radius_arcsec / 3600.0;
-        // Conservative bounding rect under the flat-sky metric: the
-        // separation scales RA by cos of the *mean* dec of the pair,
-        // which for a hit lies within r/2 of the center's dec. A tiny
-        // guard pad keeps exactly-on-boundary candidates inside; over-
-        // inclusion is harmless (the exact test below decides).
-        let pad = 1e-7;
-        let worst_dec = (center.dec.abs() + 0.5 * r_deg).min(90.0);
-        let cosw = worst_dec.to_radians().cos();
-        let half_w = if cosw > 1e-9 {
-            (r_deg / cosw + pad).min(180.0)
-        } else {
-            180.0
-        };
-        let rect = SkyRect::new(
-            center.ra - half_w,
-            center.ra + half_w,
-            (center.dec - r_deg - pad).max(-90.0),
-            (center.dec + r_deg + pad).min(90.0 + f64::EPSILON * 90.0),
-        );
+        let rect = cone_rect(center, radius_arcsec);
         let cells = CellId::covering(&rect, self.level);
         let mut seen = BTreeMap::new();
-        self.collect_cells(&cells, &mut seen);
+        self.collect_cells(&cells, &mut seen, Some(self.query_stamp()));
         let mut hits: Vec<(CatalogEntry, f64)> = seen
             .into_values()
             .map(|e| {
@@ -565,7 +703,7 @@ impl CatalogStore {
         filter.validate()?;
         let cells = CellId::covering(rect, self.level);
         let mut seen = BTreeMap::new();
-        self.collect_cells(&cells, &mut seen);
+        self.collect_cells(&cells, &mut seen, Some(self.query_stamp()));
         Ok(seen
             .into_values()
             .filter(|e| rect.contains(&e.pos) && filter.matches(e))
@@ -578,12 +716,13 @@ impl CatalogStore {
     /// [`Catalog::brightest_n`] over the same entries.
     pub fn brightest_n(&self, n: usize, within: Option<&SkyRect>) -> Vec<CatalogEntry> {
         let mut seen = BTreeMap::new();
+        let stamp = Some(self.query_stamp());
         match within {
             Some(rect) => {
-                self.collect_cells(&CellId::covering(rect, self.level), &mut seen);
+                self.collect_cells(&CellId::covering(rect, self.level), &mut seen, stamp);
                 seen.retain(|_, e| rect.contains(&e.pos));
             }
-            None => self.collect_all(&mut seen),
+            None => self.collect_all(&mut seen, stamp),
         }
         let mut bright: Vec<CatalogEntry> = seen
             .into_values()
@@ -622,9 +761,79 @@ impl CatalogStore {
     /// catalog bit-identical to the batch output.
     pub fn to_catalog(&self) -> Catalog {
         let mut seen = BTreeMap::new();
-        self.collect_all(&mut seen);
+        self.collect_all(&mut seen, None);
         Catalog::new(seen.into_values().collect())
     }
+
+    /// The cells a query's search area can reach at this store's
+    /// level: `Ok(Some(cells))` for bounded queries, `Ok(None)` for a
+    /// whole-sky sweep (`BrightestN { within: None }`). Validates the
+    /// query exactly as running it would. The serving layer faults
+    /// spilled cells back in from snapshot through this — it shares
+    /// the cone's conservative bounding rect with
+    /// [`CatalogStore::cone_search`], so fault-in coverage can never
+    /// be narrower than the search itself.
+    pub fn covering_cells(&self, q: &CatalogQuery) -> Result<Option<Vec<CellId>>, StoreError> {
+        match q {
+            CatalogQuery::Cone {
+                center,
+                radius_arcsec,
+            } => {
+                if !center.is_finite() {
+                    return Err(StoreError::InvalidQuery("cone center is non-finite".into()));
+                }
+                if !radius_arcsec.is_finite() || *radius_arcsec < 0.0 {
+                    return Err(StoreError::InvalidQuery(format!(
+                        "cone radius must be finite and non-negative, got {radius_arcsec}"
+                    )));
+                }
+                let rect = cone_rect(center, *radius_arcsec);
+                Ok(Some(CellId::covering(&rect, self.level)))
+            }
+            CatalogQuery::Rect { rect, filter } => {
+                if ![rect.ra_min, rect.ra_max, rect.dec_min, rect.dec_max]
+                    .iter()
+                    .all(|v| v.is_finite())
+                {
+                    return Err(StoreError::InvalidQuery(
+                        "rect bounds are non-finite".into(),
+                    ));
+                }
+                filter.validate()?;
+                Ok(Some(CellId::covering(rect, self.level)))
+            }
+            CatalogQuery::BrightestN { within, .. } => match within {
+                Some(rect) => Ok(Some(CellId::covering(rect, self.level))),
+                None => Ok(None),
+            },
+        }
+    }
+}
+
+/// Conservative bounding rect for a cone under the flat-sky metric:
+/// the separation scales RA by cos of the *mean* dec of the pair,
+/// which for a hit lies within r/2 of the center's dec. A tiny guard
+/// pad keeps exactly-on-boundary candidates inside; over-inclusion is
+/// harmless (the exact per-entry separation test decides). Shared by
+/// [`CatalogStore::cone_search`] and [`CatalogStore::covering_cells`]
+/// so the serving layer's fault-in sees the same cells the search
+/// will read.
+fn cone_rect(center: &SkyCoord, radius_arcsec: f64) -> SkyRect {
+    let r_deg = radius_arcsec / 3600.0;
+    let pad = 1e-7;
+    let worst_dec = (center.dec.abs() + 0.5 * r_deg).min(90.0);
+    let cosw = worst_dec.to_radians().cos();
+    let half_w = if cosw > 1e-9 {
+        (r_deg / cosw + pad).min(180.0)
+    } else {
+        180.0
+    };
+    SkyRect::new(
+        center.ra - half_w,
+        center.ra + half_w,
+        (center.dec - r_deg - pad).max(-90.0),
+        (center.dec + r_deg + pad).min(90.0 + f64::EPSILON * 90.0),
+    )
 }
 
 fn fold(acc: u64, bits: u64) -> u64 {
@@ -1002,5 +1211,171 @@ mod tests {
         });
         assert_eq!(store.len(), 200);
         assert_eq!(store.to_catalog().len(), 200);
+    }
+
+    #[test]
+    fn per_cell_stats_track_occupancy_and_touches() {
+        let store = store_with(&[
+            entry(1, 10.0, 10.0, 1.0),
+            entry(2, 10.0001, 10.0, 2.0),
+            entry(3, 200.0, -40.0, 3.0),
+        ]);
+        let s = store.stats();
+        assert_eq!(s.queries, 0);
+        assert_eq!(s.per_cell.len(), s.cells);
+        assert_eq!(s.per_cell.iter().map(|o| o.entries).sum::<usize>(), 3);
+        assert!(s
+            .per_cell
+            .iter()
+            .all(|o| o.touches == 0 && o.last_touch == 0));
+        // Sorted ascending by cell id.
+        let keys: Vec<_> = s
+            .per_cell
+            .iter()
+            .map(|o| (o.cell.level, o.cell.ix, o.cell.iy))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+
+        // A cone near (10, 10) touches that cell but not the far one.
+        store.cone_search(&SkyCoord::new(10.0, 10.0), 5.0).unwrap();
+        let s = store.stats();
+        assert_eq!(s.queries, 1);
+        let near = CellId::of(&SkyCoord::new(10.0, 10.0), store.level);
+        let far = CellId::of(&SkyCoord::new(200.0, -40.0), store.level);
+        let occ = |c: CellId| s.per_cell.iter().find(|o| o.cell == c).unwrap();
+        assert!(occ(near).touches >= 1);
+        assert_eq!(occ(near).last_touch, 1);
+        assert_eq!(occ(far).touches, 0);
+        // A whole-sky sweep touches every cell with a later stamp.
+        store.brightest_n(1, None);
+        let s = store.stats();
+        assert_eq!(s.queries, 2);
+        assert!(s.per_cell.iter().all(|o| o.last_touch == 2));
+        // to_catalog is bookkeeping, not a query: counters unchanged.
+        store.to_catalog();
+        assert_eq!(store.stats().queries, 2);
+    }
+
+    #[test]
+    fn insert_if_absent_never_clobbers() {
+        let store = CatalogStore::default();
+        assert!(store.insert_if_absent(entry(5, 10.0, 10.0, 1.0)));
+        assert!(!store.insert_if_absent(entry(5, 20.0, 20.0, 9.0)));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(5).unwrap().flux_r_nmgy, 1.0);
+        assert_eq!(store.get(5).unwrap().pos.ra, 10.0);
+    }
+
+    #[test]
+    fn take_cell_removes_exactly_one_cell() {
+        let store = store_with(&[
+            entry(1, 10.0, 10.0, 1.0),
+            entry(2, 10.0001, 10.0, 2.0),
+            entry(3, 200.0, -40.0, 3.0),
+        ]);
+        let near = CellId::of(&SkyCoord::new(10.0, 10.0), store.level);
+        let taken = store.take_cell(near);
+        let ids: Vec<u64> = taken.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![1, 2], "ascending id order");
+        assert_eq!(store.len(), 1);
+        assert!(store.get(1).is_none());
+        assert!(store.get(3).is_some());
+        assert_eq!(store.stats().cells, 1);
+        // Idempotent on an absent cell.
+        assert!(store.take_cell(near).is_empty());
+        // Taken entries fault back in cleanly.
+        for e in taken {
+            assert!(store.insert_if_absent(e));
+        }
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn version_tracks_content_mutation() {
+        let store = CatalogStore::default();
+        let v0 = store.version();
+        store.insert(entry(1, 10.0, 10.0, 1.0));
+        let v1 = store.version();
+        assert!(v1 > v0);
+        // Reads don't bump it.
+        store.get(1);
+        store.brightest_n(1, None);
+        store.stats();
+        assert_eq!(store.version(), v1);
+        // A refused insert_if_absent doesn't bump it either.
+        assert!(!store.insert_if_absent(entry(1, 20.0, 20.0, 9.0)));
+        assert_eq!(store.version(), v1);
+        // take_cell of a populated cell bumps exactly once; an empty
+        // take does not.
+        let cell = CellId::of(&SkyCoord::new(10.0, 10.0), store.level);
+        store.take_cell(cell);
+        let v2 = store.version();
+        assert_eq!(v2, v1 + 1);
+        store.take_cell(cell);
+        assert_eq!(store.version(), v2);
+    }
+
+    #[test]
+    fn covering_cells_matches_query_reach() {
+        let entries: Vec<CatalogEntry> = (0..100)
+            .map(|i| {
+                entry(
+                    i,
+                    (i as f64 * 37.7) % 360.0,
+                    ((i as f64 * 11.3) % 120.0) - 60.0,
+                    (i as f64 * 7.1) % 50.0,
+                )
+            })
+            .collect();
+        let store = store_with(&entries);
+        let queries = [
+            CatalogQuery::Cone {
+                center: SkyCoord::new(37.7, -48.7),
+                radius_arcsec: 7200.0,
+            },
+            CatalogQuery::Rect {
+                rect: SkyRect::new(10.0, 200.0, -30.0, 45.0),
+                filter: SourceFilter::default(),
+            },
+            CatalogQuery::BrightestN {
+                n: 10,
+                within: Some(SkyRect::new(0.0, 90.0, -90.0, 0.0)),
+            },
+        ];
+        for q in &queries {
+            let cells = store.covering_cells(q).unwrap().expect("bounded query");
+            let cellset: std::collections::HashSet<CellId> = cells.into_iter().collect();
+            // Every hit must live in a covered cell, else the serving
+            // layer's fault-in would miss spilled results.
+            for e in store.query(q).unwrap() {
+                assert!(
+                    cellset.contains(&CellId::of(&e.pos, store.level)),
+                    "hit {} outside covering set for {q:?}",
+                    e.id
+                );
+            }
+        }
+        assert_eq!(
+            store
+                .covering_cells(&CatalogQuery::BrightestN { n: 3, within: None })
+                .unwrap(),
+            None,
+            "whole-sky sweep has no bounded covering"
+        );
+        // Validation mirrors the queries themselves.
+        assert!(store
+            .covering_cells(&CatalogQuery::Cone {
+                center: SkyCoord::new(f64::NAN, 0.0),
+                radius_arcsec: 1.0
+            })
+            .is_err());
+        assert!(store
+            .covering_cells(&CatalogQuery::Cone {
+                center: SkyCoord::new(0.0, 0.0),
+                radius_arcsec: -1.0
+            })
+            .is_err());
     }
 }
